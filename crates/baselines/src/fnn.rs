@@ -1,0 +1,276 @@
+//! A HERQULES-style feed-forward-network readout classifier.
+//!
+//! HERQULES (Maurya et al., the paper's [31]) and Lienhard et al. [26]
+//! classify readout trajectories with small neural networks. ARTERY's §7
+//! argues its table-based vectorization reaches similar accuracy at a
+//! fraction of the hardware cost; this module provides the network so the
+//! comparison can actually be run: a one-hidden-layer tanh/σ network over
+//! cumulative-IQ checkpoints, trained with plain SGD on labelled pulses.
+//!
+//! The implementation is deliberately dependency-free (no BLAS, no autograd)
+//! — the networks involved are tiny (tens of weights), matching what fits in
+//! FPGA fabric.
+
+use artery_readout::{Demodulator, ReadoutModel, ReadoutPulse};
+use rand::Rng;
+
+/// A small feed-forward classifier over readout-pulse features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnnClassifier {
+    demod: Demodulator,
+    checkpoints: usize,
+    feature_scale: f64,
+    /// `hidden[j]` holds the weights of hidden unit `j` (last entry: bias).
+    hidden: Vec<Vec<f64>>,
+    /// Output weights over hidden activations (last entry: bias).
+    output: Vec<f64>,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FnnConfig {
+    /// Demodulation window length in nanoseconds (HERQULES uses 30 ns).
+    pub window_ns: f64,
+    /// Number of cumulative-IQ checkpoints used as features.
+    pub checkpoints: usize,
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// SGD epochs over the training set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for FnnConfig {
+    fn default() -> Self {
+        Self {
+            window_ns: 30.0,
+            checkpoints: 8,
+            hidden: 6,
+            epochs: 30,
+            learning_rate: 0.05,
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl FnnClassifier {
+    /// Trains a classifier on labelled pulses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the training set is empty or the configuration is
+    /// degenerate (zero checkpoints/hidden units).
+    #[must_use]
+    pub fn train(
+        model: &ReadoutModel,
+        config: &FnnConfig,
+        pulses: &[ReadoutPulse],
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!pulses.is_empty(), "training set must not be empty");
+        assert!(config.checkpoints >= 1, "need at least one checkpoint");
+        assert!(config.hidden >= 1, "need at least one hidden unit");
+        let demod = Demodulator::for_model(model, config.window_ns);
+        // Scale features to roughly unit magnitude (the carrier amplitude).
+        let feature_scale = 1.0 / model.amplitude.max(f64::MIN_POSITIVE);
+        let num_features = config.checkpoints * 2;
+        let mut net = Self {
+            demod,
+            checkpoints: config.checkpoints,
+            feature_scale,
+            hidden: (0..config.hidden)
+                .map(|_| {
+                    (0..=num_features)
+                        .map(|_| rng.gen_range(-0.5..0.5))
+                        .collect()
+                })
+                .collect(),
+            output: (0..=config.hidden)
+                .map(|_| rng.gen_range(-0.5..0.5))
+                .collect(),
+        };
+        // Pre-compute features once.
+        let data: Vec<(Vec<f64>, f64)> = pulses
+            .iter()
+            .map(|p| (net.features(p), f64::from(u8::from(p.true_state))))
+            .collect();
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..config.epochs {
+            // Fisher–Yates shuffle for SGD.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for &i in &order {
+                let (x, y) = &data[i];
+                net.sgd_step(x, *y, config.learning_rate);
+            }
+        }
+        net
+    }
+
+    /// Cumulative-IQ features at evenly spaced checkpoints.
+    fn features(&self, pulse: &ReadoutPulse) -> Vec<f64> {
+        let traj = self.demod.cumulative_trajectory(pulse);
+        let n = traj.len().max(1);
+        let mut out = Vec::with_capacity(self.checkpoints * 2);
+        for k in 0..self.checkpoints {
+            let idx = ((k + 1) * n / self.checkpoints).min(n) - 1;
+            out.push(traj[idx].i * self.feature_scale);
+            out.push(traj[idx].q * self.feature_scale);
+        }
+        out
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, f64) {
+        let acts: Vec<f64> = self
+            .hidden
+            .iter()
+            .map(|w| {
+                let mut z = w[x.len()]; // bias
+                for (wi, xi) in w[..x.len()].iter().zip(x) {
+                    z += wi * xi;
+                }
+                z.tanh()
+            })
+            .collect();
+        let mut z = self.output[acts.len()];
+        for (wi, a) in self.output[..acts.len()].iter().zip(&acts) {
+            z += wi * a;
+        }
+        (acts, sigmoid(z))
+    }
+
+    fn sgd_step(&mut self, x: &[f64], y: f64, lr: f64) {
+        let (acts, p) = self.forward(x);
+        let delta_out = p - y; // dL/dz for cross-entropy + sigmoid
+        // Output layer.
+        for (w, a) in self.output[..acts.len()].iter_mut().zip(&acts) {
+            *w -= lr * delta_out * a;
+        }
+        let bias_idx = acts.len();
+        self.output[bias_idx] -= lr * delta_out;
+        // Hidden layer.
+        for (j, w) in self.hidden.iter_mut().enumerate() {
+            let delta_h = delta_out * self.output[j] * (1.0 - acts[j] * acts[j]);
+            for (wi, xi) in w[..x.len()].iter_mut().zip(x) {
+                *wi -= lr * delta_h * xi;
+            }
+            w[x.len()] -= lr * delta_h;
+        }
+    }
+
+    /// Probability that the pulse reads out as `|1⟩`.
+    #[must_use]
+    pub fn probability(&self, pulse: &ReadoutPulse) -> f64 {
+        self.forward(&self.features(pulse)).1
+    }
+
+    /// Hard classification.
+    #[must_use]
+    pub fn classify(&self, pulse: &ReadoutPulse) -> bool {
+        self.probability(pulse) > 0.5
+    }
+
+    /// Accuracy against ground-truth labels.
+    #[must_use]
+    pub fn accuracy<'a>(&self, pulses: impl IntoIterator<Item = &'a ReadoutPulse>) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for p in pulses {
+            correct += usize::from(self.classify(p) == p.true_state);
+            total += 1;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+    use artery_readout::Dataset;
+
+    fn trained() -> (ReadoutModel, FnnClassifier, Dataset) {
+        let model = ReadoutModel::paper();
+        let mut rng = rng_for("fnn/train");
+        let dataset = Dataset::generate(&model, 0.5, 1200, &mut rng);
+        let split = dataset.split(800);
+        let net = FnnClassifier::train(
+            &model,
+            &FnnConfig::default(),
+            split.train,
+            &mut rng_for("fnn/init"),
+        );
+        (model, net, dataset)
+    }
+
+    #[test]
+    fn reaches_high_accuracy_on_held_out_pulses() {
+        let (_, net, dataset) = trained();
+        let split = dataset.split(800);
+        let acc = net.accuracy(split.test.iter());
+        // HERQULES-class networks reach matched-filter-like accuracy;
+        // require 95 % on the held-out set (full-readout fidelity is 99 %).
+        assert!(acc > 0.95, "held-out accuracy {acc}");
+    }
+
+    #[test]
+    fn probability_is_calibrated_direction() {
+        let (model, net, _) = trained();
+        let mut rng = rng_for("fnn/direction");
+        let mut p1_sum = 0.0;
+        let mut p0_sum = 0.0;
+        const N: usize = 50;
+        for _ in 0..N {
+            p1_sum += net.probability(&model.synthesize(true, &mut rng));
+            p0_sum += net.probability(&model.synthesize(false, &mut rng));
+        }
+        assert!((p1_sum / N as f64) > 0.8, "mean P(1|state=1) too low");
+        assert!((p0_sum / N as f64) < 0.2, "mean P(1|state=0) too high");
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let model = ReadoutModel::paper();
+        let dataset = Dataset::generate(&model, 0.5, 200, &mut rng_for("fnn/det/data"));
+        let a = FnnClassifier::train(
+            &model,
+            &FnnConfig::default(),
+            dataset.pulses(),
+            &mut rng_for("fnn/det/init"),
+        );
+        let b = FnnClassifier::train(
+            &model,
+            &FnnConfig::default(),
+            dataset.pulses(),
+            &mut rng_for("fnn/det/init"),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_training_set_panics() {
+        let model = ReadoutModel::paper();
+        let _ = FnnClassifier::train(
+            &model,
+            &FnnConfig::default(),
+            &[],
+            &mut rng_for("fnn/empty"),
+        );
+    }
+
+    #[test]
+    fn accuracy_of_empty_set_is_zero() {
+        let (_, net, _) = trained();
+        assert_eq!(net.accuracy(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the end-to-end per-shot engine: a full feedback
+//! resolution (pulse synthesis + windowed prediction + timing) and complete
+//! benchmark shots for ARTERY and the sequential baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use artery_baselines::Baseline;
+use artery_core::{ArteryConfig, ArteryController, Calibration};
+use artery_qec::{MemoryExperiment, RotatedSurfaceCode};
+use artery_sim::{Executor, NoiseModel};
+
+fn bench_engine_shots(c: &mut Criterion) {
+    let config = ArteryConfig {
+        train_pulses: 400,
+        ..ArteryConfig::paper()
+    };
+    let calibration = Calibration::train(&config, &mut artery_num::rng::rng_for("bench/engine"));
+    for (name, circuit) in [
+        ("reset1", artery_workloads::active_reset(1)),
+        ("qrw5", artery_workloads::qrw(5)),
+        ("rcnot3", artery_workloads::rcnot(3)),
+    ] {
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut controller = ArteryController::new(&circuit, &config, &calibration);
+        let mut rng = artery_num::rng::rng_for("bench/engine/artery");
+        c.bench_function(&format!("engine/artery_shot/{name}"), |b| {
+            b.iter(|| black_box(exec.run(&circuit, &mut controller, &mut rng)))
+        });
+        let mut baseline = Baseline::qubic();
+        let mut rng = artery_num::rng::rng_for("bench/engine/qubic");
+        c.bench_function(&format!("engine/qubic_shot/{name}"), |b| {
+            b.iter(|| black_box(exec.run(&circuit, &mut baseline, &mut rng)))
+        });
+    }
+}
+
+fn bench_qec_memory(c: &mut Criterion) {
+    let exp = MemoryExperiment::new(RotatedSurfaceCode::new(3), 0.02, 0.02);
+    let mut rng = artery_num::rng::rng_for("bench/qec");
+    c.bench_function("qec/memory_shot_25_cycles", |b| {
+        b.iter(|| black_box(exp.run_shot(25, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_engine_shots, bench_qec_memory);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the hot paths the paper claims are O(1)
+//! or pipeline-friendly: demodulation windows, state-table lookups, the
+//! Bayesian update, and the pulse codecs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use artery_circuit::{Gate, Qubit};
+use artery_core::predictor::{fuse, HistoryTracker, TrajectoryTable};
+use artery_core::{ArteryConfig, Calibration};
+use artery_pulse::codec::{Codec, Combined, Huffman, RunLength};
+use artery_pulse::{PulseLibrary, PulseStream, StreamRealism};
+use artery_readout::{Demodulator, ReadoutModel};
+use artery_sim::StateVector;
+
+fn bench_demodulation(c: &mut Criterion) {
+    let model = ReadoutModel::paper();
+    let demod = Demodulator::for_model(&model, 30.0);
+    let mut rng = artery_num::rng::rng_for("bench/demod");
+    let pulse = model.synthesize(true, &mut rng);
+    c.bench_function("demod/one_30ns_window", |b| {
+        b.iter(|| black_box(demod.demodulate_range(black_box(&pulse), 990, 30)))
+    });
+    c.bench_function("demod/full_cumulative_trajectory", |b| {
+        b.iter(|| black_box(demod.cumulative_trajectory(black_box(&pulse))))
+    });
+}
+
+fn bench_predictor_primitives(c: &mut Criterion) {
+    let mut table = TrajectoryTable::new(6, 8);
+    table.record(3, 0b11_1111, true);
+    c.bench_function("predictor/table_lookup", |b| {
+        b.iter(|| black_box(table.p_read_1(black_box(3), black_box(0b10_1011))))
+    });
+    c.bench_function("predictor/bayes_fuse", |b| {
+        b.iter(|| black_box(fuse(black_box(0.7), black_box(0.95))))
+    });
+    let mut history = HistoryTracker::new();
+    c.bench_function("predictor/history_update", |b| {
+        b.iter(|| {
+            history.observe(artery_circuit::FeedbackSite(0), black_box(true));
+            black_box(history.p_history_1(artery_circuit::FeedbackSite(0)))
+        })
+    });
+    let config = ArteryConfig {
+        train_pulses: 200,
+        ..ArteryConfig::paper()
+    };
+    let cal = Calibration::train(&config, &mut artery_num::rng::rng_for("bench/cal"));
+    let predictor = artery_core::BranchPredictor::new(&cal, &config);
+    let pulse = cal
+        .model()
+        .synthesize(true, &mut artery_num::rng::rng_for("bench/pulse"));
+    c.bench_function("predictor/full_shot", |b| {
+        b.iter(|| black_box(predictor.predict_shot(black_box(&pulse), 0.5)))
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let library = PulseLibrary::standard(2.0);
+    let circuit = artery_workloads::qrw(3);
+    let stream =
+        PulseStream::for_circuit_realistic(&circuit, &library, 200.0, &StreamRealism::default());
+    let samples = stream.samples().to_vec();
+    for (name, codec) in [
+        ("huffman", &Huffman as &dyn Codec),
+        ("run-length", &RunLength),
+        ("combined", &Combined),
+    ] {
+        let encoded = codec.encode(&samples);
+        c.bench_function(&format!("codec/{name}/encode"), |b| {
+            b.iter(|| black_box(codec.encode(black_box(&samples))))
+        });
+        c.bench_function(&format!("codec/{name}/decode"), |b| {
+            b.iter(|| black_box(codec.decode(black_box(&encoded)).expect("round trip")))
+        });
+    }
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    c.bench_function("sim/h_gate_10q", |b| {
+        b.iter_batched(
+            || StateVector::zero(10),
+            |mut s| {
+                s.apply_gate(Gate::H, &[Qubit(4)]);
+                black_box(s)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("sim/cz_gate_10q", |b| {
+        b.iter_batched(
+            || StateVector::zero(10),
+            |mut s| {
+                s.apply_gate(Gate::CZ, &[Qubit(2), Qubit(7)]);
+                black_box(s)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_demodulation,
+    bench_predictor_primitives,
+    bench_codecs,
+    bench_statevector
+);
+criterion_main!(benches);

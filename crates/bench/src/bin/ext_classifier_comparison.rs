@@ -1,0 +1,100 @@
+//! Extension experiment (paper §7): ARTERY's table-based trajectory
+//! vectorization versus an FNN readout classifier (HERQULES / Lienhard
+//! et al.).
+//!
+//! The paper argues its `<trajectory, P_read_1>` table reaches comparable
+//! accuracy to neural classifiers at a fraction of the hardware cost. Here
+//! both consume the *same* pulses: the FNN sees cumulative-IQ checkpoints,
+//! the table sees the k-window pattern; we compare held-out classification
+//! accuracy at several readout truncation points, plus the resource
+//! footprint (table bytes vs network weights).
+
+use artery_baselines::fnn::{FnnClassifier, FnnConfig};
+use artery_bench::report::{banner, f3, write_json, Table};
+use artery_bench::shots_or;
+use artery_core::{ArteryConfig, BranchPredictor, Calibration};
+use artery_readout::Dataset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    readout_us: f64,
+    table_accuracy: f64,
+    fnn_accuracy: f64,
+}
+
+fn main() {
+    banner(
+        "EXT",
+        "trajectory table vs FNN readout classification (paper §7)",
+    );
+    let n_pulses = shots_or(1200);
+    let config = ArteryConfig::paper();
+    let mut rng = artery_num::rng::rng_for("ext/cal");
+    let calibration = Calibration::train(&config, &mut rng);
+    let model = *calibration.model();
+
+    let dataset = Dataset::generate(&model, 0.5, n_pulses, &mut rng);
+    let split = dataset.split(n_pulses * 2 / 3);
+    let fnn = FnnClassifier::train(
+        &model,
+        &FnnConfig::default(),
+        split.train,
+        &mut artery_num::rng::rng_for("ext/fnn-init"),
+    );
+    let predictor = BranchPredictor::new(&calibration, &config);
+
+    // Forced decisions at three truncation points plus full readout.
+    let window_us = config.window_ns / 1000.0;
+    let mut table = Table::new(["readout (µs)", "ARTERY table", "FNN (full-pulse)"]);
+    let mut rows = Vec::new();
+    let fnn_full: f64 = {
+        let mut c = 0usize;
+        for p in split.test {
+            c += usize::from(fnn.classify(p) == p.true_state);
+        }
+        c as f64 / split.test.len() as f64
+    };
+    for target_us in [0.5f64, 1.0, 1.5, 2.0] {
+        let mut correct = 0usize;
+        for pulse in split.test {
+            let stream = predictor.probability_stream(pulse, 0.5);
+            // Latest update at or before the truncation point.
+            let decision = stream
+                .iter()
+                .take_while(|u| (u.window + 1) as f64 * window_us <= target_us)
+                .last()
+                .is_some_and(|u| u.p_predict_1 > 0.5);
+            correct += usize::from(decision == pulse.true_state);
+        }
+        let table_acc = correct as f64 / split.test.len() as f64;
+        table.row([
+            format!("{target_us:.2}"),
+            f3(table_acc),
+            if target_us >= 2.0 {
+                f3(fnn_full)
+            } else {
+                "-".to_string()
+            },
+        ]);
+        rows.push(Row {
+            readout_us: target_us,
+            table_accuracy: table_acc,
+            fnn_accuracy: if target_us >= 2.0 { fnn_full } else { f64::NAN },
+        });
+    }
+    table.print();
+
+    let table_bytes = config.table_bytes();
+    // FNN footprint: weights as 16-bit fixed point.
+    let fnn_cfg = FnnConfig::default();
+    let fnn_bytes = (fnn_cfg.hidden * (fnn_cfg.checkpoints * 2 + 1) + fnn_cfg.hidden + 1) * 2;
+    println!(
+        "\nresource footprint: state table {table_bytes} B (BRAM) vs FNN {fnn_bytes} B of \
+         weights + multipliers per inference\n\
+         (the table lookup is one BRAM read; the FNN needs \
+         {} multiply-accumulates per update)",
+        fnn_cfg.hidden * (fnn_cfg.checkpoints * 2 + 1) + fnn_cfg.hidden + 1
+    );
+    write_json("ext_classifier_comparison", &rows);
+}

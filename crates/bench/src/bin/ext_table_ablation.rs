@@ -1,0 +1,116 @@
+//! Extension ablation: the state-table design choices — the number of
+//! branch history registers `k` (the paper's user-defined granularity
+//! parameter) and the time-bucket count (this reproduction's documented
+//! deviation from the paper's pattern-only index).
+//!
+//! The bucket sweep is the empirical justification for the deviation: with
+//! a single bucket (the paper's literal table), early windows inherit the
+//! confidence of late windows and the predictor fires early with degraded
+//! accuracy; a handful of coarse buckets restores the accuracy-latency
+//! trade-off at negligible BRAM cost.
+
+use artery_bench::report::{banner, f2, f3, write_json, Table};
+use artery_bench::{runner, shots_or};
+use artery_core::ArteryConfig;
+use artery_workloads::Benchmark;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    k: usize,
+    time_buckets: usize,
+    table_bytes: usize,
+    mean_accuracy: f64,
+    mean_latency_us: f64,
+}
+
+fn sweep(configs: &[(usize, usize)], shots: usize, records: &mut Vec<Record>) {
+    let circuits: Vec<(String, artery_circuit::Circuit)> = [
+        Benchmark::Qrw(5),
+        Benchmark::Rcnot(3),
+        Benchmark::RusQnn(3),
+    ]
+    .iter()
+    .map(|b| (b.to_string(), b.circuit()))
+    .collect();
+    let mut table = Table::new([
+        "k",
+        "time buckets",
+        "table bytes",
+        "mean accuracy",
+        "mean latency/feedback (µs)",
+    ]);
+    for &(k, buckets) in configs {
+        let config = ArteryConfig {
+            k,
+            time_buckets: buckets,
+            ..ArteryConfig::paper()
+        };
+        let calibration = runner::calibration_for(&config, &format!("ext-table/{k}/{buckets}"));
+        let mut accs = Vec::new();
+        let mut lats = Vec::new();
+        for (name, circuit) in &circuits {
+            let s = runner::run_artery(
+                circuit,
+                &config,
+                &calibration,
+                shots,
+                &format!("ext-table/{name}/{k}/{buckets}"),
+            );
+            accs.push(s.accuracy);
+            lats.push(s.per_feedback_us);
+        }
+        let rec = Record {
+            k,
+            time_buckets: buckets,
+            table_bytes: config.table_bytes(),
+            mean_accuracy: artery_num::stats::mean(&accs),
+            mean_latency_us: artery_num::stats::mean(&lats),
+        };
+        table.row([
+            k.to_string(),
+            buckets.to_string(),
+            rec.table_bytes.to_string(),
+            f3(rec.mean_accuracy),
+            f2(rec.mean_latency_us),
+        ]);
+        records.push(rec);
+    }
+    table.print();
+}
+
+fn main() {
+    banner("EXT", "state-table ablation: k registers × time buckets");
+    let shots = shots_or(200);
+    let mut records = Vec::new();
+
+    println!("## k sweep (8 time buckets, paper default k = 6)\n");
+    sweep(
+        &[(2, 8), (4, 8), (6, 8), (8, 8), (10, 8)],
+        shots,
+        &mut records,
+    );
+
+    println!("\n## time-bucket sweep (k = 6; 1 bucket = the paper's literal table)\n");
+    sweep(&[(6, 1), (6, 2), (6, 4), (6, 8), (6, 16)], shots, &mut records);
+
+    let one_bucket = records
+        .iter()
+        .find(|r| r.k == 6 && r.time_buckets == 1)
+        .expect("bucket=1 row");
+    let eight = records
+        .iter()
+        .find(|r| r.k == 6 && r.time_buckets == 8)
+        .expect("bucket=8 row");
+    println!(
+        "\nbucket ablation: 1 bucket → accuracy {:.3} at {:.2} µs; 8 buckets → {:.3} at \
+         {:.2} µs\n(the deviation buys {:.1} accuracy points; see \
+         core/src/predictor/table.rs)",
+        one_bucket.mean_accuracy,
+        one_bucket.mean_latency_us,
+        eight.mean_accuracy,
+        eight.mean_latency_us,
+        100.0 * (eight.mean_accuracy - one_bucket.mean_accuracy)
+    );
+    write_json("ext_table_ablation", &records);
+}

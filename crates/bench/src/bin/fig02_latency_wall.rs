@@ -1,0 +1,60 @@
+//! Figure 2 — the quantum-feedback latency wall: the readout-versus-T1
+//! frontier (left) and the controller stage breakdown (right).
+
+use artery_bench::report::{banner, f2, write_json, Table};
+use artery_hw::{HardwareParams, READOUT_FRONTIER};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Results {
+    frontier: Vec<(String, f64, f64)>,
+    stages_ns: Vec<(String, f64)>,
+    processing_ns: f64,
+    latency_wall_ns: f64,
+}
+
+fn main() {
+    banner("Fig. 2", "latency breakdown of quantum feedback");
+    let hw = HardwareParams::paper();
+
+    println!("## Readout latency vs qubit lifetime (published designs)\n");
+    let mut frontier = Table::new(["design", "readout (ns)", "T1 (µs)"]);
+    let mut frontier_json = Vec::new();
+    for p in READOUT_FRONTIER {
+        frontier.row([p.name.to_string(), f2(p.readout_ns), f2(p.t1_us)]);
+        frontier_json.push((p.name.to_string(), p.readout_ns, p.t1_us));
+    }
+    frontier.print();
+
+    println!("\n## Feedback controller stage latencies\n");
+    let stages = [
+        ("ADC processing", hw.adc_ns),
+        ("state classification", hw.classify_ns),
+        ("pulse preparation", hw.pulse_prep_ns),
+        ("DAC processing", hw.dac_ns),
+    ];
+    let mut table = Table::new(["stage", "latency (ns)", "paper (ns)"]);
+    for (name, ns) in stages {
+        table.row([name.to_string(), f2(ns), f2(ns)]);
+    }
+    table.print();
+
+    println!(
+        "\nclassical processing floor: {} ns (paper: 160 ns)",
+        hw.processing_ns()
+    );
+    println!(
+        "latency wall (500 ns safe readout + processing): {} ns (paper: 660 ns)",
+        hw.latency_wall_ns()
+    );
+
+    write_json(
+        "fig02_latency_wall",
+        &Results {
+            frontier: frontier_json,
+            stages_ns: stages.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+            processing_ns: hw.processing_ns(),
+            latency_wall_ns: hw.latency_wall_ns(),
+        },
+    );
+}

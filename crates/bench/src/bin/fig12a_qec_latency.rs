@@ -1,0 +1,112 @@
+//! Figure 12 (a) — QEC feedback latency: data-qubit correction, syndrome
+//! reset, and end-to-end cycle latency, ARTERY vs QubiC.
+//!
+//! The correction is a case-1 feedback with a strongly skewed prior (the
+//! decoded syndrome rarely fires); the reset is the case-3 pattern on the
+//! syndrome ancilla. The cycle adds the stabilizer gate layer on top of the
+//! reset path (§6.2).
+
+use artery_baselines::Baseline;
+use artery_bench::paper;
+use artery_bench::report::{banner, f2, write_json, Table};
+use artery_bench::{runner, shots_or};
+use artery_core::ArteryConfig;
+use artery_qec::scaling::CycleTiming;
+use artery_workloads::{skewed_correction, skewed_reset};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Results {
+    correction_qubic_us: f64,
+    correction_artery_us: f64,
+    correction_speedup: f64,
+    reset_qubic_us: f64,
+    reset_artery_us: f64,
+    cycle_qubic_us: f64,
+    cycle_artery_us: f64,
+}
+
+fn main() {
+    banner("Fig. 12a", "QEC feedback latency, ARTERY vs QubiC");
+    let shots = shots_or(300);
+    let config = ArteryConfig::paper();
+    let calibration = runner::calibration_for(&config, "fig12a");
+    // Syndrome-fire probability ≈ sin²(0.1) ≈ 1 % — the QEC skew.
+    let correction = skewed_correction(0.2);
+    let reset = skewed_reset(0.2);
+
+    let corr_qubic =
+        runner::run_handler(&correction, &mut Baseline::qubic(), shots, "fig12a/corr/qubic");
+    let corr_artery =
+        runner::run_artery(&correction, &config, &calibration, shots, "fig12a/corr/artery");
+    let reset_qubic =
+        runner::run_handler(&reset, &mut Baseline::qubic(), shots, "fig12a/reset/qubic");
+    let reset_artery =
+        runner::run_artery(&reset, &config, &calibration, shots, "fig12a/reset/artery");
+
+    let cycle = |reset_us: f64| CycleTiming {
+        reset_us,
+        correction_us: 0.0,
+        gate_layer_us: CycleTiming::PAPER_GATE_LAYER_US,
+    }
+    .cycle_us();
+    let cycle_qubic = cycle(reset_qubic.total_feedback_us);
+    let cycle_artery = cycle(reset_artery.total_feedback_us);
+
+    let mut table = Table::new(["quantity", "QubiC (paper)", "ARTERY (paper)", "speedup (paper)"]);
+    table.row([
+        "data-qubit correction (µs)".to_string(),
+        format!("{} (2.16)", f2(corr_qubic.total_feedback_us)),
+        format!(
+            "{} ({})",
+            f2(corr_artery.total_feedback_us),
+            f2(2.16 / paper::QEC_CORRECTION_SPEEDUP)
+        ),
+        format!(
+            "{}x ({}x)",
+            f2(corr_qubic.total_feedback_us / corr_artery.total_feedback_us),
+            f2(paper::QEC_CORRECTION_SPEEDUP)
+        ),
+    ]);
+    table.row([
+        "syndrome reset (µs)".to_string(),
+        format!(
+            "{} ({})",
+            f2(reset_qubic.total_feedback_us),
+            f2(paper::QEC_RESET_QUBIC_US)
+        ),
+        format!(
+            "{} ({})",
+            f2(reset_artery.total_feedback_us),
+            f2(paper::QEC_RESET_ARTERY_US)
+        ),
+        format!(
+            "{}x (1.08x)",
+            f2(reset_qubic.total_feedback_us / reset_artery.total_feedback_us)
+        ),
+    ]);
+    table.row([
+        "QEC cycle (µs)".to_string(),
+        format!("{} ({})", f2(cycle_qubic), f2(paper::QEC_CYCLE_QUBIC_US)),
+        format!("{} ({})", f2(cycle_artery), f2(paper::QEC_CYCLE_ARTERY_US)),
+        format!("{}x (1.06x)", f2(cycle_qubic / cycle_artery)),
+    ]);
+    table.print();
+    println!(
+        "\ncorrection prediction accuracy: {:.3} (commit rate {:.2})",
+        corr_artery.accuracy, corr_artery.commit_rate
+    );
+
+    write_json(
+        "fig12a_qec_latency",
+        &Results {
+            correction_qubic_us: corr_qubic.total_feedback_us,
+            correction_artery_us: corr_artery.total_feedback_us,
+            correction_speedup: corr_qubic.total_feedback_us / corr_artery.total_feedback_us,
+            reset_qubic_us: reset_qubic.total_feedback_us,
+            reset_artery_us: reset_artery.total_feedback_us,
+            cycle_qubic_us: cycle_qubic,
+            cycle_artery_us: cycle_artery,
+        },
+    );
+}

@@ -1,0 +1,95 @@
+//! Figure 12 (b) — logical error rate of a noisy d = 3 surface-code memory
+//! versus QEC cycles, ARTERY vs QubiC.
+//!
+//! The controllers differ in how long data qubits sit exposed before their
+//! correction lands: QubiC waits the full sequential feedback, ARTERY
+//! pre-corrects as soon as the predictor commits. Exposure times are
+//! *measured* from the same micro-benchmarks as Fig. 12 (a) and mapped to
+//! per-cycle physical error rates with the Google-calibrated noise link.
+
+use artery_baselines::Baseline;
+use artery_bench::paper;
+use artery_bench::report::{banner, f3, write_json, Table};
+use artery_bench::{runner, shots_or};
+use artery_core::ArteryConfig;
+use artery_qec::scaling::CycleNoiseModel;
+use artery_qec::{MemoryExperiment, RotatedSurfaceCode};
+use artery_workloads::skewed_correction;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Results {
+    cycles: Vec<usize>,
+    qubic: Vec<f64>,
+    artery: Vec<f64>,
+    exposure_qubic_us: f64,
+    exposure_artery_us: f64,
+    mean_reduction: f64,
+}
+
+fn main() {
+    banner("Fig. 12b", "d=3 logical error rate vs cycles, ARTERY vs QubiC");
+    let shots = shots_or(500);
+    let config = ArteryConfig::paper();
+    let calibration = runner::calibration_for(&config, "fig12b");
+    let micro = skewed_correction(0.2);
+
+    let exposure_qubic = runner::run_handler(&micro, &mut Baseline::qubic(), 200, "fig12b/qubic")
+        .total_feedback_us;
+    let exposure_artery =
+        runner::run_artery(&micro, &config, &calibration, 200, "fig12b/artery").total_feedback_us;
+
+    let noise = CycleNoiseModel::google_calibrated();
+    let experiments = [
+        ("QubiC", noise.p_data(exposure_qubic)),
+        ("ARTERY", noise.p_data(exposure_artery)),
+    ];
+    println!(
+        "data-qubit exposure: QubiC {exposure_qubic:.2} µs → p_data {:.4}; \
+         ARTERY {exposure_artery:.2} µs → p_data {:.4}\n",
+        experiments[0].1, experiments[1].1
+    );
+
+    let cycles: Vec<usize> = (1..=30).step_by(3).collect();
+    let mut table = Table::new(["cycles", "QubiC logical err", "ARTERY logical err", "reduction"]);
+    let mut curves: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+    let mut rng = artery_num::rng::rng_for("fig12b/memory");
+    for &n in &cycles {
+        let mut row = vec![n.to_string()];
+        for (i, (_, p_data)) in experiments.iter().enumerate() {
+            let exp = MemoryExperiment::new(RotatedSurfaceCode::new(3), *p_data, noise.p_meas);
+            let rate = exp.logical_error_rate(n, shots, &mut rng);
+            curves[i].push(rate);
+            row.push(f3(rate));
+        }
+        let reduction = curves[0].last().unwrap() / curves[1].last().unwrap().max(1e-6);
+        row.push(format!("{reduction:.2}x"));
+        table.row(row);
+    }
+    table.print();
+
+    let reductions: Vec<f64> = curves[0]
+        .iter()
+        .zip(&curves[1])
+        .filter(|&(q, _)| *q > 0.0)
+        .map(|(q, a)| q / a.max(1e-6))
+        .collect();
+    let mean_reduction = artery_num::stats::mean(&reductions);
+    println!(
+        "\nmean logical-error reduction: {:.2}x (paper: {:.2}x)",
+        mean_reduction,
+        paper::QEC_LOGICAL_REDUCTION
+    );
+
+    write_json(
+        "fig12b_logical_error",
+        &Results {
+            cycles,
+            qubic: curves[0].clone(),
+            artery: curves[1].clone(),
+            exposure_qubic_us: exposure_qubic,
+            exposure_artery_us: exposure_artery,
+            mean_reduction,
+        },
+    );
+}

@@ -1,0 +1,77 @@
+//! Figure 12 (d) — syndrome feedback time saved per cycle versus code
+//! distance: the benefit of prediction dies out at d ≈ 13.
+//!
+//! Alongside the paper's estimation model, the harness runs the space-time
+//! matching memory simulation at small distances to confirm the codes
+//! themselves behave (logical error falls with d below threshold), so the
+//! latency trade-off is the only thing the estimation model adds.
+
+use artery_bench::paper;
+use artery_bench::report::{banner, f3, write_json, Table};
+use artery_bench::shots_or;
+use artery_qec::scaling::ScalingModel;
+use artery_qec::{MatchingMemoryExperiment, RotatedSurfaceCode};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    distance: usize,
+    syndromes: usize,
+    p_all_correct: f64,
+    expected_saving_us: f64,
+    effective_saving_us: f64,
+    logical_error_10_cycles: Option<f64>,
+}
+
+fn main() {
+    banner("Fig. 12d", "feedback time saved per cycle vs code distance");
+    let model = ScalingModel::paper_calibrated();
+    let shots = shots_or(1500);
+    let mut rng = artery_num::rng::rng_for("fig12d/memory");
+    let mut table = Table::new([
+        "distance",
+        "syndromes",
+        "P(all correct)",
+        "expected saving (µs)",
+        "realized saving (µs)",
+        "logical err @10 cycles (p=0.004)",
+    ]);
+    let mut rows = Vec::new();
+    for d in (3..=17).step_by(2) {
+        // Matching memory simulation is exact up to 16-event chunks and
+        // cheap up to d = 7.
+        let logical = (d <= 7).then(|| {
+            MatchingMemoryExperiment::new(RotatedSurfaceCode::new(d), 0.004, 0.004)
+                .logical_error_rate(10, shots, &mut rng)
+        });
+        let row = Row {
+            distance: d,
+            syndromes: ScalingModel::syndromes(d),
+            p_all_correct: model.p_all_correct(d),
+            expected_saving_us: model.expected_saving_us(d),
+            effective_saving_us: model.effective_saving_us(d),
+            logical_error_10_cycles: logical,
+        };
+        table.row([
+            d.to_string(),
+            row.syndromes.to_string(),
+            f3(row.p_all_correct),
+            f3(row.expected_saving_us),
+            f3(row.effective_saving_us),
+            row.logical_error_10_cycles
+                .map_or("-".to_string(), |x| format!("{x:.4}")),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    println!(
+        "\ncrossover distance: {} (paper: benefit exhausted at d = {})",
+        model.crossover_distance(),
+        paper::QEC_CROSSOVER_DISTANCE
+    );
+    println!(
+        "model constants: per-syndrome accuracy {:.3}, saving {:.2} µs, overrun {:.2} µs",
+        model.syndrome_accuracy, model.saved_us, model.overrun_us
+    );
+    write_json("fig12d_distance_scaling", &rows);
+}

@@ -1,0 +1,95 @@
+//! Figure 13 — conditional fidelity of the benchmark circuits under each
+//! controller: shorter feedback latency exposes qubits to less relaxation
+//! noise.
+
+use artery_baselines::Baseline;
+use artery_bench::paper::FIDELITY_IMPROVEMENTS;
+use artery_bench::report::{banner, f3, write_json, Table};
+use artery_bench::{runner, shots_or};
+use artery_core::ArteryConfig;
+use artery_workloads::Benchmark;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    benchmark: String,
+    method: String,
+    fidelity: f64,
+}
+
+fn main() {
+    banner("Fig. 13", "fidelity under each feedback controller");
+    let shots = shots_or(80);
+    let config = ArteryConfig::paper();
+    let calibration = runner::calibration_for(&config, "fig13");
+    let benches = [
+        Benchmark::Qrw(5),
+        Benchmark::Qrw(15),
+        Benchmark::Qrw(25),
+        Benchmark::Rcnot(2),
+        Benchmark::Rcnot(4),
+        Benchmark::RusQnn(2),
+        Benchmark::RusQnn(4),
+        Benchmark::Dqt(2),
+        Benchmark::Dqt(4),
+        Benchmark::Reset(4),
+    ];
+
+    let mut table = Table::new(["benchmark", "QubiC", "HERQULES", "Salathe", "Reuer", "ARTERY"]);
+    let mut records = Vec::new();
+    // improvement[i] collects ARTERY / baseline_i ratios.
+    let mut improvements = vec![Vec::new(); 4];
+    for bench in &benches {
+        let circuit = bench.circuit();
+        let mut cells = vec![bench.to_string()];
+        let mut baseline_fids = Vec::new();
+        for baseline in Baseline::all() {
+            let mut handler = baseline;
+            let f = runner::conditional_fidelity(
+                &circuit,
+                &mut handler,
+                shots,
+                &format!("fig13/{bench}/{}", baseline.name()),
+            );
+            cells.push(f3(f));
+            baseline_fids.push(f);
+            records.push(Record {
+                benchmark: bench.to_string(),
+                method: baseline.name().to_string(),
+                fidelity: f,
+            });
+        }
+        let artery = runner::conditional_fidelity_artery(
+            &circuit,
+            &config,
+            &calibration,
+            shots,
+            &format!("fig13/{bench}/artery"),
+        );
+        cells.push(f3(artery));
+        records.push(Record {
+            benchmark: bench.to_string(),
+            method: "ARTERY".to_string(),
+            fidelity: artery,
+        });
+        for (i, f) in baseline_fids.iter().enumerate() {
+            if *f > 1e-6 {
+                improvements[i].push(artery / f);
+            }
+        }
+        table.row(cells);
+    }
+    table.print();
+
+    println!("\n## Fidelity improvement of ARTERY (geometric view: mean ratio)\n");
+    let mut imp_table = Table::new(["vs", "measured", "paper"]);
+    for (i, (name, paper_factor)) in FIDELITY_IMPROVEMENTS.iter().enumerate() {
+        imp_table.row([
+            (*name).to_string(),
+            format!("{:.2}x", artery_num::stats::mean(&improvements[i])),
+            format!("{paper_factor:.2}x"),
+        ]);
+    }
+    imp_table.print();
+    write_json("fig13_fidelity", &records);
+}

@@ -1,0 +1,97 @@
+//! Figure 14 — ablation: history-only vs readout-trajectory-only vs the
+//! full reconciled predictor (accuracy and latency per benchmark).
+
+use artery_bench::paper;
+use artery_bench::report::{banner, f2, f3, write_json, Table};
+use artery_bench::{runner, shots_or};
+use artery_core::ArteryConfig;
+use artery_workloads::{skewed_correction, Benchmark};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    benchmark: String,
+    variant: String,
+    accuracy: f64,
+    per_feedback_us: f64,
+    commit_rate: f64,
+}
+
+fn main() {
+    banner("Fig. 14", "feature ablation: history vs trajectory vs combined");
+    let shots = shots_or(250);
+    let variants = [
+        ("history-only", ArteryConfig::history_only()),
+        ("trajectory-only", ArteryConfig::trajectory_only()),
+        ("ARTERY (both)", ArteryConfig::paper()),
+    ];
+    // QEC stands first (the paper's headline ablation numbers are for QEC),
+    // then one representative per family.
+    let mut circuits = vec![("QEC".to_string(), skewed_correction(0.2))];
+    for bench in Benchmark::representatives() {
+        circuits.push((bench.to_string(), bench.circuit()));
+    }
+
+    let mut records = Vec::new();
+    let mut table = Table::new([
+        "benchmark",
+        "variant",
+        "accuracy",
+        "latency/feedback (µs)",
+        "commit rate",
+    ]);
+    for (name, circuit) in &circuits {
+        for (variant, config) in &variants {
+            let calibration = runner::calibration_for(config, "fig14");
+            let summary = runner::run_artery(
+                circuit,
+                config,
+                &calibration,
+                shots,
+                &format!("fig14/{name}/{variant}"),
+            );
+            table.row([
+                name.clone(),
+                (*variant).to_string(),
+                f3(summary.accuracy),
+                f2(summary.per_feedback_us),
+                f2(summary.commit_rate),
+            ]);
+            records.push(Record {
+                benchmark: name.clone(),
+                variant: (*variant).to_string(),
+                accuracy: summary.accuracy,
+                per_feedback_us: summary.per_feedback_us,
+                commit_rate: summary.commit_rate,
+            });
+        }
+    }
+    table.print();
+
+    let qec_history = records
+        .iter()
+        .find(|r| r.benchmark == "QEC" && r.variant == "history-only")
+        .expect("qec history record");
+    println!(
+        "\nQEC history-only: accuracy {:.3}, latency {:.3} µs \
+         (paper: {:.3}, {:.3} µs)",
+        qec_history.accuracy,
+        qec_history.per_feedback_us,
+        paper::ABLATION_HISTORY_QEC_ACCURACY,
+        paper::ABLATION_HISTORY_QEC_LATENCY_US
+    );
+    let ratio_of = |variant: &str| {
+        let xs: Vec<f64> = records
+            .iter()
+            .filter(|r| r.variant == variant)
+            .map(|r| r.per_feedback_us)
+            .collect();
+        artery_num::stats::mean(&xs)
+    };
+    println!(
+        "trajectory-only latency vs combined: {:.2}x (paper: {:.2}x)",
+        ratio_of("trajectory-only") / ratio_of("ARTERY (both)"),
+        paper::ABLATION_TRAJECTORY_LATENCY_FACTOR
+    );
+    write_json("fig14_ablation", &records);
+}

@@ -1,0 +1,81 @@
+//! Figure 15 (b) — the distribution of prediction accuracy per benchmark:
+//! 14 sampled batches per benchmark, summarized as a five-number box.
+
+use artery_bench::paper;
+use artery_bench::report::{banner, f2, f3, write_json, Table};
+use artery_bench::{runner, shots_or};
+use artery_core::ArteryConfig;
+use artery_num::stats::FiveNumber;
+use artery_workloads::{skewed_correction, Benchmark};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    benchmark: String,
+    accuracies: Vec<f64>,
+    summary: FiveNumber,
+    mean_latency_us: f64,
+}
+
+fn main() {
+    banner("Fig. 15b", "prediction accuracy distribution (14 batches each)");
+    let shots = shots_or(120);
+    let config = ArteryConfig::paper();
+    let calibration = runner::calibration_for(&config, "fig15b");
+    let mut circuits = vec![("QEC".to_string(), skewed_correction(0.2))];
+    for bench in Benchmark::representatives() {
+        circuits.push((bench.to_string(), bench.circuit()));
+    }
+
+    let mut table = Table::new([
+        "benchmark",
+        "min",
+        "q1",
+        "median",
+        "q3",
+        "max",
+        "latency/feedback (µs)",
+    ]);
+    let mut records = Vec::new();
+    for (name, circuit) in &circuits {
+        let mut accuracies = Vec::new();
+        let mut latencies = Vec::new();
+        for batch in 0..14 {
+            let summary = runner::run_artery(
+                circuit,
+                &config,
+                &calibration,
+                shots,
+                &format!("fig15b/{name}/batch{batch}"),
+            );
+            accuracies.push(summary.accuracy);
+            latencies.push(summary.per_feedback_us);
+        }
+        let summary = FiveNumber::from_samples(&accuracies);
+        table.row([
+            name.clone(),
+            f3(summary.min),
+            f3(summary.q1),
+            f3(summary.median),
+            f3(summary.q3),
+            f3(summary.max),
+            f2(artery_num::stats::mean(&latencies)),
+        ]);
+        records.push(Record {
+            benchmark: name.clone(),
+            accuracies,
+            summary,
+            mean_latency_us: artery_num::stats::mean(&latencies),
+        });
+    }
+    table.print();
+    println!(
+        "\npaper anchors: QEC ≈ {:.3} accuracy at {:.3} µs; QRW/RCNOT in \
+         {:.3}–{:.3} at 1.227/0.934 µs.",
+        paper::FIG15B_QEC.0,
+        paper::FIG15B_QEC.1,
+        paper::FIG15B_QRW.0 .0,
+        paper::FIG15B_QRW.0 .1,
+    );
+    write_json("fig15b_accuracy_dist", &records);
+}

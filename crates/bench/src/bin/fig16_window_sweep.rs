@@ -1,0 +1,67 @@
+//! Figure 16 — demodulation window-length sweep: short windows are too
+//! noisy, long windows update too rarely; 0.03 µs wins.
+
+use artery_bench::paper;
+use artery_bench::report::{banner, f2, f3, write_json, Table};
+use artery_bench::{runner, shots_or};
+use artery_core::ArteryConfig;
+use artery_workloads::{skewed_correction, Benchmark};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    window_us: f64,
+    mean_accuracy: f64,
+    mean_latency_us: f64,
+}
+
+fn main() {
+    banner("Fig. 16", "demodulation window-length sweep");
+    let shots = shots_or(150);
+    let windows_ns = [10.0, 20.0, 30.0, 50.0, 100.0];
+    let mut circuits = vec![("QEC".to_string(), skewed_correction(0.2))];
+    for bench in Benchmark::representatives() {
+        circuits.push((bench.to_string(), bench.circuit()));
+    }
+
+    let mut table = Table::new(["window (µs)", "mean accuracy", "mean latency/feedback (µs)"]);
+    let mut records = Vec::new();
+    for w in windows_ns {
+        let config = ArteryConfig {
+            window_ns: w,
+            ..ArteryConfig::paper()
+        };
+        let calibration = runner::calibration_for(&config, &format!("fig16/w{w}"));
+        let mut accs = Vec::new();
+        let mut lats = Vec::new();
+        for (name, circuit) in &circuits {
+            let summary = runner::run_artery(
+                circuit,
+                &config,
+                &calibration,
+                shots,
+                &format!("fig16/{name}/w{w}"),
+            );
+            accs.push(summary.accuracy);
+            lats.push(summary.per_feedback_us);
+        }
+        let rec = Record {
+            window_us: w / 1000.0,
+            mean_accuracy: artery_num::stats::mean(&accs),
+            mean_latency_us: artery_num::stats::mean(&lats),
+        };
+        table.row([f3(rec.window_us), f3(rec.mean_accuracy), f2(rec.mean_latency_us)]);
+        records.push(rec);
+    }
+    table.print();
+    let best = records
+        .iter()
+        .min_by(|a, b| a.mean_latency_us.total_cmp(&b.mean_latency_us))
+        .expect("non-empty sweep");
+    println!(
+        "\nlowest-latency window: {:.3} µs (paper: {:.3} µs)",
+        best.window_us,
+        paper::BEST_WINDOW_US
+    );
+    write_json("fig16_window_sweep", &records);
+}

@@ -1,0 +1,79 @@
+//! Figure 17 — tuning the confidence threshold θ on RCNOT: low thresholds
+//! fire early but pay recovery costs; high thresholds wait too long. The
+//! training pulses select θ, the held-out pulses confirm it.
+
+use artery_bench::paper;
+use artery_bench::report::{banner, f2, f3, write_json, Table};
+use artery_bench::{runner, shots_or};
+use artery_core::ArteryConfig;
+use artery_workloads::rcnot;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    theta: f64,
+    train_latency_us: f64,
+    test_latency_us: f64,
+    test_accuracy: f64,
+}
+
+fn main() {
+    banner("Fig. 17", "confidence-threshold sweep (RCNOT)");
+    let shots = shots_or(200);
+    let circuit = rcnot(3);
+    let thetas = [0.70, 0.75, 0.80, 0.85, 0.88, 0.91, 0.94, 0.97, 0.99];
+
+    let mut table = Table::new([
+        "theta",
+        "train latency (µs)",
+        "test latency (µs)",
+        "test accuracy",
+    ]);
+    let mut records = Vec::new();
+    for theta in thetas {
+        let config = ArteryConfig {
+            theta,
+            ..ArteryConfig::paper()
+        };
+        let calibration = runner::calibration_for(&config, "fig17");
+        let train = runner::run_artery(
+            &circuit,
+            &config,
+            &calibration,
+            shots,
+            &format!("fig17/train/{theta}"),
+        );
+        let test = runner::run_artery(
+            &circuit,
+            &config,
+            &calibration,
+            shots,
+            &format!("fig17/test/{theta}"),
+        );
+        table.row([
+            f2(theta),
+            f2(train.total_feedback_us),
+            f2(test.total_feedback_us),
+            f3(test.accuracy),
+        ]);
+        records.push(Record {
+            theta,
+            train_latency_us: train.total_feedback_us,
+            test_latency_us: test.total_feedback_us,
+            test_accuracy: test.accuracy,
+        });
+    }
+    table.print();
+    let best = records
+        .iter()
+        .min_by(|a, b| a.train_latency_us.total_cmp(&b.train_latency_us))
+        .expect("non-empty sweep");
+    println!(
+        "\nbest threshold on training data: {:.2} (paper selects {:.2}); \
+         its held-out latency: {:.2} µs",
+        best.theta,
+        paper::BEST_THRESHOLD,
+        best.test_latency_us
+    );
+    write_json("fig17_threshold_sweep", &records);
+}

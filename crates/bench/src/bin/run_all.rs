@@ -1,0 +1,69 @@
+//! Runs every experiment harness in sequence — the one-command
+//! reproduction of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p artery-bench --bin run_all
+//! ```
+//!
+//! Each harness's stdout is streamed through; JSON results accumulate under
+//! `target/experiments/`.
+
+use std::process::Command;
+
+/// Every experiment binary, in the paper's presentation order.
+const EXPERIMENTS: &[&str] = &[
+    "fig02_latency_wall",
+    "fig04_motivation",
+    "fig12a_qec_latency",
+    "fig12b_logical_error",
+    "fig12c_vs_google",
+    "fig12d_distance_scaling",
+    "table1_latency",
+    "fig13_fidelity",
+    "fig14_ablation",
+    "fig15a_accuracy_vs_time",
+    "fig15b_accuracy_dist",
+    "table2_compression",
+    "fig16_window_sweep",
+    "fig17_threshold_sweep",
+    "ext_classifier_comparison",
+    "ext_table_ablation",
+    "ext_interconnect_scaling",
+    "ext_readout_sweep",
+];
+
+fn main() {
+    // Harness binaries live next to this one.
+    let me = std::env::current_exe().expect("current executable path");
+    let dir = me.parent().expect("binary directory").to_path_buf();
+    let mut failed = Vec::new();
+    for (i, name) in EXPERIMENTS.iter().enumerate() {
+        println!("\n========== [{}/{}] {name} ==========", i + 1, EXPERIMENTS.len());
+        let path = dir.join(name);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failed.push(*name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "could not launch {name} ({e}); build all harnesses first:\n  \
+                     cargo build --release -p artery-bench --bins"
+                );
+                failed.push(*name);
+            }
+        }
+    }
+    println!("\n========== summary ==========");
+    if failed.is_empty() {
+        println!(
+            "all {} experiments completed; JSON results under target/experiments/",
+            EXPERIMENTS.len()
+        );
+    } else {
+        println!("failed: {failed:?}");
+        std::process::exit(1);
+    }
+}

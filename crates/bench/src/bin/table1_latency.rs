@@ -1,0 +1,152 @@
+//! Table 1 — feedback latency (µs) of five controllers across the six
+//! benchmark sweeps.
+//!
+//! Usage: `cargo run --release -p artery-bench --bin table1_latency`
+//! (`ARTERY_SHOTS` scales the shot budget).
+
+use artery_baselines::Baseline;
+use artery_bench::paper::{Table1Row, TABLE1};
+use artery_bench::report::{banner, f2, write_json, Table};
+use artery_bench::{runner, shots_or};
+use artery_core::ArteryConfig;
+use artery_workloads::Benchmark;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    family: String,
+    parameter: usize,
+    method: String,
+    measured_us: f64,
+    paper_us: Option<f64>,
+}
+
+fn paper_value(row: &Table1Row, bench: &Benchmark) -> Option<f64> {
+    let pick = |xs: &[f64; 4], params: &[usize], p: usize| {
+        params.iter().position(|&x| x == p).map(|i| xs[i])
+    };
+    match *bench {
+        Benchmark::Qrw(p) => pick(&row.qrw, &[1, 5, 15, 25], p),
+        Benchmark::Rcnot(p) => pick(&row.rcnot, &[1, 2, 3, 4], p),
+        Benchmark::RusQnn(p) => pick(&row.rus_qnn, &[1, 2, 3, 4], p),
+        Benchmark::Dqt(p) => pick(&row.dqt, &[1, 2, 3, 4], p),
+        Benchmark::Reset(_) => Some(row.reset),
+        Benchmark::Random(p) => pick(&row.random, &[25, 50, 75, 100], p),
+    }
+}
+
+/// The latency metric the paper reports per family: simultaneous reset is a
+/// single parallel feedback; the Random benchmark includes the surrounding
+/// gate execution; everything else is the summed feedback latency.
+fn metric(bench: &Benchmark, s: &artery_bench::runner::LatencySummary) -> f64 {
+    match bench {
+        Benchmark::Reset(_) => s.per_feedback_us,
+        Benchmark::Random(_) => s.total_circuit_us,
+        _ => s.total_feedback_us,
+    }
+}
+
+fn main() {
+    banner("Table 1", "feedback latency (µs), measured vs paper");
+    let shots = shots_or(150);
+    let config = ArteryConfig::paper();
+    let calibration = runner::calibration_for(&config, "table1");
+    let benches = Benchmark::table1_sweep();
+    let mut records = Vec::new();
+
+    // Group benchmarks per family for readable tables.
+    let mut families: Vec<&str> = benches.iter().map(Benchmark::family).collect();
+    families.dedup();
+
+    let mut avg_qubic = Vec::new();
+    let mut avg_artery = Vec::new();
+
+    for family in families {
+        let instances: Vec<&Benchmark> =
+            benches.iter().filter(|b| b.family() == family).collect();
+        let mut table = Table::new(
+            std::iter::once("method".to_string()).chain(
+                instances
+                    .iter()
+                    .map(|b| format!("{family}({})", b.parameter())),
+            ),
+        );
+        // Baselines.
+        for baseline in Baseline::all() {
+            let mut cells = vec![baseline.name().to_string()];
+            for bench in &instances {
+                let circuit = bench.circuit();
+                let mut handler = baseline;
+                let summary = runner::run_handler(
+                    &circuit,
+                    &mut handler,
+                    shots,
+                    &format!("table1/{bench}/{}", baseline.name()),
+                );
+                let reference = TABLE1
+                    .iter()
+                    .find(|r| r.method == baseline.name())
+                    .and_then(|r| paper_value(r, bench));
+                let measured = metric(bench, &summary);
+                cells.push(format!(
+                    "{} ({})",
+                    f2(measured),
+                    reference.map_or("-".into(), f2)
+                ));
+                if baseline.name() == "QubiC" {
+                    avg_qubic.push(summary.per_feedback_us);
+                }
+                records.push(Record {
+                    family: family.to_string(),
+                    parameter: bench.parameter(),
+                    method: baseline.name().to_string(),
+                    measured_us: measured,
+                    paper_us: reference,
+                });
+            }
+            table.row(cells);
+        }
+        // ARTERY.
+        let mut cells = vec!["ARTERY".to_string()];
+        for bench in &instances {
+            let circuit = bench.circuit();
+            let summary = runner::run_artery(
+                &circuit,
+                &config,
+                &calibration,
+                shots,
+                &format!("table1/{bench}/artery"),
+            );
+            let reference = paper_value(&TABLE1[4], bench);
+            let measured = metric(bench, &summary);
+            cells.push(format!(
+                "{} ({})",
+                f2(measured),
+                reference.map_or("-".into(), f2)
+            ));
+            avg_artery.push(summary.per_feedback_us);
+            records.push(Record {
+                family: family.to_string(),
+                parameter: bench.parameter(),
+                method: "ARTERY".to_string(),
+                measured_us: measured,
+                paper_us: reference,
+            });
+        }
+        table.row(cells);
+        println!("## {family} — cells are measured (paper)\n");
+        table.print();
+        println!();
+    }
+
+    let qubic = artery_num::stats::mean(&avg_qubic);
+    let artery = artery_num::stats::mean(&avg_artery);
+    println!(
+        "headline: avg per-feedback latency QubiC {:.2} µs vs ARTERY {:.2} µs → {:.2}x \
+         (paper: 2.15 vs 1.04 → 2.07x)",
+        qubic,
+        artery,
+        qubic / artery
+    );
+    write_json("table1_latency", &records);
+}

@@ -1,0 +1,30 @@
+//! Shared harness machinery for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary under
+//! `src/bin/` (see DESIGN.md's experiment index). The binaries share:
+//!
+//! * [`runner`] — shot loops measuring feedback latency, prediction
+//!   accuracy and conditional fidelity for ARTERY and the baselines,
+//! * [`report`] — aligned-column terminal tables plus JSON export under
+//!   `target/experiments/`,
+//! * [`paper`] — the paper's reported numbers, embedded so every harness
+//!   prints *paper vs. measured* side by side.
+//!
+//! Shot counts default to quick-but-stable values and can be scaled with
+//! the `ARTERY_SHOTS` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod report;
+pub mod runner;
+
+/// Reads the shot budget from `ARTERY_SHOTS`, falling back to `default`.
+#[must_use]
+pub fn shots_or(default: usize) -> usize {
+    std::env::var("ARTERY_SHOTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,204 @@
+//! The paper's reported numbers, transcribed for side-by-side comparison.
+//!
+//! Absolute values need not match (the substrate is a simulator, not the
+//! authors' testbed); the harnesses print these next to measured values so
+//! the *shape* — who wins, by what factor, where crossovers fall — can be
+//! checked at a glance.
+
+/// One Table 1 row: feedback latencies in µs per benchmark instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Controller name.
+    pub method: &'static str,
+    /// QRW at 1/5/15/25 steps.
+    pub qrw: [f64; 4],
+    /// RCNOT at depth 1–4.
+    pub rcnot: [f64; 4],
+    /// RUS-QNN at 1–4 cycles.
+    pub rus_qnn: [f64; 4],
+    /// DQT at distance 1–4.
+    pub dqt: [f64; 4],
+    /// Active reset.
+    pub reset: f64,
+    /// Random circuits with 25/50/75/100 gates.
+    pub random: [f64; 4],
+}
+
+/// Table 1 of the paper (feedback latency, µs).
+pub const TABLE1: [Table1Row; 5] = [
+    Table1Row {
+        method: "QubiC",
+        qrw: [2.15, 10.78, 33.26, 52.90],
+        rcnot: [2.14, 4.36, 6.47, 8.68],
+        rus_qnn: [2.14, 4.43, 6.52, 8.77],
+        dqt: [2.14, 4.29, 6.51, 8.66],
+        reset: 2.16,
+        random: [3.12, 4.27, 5.61, 6.62],
+    },
+    Table1Row {
+        method: "HERQULES",
+        qrw: [2.17, 10.95, 33.96, 55.13],
+        rcnot: [2.16, 4.39, 6.55, 8.71],
+        rus_qnn: [2.17, 4.44, 6.53, 8.69],
+        dqt: [2.21, 4.29, 6.54, 8.67],
+        reset: 2.16,
+        random: [3.16, 4.39, 5.72, 6.69],
+    },
+    Table1Row {
+        method: "Salathe et al.",
+        qrw: [2.12, 10.69, 33.10, 53.40],
+        rcnot: [2.12, 4.30, 6.42, 8.62],
+        rus_qnn: [2.13, 4.31, 6.45, 8.64],
+        dqt: [2.11, 4.32, 6.40, 8.59],
+        reset: 2.11,
+        random: [3.07, 4.18, 5.50, 6.44],
+    },
+    Table1Row {
+        method: "Reuer et al.",
+        qrw: [2.43, 12.15, 37.21, 64.20],
+        rcnot: [2.40, 4.91, 7.37, 9.86],
+        rus_qnn: [2.37, 4.98, 7.36, 9.97],
+        dqt: [2.38, 4.86, 7.42, 9.81],
+        reset: 2.38,
+        random: [3.39, 4.58, 6.01, 7.10],
+    },
+    Table1Row {
+        method: "ARTERY",
+        qrw: [1.23, 6.12, 17.98, 29.82],
+        rcnot: [0.93, 1.85, 2.68, 3.39],
+        rus_qnn: [1.12, 2.45, 3.69, 4.72],
+        dqt: [1.07, 2.20, 3.41, 4.64],
+        reset: 2.01,
+        random: [2.34, 3.31, 4.06, 4.77],
+    },
+];
+
+/// Headline claim: ARTERY's average feedback latency vs QubiC (µs).
+pub const AVG_LATENCY_ARTERY_US: f64 = 1.04;
+/// QubiC's average feedback latency (µs).
+pub const AVG_LATENCY_QUBIC_US: f64 = 2.15;
+/// Headline speedup over QubiC.
+pub const SPEEDUP_VS_QUBIC: f64 = 2.07;
+
+/// Fig. 12 (a): QEC data-qubit correction speedup over QubiC.
+pub const QEC_CORRECTION_SPEEDUP: f64 = 4.80;
+/// Fig. 12 (a): syndrome reset latency, QubiC (µs).
+pub const QEC_RESET_QUBIC_US: f64 = 2.16;
+/// Fig. 12 (a): syndrome reset latency, ARTERY (µs).
+pub const QEC_RESET_ARTERY_US: f64 = 2.01;
+/// Fig. 12 (a): end-to-end QEC cycle, QubiC (µs).
+pub const QEC_CYCLE_QUBIC_US: f64 = 2.45;
+/// Fig. 12 (a): end-to-end QEC cycle, ARTERY (µs).
+pub const QEC_CYCLE_ARTERY_US: f64 = 2.31;
+
+/// Fig. 12 (b): logical-error-rate reduction vs QubiC.
+pub const QEC_LOGICAL_REDUCTION: f64 = 1.86;
+/// Fig. 12 (c): ARTERY logical error at cycle 25.
+pub const QEC_ARTERY_ERR_AT_25: f64 = 0.221;
+/// Fig. 12 (c): Google's reported logical error at cycle 25.
+pub const QEC_GOOGLE_ERR_AT_25: f64 = 0.446;
+/// Fig. 12 (d): largest distance where prediction still helps.
+pub const QEC_CROSSOVER_DISTANCE: usize = 13;
+
+/// Fig. 13: fidelity improvement factors vs the four baselines
+/// (QubiC, HERQULES, Salathé, Reuer).
+pub const FIDELITY_IMPROVEMENTS: [(&str, f64); 4] = [
+    ("QubiC", 1.24),
+    ("HERQULES", 1.22),
+    ("Salathe et al.", 1.19),
+    ("Reuer et al.", 1.29),
+];
+
+/// Fig. 14: history-only QEC prediction accuracy.
+pub const ABLATION_HISTORY_QEC_ACCURACY: f64 = 0.972;
+/// Fig. 14: history-only QEC latency (µs).
+pub const ABLATION_HISTORY_QEC_LATENCY_US: f64 = 0.386;
+/// Fig. 14: trajectory-only latency penalty vs full ARTERY.
+pub const ABLATION_TRAJECTORY_LATENCY_FACTOR: f64 = 1.47;
+
+/// Fig. 15 (a): (readout time µs, prediction accuracy) anchor points for
+/// the depth-10 RCNOT circuit.
+pub const FIG15A_POINTS: [(f64, f64); 2] = [(0.75, 0.827), (1.0, 0.906)];
+/// Fig. 15 (b): QEC accuracy mode and latency.
+pub const FIG15B_QEC: (f64, f64) = (0.970, 0.382);
+/// Fig. 15 (b): QRW accuracy range and latency.
+pub const FIG15B_QRW: ((f64, f64), f64) = ((0.846, 0.935), 1.227);
+/// Fig. 15 (b): RCNOT accuracy range and latency.
+pub const FIG15B_RCNOT: ((f64, f64), f64) = ((0.846, 0.935), 0.934);
+
+/// One Table 2 workload row: (bandwidth Gb/s, #DAC, latency ns) per codec.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Huffman: bandwidth, DACs, latency.
+    pub huffman: (f64, usize, f64),
+    /// Run-length: bandwidth, DACs, latency.
+    pub run_length: (f64, usize, f64),
+    /// Combined: bandwidth, DACs, latency.
+    pub combined: (f64, usize, f64),
+}
+
+/// Table 2 of the paper (raw pulse bandwidth is 64 Gb/s, 4 DACs).
+pub const TABLE2: [Table2Row; 3] = [
+    Table2Row {
+        workload: "QEC",
+        huffman: (27.5, 9, 18.9),
+        run_length: (11.9, 21, 12.3),
+        combined: (9.9, 25, 20.7),
+    },
+    Table2Row {
+        workload: "QRW",
+        huffman: (28.8, 8, 16.4),
+        run_length: (15.6, 16, 7.6),
+        combined: (13.1, 19, 13.5),
+    },
+    Table2Row {
+        workload: "RCNOT",
+        huffman: (26.4, 9, 17.2),
+        run_length: (14.0, 18, 12.5),
+        combined: (12.2, 20, 14.6),
+    },
+];
+
+/// §6.5: average bandwidth improvement of the combined codec.
+pub const COMBINED_BANDWIDTH_FACTOR: f64 = 4.7;
+
+/// Fig. 16: the window length minimizing latency (µs).
+pub const BEST_WINDOW_US: f64 = 0.03;
+/// Fig. 17: the tuned RCNOT threshold.
+pub const BEST_THRESHOLD: f64 = 0.91;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artery_wins_every_table1_column() {
+        let artery = &TABLE1[4];
+        for row in &TABLE1[..4] {
+            for i in 0..4 {
+                assert!(artery.qrw[i] < row.qrw[i]);
+                assert!(artery.rcnot[i] < row.rcnot[i]);
+                assert!(artery.rus_qnn[i] < row.rus_qnn[i]);
+                assert!(artery.dqt[i] < row.dqt[i]);
+                assert!(artery.random[i] < row.random[i]);
+            }
+            assert!(artery.reset < row.reset);
+        }
+    }
+
+    #[test]
+    fn headline_speedup_consistent() {
+        assert!((AVG_LATENCY_QUBIC_US / AVG_LATENCY_ARTERY_US - SPEEDUP_VS_QUBIC).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_combined_has_lowest_bandwidth() {
+        for row in &TABLE2 {
+            assert!(row.combined.0 < row.run_length.0);
+            assert!(row.run_length.0 < row.huffman.0);
+            assert!(row.combined.1 > row.huffman.1);
+        }
+    }
+}

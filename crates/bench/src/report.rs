@@ -1,0 +1,145 @@
+//! Terminal tables and JSON export for the experiment harnesses.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A simple aligned-column table printer.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are padded/truncated to the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(out, "{cell:<w$}  ");
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 2 decimals (table cells).
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals (probabilities).
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Directory where harnesses drop machine-readable results.
+#[must_use]
+pub fn experiments_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("experiments")
+}
+
+/// Writes `value` as pretty JSON to `target/experiments/<id>.json`.
+///
+/// # Panics
+///
+/// Panics when the directory cannot be created or the file written — a
+/// harness that cannot record its results should fail loudly.
+pub fn write_json<T: Serialize>(id: &str, value: &T) {
+    let dir = experiments_dir();
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join(format!("{id}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    fs::write(&path, json).expect("write results file");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Prints the standard harness banner.
+pub fn banner(id: &str, title: &str) {
+    println!("=== {id}: {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]).row(["long-name", "2.50"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn row_pads_missing_cells() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["only"]);
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f3(0.91), "0.910");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        #[derive(Serialize)]
+        struct S {
+            x: f64,
+        }
+        write_json("unit-test", &S { x: 1.5 });
+        let path = experiments_dir().join("unit-test.json");
+        let body = std::fs::read_to_string(path).expect("read back");
+        assert!(body.contains("1.5"));
+    }
+}

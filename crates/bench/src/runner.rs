@@ -1,0 +1,184 @@
+//! Shot loops shared by the experiment harnesses.
+
+use artery_circuit::Circuit;
+use artery_core::{ArteryConfig, ArteryController, Calibration};
+use artery_num::stats::Accumulator;
+use artery_sim::{Executor, FeedbackHandler, NoiseModel};
+use serde::Serialize;
+
+/// Aggregated latency/prediction results of one (circuit, controller) run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencySummary {
+    /// Mean total feedback latency per shot, µs (the Table 1 quantity).
+    pub total_feedback_us: f64,
+    /// Mean latency per individual feedback, µs.
+    pub per_feedback_us: f64,
+    /// Prediction accuracy over committed predictions (1.0 for baselines).
+    pub accuracy: f64,
+    /// Fraction of feedbacks with an early commitment (0 for baselines).
+    pub commit_rate: f64,
+    /// Mean end-to-end circuit time per shot (gates + feedback), µs — the
+    /// quantity Table 1 reports for the Random benchmark.
+    pub total_circuit_us: f64,
+    /// Measurement shots (after warm-up).
+    pub shots: usize,
+}
+
+/// Number of warm-up shots used to build per-site history before measuring
+/// (the paper trains on 1,000 sequences; history converges much faster).
+pub const WARMUP_SHOTS: usize = 60;
+
+/// Runs ARTERY on `circuit` and summarizes latency and accuracy.
+///
+/// History is warmed for [`WARMUP_SHOTS`] shots first, mirroring the paper's
+/// train/test split.
+#[must_use]
+pub fn run_artery(
+    circuit: &Circuit,
+    config: &ArteryConfig,
+    calibration: &Calibration,
+    shots: usize,
+    label: &str,
+) -> LatencySummary {
+    let mut exec = Executor::new(NoiseModel::noiseless());
+    let mut rng = artery_num::rng::rng_for(label);
+    let mut controller = ArteryController::new(circuit, config, calibration);
+    for _ in 0..WARMUP_SHOTS {
+        let _ = exec.run(circuit, &mut controller, &mut rng);
+    }
+    // Measure with fresh statistics but warmed history.
+    let warm_stats = controller.stats().clone();
+    let mut total = Accumulator::new();
+    let mut circuit_time = Accumulator::new();
+    for _ in 0..shots {
+        let rec = exec.run(circuit, &mut controller, &mut rng);
+        total.push(rec.total_feedback_us());
+        circuit_time.push(rec.total_ns / 1000.0);
+    }
+    let stats = controller.stats();
+    let resolved = stats.resolved - warm_stats.resolved;
+    let committed = stats.committed - warm_stats.committed;
+    let correct = stats.correct - warm_stats.correct;
+    LatencySummary {
+        total_feedback_us: total.mean(),
+        per_feedback_us: total.mean() / circuit.feedback_count() as f64,
+        accuracy: if committed == 0 {
+            1.0
+        } else {
+            correct as f64 / committed as f64
+        },
+        commit_rate: if resolved == 0 {
+            0.0
+        } else {
+            committed as f64 / resolved as f64
+        },
+        total_circuit_us: circuit_time.mean(),
+        shots,
+    }
+}
+
+/// Runs any sequential handler (the baselines) on `circuit`.
+#[must_use]
+pub fn run_handler<H: FeedbackHandler>(
+    circuit: &Circuit,
+    handler: &mut H,
+    shots: usize,
+    label: &str,
+) -> LatencySummary {
+    let mut exec = Executor::new(NoiseModel::noiseless());
+    let mut rng = artery_num::rng::rng_for(label);
+    let mut total = Accumulator::new();
+    let mut circuit_time = Accumulator::new();
+    for _ in 0..shots {
+        let rec = exec.run(circuit, handler, &mut rng);
+        total.push(rec.total_feedback_us());
+        circuit_time.push(rec.total_ns / 1000.0);
+    }
+    LatencySummary {
+        total_feedback_us: total.mean(),
+        per_feedback_us: total.mean() / circuit.feedback_count().max(1) as f64,
+        accuracy: 1.0,
+        commit_rate: 0.0,
+        total_circuit_us: circuit_time.mean(),
+        shots,
+    }
+}
+
+/// Mean conditional fidelity of `circuit` under a feedback handler: each
+/// shot runs under the calibrated noise model, then its measurement record
+/// is replayed noiselessly and the final states are compared.
+#[must_use]
+pub fn conditional_fidelity<H: FeedbackHandler>(
+    circuit: &Circuit,
+    handler: &mut H,
+    shots: usize,
+    label: &str,
+) -> f64 {
+    let mut noisy_exec = Executor::new(NoiseModel::paper_device());
+    let mut ref_exec = Executor::new(NoiseModel::noiseless());
+    let mut rng = artery_num::rng::rng_for(label);
+    let mut acc = Accumulator::new();
+    for _ in 0..shots {
+        let rec = noisy_exec.run(circuit, handler, &mut rng);
+        let script: Vec<bool> = rec.feedback_outcomes.iter().map(|&(_, o)| o).collect();
+        let mut reference = artery_sim::SequentialHandler::default();
+        let ideal = ref_exec.run_scripted(circuit, &mut reference, &script, &mut rng);
+        acc.push(ideal.final_state.fidelity(&rec.final_state));
+    }
+    acc.mean()
+}
+
+/// Conditional fidelity for ARTERY (owns the controller life cycle and
+/// warm-up).
+#[must_use]
+pub fn conditional_fidelity_artery(
+    circuit: &Circuit,
+    config: &ArteryConfig,
+    calibration: &Calibration,
+    shots: usize,
+    label: &str,
+) -> f64 {
+    let mut controller = ArteryController::new(circuit, config, calibration);
+    // Warm the history on the noiseless executor first.
+    let mut exec = Executor::new(NoiseModel::noiseless());
+    let mut rng = artery_num::rng::rng_for(&format!("{label}/warm"));
+    for _ in 0..WARMUP_SHOTS {
+        let _ = exec.run(circuit, &mut controller, &mut rng);
+    }
+    conditional_fidelity(circuit, &mut controller, shots, label)
+}
+
+/// Trains the shared calibration once for a configuration.
+#[must_use]
+pub fn calibration_for(config: &ArteryConfig, label: &str) -> Calibration {
+    let mut rng = artery_num::rng::rng_for(&format!("calibration/{label}"));
+    Calibration::train(config, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_baselines::Baseline;
+
+    #[test]
+    fn artery_beats_qubic_on_reset() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = calibration_for(&config, "runner-test");
+        let circuit = artery_workloads::active_reset(1);
+        let artery = run_artery(&circuit, &config, &cal, 40, "runner/artery");
+        let qubic = run_handler(&circuit, &mut Baseline::qubic(), 40, "runner/qubic");
+        assert!(artery.total_feedback_us < qubic.total_feedback_us);
+        assert!(artery.commit_rate > 0.5);
+    }
+
+    #[test]
+    fn fidelity_is_a_probability() {
+        let circuit = artery_workloads::dqt(2);
+        let f = conditional_fidelity(&circuit, &mut Baseline::qubic(), 20, "runner/fid");
+        assert!((0.0..=1.0).contains(&f));
+        assert!(f > 0.5, "fidelity {f} suspiciously low");
+    }
+}

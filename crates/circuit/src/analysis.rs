@@ -1,0 +1,331 @@
+//! Pre-execution legality analysis — the four cases of the paper's §3.
+//!
+//! Given a feedback site, ARTERY must decide whether the predicted branch can
+//! be pre-executed while the readout is still in flight, and if so how:
+//!
+//! * **Case 1 (independent):** every branch operation avoids the measured
+//!   qubit. The branch can be pre-executed in place and undone with inverse
+//!   gates on a misprediction. This covers data-qubit correction in QEC,
+//!   magic-state injection and remote-entanglement circuits.
+//! * **Case 2 (ancilla remap):** the branch contains multi-qubit gates that
+//!   involve the measured qubit. The measured qubit is busy during readout,
+//!   but after readout it holds a classical state which can be pre-prepared
+//!   on an ancilla; the branch is pre-executed with the measured qubit
+//!   remapped to that ancilla, and the original qubit is recycled.
+//! * **Case 3 (on measured qubit):** the branch must act on the measured
+//!   qubit itself (active reset). Pre-execution cannot start early, but the
+//!   prediction lets the pulse fire the moment the readout window closes,
+//!   eliminating the classical-processing latency (> 100 ns).
+//! * **Case 4 (not pre-executable):** the branch contains a measurement.
+//!   Measurements are irreversible, so a misprediction could not be rolled
+//!   back; ARTERY falls back to sequential feedback.
+//!
+//! The classification is per-feedback-site and purely structural, so it runs
+//! once at compile time (`analyze_circuit`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::{BranchOp, Circuit, Feedback, FeedbackSite, Qubit};
+
+/// Which of the paper's §3 cases a feedback site falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PreExecCase {
+    /// Case 1: branch independent of the measured qubit; pre-execute in
+    /// place.
+    Independent,
+    /// Case 2: branch involves the measured qubit through multi-qubit gates;
+    /// pre-execute on an ancilla substitute.
+    AncillaRemap,
+    /// Case 3: branch acts only on the measured qubit (reset-style);
+    /// prediction arms the pulse for the end of readout.
+    OnMeasuredQubit,
+    /// Case 4: branch contains an irreversible operation; not
+    /// pre-executable.
+    NotPreExecutable,
+}
+
+impl PreExecCase {
+    /// Whether any latency can be hidden at this site.
+    ///
+    /// Cases 1–3 all benefit (cases 1–2 hide readout *and* processing time,
+    /// case 3 hides processing time only); case 4 gains nothing.
+    #[must_use]
+    pub fn benefits_from_prediction(&self) -> bool {
+        !matches!(self, PreExecCase::NotPreExecutable)
+    }
+
+    /// Whether the branch gates themselves can run during the readout
+    /// (cases 1 and 2) as opposed to merely being armed for its end (case 3).
+    #[must_use]
+    pub fn overlaps_readout(&self) -> bool {
+        matches!(self, PreExecCase::Independent | PreExecCase::AncillaRemap)
+    }
+}
+
+/// Result of analysing one feedback site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteAnalysis {
+    /// The site the analysis refers to.
+    pub site: FeedbackSite,
+    /// Its classification.
+    pub case: PreExecCase,
+    /// Ancilla qubit allocated for case 2 (`None` otherwise).
+    pub ancilla: Option<Qubit>,
+    /// Branch-0 pulse duration in nanoseconds (recovery cost bookkeeping).
+    pub branch0_ns: f64,
+    /// Branch-1 pulse duration in nanoseconds.
+    pub branch1_ns: f64,
+}
+
+impl SiteAnalysis {
+    /// Worst-case recovery pulse time on a misprediction: undo the
+    /// pre-executed branch, then run the other branch.
+    #[must_use]
+    pub fn recovery_ns(&self, predicted: bool) -> f64 {
+        let (pre, other) = if predicted {
+            (self.branch1_ns, self.branch0_ns)
+        } else {
+            (self.branch0_ns, self.branch1_ns)
+        };
+        match self.case {
+            // Undo (same duration as the branch, gates are inverted
+            // one-for-one) + correct branch.
+            PreExecCase::Independent | PreExecCase::AncillaRemap => pre + other,
+            // Nothing was physically applied before readout end; the wrongly
+            // armed pulse is replaced, costing one extra branch execution.
+            PreExecCase::OnMeasuredQubit => other,
+            PreExecCase::NotPreExecutable => 0.0,
+        }
+    }
+}
+
+/// Classifies a single feedback instruction.
+///
+/// # Examples
+///
+/// ```
+/// use artery_circuit::{CircuitBuilder, Gate, Qubit};
+/// use artery_circuit::analysis::{classify_feedback, PreExecCase};
+///
+/// let mut b = CircuitBuilder::new(2);
+/// b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
+/// let c = b.build();
+/// let fb = c.feedback_sites().next().unwrap();
+/// assert_eq!(classify_feedback(fb), PreExecCase::Independent);
+/// ```
+#[must_use]
+pub fn classify_feedback(fb: &Feedback) -> PreExecCase {
+    let ops = fb.branch0.iter().chain(fb.branch1.iter());
+    let mut touches_measured = false;
+    let mut multi_qubit_on_measured = false;
+    let mut only_measured = true;
+    let mut any_op = false;
+    for op in ops {
+        any_op = true;
+        // Measurements and resets are irreversible: a mispredicted branch
+        // containing one could not be rolled back (case 4).
+        if matches!(op, BranchOp::Measure(..) | BranchOp::Reset(_)) {
+            return PreExecCase::NotPreExecutable;
+        }
+        let qs = op.qubits();
+        let on_measured = qs.contains(&fb.measured);
+        touches_measured |= on_measured;
+        if on_measured && qs.len() > 1 {
+            multi_qubit_on_measured = true;
+        }
+        if qs.iter().any(|q| *q != fb.measured) {
+            only_measured = false;
+        }
+    }
+    if !any_op || !touches_measured {
+        PreExecCase::Independent
+    } else if multi_qubit_on_measured || !only_measured {
+        // The measured qubit participates alongside other qubits: its
+        // post-collapse classical state can be re-prepared on an ancilla and
+        // the dependent gates pre-executed there (case 2).
+        PreExecCase::AncillaRemap
+    } else {
+        PreExecCase::OnMeasuredQubit
+    }
+}
+
+/// Analyses every feedback site of `circuit`, allocating case-2 ancillas
+/// above the existing qubit register.
+///
+/// Returned analyses are in feedback-site order. Each case-2 site receives a
+/// distinct ancilla (the paper recycles the measured qubit after readout, so
+/// one ancilla per concurrently-active site is the worst case; allocating per
+/// site is conservative and simple).
+#[must_use]
+pub fn analyze_circuit(circuit: &Circuit) -> Vec<SiteAnalysis> {
+    let mut next_ancilla = circuit.num_qubits();
+    circuit
+        .feedback_sites()
+        .map(|fb| {
+            let case = classify_feedback(fb);
+            let ancilla = if case == PreExecCase::AncillaRemap {
+                let a = Qubit(next_ancilla);
+                next_ancilla += 1;
+                Some(a)
+            } else {
+                None
+            };
+            SiteAnalysis {
+                site: fb.site,
+                case,
+                ancilla,
+                branch0_ns: fb.branch_duration_ns(false),
+                branch1_ns: fb.branch_duration_ns(true),
+            }
+        })
+        .collect()
+}
+
+/// Rewrites a branch so that operations on `from` act on `to` instead —
+/// the ancilla remapping of case 2.
+#[must_use]
+pub fn remap_branch(branch: &[BranchOp], from: Qubit, to: Qubit) -> Vec<BranchOp> {
+    branch
+        .iter()
+        .map(|op| match op {
+            BranchOp::Gate(g) => {
+                let qubits: Vec<Qubit> = g
+                    .qubits
+                    .iter()
+                    .map(|q| if *q == from { to } else { *q })
+                    .collect();
+                BranchOp::Gate(crate::circuit::GateApp::new(g.gate, &qubits))
+            }
+            BranchOp::Reset(q) => BranchOp::Reset(if *q == from { to } else { *q }),
+            BranchOp::Measure(q, c) => {
+                BranchOp::Measure(if *q == from { to } else { *q }, *c)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{CircuitBuilder, Clbit};
+    use crate::gate::Gate;
+
+    fn single_feedback(build: impl FnOnce(&mut CircuitBuilder)) -> (Circuit, PreExecCase) {
+        let mut b = CircuitBuilder::new(4);
+        build(&mut b);
+        let c = b.build();
+        let case = classify_feedback(c.feedback_sites().next().expect("one feedback"));
+        (c, case)
+    }
+
+    #[test]
+    fn case1_branch_on_other_qubit() {
+        let (_, case) = single_feedback(|b| {
+            b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(2)]).finish();
+        });
+        assert_eq!(case, PreExecCase::Independent);
+        assert!(case.benefits_from_prediction());
+        assert!(case.overlaps_readout());
+    }
+
+    #[test]
+    fn case1_empty_branches() {
+        let (_, case) = single_feedback(|b| {
+            b.feedback(Qubit(0)).finish();
+        });
+        assert_eq!(case, PreExecCase::Independent);
+    }
+
+    #[test]
+    fn case2_two_qubit_gate_on_measured() {
+        let (_, case) = single_feedback(|b| {
+            b.feedback(Qubit(1))
+                .on_one(Gate::CZ, &[Qubit(1), Qubit(2)])
+                .finish();
+        });
+        assert_eq!(case, PreExecCase::AncillaRemap);
+        assert!(case.overlaps_readout());
+    }
+
+    #[test]
+    fn case2_mixed_targets() {
+        // Single-qubit gates on the measured qubit *and* on others: the
+        // measured qubit's part must move to an ancilla.
+        let (_, case) = single_feedback(|b| {
+            b.feedback(Qubit(0))
+                .on_one(Gate::X, &[Qubit(0)])
+                .on_one(Gate::X, &[Qubit(1)])
+                .finish();
+        });
+        assert_eq!(case, PreExecCase::AncillaRemap);
+    }
+
+    #[test]
+    fn case3_reset_pattern() {
+        let (_, case) = single_feedback(|b| {
+            b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(0)]).finish();
+        });
+        assert_eq!(case, PreExecCase::OnMeasuredQubit);
+        assert!(case.benefits_from_prediction());
+        assert!(!case.overlaps_readout());
+    }
+
+    #[test]
+    fn case4_branch_measurement() {
+        let (_, case) = single_feedback(|b| {
+            b.feedback(Qubit(0))
+                .op_on_one(BranchOp::Measure(Qubit(2), Clbit(7)))
+                .finish();
+        });
+        assert_eq!(case, PreExecCase::NotPreExecutable);
+        assert!(!case.benefits_from_prediction());
+    }
+
+    #[test]
+    fn analyze_allocates_distinct_ancillas() {
+        let mut b = CircuitBuilder::new(3);
+        b.feedback(Qubit(0))
+            .on_one(Gate::CZ, &[Qubit(0), Qubit(1)])
+            .finish();
+        b.feedback(Qubit(1))
+            .on_one(Gate::CZ, &[Qubit(1), Qubit(2)])
+            .finish();
+        let c = b.build();
+        let analyses = analyze_circuit(&c);
+        assert_eq!(analyses.len(), 2);
+        assert_eq!(analyses[0].ancilla, Some(Qubit(3)));
+        assert_eq!(analyses[1].ancilla, Some(Qubit(4)));
+    }
+
+    #[test]
+    fn recovery_cost_cases() {
+        let mut b = CircuitBuilder::new(2);
+        b.feedback(Qubit(0))
+            .on_one(Gate::X, &[Qubit(1)]) // 30 ns
+            .on_zero(Gate::CZ, &[Qubit(0), Qubit(1)]) // 60 ns, forces case 2
+            .finish();
+        let c = b.build();
+        let a = &analyze_circuit(&c)[0];
+        assert_eq!(a.case, PreExecCase::AncillaRemap);
+        // Predicted 1, actually 0: undo 30 ns then apply 60 ns.
+        assert_eq!(a.recovery_ns(true), 90.0);
+        // Predicted 0, actually 1: undo 60 ns then apply 30 ns.
+        assert_eq!(a.recovery_ns(false), 90.0);
+    }
+
+    #[test]
+    fn remap_branch_moves_only_target() {
+        let branch = vec![
+            BranchOp::Gate(crate::circuit::GateApp::new(
+                Gate::CZ,
+                &[Qubit(0), Qubit(1)],
+            )),
+            BranchOp::Reset(Qubit(0)),
+            BranchOp::Gate(crate::circuit::GateApp::new(Gate::X, &[Qubit(1)])),
+        ];
+        let out = remap_branch(&branch, Qubit(0), Qubit(9));
+        assert_eq!(out[0].qubits(), vec![Qubit(9), Qubit(1)]);
+        assert_eq!(out[1].qubits(), vec![Qubit(9)]);
+        assert_eq!(out[2].qubits(), vec![Qubit(1)]);
+    }
+}

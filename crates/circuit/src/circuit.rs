@@ -1,0 +1,600 @@
+//! The dynamic-circuit IR: instructions, feedback sites and the builder.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::Gate;
+
+/// Index of a qubit within a circuit.
+///
+/// A newtype so qubit and classical-bit indices cannot be confused
+/// (C-NEWTYPE).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Qubit(pub usize);
+
+/// Index of a classical bit (measurement destination) within a circuit.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Clbit(pub usize);
+
+/// Stable identifier of a feedback site inside a circuit.
+///
+/// The branch predictor keeps per-site history statistics; the identifier is
+/// the ordinal of the feedback instruction in program order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FeedbackSite(pub usize);
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Display for Clbit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for FeedbackSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fb{}", self.0)
+    }
+}
+
+/// A gate applied to specific qubits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateApp {
+    /// The gate.
+    pub gate: Gate,
+    /// Target qubits; length must equal `gate.num_qubits()`.
+    pub qubits: Vec<Qubit>,
+}
+
+impl GateApp {
+    /// Creates a gate application, validating the qubit count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `qubits.len() != gate.num_qubits()` or when a two-qubit
+    /// gate targets the same qubit twice.
+    #[must_use]
+    pub fn new(gate: Gate, qubits: &[Qubit]) -> Self {
+        assert_eq!(
+            qubits.len(),
+            gate.num_qubits(),
+            "gate {gate} expects {} qubit(s), got {}",
+            gate.num_qubits(),
+            qubits.len()
+        );
+        if qubits.len() == 2 {
+            assert_ne!(qubits[0], qubits[1], "two-qubit gate with duplicated qubit");
+        }
+        Self {
+            gate,
+            qubits: qubits.to_vec(),
+        }
+    }
+
+    /// The inverse application (same qubits, inverse gate).
+    #[must_use]
+    pub fn inverse(&self) -> GateApp {
+        GateApp {
+            gate: self.gate.inverse(),
+            qubits: self.qubits.clone(),
+        }
+    }
+
+    /// Whether the application touches `q`.
+    #[must_use]
+    pub fn touches(&self, q: Qubit) -> bool {
+        self.qubits.contains(&q)
+    }
+}
+
+impl fmt::Display for GateApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.gate)?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One operation inside a feedback branch.
+///
+/// Branches are restricted to gates, resets and measurements; nesting
+/// feedback inside feedback is intentionally unsupported (the paper's
+/// workloads never require it, and it keeps the pre-execution analysis exact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BranchOp {
+    /// Apply a gate.
+    Gate(GateApp),
+    /// Reset a qubit to `|0⟩`.
+    Reset(Qubit),
+    /// Measure a qubit into a classical bit (makes the branch
+    /// non-pre-executable — case 4).
+    Measure(Qubit, Clbit),
+}
+
+impl BranchOp {
+    /// Qubits touched by the operation.
+    #[must_use]
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match self {
+            BranchOp::Gate(g) => g.qubits.clone(),
+            BranchOp::Reset(q) | BranchOp::Measure(q, _) => vec![*q],
+        }
+    }
+
+    /// Whether this operation is reversible (gates are; reset and
+    /// measurement are not).
+    #[must_use]
+    pub fn is_reversible(&self) -> bool {
+        matches!(self, BranchOp::Gate(_))
+    }
+
+    /// Total pulse duration of the operation in nanoseconds (measurement
+    /// duration is readout-pulse-level and accounted by the engine, so it is
+    /// 0 here).
+    #[must_use]
+    pub fn duration_ns(&self) -> f64 {
+        match self {
+            BranchOp::Gate(g) => g.gate.duration_ns(),
+            // A reset in a branch is realized as a conditional X pulse.
+            BranchOp::Reset(_) => crate::gate::XY_PULSE_NS,
+            BranchOp::Measure(..) => 0.0,
+        }
+    }
+}
+
+/// A mid-circuit measurement with outcome-dependent branches — the feedback
+/// construct ARTERY accelerates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Feedback {
+    /// Site identifier (ordinal among the circuit's feedback instructions).
+    pub site: FeedbackSite,
+    /// The qubit that is read out.
+    pub measured: Qubit,
+    /// Classical bit receiving the outcome.
+    pub cbit: Clbit,
+    /// Operations applied when the outcome is 0.
+    pub branch0: Vec<BranchOp>,
+    /// Operations applied when the outcome is 1.
+    pub branch1: Vec<BranchOp>,
+}
+
+impl Feedback {
+    /// The branch selected by `outcome`.
+    #[must_use]
+    pub fn branch(&self, outcome: bool) -> &[BranchOp] {
+        if outcome {
+            &self.branch1
+        } else {
+            &self.branch0
+        }
+    }
+
+    /// All qubits either branch touches (excluding the measured qubit's
+    /// readout itself).
+    #[must_use]
+    pub fn branch_qubits(&self) -> Vec<Qubit> {
+        let mut out: Vec<Qubit> = self
+            .branch0
+            .iter()
+            .chain(self.branch1.iter())
+            .flat_map(BranchOp::qubits)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Sum of gate durations of the given branch, in nanoseconds.
+    #[must_use]
+    pub fn branch_duration_ns(&self, outcome: bool) -> f64 {
+        self.branch(outcome).iter().map(BranchOp::duration_ns).sum()
+    }
+}
+
+/// One instruction of a dynamic circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Unconditional gate.
+    Gate(GateApp),
+    /// Unconditional terminal measurement.
+    Measure(Qubit, Clbit),
+    /// Unconditional reset to `|0⟩`.
+    Reset(Qubit),
+    /// Mid-circuit measurement with conditional branches.
+    Feedback(Feedback),
+}
+
+impl Instruction {
+    /// Qubits touched by the instruction, including feedback branch qubits.
+    #[must_use]
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match self {
+            Instruction::Gate(g) => g.qubits.clone(),
+            Instruction::Measure(q, _) | Instruction::Reset(q) => vec![*q],
+            Instruction::Feedback(fb) => {
+                let mut qs = fb.branch_qubits();
+                if !qs.contains(&fb.measured) {
+                    qs.push(fb.measured);
+                    qs.sort_unstable();
+                }
+                qs
+            }
+        }
+    }
+}
+
+/// A dynamic quantum circuit: a program-ordered instruction list over
+/// `num_qubits` qubits and `num_clbits` classical bits.
+///
+/// Construct circuits through [`CircuitBuilder`]; the builder assigns
+/// classical bits and feedback-site identifiers and validates qubit indices.
+///
+/// # Examples
+///
+/// ```
+/// use artery_circuit::{CircuitBuilder, Gate, Qubit};
+///
+/// let mut b = CircuitBuilder::new(2);
+/// b.gate(Gate::H, &[Qubit(0)]);
+/// b.gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+/// let c = b.build();
+/// assert_eq!(c.num_qubits(), 2);
+/// assert_eq!(c.gate_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    #[must_use]
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Program-ordered instructions.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Iterator over the feedback instructions in program order.
+    pub fn feedback_sites(&self) -> impl Iterator<Item = &Feedback> {
+        self.instructions.iter().filter_map(|inst| match inst {
+            Instruction::Feedback(fb) => Some(fb),
+            _ => None,
+        })
+    }
+
+    /// Number of unconditional gates (excludes branch contents).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::Gate(_)))
+            .count()
+    }
+
+    /// Number of feedback instructions.
+    #[must_use]
+    pub fn feedback_count(&self) -> usize {
+        self.feedback_sites().count()
+    }
+
+    /// Total physical pulse time of the unconditional gates, nanoseconds.
+    #[must_use]
+    pub fn unconditional_gate_time_ns(&self) -> f64 {
+        self.instructions
+            .iter()
+            .filter_map(|i| match i {
+                Instruction::Gate(g) => Some(g.gate.duration_ns()),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Incremental [`Circuit`] constructor.
+///
+/// Non-consuming builder (gates can be appended in loops); [`build`] consumes
+/// it to freeze the instruction list.
+///
+/// [`build`]: CircuitBuilder::build
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBuilder {
+    num_qubits: usize,
+    num_clbits: usize,
+    next_site: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl CircuitBuilder {
+    /// Starts a circuit over `num_qubits` qubits.
+    #[must_use]
+    pub fn new(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            num_clbits: 0,
+            next_site: 0,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Grows the qubit register if `q` is outside it (workload generators use
+    /// this to allocate ancillas lazily).
+    pub fn ensure_qubit(&mut self, q: Qubit) -> &mut Self {
+        self.num_qubits = self.num_qubits.max(q.0 + 1);
+        self
+    }
+
+    fn check_qubits(&self, qubits: &[Qubit]) {
+        for q in qubits {
+            assert!(
+                q.0 < self.num_qubits,
+                "qubit {q} out of range for a {}-qubit circuit",
+                self.num_qubits
+            );
+        }
+    }
+
+    /// Appends an unconditional gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a qubit index is out of range or the arity is wrong.
+    pub fn gate(&mut self, gate: Gate, qubits: &[Qubit]) -> &mut Self {
+        self.check_qubits(qubits);
+        self.instructions
+            .push(Instruction::Gate(GateApp::new(gate, qubits)));
+        self
+    }
+
+    /// Appends a terminal measurement; allocates and returns its classical
+    /// bit.
+    pub fn measure(&mut self, q: Qubit) -> Clbit {
+        self.check_qubits(&[q]);
+        let cbit = Clbit(self.num_clbits);
+        self.num_clbits += 1;
+        self.instructions.push(Instruction::Measure(q, cbit));
+        cbit
+    }
+
+    /// Appends an unconditional reset.
+    pub fn reset(&mut self, q: Qubit) -> &mut Self {
+        self.check_qubits(&[q]);
+        self.instructions.push(Instruction::Reset(q));
+        self
+    }
+
+    /// Opens a feedback instruction reading `measured`; finish with
+    /// [`FeedbackBuilder::finish`].
+    pub fn feedback(&mut self, measured: Qubit) -> FeedbackBuilder<'_> {
+        self.check_qubits(&[measured]);
+        let cbit = Clbit(self.num_clbits);
+        self.num_clbits += 1;
+        let site = FeedbackSite(self.next_site);
+        self.next_site += 1;
+        FeedbackBuilder {
+            parent: self,
+            feedback: Feedback {
+                site,
+                measured,
+                cbit,
+                branch0: Vec::new(),
+                branch1: Vec::new(),
+            },
+        }
+    }
+
+    /// Freezes the builder into a [`Circuit`].
+    #[must_use]
+    pub fn build(self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            num_clbits: self.num_clbits,
+            instructions: self.instructions,
+        }
+    }
+}
+
+/// Builder for one feedback instruction; returned by
+/// [`CircuitBuilder::feedback`].
+#[derive(Debug)]
+pub struct FeedbackBuilder<'a> {
+    parent: &'a mut CircuitBuilder,
+    feedback: Feedback,
+}
+
+impl FeedbackBuilder<'_> {
+    /// Adds a gate to the outcome-0 branch.
+    #[must_use]
+    pub fn on_zero(mut self, gate: Gate, qubits: &[Qubit]) -> Self {
+        self.parent.check_qubits(qubits);
+        self.feedback
+            .branch0
+            .push(BranchOp::Gate(GateApp::new(gate, qubits)));
+        self
+    }
+
+    /// Adds a gate to the outcome-1 branch.
+    #[must_use]
+    pub fn on_one(mut self, gate: Gate, qubits: &[Qubit]) -> Self {
+        self.parent.check_qubits(qubits);
+        self.feedback
+            .branch1
+            .push(BranchOp::Gate(GateApp::new(gate, qubits)));
+        self
+    }
+
+    /// Adds an arbitrary branch operation to the outcome-0 branch.
+    #[must_use]
+    pub fn op_on_zero(mut self, op: BranchOp) -> Self {
+        self.parent.check_qubits(&op.qubits());
+        self.feedback.branch0.push(op);
+        self
+    }
+
+    /// Adds an arbitrary branch operation to the outcome-1 branch.
+    #[must_use]
+    pub fn op_on_one(mut self, op: BranchOp) -> Self {
+        self.parent.check_qubits(&op.qubits());
+        self.feedback.branch1.push(op);
+        self
+    }
+
+    /// Seals the feedback instruction, returning its site identifier.
+    pub fn finish(self) -> FeedbackSite {
+        let site = self.feedback.site;
+        self.parent
+            .instructions
+            .push(Instruction::Feedback(self.feedback));
+        site
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_registers() {
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::H, &[Qubit(0)]);
+        let c0 = b.measure(Qubit(0));
+        let site = b.feedback(Qubit(1)).on_one(Gate::X, &[Qubit(0)]).finish();
+        let c = b.build();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.num_clbits(), 2);
+        assert_eq!(c0, Clbit(0));
+        assert_eq!(site, FeedbackSite(0));
+        assert_eq!(c.feedback_count(), 1);
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn feedback_sites_number_sequentially() {
+        let mut b = CircuitBuilder::new(1);
+        let s0 = b.feedback(Qubit(0)).finish();
+        let s1 = b.feedback(Qubit(0)).finish();
+        assert_eq!((s0, s1), (FeedbackSite(0), FeedbackSite(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gate_on_missing_qubit_panics() {
+        let mut b = CircuitBuilder::new(1);
+        b.gate(Gate::X, &[Qubit(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn wrong_arity_panics() {
+        let _ = GateApp::new(Gate::CZ, &[Qubit(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicated")]
+    fn duplicate_qubits_panic() {
+        let _ = GateApp::new(Gate::CZ, &[Qubit(0), Qubit(0)]);
+    }
+
+    #[test]
+    fn branch_selection() {
+        let mut b = CircuitBuilder::new(2);
+        b.feedback(Qubit(0))
+            .on_zero(Gate::Z, &[Qubit(1)])
+            .on_one(Gate::X, &[Qubit(1)])
+            .finish();
+        let c = b.build();
+        let fb = c.feedback_sites().next().expect("one site");
+        assert_eq!(fb.branch(false).len(), 1);
+        assert!(matches!(
+            fb.branch(true)[0],
+            BranchOp::Gate(GateApp { gate: Gate::X, .. })
+        ));
+    }
+
+    #[test]
+    fn branch_qubits_deduplicated_and_sorted() {
+        let mut b = CircuitBuilder::new(3);
+        b.feedback(Qubit(0))
+            .on_one(Gate::CZ, &[Qubit(2), Qubit(1)])
+            .on_zero(Gate::X, &[Qubit(1)])
+            .finish();
+        let c = b.build();
+        let fb = c.feedback_sites().next().expect("one site");
+        assert_eq!(fb.branch_qubits(), vec![Qubit(1), Qubit(2)]);
+    }
+
+    #[test]
+    fn gate_app_inverse_round_trip() {
+        let app = GateApp::new(Gate::RX(0.7), &[Qubit(0)]);
+        assert_eq!(app.inverse().inverse(), app);
+    }
+
+    #[test]
+    fn branch_duration_sums_gates() {
+        let mut b = CircuitBuilder::new(2);
+        b.feedback(Qubit(0))
+            .on_one(Gate::X, &[Qubit(1)])
+            .on_one(Gate::CZ, &[Qubit(0), Qubit(1)])
+            .finish();
+        let c = b.build();
+        let fb = c.feedback_sites().next().expect("site");
+        assert_eq!(fb.branch_duration_ns(true), 30.0 + 60.0);
+        assert_eq!(fb.branch_duration_ns(false), 0.0);
+    }
+
+    #[test]
+    fn instruction_qubits_include_measured() {
+        let mut b = CircuitBuilder::new(2);
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
+        let c = b.build();
+        assert_eq!(
+            c.instructions()[0].qubits(),
+            vec![Qubit(0), Qubit(1)]
+        );
+    }
+
+    #[test]
+    fn ensure_qubit_grows_register() {
+        let mut b = CircuitBuilder::new(1);
+        b.ensure_qubit(Qubit(4));
+        b.gate(Gate::X, &[Qubit(4)]);
+        assert_eq!(b.build().num_qubits(), 5);
+    }
+
+    #[test]
+    fn unconditional_gate_time() {
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::X, &[Qubit(0)]);
+        b.gate(Gate::CZ, &[Qubit(0), Qubit(1)]);
+        b.gate(Gate::RZ(0.3), &[Qubit(1)]);
+        assert_eq!(b.build().unconditional_gate_time_ns(), 90.0);
+    }
+}

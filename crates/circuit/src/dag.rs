@@ -1,0 +1,220 @@
+//! Dependency DAG over circuit instructions.
+//!
+//! The paper frames gate pre-execution as "altering the temporal ordering of
+//! operations within the directed acyclic graph (DAG) of the quantum
+//! circuit" (§3). This module materializes that DAG: instructions are nodes,
+//! and an edge connects two instructions when they share a qubit or a
+//! classical bit (the earlier one must retire first). The engine uses it for
+//! as-soon-as-possible layering (circuit depth, idle-time accounting) and the
+//! analysis module uses it to find which qubits are busy when a feedback's
+//! readout begins.
+
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, Qubit};
+
+/// Dependency DAG of a [`Circuit`].
+///
+/// # Examples
+///
+/// ```
+/// use artery_circuit::{CircuitBuilder, Gate, Qubit};
+/// use artery_circuit::dag::CircuitDag;
+///
+/// let mut b = CircuitBuilder::new(2);
+/// b.gate(Gate::H, &[Qubit(0)]);
+/// b.gate(Gate::H, &[Qubit(1)]);            // independent of the first H
+/// b.gate(Gate::CZ, &[Qubit(0), Qubit(1)]); // depends on both
+/// let dag = CircuitDag::build(&b.build());
+/// assert_eq!(dag.depth(), 2);
+/// assert_eq!(dag.layers()[0], vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitDag {
+    /// `succs[i]` lists instruction indices that directly depend on `i`.
+    succs: Vec<Vec<usize>>,
+    /// `preds[i]` lists direct dependencies of `i`.
+    preds: Vec<Vec<usize>>,
+    /// ASAP layer index of every instruction.
+    layer_of: Vec<usize>,
+    /// Instructions grouped by ASAP layer.
+    layers: Vec<Vec<usize>>,
+}
+
+impl CircuitDag {
+    /// Builds the DAG of `circuit`.
+    #[must_use]
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.instructions().len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        // Last writer per qubit; classical bits are written once (builder
+        // allocates a fresh clbit per measurement), so qubit chains suffice.
+        let mut last_on_qubit: HashMap<Qubit, usize> = HashMap::new();
+        for (i, inst) in circuit.instructions().iter().enumerate() {
+            let mut deps: Vec<usize> = inst
+                .qubits()
+                .iter()
+                .filter_map(|q| last_on_qubit.get(q).copied())
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            for d in deps {
+                succs[d].push(i);
+                preds[i].push(d);
+            }
+            for q in inst.qubits() {
+                last_on_qubit.insert(q, i);
+            }
+        }
+        // ASAP layering.
+        let mut layer_of = vec![0usize; n];
+        for i in 0..n {
+            layer_of[i] = preds[i]
+                .iter()
+                .map(|&p| layer_of[p] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let depth = layer_of.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut layers = vec![Vec::new(); depth];
+        for (i, &l) in layer_of.iter().enumerate() {
+            layers[l].push(i);
+        }
+        Self {
+            succs,
+            preds,
+            layer_of,
+            layers,
+        }
+    }
+
+    /// Direct dependents of instruction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Direct dependencies of instruction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// ASAP layer of instruction `i` (0 = no dependencies).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn layer(&self, i: usize) -> usize {
+        self.layer_of[i]
+    }
+
+    /// Instructions grouped by ASAP layer, in layer order.
+    #[must_use]
+    pub fn layers(&self) -> &[Vec<usize>] {
+        &self.layers
+    }
+
+    /// Circuit depth (number of ASAP layers).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` when instruction `a` transitively precedes `b`.
+    #[must_use]
+    pub fn reaches(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        // DFS; DAGs here are small (thousands of nodes at most).
+        let mut stack = vec![a];
+        let mut seen = vec![false; self.succs.len()];
+        while let Some(x) = stack.pop() {
+            if x == b {
+                return true;
+            }
+            for &s in &self.succs[x] {
+                if !seen[s] && self.layer_of[s] <= self.layer_of[b] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::gate::Gate;
+
+    fn chain_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::H, &[Qubit(0)]); // 0
+        b.gate(Gate::CNOT, &[Qubit(0), Qubit(1)]); // 1
+        b.gate(Gate::X, &[Qubit(1)]); // 2
+        b.build()
+    }
+
+    #[test]
+    fn chain_has_linear_layers() {
+        let dag = CircuitDag::build(&chain_circuit());
+        assert_eq!(dag.depth(), 3);
+        assert_eq!(dag.layer(0), 0);
+        assert_eq!(dag.layer(1), 1);
+        assert_eq!(dag.layer(2), 2);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.successors(1), &[2]);
+    }
+
+    #[test]
+    fn independent_gates_share_a_layer() {
+        let mut b = CircuitBuilder::new(3);
+        b.gate(Gate::X, &[Qubit(0)]);
+        b.gate(Gate::X, &[Qubit(1)]);
+        b.gate(Gate::X, &[Qubit(2)]);
+        let dag = CircuitDag::build(&b.build());
+        assert_eq!(dag.depth(), 1);
+        assert_eq!(dag.layers()[0].len(), 3);
+    }
+
+    #[test]
+    fn feedback_depends_on_prior_ops_of_all_its_qubits() {
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::H, &[Qubit(0)]); // 0
+        b.gate(Gate::X, &[Qubit(1)]); // 1
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish(); // 2
+        let dag = CircuitDag::build(&b.build());
+        let mut preds = dag.predecessors(2).to_vec();
+        preds.sort_unstable();
+        assert_eq!(preds, vec![0, 1]);
+    }
+
+    #[test]
+    fn reachability() {
+        let dag = CircuitDag::build(&chain_circuit());
+        assert!(dag.reaches(0, 2));
+        assert!(dag.reaches(1, 1));
+        assert!(!dag.reaches(2, 0));
+    }
+
+    #[test]
+    fn empty_circuit_dag() {
+        let dag = CircuitDag::build(&CircuitBuilder::new(1).build());
+        assert_eq!(dag.depth(), 0);
+        assert!(dag.layers().is_empty());
+    }
+}

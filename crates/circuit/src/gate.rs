@@ -1,0 +1,371 @@
+//! The calibrated gate set of the evaluation platform.
+//!
+//! The paper's device exposes RX, RY, RZ and CZ as basis gates; RZ is a
+//! *virtual* gate implemented as a frame update and therefore free (McKay et
+//! al., cited as [33] in the paper). Common Cliffords (X, Y, Z, H, S, T,
+//! CNOT, SWAP) are provided as named gates because the workload generators
+//! use them heavily; their durations reflect their decomposition onto the
+//! basis set (XY pulses take 30 ns, CZ takes 60 ns — §5.4).
+
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, FRAC_PI_4, PI};
+use std::fmt;
+
+use artery_num::Complex64;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::{GateMatrix, Matrix4};
+
+/// Duration of a physical single-qubit XY pulse in nanoseconds (§5.4).
+pub const XY_PULSE_NS: f64 = 30.0;
+/// Duration of a CZ pulse in nanoseconds (§5.4).
+pub const CZ_PULSE_NS: f64 = 60.0;
+
+/// A quantum gate from the device's calibrated set.
+///
+/// Rotation angles are in radians.
+///
+/// # Examples
+///
+/// ```
+/// use artery_circuit::Gate;
+///
+/// assert_eq!(Gate::CZ.num_qubits(), 2);
+/// assert_eq!(Gate::RZ(1.0).duration_ns(), 0.0); // virtual gate
+/// assert!(Gate::H.matrix().is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Rotation about X by the given angle.
+    RX(f64),
+    /// Rotation about Y by the given angle.
+    RY(f64),
+    /// Rotation about Z by the given angle (virtual, zero duration).
+    RZ(f64),
+    /// Pauli X (NOT).
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z (virtual).
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// Inverse phase gate S† = diag(1, −i).
+    Sdg,
+    /// T gate = diag(1, e^{iπ/4}).
+    T,
+    /// T† gate.
+    Tdg,
+    /// Controlled-Z (symmetric).
+    CZ,
+    /// Controlled-X with qubit order `[control, target]`.
+    CNOT,
+    /// SWAP of two qubits.
+    Swap,
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Gate::CZ | Gate::CNOT | Gate::Swap => 2,
+            _ => 1,
+        }
+    }
+
+    /// Physical pulse duration in nanoseconds.
+    ///
+    /// Virtual Z rotations take zero time; every other single-qubit gate is
+    /// one XY pulse; two-qubit gates cost one CZ pulse (CNOT and SWAP add the
+    /// surrounding single-qubit pulses of their standard decomposition).
+    #[must_use]
+    pub fn duration_ns(&self) -> f64 {
+        match self {
+            Gate::RZ(_) | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg => 0.0,
+            Gate::RX(_) | Gate::RY(_) | Gate::X | Gate::Y | Gate::H => XY_PULSE_NS,
+            Gate::CZ => CZ_PULSE_NS,
+            // CNOT = H·CZ·H on the target: two XY pulses around one CZ.
+            Gate::CNOT => CZ_PULSE_NS + 2.0 * XY_PULSE_NS,
+            // SWAP = 3 CNOTs.
+            Gate::Swap => 3.0 * (CZ_PULSE_NS + 2.0 * XY_PULSE_NS),
+        }
+    }
+
+    /// Returns `true` for frame-update gates that consume no pulse time.
+    #[must_use]
+    pub fn is_virtual(&self) -> bool {
+        self.duration_ns() == 0.0
+    }
+
+    /// The inverse gate (`U†`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use artery_circuit::Gate;
+    /// assert_eq!(Gate::S.inverse(), Gate::Sdg);
+    /// assert_eq!(Gate::X.inverse(), Gate::X);
+    /// ```
+    #[must_use]
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::RX(t) => Gate::RX(-t),
+            Gate::RY(t) => Gate::RY(-t),
+            Gate::RZ(t) => Gate::RZ(-t),
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            g @ (Gate::X | Gate::Y | Gate::Z | Gate::H | Gate::CZ | Gate::CNOT | Gate::Swap) => g,
+        }
+    }
+
+    /// The unitary matrix of the gate.
+    ///
+    /// Two-qubit matrices are ordered so that the *first* qubit passed to the
+    /// instruction is the higher-order bit: basis order `|q0 q1⟩` with `q1`
+    /// least significant. For symmetric gates (CZ, SWAP) the order is
+    /// irrelevant; for CNOT, qubit 0 is the control.
+    #[must_use]
+    pub fn matrix(&self) -> GateMatrix {
+        let o = Complex64::ONE;
+        let z = Complex64::ZERO;
+        let i = Complex64::i();
+        match *self {
+            Gate::RX(t) => {
+                let c = Complex64::new((t / 2.0).cos(), 0.0);
+                let s = Complex64::new(0.0, -(t / 2.0).sin());
+                GateMatrix::One([[c, s], [s, c]])
+            }
+            Gate::RY(t) => {
+                let c = Complex64::new((t / 2.0).cos(), 0.0);
+                let s = Complex64::new((t / 2.0).sin(), 0.0);
+                GateMatrix::One([[c, -s], [s, c]])
+            }
+            Gate::RZ(t) => GateMatrix::One([
+                [Complex64::cis(-t / 2.0), z],
+                [z, Complex64::cis(t / 2.0)],
+            ]),
+            Gate::X => GateMatrix::One([[z, o], [o, z]]),
+            Gate::Y => GateMatrix::One([[z, -i], [i, z]]),
+            Gate::Z => GateMatrix::One([[o, z], [z, -o]]),
+            Gate::H => {
+                let h = Complex64::new(FRAC_1_SQRT_2, 0.0);
+                GateMatrix::One([[h, h], [h, -h]])
+            }
+            Gate::S => GateMatrix::One([[o, z], [z, i]]),
+            Gate::Sdg => GateMatrix::One([[o, z], [z, -i]]),
+            Gate::T => GateMatrix::One([[o, z], [z, Complex64::cis(FRAC_PI_4)]]),
+            Gate::Tdg => GateMatrix::One([[o, z], [z, Complex64::cis(-FRAC_PI_4)]]),
+            Gate::CZ => {
+                let mut m: Matrix4 = [[z; 4]; 4];
+                m[0][0] = o;
+                m[1][1] = o;
+                m[2][2] = o;
+                m[3][3] = -o;
+                GateMatrix::Two(m)
+            }
+            Gate::CNOT => {
+                // control = qubit 0 (high bit), target = qubit 1 (low bit).
+                let mut m: Matrix4 = [[z; 4]; 4];
+                m[0][0] = o;
+                m[1][1] = o;
+                m[2][3] = o;
+                m[3][2] = o;
+                GateMatrix::Two(m)
+            }
+            Gate::Swap => {
+                let mut m: Matrix4 = [[z; 4]; 4];
+                m[0][0] = o;
+                m[1][2] = o;
+                m[2][1] = o;
+                m[3][3] = o;
+                GateMatrix::Two(m)
+            }
+        }
+    }
+
+    /// Decomposes the gate into the device basis set {RX, RY, RZ, CZ},
+    /// returning per-qubit basis gates paired with *local* qubit indices
+    /// (0 for one-qubit gates; 0/1 for two-qubit gates).
+    ///
+    /// Used by the pulse library (§5.4) to count physical pulses.
+    #[must_use]
+    pub fn basis_decomposition(&self) -> Vec<(Gate, usize)> {
+        match *self {
+            g @ (Gate::RX(_) | Gate::RY(_) | Gate::RZ(_)) => vec![(g, 0)],
+            Gate::X => vec![(Gate::RX(PI), 0)],
+            Gate::Y => vec![(Gate::RY(PI), 0)],
+            Gate::Z => vec![(Gate::RZ(PI), 0)],
+            Gate::H => vec![(Gate::RZ(PI), 0), (Gate::RY(FRAC_PI_2), 0)],
+            Gate::S => vec![(Gate::RZ(FRAC_PI_2), 0)],
+            Gate::Sdg => vec![(Gate::RZ(-FRAC_PI_2), 0)],
+            Gate::T => vec![(Gate::RZ(FRAC_PI_4), 0)],
+            Gate::Tdg => vec![(Gate::RZ(-FRAC_PI_4), 0)],
+            Gate::CZ => vec![(Gate::CZ, 0)],
+            Gate::CNOT => vec![
+                (Gate::RZ(PI), 1),
+                (Gate::RY(FRAC_PI_2), 1),
+                (Gate::CZ, 0),
+                (Gate::RZ(PI), 1),
+                (Gate::RY(FRAC_PI_2), 1),
+            ],
+            Gate::Swap => {
+                let mut out = Vec::new();
+                for _ in 0..3 {
+                    out.extend(Gate::CNOT.basis_decomposition());
+                }
+                out
+            }
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::RX(t) => write!(f, "rx({t:.4})"),
+            Gate::RY(t) => write!(f, "ry({t:.4})"),
+            Gate::RZ(t) => write!(f, "rz({t:.4})"),
+            Gate::X => write!(f, "x"),
+            Gate::Y => write!(f, "y"),
+            Gate::Z => write!(f, "z"),
+            Gate::H => write!(f, "h"),
+            Gate::S => write!(f, "s"),
+            Gate::Sdg => write!(f, "sdg"),
+            Gate::T => write!(f, "t"),
+            Gate::Tdg => write!(f, "tdg"),
+            Gate::CZ => write!(f, "cz"),
+            Gate::CNOT => write!(f, "cnot"),
+            Gate::Swap => write!(f, "swap"),
+        }
+    }
+}
+
+/// Identity matrix check helper: all gates in the calibrated set.
+#[doc(hidden)]
+#[must_use]
+pub fn all_sample_gates() -> Vec<Gate> {
+    vec![
+        Gate::RX(0.3),
+        Gate::RY(-1.1),
+        Gate::RZ(2.2),
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::T,
+        Gate::Tdg,
+        Gate::CZ,
+        Gate::CNOT,
+        Gate::Swap,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for g in all_sample_gates() {
+            assert!(g.matrix().is_unitary(1e-12), "{g} is not unitary");
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        for g in all_sample_gates() {
+            let prod = g.matrix().matmul(&g.inverse().matrix());
+            let id = GateMatrix::identity(g.num_qubits());
+            assert!(
+                prod.approx_eq_up_to_phase(&id, 1e-12),
+                "{g}·{g}⁻¹ is not the identity"
+            );
+        }
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        assert!(Gate::RX(PI)
+            .matrix()
+            .approx_eq_up_to_phase(&Gate::X.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn h_decomposition_matches_matrix() {
+        // H = RY(π/2)·RZ(π) up to phase (decomposition lists RZ first, i.e.
+        // applied first).
+        let decomp = Gate::H.basis_decomposition();
+        let mut acc = GateMatrix::identity(1);
+        for (g, q) in decomp {
+            assert_eq!(q, 0);
+            acc = g.matrix().matmul(&acc);
+        }
+        assert!(acc.approx_eq_up_to_phase(&Gate::H.matrix(), 1e-12));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn cnot_decomposition_matches_matrix() {
+        // Compose the decomposition on the 4-dimensional space. Local index 0
+        // is the high bit, 1 the low bit.
+        let lift = |g: Gate, local: usize| -> GateMatrix {
+            let GateMatrix::One(m) = g.matrix() else {
+                return g.matrix();
+            };
+            let z = Complex64::ZERO;
+            let mut out: Matrix4 = [[z; 4]; 4];
+            for r in 0..4usize {
+                for c in 0..4usize {
+                    let (rh, rl) = (r >> 1, r & 1);
+                    let (ch, cl) = (c >> 1, c & 1);
+                    out[r][c] = if local == 1 {
+                        if rh == ch { m[rl][cl] } else { z }
+                    } else if rl == cl {
+                        m[rh][ch]
+                    } else {
+                        z
+                    };
+                }
+            }
+            GateMatrix::Two(out)
+        };
+        let mut acc = GateMatrix::identity(2);
+        for (g, q) in Gate::CNOT.basis_decomposition() {
+            acc = lift(g, q).matmul(&acc);
+        }
+        assert!(acc.approx_eq_up_to_phase(&Gate::CNOT.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn durations_follow_pulse_model() {
+        assert_eq!(Gate::RX(0.5).duration_ns(), XY_PULSE_NS);
+        assert_eq!(Gate::RZ(0.5).duration_ns(), 0.0);
+        assert!(Gate::RZ(1.0).is_virtual());
+        assert_eq!(Gate::CZ.duration_ns(), CZ_PULSE_NS);
+        assert_eq!(Gate::CNOT.duration_ns(), CZ_PULSE_NS + 2.0 * XY_PULSE_NS);
+    }
+
+    #[test]
+    fn self_inverse_gates() {
+        for g in [Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::CZ, Gate::CNOT, Gate::Swap] {
+            assert_eq!(g.inverse(), g);
+        }
+    }
+
+    #[test]
+    fn matrix2_alias_is_usable() {
+        let _m: crate::matrix::Matrix2 = [[Complex64::ONE, Complex64::ZERO]; 2];
+    }
+
+    #[test]
+    fn display_is_lowercase_mnemonic() {
+        assert_eq!(Gate::CNOT.to_string(), "cnot");
+        assert_eq!(Gate::RX(0.5).to_string(), "rx(0.5000)");
+    }
+}

@@ -1,0 +1,50 @@
+//! Quantum circuit intermediate representation for dynamic (feedback)
+//! circuits.
+//!
+//! ARTERY operates on *dynamic quantum circuits*: circuits containing
+//! mid-circuit measurements whose outcomes select between branch gate
+//! sequences. This crate provides
+//!
+//! * the calibrated gate set of the paper's 18-qubit Xmon device
+//!   (RX/RY/RZ/CZ plus derived Cliffords) with matrices, inverses and pulse
+//!   durations ([`Gate`]),
+//! * a circuit IR where feedback is a first-class instruction rather than a
+//!   classically-conditioned gate ([`Feedback`], [`Instruction`],
+//!   [`Circuit`]),
+//! * a dependency DAG over instructions ([`dag::CircuitDag`]), and
+//! * the pre-execution legality analysis of the paper's §3, classifying every
+//!   feedback site into cases 1–4 ([`analysis`]).
+//!
+//! # Examples
+//!
+//! Build the active-reset circuit (measure, flip on `|1⟩`):
+//!
+//! ```
+//! use artery_circuit::{CircuitBuilder, Gate, Qubit};
+//!
+//! let mut b = CircuitBuilder::new(1);
+//! let q = Qubit(0);
+//! b.gate(Gate::RX(std::f64::consts::PI), &[q]);
+//! b.feedback(q)
+//!     .on_one(Gate::X, &[q])
+//!     .finish();
+//! let circuit = b.build();
+//! assert_eq!(circuit.feedback_sites().count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod circuit;
+pub mod dag;
+mod gate;
+mod matrix;
+pub mod text;
+
+pub use circuit::{
+    BranchOp, Circuit, CircuitBuilder, Clbit, Feedback, FeedbackBuilder, FeedbackSite, GateApp,
+    Instruction, Qubit,
+};
+pub use gate::{all_sample_gates, Gate, CZ_PULSE_NS, XY_PULSE_NS};
+pub use matrix::{GateMatrix, Matrix2, Matrix4};

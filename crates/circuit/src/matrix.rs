@@ -1,0 +1,222 @@
+//! Dense 2×2 and 4×4 complex matrices for gate semantics.
+//!
+//! These types exist so that gate unitarity, inverses and the pre-execution
+//! equivalence theorem can be *checked*, not assumed; the state-vector
+//! simulator applies gates through them as well. Sizes are fixed at the type
+//! level because the basis gate set only contains one- and two-qubit gates.
+
+use artery_num::Complex64;
+
+/// A 2×2 complex matrix in row-major order.
+pub type Matrix2 = [[Complex64; 2]; 2];
+
+/// A 4×4 complex matrix in row-major order.
+pub type Matrix4 = [[Complex64; 4]; 4];
+
+/// The matrix of a gate: one-qubit (2×2) or two-qubit (4×4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateMatrix {
+    /// A single-qubit gate.
+    One(Matrix2),
+    /// A two-qubit gate, ordered `|q1 q0⟩` (q0 is the least-significant bit).
+    Two(Matrix4),
+}
+
+impl GateMatrix {
+    /// Number of qubits the matrix acts on (1 or 2).
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            GateMatrix::One(_) => 1,
+            GateMatrix::Two(_) => 2,
+        }
+    }
+
+    /// Conjugate transpose.
+    #[must_use]
+    pub fn dagger(&self) -> GateMatrix {
+        match self {
+            GateMatrix::One(m) => {
+                let mut out = [[Complex64::ZERO; 2]; 2];
+                for (r, row) in m.iter().enumerate() {
+                    for (c, v) in row.iter().enumerate() {
+                        out[c][r] = v.conj();
+                    }
+                }
+                GateMatrix::One(out)
+            }
+            GateMatrix::Two(m) => {
+                let mut out = [[Complex64::ZERO; 4]; 4];
+                for (r, row) in m.iter().enumerate() {
+                    for (c, v) in row.iter().enumerate() {
+                        out[c][r] = v.conj();
+                    }
+                }
+                GateMatrix::Two(out)
+            }
+        }
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operand sizes differ.
+    #[must_use]
+    pub fn matmul(&self, rhs: &GateMatrix) -> GateMatrix {
+        match (self, rhs) {
+            (GateMatrix::One(a), GateMatrix::One(b)) => {
+                let mut out = [[Complex64::ZERO; 2]; 2];
+                for r in 0..2 {
+                    for c in 0..2 {
+                        for k in 0..2 {
+                            out[r][c] += a[r][k] * b[k][c];
+                        }
+                    }
+                }
+                GateMatrix::One(out)
+            }
+            (GateMatrix::Two(a), GateMatrix::Two(b)) => {
+                let mut out = [[Complex64::ZERO; 4]; 4];
+                for r in 0..4 {
+                    for c in 0..4 {
+                        for k in 0..4 {
+                            out[r][c] += a[r][k] * b[k][c];
+                        }
+                    }
+                }
+                GateMatrix::Two(out)
+            }
+            _ => panic!("matrix size mismatch in matmul"),
+        }
+    }
+
+    /// Returns `true` when the matrix is unitary up to `tol`
+    /// (`U·U† ≈ I` entry-wise).
+    #[must_use]
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let prod = self.matmul(&self.dagger());
+        prod.approx_eq(&GateMatrix::identity(self.num_qubits()), tol)
+    }
+
+    /// Identity matrix on `n` qubits (`n` must be 1 or 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n` outside `{1, 2}`.
+    #[must_use]
+    pub fn identity(n: usize) -> GateMatrix {
+        match n {
+            1 => {
+                let mut m = [[Complex64::ZERO; 2]; 2];
+                m[0][0] = Complex64::ONE;
+                m[1][1] = Complex64::ONE;
+                GateMatrix::One(m)
+            }
+            2 => {
+                let mut m = [[Complex64::ZERO; 4]; 4];
+                for (i, row) in m.iter_mut().enumerate() {
+                    row[i] = Complex64::ONE;
+                }
+                GateMatrix::Two(m)
+            }
+            _ => panic!("identity only defined for 1 or 2 qubits"),
+        }
+    }
+
+    /// Entry-wise approximate equality.
+    #[must_use]
+    pub fn approx_eq(&self, other: &GateMatrix, tol: f64) -> bool {
+        match (self, other) {
+            (GateMatrix::One(a), GateMatrix::One(b)) => a
+                .iter()
+                .flatten()
+                .zip(b.iter().flatten())
+                .all(|(x, y)| (*x - *y).norm() <= tol),
+            (GateMatrix::Two(a), GateMatrix::Two(b)) => a
+                .iter()
+                .flatten()
+                .zip(b.iter().flatten())
+                .all(|(x, y)| (*x - *y).norm() <= tol),
+            _ => false,
+        }
+    }
+
+    /// Entry-wise approximate equality *up to global phase*: finds the first
+    /// entry of `self` with non-negligible magnitude and rescales `other` by
+    /// the corresponding phase ratio before comparing.
+    #[must_use]
+    pub fn approx_eq_up_to_phase(&self, other: &GateMatrix, tol: f64) -> bool {
+        let (a, b): (Vec<Complex64>, Vec<Complex64>) = match (self, other) {
+            (GateMatrix::One(a), GateMatrix::One(b)) => (
+                a.iter().flatten().copied().collect(),
+                b.iter().flatten().copied().collect(),
+            ),
+            (GateMatrix::Two(a), GateMatrix::Two(b)) => (
+                a.iter().flatten().copied().collect(),
+                b.iter().flatten().copied().collect(),
+            ),
+            _ => return false,
+        };
+        let Some(k) = a.iter().position(|x| x.norm() > 1e-6) else {
+            return b.iter().all(|y| y.norm() <= tol);
+        };
+        if b[k].norm() <= 1e-12 {
+            return false;
+        }
+        let phase = a[k] / b[k];
+        a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| (*x - *y * phase).norm() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn identity_is_unitary() {
+        assert!(GateMatrix::identity(1).is_unitary(1e-12));
+        assert!(GateMatrix::identity(2).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn dagger_involution() {
+        let m = GateMatrix::One([[c(0.0, 1.0), c(0.5, 0.0)], [c(0.0, 0.0), c(1.0, -1.0)]]);
+        assert!(m.dagger().dagger().approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = GateMatrix::One([[c(0.2, 0.1), c(0.3, 0.0)], [c(0.0, 0.4), c(0.9, 0.0)]]);
+        assert!(m.matmul(&GateMatrix::identity(1)).approx_eq(&m, 1e-12));
+        assert!(GateMatrix::identity(1).matmul(&m).approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn matmul_size_mismatch_panics() {
+        let _ = GateMatrix::identity(1).matmul(&GateMatrix::identity(2));
+    }
+
+    #[test]
+    fn phase_equality_ignores_global_phase() {
+        let m = GateMatrix::identity(1);
+        let GateMatrix::One(i) = m else { unreachable!() };
+        let mut rotated = i;
+        let phase = Complex64::cis(0.7);
+        for row in rotated.iter_mut() {
+            for v in row.iter_mut() {
+                *v *= phase;
+            }
+        }
+        let rotated = GateMatrix::One(rotated);
+        assert!(!m.approx_eq(&rotated, 1e-9));
+        assert!(m.approx_eq_up_to_phase(&rotated, 1e-9));
+    }
+}

@@ -1,0 +1,370 @@
+//! A human-readable text format for dynamic circuits.
+//!
+//! JSON (via serde) is the machine interchange format; this module adds a
+//! QASM-flavoured *readable* form for docs, diffs and quick authoring:
+//!
+//! ```text
+//! qubits 2
+//! h q0
+//! feedback q0 {
+//!   0:
+//!   1: x q0
+//! }
+//! ```
+//!
+//! One instruction per line; feedback blocks list the two branches. The
+//! format round-trips exactly ([`emit`] ∘ [`parse`] = identity on the IR).
+
+use std::fmt::Write as _;
+
+use crate::circuit::{BranchOp, Circuit, CircuitBuilder, Clbit, GateApp, Instruction, Qubit};
+use crate::gate::Gate;
+
+/// Parse failure with a line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn gate_name(gate: &Gate) -> String {
+    match gate {
+        Gate::RX(t) => format!("rx({t})"),
+        Gate::RY(t) => format!("ry({t})"),
+        Gate::RZ(t) => format!("rz({t})"),
+        Gate::X => "x".into(),
+        Gate::Y => "y".into(),
+        Gate::Z => "z".into(),
+        Gate::H => "h".into(),
+        Gate::S => "s".into(),
+        Gate::Sdg => "sdg".into(),
+        Gate::T => "t".into(),
+        Gate::Tdg => "tdg".into(),
+        Gate::CZ => "cz".into(),
+        Gate::CNOT => "cnot".into(),
+        Gate::Swap => "swap".into(),
+    }
+}
+
+fn emit_gate(out: &mut String, g: &GateApp, indent: &str) {
+    let qubits: Vec<String> = g.qubits.iter().map(|q| format!("q{}", q.0)).collect();
+    let _ = writeln!(out, "{indent}{} {}", gate_name(&g.gate), qubits.join(" "));
+}
+
+fn emit_branch_op(out: &mut String, op: &BranchOp, indent: &str) {
+    match op {
+        BranchOp::Gate(g) => emit_gate(out, g, indent),
+        BranchOp::Reset(q) => {
+            let _ = writeln!(out, "{indent}reset q{}", q.0);
+        }
+        BranchOp::Measure(q, c) => {
+            let _ = writeln!(out, "{indent}measure q{} -> c{}", q.0, c.0);
+        }
+    }
+}
+
+/// Renders a circuit in the text format.
+///
+/// # Examples
+///
+/// ```
+/// use artery_circuit::{text, CircuitBuilder, Gate, Qubit};
+/// let mut b = CircuitBuilder::new(1);
+/// b.gate(Gate::H, &[Qubit(0)]);
+/// let s = text::emit(&b.build());
+/// assert!(s.starts_with("qubits 1\nh q0\n"));
+/// ```
+#[must_use]
+pub fn emit(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "qubits {}", circuit.num_qubits());
+    for inst in circuit.instructions() {
+        match inst {
+            Instruction::Gate(g) => emit_gate(&mut out, g, ""),
+            Instruction::Measure(q, c) => {
+                let _ = writeln!(out, "measure q{} -> c{}", q.0, c.0);
+            }
+            Instruction::Reset(q) => {
+                let _ = writeln!(out, "reset q{}", q.0);
+            }
+            Instruction::Feedback(fb) => {
+                let _ = writeln!(out, "feedback q{} {{", fb.measured.0);
+                let _ = writeln!(out, "  0:");
+                for op in &fb.branch0 {
+                    emit_branch_op(&mut out, op, "    ");
+                }
+                let _ = writeln!(out, "  1:");
+                for op in &fb.branch1 {
+                    emit_branch_op(&mut out, op, "    ");
+                }
+                let _ = writeln!(out, "}}");
+            }
+        }
+    }
+    out
+}
+
+fn parse_qubit(tok: &str, line: usize) -> Result<Qubit, ParseError> {
+    tok.strip_prefix('q')
+        .and_then(|s| s.parse().ok())
+        .map(Qubit)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected a qubit like q0, found `{tok}`"),
+        })
+}
+
+fn parse_gate(name: &str, line: usize) -> Result<Gate, ParseError> {
+    let angled = |prefix: &str| -> Option<f64> {
+        name.strip_prefix(prefix)
+            .and_then(|rest| rest.strip_prefix('('))
+            .and_then(|rest| rest.strip_suffix(')'))
+            .and_then(|s| s.parse().ok())
+    };
+    let gate = match name {
+        "x" => Some(Gate::X),
+        "y" => Some(Gate::Y),
+        "z" => Some(Gate::Z),
+        "h" => Some(Gate::H),
+        "s" => Some(Gate::S),
+        "sdg" => Some(Gate::Sdg),
+        "t" => Some(Gate::T),
+        "tdg" => Some(Gate::Tdg),
+        "cz" => Some(Gate::CZ),
+        "cnot" => Some(Gate::CNOT),
+        "swap" => Some(Gate::Swap),
+        _ if name.starts_with("rx(") => angled("rx").map(Gate::RX),
+        _ if name.starts_with("ry(") => angled("ry").map(Gate::RY),
+        _ if name.starts_with("rz(") => angled("rz").map(Gate::RZ),
+        _ => None,
+    };
+    gate.ok_or_else(|| ParseError {
+        line,
+        message: format!("unknown gate `{name}`"),
+    })
+}
+
+fn parse_gate_line(tokens: &[&str], line: usize) -> Result<(Gate, Vec<Qubit>), ParseError> {
+    let gate = parse_gate(tokens[0], line)?;
+    let qubits: Result<Vec<Qubit>, ParseError> =
+        tokens[1..].iter().map(|t| parse_qubit(t, line)).collect();
+    let qubits = qubits?;
+    if qubits.len() != gate.num_qubits() {
+        return Err(ParseError {
+            line,
+            message: format!(
+                "gate `{}` expects {} qubit(s), found {}",
+                tokens[0],
+                gate.num_qubits(),
+                qubits.len()
+            ),
+        });
+    }
+    Ok((gate, qubits))
+}
+
+/// Parses the text format back into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line on malformed input.
+pub fn parse(input: &str) -> Result<Circuit, ParseError> {
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (first_no, first) = lines.next().ok_or(ParseError {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    let num_qubits: usize = first
+        .strip_prefix("qubits ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError {
+            line: first_no,
+            message: "expected header `qubits N`".into(),
+        })?;
+    let mut b = CircuitBuilder::new(num_qubits);
+
+    while let Some((line_no, line)) = lines.next() {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["reset", q] => {
+                b.reset(parse_qubit(q, line_no)?);
+            }
+            ["measure", q, "->", _c] => {
+                // Clbits are reassigned sequentially by the builder.
+                let _ = b.measure(parse_qubit(q, line_no)?);
+            }
+            ["feedback", q, "{"] => {
+                let measured = parse_qubit(q, line_no)?;
+                let mut branch0: Vec<BranchOp> = Vec::new();
+                let mut branch1: Vec<BranchOp> = Vec::new();
+                let mut current: Option<&mut Vec<BranchOp>> = None;
+                loop {
+                    let (inner_no, inner) = lines.next().ok_or(ParseError {
+                        line: line_no,
+                        message: "unterminated feedback block".into(),
+                    })?;
+                    match inner {
+                        "}" => break,
+                        "0:" => current = Some(&mut branch0),
+                        "1:" => current = Some(&mut branch1),
+                        _ => {
+                            let toks: Vec<&str> = inner.split_whitespace().collect();
+                            let op = match toks.as_slice() {
+                                ["reset", q] => BranchOp::Reset(parse_qubit(q, inner_no)?),
+                                ["measure", q, "->", c] => {
+                                    let cbit = c
+                                        .strip_prefix('c')
+                                        .and_then(|s| s.parse().ok())
+                                        .map(Clbit)
+                                        .ok_or_else(|| ParseError {
+                                            line: inner_no,
+                                            message: format!("bad clbit `{c}`"),
+                                        })?;
+                                    BranchOp::Measure(parse_qubit(q, inner_no)?, cbit)
+                                }
+                                toks => {
+                                    let (gate, qubits) = parse_gate_line(toks, inner_no)?;
+                                    BranchOp::Gate(GateApp::new(gate, &qubits))
+                                }
+                            };
+                            match current.as_deref_mut() {
+                                Some(branch) => branch.push(op),
+                                None => {
+                                    return Err(ParseError {
+                                        line: inner_no,
+                                        message: "branch op before `0:`/`1:` label".into(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut fb = b.feedback(measured);
+                for op in branch0 {
+                    fb = fb.op_on_zero(op);
+                }
+                for op in branch1 {
+                    fb = fb.op_on_one(op);
+                }
+                fb.finish();
+            }
+            toks => {
+                let (gate, qubits) = parse_gate_line(toks, line_no)?;
+                b.gate(gate, &qubits);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(3);
+        b.gate(Gate::H, &[Qubit(0)]);
+        b.gate(Gate::RY(0.75), &[Qubit(1)]);
+        b.gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+        b.feedback(Qubit(0))
+            .on_zero(Gate::Z, &[Qubit(2)])
+            .on_one(Gate::X, &[Qubit(2)])
+            .on_one(Gate::CZ, &[Qubit(1), Qubit(2)])
+            .finish();
+        b.reset(Qubit(1));
+        let _ = b.measure(Qubit(2));
+        b.build()
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let circuit = sample_circuit();
+        let text = emit(&circuit);
+        let back = parse(&text).expect("parse emitted text");
+        assert_eq!(back, circuit);
+    }
+
+    #[test]
+    fn all_workload_shapes_round_trip() {
+        // Exercise feedback-heavy circuits from the builder directly.
+        let mut b = CircuitBuilder::new(2);
+        for _ in 0..5 {
+            b.gate(Gate::H, &[Qubit(0)]);
+            b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
+        }
+        let circuit = b.build();
+        assert_eq!(parse(&emit(&circuit)).expect("round trip"), circuit);
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_blank_lines() {
+        let text = "# a comment\nqubits 1\n\nh q0\n# trailing\n";
+        let c = parse(text).expect("parse");
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn angles_survive_round_trip() {
+        let mut b = CircuitBuilder::new(1);
+        b.gate(Gate::RZ(-2.123456789012345), &[Qubit(0)]);
+        let circuit = b.build();
+        assert_eq!(parse(&emit(&circuit)).expect("round trip"), circuit);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = parse("qubits 1\nfrobnicate q0\n").expect_err("bad gate");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"));
+        assert!(err.to_string().starts_with("line 2"));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(parse("h q0\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let err = parse("qubits 2\ncz q0\n").expect_err("arity");
+        assert!(err.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn unterminated_feedback_is_an_error() {
+        let err = parse("qubits 1\nfeedback q0 {\n  1:\n").expect_err("unterminated");
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn branch_op_without_label_is_an_error() {
+        let err = parse("qubits 2\nfeedback q0 {\n  x q1\n}\n").expect_err("label");
+        assert!(err.message.contains("label"));
+    }
+
+    #[test]
+    fn branch_measure_and_reset_round_trip() {
+        let mut b = CircuitBuilder::new(2);
+        b.feedback(Qubit(0))
+            .op_on_one(BranchOp::Reset(Qubit(1)))
+            .op_on_zero(BranchOp::Measure(Qubit(1), Clbit(5)))
+            .finish();
+        let circuit = b.build();
+        assert_eq!(parse(&emit(&circuit)).expect("round trip"), circuit);
+    }
+}

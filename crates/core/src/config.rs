@@ -1,0 +1,134 @@
+//! Tunables of the ARTERY predictor and controller.
+
+use artery_hw::HardwareParams;
+use artery_readout::ReadoutModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an ARTERY deployment, defaulting to the paper's
+/// evaluation settings (§6.1, Figs. 16–17).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArteryConfig {
+    /// Demodulation window length, ns (default 30; swept in Fig. 16).
+    pub window_ns: f64,
+    /// Number of branch history registers `k` (default 6). The state table
+    /// holds `2^k` entries.
+    pub k: usize,
+    /// Confidence threshold θ applied symmetrically to both branches
+    /// (default 0.91; swept in Fig. 17).
+    pub theta: f64,
+    /// Coarse time buckets indexing the state table alongside the k-bit
+    /// pattern (default 8; see `predictor::TrajectoryTable` for why this
+    /// deviates from the paper's pattern-only index).
+    pub time_buckets: usize,
+    /// Pulses used to pre-generate the state table when the hardware is
+    /// initialized (paper: 1,000 training sequences).
+    pub train_pulses: usize,
+    /// Use the historical branch distribution feature (ablated in Fig. 14).
+    pub use_history: bool,
+    /// Use the readout-trajectory feature (ablated in Fig. 14).
+    pub use_trajectory: bool,
+    /// Interconnect latency from the classifying FPGA to the branch
+    /// decider, ns (0 = same FPGA; §5.2 levels give 4/48/144).
+    pub route_ns: f64,
+    /// Readout pulse duration, ns (paper: 2 µs; §6.2 notes faster readouts
+    /// would increase the acceleration ratio).
+    pub readout_ns: f64,
+}
+
+impl ArteryConfig {
+    /// The paper's configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            window_ns: 30.0,
+            k: 6,
+            theta: 0.91,
+            time_buckets: 8,
+            train_pulses: 1000,
+            use_history: true,
+            use_trajectory: true,
+            route_ns: 0.0,
+            readout_ns: 2000.0,
+        }
+    }
+
+    /// History-only ablation (Fig. 14: "relying solely on historical data").
+    #[must_use]
+    pub fn history_only() -> Self {
+        Self {
+            use_trajectory: false,
+            ..Self::paper()
+        }
+    }
+
+    /// Trajectory-only ablation (Fig. 14: "solely readout pulse analysis").
+    #[must_use]
+    pub fn trajectory_only() -> Self {
+        Self {
+            use_history: false,
+            ..Self::paper()
+        }
+    }
+
+    /// The hardware constants this configuration assumes.
+    #[must_use]
+    pub fn hardware(&self) -> HardwareParams {
+        HardwareParams {
+            readout_ns: self.readout_ns,
+            ..HardwareParams::paper()
+        }
+    }
+
+    /// The readout physics this configuration assumes (same SNR per unit
+    /// time as the paper's platform, truncated to `readout_ns`).
+    #[must_use]
+    pub fn readout_model(&self) -> ReadoutModel {
+        ReadoutModel {
+            duration_ns: self.readout_ns,
+            ..ReadoutModel::paper()
+        }
+    }
+
+    /// State-table footprint in bytes, using the paper's BRAM formula
+    /// `2^(k−3)·(k+16)` per time bucket (each of the `2^k` entries stores a
+    /// `k`-bit tag and a 16-bit probability).
+    #[must_use]
+    pub fn table_bytes(&self) -> usize {
+        self.time_buckets * (1usize << self.k.saturating_sub(3)) * (self.k + 16)
+    }
+}
+
+impl Default for ArteryConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ArteryConfig::default();
+        assert_eq!(c.window_ns, 30.0);
+        assert_eq!(c.k, 6);
+        assert_eq!(c.theta, 0.91);
+        assert_eq!(c.train_pulses, 1000);
+        assert!(c.use_history && c.use_trajectory);
+    }
+
+    #[test]
+    fn ablations_flip_one_feature() {
+        assert!(!ArteryConfig::history_only().use_trajectory);
+        assert!(ArteryConfig::history_only().use_history);
+        assert!(!ArteryConfig::trajectory_only().use_history);
+        assert!(ArteryConfig::trajectory_only().use_trajectory);
+    }
+
+    #[test]
+    fn table_bytes_formula() {
+        // k = 6: 2^3 · 22 = 176 bytes per bucket, 8 buckets.
+        assert_eq!(ArteryConfig::paper().table_bytes(), 8 * 176);
+    }
+}

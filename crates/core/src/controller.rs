@@ -1,0 +1,525 @@
+//! The ARTERY feedback controller — a predicting
+//! [`FeedbackHandler`](artery_sim::FeedbackHandler).
+//!
+//! Per feedback, the controller synthesizes the in-flight readout pulse,
+//! runs the windowed predictor, and converts the (possible) early decision
+//! into latency through the hardware timing model:
+//!
+//! * correct prediction, case 1/2 — the branch ran during the readout;
+//!   latency is decision-to-pulse time plus the branch pulses,
+//! * correct prediction, case 3 — the armed pulse fires at readout end;
+//!   latency is `max(readout, arm time)` plus the branch pulses,
+//! * misprediction — the truth arrives through the sequential pipeline, the
+//!   pre-executed gates are undone and the correct branch applied; the
+//!   wasted pulses are reported so the simulator charges their gate noise,
+//! * no commitment / case 4 — plain sequential feedback.
+
+use std::collections::HashMap;
+
+use artery_circuit::analysis::{analyze_circuit, PreExecCase, SiteAnalysis};
+use artery_circuit::{BranchOp, Circuit, Feedback, FeedbackSite, GateApp};
+use artery_hw::ControllerTiming;
+use artery_num::stats::Accumulator;
+use artery_sim::{FeedbackHandler, Resolution};
+use rand::rngs::StdRng;
+
+use crate::config::ArteryConfig;
+use crate::predictor::{BranchPredictor, Calibration, HistoryTracker};
+
+/// Outcome record of one resolved feedback (harness export).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteOutcome {
+    /// The feedback site.
+    pub site: FeedbackSite,
+    /// Window at which the predictor committed, if it did.
+    pub window: Option<usize>,
+    /// The predicted branch, if any.
+    pub predicted: Option<bool>,
+    /// The branch the hardware reported.
+    pub reported: bool,
+    /// Feedback latency charged to this resolve, ns.
+    pub latency_ns: f64,
+}
+
+impl SiteOutcome {
+    /// Whether a prediction was made and matched the report.
+    #[must_use]
+    pub fn correct(&self) -> Option<bool> {
+        self.predicted.map(|p| p == self.reported)
+    }
+}
+
+/// Aggregate statistics across all feedbacks the controller resolved.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShotStats {
+    /// Number of feedbacks resolved.
+    pub resolved: u64,
+    /// Number of feedbacks where the predictor committed to a branch.
+    pub committed: u64,
+    /// Number of committed predictions that were correct.
+    pub correct: u64,
+    /// Per-feedback latency distribution, ns.
+    pub latency_ns: Accumulator,
+    /// Decision-window distribution (committed feedbacks only).
+    pub decision_window: Accumulator,
+}
+
+impl ShotStats {
+    /// Prediction accuracy over committed feedbacks (1.0 when none
+    /// committed).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.committed == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of feedbacks where the predictor committed early.
+    #[must_use]
+    pub fn commit_rate(&self) -> f64 {
+        if self.resolved == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.resolved as f64
+        }
+    }
+}
+
+/// The ARTERY feedback controller for one circuit.
+#[derive(Debug, Clone)]
+pub struct ArteryController<'a> {
+    config: ArteryConfig,
+    calibration: &'a Calibration,
+    timing: ControllerTiming,
+    analyses: HashMap<usize, SiteAnalysis>,
+    history: HistoryTracker,
+    stats: ShotStats,
+    outcomes: Vec<SiteOutcome>,
+    log_outcomes: bool,
+    /// Per-site θ overrides (§6.6 recommends per-benchmark tuning).
+    site_theta: HashMap<usize, f64>,
+}
+
+impl<'a> ArteryController<'a> {
+    /// Builds a controller for `circuit`: runs the §3 case analysis on every
+    /// feedback site and starts with empty per-site history.
+    #[must_use]
+    pub fn new(circuit: &Circuit, config: &ArteryConfig, calibration: &'a Calibration) -> Self {
+        let analyses = analyze_circuit(circuit)
+            .into_iter()
+            .map(|a| (a.site.0, a))
+            .collect();
+        Self {
+            config: *config,
+            calibration,
+            timing: ControllerTiming::new(config.hardware(), config.window_ns),
+            analyses,
+            history: HistoryTracker::new(),
+            stats: ShotStats::default(),
+            outcomes: Vec::new(),
+            log_outcomes: false,
+            site_theta: HashMap::new(),
+        }
+    }
+
+    /// Overrides the confidence threshold at one feedback site (§6.6:
+    /// "adjusting the tolerance threshold for each benchmark is
+    /// recommended").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `theta` is in `(0.5, 1.0]`.
+    pub fn set_site_threshold(&mut self, site: FeedbackSite, theta: f64) {
+        assert!(
+            theta > 0.5 && theta <= 1.0,
+            "threshold must be in (0.5, 1.0]"
+        );
+        self.site_theta.insert(site.0, theta);
+    }
+
+    /// Auto-tunes the threshold of `site` for an expected branch prior `p1`
+    /// using the Fig. 17 procedure on freshly synthesized training pulses,
+    /// and installs the winner. Returns the selected θ.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the site does not exist in the circuit.
+    pub fn auto_tune_site(
+        &mut self,
+        site: FeedbackSite,
+        p1: f64,
+        train_pulses: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> f64 {
+        let analysis = self
+            .analyses
+            .get(&site.0)
+            .unwrap_or_else(|| panic!("feedback site {site} was not analyzed"));
+        let recovery_ns = analysis.recovery_ns(true).max(analysis.recovery_ns(false));
+        let best = crate::tune::tune_for_prior(
+            self.calibration,
+            &self.config,
+            p1,
+            train_pulses,
+            recovery_ns,
+            rng,
+        );
+        self.site_theta.insert(site.0, best.theta);
+        best.theta
+    }
+
+    /// Enables per-feedback outcome logging (harnesses).
+    #[must_use]
+    pub fn with_outcome_log(mut self) -> Self {
+        self.log_outcomes = true;
+        self
+    }
+
+    /// Warm-starts a site's history (e.g. from a previous program run).
+    pub fn seed_history(&mut self, site: FeedbackSite, p1: f64, weight: u64) {
+        self.history.seed(site, p1, weight);
+    }
+
+    /// Aggregate statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &ShotStats {
+        &self.stats
+    }
+
+    /// Drains the per-feedback outcome log.
+    pub fn take_outcomes(&mut self) -> Vec<SiteOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// The controller timing model in use.
+    #[must_use]
+    pub fn timing(&self) -> &ControllerTiming {
+        &self.timing
+    }
+
+    /// The case analysis of a site, if the circuit contains it.
+    #[must_use]
+    pub fn analysis(&self, site: FeedbackSite) -> Option<&SiteAnalysis> {
+        self.analyses.get(&site.0)
+    }
+
+    /// Pulses physically played and cancelled on a misprediction: the
+    /// pre-executed branch gates plus their inverses.
+    fn wasted_pulses(fb: &Feedback, predicted: bool) -> Vec<GateApp> {
+        let mut out = Vec::new();
+        for op in fb.branch(predicted) {
+            if let BranchOp::Gate(g) = op {
+                out.push(g.clone());
+                out.push(g.inverse());
+            }
+        }
+        out
+    }
+
+    fn record(&mut self, outcome: SiteOutcome) {
+        self.stats.resolved += 1;
+        self.stats.latency_ns.push(outcome.latency_ns);
+        if let Some(correct) = outcome.correct() {
+            self.stats.committed += 1;
+            self.stats.correct += u64::from(correct);
+            if let Some(w) = outcome.window {
+                self.stats.decision_window.push(w as f64);
+            }
+        }
+        if self.log_outcomes {
+            self.outcomes.push(outcome);
+        }
+    }
+}
+
+impl FeedbackHandler for ArteryController<'_> {
+    fn resolve(&mut self, fb: &Feedback, reported: bool, rng: &mut StdRng) -> Resolution {
+        let analysis = self
+            .analyses
+            .get(&fb.site.0)
+            .unwrap_or_else(|| panic!("feedback site {} was not analyzed", fb.site))
+            .clone();
+        let branch_ns = fb.branch_duration_ns(reported);
+        let sequential_ns = self.timing.sequential_latency_ns() + branch_ns;
+
+        let (latency_ns, wasted, predicted, window) =
+            if !analysis.case.benefits_from_prediction() {
+                // Case 4: never predict.
+                (sequential_ns, Vec::new(), None, None)
+            } else {
+                // The in-flight pulse the classifier sees, conditioned on
+                // the outcome the hardware will report.
+                let pulse = self.calibration.model().synthesize(reported, rng);
+                let p_history = self.history.p_history_1(fb.site);
+                let config = match self.site_theta.get(&fb.site.0) {
+                    Some(&theta) => ArteryConfig {
+                        theta,
+                        ..self.config
+                    },
+                    None => self.config,
+                };
+                let predictor = BranchPredictor::new(self.calibration, &config);
+                match predictor.predict_shot(&pulse, p_history).decision {
+                    None => (sequential_ns, Vec::new(), None, None),
+                    Some(d) if d.branch == reported => {
+                        let route = self.config.route_ns;
+                        let lat = match analysis.case {
+                            PreExecCase::Independent | PreExecCase::AncillaRemap => {
+                                self.timing.branch_start_ns(d.window, route)
+                                    + fb.branch_duration_ns(d.branch)
+                            }
+                            PreExecCase::OnMeasuredQubit => {
+                                self.timing.armed_latency_ns(d.window, route)
+                                    + fb.branch_duration_ns(d.branch)
+                            }
+                            PreExecCase::NotPreExecutable => unreachable!("filtered above"),
+                        };
+                        (lat, Vec::new(), Some(d.branch), Some(d.window))
+                    }
+                    Some(d) => {
+                        // Misprediction: truth arrives via the sequential
+                        // pipeline, then undo + correct branch
+                        // (`recovery_ns` = undo time + correct-branch time).
+                        let lat = self.timing.misprediction_latency_ns()
+                            + analysis.recovery_ns(d.branch);
+                        (
+                            lat,
+                            Self::wasted_pulses(fb, d.branch),
+                            Some(d.branch),
+                            Some(d.window),
+                        )
+                    }
+                }
+            };
+
+        self.history.observe(fb.site, reported);
+        self.record(SiteOutcome {
+            site: fb.site,
+            window,
+            predicted,
+            reported,
+            latency_ns,
+        });
+        Resolution {
+            latency_ns,
+            wasted_pulses: wasted,
+            predicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_circuit::{CircuitBuilder, Gate, Qubit};
+    use artery_num::rng::rng_for;
+    use artery_sim::{Executor, NoiseModel};
+
+    fn calibration() -> Calibration {
+        let config = ArteryConfig {
+            train_pulses: 600,
+            ..ArteryConfig::paper()
+        };
+        Calibration::train(&config, &mut rng_for("ctrl/cal"))
+    }
+
+    #[test]
+    fn reset_latency_floors_at_readout() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::active_reset(1);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("ctrl/reset");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal);
+        let mut total = Accumulator::new();
+        for _ in 0..30 {
+            let rec = exec.run(&circuit, &mut ctl, &mut rng);
+            total.push(rec.feedback_latencies_ns[0]);
+        }
+        // Case 3: ≥ 2 µs (readout) but ≤ sequential 2.19 µs; paper: 2.01 µs.
+        assert!(total.mean() >= 2000.0, "mean {}", total.mean());
+        assert!(total.mean() < 2150.0, "mean {}", total.mean());
+    }
+
+    #[test]
+    fn skewed_site_beats_sequential_strongly() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        // Measured qubit always |0⟩ → prior converges to ~0, case-1 branch.
+        let mut b = CircuitBuilder::new(2);
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
+        let circuit = b.build();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("ctrl/skew");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal);
+        // Warm up the history, then measure.
+        for _ in 0..50 {
+            let _ = exec.run(&circuit, &mut ctl, &mut rng);
+        }
+        let mut lat = Accumulator::new();
+        for _ in 0..50 {
+            let rec = exec.run(&circuit, &mut ctl, &mut rng);
+            lat.push(rec.feedback_latencies_ns[0]);
+        }
+        // Early firing at the first lookup window: well under 1 µs.
+        assert!(lat.mean() < 600.0, "mean latency {}", lat.mean());
+        assert!(ctl.stats().accuracy() > 0.9);
+    }
+
+    #[test]
+    fn case4_site_never_predicts() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::H, &[Qubit(0)]);
+        b.feedback(Qubit(0))
+            .op_on_one(BranchOp::Measure(Qubit(1), artery_circuit::Clbit(0)))
+            .finish();
+        let circuit = b.build();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("ctrl/case4");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal);
+        for _ in 0..10 {
+            let rec = exec.run(&circuit, &mut ctl, &mut rng);
+            assert_eq!(rec.predictions, 0);
+        }
+        assert_eq!(ctl.stats().committed, 0);
+    }
+
+    #[test]
+    fn mispredictions_charge_recovery_and_waste() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::H, &[Qubit(0)]);
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
+        let circuit = b.build();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("ctrl/mispredict");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal).with_outcome_log();
+        let mut mispredicted_latencies = Vec::new();
+        for _ in 0..300 {
+            let _ = exec.run(&circuit, &mut ctl, &mut rng);
+        }
+        for o in ctl.take_outcomes() {
+            if o.correct() == Some(false) {
+                mispredicted_latencies.push(o.latency_ns);
+            }
+        }
+        // With a 50/50 prior the predictor commits from the trajectory; some
+        // commitments are wrong and must cost more than sequential.
+        assert!(
+            !mispredicted_latencies.is_empty(),
+            "expected some mispredictions"
+        );
+        let seq = ctl.timing().sequential_latency_ns();
+        for l in mispredicted_latencies {
+            assert!(l >= seq, "mispredict latency {l} below sequential {seq}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_shots() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::qrw(3);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("ctrl/stats");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal);
+        for _ in 0..10 {
+            let _ = exec.run(&circuit, &mut ctl, &mut rng);
+        }
+        assert_eq!(ctl.stats().resolved, 30);
+        assert!(ctl.stats().commit_rate() > 0.0);
+        assert!(ctl.stats().latency_ns.mean() > 0.0);
+    }
+
+    #[test]
+    fn per_site_threshold_override_changes_behaviour() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::qrw(1);
+        let exec = Executor::new(NoiseModel::noiseless());
+
+        let run = |theta: Option<f64>| {
+            let mut ctl = ArteryController::new(&circuit, &config, &cal);
+            if let Some(t) = theta {
+                ctl.set_site_threshold(FeedbackSite(0), t);
+            }
+            let mut rng = rng_for("ctrl/site-theta");
+            let mut lat = Accumulator::new();
+            for _ in 0..150 {
+                let rec = exec.clone().run(&circuit, &mut ctl, &mut rng);
+                lat.push(rec.feedback_latencies_ns[0]);
+            }
+            (lat.mean(), ctl.stats().accuracy())
+        };
+        let (default_lat, _) = run(None);
+        // A near-certain threshold must slow the site down (later commits /
+        // more sequential fallbacks) but raise accuracy.
+        let (strict_lat, strict_acc) = run(Some(0.999));
+        assert!(strict_lat > default_lat, "strict {strict_lat} vs {default_lat}");
+        assert!(strict_acc > 0.95);
+    }
+
+    #[test]
+    fn auto_tune_installs_a_threshold() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::qrw(1);
+        let mut ctl = ArteryController::new(&circuit, &config, &cal);
+        let mut rng = rng_for("ctrl/autotune");
+        let theta = ctl.auto_tune_site(FeedbackSite(0), 0.5, 200, &mut rng);
+        assert!(theta > 0.5 && theta <= 1.0);
+        assert_eq!(ctl.site_theta.get(&0), Some(&theta));
+    }
+
+    #[test]
+    fn case2_sites_pre_execute_on_the_ancilla() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::magic_injection(1);
+        let ctl = ArteryController::new(&circuit, &config, &cal);
+        let analysis = ctl.analysis(FeedbackSite(0)).expect("site analyzed");
+        assert_eq!(analysis.case, PreExecCase::AncillaRemap);
+        assert!(analysis.ancilla.is_some());
+
+        // Run shots: correct predictions must overlap the readout (latency
+        // clearly below the sequential floor), like case 1.
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("ctrl/case2");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal).with_outcome_log();
+        for _ in 0..200 {
+            let _ = exec.run(&circuit, &mut ctl, &mut rng);
+        }
+        let seq = ctl.timing().sequential_latency_ns();
+        let outcomes = ctl.take_outcomes();
+        let fast: Vec<&SiteOutcome> = outcomes
+            .iter()
+            .filter(|o| o.correct() == Some(true))
+            .collect();
+        assert!(!fast.is_empty(), "no correct predictions at the case-2 site");
+        for o in &fast {
+            assert!(
+                o.latency_ns < seq,
+                "correct case-2 prediction did not beat sequential ({} vs {seq})",
+                o.latency_ns
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_history_matches_online_learning() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::active_reset(1);
+        let mut ctl = ArteryController::new(&circuit, &config, &cal);
+        ctl.seed_history(FeedbackSite(0), 0.5, 1000);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("ctrl/seed");
+        let rec = exec.run(&circuit, &mut ctl, &mut rng);
+        assert_eq!(rec.feedback_latencies_ns.len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! ARTERY's contribution: branch prediction for quantum feedback.
+//!
+//! The crate ties every substrate together:
+//!
+//! * [`predictor`] — the reconciled branch predictor of §4: per-site
+//!   historical branch statistics, the `<trajectory, P_read_1>` state table
+//!   fed by windowed IQ demodulation, and the Bayesian fusion that produces
+//!   `P_predict_1` after every demodulation window,
+//! * [`ArteryController`] — a drop-in
+//!   [`FeedbackHandler`](artery_sim::FeedbackHandler) that pre-executes the
+//!   predicted branch per the case analysis of §3, recovers from
+//!   mispredictions with inverse gates, and accounts latency through the
+//!   hardware timing model of §5,
+//! * [`ArteryConfig`] — every tunable with the paper's defaults (30 ns
+//!   windows, k = 6 branch registers, θ = 0.91).
+//!
+//! # Examples
+//!
+//! Run active reset with ARTERY and compare with QubiC:
+//!
+//! ```
+//! use artery_core::{ArteryConfig, ArteryController, Calibration};
+//! use artery_sim::{Executor, NoiseModel};
+//! use artery_workloads::active_reset;
+//!
+//! let config = ArteryConfig::default();
+//! let mut rng = artery_num::rng::rng_for("doc/core");
+//! let calibration = Calibration::train(&config, &mut rng);
+//! let circuit = active_reset(1);
+//!
+//! let mut exec = Executor::new(NoiseModel::noiseless());
+//! let mut artery = ArteryController::new(&circuit, &config, &calibration);
+//! let artery_rec = exec.run(&circuit, &mut artery, &mut rng);
+//!
+//! let mut qubic = artery_baselines::Baseline::qubic();
+//! let qubic_rec = exec.run(&circuit, &mut qubic, &mut rng);
+//! assert!(artery_rec.total_feedback_us() <= qubic_rec.total_feedback_us());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod controller;
+pub mod predictor;
+pub mod tune;
+
+pub use config::ArteryConfig;
+pub use controller::{ArteryController, ShotStats, SiteOutcome};
+pub use predictor::{BranchPredictor, Calibration, Decision, ShotPrediction};

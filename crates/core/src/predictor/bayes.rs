@@ -1,0 +1,91 @@
+//! The Bayesian fusion of history and trajectory probabilities (§4).
+
+use artery_num::clamp_probability;
+
+/// Probability floor used to keep the odds-product well-defined.
+const FLOOR: f64 = 1e-6;
+
+/// Combines the historical probability `p_history` and the
+/// trajectory-derived probability `p_read` into `P_predict_1`:
+///
+/// ```text
+/// P = (Ph·Pr) / (Ph·Pr + (1−Ph)(1−Pr))
+/// ```
+///
+/// This is a naive-Bayes odds product with a uniform prior split between the
+/// two features. Inputs are clamped away from {0, 1} for numerical safety.
+///
+/// # Examples
+///
+/// ```
+/// let p = artery_core::predictor::fuse(0.7, 0.95);
+/// assert!((p - 0.9779).abs() < 1e-3); // the paper's worked example
+/// ```
+#[must_use]
+pub fn fuse(p_history: f64, p_read: f64) -> f64 {
+    let ph = clamp_probability(p_history, FLOOR);
+    let pr = clamp_probability(p_read, FLOOR);
+    let joint1 = ph * pr;
+    let joint0 = (1.0 - ph) * (1.0 - pr);
+    joint1 / (joint1 + joint0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::approx_eq;
+
+    #[test]
+    fn paper_worked_example() {
+        // §4: Ph = 0.7, Pr = 0.95 → ≈ 0.98 (the paper rounds to 0.97 with a
+        // typo in the denominator; the formula gives 0.665/0.68).
+        let p = fuse(0.7, 0.95);
+        assert!(approx_eq(p, 0.665 / 0.68, 1e-12));
+    }
+
+    #[test]
+    fn uniform_history_is_identity() {
+        for pr in [0.1, 0.35, 0.5, 0.8, 0.99] {
+            assert!(approx_eq(fuse(0.5, pr), pr, 1e-9));
+        }
+    }
+
+    #[test]
+    fn uniform_read_is_identity() {
+        for ph in [0.05, 0.4, 0.9] {
+            assert!(approx_eq(fuse(ph, 0.5), ph, 1e-9));
+        }
+    }
+
+    #[test]
+    fn symmetric_under_complement() {
+        // P(1 | ph, pr) = 1 − P(1 | 1−ph, 1−pr).
+        let p = fuse(0.8, 0.3);
+        let q = fuse(0.2, 0.7);
+        assert!(approx_eq(p, 1.0 - q, 1e-12));
+    }
+
+    #[test]
+    fn monotone_in_both_arguments() {
+        assert!(fuse(0.6, 0.7) < fuse(0.7, 0.7));
+        assert!(fuse(0.6, 0.7) < fuse(0.6, 0.8));
+    }
+
+    #[test]
+    fn bounded_and_saturating() {
+        let p = fuse(1.0, 1.0);
+        assert!(p > 0.999999 && p <= 1.0);
+        let q = fuse(0.0, 0.0);
+        assert!(q < 1e-6);
+        assert!(fuse(0.0, 1.0).is_finite());
+    }
+
+    #[test]
+    fn agreement_amplifies_confidence() {
+        // Two agreeing weak signals beat either alone.
+        let single = 0.7;
+        assert!(fuse(single, single) > single);
+        // Two disagreeing equal signals cancel to 0.5.
+        assert!(approx_eq(fuse(0.7, 0.3), 0.5, 1e-9));
+    }
+}

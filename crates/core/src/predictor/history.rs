@@ -1,0 +1,128 @@
+//! Per-site historical branch statistics.
+//!
+//! "A quantum program usually has multiple shots" (§4): the outcome
+//! distribution at a feedback site is stable across shots, so a running
+//! Laplace-smoothed frequency is a strong prior. Updating it is one counter
+//! increment after each shot — the paper's "no latency" claim.
+
+use std::collections::HashMap;
+
+use artery_circuit::FeedbackSite;
+use serde::{Deserialize, Serialize};
+
+/// Running `P_history_1` estimates for every feedback site of a program.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryTracker {
+    counts: HashMap<usize, (u64, u64)>, // site → (ones, total)
+}
+
+impl HistoryTracker {
+    /// Creates an empty tracker (all sites start at the uniform prior 0.5).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Laplace-smoothed probability of reading 1 at `site`:
+    /// `(ones + 1) / (total + 2)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use artery_circuit::FeedbackSite;
+    /// use artery_core::predictor::HistoryTracker;
+    ///
+    /// let mut h = HistoryTracker::new();
+    /// assert_eq!(h.p_history_1(FeedbackSite(0)), 0.5);
+    /// h.observe(FeedbackSite(0), true);
+    /// h.observe(FeedbackSite(0), true);
+    /// assert_eq!(h.p_history_1(FeedbackSite(0)), 0.75);
+    /// ```
+    #[must_use]
+    pub fn p_history_1(&self, site: FeedbackSite) -> f64 {
+        let (ones, total) = self.counts.get(&site.0).copied().unwrap_or((0, 0));
+        (ones as f64 + 1.0) / (total as f64 + 2.0)
+    }
+
+    /// Records one observed outcome at `site`.
+    pub fn observe(&mut self, site: FeedbackSite, outcome: bool) {
+        let entry = self.counts.entry(site.0).or_insert((0, 0));
+        entry.0 += u64::from(outcome);
+        entry.1 += 1;
+    }
+
+    /// Number of shots observed at `site`.
+    #[must_use]
+    pub fn shots(&self, site: FeedbackSite) -> u64 {
+        self.counts.get(&site.0).map_or(0, |(_, total)| *total)
+    }
+
+    /// Warm-starts a site from an external estimate, weighted as
+    /// `weight` pseudo-observations (used when a program reuses statistics
+    /// from a previous run, as §4 describes for cross-program updates).
+    pub fn seed(&mut self, site: FeedbackSite, p1: f64, weight: u64) {
+        let ones = (p1.clamp(0.0, 1.0) * weight as f64).round() as u64;
+        self.counts.insert(site.0, (ones, weight));
+    }
+
+    /// Clears all statistics.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_site_is_uniform() {
+        let h = HistoryTracker::new();
+        assert_eq!(h.p_history_1(FeedbackSite(7)), 0.5);
+        assert_eq!(h.shots(FeedbackSite(7)), 0);
+    }
+
+    #[test]
+    fn converges_to_empirical_rate() {
+        let mut h = HistoryTracker::new();
+        for k in 0..1000 {
+            h.observe(FeedbackSite(0), k % 10 == 0); // 10 % ones
+        }
+        let p = h.p_history_1(FeedbackSite(0));
+        assert!((p - 0.1).abs() < 0.01, "p = {p}");
+        assert_eq!(h.shots(FeedbackSite(0)), 1000);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let mut h = HistoryTracker::new();
+        h.observe(FeedbackSite(0), true);
+        assert_eq!(h.p_history_1(FeedbackSite(1)), 0.5);
+    }
+
+    #[test]
+    fn seed_sets_prior() {
+        let mut h = HistoryTracker::new();
+        h.seed(FeedbackSite(0), 0.02, 1000);
+        let p = h.p_history_1(FeedbackSite(0));
+        assert!((p - 0.02).abs() < 0.002, "p = {p}");
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut h = HistoryTracker::new();
+        h.observe(FeedbackSite(0), true);
+        h.reset();
+        assert_eq!(h.p_history_1(FeedbackSite(0)), 0.5);
+    }
+
+    #[test]
+    fn probability_never_saturates() {
+        let mut h = HistoryTracker::new();
+        for _ in 0..10_000 {
+            h.observe(FeedbackSite(0), true);
+        }
+        let p = h.p_history_1(FeedbackSite(0));
+        assert!(p < 1.0 && p > 0.999);
+    }
+}

@@ -1,0 +1,376 @@
+//! The reconciled branch predictor of §4.
+//!
+//! Per shot, the predictor walks the demodulation windows of the in-flight
+//! readout pulse. After each window it (1) updates the branch history
+//! registers with the window's preliminary classification, (2) looks up
+//! `P_read_1` in the trajectory state table, (3) fuses it with the per-site
+//! historical probability `P_history_1` through the Bayesian model, and
+//! (4) hands the result to the threshold decider. The first threshold
+//! crossing is the prediction; no crossing degrades the shot to sequential
+//! feedback.
+
+mod bayes;
+mod history;
+mod table;
+
+pub use bayes::fuse;
+pub use history::HistoryTracker;
+pub use table::TrajectoryTable;
+
+use artery_hw::trigger::{ProbabilityUpdate, Thresholds};
+use artery_readout::{Dataset, Demodulator, IqCenters, ReadoutModel, ReadoutPulse};
+use rand::Rng;
+
+use crate::config::ArteryConfig;
+
+/// Hardware-initialization products shared by every program: the calibrated
+/// IQ centers and the pre-generated trajectory state table (§4: "the
+/// `<states, P_read_1>` table is pre-generated when the quantum hardware is
+/// initialized").
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    model: ReadoutModel,
+    demod: Demodulator,
+    centers: IqCenters,
+    table: TrajectoryTable,
+}
+
+impl Calibration {
+    /// Trains centers and state table from `config.train_pulses` balanced
+    /// calibration pulses of the paper's readout model.
+    #[must_use]
+    pub fn train(config: &ArteryConfig, rng: &mut impl Rng) -> Self {
+        Self::train_with_model(&config.readout_model(), config, rng)
+    }
+
+    /// Trains against an explicit readout model — used for frequency-
+    /// multiplexed channels, whose carriers differ per channel (§6.1: three
+    /// qubits share each readout line).
+    #[must_use]
+    pub fn train_with_model(
+        model: &ReadoutModel,
+        config: &ArteryConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let dataset = Dataset::generate(model, 0.5, config.train_pulses.max(8), rng);
+        Self::train_with_pulses(model, config, dataset.pulses())
+    }
+
+    /// Trains from an explicit labelled pulse collection — the workflow the
+    /// paper uses with its captured device dataset, and the right entry
+    /// point for multiplexed channel views, where the training pulses must
+    /// carry the same co-channel interference the predictor will see live.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pulses` lacks one of the two labels.
+    #[must_use]
+    pub fn train_with_pulses(
+        model: &ReadoutModel,
+        config: &ArteryConfig,
+        pulses: &[ReadoutPulse],
+    ) -> Self {
+        let model = *model;
+        let demod = Demodulator::for_model(&model, config.window_ns);
+        let centers = IqCenters::calibrate(pulses, &demod);
+        let mut table = TrajectoryTable::new(config.k, config.time_buckets);
+        for pulse in pulses {
+            let states = centers.window_states(pulse, &demod);
+            // Labels are what the hardware will *report* at readout end —
+            // the predictor's job is to guess that report early.
+            let label = centers.classify_full(pulse, &demod);
+            table.train([(states.as_slice(), label)]);
+        }
+        Self {
+            model,
+            demod,
+            centers,
+            table,
+        }
+    }
+
+    /// The readout physics used for calibration.
+    #[must_use]
+    pub fn model(&self) -> &ReadoutModel {
+        &self.model
+    }
+
+    /// The windowed demodulator.
+    #[must_use]
+    pub fn demod(&self) -> &Demodulator {
+        &self.demod
+    }
+
+    /// The calibrated IQ cluster centers.
+    #[must_use]
+    pub fn centers(&self) -> &IqCenters {
+        &self.centers
+    }
+
+    /// The trained trajectory state table.
+    #[must_use]
+    pub fn table(&self) -> &TrajectoryTable {
+        &self.table
+    }
+
+    /// Refines the state table with an additional labelled pulse — the
+    /// cross-program dynamic update of §4.
+    pub fn update_with(&mut self, pulse: &ReadoutPulse, label: bool) {
+        let states = self.centers.window_states(pulse, &self.demod);
+        self.table.train([(states.as_slice(), label)]);
+    }
+}
+
+/// The predictor's committed decision for one shot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Window index at which the threshold was crossed.
+    pub window: usize,
+    /// The predicted branch.
+    pub branch: bool,
+    /// `P_predict_1` at the crossing.
+    pub p_predict_1: f64,
+}
+
+/// Everything the predictor produced for one shot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotPrediction {
+    /// Per-window probability stream (feeds the dynamic timing controller).
+    pub updates: Vec<ProbabilityUpdate>,
+    /// First threshold crossing, if any.
+    pub decision: Option<Decision>,
+}
+
+impl ShotPrediction {
+    /// Whether the shot committed to a branch before readout end.
+    #[must_use]
+    pub fn committed(&self) -> bool {
+        self.decision.is_some()
+    }
+}
+
+/// The per-program branch predictor: calibration data plus configuration.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor<'a> {
+    calibration: &'a Calibration,
+    config: ArteryConfig,
+    thresholds: Thresholds,
+}
+
+impl<'a> BranchPredictor<'a> {
+    /// Creates a predictor over shared calibration data.
+    #[must_use]
+    pub fn new(calibration: &'a Calibration, config: &ArteryConfig) -> Self {
+        Self {
+            calibration,
+            config: *config,
+            thresholds: Thresholds::symmetric(config.theta),
+        }
+    }
+
+    /// The active thresholds.
+    #[must_use]
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// Runs the windowed prediction loop over a (complete, but analysed
+    /// incrementally) readout pulse with the given per-site history prior.
+    ///
+    /// Decisions start at window `k − 1`, once the branch history registers
+    /// are full.
+    #[must_use]
+    pub fn predict_shot(&self, pulse: &ReadoutPulse, p_history: f64) -> ShotPrediction {
+        let cal = self.calibration;
+        let states = cal.centers.window_states(pulse, &cal.demod);
+        let n = states.len();
+        let mut updates = Vec::with_capacity(n.saturating_sub(self.config.k - 1));
+        let mut decision = None;
+        let ph = if self.config.use_history {
+            p_history
+        } else {
+            0.5
+        };
+        for w in (self.config.k - 1)..n {
+            let pr = if self.config.use_trajectory {
+                let pattern = cal.table.pattern_of(&states[..=w]);
+                let bucket = cal.table.bucket_of(w, n);
+                cal.table.p_read_1(bucket, pattern)
+            } else {
+                0.5
+            };
+            let p = fuse(ph, pr);
+            updates.push(ProbabilityUpdate {
+                window: w,
+                p_predict_1: p,
+            });
+            if decision.is_none() {
+                if let Some(branch) = self.thresholds.decide(p) {
+                    decision = Some(Decision {
+                        window: w,
+                        branch,
+                        p_predict_1: p,
+                    });
+                    // The trigger has fired; remaining windows are only
+                    // needed for the end-of-readout truth, not prediction.
+                    break;
+                }
+            }
+        }
+        ShotPrediction { updates, decision }
+    }
+
+    /// The full per-window probability stream *without* the trigger's
+    /// first-crossing early exit — used by the accuracy-versus-readout-time
+    /// analysis (Fig. 15 a), where the decision is forced at a chosen time.
+    #[must_use]
+    pub fn probability_stream(&self, pulse: &ReadoutPulse, p_history: f64) -> Vec<ProbabilityUpdate> {
+        let cal = self.calibration;
+        let states = cal.centers.window_states(pulse, &cal.demod);
+        let n = states.len();
+        let ph = if self.config.use_history { p_history } else { 0.5 };
+        ((self.config.k - 1)..n)
+            .map(|w| {
+                let pr = if self.config.use_trajectory {
+                    let pattern = cal.table.pattern_of(&states[..=w]);
+                    let bucket = cal.table.bucket_of(w, n);
+                    cal.table.p_read_1(bucket, pattern)
+                } else {
+                    0.5
+                };
+                ProbabilityUpdate {
+                    window: w,
+                    p_predict_1: fuse(ph, pr),
+                }
+            })
+            .collect()
+    }
+
+    /// The classification the hardware reports at readout end (ground truth
+    /// for prediction correctness).
+    #[must_use]
+    pub fn final_classification(&self, pulse: &ReadoutPulse) -> bool {
+        self.calibration
+            .centers
+            .classify_full(pulse, &self.calibration.demod)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+
+    fn calibration() -> Calibration {
+        let config = ArteryConfig {
+            train_pulses: 600,
+            ..ArteryConfig::paper()
+        };
+        Calibration::train(&config, &mut rng_for("pred/cal"))
+    }
+
+    #[test]
+    fn skewed_history_fires_early() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let pred = BranchPredictor::new(&cal, &config);
+        let mut rng = rng_for("pred/early");
+        let pulse = cal.model().synthesize(false, &mut rng);
+        // QEC-like prior: branch 1 almost never taken.
+        let shot = pred.predict_shot(&pulse, 0.02);
+        let d = shot.decision.expect("must commit");
+        assert!(!d.branch);
+        assert_eq!(d.window, config.k - 1, "should fire at the first lookup");
+    }
+
+    #[test]
+    fn uniform_history_waits_for_trajectory() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let pred = BranchPredictor::new(&cal, &config);
+        let mut rng = rng_for("pred/wait");
+        let mut windows = Vec::new();
+        for k in 0..40 {
+            let pulse = cal.model().synthesize(k % 2 == 0, &mut rng);
+            if let Some(d) = pred.predict_shot(&pulse, 0.5).decision {
+                windows.push(d.window);
+            }
+        }
+        assert!(!windows.is_empty());
+        let mean_window = windows.iter().sum::<usize>() as f64 / windows.len() as f64;
+        // With a 50/50 prior the decision should wait well past the first
+        // lookup (window 5) — typically several hundred ns into the pulse.
+        assert!(mean_window > 8.0, "mean decision window {mean_window}");
+    }
+
+    #[test]
+    fn predictions_are_mostly_correct() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let pred = BranchPredictor::new(&cal, &config);
+        let mut rng = rng_for("pred/acc");
+        let mut correct = 0usize;
+        let mut committed = 0usize;
+        const N: usize = 400;
+        for k in 0..N {
+            let state = k % 2 == 0;
+            let pulse = cal.model().synthesize(state, &mut rng);
+            let reported = pred.final_classification(&pulse);
+            if let Some(d) = pred.predict_shot(&pulse, 0.5).decision {
+                committed += 1;
+                correct += usize::from(d.branch == reported);
+            }
+        }
+        assert!(committed > N / 2, "committed only {committed}/{N}");
+        let acc = correct as f64 / committed as f64;
+        assert!(acc > 0.85, "prediction accuracy {acc}");
+    }
+
+    #[test]
+    fn history_only_mode_ignores_pulse() {
+        let cal = calibration();
+        let config = ArteryConfig::history_only();
+        let pred = BranchPredictor::new(&cal, &config);
+        let mut rng = rng_for("pred/honly");
+        let pulse = cal.model().synthesize(true, &mut rng);
+        // History says 0 strongly; trajectory says 1 — history must win.
+        let shot = pred.predict_shot(&pulse, 0.03);
+        let d = shot.decision.expect("commit from history");
+        assert!(!d.branch);
+        // With a uniform prior, history-only can never commit.
+        assert!(pred.predict_shot(&pulse, 0.5).decision.is_none());
+    }
+
+    #[test]
+    fn trajectory_only_mode_ignores_history() {
+        let cal = calibration();
+        let config = ArteryConfig::trajectory_only();
+        let pred = BranchPredictor::new(&cal, &config);
+        let mut rng = rng_for("pred/tonly");
+        let pulse = cal.model().synthesize(true, &mut rng);
+        let with_skew = pred.predict_shot(&pulse, 0.01);
+        let with_uniform = pred.predict_shot(&pulse, 0.5);
+        assert_eq!(with_skew.decision, with_uniform.decision);
+    }
+
+    #[test]
+    fn updates_start_after_register_fills() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let pred = BranchPredictor::new(&cal, &config);
+        let mut rng = rng_for("pred/updates");
+        let pulse = cal.model().synthesize(false, &mut rng);
+        let shot = pred.predict_shot(&pulse, 0.5);
+        assert_eq!(shot.updates[0].window, config.k - 1);
+    }
+
+    #[test]
+    fn dynamic_update_refines_table() {
+        let mut cal = calibration();
+        let mut rng = rng_for("pred/update");
+        let before = cal.table().memory_bytes();
+        let pulse = cal.model().synthesize(true, &mut rng);
+        cal.update_with(&pulse, true);
+        assert_eq!(cal.table().memory_bytes(), before); // same structure
+    }
+}

@@ -1,0 +1,260 @@
+//! The `<trajectory, P_read_1>` state table (§4, Fig. 6 (b)).
+//!
+//! The branch history registers hold the preliminary classifications of the
+//! `k` most recent demodulation windows; that k-bit pattern indexes a BRAM
+//! table whose entries estimate `P_read_1` — the probability that the
+//! readout will ultimately report 1 given the trajectory seen so far. The
+//! table is pre-generated from training pulses when the hardware is
+//! initialized and can be refined across programs.
+//!
+//! **Deviation from the paper (documented in DESIGN.md):** the same k-bit
+//! pattern is far more reliable late in the readout than early (cumulative
+//! integration shrinks the noise as `1/√t`), so a table indexed by the
+//! pattern alone over-estimates the confidence of early windows. We
+//! therefore index by `(time bucket, pattern)` with a small number of
+//! coarse time buckets (default 8). This keeps the O(1) lookup and the BRAM
+//! scale of the paper's `2^(k−3)(k+16)`-byte formula (multiplied by the
+//! bucket count) while reproducing the accuracy-versus-readout-time
+//! behaviour of Fig. 15 (a).
+
+use serde::{Deserialize, Serialize};
+
+/// A time-bucketed trajectory state table with Laplace-smoothed
+/// probabilities. `buckets × 2^k` entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryTable {
+    k: usize,
+    buckets: usize,
+    ones: Vec<u64>,
+    totals: Vec<u64>,
+}
+
+impl TrajectoryTable {
+    /// Creates an empty table for `k` branch history registers and
+    /// `buckets` coarse time buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= 20` and `buckets >= 1`.
+    #[must_use]
+    pub fn new(k: usize, buckets: usize) -> Self {
+        assert!((1..=20).contains(&k), "k must be in 1..=20");
+        assert!(buckets >= 1, "at least one time bucket");
+        Self {
+            k,
+            buckets,
+            ones: vec![0; buckets << k],
+            totals: vec![0; buckets << k],
+        }
+    }
+
+    /// Number of branch history registers.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of time buckets.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Number of table entries (`buckets · 2^k`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ones.len()
+    }
+
+    /// Whether the table has no entries (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ones.is_empty()
+    }
+
+    /// Packs the most recent `k` window classifications into a k-bit
+    /// pattern. The last element of `recent` is the newest classification
+    /// and becomes the least-significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `k` states are provided.
+    #[must_use]
+    pub fn pattern_of(&self, recent: &[bool]) -> usize {
+        assert!(recent.len() >= self.k, "need at least k window states");
+        recent[recent.len() - self.k..]
+            .iter()
+            .fold(0usize, |acc, &b| (acc << 1) | usize::from(b))
+    }
+
+    /// The time bucket of window `w` out of `num_windows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `w >= num_windows`.
+    #[must_use]
+    pub fn bucket_of(&self, w: usize, num_windows: usize) -> usize {
+        assert!(w < num_windows, "window index out of range");
+        (w * self.buckets) / num_windows
+    }
+
+    fn index(&self, bucket: usize, pattern: usize) -> usize {
+        assert!(bucket < self.buckets, "bucket out of range");
+        assert!(pattern < (1 << self.k), "pattern out of range");
+        (bucket << self.k) | pattern
+    }
+
+    /// Records that a pulse showing `pattern` in time `bucket` was finally
+    /// read out as `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when bucket or pattern is out of range.
+    pub fn record(&mut self, bucket: usize, pattern: usize, label: bool) {
+        let i = self.index(bucket, pattern);
+        self.ones[i] += u64::from(label);
+        self.totals[i] += 1;
+    }
+
+    /// Trains the table from labelled window-classification sequences: every
+    /// position `w ≥ k−1` of every sequence contributes one observation.
+    pub fn train<'a>(&mut self, sequences: impl IntoIterator<Item = (&'a [bool], bool)>) {
+        for (states, label) in sequences {
+            let n = states.len();
+            for end in self.k..=n {
+                let pattern = self.pattern_of(&states[..end]);
+                let bucket = self.bucket_of(end - 1, n);
+                self.record(bucket, pattern, label);
+            }
+        }
+    }
+
+    /// Laplace-smoothed `P_read_1` for a `(bucket, pattern)` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when bucket or pattern is out of range.
+    #[must_use]
+    pub fn p_read_1(&self, bucket: usize, pattern: usize) -> f64 {
+        let i = self.index(bucket, pattern);
+        (self.ones[i] as f64 + 1.0) / (self.totals[i] as f64 + 2.0)
+    }
+
+    /// Number of training observations behind a state's estimate.
+    #[must_use]
+    pub fn support(&self, bucket: usize, pattern: usize) -> u64 {
+        self.totals[self.index(bucket, pattern)]
+    }
+
+    /// BRAM footprint in bytes: the paper's per-table formula
+    /// `2^(k−3)·(k+16)` times the bucket count.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.buckets * (1usize << self.k.saturating_sub(3)) * (self.k + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_packing_is_msb_oldest() {
+        let t = TrajectoryTable::new(3, 1);
+        // oldest … newest = 1,0,1 → 0b101.
+        assert_eq!(t.pattern_of(&[true, false, true]), 0b101);
+        // Longer history uses only the last k entries.
+        assert_eq!(t.pattern_of(&[false, false, true, true, true]), 0b111);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k")]
+    fn short_history_panics() {
+        let t = TrajectoryTable::new(4, 1);
+        let _ = t.pattern_of(&[true]);
+    }
+
+    #[test]
+    fn bucket_mapping_covers_range() {
+        let t = TrajectoryTable::new(6, 8);
+        assert_eq!(t.bucket_of(0, 66), 0);
+        assert_eq!(t.bucket_of(65, 66), 7);
+        // Monotone.
+        let mut prev = 0;
+        for w in 0..66 {
+            let b = t.bucket_of(w, 66);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn untrained_states_are_uniform() {
+        let t = TrajectoryTable::new(6, 4);
+        for b in 0..4 {
+            assert_eq!(t.p_read_1(b, 0b101010), 0.5);
+        }
+    }
+
+    #[test]
+    fn training_sharpens_probabilities() {
+        let mut t = TrajectoryTable::new(2, 1);
+        for _ in 0..100 {
+            t.record(0, 0b11, true);
+            t.record(0, 0b00, false);
+        }
+        t.record(0, 0b11, false);
+        assert!(t.p_read_1(0, 0b11) > 0.95);
+        assert!(t.p_read_1(0, 0b00) < 0.05);
+        assert_eq!(t.support(0, 0b11), 101);
+    }
+
+    #[test]
+    fn buckets_separate_time_reliability() {
+        let mut t = TrajectoryTable::new(2, 2);
+        // Early all-ones are unreliable (half wrong), late all-ones certain.
+        for _ in 0..50 {
+            t.record(0, 0b11, true);
+            t.record(0, 0b11, false);
+            t.record(1, 0b11, true);
+        }
+        assert!((t.p_read_1(0, 0b11) - 0.5).abs() < 0.05);
+        assert!(t.p_read_1(1, 0b11) > 0.9);
+    }
+
+    #[test]
+    fn train_consumes_all_suffixes() {
+        let mut t = TrajectoryTable::new(2, 1);
+        let seq = [true, true, false];
+        // Positions: [t,t] and [t,f] → two observations.
+        t.train([(seq.as_slice(), true)]);
+        assert_eq!(t.support(0, 0b11), 1);
+        assert_eq!(t.support(0, 0b10), 1);
+        assert_eq!(t.support(0, 0b00), 0);
+    }
+
+    #[test]
+    fn memory_formula_matches_paper_per_bucket() {
+        assert_eq!(TrajectoryTable::new(6, 1).memory_bytes(), 176);
+        assert_eq!(TrajectoryTable::new(6, 8).memory_bytes(), 8 * 176);
+        assert_eq!(TrajectoryTable::new(8, 1).memory_bytes(), 32 * 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        let _ = TrajectoryTable::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time bucket")]
+    fn zero_buckets_panics() {
+        let _ = TrajectoryTable::new(6, 0);
+    }
+
+    #[test]
+    fn len_is_buckets_times_patterns() {
+        assert_eq!(TrajectoryTable::new(6, 8).len(), 512);
+        assert!(!TrajectoryTable::new(1, 1).is_empty());
+    }
+}

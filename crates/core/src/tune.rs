@@ -1,0 +1,180 @@
+//! Per-benchmark threshold tuning (§6.6, Fig. 17).
+//!
+//! "Adjusting the tolerance threshold for each benchmark is recommended":
+//! the paper evaluates candidate thresholds on the training pulses and picks
+//! the one minimizing expected feedback latency, then applies it to the test
+//! pulses. This module automates that procedure against the analytic latency
+//! model — for each candidate θ it replays training shots through the
+//! predictor and scores commits by their decision time and mispredicts by
+//! the sequential-plus-recovery penalty.
+
+use artery_hw::ControllerTiming;
+use artery_readout::ReadoutPulse;
+use rand::Rng;
+
+use crate::config::ArteryConfig;
+use crate::predictor::{BranchPredictor, Calibration};
+
+/// Result of evaluating one candidate threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdScore {
+    /// The candidate θ.
+    pub theta: f64,
+    /// Expected per-feedback latency on the training pulses, ns.
+    pub expected_latency_ns: f64,
+    /// Prediction accuracy over committed shots.
+    pub accuracy: f64,
+    /// Fraction of shots that committed before readout end.
+    pub commit_rate: f64,
+}
+
+/// Tunes θ for a feedback site with branch prior `p1` using `train` pulses.
+///
+/// `recovery_ns` is the extra pulse time a misprediction costs at this site
+/// (from the site's [`SiteAnalysis`](artery_circuit::analysis::SiteAnalysis)).
+///
+/// Returns the scores of every candidate (sorted as given) and the best
+/// candidate's index.
+///
+/// # Panics
+///
+/// Panics when `candidates` or `train` is empty.
+#[must_use]
+pub fn tune_threshold(
+    calibration: &Calibration,
+    base: &ArteryConfig,
+    candidates: &[f64],
+    train: &[ReadoutPulse],
+    p_history: f64,
+    recovery_ns: f64,
+) -> (Vec<ThresholdScore>, usize) {
+    assert!(!candidates.is_empty(), "no candidate thresholds");
+    assert!(!train.is_empty(), "no training pulses");
+    let timing = ControllerTiming::new(base.hardware(), base.window_ns);
+    let mut scores = Vec::with_capacity(candidates.len());
+    for &theta in candidates {
+        let config = ArteryConfig { theta, ..*base };
+        let predictor = BranchPredictor::new(calibration, &config);
+        let mut latency = 0.0;
+        let mut committed = 0usize;
+        let mut correct = 0usize;
+        for pulse in train {
+            let reported = predictor.final_classification(pulse);
+            match predictor.predict_shot(pulse, p_history).decision {
+                Some(d) if d.branch == reported => {
+                    committed += 1;
+                    correct += 1;
+                    latency += timing.branch_start_ns(d.window, base.route_ns);
+                }
+                Some(_) => {
+                    committed += 1;
+                    latency += timing.misprediction_latency_ns() + recovery_ns;
+                }
+                None => latency += timing.sequential_latency_ns(),
+            }
+        }
+        scores.push(ThresholdScore {
+            theta,
+            expected_latency_ns: latency / train.len() as f64,
+            accuracy: if committed == 0 {
+                1.0
+            } else {
+                correct as f64 / committed as f64
+            },
+            commit_rate: committed as f64 / train.len() as f64,
+        });
+    }
+    let best = scores
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.expected_latency_ns.total_cmp(&b.1.expected_latency_ns))
+        .map(|(i, _)| i)
+        .expect("non-empty scores");
+    (scores, best)
+}
+
+/// Convenience: tunes over the paper's candidate grid (0.70–0.99) with
+/// freshly synthesized training pulses at prior `p1`.
+#[must_use]
+pub fn tune_for_prior(
+    calibration: &Calibration,
+    base: &ArteryConfig,
+    p1: f64,
+    train_pulses: usize,
+    recovery_ns: f64,
+    rng: &mut impl Rng,
+) -> ThresholdScore {
+    let candidates = [0.70, 0.75, 0.80, 0.85, 0.88, 0.91, 0.94, 0.97, 0.99];
+    let train: Vec<ReadoutPulse> = (0..train_pulses.max(1))
+        .map(|_| calibration.model().synthesize(rng.gen::<f64>() < p1, rng))
+        .collect();
+    let (scores, best) = tune_threshold(calibration, base, &candidates, &train, p1, recovery_ns);
+    scores[best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+
+    fn setup() -> (ArteryConfig, Calibration) {
+        let config = ArteryConfig {
+            train_pulses: 500,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("tune/cal"));
+        (config, cal)
+    }
+
+    #[test]
+    fn tuned_threshold_beats_extremes() {
+        let (config, cal) = setup();
+        let mut rng = rng_for("tune/pulses");
+        let train: Vec<ReadoutPulse> = (0..300)
+            .map(|k| cal.model().synthesize(k % 2 == 0, &mut rng))
+            .collect();
+        let candidates = [0.70, 0.85, 0.91, 0.99];
+        let (scores, best) = tune_threshold(&cal, &config, &candidates, &train, 0.5, 60.0);
+        assert_eq!(scores.len(), 4);
+        let best_latency = scores[best].expected_latency_ns;
+        // The tuned value must not be beaten by either extreme.
+        assert!(best_latency <= scores[0].expected_latency_ns);
+        assert!(best_latency <= scores[3].expected_latency_ns);
+    }
+
+    #[test]
+    fn higher_thresholds_are_more_accurate() {
+        let (config, cal) = setup();
+        let mut rng = rng_for("tune/acc");
+        let train: Vec<ReadoutPulse> = (0..400)
+            .map(|k| cal.model().synthesize(k % 2 == 0, &mut rng))
+            .collect();
+        let (scores, _) =
+            tune_threshold(&cal, &config, &[0.70, 0.99], &train, 0.5, 60.0);
+        assert!(
+            scores[1].accuracy >= scores[0].accuracy,
+            "θ=0.99 accuracy {:.3} below θ=0.70 {:.3}",
+            scores[1].accuracy,
+            scores[0].accuracy
+        );
+        assert!(scores[1].commit_rate <= scores[0].commit_rate);
+    }
+
+    #[test]
+    fn skewed_prior_tunes_to_early_commitment() {
+        let (config, cal) = setup();
+        let best = tune_for_prior(&cal, &config, 0.02, 300, 60.0, &mut rng_for("tune/skew"));
+        // Strongly skewed priors commit on (almost) every shot and keep
+        // latency well below sequential.
+        assert!(best.commit_rate > 0.9);
+        assert!(best.expected_latency_ns < 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate")]
+    fn empty_candidates_panic() {
+        let (config, cal) = setup();
+        let pulse = cal.model().synthesize(false, &mut rng_for("tune/one"));
+        let _ = tune_threshold(&cal, &config, &[], &[pulse], 0.5, 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! When controller pipeline outputs become available.
+
+use crate::params::HardwareParams;
+
+/// Timing calculator for the feedback controller of Fig. 7.
+///
+/// Two pipelines matter:
+///
+/// * the **sequential** pipeline — wait for the whole readout, then ADC →
+///   classify → pulse-prep → DAC (the baselines),
+/// * the **windowed** pipeline — every demodulation window of length `W`
+///   updates the branch-history registers and the Bayesian predictor; a
+///   decision at window `w` is available `ADC + classify + predictor`
+///   after that window's samples end, and the branch pulse reaches the
+///   qubit after pulse-prep + DAC (ARTERY).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerTiming {
+    params: HardwareParams,
+    window_ns: f64,
+}
+
+impl ControllerTiming {
+    /// Creates a timing calculator with the given demodulation window
+    /// (paper default: 30 ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is not positive.
+    #[must_use]
+    pub fn new(params: HardwareParams, window_ns: f64) -> Self {
+        assert!(window_ns > 0.0, "window length must be positive");
+        Self { params, window_ns }
+    }
+
+    /// The underlying constants.
+    #[must_use]
+    pub fn params(&self) -> &HardwareParams {
+        &self.params
+    }
+
+    /// Demodulation window length, ns.
+    #[must_use]
+    pub fn window_ns(&self) -> f64 {
+        self.window_ns
+    }
+
+    /// Number of whole demodulation windows in the readout pulse.
+    #[must_use]
+    pub fn num_windows(&self) -> usize {
+        (self.params.readout_ns / self.window_ns).floor() as usize
+    }
+
+    /// Feedback latency of the sequential pipeline, measured from readout
+    /// start to branch-pulse arrival, excluding the branch gates themselves.
+    #[must_use]
+    pub fn sequential_latency_ns(&self) -> f64 {
+        self.params.readout_ns + self.params.processing_ns()
+    }
+
+    /// Time (from readout start) at which the prediction made from window
+    /// `w` (0-based) is available at the branch decider.
+    #[must_use]
+    pub fn prediction_ready_ns(&self, window: usize) -> f64 {
+        (window as f64 + 1.0) * self.window_ns
+            + self.params.adc_ns
+            + self.params.classify_ns
+            + self.params.predictor_ns()
+    }
+
+    /// Time (from readout start) at which the branch pulse reaches the qubit
+    /// when the decision fires at window `w` and the target is reached with
+    /// `route_ns` of interconnect latency.
+    ///
+    /// For cases 1–2 this is when pre-execution starts; the paper's latency
+    /// metric for those cases is exactly this quantity (plus branch gates and
+    /// any recovery).
+    #[must_use]
+    pub fn branch_start_ns(&self, window: usize, route_ns: f64) -> f64 {
+        self.prediction_ready_ns(window)
+            + route_ns
+            + self.params.pulse_prep_ns
+            + self.params.dac_ns
+    }
+
+    /// Latency of a case-3 (reset-style) predicted feedback: the branch pulse
+    /// is armed during the readout and fires the moment the readout window
+    /// closes, so only the arming path can exceed the readout. When the
+    /// decision fires at window `w`, latency is
+    /// `max(readout, branch_start(w))`.
+    #[must_use]
+    pub fn armed_latency_ns(&self, window: usize, route_ns: f64) -> f64 {
+        self.params
+            .readout_ns
+            .max(self.branch_start_ns(window, route_ns))
+    }
+
+    /// Latency of a *misprediction* discovered at readout end: the full
+    /// sequential path must run (the classification at readout end reveals
+    /// the truth, then the correct branch is prepared), plus the recovery
+    /// pulses accounted by the caller.
+    #[must_use]
+    pub fn misprediction_latency_ns(&self) -> f64 {
+        self.sequential_latency_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> ControllerTiming {
+        ControllerTiming::new(HardwareParams::paper(), 30.0)
+    }
+
+    #[test]
+    fn sequential_latency_is_2160ns() {
+        assert_eq!(timing().sequential_latency_ns(), 2160.0);
+    }
+
+    #[test]
+    fn window_count() {
+        assert_eq!(timing().num_windows(), 66);
+        let t = ControllerTiming::new(HardwareParams::paper(), 100.0);
+        assert_eq!(t.num_windows(), 20);
+    }
+
+    #[test]
+    fn prediction_ready_grows_with_window() {
+        let t = timing();
+        // Window 0: 30 + 44 + 24 + 12 = 110 ns.
+        assert_eq!(t.prediction_ready_ns(0), 110.0);
+        assert!(t.prediction_ready_ns(10) > t.prediction_ready_ns(0));
+        // Last window decision lands after readout end.
+        assert!(t.prediction_ready_ns(65) > 2000.0);
+    }
+
+    #[test]
+    fn branch_start_adds_prep_dac_and_route() {
+        let t = timing();
+        assert_eq!(t.branch_start_ns(0, 0.0), 110.0 + 36.0 + 56.0);
+        assert_eq!(t.branch_start_ns(0, 48.0), 110.0 + 48.0 + 36.0 + 56.0);
+    }
+
+    #[test]
+    fn armed_latency_floors_at_readout() {
+        let t = timing();
+        // Early decision: floor at 2 µs.
+        assert_eq!(t.armed_latency_ns(0, 0.0), 2000.0);
+        // Decision at the very last window: slightly above readout.
+        assert!(t.armed_latency_ns(65, 0.0) > 2000.0);
+    }
+
+    #[test]
+    fn early_decision_beats_sequential() {
+        let t = timing();
+        // Deciding at 1 µs (window 32) saves ~1 µs.
+        let lat = t.branch_start_ns(32, 0.0);
+        assert!(lat < 1200.0);
+        assert!(lat < t.sequential_latency_ns() / 1.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = ControllerTiming::new(HardwareParams::paper(), 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Event-timed simulation of one feedback through the controller units.
+//!
+//! `ControllerTiming` answers "when is X available" in closed form; this
+//! module complements it with an explicit discrete-event timeline of the
+//! units in Fig. 7 (c) — readout capture, windowed demodulation, history
+//! registers, Bayesian predictor, dynamic timing controller, branch decider,
+//! pulse library, DAC — so a feedback's life can be traced, printed and
+//! asserted unit by unit.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::controller::ControllerTiming;
+use crate::trigger::{DynamicTimingController, ProbabilityUpdate, TriggerEvent};
+
+/// A controller unit that can emit timeline events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// ADC capture + digital down-conversion of one window.
+    Adc,
+    /// Demodulator producing one IQ point.
+    Demodulator,
+    /// Branch history registers shifting in a preliminary classification.
+    HistoryRegisters,
+    /// Bayesian predictor emitting `P_predict_1`.
+    Predictor,
+    /// Dynamic timing controller issuing the feedback trigger.
+    TimingController,
+    /// Branch decider fetching instructions from the operation table.
+    BranchDecider,
+    /// Pulse library lookup + decode.
+    PulseLibrary,
+    /// DAC conversion; the pulse reaches the qubit when this completes.
+    Dac,
+}
+
+/// One timestamped unit event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// Nanoseconds from readout start.
+    pub at_ns: f64,
+    /// The unit that completed work.
+    pub unit: Unit,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// A time-ordered event queue (min-heap by timestamp).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, usize)>>, // (time in picoseconds, insertion id)
+    events: Vec<TimelineEvent>,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, event: TimelineEvent) {
+        let key = (event.at_ns.max(0.0) * 1000.0).round() as u64;
+        let id = self.events.len();
+        self.events.push(event);
+        self.heap.push(Reverse((key, id)));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<TimelineEvent> {
+        self.heap
+            .pop()
+            .map(|Reverse((_, id))| self.events[id].clone())
+    }
+
+    /// Drains all events in time order.
+    pub fn drain_ordered(&mut self) -> Vec<TimelineEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        while let Some(e) = self.pop() {
+            out.push(e);
+        }
+        self.events.clear();
+        out
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Simulates the unit-level timeline of one feedback: every window's
+/// demod/classify/predict completions, and — if `trigger` fires — the
+/// trigger, decider, library and DAC events down to the branch-pulse start.
+///
+/// Returns the time-ordered events and the trigger (if any).
+#[must_use]
+pub fn feedback_timeline(
+    timing: &ControllerTiming,
+    controller: &DynamicTimingController,
+    updates: &[ProbabilityUpdate],
+    route_ns: f64,
+) -> (Vec<TimelineEvent>, Option<TriggerEvent>) {
+    let hw = timing.params();
+    let mut queue = EventQueue::new();
+    let trigger = controller.first_trigger(updates.iter().copied(), timing, route_ns);
+    let last_window = trigger.map_or(
+        updates.last().map_or(0, |u| u.window),
+        |t| t.window,
+    );
+    for u in updates.iter().take_while(|u| u.window <= last_window) {
+        let window_end = (u.window as f64 + 1.0) * timing.window_ns();
+        queue.push(TimelineEvent {
+            at_ns: window_end + hw.adc_ns,
+            unit: Unit::Adc,
+            detail: format!("window {} captured + down-converted", u.window),
+        });
+        queue.push(TimelineEvent {
+            at_ns: window_end + hw.adc_ns + hw.classify_ns * 0.5,
+            unit: Unit::Demodulator,
+            detail: format!("window {} IQ point", u.window),
+        });
+        queue.push(TimelineEvent {
+            at_ns: window_end + hw.adc_ns + hw.classify_ns,
+            unit: Unit::HistoryRegisters,
+            detail: format!("window {} classification shifted in", u.window),
+        });
+        queue.push(TimelineEvent {
+            at_ns: timing.prediction_ready_ns(u.window),
+            unit: Unit::Predictor,
+            detail: format!("P_predict_1 = {:.3}", u.p_predict_1),
+        });
+    }
+    if let Some(t) = trigger {
+        queue.push(TimelineEvent {
+            at_ns: t.fired_at_ns,
+            unit: Unit::TimingController,
+            detail: format!("feedback trigger for branch {}", u8::from(t.branch)),
+        });
+        queue.push(TimelineEvent {
+            at_ns: t.fired_at_ns + route_ns,
+            unit: Unit::BranchDecider,
+            detail: "trigger received; fetching branch instructions".to_string(),
+        });
+        queue.push(TimelineEvent {
+            at_ns: t.fired_at_ns + route_ns + hw.pulse_prep_ns,
+            unit: Unit::PulseLibrary,
+            detail: "branch pulses decoded".to_string(),
+        });
+        queue.push(TimelineEvent {
+            at_ns: t.branch_start_ns,
+            unit: Unit::Dac,
+            detail: "branch pulse on the line".to_string(),
+        });
+    }
+    (queue.drain_ordered(), trigger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::HardwareParams;
+    use crate::trigger::Thresholds;
+
+    fn setup() -> (ControllerTiming, DynamicTimingController) {
+        (
+            ControllerTiming::new(HardwareParams::paper(), 30.0),
+            DynamicTimingController::new(Thresholds::symmetric(0.9)),
+        )
+    }
+
+    fn rising_updates(n: usize) -> Vec<ProbabilityUpdate> {
+        (5..5 + n)
+            .map(|w| ProbabilityUpdate {
+                window: w,
+                p_predict_1: 0.5 + 0.05 * (w as f64 - 4.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn queue_orders_by_time() {
+        let mut q = EventQueue::new();
+        for (t, d) in [(5.0, "b"), (1.0, "a"), (9.0, "c")] {
+            q.push(TimelineEvent {
+                at_ns: t,
+                unit: Unit::Adc,
+                detail: d.to_string(),
+            });
+        }
+        let order: Vec<String> = q.drain_ordered().into_iter().map(|e| e.detail).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_is_stable_for_ties() {
+        let mut q = EventQueue::new();
+        for d in ["first", "second", "third"] {
+            q.push(TimelineEvent {
+                at_ns: 7.0,
+                unit: Unit::Predictor,
+                detail: d.to_string(),
+            });
+        }
+        let order: Vec<String> = q.drain_ordered().into_iter().map(|e| e.detail).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn timeline_ends_with_dac_when_triggered() {
+        let (timing, ctl) = setup();
+        let (events, trigger) = feedback_timeline(&timing, &ctl, &rising_updates(30), 0.0);
+        let t = trigger.expect("threshold crossed");
+        let last = events.last().expect("events emitted");
+        assert_eq!(last.unit, Unit::Dac);
+        assert!((last.at_ns - t.branch_start_ns).abs() < 1e-9);
+        // Monotone timeline.
+        for pair in events.windows(2) {
+            assert!(pair[0].at_ns <= pair[1].at_ns + 1e-9);
+        }
+    }
+
+    #[test]
+    fn timeline_unit_order_within_a_window() {
+        let (timing, ctl) = setup();
+        let (events, _) = feedback_timeline(&timing, &ctl, &rising_updates(30), 0.0);
+        // The first three events belong to the first analysed window in
+        // pipeline order; its Predictor completion overlaps the *next*
+        // window's ADC (the units are pipelined), so it appears later.
+        let units: Vec<Unit> = events.iter().take(3).map(|e| e.unit).collect();
+        assert_eq!(
+            units,
+            [Unit::Adc, Unit::Demodulator, Unit::HistoryRegisters]
+        );
+        let first_pred = events
+            .iter()
+            .find(|e| e.unit == Unit::Predictor)
+            .expect("predictor event");
+        assert!((first_pred.at_ns - timing.prediction_ready_ns(5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_trigger_means_no_downstream_units() {
+        let (timing, ctl) = setup();
+        let flat: Vec<ProbabilityUpdate> = (5..20)
+            .map(|w| ProbabilityUpdate {
+                window: w,
+                p_predict_1: 0.5,
+            })
+            .collect();
+        let (events, trigger) = feedback_timeline(&timing, &ctl, &flat, 0.0);
+        assert!(trigger.is_none());
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e.unit, Unit::Dac | Unit::BranchDecider)));
+    }
+
+    #[test]
+    fn route_latency_shifts_decider_not_trigger() {
+        let (timing, ctl) = setup();
+        let (local, _) = feedback_timeline(&timing, &ctl, &rising_updates(30), 0.0);
+        let (remote, _) = feedback_timeline(&timing, &ctl, &rising_updates(30), 48.0);
+        let pick = |evs: &[TimelineEvent], u: Unit| {
+            evs.iter().find(|e| e.unit == u).map(|e| e.at_ns).unwrap()
+        };
+        assert_eq!(
+            pick(&local, Unit::TimingController),
+            pick(&remote, Unit::TimingController)
+        );
+        assert_eq!(
+            pick(&remote, Unit::BranchDecider) - pick(&local, Unit::BranchDecider),
+            48.0
+        );
+    }
+}

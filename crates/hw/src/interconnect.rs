@@ -1,0 +1,218 @@
+//! The three-level controller interconnect of §5.2.
+//!
+//! Feedback signals travel (1) inside one FPGA, (2) between FPGAs on the
+//! same backplane over a direct point-to-point link, or (3) across
+//! backplanes through the backplane routing network. The hierarchy keeps
+//! most feedback on the cheapest paths; only long-distance qubit pairs pay
+//! the cross-backplane cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::HardwareParams;
+
+/// Identifier of an FPGA board in the control system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FpgaId(pub usize);
+
+/// Identifier of a backplane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BackplaneId(pub usize);
+
+/// The hierarchy level a route uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteLevel {
+    /// Source and destination on the same FPGA.
+    IntraFpga,
+    /// Same backplane, different FPGAs: one serdes hop.
+    IntraBackplane,
+    /// Different backplanes: serdes to the local backplane, backplane-to-
+    /// backplane link, serdes to the remote FPGA.
+    InterBackplane,
+}
+
+/// Static topology of the control system: `num_backplanes` backplanes each
+/// carrying `fpgas_per_backplane` FPGAs, each FPGA controlling
+/// `qubits_per_fpga` qubits (§6.1: 16 DACs / 4 ADCs per FPGA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// FPGAs mounted on one backplane.
+    pub fpgas_per_backplane: usize,
+    /// Number of backplanes.
+    pub num_backplanes: usize,
+    /// Qubits controlled by one FPGA.
+    pub qubits_per_fpga: usize,
+}
+
+impl Topology {
+    /// The evaluation system: one backplane of FPGAs driving the 18-qubit
+    /// chip, 6 qubits per FPGA (3 readout lines × 2).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            fpgas_per_backplane: 3,
+            num_backplanes: 1,
+            qubits_per_fpga: 6,
+        }
+    }
+
+    /// Total FPGA count.
+    #[must_use]
+    pub fn num_fpgas(&self) -> usize {
+        self.fpgas_per_backplane * self.num_backplanes
+    }
+
+    /// Total qubit capacity.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_fpgas() * self.qubits_per_fpga
+    }
+
+    /// The FPGA controlling a qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the qubit exceeds the system capacity.
+    #[must_use]
+    pub fn fpga_of_qubit(&self, qubit: usize) -> FpgaId {
+        assert!(qubit < self.num_qubits(), "qubit {qubit} beyond capacity");
+        FpgaId(qubit / self.qubits_per_fpga)
+    }
+
+    /// The backplane carrying an FPGA.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the FPGA id is out of range.
+    #[must_use]
+    pub fn backplane_of(&self, fpga: FpgaId) -> BackplaneId {
+        assert!(fpga.0 < self.num_fpgas(), "fpga {fpga:?} out of range");
+        BackplaneId(fpga.0 / self.fpgas_per_backplane)
+    }
+
+    /// The hierarchy level of a route between two FPGAs.
+    #[must_use]
+    pub fn route_level(&self, from: FpgaId, to: FpgaId) -> RouteLevel {
+        if from == to {
+            RouteLevel::IntraFpga
+        } else if self.backplane_of(from) == self.backplane_of(to) {
+            RouteLevel::IntraBackplane
+        } else {
+            RouteLevel::InterBackplane
+        }
+    }
+
+    /// One-way latency of a route, ns.
+    ///
+    /// Level 1 is an on-chip wire (4 ns); level 2 is one serdes hop (48 ns);
+    /// level 3 crosses two serdes hops plus the backplane-to-backplane link
+    /// (modelled as one more serdes-class hop).
+    #[must_use]
+    pub fn route_latency_ns(&self, from: FpgaId, to: FpgaId, hw: &HardwareParams) -> f64 {
+        match self.route_level(from, to) {
+            RouteLevel::IntraFpga => hw.on_chip_ns,
+            RouteLevel::IntraBackplane => hw.serdes_ns,
+            RouteLevel::InterBackplane => 3.0 * hw.serdes_ns,
+        }
+    }
+
+    /// Latency of the feedback path between two qubits' controllers, ns.
+    #[must_use]
+    pub fn qubit_route_latency_ns(&self, from_qubit: usize, to_qubit: usize, hw: &HardwareParams) -> f64 {
+        self.route_latency_ns(
+            self.fpga_of_qubit(from_qubit),
+            self.fpga_of_qubit(to_qubit),
+            hw,
+        )
+    }
+
+    /// Worst-case route latency anywhere in the system, ns.
+    #[must_use]
+    pub fn diameter_ns(&self, hw: &HardwareParams) -> f64 {
+        if self.num_backplanes > 1 {
+            3.0 * hw.serdes_ns
+        } else if self.fpgas_per_backplane > 1 {
+            hw.serdes_ns
+        } else {
+            hw.on_chip_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big() -> Topology {
+        Topology {
+            fpgas_per_backplane: 4,
+            num_backplanes: 3,
+            qubits_per_fpga: 6,
+        }
+    }
+
+    #[test]
+    fn paper_topology_covers_device() {
+        let t = Topology::paper();
+        assert_eq!(t.num_fpgas(), 3);
+        assert_eq!(t.num_qubits(), 18);
+    }
+
+    #[test]
+    fn qubit_mapping() {
+        let t = Topology::paper();
+        assert_eq!(t.fpga_of_qubit(0), FpgaId(0));
+        assert_eq!(t.fpga_of_qubit(5), FpgaId(0));
+        assert_eq!(t.fpga_of_qubit(6), FpgaId(1));
+        assert_eq!(t.fpga_of_qubit(17), FpgaId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn out_of_range_qubit_panics() {
+        let _ = Topology::paper().fpga_of_qubit(18);
+    }
+
+    #[test]
+    fn route_levels() {
+        let t = big();
+        assert_eq!(t.route_level(FpgaId(0), FpgaId(0)), RouteLevel::IntraFpga);
+        assert_eq!(t.route_level(FpgaId(0), FpgaId(3)), RouteLevel::IntraBackplane);
+        assert_eq!(t.route_level(FpgaId(0), FpgaId(4)), RouteLevel::InterBackplane);
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let t = big();
+        let hw = HardwareParams::paper();
+        let l1 = t.route_latency_ns(FpgaId(0), FpgaId(0), &hw);
+        let l2 = t.route_latency_ns(FpgaId(0), FpgaId(1), &hw);
+        let l3 = t.route_latency_ns(FpgaId(0), FpgaId(11), &hw);
+        assert_eq!(l1, 4.0);
+        assert_eq!(l2, 48.0);
+        assert_eq!(l3, 144.0);
+        assert!(l1 < l2 && l2 < l3);
+    }
+
+    #[test]
+    fn qubit_route_latency() {
+        let t = big();
+        let hw = HardwareParams::paper();
+        // Qubits 0 and 5 share FPGA 0.
+        assert_eq!(t.qubit_route_latency_ns(0, 5, &hw), 4.0);
+        // Qubits 0 and 70 are on different backplanes (70/6 = 11).
+        assert_eq!(t.qubit_route_latency_ns(0, 70, &hw), 144.0);
+    }
+
+    #[test]
+    fn diameter_matches_structure() {
+        let hw = HardwareParams::paper();
+        assert_eq!(Topology::paper().diameter_ns(&hw), 48.0);
+        assert_eq!(big().diameter_ns(&hw), 144.0);
+        let single = Topology {
+            fpgas_per_backplane: 1,
+            num_backplanes: 1,
+            qubits_per_fpga: 18,
+        };
+        assert_eq!(single.diameter_ns(&hw), 4.0);
+    }
+}

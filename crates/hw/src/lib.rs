@@ -1,0 +1,39 @@
+//! The classical feedback-controller hardware model.
+//!
+//! ARTERY's latency results are sums of published stage latencies (§2.2) plus
+//! interconnect hops (§5.2) and trigger timing (§5.3). This crate models the
+//! controller as cycle-accounted pipelines rather than RTL:
+//!
+//! * [`HardwareParams`] — the single source of truth for every published
+//!   constant (ADC 44 ns, classification 24 ns, pulse preparation 36 ns, DAC
+//!   56 ns, serdes 48 ns, 250 MHz fabric clock, 2 µs readout, the 660 ns
+//!   latency wall),
+//! * [`ControllerTiming`] — when classification results, predictions and
+//!   branch pulses become available, for both the sequential pipeline and
+//!   ARTERY's windowed early-decision pipeline,
+//! * [`interconnect`] — the three-level backplane hierarchy and its routing
+//!   latencies,
+//! * [`trigger`] — the dynamic-timing feedback trigger that converts a
+//!   threshold crossing into a (possibly remote) branch start time.
+//!
+//! # Examples
+//!
+//! ```
+//! use artery_hw::HardwareParams;
+//!
+//! let hw = HardwareParams::paper();
+//! assert_eq!(hw.processing_ns(), 160.0);
+//! assert_eq!(hw.latency_wall_ns(), 660.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+pub mod event;
+pub mod interconnect;
+mod params;
+pub mod trigger;
+
+pub use controller::ControllerTiming;
+pub use params::{HardwareParams, ReadoutDesignPoint, READOUT_FRONTIER};

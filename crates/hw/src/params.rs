@@ -1,0 +1,145 @@
+//! Published hardware constants — the calibration table of DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+
+/// All latency/clock constants of the evaluation platform.
+///
+/// Values come straight from the paper: the stage latencies of §2.2
+/// (Fig. 2), the FPGA/serdes configuration of §6.1 and the readout duration
+/// of the device description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareParams {
+    /// ADC processing latency (capture + digital down-conversion), ns.
+    pub adc_ns: f64,
+    /// State classification latency (demodulation + discrimination), ns.
+    pub classify_ns: f64,
+    /// Pulse preparation latency (library lookup + decode), ns.
+    pub pulse_prep_ns: f64,
+    /// DAC processing latency (interpolation + conversion), ns.
+    pub dac_ns: f64,
+    /// Serdes latency per inter-FPGA hop, ns.
+    pub serdes_ns: f64,
+    /// On-chip signal latency between units, ns.
+    pub on_chip_ns: f64,
+    /// FPGA fabric clock period, ns (250 MHz → 4 ns).
+    pub clock_ns: f64,
+    /// Readout pulse duration, ns.
+    pub readout_ns: f64,
+    /// Bayesian predictor pipeline depth in fabric cycles (§5.1: "outputs
+    /// the P_predict after three cycles").
+    pub predictor_cycles: u32,
+}
+
+impl HardwareParams {
+    /// The paper's configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            adc_ns: 44.0,
+            classify_ns: 24.0,
+            pulse_prep_ns: 36.0,
+            dac_ns: 56.0,
+            serdes_ns: 48.0,
+            on_chip_ns: 4.0,
+            clock_ns: 4.0,
+            readout_ns: 2000.0,
+            predictor_cycles: 3,
+        }
+    }
+
+    /// Total classical processing latency of the sequential pipeline:
+    /// ADC + classification + pulse preparation + DAC (= 160 ns).
+    #[must_use]
+    pub fn processing_ns(&self) -> f64 {
+        self.adc_ns + self.classify_ns + self.pulse_prep_ns + self.dac_ns
+    }
+
+    /// The latency wall of Fig. 2: the 500 ns minimum readout Google deems
+    /// safe for qubit lifetime plus the 160 ns hardware floor.
+    #[must_use]
+    pub fn latency_wall_ns(&self) -> f64 {
+        500.0 + self.processing_ns()
+    }
+
+    /// Latency of the Bayesian predictor pipeline, ns.
+    #[must_use]
+    pub fn predictor_ns(&self) -> f64 {
+        f64::from(self.predictor_cycles) * self.clock_ns
+    }
+}
+
+impl Default for HardwareParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A published readout-latency-versus-T1 design point (Fig. 2, left).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadoutDesignPoint {
+    /// Design label.
+    pub name: &'static str,
+    /// Readout latency in nanoseconds.
+    pub readout_ns: f64,
+    /// Qubit lifetime T1 in microseconds.
+    pub t1_us: f64,
+}
+
+/// The readout/lifetime frontier the paper plots in Fig. 2 (left): pushing
+/// readout latency down costs qubit lifetime, which is why readout cannot be
+/// optimized below ~500 ns in practice.
+///
+/// Values transcribed from the paper's citations: Walter et al. [67]
+/// (88 ns, 7.6 µs), Google's surface-code processor [42] (500 ns, ≈20 µs),
+/// IBM Fez [41] (long readout, long-lived transmons).
+pub const READOUT_FRONTIER: [ReadoutDesignPoint; 3] = [
+    ReadoutDesignPoint {
+        name: "Walter et al. [67]",
+        readout_ns: 88.0,
+        t1_us: 7.6,
+    },
+    ReadoutDesignPoint {
+        name: "Google [42]",
+        readout_ns: 500.0,
+        t1_us: 20.0,
+    },
+    ReadoutDesignPoint {
+        name: "IBM Fez [41]",
+        readout_ns: 1400.0,
+        t1_us: 180.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processing_sums_to_160ns() {
+        assert_eq!(HardwareParams::paper().processing_ns(), 160.0);
+    }
+
+    #[test]
+    fn latency_wall_is_660ns() {
+        assert_eq!(HardwareParams::paper().latency_wall_ns(), 660.0);
+    }
+
+    #[test]
+    fn predictor_is_three_cycles() {
+        assert_eq!(HardwareParams::paper().predictor_ns(), 12.0);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(HardwareParams::default(), HardwareParams::paper());
+    }
+
+    #[test]
+    fn frontier_trades_readout_for_lifetime() {
+        // Sorted by readout latency, lifetime must be non-decreasing.
+        for pair in READOUT_FRONTIER.windows(2) {
+            assert!(pair[0].readout_ns < pair[1].readout_ns);
+            assert!(pair[0].t1_us < pair[1].t1_us);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The feedback trigger mechanism of §5.3 (Fig. 9).
+//!
+//! Under static timing, branch pulses would fire at fixed schedule points;
+//! with prediction the decision time is data-dependent, so the dynamic
+//! timing controller watches the predictor's probability stream and issues a
+//! *feedback trigger* the first time the confidence threshold is crossed.
+//! The trigger propagates to the branch decider — locally or across the
+//! backplane — which starts the branch circuit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::controller::ControllerTiming;
+
+/// One probability update from the Bayesian predictor, produced at a window
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilityUpdate {
+    /// Demodulation window index (0-based).
+    pub window: usize,
+    /// Predicted probability of branch 1 after this window.
+    pub p_predict_1: f64,
+}
+
+/// A fired feedback trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriggerEvent {
+    /// Window at which the threshold was crossed.
+    pub window: usize,
+    /// The branch the trigger selects.
+    pub branch: bool,
+    /// Time from readout start at which the trigger fires at the *local*
+    /// dynamic timing controller, ns.
+    pub fired_at_ns: f64,
+    /// Time at which the (possibly remote) branch decider starts the branch
+    /// pulse, ns.
+    pub branch_start_ns: f64,
+}
+
+/// Confidence thresholds θ0/θ1 of the branch decider.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Confidence required to commit to branch 0 (on `1 − P_predict_1`).
+    pub theta0: f64,
+    /// Confidence required to commit to branch 1 (on `P_predict_1`).
+    pub theta1: f64,
+}
+
+impl Thresholds {
+    /// Symmetric thresholds (the paper tunes a single tolerance per
+    /// benchmark; Fig. 17 selects 0.91 for RCNOT).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `theta` is in `(0.5, 1.0]`.
+    #[must_use]
+    pub fn symmetric(theta: f64) -> Self {
+        assert!(
+            theta > 0.5 && theta <= 1.0,
+            "threshold must be in (0.5, 1.0]"
+        );
+        Self {
+            theta0: theta,
+            theta1: theta,
+        }
+    }
+
+    /// The branch committed by probability `p1`, if any: branch 1 when
+    /// `p1 > θ1`, branch 0 when `1 − p1 > θ0`.
+    #[must_use]
+    pub fn decide(&self, p1: f64) -> Option<bool> {
+        if p1 > self.theta1 {
+            Some(true)
+        } else if 1.0 - p1 > self.theta0 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for Thresholds {
+    /// The paper's tuned default, θ = 0.91.
+    fn default() -> Self {
+        Self::symmetric(0.91)
+    }
+}
+
+/// The dynamic timing controller: folds a probability stream into the first
+/// trigger, if the stream ever crosses a threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicTimingController {
+    thresholds: Thresholds,
+}
+
+impl DynamicTimingController {
+    /// Creates a controller with the given thresholds.
+    #[must_use]
+    pub fn new(thresholds: Thresholds) -> Self {
+        Self { thresholds }
+    }
+
+    /// The active thresholds.
+    #[must_use]
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// Scans probability updates in window order and returns the first
+    /// trigger, with timing derived from `timing` and `route_ns` of
+    /// interconnect latency to the branch decider.
+    ///
+    /// Returns `None` when no update crosses a threshold — the feedback then
+    /// degrades to the sequential path.
+    #[must_use]
+    pub fn first_trigger(
+        &self,
+        updates: impl IntoIterator<Item = ProbabilityUpdate>,
+        timing: &ControllerTiming,
+        route_ns: f64,
+    ) -> Option<TriggerEvent> {
+        for u in updates {
+            if let Some(branch) = self.thresholds.decide(u.p_predict_1) {
+                let fired_at_ns = timing.prediction_ready_ns(u.window);
+                return Some(TriggerEvent {
+                    window: u.window,
+                    branch,
+                    fired_at_ns,
+                    branch_start_ns: timing.branch_start_ns(u.window, route_ns),
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::HardwareParams;
+
+    fn timing() -> ControllerTiming {
+        ControllerTiming::new(HardwareParams::paper(), 30.0)
+    }
+
+    #[test]
+    fn thresholds_decide_both_sides() {
+        let t = Thresholds::symmetric(0.9);
+        assert_eq!(t.decide(0.95), Some(true));
+        assert_eq!(t.decide(0.05), Some(false));
+        assert_eq!(t.decide(0.6), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn low_threshold_rejected() {
+        let _ = Thresholds::symmetric(0.5);
+    }
+
+    #[test]
+    fn default_threshold_is_091() {
+        let t = Thresholds::default();
+        assert_eq!(t.theta1, 0.91);
+    }
+
+    #[test]
+    fn first_crossing_fires() {
+        let ctl = DynamicTimingController::new(Thresholds::symmetric(0.9));
+        let updates = vec![
+            ProbabilityUpdate { window: 0, p_predict_1: 0.7 },
+            ProbabilityUpdate { window: 1, p_predict_1: 0.85 },
+            ProbabilityUpdate { window: 2, p_predict_1: 0.93 },
+            ProbabilityUpdate { window: 3, p_predict_1: 0.99 },
+        ];
+        let trig = ctl.first_trigger(updates, &timing(), 0.0).expect("trigger");
+        assert_eq!(trig.window, 2);
+        assert!(trig.branch);
+        assert_eq!(trig.fired_at_ns, timing().prediction_ready_ns(2));
+        assert!(trig.branch_start_ns > trig.fired_at_ns);
+    }
+
+    #[test]
+    fn branch_zero_trigger() {
+        let ctl = DynamicTimingController::new(Thresholds::symmetric(0.9));
+        let updates = vec![ProbabilityUpdate { window: 5, p_predict_1: 0.02 }];
+        let trig = ctl.first_trigger(updates, &timing(), 0.0).expect("trigger");
+        assert!(!trig.branch);
+    }
+
+    #[test]
+    fn no_crossing_no_trigger() {
+        let ctl = DynamicTimingController::new(Thresholds::symmetric(0.95));
+        let updates = (0..66).map(|w| ProbabilityUpdate { window: w, p_predict_1: 0.5 });
+        assert!(ctl.first_trigger(updates, &timing(), 0.0).is_none());
+    }
+
+    #[test]
+    fn remote_trigger_adds_route_latency() {
+        let ctl = DynamicTimingController::new(Thresholds::symmetric(0.9));
+        let updates = vec![ProbabilityUpdate { window: 2, p_predict_1: 0.95 }];
+        let local = ctl
+            .first_trigger(updates.clone(), &timing(), 0.0)
+            .expect("local");
+        let remote = ctl.first_trigger(updates, &timing(), 48.0).expect("remote");
+        assert_eq!(remote.branch_start_ns - local.branch_start_ns, 48.0);
+        assert_eq!(remote.fired_at_ns, local.fired_at_ns);
+    }
+}

@@ -1,0 +1,309 @@
+//! A minimal, dependency-free complex number type.
+//!
+//! `num-complex` is not part of the approved offline dependency set, and the
+//! workspace only needs a small surface: arithmetic, conjugation, polar
+//! helpers and norms. Everything is `f64`-based because both the state-vector
+//! simulator and the IQ demodulator work in double precision.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A double-precision complex number `re + i·im`.
+///
+/// # Examples
+///
+/// ```
+/// use artery_num::Complex64;
+///
+/// let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+/// assert!((z.re).abs() < 1e-12);
+/// assert!((z.im - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let z = artery_num::Complex64::new(3.0, -4.0);
+    /// assert_eq!(z.norm(), 5.0);
+    /// ```
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The imaginary unit `i`.
+    #[must_use]
+    pub const fn i() -> Self {
+        Self { re: 0.0, im: 1.0 }
+    }
+
+    /// Builds a complex number from polar coordinates `r·e^{iθ}`.
+    #[must_use]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Euler's formula: `e^{iθ} = cos θ + i sin θ`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use artery_num::Complex64;
+    /// let z = Complex64::cis(std::f64::consts::PI);
+    /// assert!((z.re + 1.0).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate `re - i·im`.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `re² + im²`. Cheaper than [`Complex64::norm`] when
+    /// only relative magnitudes matter (e.g. measurement probabilities).
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[must_use]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[must_use]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` when either component is NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Self::new(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl DivAssign for Complex64 {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn construction_and_identities() {
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
+        assert_eq!(Complex64::ONE * Complex64::i(), Complex64::i());
+        assert_eq!(Complex64::from(2.5), Complex64::new(2.5, 0.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex64::i() * Complex64::i(), Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn multiplication_matches_formula() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn division_is_inverse_of_multiplication() {
+        let a = Complex64::new(0.7, -1.3);
+        let b = Complex64::new(-2.2, 0.4);
+        let q = (a * b) / b;
+        assert!(approx_eq(q.re, a.re, 1e-12));
+        assert!(approx_eq(q.im, a.im, 1e-12));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex64::new(1.5, -0.5);
+        assert_eq!(z.conj().conj(), z);
+        let zz = z * z.conj();
+        assert!(approx_eq(zz.re, z.norm_sqr(), 1e-12));
+        assert!(approx_eq(zz.im, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, 0.3);
+        assert!(approx_eq(z.norm(), 2.0, 1e-12));
+        assert!(approx_eq(z.arg(), 0.3, 1e-12));
+    }
+
+    #[test]
+    fn cis_has_unit_norm() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.41;
+            assert!(approx_eq(Complex64::cis(theta).norm(), 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Complex64 = (0..4).map(|k| Complex64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, Complex64::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = Complex64::new(1.0, -2.0);
+        assert_eq!(z * 2.0, Complex64::new(2.0, -4.0));
+        assert_eq!(2.0 * z, z * 2.0);
+        assert_eq!(z / 2.0, Complex64::new(0.5, -1.0));
+        assert_eq!(-z, Complex64::new(-1.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn nan_detection() {
+        assert!(Complex64::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex64::ONE.is_nan());
+    }
+}

@@ -1,0 +1,88 @@
+//! Numeric foundations shared by every ARTERY crate.
+//!
+//! The reproduction deliberately avoids heavyweight numeric dependencies:
+//! the only pieces of numerics the paper needs are
+//!
+//! * complex arithmetic for state vectors and IQ demodulation
+//!   ([`Complex64`]),
+//! * summary statistics over latency/fidelity samples ([`stats`]),
+//! * reproducible random number seeding shared across experiments
+//!   ([`rng`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use artery_num::Complex64;
+//!
+//! let a = Complex64::new(1.0, 2.0);
+//! let b = Complex64::i();
+//! assert_eq!(a * b, Complex64::new(-2.0, 1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+pub mod rng;
+pub mod stats;
+
+pub use complex::Complex64;
+
+/// Machine tolerance used in approximate floating-point comparisons across
+/// the workspace test suites.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` are within `tol` of each other.
+///
+/// This is the comparison helper used throughout the ARTERY test suites; it
+/// treats two NaNs as unequal, like IEEE 754.
+///
+/// # Examples
+///
+/// ```
+/// assert!(artery_num::approx_eq(0.1 + 0.2, 0.3, 1e-12));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Clamps a probability to the closed interval `[floor, 1 - floor]`.
+///
+/// The Bayesian fusion of the predictor divides by products of probabilities;
+/// clamping keeps the update numerically stable when a table entry saturates
+/// at exactly 0 or 1.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(artery_num::clamp_probability(1.2, 1e-6), 1.0 - 1e-6);
+/// assert_eq!(artery_num::clamp_probability(0.5, 1e-6), 0.5);
+/// ```
+#[must_use]
+pub fn clamp_probability(p: f64, floor: f64) -> f64 {
+    p.clamp(floor, 1.0 - floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_within_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_rejects_nan() {
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1e-9));
+    }
+
+    #[test]
+    fn clamp_probability_bounds() {
+        assert_eq!(clamp_probability(-0.5, 1e-3), 1e-3);
+        assert_eq!(clamp_probability(2.0, 1e-3), 1.0 - 1e-3);
+        assert_eq!(clamp_probability(0.42, 1e-3), 0.42);
+    }
+}

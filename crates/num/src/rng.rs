@@ -1,0 +1,112 @@
+//! Deterministic random-number seeding for reproducible experiments.
+//!
+//! Every experiment harness in this workspace must be rerunnable with
+//! bit-identical output, because EXPERIMENTS.md records measured values. All
+//! stochastic code therefore draws from [`rand::rngs::StdRng`] seeded through
+//! this module instead of `thread_rng`.
+//!
+//! The helpers hash a human-readable label (e.g. `"table1/qrw/step=25"`) into
+//! a 64-bit seed with [FNV-1a], so each experiment owns an independent and
+//! stable stream.
+//!
+//! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Workspace-wide base seed; combined with per-experiment labels.
+pub const BASE_SEED: u64 = 0xA57E_2025_15CA_0001;
+
+/// Hashes a label into a 64-bit value with FNV-1a.
+///
+/// # Examples
+///
+/// ```
+/// let a = artery_num::rng::hash_label("qec");
+/// let b = artery_num::rng::hash_label("qrw");
+/// assert_ne!(a, b);
+/// assert_eq!(a, artery_num::rng::hash_label("qec"));
+/// ```
+#[must_use]
+pub fn hash_label(label: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Creates a deterministic RNG for a labelled experiment.
+///
+/// The same label always produces the same stream; different labels produce
+/// independent streams.
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng;
+///
+/// let mut a = artery_num::rng::rng_for("fig15a");
+/// let mut b = artery_num::rng::rng_for("fig15a");
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[must_use]
+pub fn rng_for(label: &str) -> StdRng {
+    StdRng::seed_from_u64(BASE_SEED ^ hash_label(label))
+}
+
+/// Creates a deterministic RNG for the `index`-th member of a labelled family
+/// (e.g. one RNG per shot or per Monte-Carlo repetition).
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng;
+///
+/// let mut s0 = artery_num::rng::rng_for_indexed("shots", 0);
+/// let mut s1 = artery_num::rng::rng_for_indexed("shots", 1);
+/// assert_ne!(s0.gen::<u64>(), s1.gen::<u64>());
+/// ```
+#[must_use]
+pub fn rng_for_indexed(label: &str, index: u64) -> StdRng {
+    let mixed = hash_label(label) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    StdRng::seed_from_u64(BASE_SEED ^ mixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_label_same_stream() {
+        let xs: Vec<u64> = rng_for("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let ys: Vec<u64> = rng_for("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let a: u64 = rng_for("a").gen();
+        let b: u64 = rng_for("b").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indexed_streams_are_independent() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let v: u64 = rng_for_indexed("family", i).gen();
+            assert!(seen.insert(v), "collision at index {i}");
+        }
+    }
+
+    #[test]
+    fn hash_label_is_fnv1a() {
+        // Known FNV-1a vector: empty string hashes to the offset basis.
+        assert_eq!(hash_label(""), 0xcbf2_9ce4_8422_2325);
+    }
+}

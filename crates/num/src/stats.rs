@@ -1,0 +1,304 @@
+//! Summary statistics over experiment samples.
+//!
+//! Every harness in `artery-bench` reduces per-shot measurements (latency,
+//! fidelity, prediction accuracy) to the summaries the paper reports:
+//! means, standard deviations and percentile boxes (Fig. 15b shows accuracy
+//! *distributions*). [`Accumulator`] implements Welford's online algorithm so
+//! million-shot sweeps never materialize their sample vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use artery_num::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 2.5);
+/// assert_eq!(acc.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples pushed so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` when no samples have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean, or 0 for an empty accumulator.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance, or 0 with fewer than two samples.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen, or `+inf` when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen, or `-inf` when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Self::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// Mean of a slice; 0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(artery_num::stats::mean(&[2.0, 4.0]), 3.0);
+/// ```
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Linearly interpolated percentile of a slice, `q` in `[0, 1]`.
+///
+/// The slice does not need to be sorted; a sorted copy is made internally.
+///
+/// # Panics
+///
+/// Panics when `xs` is empty or `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(artery_num::stats::percentile(&xs, 0.5), 2.5);
+/// assert_eq!(artery_num::stats::percentile(&xs, 0.0), 1.0);
+/// assert_eq!(artery_num::stats::percentile(&xs, 1.0), 4.0);
+/// ```
+#[must_use]
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number summary used for the box plots of Fig. 15b.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiveNumber {
+    /// Minimum sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Computes the five-number summary of a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s = artery_num::stats::FiveNumber::from_samples(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(s.median, 2.0);
+    /// ```
+    #[must_use]
+    pub fn from_samples(xs: &[f64]) -> Self {
+        Self {
+            min: percentile(xs, 0.0),
+            q1: percentile(xs, 0.25),
+            median: percentile(xs, 0.5),
+            q3: percentile(xs, 0.75),
+            max: percentile(xs, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn accumulator_matches_direct_formulas() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let acc: Accumulator = xs.iter().copied().collect();
+        assert!(approx_eq(acc.mean(), 3.0, 1e-12));
+        assert!(approx_eq(acc.variance(), 2.5, 1e-12));
+        assert_eq!(acc.min(), 1.0);
+        assert_eq!(acc.max(), 5.0);
+    }
+
+    #[test]
+    fn accumulator_empty_and_singleton() {
+        let acc = Accumulator::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.variance(), 0.0);
+        let mut one = Accumulator::new();
+        one.push(7.0);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|k| (k as f64) * 0.37 - 5.0).collect();
+        let whole: Accumulator = xs.iter().copied().collect();
+        let mut left: Accumulator = xs[..33].iter().copied().collect();
+        let right: Accumulator = xs[33..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.len(), whole.len());
+        assert!(approx_eq(left.mean(), whole.mean(), 1e-10));
+        assert!(approx_eq(left.variance(), whole.variance(), 1e-10));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut acc: Accumulator = [1.0, 2.0].iter().copied().collect();
+        let before = acc;
+        acc.merge(&Accumulator::new());
+        assert_eq!(acc, before);
+        let mut empty = Accumulator::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert!(approx_eq(percentile(&xs, 0.5), 25.0, 1e-12));
+        assert!(approx_eq(percentile(&xs, 1.0 / 3.0), 20.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn five_number_ordering() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0, 2.0, 8.0];
+        let s = FiveNumber::from_samples(&xs);
+        assert!(s.min <= s.q1 && s.q1 <= s.median);
+        assert!(s.median <= s.q3 && s.q3 <= s.max);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Bandwidth, DAC-density and decode-latency model regenerating Table 2.
+//!
+//! One DAC channel at 4 GSPS and 16 bits consumes 64 Gb/s of on-chip (AXI)
+//! bandwidth when fed raw samples — the "Raw pulse" column of Table 2. A
+//! codec with compression ratio `r` shrinks that to `64/r` Gb/s, so the
+//! number of DAC channels one FPGA can feed grows from
+//! `⌊budget/64⌋ = 4` to `⌊budget/(64/r)⌋`.
+//!
+//! Decode latency is a pipeline model at the 250 MHz fabric clock (4 ns per
+//! cycle): the run-length decoder is a short fixed pipeline whose depth grows
+//! when runs are short (more tokens per output word), and the Huffman
+//! decoder's critical path follows its maximum code length. The combined
+//! decoder pipelines the two stages with partial overlap. The model is
+//! calibrated to the latency column of Table 2 (7–21 ns).
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Codec, Combined, Huffman, RunLength};
+
+/// Static bandwidth parameters of the evaluation platform (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthModel {
+    /// DAC sample rate in GSPS (evaluation: 4 GSPS).
+    pub dac_gsps: f64,
+    /// DAC resolution in bits.
+    pub dac_bits: f64,
+    /// Total AXI bandwidth budget per FPGA in Gb/s. The paper's raw
+    /// configuration feeds 4 DACs at 64 Gb/s each, giving 256 Gb/s.
+    pub axi_budget_gbps: f64,
+    /// FPGA fabric clock period in nanoseconds (250 MHz → 4 ns).
+    pub clock_ns: f64,
+}
+
+impl Default for BandwidthModel {
+    fn default() -> Self {
+        Self {
+            dac_gsps: 4.0,
+            dac_bits: 16.0,
+            axi_budget_gbps: 256.0,
+            clock_ns: 4.0,
+        }
+    }
+}
+
+/// One row-triplet of Table 2 for a codec on a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodecReport {
+    /// Effective per-DAC bandwidth in Gb/s (64 for raw).
+    pub bandwidth_gbps: f64,
+    /// DAC channels one FPGA can feed at this bandwidth.
+    pub dacs_per_fpga: usize,
+    /// Decoder pipeline latency in nanoseconds (0 for raw).
+    pub decode_latency_ns: f64,
+    /// Compression ratio achieved on the workload stream.
+    pub compression_ratio: f64,
+}
+
+impl BandwidthModel {
+    /// Raw per-DAC bandwidth in Gb/s.
+    #[must_use]
+    pub fn raw_gbps(&self) -> f64 {
+        self.dac_gsps * self.dac_bits
+    }
+
+    /// Effective bandwidth after compression with ratio `r`.
+    #[must_use]
+    pub fn effective_gbps(&self, ratio: f64) -> f64 {
+        self.raw_gbps() / ratio.max(1e-9)
+    }
+
+    /// DAC channels supported at compression ratio `r` (at least 1).
+    #[must_use]
+    pub fn dacs_per_fpga(&self, ratio: f64) -> usize {
+        ((self.axi_budget_gbps / self.effective_gbps(ratio)).floor() as usize).max(1)
+    }
+
+    /// The "Raw pulse" column.
+    #[must_use]
+    pub fn raw_report(&self) -> CodecReport {
+        CodecReport {
+            bandwidth_gbps: self.raw_gbps(),
+            dacs_per_fpga: self.dacs_per_fpga(1.0),
+            decode_latency_ns: 0.0,
+            compression_ratio: 1.0,
+        }
+    }
+
+    /// Run-length decoder latency: a 2-cycle fetch/expand pipeline plus one
+    /// extra cycle when runs are short (ratio below 4 means the decoder
+    /// touches multiple tokens per output burst).
+    #[must_use]
+    pub fn rle_latency_ns(&self, ratio: f64) -> f64 {
+        let cycles = if ratio < 4.0 { 3.0 } else { 2.0 };
+        cycles * self.clock_ns
+    }
+
+    /// Huffman decoder latency: prefix resolution at 4 bits per cycle
+    /// (a wide parallel decode LUT) over the maximum code length, plus one
+    /// table-stage cycle.
+    #[must_use]
+    pub fn huffman_latency_ns(&self, max_code_len: u8) -> f64 {
+        (1.0 + f64::from(max_code_len) / 4.0).ceil() * self.clock_ns
+    }
+
+    /// Combined decoder latency: the two stages run pipelined, so the
+    /// critical path is the slower stage plus one handoff cycle.
+    #[must_use]
+    pub fn combined_latency_ns(&self, rle_ns: f64, huffman_ns: f64) -> f64 {
+        rle_ns.max(huffman_ns) + self.clock_ns
+    }
+
+    /// Full Table 2 triplet for a named codec on a sample stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `codec_name` is not one of `"huffman"`, `"run-length"`,
+    /// `"huffman+run-length"`.
+    #[must_use]
+    pub fn report(&self, codec_name: &str, samples: &[i16]) -> CodecReport {
+        let (ratio, latency) = match codec_name {
+            "huffman" => {
+                let ratio = Huffman.stats(samples).ratio();
+                (ratio, self.huffman_latency_ns(Huffman::max_code_len(samples)))
+            }
+            "run-length" => {
+                let ratio = RunLength.stats(samples).ratio();
+                (ratio, self.rle_latency_ns(ratio))
+            }
+            "huffman+run-length" => {
+                let ratio = Combined.stats(samples).ratio();
+                let rle = self.rle_latency_ns(RunLength.stats(samples).ratio());
+                let huff = self.huffman_latency_ns(Huffman::max_code_len(samples));
+                (ratio, self.combined_latency_ns(rle, huff))
+            }
+            other => panic!("unknown codec {other}"),
+        };
+        CodecReport {
+            bandwidth_gbps: self.effective_gbps(ratio),
+            dacs_per_fpga: self.dacs_per_fpga(ratio),
+            decode_latency_ns: latency,
+            compression_ratio: ratio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_configuration_matches_paper() {
+        let m = BandwidthModel::default();
+        assert_eq!(m.raw_gbps(), 64.0);
+        let raw = m.raw_report();
+        assert_eq!(raw.dacs_per_fpga, 4);
+        assert_eq!(raw.decode_latency_ns, 0.0);
+    }
+
+    #[test]
+    fn higher_ratio_means_more_dacs() {
+        let m = BandwidthModel::default();
+        assert!(m.dacs_per_fpga(6.0) > m.dacs_per_fpga(2.0));
+        // Paper: combined QEC bandwidth 9.9 Gb/s (ratio 64/9.9) → 25 DACs.
+        assert_eq!(m.dacs_per_fpga(64.0 / 9.9), 25);
+    }
+
+    #[test]
+    fn dacs_never_below_one() {
+        let m = BandwidthModel::default();
+        assert_eq!(m.dacs_per_fpga(0.001), 1);
+    }
+
+    #[test]
+    fn latency_models_land_in_paper_range() {
+        let m = BandwidthModel::default();
+        // RLE: 7.6–12.5 ns in Table 2.
+        assert!(m.rle_latency_ns(10.0) >= 4.0 && m.rle_latency_ns(10.0) <= 12.5);
+        assert!(m.rle_latency_ns(2.0) <= 16.0);
+        // Huffman: 16.4–18.9 ns in Table 2.
+        let h = m.huffman_latency_ns(8);
+        assert!((12.0..=24.0).contains(&h), "huffman latency {h}");
+    }
+
+    #[test]
+    fn combined_latency_between_sum_and_max() {
+        let m = BandwidthModel::default();
+        let c = m.combined_latency_ns(8.0, 16.0);
+        assert!((16.0..=24.0).contains(&c));
+    }
+
+    #[test]
+    fn report_on_sparse_stream() {
+        let m = BandwidthModel::default();
+        let mut samples = vec![0i16; 4000];
+        for (k, s) in samples.iter_mut().enumerate().take(120) {
+            *s = (k as i16) * 100;
+        }
+        let raw = m.raw_report();
+        for name in ["huffman", "run-length", "huffman+run-length"] {
+            let rep = m.report(name, &samples);
+            assert!(rep.compression_ratio > 1.0, "{name} did not compress");
+            assert!(rep.bandwidth_gbps < raw.bandwidth_gbps);
+            assert!(rep.dacs_per_fpga >= raw.dacs_per_fpga);
+            assert!(rep.decode_latency_ns > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown codec")]
+    fn unknown_codec_panics() {
+        let m = BandwidthModel::default();
+        let _ = m.report("lz77", &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Canonical Huffman coding over 16-bit sample values.
+//!
+//! The encoded stream is self-describing:
+//!
+//! ```text
+//! header:  u32 LE  number of distinct symbols S
+//!          S × (i16 LE symbol, u8 code length)
+//!          u64 LE  number of encoded samples
+//! payload: MSB-first bitstream of canonical codes
+//! ```
+//!
+//! Canonical codes are assigned by (length, symbol) order, so only lengths
+//! need to be transmitted — this mirrors how a hardware Huffman table is
+//! initialized.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use super::{Codec, DecodeError};
+
+/// Canonical Huffman codec.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Huffman;
+
+/// Maximum admissible code length. With ≤ 65536 symbols, optimal Huffman
+/// codes never exceed 63 bits for realistic inputs; we cap at 48 to keep the
+/// decoder's length loop bounded.
+const MAX_CODE_LEN: usize = 48;
+
+fn code_lengths(freqs: &HashMap<i16, u64>) -> Vec<(i16, u8)> {
+    // Special cases: empty input and single-symbol alphabets.
+    if freqs.is_empty() {
+        return Vec::new();
+    }
+    if freqs.len() == 1 {
+        let (&sym, _) = freqs.iter().next().expect("non-empty");
+        return vec![(sym, 1)];
+    }
+    // Standard Huffman construction; node = (freq, tie-break id).
+    #[derive(Debug)]
+    enum Node {
+        Leaf(i16),
+        Internal(Box<Node>, Box<Node>),
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+    let mut arena: Vec<Node> = Vec::new();
+    let mut symbols: Vec<(&i16, &u64)> = freqs.iter().collect();
+    symbols.sort(); // deterministic tie-breaking
+    for (sym, freq) in symbols {
+        let id = arena.len();
+        arena.push(Node::Leaf(*sym));
+        heap.push(Reverse((*freq, id, id)));
+    }
+    let mut placeholder = 0usize;
+    while heap.len() > 1 {
+        let Reverse((fa, _, ia)) = heap.pop().expect("len > 1");
+        let Reverse((fb, _, ib)) = heap.pop().expect("len > 1");
+        let a = std::mem::replace(&mut arena[ia], Node::Leaf(0));
+        let b = std::mem::replace(&mut arena[ib], Node::Leaf(0));
+        let id = arena.len();
+        arena.push(Node::Internal(Box::new(a), Box::new(b)));
+        placeholder += 1;
+        heap.push(Reverse((fa + fb, usize::MAX - placeholder, id)));
+    }
+    let Reverse((_, _, root)) = heap.pop().expect("one root");
+    let root = std::mem::replace(&mut arena[root], Node::Leaf(0));
+    let mut out = Vec::new();
+    let mut stack = vec![(root, 0u8)];
+    while let Some((node, depth)) = stack.pop() {
+        match node {
+            Node::Leaf(sym) => out.push((sym, depth.max(1))),
+            Node::Internal(a, b) => {
+                stack.push((*a, depth + 1));
+                stack.push((*b, depth + 1));
+            }
+        }
+    }
+    out.sort_by_key(|&(sym, len)| (len, sym));
+    out
+}
+
+/// Assigns canonical codes to `(symbol, length)` pairs sorted by
+/// `(length, symbol)`.
+fn canonical_codes(lengths: &[(i16, u8)]) -> HashMap<i16, (u64, u8)> {
+    let mut codes = HashMap::with_capacity(lengths.len());
+    let mut code: u64 = 0;
+    let mut prev_len: u8 = 0;
+    for &(sym, len) in lengths {
+        code <<= len - prev_len;
+        codes.insert(sym, (code, len));
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+#[derive(Debug, Default)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    fn push_code(&mut self, code: u64, len: u8) {
+        for k in (0..len).rev() {
+            let bit = (code >> k) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed");
+            *last |= (bit as u8) << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit offset
+}
+
+impl BitReader<'_> {
+    fn next_bit(&mut self) -> Result<u64, DecodeError> {
+        let byte = self
+            .bytes
+            .get(self.pos / 8)
+            .ok_or_else(|| DecodeError::new("bitstream exhausted"))?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(u64::from(bit))
+    }
+}
+
+impl Codec for Huffman {
+    fn name(&self) -> &'static str {
+        "huffman"
+    }
+
+    fn encode(&self, samples: &[i16]) -> Vec<u8> {
+        let mut freqs: HashMap<i16, u64> = HashMap::new();
+        for &s in samples {
+            *freqs.entry(s).or_insert(0) += 1;
+        }
+        let lengths = code_lengths(&freqs);
+        let codes = canonical_codes(&lengths);
+        let mut out = Vec::new();
+        out.extend_from_slice(&(lengths.len() as u32).to_le_bytes());
+        for &(sym, len) in &lengths {
+            out.extend_from_slice(&sym.to_le_bytes());
+            out.push(len);
+        }
+        out.extend_from_slice(&(samples.len() as u64).to_le_bytes());
+        let mut writer = BitWriter::default();
+        for &s in samples {
+            let &(code, len) = codes.get(&s).expect("symbol in table");
+            writer.push_code(code, len);
+        }
+        out.extend_from_slice(&writer.bytes);
+        out
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
+        let take = |bytes: &[u8], at: usize, n: usize| -> Result<Vec<u8>, DecodeError> {
+            bytes
+                .get(at..at + n)
+                .map(<[u8]>::to_vec)
+                .ok_or_else(|| DecodeError::new("huffman header truncated"))
+        };
+        let s = u32::from_le_bytes(
+            take(bytes, 0, 4)?
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        // Each table entry occupies 3 header bytes; reject impossible symbol
+        // counts before allocating.
+        if s > bytes.len().saturating_sub(4) / 3 {
+            return Err(DecodeError::new("symbol count exceeds header"));
+        }
+        let mut lengths: Vec<(i16, u8)> = Vec::with_capacity(s);
+        let mut at = 4;
+        for _ in 0..s {
+            let sym = i16::from_le_bytes(take(bytes, at, 2)?.try_into().expect("2 bytes"));
+            let len = take(bytes, at + 2, 1)?[0];
+            if len == 0 || len as usize > MAX_CODE_LEN {
+                return Err(DecodeError::new("invalid huffman code length"));
+            }
+            lengths.push((sym, len));
+            at += 3;
+        }
+        let count =
+            u64::from_le_bytes(take(bytes, at, 8)?.try_into().expect("8 bytes")) as usize;
+        at += 8;
+        if s == 0 {
+            return if count == 0 {
+                Ok(Vec::new())
+            } else {
+                Err(DecodeError::new("samples promised but no symbols"))
+            };
+        }
+        // Canonical decoding table: code → symbol, grouped by length.
+        let codes = canonical_codes(&lengths);
+        let mut by_len: Vec<HashMap<u64, i16>> = vec![HashMap::new(); MAX_CODE_LEN + 1];
+        for (sym, (code, len)) in codes {
+            by_len[len as usize].insert(code, sym);
+        }
+        let mut reader = BitReader {
+            bytes: &bytes[at..],
+            pos: 0,
+        };
+        // Every decoded sample consumes at least one payload bit, so `count`
+        // can be sanity-checked against the stream before allocating —
+        // otherwise a corrupt header could demand a huge allocation.
+        let available_bits = (bytes.len() - at) * 8;
+        if count > available_bits && (count != 0) {
+            return Err(DecodeError::new("sample count exceeds payload"));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut code: u64 = 0;
+            let mut len = 0usize;
+            loop {
+                code = (code << 1) | reader.next_bit()?;
+                len += 1;
+                if len > MAX_CODE_LEN {
+                    return Err(DecodeError::new("code length overflow"));
+                }
+                if let Some(&sym) = by_len[len].get(&code) {
+                    out.push(sym);
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Huffman {
+    /// Longest code length used for `samples` — the hardware decoder's
+    /// critical path is proportional to this.
+    #[must_use]
+    pub fn max_code_len(samples: &[i16]) -> u8 {
+        let mut freqs: HashMap<i16, u64> = HashMap::new();
+        for &s in samples {
+            *freqs.entry(s).or_insert(0) += 1;
+        }
+        code_lengths(&freqs)
+            .iter()
+            .map(|&(_, len)| len)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let data: Vec<i16> = vec![1, 1, 1, 2, 2, 3, -7, 0, 0, 0, 0];
+        let h = Huffman;
+        assert_eq!(h.decode(&h.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_single_symbol() {
+        let data = vec![42i16; 500];
+        let h = Huffman;
+        assert_eq!(h.decode(&h.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let h = Huffman;
+        assert_eq!(h.decode(&h.encode(&[])).unwrap(), Vec::<i16>::new());
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 95 % zeros, a handful of pulse values.
+        let mut data = vec![0i16; 1900];
+        data.extend((0..100).map(|k| (k % 10) * 1000));
+        let h = Huffman;
+        let ratio = h.stats(&data).ratio();
+        assert!(ratio > 5.0, "ratio {ratio}");
+        assert_eq!(h.decode(&h.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn uniform_distribution_barely_compresses() {
+        let data: Vec<i16> = (0..4096).map(|k| k as i16).collect();
+        let h = Huffman;
+        // 4096 distinct symbols → 12-bit codes vs 16-bit raw, ratio ≈ 1.33
+        // minus header overhead.
+        let ratio = h.stats(&data).ratio();
+        assert!(ratio < 1.4, "ratio {ratio}");
+        assert_eq!(h.decode(&h.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let mut data = vec![7i16; 1000];
+        data.extend([1i16, 2, 3, 4, 5].iter().copied());
+        let mut freqs: HashMap<i16, u64> = HashMap::new();
+        for &s in &data {
+            *freqs.entry(s).or_insert(0) += 1;
+        }
+        let lengths: HashMap<i16, u8> = code_lengths(&freqs).into_iter().collect();
+        let frequent = lengths[&7];
+        for rare in [1i16, 2, 3, 4, 5] {
+            assert!(lengths[&rare] >= frequent);
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let lengths = vec![(0i16, 1u8), (1, 2), (2, 3), (3, 3)];
+        let codes = canonical_codes(&lengths);
+        let entries: Vec<(u64, u8)> = codes.values().copied().collect();
+        for (i, &(ca, la)) in entries.iter().enumerate() {
+            for &(cb, lb) in entries.iter().skip(i + 1) {
+                let (short, slen, long, llen) =
+                    if la <= lb { (ca, la, cb, lb) } else { (cb, lb, ca, la) };
+                assert_ne!(long >> (llen - slen), short, "prefix violation");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let h = Huffman;
+        let mut enc = h.encode(&[1i16, 2, 3, 1, 1, 1]);
+        enc.truncate(enc.len() - 1);
+        assert!(h.decode(&enc).is_err());
+    }
+
+    #[test]
+    fn garbage_header_errors() {
+        let h = Huffman;
+        assert!(h.decode(&[255, 255, 255, 255]).is_err());
+    }
+
+    #[test]
+    fn max_code_len_reported() {
+        assert_eq!(Huffman::max_code_len(&[]), 0);
+        assert_eq!(Huffman::max_code_len(&[5, 5, 5]), 1);
+        let mixed: Vec<i16> = vec![0, 0, 0, 0, 1, 2];
+        assert!(Huffman::max_code_len(&mixed) >= 2);
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let data: Vec<i16> = (0..257).map(|k| (k % 17) as i16).collect();
+        let h = Huffman;
+        assert_eq!(h.encode(&data), h.encode(&data));
+    }
+}

@@ -1,0 +1,206 @@
+//! The three pulse compression schemes of Table 2.
+//!
+//! All codecs operate on 16-bit DAC sample streams and are *lossless* — the
+//! decoder on the FPGA must reconstruct the calibrated pulse exactly, or gate
+//! fidelity would suffer. The paper evaluates:
+//!
+//! * **Run-length** ([`RunLength`]): `(run, value)` tokens. Quantum pulse
+//!   streams are mostly idle zeros, so this alone compresses well.
+//! * **Huffman** ([`Huffman`]): canonical Huffman over sample values. Pulse
+//!   sample alphabets are tiny (a few shapes, repeated), so codes are short.
+//! * **Combined** ([`Combined`]): run-length tokens whose run counts and
+//!   values are each Huffman-coded — the paper's decoder run-length-decodes
+//!   first and then reconstructs values via the Huffman table.
+
+mod huffman;
+mod rle;
+
+use std::error::Error;
+use std::fmt;
+
+pub use huffman::Huffman;
+pub use rle::{rle_expand, rle_tokens, ByteRunLength, RunLength};
+
+/// Decoding failure (corrupt or truncated stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    message: String,
+}
+
+impl DecodeError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pulse decode error: {}", self.message)
+    }
+}
+
+impl Error for DecodeError {}
+
+/// A lossless pulse sample codec.
+pub trait Codec {
+    /// Short identifier used in reports ("huffman", "run-length", …).
+    fn name(&self) -> &'static str;
+
+    /// Compresses a sample stream.
+    fn encode(&self, samples: &[i16]) -> Vec<u8>;
+
+    /// Reconstructs the sample stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the byte stream is corrupt or truncated.
+    fn decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError>;
+
+    /// Compression statistics for a stream.
+    fn stats(&self, samples: &[i16]) -> CompressionStats {
+        let encoded = self.encode(samples);
+        CompressionStats {
+            raw_bits: samples.len() * 16,
+            encoded_bits: encoded.len() * 8,
+        }
+    }
+}
+
+/// Raw-versus-encoded sizes of one compression run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Input size in bits (16 per sample).
+    pub raw_bits: usize,
+    /// Output size in bits.
+    pub encoded_bits: usize,
+}
+
+impl CompressionStats {
+    /// Compression ratio `raw / encoded` (>1 means the codec helped).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.encoded_bits == 0 {
+            return f64::INFINITY;
+        }
+        self.raw_bits as f64 / self.encoded_bits as f64
+    }
+}
+
+/// The combined Huffman & run-length pipeline (§5.4).
+///
+/// The stream is first tokenized into `(run, value)` pairs; both the run
+/// lengths and the values are then Huffman-coded (each with its own table —
+/// run lengths concentrate on a handful of distinct values, and pulse
+/// values on the calibrated waveform alphabet). The paper's decoder order
+/// follows directly: "the pulses are first decoded using the run-length
+/// decoder, and then the original pulses are reconstructed using the
+/// Huffman table".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Combined;
+
+impl Codec for Combined {
+    fn name(&self) -> &'static str {
+        "huffman+run-length"
+    }
+
+    fn encode(&self, samples: &[i16]) -> Vec<u8> {
+        let tokens = rle::rle_tokens(samples);
+        // Reinterpret the u16 run as an i16 symbol (pure bit pattern).
+        let runs: Vec<i16> = tokens.iter().map(|&(r, _)| r as i16).collect();
+        let values: Vec<i16> = tokens.iter().map(|&(_, v)| v).collect();
+        let runs_enc = Huffman.encode(&runs);
+        let values_enc = Huffman.encode(&values);
+        let mut out = Vec::with_capacity(8 + runs_enc.len() + values_enc.len());
+        out.extend_from_slice(&(runs_enc.len() as u64).to_le_bytes());
+        out.extend_from_slice(&runs_enc);
+        out.extend_from_slice(&values_enc);
+        out
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
+        let header: [u8; 8] = bytes
+            .get(..8)
+            .ok_or_else(|| DecodeError::new("combined header truncated"))?
+            .try_into()
+            .expect("8 bytes");
+        let runs_len = u64::from_le_bytes(header) as usize;
+        let rest = &bytes[8..];
+        if runs_len > rest.len() {
+            return Err(DecodeError::new("combined run section truncated"));
+        }
+        let runs = Huffman.decode(&rest[..runs_len])?;
+        let values = Huffman.decode(&rest[runs_len..])?;
+        if runs.len() != values.len() {
+            return Err(DecodeError::new("run/value section length mismatch"));
+        }
+        let tokens: Vec<(u16, i16)> = runs
+            .into_iter()
+            .map(|r| r as u16)
+            .zip(values)
+            .collect();
+        rle::rle_expand(&tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_stream() -> Vec<i16> {
+        // A realistic control stream: the same 30 ns shaped pulse repeated
+        // every 1 µs of idle (circuits reuse calibrated pulses), at 2 GSPS.
+        let mut v = Vec::new();
+        for _ in 0..20 {
+            v.extend(std::iter::repeat_n(0i16, 970));
+            v.extend((0..60).map(|k| (k as i16) * 137));
+            v.extend(std::iter::repeat_n(0i16, 970));
+        }
+        v
+    }
+
+    #[test]
+    fn combined_round_trip() {
+        let data = sparse_stream();
+        let c = Combined;
+        assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn combined_beats_both_parts_on_sparse_data() {
+        let data = sparse_stream();
+        let h = Huffman.stats(&data).ratio();
+        let r = RunLength.stats(&data).ratio();
+        let c = Combined.stats(&data).ratio();
+        assert!(c >= h, "combined {c} vs huffman {h}");
+        assert!(c >= r * 0.8, "combined {c} should be near/above rle {r}");
+        assert!(c > 4.0, "combined ratio too low: {c}");
+    }
+
+    #[test]
+    fn stats_ratio_for_identity_sizes() {
+        let s = CompressionStats {
+            raw_bits: 160,
+            encoded_bits: 80,
+        };
+        assert!((s.ratio() - 2.0).abs() < 1e-12);
+        let z = CompressionStats {
+            raw_bits: 160,
+            encoded_bits: 0,
+        };
+        assert!(z.ratio().is_infinite());
+    }
+
+    #[test]
+    fn combined_empty_round_trip() {
+        let c = Combined;
+        assert_eq!(c.decode(&c.encode(&[])).unwrap(), Vec::<i16>::new());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = DecodeError::new("truncated");
+        assert_eq!(e.to_string(), "pulse decode error: truncated");
+    }
+}

@@ -1,0 +1,254 @@
+//! Run-length encoding over samples and over bytes.
+
+use super::{Codec, DecodeError};
+
+/// Sample-level run-length codec: a stream of `(run: u16 LE, value: i16 LE)`
+/// tokens. Runs longer than `u16::MAX` are split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunLength;
+
+/// Tokenizes a sample stream into `(run, value)` pairs (runs capped at
+/// `u16::MAX` and split).
+#[must_use]
+pub fn rle_tokens(samples: &[i16]) -> Vec<(u16, i16)> {
+    let mut out = Vec::new();
+    let mut iter = samples.iter().copied().peekable();
+    while let Some(value) = iter.next() {
+        let mut run: u32 = 1;
+        while run < u32::from(u16::MAX) && iter.peek() == Some(&value) {
+            iter.next();
+            run += 1;
+        }
+        out.push((run as u16, value));
+    }
+    out
+}
+
+/// Expands `(run, value)` tokens back into samples.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on a zero-length run.
+pub fn rle_expand(tokens: &[(u16, i16)]) -> Result<Vec<i16>, DecodeError> {
+    let mut out = Vec::new();
+    for &(run, value) in tokens {
+        if run == 0 {
+            return Err(DecodeError::new("zero-length run"));
+        }
+        out.extend(std::iter::repeat_n(value, run as usize));
+    }
+    Ok(out)
+}
+
+impl Codec for RunLength {
+    fn name(&self) -> &'static str {
+        "run-length"
+    }
+
+    fn encode(&self, samples: &[i16]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (run, value) in rle_tokens(samples) {
+            out.extend_from_slice(&run.to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(DecodeError::new("run-length stream not a whole number of tokens"));
+        }
+        let mut out = Vec::new();
+        for token in bytes.chunks_exact(4) {
+            let run = u16::from_le_bytes([token[0], token[1]]) as usize;
+            let value = i16::from_le_bytes([token[2], token[3]]);
+            if run == 0 {
+                return Err(DecodeError::new("zero-length run"));
+            }
+            out.extend(std::iter::repeat_n(value, run));
+        }
+        Ok(out)
+    }
+}
+
+/// Byte-level run-length used as the second stage of the combined codec.
+///
+/// Escape-based format so incompressible stretches barely expand:
+///
+/// * control byte `1..=127` — copy that many literal bytes verbatim,
+/// * control byte `128..=255` — repeat the following byte `control − 125`
+///   times (runs of 3–130).
+///
+/// Runs shorter than 3 are stored as literals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteRunLength;
+
+/// Minimum run worth encoding as a run token.
+const MIN_RUN: usize = 3;
+/// Bias of the run control byte: control = run + 125, so run 3 → 128.
+const RUN_BIAS: usize = 125;
+/// Longest run one token can carry (255 − 125).
+const MAX_RUN: usize = 130;
+/// Longest literal chunk one token can carry.
+const MAX_LITERAL: usize = 127;
+
+impl ByteRunLength {
+    /// Encodes a byte stream.
+    #[must_use]
+    pub fn encode_bytes(bytes: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut literals: Vec<u8> = Vec::new();
+        let flush = |literals: &mut Vec<u8>, out: &mut Vec<u8>| {
+            for chunk in literals.chunks(MAX_LITERAL) {
+                out.push(chunk.len() as u8);
+                out.extend_from_slice(chunk);
+            }
+            literals.clear();
+        };
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let value = bytes[i];
+            let mut run = 1usize;
+            while run < MAX_RUN && i + run < bytes.len() && bytes[i + run] == value {
+                run += 1;
+            }
+            if run >= MIN_RUN {
+                flush(&mut literals, &mut out);
+                out.push((run + RUN_BIAS) as u8);
+                out.push(value);
+            } else {
+                literals.extend(std::iter::repeat_n(value, run));
+            }
+            i += run;
+        }
+        flush(&mut literals, &mut out);
+        out
+    }
+
+    /// Decodes a byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on a truncated or malformed stream.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Vec<u8>, DecodeError> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let control = bytes[i] as usize;
+            i += 1;
+            if control == 0 {
+                return Err(DecodeError::new("zero control byte"));
+            }
+            if control <= MAX_LITERAL {
+                let lits = bytes
+                    .get(i..i + control)
+                    .ok_or_else(|| DecodeError::new("literal run truncated"))?;
+                out.extend_from_slice(lits);
+                i += control;
+            } else {
+                let value = *bytes
+                    .get(i)
+                    .ok_or_else(|| DecodeError::new("run value truncated"))?;
+                out.extend(std::iter::repeat_n(value, control - RUN_BIAS));
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_stream() {
+        let data: Vec<i16> = vec![0, 0, 0, 5, 5, -3, 0, 0, 7];
+        let rl = RunLength;
+        assert_eq!(rl.decode(&rl.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn zeros_compress_massively() {
+        let data = vec![0i16; 4000];
+        let rl = RunLength;
+        let encoded = rl.encode(&data);
+        assert_eq!(encoded.len(), 4); // one token
+        assert!(rl.stats(&data).ratio() > 1000.0);
+    }
+
+    #[test]
+    fn incompressible_data_expands_predictably() {
+        let data: Vec<i16> = (0..100).map(|k| k * 31).collect();
+        let rl = RunLength;
+        // 4 bytes per 2-byte sample.
+        assert_eq!(rl.encode(&data).len(), 400);
+    }
+
+    #[test]
+    fn long_runs_split_at_u16_max() {
+        let data = vec![9i16; 70000];
+        let rl = RunLength;
+        let decoded = rl.decode(&rl.encode(&data)).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        assert!(RunLength.decode(&[1, 0, 0]).is_err());
+        assert!(ByteRunLength::decode_bytes(&[5, 1, 2]).is_err()); // promises 5 literals
+        assert!(ByteRunLength::decode_bytes(&[200]).is_err()); // run missing value
+    }
+
+    #[test]
+    fn zero_run_errors() {
+        assert!(RunLength.decode(&[0, 0, 5, 0]).is_err());
+        assert!(ByteRunLength::decode_bytes(&[0, 7]).is_err());
+    }
+
+    #[test]
+    fn byte_rle_round_trip() {
+        let data: Vec<u8> = vec![0, 0, 0, 0, 1, 2, 2, 2, 0];
+        assert_eq!(
+            ByteRunLength::decode_bytes(&ByteRunLength::encode_bytes(&data)).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn byte_rle_long_runs() {
+        let data = vec![0u8; 1000];
+        let enc = ByteRunLength::encode_bytes(&data);
+        assert_eq!(enc.len(), 16); // ⌈1000/130⌉ = 8 run tokens of 2 bytes
+        assert_eq!(ByteRunLength::decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_rle_literals_barely_expand() {
+        let data: Vec<u8> = (0..=255).collect();
+        let enc = ByteRunLength::encode_bytes(&data);
+        // 256 literals in chunks of 127 → 3 control bytes of overhead.
+        assert_eq!(enc.len(), 259);
+        assert_eq!(ByteRunLength::decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_rle_mixed_runs_and_literals() {
+        let mut data: Vec<u8> = vec![7; 200];
+        data.extend(0..100u8);
+        data.extend(std::iter::repeat_n(0, 500));
+        data.push(9);
+        assert_eq!(
+            ByteRunLength::decode_bytes(&ByteRunLength::encode_bytes(&data)).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn empty_streams() {
+        let rl = RunLength;
+        assert!(rl.encode(&[]).is_empty());
+        assert_eq!(rl.decode(&[]).unwrap(), Vec::<i16>::new());
+        assert!(ByteRunLength::encode_bytes(&[]).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Control-pulse waveforms and the adaptive pulse sampling of §5.4.
+//!
+//! The ARTERY controller stores *pre-encoded* pulses in an on-FPGA library
+//! and decodes them just before the DAC, trading a small decode latency for a
+//! large reduction in AXI-bus bandwidth — which in turn lets one FPGA drive
+//! many more DAC channels. This crate implements the full path:
+//!
+//! * [`Waveform`] / [`PulseShape`] — 16-bit DAC sample synthesis for the
+//!   basis gate set (30 ns XY pulses, 60 ns CZ pulses, 2 µs readout pulses),
+//! * [`codec`] — the three compression schemes of Table 2: Huffman,
+//!   run-length, and the combined Huffman→run-length pipeline, all with
+//!   exact round-trip decoding,
+//! * [`PulseLibrary`] — the lookup table keyed by gate, plus circuit pulse
+//!   stream assembly (gates separated by idle gaps compress extremely well —
+//!   quantum pulse data is mostly zeros),
+//! * [`bandwidth`] — the bandwidth / #DAC-per-FPGA / decode-latency model
+//!   that regenerates Table 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use artery_pulse::{codec::Codec, codec::RunLength, PulseShape, Waveform};
+//!
+//! let wf = Waveform::synthesize(&PulseShape::xy_pulse(), 2.0);
+//! let rl = RunLength;
+//! let encoded = rl.encode(wf.samples());
+//! assert_eq!(rl.decode(&encoded).unwrap(), wf.samples());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod codec;
+mod library;
+mod waveform;
+
+pub use library::{PulseLibrary, PulseStream, StreamRealism};
+pub use waveform::{PulseShape, Waveform};

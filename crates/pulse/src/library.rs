@@ -1,0 +1,254 @@
+//! The on-FPGA pulse library and circuit pulse-stream assembly.
+
+use artery_circuit::{Circuit, Gate, Instruction};
+
+use crate::waveform::{PulseShape, Waveform};
+
+/// The pulse lookup table of Fig. 7 (c): pre-encoded waveforms for the basis
+/// gate set, addressed by the branch decider.
+#[derive(Debug, Clone)]
+pub struct PulseLibrary {
+    sample_rate_gsps: f64,
+    xy: Waveform,
+    cz: Waveform,
+    readout: Waveform,
+}
+
+impl PulseLibrary {
+    /// Builds the standard library at the given DAC sample rate (§5.4
+    /// example: 2 GSPS; the evaluation configures 4 GSPS).
+    #[must_use]
+    pub fn standard(sample_rate_gsps: f64) -> Self {
+        Self {
+            sample_rate_gsps,
+            xy: Waveform::synthesize(&PulseShape::xy_pulse(), sample_rate_gsps),
+            cz: Waveform::synthesize(&PulseShape::cz_pulse(), sample_rate_gsps),
+            readout: Waveform::synthesize(&PulseShape::readout_pulse(), sample_rate_gsps),
+        }
+    }
+
+    /// DAC sample rate in GSPS.
+    #[must_use]
+    pub fn sample_rate_gsps(&self) -> f64 {
+        self.sample_rate_gsps
+    }
+
+    /// The readout probe waveform.
+    #[must_use]
+    pub fn readout(&self) -> &Waveform {
+        &self.readout
+    }
+
+    /// The physical waveform of a gate: its basis decomposition rendered as
+    /// concatenated pulses (virtual RZ gates contribute nothing).
+    #[must_use]
+    pub fn waveform_for_gate(&self, gate: Gate) -> Waveform {
+        let mut out = Waveform::idle(0.0, self.sample_rate_gsps);
+        for (basis, _local) in gate.basis_decomposition() {
+            match basis {
+                Gate::RX(_) | Gate::RY(_) => out.append(&self.xy),
+                Gate::CZ => out.append(&self.cz),
+                // Virtual frame updates: no pulse.
+                Gate::RZ(_) => {}
+                other => unreachable!("basis decomposition produced {other}"),
+            }
+        }
+        out
+    }
+}
+
+/// Hardware-realism knobs for assembled pulse streams.
+///
+/// Ideal envelopes compress far better than real calibrated pulse data; the
+/// realism model restores the three effects that dominate on hardware:
+/// per-gate-instance amplitude calibration differences, a dither/noise floor
+/// on non-idle samples, and the on-FPGA upsampling in front of the
+/// interpolating DAC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRealism {
+    /// Maximum relative amplitude deviation per gate instance (±).
+    pub amplitude_jitter: f64,
+    /// Dither magnitude on non-zero samples, DAC LSBs.
+    pub dither_lsb: i16,
+    /// AWG envelope-update block: envelope and dither are held constant for
+    /// this many samples (staircase output).
+    pub hold_block: usize,
+    /// DAC interpolation factor (§6.1: 2×).
+    pub interpolation: usize,
+}
+
+impl Default for StreamRealism {
+    fn default() -> Self {
+        Self {
+            amplitude_jitter: 0.03,
+            dither_lsb: 25,
+            hold_block: 4,
+            interpolation: 2,
+        }
+    }
+}
+
+/// An assembled DAC sample stream for a whole circuit — the data that
+/// crosses the AXI bus and whose compressibility Table 2 measures.
+#[derive(Debug, Clone)]
+pub struct PulseStream {
+    waveform: Waveform,
+}
+
+impl PulseStream {
+    /// Assembles a hardware-realistic stream: like
+    /// [`PulseStream::for_circuit`], but each gate instance's waveform gets
+    /// its own calibration scaling and dither, and the whole stream is
+    /// upsampled for the interpolating DAC.
+    #[must_use]
+    pub fn for_circuit_realistic(
+        circuit: &Circuit,
+        library: &PulseLibrary,
+        idle_gap_ns: f64,
+        realism: &StreamRealism,
+    ) -> Self {
+        let rate = library.sample_rate_gsps();
+        let mut waveform = Waveform::idle(0.0, rate);
+        let gap = Waveform::idle(idle_gap_ns, rate);
+        let mut instance: u64 = 0;
+        let push = |waveform: &mut Waveform, wf: &Waveform, instance: &mut u64| {
+            // Deterministic per-instance calibration factor in
+            // 1 ± amplitude_jitter.
+            let mut z = 0x5BF0_3635_ADE3_9A2Bu64 ^ instance.wrapping_mul(0xD134_2543_DE82_EF95);
+            z = (z ^ (z >> 29)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+            let factor = 1.0 + realism.amplitude_jitter * (2.0 * unit - 1.0);
+            let block = realism.hold_block.max(1);
+            waveform.append(
+                &wf.scaled(factor)
+                    .held(block)
+                    .dithered(z, realism.dither_lsb, block),
+            );
+            *instance += 1;
+        };
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::Gate(g) => {
+                    push(&mut waveform, &library.waveform_for_gate(g.gate), &mut instance);
+                    waveform.append(&gap);
+                }
+                Instruction::Measure(..) | Instruction::Reset(_) => {
+                    push(&mut waveform, library.readout(), &mut instance);
+                    waveform.append(&gap);
+                }
+                Instruction::Feedback(fb) => {
+                    push(&mut waveform, library.readout(), &mut instance);
+                    waveform.append(&gap);
+                    for op in fb.branch(true) {
+                        if let artery_circuit::BranchOp::Gate(g) = op {
+                            push(&mut waveform, &library.waveform_for_gate(g.gate), &mut instance);
+                            waveform.append(&gap);
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            waveform: waveform.repeated(realism.interpolation.max(1)),
+        }
+    }
+    /// Assembles the stream for `circuit`.
+    ///
+    /// Gates contribute their waveform followed by `idle_gap_ns` of zeros
+    /// (trigger alignment slack); measurements and feedback contribute the
+    /// readout probe followed by the classical-processing idle. Feedback
+    /// branches contribute their *branch-1* pulses — the pulses the library
+    /// must hold regardless of the outcome taken.
+    #[must_use]
+    pub fn for_circuit(circuit: &Circuit, library: &PulseLibrary, idle_gap_ns: f64) -> Self {
+        let rate = library.sample_rate_gsps();
+        let mut waveform = Waveform::idle(0.0, rate);
+        let gap = Waveform::idle(idle_gap_ns, rate);
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::Gate(g) => {
+                    waveform.append(&library.waveform_for_gate(g.gate));
+                    waveform.append(&gap);
+                }
+                Instruction::Measure(..) | Instruction::Reset(_) => {
+                    waveform.append(library.readout());
+                    waveform.append(&gap);
+                }
+                Instruction::Feedback(fb) => {
+                    waveform.append(library.readout());
+                    waveform.append(&gap);
+                    for op in fb.branch(true) {
+                        if let artery_circuit::BranchOp::Gate(g) = op {
+                            waveform.append(&library.waveform_for_gate(g.gate));
+                            waveform.append(&gap);
+                        }
+                    }
+                }
+            }
+        }
+        Self { waveform }
+    }
+
+    /// The assembled samples.
+    #[must_use]
+    pub fn samples(&self) -> &[i16] {
+        self.waveform.samples()
+    }
+
+    /// The assembled waveform.
+    #[must_use]
+    pub fn waveform(&self) -> &Waveform {
+        &self.waveform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_circuit::{CircuitBuilder, Qubit};
+
+    #[test]
+    fn xy_gate_waveform_duration() {
+        let lib = PulseLibrary::standard(2.0);
+        let wf = lib.waveform_for_gate(Gate::X);
+        assert!((wf.duration_ns() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtual_gates_have_no_pulse() {
+        let lib = PulseLibrary::standard(2.0);
+        assert_eq!(lib.waveform_for_gate(Gate::RZ(1.0)).samples().len(), 0);
+        assert_eq!(lib.waveform_for_gate(Gate::Z).samples().len(), 0);
+    }
+
+    #[test]
+    fn cnot_waveform_is_cz_plus_two_xy() {
+        let lib = PulseLibrary::standard(2.0);
+        let wf = lib.waveform_for_gate(Gate::CNOT);
+        assert!((wf.duration_ns() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_includes_readout_and_gaps() {
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::X, &[Qubit(0)]);
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(0)]).finish();
+        let c = b.build();
+        let lib = PulseLibrary::standard(2.0);
+        let stream = PulseStream::for_circuit(&c, &lib, 100.0);
+        // X(30) + gap(100) + readout(2000) + gap(100) + branch X(30) + gap(100)
+        assert!((stream.waveform().duration_ns() - 2360.0).abs() < 1e-9);
+        // Mostly non-zero only inside pulses: the stream must be sparse.
+        assert!(stream.waveform().zero_fraction() > 0.05);
+    }
+
+    #[test]
+    fn stream_is_mostly_zero_for_sparse_circuits() {
+        let mut b = CircuitBuilder::new(1);
+        b.gate(Gate::X, &[Qubit(0)]);
+        let c = b.build();
+        let lib = PulseLibrary::standard(2.0);
+        let stream = PulseStream::for_circuit(&c, &lib, 1000.0);
+        assert!(stream.waveform().zero_fraction() > 0.9);
+    }
+}

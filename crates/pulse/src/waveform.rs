@@ -1,0 +1,373 @@
+//! DAC waveform synthesis for the calibrated gate set.
+
+use serde::{Deserialize, Serialize};
+
+/// Full-scale value of the 16-bit DAC (§5.4: "a resolution of 16 bits").
+pub const DAC_FULL_SCALE: f64 = i16::MAX as f64;
+
+/// Analytic description of a control pulse envelope.
+///
+/// The paper's gate set needs three shapes: a Gaussian XY envelope (30 ns),
+/// a flat-top CZ envelope (60 ns), and a long square readout pulse (2 µs).
+/// Idle periods are explicit zero pulses because their compressibility is
+/// the entire point of §5.4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PulseShape {
+    /// Gaussian envelope: `amp · exp(−(t−T/2)²/2σ²)` over duration `T`.
+    Gaussian {
+        /// Duration in nanoseconds.
+        duration_ns: f64,
+        /// Peak amplitude in `[0, 1]` of DAC full scale.
+        amplitude: f64,
+        /// Gaussian σ in nanoseconds.
+        sigma_ns: f64,
+    },
+    /// Flat-top envelope with cosine-ramped edges.
+    FlatTop {
+        /// Duration in nanoseconds.
+        duration_ns: f64,
+        /// Plateau amplitude in `[0, 1]` of DAC full scale.
+        amplitude: f64,
+        /// Ramp length at each edge in nanoseconds.
+        ramp_ns: f64,
+    },
+    /// Constant-amplitude square pulse (readout probe).
+    Square {
+        /// Duration in nanoseconds.
+        duration_ns: f64,
+        /// Amplitude in `[0, 1]` of DAC full scale.
+        amplitude: f64,
+    },
+    /// All-zero idle period.
+    Idle {
+        /// Duration in nanoseconds.
+        duration_ns: f64,
+    },
+}
+
+impl PulseShape {
+    /// The standard 30 ns XY pulse of the evaluation platform.
+    #[must_use]
+    pub fn xy_pulse() -> Self {
+        PulseShape::Gaussian {
+            duration_ns: 30.0,
+            amplitude: 0.8,
+            sigma_ns: 6.0,
+        }
+    }
+
+    /// The standard 60 ns CZ pulse.
+    #[must_use]
+    pub fn cz_pulse() -> Self {
+        PulseShape::FlatTop {
+            duration_ns: 60.0,
+            amplitude: 0.6,
+            ramp_ns: 10.0,
+        }
+    }
+
+    /// The 2 µs readout probe pulse.
+    #[must_use]
+    pub fn readout_pulse() -> Self {
+        PulseShape::Square {
+            duration_ns: 2000.0,
+            amplitude: 0.3,
+        }
+    }
+
+    /// Duration of the shape in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> f64 {
+        match *self {
+            PulseShape::Gaussian { duration_ns, .. }
+            | PulseShape::FlatTop { duration_ns, .. }
+            | PulseShape::Square { duration_ns, .. }
+            | PulseShape::Idle { duration_ns } => duration_ns,
+        }
+    }
+
+    /// Envelope value at time `t_ns` in `[0, 1]` of full scale.
+    #[must_use]
+    pub fn envelope(&self, t_ns: f64) -> f64 {
+        match *self {
+            PulseShape::Gaussian {
+                duration_ns,
+                amplitude,
+                sigma_ns,
+            } => {
+                let mid = duration_ns / 2.0;
+                amplitude * (-((t_ns - mid).powi(2)) / (2.0 * sigma_ns * sigma_ns)).exp()
+            }
+            PulseShape::FlatTop {
+                duration_ns,
+                amplitude,
+                ramp_ns,
+            } => {
+                if t_ns < ramp_ns {
+                    amplitude * 0.5 * (1.0 - (std::f64::consts::PI * t_ns / ramp_ns).cos())
+                } else if t_ns > duration_ns - ramp_ns {
+                    let u = (duration_ns - t_ns) / ramp_ns;
+                    amplitude * 0.5 * (1.0 - (std::f64::consts::PI * u).cos())
+                } else {
+                    amplitude
+                }
+            }
+            PulseShape::Square { amplitude, .. } => amplitude,
+            PulseShape::Idle { .. } => 0.0,
+        }
+    }
+}
+
+/// A sampled 16-bit DAC waveform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waveform {
+    samples: Vec<i16>,
+    sample_rate_gsps: f64,
+}
+
+impl Waveform {
+    /// Samples a shape at `sample_rate_gsps` gigasamples per second,
+    /// quantizing to 16 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sample rate is not positive.
+    #[must_use]
+    pub fn synthesize(shape: &PulseShape, sample_rate_gsps: f64) -> Self {
+        assert!(sample_rate_gsps > 0.0, "sample rate must be positive");
+        let n = (shape.duration_ns() * sample_rate_gsps).round() as usize;
+        let samples = (0..n)
+            .map(|k| {
+                let t = k as f64 / sample_rate_gsps;
+                let v = shape.envelope(t).clamp(-1.0, 1.0);
+                (v * DAC_FULL_SCALE).round() as i16
+            })
+            .collect();
+        Self {
+            samples,
+            sample_rate_gsps,
+        }
+    }
+
+    /// An all-zero waveform of the given duration.
+    #[must_use]
+    pub fn idle(duration_ns: f64, sample_rate_gsps: f64) -> Self {
+        Self::synthesize(&PulseShape::Idle { duration_ns }, sample_rate_gsps)
+    }
+
+    /// The DAC samples.
+    #[must_use]
+    pub fn samples(&self) -> &[i16] {
+        &self.samples
+    }
+
+    /// The sample rate in GSPS.
+    #[must_use]
+    pub fn sample_rate_gsps(&self) -> f64 {
+        self.sample_rate_gsps
+    }
+
+    /// Duration in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate_gsps
+    }
+
+    /// Raw size in bits (16 bits per sample).
+    #[must_use]
+    pub fn raw_bits(&self) -> usize {
+        self.samples.len() * 16
+    }
+
+    /// Appends another waveform (must share the sample rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics on sample-rate mismatch.
+    pub fn append(&mut self, other: &Waveform) {
+        assert!(
+            (self.sample_rate_gsps - other.sample_rate_gsps).abs() < 1e-12,
+            "sample-rate mismatch"
+        );
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Returns an amplitude-scaled copy (per-qubit calibration differences
+    /// make each gate instance's pulse slightly different on real hardware).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Waveform {
+        Waveform {
+            samples: self
+                .samples
+                .iter()
+                .map(|&s| ((f64::from(s) * factor).round() as i32).clamp(-32768, 32767) as i16)
+                .collect(),
+            sample_rate_gsps: self.sample_rate_gsps,
+        }
+    }
+
+    /// Returns a copy with deterministic ±`max_lsb` dither added to every
+    /// non-zero sample — the calibration noise floor that makes real pulse
+    /// data far less compressible than ideal envelopes. The dither is held
+    /// constant over `block` consecutive samples, modelling the staircase
+    /// output of an AWG whose envelope update rate is below the DAC sample
+    /// rate; this is why real pulse data still contains runs (and why the
+    /// paper's run-length stage outperforms Huffman). Zero (idle) samples
+    /// stay exactly zero, as the paper observes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is zero.
+    #[must_use]
+    pub fn dithered(&self, seed: u64, max_lsb: i16, block: usize) -> Waveform {
+        assert!(block > 0, "dither block must be positive");
+        let span = i32::from(max_lsb) * 2 + 1;
+        let samples = self
+            .samples
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                if s == 0 || max_lsb == 0 {
+                    s
+                } else {
+                    // SplitMix64 over (seed, block index) for stable dither.
+                    let mut z =
+                        seed ^ ((i / block) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^= z >> 31;
+                    let d = (z % span as u64) as i32 - i32::from(max_lsb);
+                    (i32::from(s) + d).clamp(-32768, 32767) as i16
+                }
+            })
+            .collect();
+        Waveform {
+            samples,
+            sample_rate_gsps: self.sample_rate_gsps,
+        }
+    }
+
+    /// Returns a copy where each block of `block` samples is held at the
+    /// block's first value — the staircase envelope of an AWG whose update
+    /// rate is a fraction of the DAC rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is zero.
+    #[must_use]
+    pub fn held(&self, block: usize) -> Waveform {
+        assert!(block > 0, "hold block must be positive");
+        let samples = self
+            .samples
+            .iter()
+            .enumerate()
+            .map(|(i, _)| self.samples[(i / block) * block])
+            .collect();
+        Waveform {
+            samples,
+            sample_rate_gsps: self.sample_rate_gsps,
+        }
+    }
+
+    /// Returns a copy with each sample repeated `n` times — the on-FPGA
+    /// upsampling in front of an `n`× interpolating DAC (§6.1 configures
+    /// 2×), which is what actually crosses the AXI bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    #[must_use]
+    pub fn repeated(&self, n: usize) -> Waveform {
+        assert!(n > 0, "repetition factor must be positive");
+        let mut samples = Vec::with_capacity(self.samples.len() * n);
+        for &s in &self.samples {
+            samples.extend(std::iter::repeat_n(s, n));
+        }
+        Waveform {
+            samples,
+            sample_rate_gsps: self.sample_rate_gsps * n as f64,
+        }
+    }
+
+    /// Fraction of exactly-zero samples — the sparsity §5.4 exploits.
+    #[must_use]
+    pub fn zero_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 1.0;
+        }
+        self.samples.iter().filter(|s| **s == 0).count() as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_pulse_dimensions() {
+        let wf = Waveform::synthesize(&PulseShape::xy_pulse(), 2.0);
+        assert_eq!(wf.samples().len(), 60); // 30 ns × 2 GSPS
+        assert!((wf.duration_ns() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_peaks_in_middle() {
+        let wf = Waveform::synthesize(&PulseShape::xy_pulse(), 2.0);
+        let peak_idx = wf
+            .samples()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!((25..=35).contains(&peak_idx), "peak at {peak_idx}");
+        let peak = wf.samples()[peak_idx] as f64 / DAC_FULL_SCALE;
+        assert!((peak - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn flat_top_has_plateau() {
+        let wf = Waveform::synthesize(&PulseShape::cz_pulse(), 2.0);
+        let mid = wf.samples()[wf.samples().len() / 2] as f64 / DAC_FULL_SCALE;
+        assert!((mid - 0.6).abs() < 0.01);
+        // Edges ramp from zero.
+        assert_eq!(wf.samples()[0], 0);
+    }
+
+    #[test]
+    fn idle_is_all_zeros() {
+        let wf = Waveform::idle(100.0, 2.0);
+        assert_eq!(wf.samples().len(), 200);
+        assert!(wf.samples().iter().all(|s| *s == 0));
+        assert_eq!(wf.zero_fraction(), 1.0);
+    }
+
+    #[test]
+    fn readout_square_is_constant() {
+        let wf = Waveform::synthesize(&PulseShape::readout_pulse(), 2.0);
+        assert_eq!(wf.samples().len(), 4000);
+        let first = wf.samples()[0];
+        assert!(wf.samples().iter().all(|s| *s == first));
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut wf = Waveform::idle(10.0, 2.0);
+        wf.append(&Waveform::synthesize(&PulseShape::xy_pulse(), 2.0));
+        assert_eq!(wf.samples().len(), 20 + 60);
+        assert!(wf.zero_fraction() > 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn append_rate_mismatch_panics() {
+        let mut wf = Waveform::idle(10.0, 2.0);
+        wf.append(&Waveform::idle(10.0, 4.0));
+    }
+
+    #[test]
+    fn raw_bits_counts_16_per_sample() {
+        let wf = Waveform::idle(10.0, 2.0);
+        assert_eq!(wf.raw_bits(), 20 * 16);
+    }
+}

@@ -1,0 +1,191 @@
+//! The lookup-table decoder (the paper's real-time-decoder stand-in).
+//!
+//! For the bit-flip sector of d = 3 the Z-syndrome space has 16 patterns;
+//! the table maps each pattern to a minimum-weight X correction, found by
+//! brute-force search over error patterns of increasing weight — the same
+//! table the paper pre-generates with PyMatching.
+
+use crate::layout::RotatedSurfaceCode;
+
+/// Minimum-weight lookup decoder for the Z (bit-flip) syndrome of a small
+/// code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupDecoder {
+    num_z: usize,
+    num_qubits: usize,
+    corrections: Vec<Vec<usize>>, // syndrome index → data qubits to flip
+}
+
+impl LookupDecoder {
+    /// Builds the table for `code` by brute force.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the code's Z-syndrome space exceeds 2¹⁶ entries (the
+    /// table is meant for d ≤ 5; larger codes need a matching decoder).
+    #[must_use]
+    pub fn build(code: &RotatedSurfaceCode) -> Self {
+        let num_z = code.z_stabilizers().count();
+        assert!(num_z <= 16, "lookup table too large for distance {}", code.distance());
+        let num_qubits = code.num_data_qubits();
+        let num_patterns = 1usize << num_z;
+        let mut corrections: Vec<Option<Vec<usize>>> = vec![None; num_patterns];
+        corrections[0] = Some(Vec::new());
+        let mut found = 1usize;
+        // Breadth-first over error weight.
+        let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+        while found < num_patterns {
+            let mut next = Vec::new();
+            for base in &frontier {
+                let start = base.last().map_or(0, |&q| q + 1);
+                for q in start..num_qubits {
+                    let mut error_set = base.clone();
+                    error_set.push(q);
+                    let mut error = vec![false; num_qubits];
+                    for &e in &error_set {
+                        error[e] = true;
+                    }
+                    let syndrome = code.z_syndrome(&error);
+                    let idx = Self::index_of(&syndrome);
+                    if corrections[idx].is_none() {
+                        corrections[idx] = Some(error_set.clone());
+                        found += 1;
+                    }
+                    next.push(error_set);
+                }
+            }
+            assert!(!next.is_empty(), "syndrome space not fully reachable");
+            frontier = next;
+        }
+        Self {
+            num_z,
+            num_qubits,
+            corrections: corrections.into_iter().map(Option::unwrap).collect(),
+        }
+    }
+
+    /// Packs a syndrome bit-vector into a table index (bit `i` = stabilizer
+    /// `i`).
+    #[must_use]
+    pub fn index_of(syndrome: &[bool]) -> usize {
+        syndrome
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &s)| acc | (usize::from(s) << i))
+    }
+
+    /// Number of syndrome bits the table expects.
+    #[must_use]
+    pub fn num_syndrome_bits(&self) -> usize {
+        self.num_z
+    }
+
+    /// The correction (data qubits to flip) for a syndrome.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the syndrome length does not match the code.
+    #[must_use]
+    pub fn correct(&self, syndrome: &[bool]) -> &[usize] {
+        assert_eq!(syndrome.len(), self.num_z, "syndrome length");
+        &self.corrections[Self::index_of(syndrome)]
+    }
+
+    /// Applies the correction for `syndrome` to an error frame in place.
+    pub fn apply(&self, syndrome: &[bool], frame: &mut [bool]) {
+        for &q in self.correct(syndrome) {
+            frame[q] = !frame[q];
+        }
+    }
+
+    /// Largest correction weight in the table (d = 3: 2).
+    #[must_use]
+    pub fn max_correction_weight(&self) -> usize {
+        self.corrections.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+    use rand::Rng;
+
+    fn d3() -> (RotatedSurfaceCode, LookupDecoder) {
+        let code = RotatedSurfaceCode::new(3);
+        let dec = LookupDecoder::build(&code);
+        (code, dec)
+    }
+
+    #[test]
+    fn table_is_complete() {
+        let (_, dec) = d3();
+        assert_eq!(dec.num_syndrome_bits(), 4);
+        // Every pattern has a correction of weight ≤ 2 for d = 3.
+        assert!(dec.max_correction_weight() <= 2);
+    }
+
+    #[test]
+    fn trivial_syndrome_gets_no_correction() {
+        let (_, dec) = d3();
+        assert!(dec.correct(&[false; 4]).is_empty());
+    }
+
+    #[test]
+    fn corrections_clear_their_syndromes() {
+        let (code, dec) = d3();
+        for pattern in 0..16usize {
+            let syndrome: Vec<bool> = (0..4).map(|b| pattern & (1 << b) != 0).collect();
+            let mut frame = vec![false; 9];
+            dec.apply(&syndrome, &mut frame);
+            assert_eq!(
+                LookupDecoder::index_of(&code.z_syndrome(&frame)),
+                pattern,
+                "correction for {pattern:#06b} has a different syndrome"
+            );
+        }
+    }
+
+    #[test]
+    fn single_errors_are_corrected_exactly() {
+        let (code, dec) = d3();
+        for q in 0..9 {
+            let mut frame = vec![false; 9];
+            frame[q] = true;
+            let syndrome = code.z_syndrome(&frame);
+            dec.apply(&syndrome, &mut frame);
+            // Residual must be syndrome-free and non-logical.
+            assert!(code.z_syndrome(&frame).iter().all(|&s| !s));
+            assert!(!code.is_logical_x_flip(&frame), "qubit {q} left a logical");
+        }
+    }
+
+    #[test]
+    fn random_double_errors_never_leave_syndrome() {
+        let (code, dec) = d3();
+        let mut rng = rng_for("qec/double");
+        for _ in 0..64 {
+            let mut frame = vec![false; 9];
+            frame[rng.gen_range(0..9)] = true;
+            frame[rng.gen_range(0..9)] ^= true;
+            let syndrome = code.z_syndrome(&frame);
+            dec.apply(&syndrome, &mut frame);
+            assert!(code.z_syndrome(&frame).iter().all(|&s| !s));
+        }
+    }
+
+    #[test]
+    fn d5_table_builds() {
+        let code = RotatedSurfaceCode::new(5);
+        let dec = LookupDecoder::build(&code);
+        assert_eq!(dec.num_syndrome_bits(), 12);
+        assert!(dec.max_correction_weight() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn d7_is_rejected() {
+        let code = RotatedSurfaceCode::new(7);
+        let _ = LookupDecoder::build(&code);
+    }
+}

@@ -1,0 +1,289 @@
+//! Rotated surface-code layout for odd distances.
+//!
+//! Data qubits sit on a `d×d` grid (row-major indices). Interior faces are
+//! weight-4 stabilizers colored in a checkerboard (`(r+c)` even → Z-type);
+//! weight-2 boundary stabilizers complete the code on all four sides. For
+//! d = 3 this is the familiar surface-17 (9 data + 8 syndrome qubits), the
+//! code of the paper's Fig. 11.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a stabilizer measures X or Z parities.
+///
+/// Z-type stabilizers detect X (bit-flip) errors and vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StabilizerKind {
+    /// Product of X on the support (detects Z errors).
+    X,
+    /// Product of Z on the support (detects X errors).
+    Z,
+}
+
+/// One stabilizer generator: its kind and data-qubit support.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stabilizer {
+    /// X or Z type.
+    pub kind: StabilizerKind,
+    /// Data qubits (row-major indices) in the support.
+    pub support: Vec<usize>,
+}
+
+impl Stabilizer {
+    /// Parity of the overlap with an error set (true = anticommutes /
+    /// syndrome fires).
+    #[must_use]
+    pub fn syndrome(&self, error: &[bool]) -> bool {
+        self.support.iter().filter(|&&q| error[q]).count() % 2 == 1
+    }
+}
+
+/// A rotated surface code of odd distance `d`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RotatedSurfaceCode {
+    distance: usize,
+    stabilizers: Vec<Stabilizer>,
+}
+
+impl RotatedSurfaceCode {
+    /// Builds the code for an odd `distance ≥ 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `distance` is even or below 3.
+    #[must_use]
+    pub fn new(distance: usize) -> Self {
+        assert!(
+            distance >= 3 && distance % 2 == 1,
+            "distance must be an odd number >= 3"
+        );
+        let d = distance;
+        let q = |r: usize, c: usize| r * d + c;
+        let mut stabilizers = Vec::new();
+        // Interior weight-4 faces.
+        for r in 0..d - 1 {
+            for c in 0..d - 1 {
+                let kind = if (r + c) % 2 == 0 {
+                    StabilizerKind::Z
+                } else {
+                    StabilizerKind::X
+                };
+                stabilizers.push(Stabilizer {
+                    kind,
+                    support: vec![q(r, c), q(r, c + 1), q(r + 1, c), q(r + 1, c + 1)],
+                });
+            }
+        }
+        // Left/right boundary Z stabilizers (weight 2, vertical pairs).
+        for r in 0..d - 1 {
+            if r % 2 == 1 {
+                stabilizers.push(Stabilizer {
+                    kind: StabilizerKind::Z,
+                    support: vec![q(r, 0), q(r + 1, 0)],
+                });
+            }
+            if (r + d - 1).is_multiple_of(2) {
+                stabilizers.push(Stabilizer {
+                    kind: StabilizerKind::Z,
+                    support: vec![q(r, d - 1), q(r + 1, d - 1)],
+                });
+            }
+        }
+        // Top/bottom boundary X stabilizers (weight 2, horizontal pairs).
+        for c in 0..d - 1 {
+            if c % 2 == 0 {
+                stabilizers.push(Stabilizer {
+                    kind: StabilizerKind::X,
+                    support: vec![q(0, c), q(0, c + 1)],
+                });
+            }
+            if (c + d - 1) % 2 == 1 {
+                stabilizers.push(Stabilizer {
+                    kind: StabilizerKind::X,
+                    support: vec![q(d - 1, c), q(d - 1, c + 1)],
+                });
+            }
+        }
+        Self {
+            distance,
+            stabilizers,
+        }
+    }
+
+    /// Code distance.
+    #[must_use]
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Number of data qubits (`d²`).
+    #[must_use]
+    pub fn num_data_qubits(&self) -> usize {
+        self.distance * self.distance
+    }
+
+    /// Number of syndrome qubits (`d² − 1`).
+    #[must_use]
+    pub fn num_syndromes(&self) -> usize {
+        self.stabilizers.len()
+    }
+
+    /// All stabilizer generators.
+    #[must_use]
+    pub fn stabilizers(&self) -> &[Stabilizer] {
+        &self.stabilizers
+    }
+
+    /// The Z-type stabilizers (bit-flip detectors), in construction order.
+    pub fn z_stabilizers(&self) -> impl Iterator<Item = &Stabilizer> {
+        self.stabilizers
+            .iter()
+            .filter(|s| s.kind == StabilizerKind::Z)
+    }
+
+    /// Support of the logical Z operator (the top row of data qubits).
+    #[must_use]
+    pub fn logical_z(&self) -> Vec<usize> {
+        (0..self.distance).collect()
+    }
+
+    /// Support of the logical X operator (the left column of data qubits).
+    #[must_use]
+    pub fn logical_x(&self) -> Vec<usize> {
+        (0..self.distance).map(|r| r * self.distance).collect()
+    }
+
+    /// Syndrome of an X-error pattern under the Z stabilizers, in
+    /// `z_stabilizers` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `error` is not `d²` long.
+    #[must_use]
+    pub fn z_syndrome(&self, error: &[bool]) -> Vec<bool> {
+        assert_eq!(error.len(), self.num_data_qubits(), "error length");
+        self.z_stabilizers().map(|s| s.syndrome(error)).collect()
+    }
+
+    /// Whether an X-error pattern flips the logical Z measurement (odd
+    /// overlap with the logical Z support). Only meaningful for patterns
+    /// with a clear syndrome.
+    #[must_use]
+    pub fn is_logical_x_flip(&self, error: &[bool]) -> bool {
+        self.logical_z().iter().filter(|&&q| error[q]).count() % 2 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlap(a: &[usize], b: &[usize]) -> usize {
+        a.iter().filter(|x| b.contains(x)).count()
+    }
+
+    #[test]
+    fn d3_is_surface_17() {
+        let code = RotatedSurfaceCode::new(3);
+        assert_eq!(code.num_data_qubits(), 9);
+        assert_eq!(code.num_syndromes(), 8);
+        assert_eq!(code.z_stabilizers().count(), 4);
+    }
+
+    #[test]
+    fn syndrome_counts_scale_as_d_squared_minus_1() {
+        for d in [3usize, 5, 7, 9, 11, 13] {
+            let code = RotatedSurfaceCode::new(d);
+            assert_eq!(code.num_syndromes(), d * d - 1, "d = {d}");
+            // Z and X sectors are balanced.
+            assert_eq!(code.z_stabilizers().count(), (d * d - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn stabilizers_commute_pairwise() {
+        for d in [3usize, 5, 7] {
+            let code = RotatedSurfaceCode::new(d);
+            for a in code.stabilizers() {
+                for b in code.stabilizers() {
+                    if a.kind != b.kind {
+                        assert_eq!(
+                            overlap(&a.support, &b.support) % 2,
+                            0,
+                            "anticommuting stabilizers at d = {d}: {a:?} vs {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logicals_commute_with_stabilizers() {
+        for d in [3usize, 5] {
+            let code = RotatedSurfaceCode::new(d);
+            let lx = code.logical_x();
+            let lz = code.logical_z();
+            for s in code.stabilizers() {
+                match s.kind {
+                    // Z stabilizers must overlap logical X evenly.
+                    StabilizerKind::Z => {
+                        assert_eq!(overlap(&s.support, &lx) % 2, 0, "d = {d}")
+                    }
+                    // X stabilizers must overlap logical Z evenly.
+                    StabilizerKind::X => {
+                        assert_eq!(overlap(&s.support, &lz) % 2, 0, "d = {d}")
+                    }
+                }
+            }
+            // The logical pair anticommutes.
+            assert_eq!(overlap(&lx, &lz) % 2, 1);
+        }
+    }
+
+    #[test]
+    fn single_error_fires_adjacent_stabilizers() {
+        let code = RotatedSurfaceCode::new(3);
+        let mut error = vec![false; 9];
+        error[4] = true; // center qubit
+        let syndrome = code.z_syndrome(&error);
+        // The center qubit belongs to both interior Z faces.
+        assert_eq!(syndrome.iter().filter(|&&s| s).count(), 2);
+    }
+
+    #[test]
+    fn logical_operator_has_clean_syndrome() {
+        for d in [3usize, 5] {
+            let code = RotatedSurfaceCode::new(d);
+            let mut error = vec![false; code.num_data_qubits()];
+            for q in code.logical_x() {
+                error[q] = true;
+            }
+            assert!(code.z_syndrome(&error).iter().all(|&s| !s), "d = {d}");
+            assert!(code.is_logical_x_flip(&error));
+        }
+    }
+
+    #[test]
+    fn stabilizer_element_is_not_logical() {
+        let code = RotatedSurfaceCode::new(3);
+        // Applying X on a Z-stabilizer... use an X-stabilizer support as an
+        // X-error: syndrome must be clean and logical parity even.
+        let xstab = code
+            .stabilizers()
+            .iter()
+            .find(|s| s.kind == StabilizerKind::X && s.support.len() == 4)
+            .expect("interior X face");
+        let mut error = vec![false; 9];
+        for &q in &xstab.support {
+            error[q] = true;
+        }
+        assert!(code.z_syndrome(&error).iter().all(|&s| !s));
+        assert!(!code.is_logical_x_flip(&error));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd number")]
+    fn even_distance_panics() {
+        let _ = RotatedSurfaceCode::new(4);
+    }
+}

@@ -1,0 +1,178 @@
+//! Repeated-cycle memory experiments with feedback correction (Fig. 12 b/c).
+//!
+//! The paper's methodology: a d = 3 surface-code memory runs `cycles` rounds
+//! of noisy syndrome extraction; each round the observed (noisy) syndrome is
+//! decoded by the lookup table and the correction is applied *by feedback*
+//! (dynamic circuit). Physical error rates per cycle depend on the feedback
+//! controller through the cycle duration — that coupling lives in
+//! [`scaling::per_cycle_noise`](crate::scaling::per_cycle_noise).
+
+use rand::Rng;
+
+use crate::decoder::LookupDecoder;
+use crate::layout::RotatedSurfaceCode;
+
+/// One memory run's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryOutcome {
+    /// Whether the final logical Z measurement was flipped.
+    pub logical_error: bool,
+    /// How many cycles observed a non-trivial syndrome.
+    pub active_cycles: usize,
+}
+
+/// A repeated syndrome-extraction memory experiment in the bit-flip sector.
+#[derive(Debug, Clone)]
+pub struct MemoryExperiment {
+    code: RotatedSurfaceCode,
+    decoder: LookupDecoder,
+    /// X-error probability per data qubit per cycle.
+    pub p_data: f64,
+    /// Syndrome-bit misread probability per cycle.
+    pub p_meas: f64,
+}
+
+impl MemoryExperiment {
+    /// Builds the experiment for `code` with the given per-cycle error
+    /// rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when probabilities are outside `[0, 1]` or the code is too
+    /// large for a lookup decoder.
+    #[must_use]
+    pub fn new(code: RotatedSurfaceCode, p_data: f64, p_meas: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_data), "p_data must be a probability");
+        assert!((0.0..=1.0).contains(&p_meas), "p_meas must be a probability");
+        let decoder = LookupDecoder::build(&code);
+        Self {
+            code,
+            decoder,
+            p_data,
+            p_meas,
+        }
+    }
+
+    /// The code under test.
+    #[must_use]
+    pub fn code(&self) -> &RotatedSurfaceCode {
+        &self.code
+    }
+
+    /// Runs one shot of `cycles` rounds and a final noiseless readout.
+    pub fn run_shot(&self, cycles: usize, rng: &mut impl Rng) -> MemoryOutcome {
+        let n = self.code.num_data_qubits();
+        let mut frame = vec![false; n];
+        let mut active = 0usize;
+        for _ in 0..cycles {
+            // Physical errors accumulate on the data qubits.
+            for slot in frame.iter_mut() {
+                if rng.gen::<f64>() < self.p_data {
+                    *slot = !*slot;
+                }
+            }
+            // Noisy syndrome measurement.
+            let mut syndrome = self.code.z_syndrome(&frame);
+            for bit in &mut syndrome {
+                if rng.gen::<f64>() < self.p_meas {
+                    *bit = !*bit;
+                }
+            }
+            if syndrome.iter().any(|&s| s) {
+                active += 1;
+            }
+            // Feedback correction from the (possibly wrong) syndrome.
+            self.decoder.apply(&syndrome, &mut frame);
+        }
+        // Final round: perfect readout + correction, then logical parity.
+        let syndrome = self.code.z_syndrome(&frame);
+        self.decoder.apply(&syndrome, &mut frame);
+        MemoryOutcome {
+            logical_error: self.code.is_logical_x_flip(&frame),
+            active_cycles: active,
+        }
+    }
+
+    /// Monte-Carlo logical error probability after `cycles` rounds.
+    #[must_use]
+    pub fn logical_error_rate(&self, cycles: usize, shots: usize, rng: &mut impl Rng) -> f64 {
+        let mut errors = 0usize;
+        for _ in 0..shots {
+            errors += usize::from(self.run_shot(cycles, rng).logical_error);
+        }
+        errors as f64 / shots.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+
+    fn experiment(p_data: f64, p_meas: f64) -> MemoryExperiment {
+        MemoryExperiment::new(RotatedSurfaceCode::new(3), p_data, p_meas)
+    }
+
+    #[test]
+    fn noiseless_memory_never_fails() {
+        let exp = experiment(0.0, 0.0);
+        let mut rng = rng_for("qec/noiseless");
+        for _ in 0..16 {
+            let out = exp.run_shot(30, &mut rng);
+            assert!(!out.logical_error);
+            assert_eq!(out.active_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn error_rate_grows_with_cycles() {
+        let exp = experiment(0.02, 0.02);
+        let mut rng = rng_for("qec/cycles");
+        let short = exp.logical_error_rate(2, 800, &mut rng);
+        let long = exp.logical_error_rate(25, 800, &mut rng);
+        assert!(long > short, "long {long} vs short {short}");
+    }
+
+    #[test]
+    fn error_rate_grows_with_physical_error() {
+        let mut rng = rng_for("qec/physical");
+        let low = experiment(0.005, 0.005).logical_error_rate(10, 800, &mut rng);
+        let high = experiment(0.05, 0.05).logical_error_rate(10, 800, &mut rng);
+        assert!(high > low, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn code_suppresses_single_cycle_errors() {
+        // One cycle at modest physical error: logical error must be well
+        // below the physical rate (that is the entire point of the code).
+        let exp = experiment(0.02, 0.0);
+        let mut rng = rng_for("qec/suppression");
+        let logical = exp.logical_error_rate(1, 3000, &mut rng);
+        assert!(logical < 0.02, "logical {logical} not suppressed");
+    }
+
+    #[test]
+    fn measurement_errors_alone_cause_some_failures() {
+        // Wrong syndromes cause wrong corrections; with p_meas only, the
+        // next cycle usually undoes them, but a small logical rate remains.
+        let exp = experiment(0.0, 0.1);
+        let mut rng = rng_for("qec/meas");
+        let rate = exp.logical_error_rate(20, 500, &mut rng);
+        assert!(rate < 0.5);
+    }
+
+    #[test]
+    fn saturates_at_one_half() {
+        // Deep in the failure regime the logical qubit is fully mixed.
+        let exp = experiment(0.4, 0.3);
+        let mut rng = rng_for("qec/saturate");
+        let rate = exp.logical_error_rate(30, 600, &mut rng);
+        assert!(rate > 0.3 && rate < 0.7, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = experiment(1.5, 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Latency↔error coupling models behind Fig. 12 a/b/d.
+//!
+//! Three small analytic models connect the feedback controller to the QEC
+//! results:
+//!
+//! * [`CycleTiming`] — a QEC cycle is the syndrome readout-and-reset path
+//!   plus the gate layer of the stabilizer circuit; faster feedback
+//!   shortens the cycle (Fig. 12 a, end-to-end row),
+//! * [`CycleNoiseModel`] — data qubits accumulate idle error in proportion
+//!   to the time they spend exposed before their correction lands; ARTERY's
+//!   pre-correction shrinks that exposure (this is the mechanism the paper
+//!   credits for the Fig. 12 b logical-error gap: "data qubits, being in a
+//!   low-energy state due to pre-correction, reduce decoherence errors"),
+//! * [`ScalingModel`] — the paper's latency *estimation model* for larger
+//!   code distances (Fig. 12 d): with `d² − 1` syndromes per cycle, the
+//!   probability that *every* syndrome prediction is correct decays
+//!   geometrically, and "any prediction error in a syndrome triggers branch
+//!   recovery"; past d ≈ 13 the expected recovery cost cancels the saving.
+//!
+//! Model constants are calibrated against the paper's reported numbers and
+//! recorded here (the paper does not publish its estimation-model
+//! parameters).
+
+use serde::{Deserialize, Serialize};
+
+/// Timing of one QEC cycle for a given feedback controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleTiming {
+    /// Syndrome measure-and-reset feedback latency, µs.
+    pub reset_us: f64,
+    /// Data-qubit correction feedback latency, µs.
+    pub correction_us: f64,
+    /// Stabilizer-circuit gate layer (CZ ladder + Hadamards), µs.
+    pub gate_layer_us: f64,
+}
+
+impl CycleTiming {
+    /// End-to-end cycle latency, µs: the syndrome reset dominates the
+    /// critical path; the gate layer precedes it (paper: QubiC 2.45 µs
+    /// = 2.16 µs reset + 0.29 µs gates; ARTERY 2.31 µs).
+    #[must_use]
+    pub fn cycle_us(&self) -> f64 {
+        self.reset_us + self.gate_layer_us
+    }
+
+    /// The paper's gate-layer duration implied by its QubiC numbers.
+    pub const PAPER_GATE_LAYER_US: f64 = 0.29;
+}
+
+/// Per-cycle physical error model linking exposure time to error rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleNoiseModel {
+    /// Qubit lifetime, µs (Google-calibrated runs use 20 µs).
+    pub t1_us: f64,
+    /// Gate-induced X-flip probability per data qubit per cycle.
+    pub p_gate: f64,
+    /// Syndrome misread probability per cycle.
+    pub p_meas: f64,
+    /// Fraction of idle decay that converts into bit-flip error (captures
+    /// average excited-state population and echo efficiency; calibrated so
+    /// the QubiC/ARTERY logical-error gap matches Fig. 12 b's ≈1.86×).
+    pub exposure_coeff: f64,
+}
+
+impl CycleNoiseModel {
+    /// Google-experiment-calibrated constants (Fig. 12 b/c).
+    #[must_use]
+    pub fn google_calibrated() -> Self {
+        Self {
+            t1_us: 20.0,
+            p_gate: 0.012,
+            p_meas: 0.02,
+            exposure_coeff: 0.13,
+        }
+    }
+
+    /// Data-qubit X-error probability for a cycle in which the qubit is
+    /// exposed (uncorrected / waiting on feedback) for `exposure_us`.
+    #[must_use]
+    pub fn p_data(&self, exposure_us: f64) -> f64 {
+        (self.p_gate + self.exposure_coeff * (exposure_us / self.t1_us)).clamp(0.0, 1.0)
+    }
+}
+
+/// The Fig. 12 d estimation model: expected syndrome-feedback time saved per
+/// cycle at code distance `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingModel {
+    /// Per-syndrome prediction accuracy (sampled from the measured QEC
+    /// accuracy distribution).
+    pub syndrome_accuracy: f64,
+    /// Time saved per cycle when every prediction is correct, µs
+    /// (reset 2.16 → 2.01 µs).
+    pub saved_us: f64,
+    /// Extra latency over the sequential baseline when a recovery is
+    /// triggered, µs (undo + re-execute tail).
+    pub overrun_us: f64,
+}
+
+impl ScalingModel {
+    /// Constants calibrated so the benefit crosses zero at d ≈ 13 (the
+    /// paper's reported upper bound).
+    #[must_use]
+    pub fn paper_calibrated() -> Self {
+        Self {
+            syndrome_accuracy: 0.996,
+            saved_us: 0.15,
+            overrun_us: 0.16,
+        }
+    }
+
+    /// Number of syndromes per cycle at distance `d`.
+    #[must_use]
+    pub fn syndromes(d: usize) -> usize {
+        d * d - 1
+    }
+
+    /// Probability that all syndrome predictions in a cycle are correct.
+    #[must_use]
+    pub fn p_all_correct(&self, d: usize) -> f64 {
+        self.syndrome_accuracy.powi(Self::syndromes(d) as i32)
+    }
+
+    /// Expected time saved per cycle, µs (can be negative past the
+    /// crossover).
+    #[must_use]
+    pub fn expected_saving_us(&self, d: usize) -> f64 {
+        let p = self.p_all_correct(d);
+        p * self.saved_us - (1.0 - p) * self.overrun_us
+    }
+
+    /// The saving ARTERY actually realizes: it declines to predict when the
+    /// expected saving is negative, so the benefit floors at zero ("for
+    /// circuits with d > 13 … ARTERY does not contribute to latency
+    /// reduction").
+    #[must_use]
+    pub fn effective_saving_us(&self, d: usize) -> f64 {
+        self.expected_saving_us(d).max(0.0)
+    }
+
+    /// The largest odd distance with positive expected saving.
+    #[must_use]
+    pub fn crossover_distance(&self) -> usize {
+        let mut last = 3;
+        let mut d = 3;
+        while d <= 99 {
+            if self.expected_saving_us(d) > 0.0 {
+                last = d;
+            } else {
+                break;
+            }
+            d += 2;
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_timing_matches_paper_qubic() {
+        let qubic = CycleTiming {
+            reset_us: 2.16,
+            correction_us: 2.16,
+            gate_layer_us: CycleTiming::PAPER_GATE_LAYER_US,
+        };
+        assert!((qubic.cycle_us() - 2.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exposure_raises_data_error() {
+        let m = CycleNoiseModel::google_calibrated();
+        assert!(m.p_data(2.45) > m.p_data(0.45));
+        assert!(m.p_data(0.0) == m.p_gate);
+    }
+
+    #[test]
+    fn p_data_is_clamped() {
+        let m = CycleNoiseModel {
+            exposure_coeff: 10.0,
+            ..CycleNoiseModel::google_calibrated()
+        };
+        assert_eq!(m.p_data(1e9), 1.0);
+    }
+
+    #[test]
+    fn saving_declines_with_distance() {
+        let m = ScalingModel::paper_calibrated();
+        let mut prev = f64::INFINITY;
+        for d in (3..=15).step_by(2) {
+            let s = m.expected_saving_us(d);
+            assert!(s < prev, "saving must decline at d = {d}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn crossover_is_near_13() {
+        let m = ScalingModel::paper_calibrated();
+        let crossover = m.crossover_distance();
+        assert!(
+            (11..=13).contains(&crossover),
+            "crossover at d = {crossover}, expected ≈13"
+        );
+        // Past the crossover ARTERY contributes nothing, not a slowdown.
+        assert_eq!(m.effective_saving_us(15), 0.0);
+        assert!(m.effective_saving_us(3) > 0.1);
+    }
+
+    #[test]
+    fn syndrome_count_formula() {
+        assert_eq!(ScalingModel::syndromes(3), 8);
+        assert_eq!(ScalingModel::syndromes(13), 168);
+    }
+
+    #[test]
+    fn p_all_correct_decays_geometrically() {
+        let m = ScalingModel::paper_calibrated();
+        assert!(m.p_all_correct(3) > m.p_all_correct(5));
+        assert!(m.p_all_correct(13) < 0.6);
+    }
+}

@@ -1,0 +1,196 @@
+//! IQ cluster centers and state classification.
+
+use serde::{Deserialize, Serialize};
+
+use crate::demod::{Demodulator, IqPoint};
+use crate::model::{ReadoutModel, ReadoutPulse};
+
+/// Calibrated `|0⟩`/`|1⟩` cluster centers in the IQ plane.
+///
+/// On hardware these come from preparation-and-measurement calibration runs;
+/// here they are fit from labelled training pulses (or taken from the ideal
+/// model in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IqCenters {
+    /// Cluster center of `|0⟩` pulses.
+    pub c0: IqPoint,
+    /// Cluster center of `|1⟩` pulses.
+    pub c1: IqPoint,
+}
+
+impl IqCenters {
+    /// Ideal centers of a synthesis model (no noise, no decay).
+    #[must_use]
+    pub fn ideal(model: &ReadoutModel) -> Self {
+        Self {
+            c0: IqPoint::from(model.ideal_center(false)),
+            c1: IqPoint::from(model.ideal_center(true)),
+        }
+    }
+
+    /// Calibrates centers from labelled pulses by averaging each label's
+    /// fully-integrated IQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is missing from the training set.
+    #[must_use]
+    pub fn calibrate<'a>(
+        pulses: impl IntoIterator<Item = &'a ReadoutPulse>,
+        demod: &Demodulator,
+    ) -> Self {
+        let mut sums = [IqPoint::default(); 2];
+        let mut counts = [0usize; 2];
+        for pulse in pulses {
+            let iq = demod.integrate_prefix(pulse, pulse.len());
+            let k = usize::from(pulse.true_state);
+            sums[k].i += iq.i;
+            sums[k].q += iq.q;
+            counts[k] += 1;
+        }
+        assert!(
+            counts[0] > 0 && counts[1] > 0,
+            "calibration needs both labels"
+        );
+        Self {
+            c0: IqPoint::new(sums[0].i / counts[0] as f64, sums[0].q / counts[0] as f64),
+            c1: IqPoint::new(sums[1].i / counts[1] as f64, sums[1].q / counts[1] as f64),
+        }
+    }
+
+    /// Hard nearest-center classification of an IQ point.
+    #[must_use]
+    pub fn classify(&self, iq: IqPoint) -> bool {
+        iq.distance(&self.c1) < iq.distance(&self.c0)
+    }
+
+    /// Signed margin of a classification: positive leans `|1⟩`, negative
+    /// leans `|0⟩`, magnitude grows with confidence. Normalized by the
+    /// center separation so it is scale-free.
+    #[must_use]
+    pub fn margin(&self, iq: IqPoint) -> f64 {
+        let d = self.c0.distance(&self.c1).max(f64::MIN_POSITIVE);
+        (iq.distance(&self.c0) - iq.distance(&self.c1)) / d
+    }
+
+    /// Per-window preliminary classifications of a pulse — the bit stream
+    /// that feeds the branch history registers (Fig. 7 (c)). Uses the
+    /// cumulative trajectory so late windows are increasingly reliable.
+    #[must_use]
+    pub fn window_states(&self, pulse: &ReadoutPulse, demod: &Demodulator) -> Vec<bool> {
+        demod
+            .cumulative_trajectory(pulse)
+            .into_iter()
+            .map(|iq| self.classify(iq))
+            .collect()
+    }
+
+    /// Full-integration classification of a pulse (what the baseline state
+    /// classifier reports at readout end).
+    #[must_use]
+    pub fn classify_full(&self, pulse: &ReadoutPulse, demod: &Demodulator) -> bool {
+        self.classify(demod.integrate_prefix(pulse, pulse.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+
+    #[test]
+    fn ideal_centers_match_model() {
+        let m = ReadoutModel::paper();
+        let c = IqCenters::ideal(&m);
+        assert!(c.c0.q > 0.0); // phase0 = +0.55 rad
+        assert!(c.c1.q < 0.0);
+    }
+
+    #[test]
+    fn calibration_close_to_ideal() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let mut rng = rng_for("classifier/cal");
+        let pulses: Vec<ReadoutPulse> = (0..200)
+            .map(|k| m.synthesize(k % 2 == 0, &mut rng))
+            .collect();
+        let cal = IqCenters::calibrate(&pulses, &demod);
+        let ideal = IqCenters::ideal(&m);
+        assert!(cal.c0.distance(&ideal.c0) < 0.2);
+        assert!(cal.c1.distance(&ideal.c1) < 0.2);
+    }
+
+    #[test]
+    fn full_classification_reaches_paper_fidelity() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let centers = IqCenters::ideal(&m);
+        let mut rng = rng_for("classifier/fidelity");
+        let mut correct = 0usize;
+        const N: usize = 2000;
+        for k in 0..N {
+            let state = k % 2 == 0;
+            let pulse = m.synthesize(state, &mut rng);
+            if centers.classify_full(&pulse, &demod) == state {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / N as f64;
+        // Paper: 99.0 % readout fidelity.
+        assert!(acc > 0.975, "full-readout accuracy {acc}");
+    }
+
+    #[test]
+    fn partial_integration_is_less_accurate() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let centers = IqCenters::ideal(&m);
+        let mut rng = rng_for("classifier/partial");
+        let mut correct_early = 0usize;
+        let mut correct_late = 0usize;
+        const N: usize = 1500;
+        for k in 0..N {
+            let state = k % 2 == 0;
+            let pulse = m.synthesize(state, &mut rng);
+            let early = centers.classify(demod.integrate_prefix(&pulse, 250));
+            let late = centers.classify(demod.integrate_prefix(&pulse, 2000));
+            correct_early += usize::from(early == state);
+            correct_late += usize::from(late == state);
+        }
+        assert!(
+            correct_late > correct_early,
+            "late {correct_late} vs early {correct_early}"
+        );
+    }
+
+    #[test]
+    fn margin_sign_matches_classification() {
+        let m = ReadoutModel::paper();
+        let c = IqCenters::ideal(&m);
+        let near1 = IqPoint::from(m.ideal_center(true));
+        let near0 = IqPoint::from(m.ideal_center(false));
+        assert!(c.margin(near1) > 0.0);
+        assert!(c.margin(near0) < 0.0);
+        assert!(c.classify(near1));
+        assert!(!c.classify(near0));
+    }
+
+    #[test]
+    fn window_states_length() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let centers = IqCenters::ideal(&m);
+        let pulse = m.synthesize(true, &mut rng_for("classifier/windows"));
+        assert_eq!(centers.window_states(&pulse, &demod).len(), 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "both labels")]
+    fn calibration_requires_both_labels() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let mut rng = rng_for("classifier/onelabel");
+        let pulses: Vec<ReadoutPulse> = (0..4).map(|_| m.synthesize(false, &mut rng)).collect();
+        let _ = IqCenters::calibrate(&pulses, &demod);
+    }
+}

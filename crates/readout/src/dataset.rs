@@ -1,0 +1,157 @@
+//! Labelled pulse datasets with train/test splits.
+//!
+//! The paper collects 4,000 readout pulses from its device per benchmark,
+//! using 1,000 for parameter training and the rest for latency testing
+//! (§6.1). That dataset is private, so we regenerate its statistical
+//! properties: pulses are drawn from a [`ReadoutModel`] with the benchmark's
+//! branch prior `p1` (the probability the measured qubit is `|1⟩`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ReadoutModel, ReadoutPulse};
+
+/// A labelled collection of readout pulses from one feedback site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    pulses: Vec<ReadoutPulse>,
+    p1: f64,
+}
+
+impl Dataset {
+    /// Draws `n` pulses whose true states are Bernoulli(`p1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p1` is outside `[0, 1]`.
+    #[must_use]
+    pub fn generate(model: &ReadoutModel, p1: f64, n: usize, rng: &mut impl Rng) -> Self {
+        assert!((0.0..=1.0).contains(&p1), "p1 must be a probability");
+        let pulses = (0..n)
+            .map(|_| model.synthesize(rng.gen::<f64>() < p1, rng))
+            .collect();
+        Self { pulses, p1 }
+    }
+
+    /// The paper's per-benchmark dataset size: 4,000 pulses.
+    #[must_use]
+    pub fn paper_size(model: &ReadoutModel, p1: f64, rng: &mut impl Rng) -> Self {
+        Self::generate(model, p1, 4000, rng)
+    }
+
+    /// All pulses.
+    #[must_use]
+    pub fn pulses(&self) -> &[ReadoutPulse] {
+        &self.pulses
+    }
+
+    /// The generating prior for `|1⟩`.
+    #[must_use]
+    pub fn p1(&self) -> f64 {
+        self.p1
+    }
+
+    /// Number of pulses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pulses.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pulses.is_empty()
+    }
+
+    /// Empirical fraction of `|1⟩` labels.
+    #[must_use]
+    pub fn empirical_p1(&self) -> f64 {
+        if self.pulses.is_empty() {
+            return 0.0;
+        }
+        self.pulses.iter().filter(|p| p.true_state).count() as f64 / self.pulses.len() as f64
+    }
+
+    /// Splits into `train_len` training pulses and the remaining test
+    /// pulses (paper: 1,000 / 3,000).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `train_len` exceeds the dataset size.
+    #[must_use]
+    pub fn split(&self, train_len: usize) -> DatasetSplit<'_> {
+        assert!(train_len <= self.pulses.len(), "train split too large");
+        DatasetSplit {
+            train: &self.pulses[..train_len],
+            test: &self.pulses[train_len..],
+        }
+    }
+}
+
+/// Borrowed train/test views of a [`Dataset`].
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSplit<'a> {
+    /// Training pulses (parameter fitting: centers, state tables).
+    pub train: &'a [ReadoutPulse],
+    /// Held-out pulses (latency/accuracy evaluation).
+    pub test: &'a [ReadoutPulse],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+
+    #[test]
+    fn generate_respects_prior() {
+        let m = ReadoutModel::paper();
+        let mut rng = rng_for("dataset/prior");
+        let ds = Dataset::generate(&m, 0.3, 3000, &mut rng);
+        assert!((ds.empirical_p1() - 0.3).abs() < 0.03);
+        assert_eq!(ds.p1(), 0.3);
+    }
+
+    #[test]
+    fn paper_size_is_4000() {
+        let m = ReadoutModel::paper();
+        let mut rng = rng_for("dataset/size");
+        let ds = Dataset::paper_size(&m, 0.5, &mut rng);
+        assert_eq!(ds.len(), 4000);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let m = ReadoutModel::paper();
+        let mut rng = rng_for("dataset/split");
+        let ds = Dataset::generate(&m, 0.5, 40, &mut rng);
+        let split = ds.split(10);
+        assert_eq!(split.train.len(), 10);
+        assert_eq!(split.test.len(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_split_panics() {
+        let m = ReadoutModel::paper();
+        let mut rng = rng_for("dataset/oversplit");
+        let ds = Dataset::generate(&m, 0.5, 4, &mut rng);
+        let _ = ds.split(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_prior_panics() {
+        let m = ReadoutModel::paper();
+        let mut rng = rng_for("dataset/badprior");
+        let _ = Dataset::generate(&m, 1.5, 4, &mut rng);
+    }
+
+    #[test]
+    fn empty_dataset_prior_is_zero() {
+        let m = ReadoutModel::paper();
+        let mut rng = rng_for("dataset/empty");
+        let ds = Dataset::generate(&m, 0.5, 0, &mut rng);
+        assert!(ds.is_empty());
+        assert_eq!(ds.empirical_p1(), 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Windowed IQ demodulation — the paper's §4 equations.
+
+use artery_num::Complex64;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ReadoutModel, ReadoutPulse};
+
+/// One demodulated point in the IQ plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IqPoint {
+    /// In-phase component.
+    pub i: f64,
+    /// Quadrature component.
+    pub q: f64,
+}
+
+impl IqPoint {
+    /// Constructs an IQ point.
+    #[must_use]
+    pub fn new(i: f64, q: f64) -> Self {
+        Self { i, q }
+    }
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance(&self, other: &IqPoint) -> f64 {
+        ((self.i - other.i).powi(2) + (self.q - other.q).powi(2)).sqrt()
+    }
+
+    /// Conversion to a complex number `I + iQ`.
+    #[must_use]
+    pub fn to_complex(self) -> Complex64 {
+        Complex64::new(self.i, self.q)
+    }
+}
+
+impl From<Complex64> for IqPoint {
+    fn from(z: Complex64) -> Self {
+        Self { i: z.re, q: z.im }
+    }
+}
+
+/// Windowed demodulator implementing the paper's I/Q equations:
+///
+/// ```text
+/// I = 1/(L+1) Σ (aᵢ.re·cos(ωi) + aᵢ.im·sin(ωi))
+/// Q = 1/(L+1) Σ (aᵢ.im·cos(ωi) − aᵢ.re·sin(ωi))
+/// ```
+///
+/// which is the real/imaginary part of the mean of `aᵢ·e^{−iωi}` (scaled by
+/// `L/(L+1)`). The demodulator also produces the *cumulative* trajectory —
+/// the IQ of all samples received so far at each window boundary — which is
+/// what the trajectory predictor consumes: integrating longer shrinks the
+/// noise, so the trajectory spirals into the state's center (Fig. 5 (b)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Demodulator {
+    /// Carrier digital frequency (radians per sample); must match the
+    /// synthesis model.
+    pub omega: f64,
+    /// Samples per demodulation window.
+    pub window_samples: usize,
+}
+
+impl Demodulator {
+    /// Builds a demodulator matching `model` with the given window length in
+    /// nanoseconds (paper default 30 ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is shorter than one sample.
+    #[must_use]
+    pub fn for_model(model: &ReadoutModel, window_ns: f64) -> Self {
+        let window_samples = (window_ns * model.sample_rate_gsps).round() as usize;
+        assert!(window_samples >= 1, "demodulation window too short");
+        Self {
+            omega: model.omega,
+            window_samples,
+        }
+    }
+
+    /// Demodulates one sample range `[start, start + len)` of a pulse using
+    /// the paper's equations. Sample phases use the *absolute* index so
+    /// windows are phase-coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the pulse.
+    #[must_use]
+    pub fn demodulate_range(&self, pulse: &ReadoutPulse, start: usize, len: usize) -> IqPoint {
+        assert!(start + len <= pulse.len(), "window exceeds pulse");
+        assert!(len > 0, "empty demodulation window");
+        let mut acc = Complex64::ZERO;
+        for (k, a) in pulse.samples[start..start + len].iter().enumerate() {
+            let i = (start + k) as f64;
+            // a·e^{−iωi}: Re gives the paper's I integrand, Im gives Q.
+            acc += *a * Complex64::cis(-self.omega * i);
+        }
+        let scaled = acc / (len as f64 + 1.0);
+        IqPoint::new(scaled.re, scaled.im)
+    }
+
+    /// Number of whole windows in a pulse.
+    #[must_use]
+    pub fn num_windows(&self, pulse: &ReadoutPulse) -> usize {
+        pulse.len() / self.window_samples
+    }
+
+    /// Per-window IQ points (the demodulation result queue of Fig. 7 (c),
+    /// depth = pulse length / window length).
+    #[must_use]
+    pub fn window_trajectory(&self, pulse: &ReadoutPulse) -> Vec<IqPoint> {
+        (0..self.num_windows(pulse))
+            .map(|w| self.demodulate_range(pulse, w * self.window_samples, self.window_samples))
+            .collect()
+    }
+
+    /// Cumulative IQ at each window boundary: entry `w` integrates samples
+    /// `[0, (w+1)·window)`. Noise shrinks as `1/√t`, so points converge to
+    /// the state center.
+    #[must_use]
+    pub fn cumulative_trajectory(&self, pulse: &ReadoutPulse) -> Vec<IqPoint> {
+        let n = self.num_windows(pulse);
+        let mut out = Vec::with_capacity(n);
+        let mut acc = Complex64::ZERO;
+        let mut count = 0usize;
+        for w in 0..n {
+            let start = w * self.window_samples;
+            for (k, a) in pulse.samples[start..start + self.window_samples]
+                .iter()
+                .enumerate()
+            {
+                let i = (start + k) as f64;
+                acc += *a * Complex64::cis(-self.omega * i);
+            }
+            count += self.window_samples;
+            let scaled = acc / (count as f64 + 1.0);
+            out.push(IqPoint::new(scaled.re, scaled.im));
+        }
+        out
+    }
+
+    /// Cumulative IQ using only the first `t_ns` nanoseconds of the pulse
+    /// (full-pulse classification uses `t_ns = duration`).
+    #[must_use]
+    pub fn integrate_prefix(&self, pulse: &ReadoutPulse, samples: usize) -> IqPoint {
+        let n = samples.min(pulse.len()).max(1);
+        self.demodulate_range(pulse, 0, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+
+    fn clean_model() -> ReadoutModel {
+        ReadoutModel {
+            noise_sigma: 0.0,
+            t1_ns: f64::INFINITY,
+            ..ReadoutModel::paper()
+        }
+    }
+
+    #[test]
+    fn clean_pulse_demodulates_to_center() {
+        let m = clean_model();
+        let mut rng = rng_for("demod/clean");
+        let demod = Demodulator::for_model(&m, 30.0);
+        for state in [false, true] {
+            let pulse = m.synthesize(state, &mut rng);
+            let iq = demod.integrate_prefix(&pulse, pulse.len());
+            let center = IqPoint::from(m.ideal_center(state));
+            // 1/(L+1) vs 1/L scaling plus finite-sum carrier leakage.
+            assert!(iq.distance(&center) < 0.05, "iq {iq:?} vs {center:?}");
+        }
+    }
+
+    #[test]
+    fn window_count_matches_duration() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let pulse = m.synthesize(false, &mut rng_for("demod/windows"));
+        assert_eq!(demod.num_windows(&pulse), 66);
+        assert_eq!(demod.window_trajectory(&pulse).len(), 66);
+    }
+
+    #[test]
+    fn cumulative_trajectory_converges() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let mut rng = rng_for("demod/converge");
+        let center0 = IqPoint::from(m.ideal_center(false));
+        // Average distance over pulses: early windows are farther from the
+        // center than late windows.
+        let mut early = 0.0;
+        let mut late = 0.0;
+        const N: usize = 64;
+        for _ in 0..N {
+            let pulse = m.synthesize(false, &mut rng);
+            let traj = demod.cumulative_trajectory(&pulse);
+            early += traj[1].distance(&center0);
+            late += traj[traj.len() - 1].distance(&center0);
+        }
+        assert!(
+            late < early / 2.0,
+            "late {late:.3} should be well below early {early:.3}"
+        );
+    }
+
+    #[test]
+    fn cumulative_last_equals_full_prefix() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 100.0);
+        let pulse = m.synthesize(true, &mut rng_for("demod/prefix"));
+        let traj = demod.cumulative_trajectory(&pulse);
+        let full = demod.integrate_prefix(&pulse, 2000);
+        let last = traj[traj.len() - 1];
+        assert!(last.distance(&full) < 1e-9);
+    }
+
+    #[test]
+    fn decayed_pulse_drifts_toward_zero_center() {
+        let mut m = clean_model();
+        m.t1_ns = f64::INFINITY;
+        let mut rng = rng_for("demod/decay");
+        // Build a |1⟩ pulse, then manually overwrite the second half with a
+        // |0⟩ pulse to emulate mid-readout decay.
+        let mut pulse = m.synthesize(true, &mut rng);
+        let zero = m.synthesize(false, &mut rng);
+        let half = pulse.len() / 2;
+        pulse.samples[half..].copy_from_slice(&zero.samples[half..]);
+        let demod = Demodulator::for_model(&m, 30.0);
+        let traj = demod.window_trajectory(&pulse);
+        let c0 = IqPoint::from(m.ideal_center(false));
+        let c1 = IqPoint::from(m.ideal_center(true));
+        let first = traj[0];
+        let last = traj[traj.len() - 1];
+        assert!(first.distance(&c1) < first.distance(&c0));
+        assert!(last.distance(&c0) < last.distance(&c1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pulse")]
+    fn out_of_range_window_panics() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let pulse = m.synthesize(false, &mut rng_for("demod/oob"));
+        let _ = demod.demodulate_range(&pulse, 1990, 30);
+    }
+
+    #[test]
+    fn iq_point_distance_and_conversion() {
+        let a = IqPoint::new(0.0, 0.0);
+        let b = IqPoint::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.to_complex(), Complex64::new(3.0, 4.0));
+        assert_eq!(IqPoint::from(Complex64::new(1.0, 2.0)), IqPoint::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,46 @@
+//! Dispersive-readout physics: pulse synthesis, demodulation and IQ
+//! trajectories.
+//!
+//! On superconducting hardware a qubit is read by driving its readout
+//! resonator and observing the state-dependent phase (dispersive) shift of
+//! the reflected pulse (paper §4, Fig. 5). ARTERY's real-time predictor works
+//! on *partial* readout pulses, so this crate models the readout as a stream
+//! of complex ADC samples:
+//!
+//! * [`ReadoutModel`] synthesizes pulses — a carrier with a state-dependent
+//!   phase, white IQ noise, and mid-readout T1 decay events that make late
+//!   windows of a `|1⟩` pulse look like `|0⟩`,
+//! * [`Demodulator`] implements the paper's windowed I/Q demodulation
+//!   equations and cumulative-integration trajectories,
+//! * [`IqCenters`] calibrates the `|0⟩`/`|1⟩` cluster centers and classifies
+//!   IQ points,
+//! * [`Dataset`] draws the train/test pulse collections the evaluation uses
+//!   (the paper's 4,000-pulse device dataset is private; see DESIGN.md).
+//!
+//! # Examples
+//!
+//! ```
+//! use artery_readout::{Demodulator, ReadoutModel};
+//!
+//! let model = ReadoutModel::paper();
+//! let mut rng = artery_num::rng::rng_for("doc/readout");
+//! let pulse = model.synthesize(true, &mut rng);
+//! let demod = Demodulator::for_model(&model, 30.0); // 30 ns windows
+//! let trajectory = demod.cumulative_trajectory(&pulse);
+//! assert_eq!(trajectory.len(), 66); // 2 µs / 30 ns
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classifier;
+mod dataset;
+mod demod;
+mod model;
+mod multiplex;
+
+pub use classifier::IqCenters;
+pub use dataset::{Dataset, DatasetSplit};
+pub use demod::{Demodulator, IqPoint};
+pub use model::{ReadoutModel, ReadoutPulse};
+pub use multiplex::{MultiplexedLine, MultiplexedPulse};

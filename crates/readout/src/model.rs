@@ -1,0 +1,246 @@
+//! Stochastic readout pulse synthesis.
+
+use artery_num::Complex64;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use rand_distr_normal::sample_standard_normal;
+
+/// Box–Muller standard normal sampling (rand's `StandardNormal` lives in
+/// `rand_distr`, which is not in the approved dependency set).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+        // Box–Muller; reject u1 == 0 to avoid ln(0).
+        loop {
+            let u1: f64 = rng.gen();
+            if u1 > f64::MIN_POSITIVE {
+                let u2: f64 = rng.gen();
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+}
+
+/// Physical model of one qubit's dispersive readout chain.
+///
+/// A readout pulse is a carrier at digital frequency `omega` (radians per
+/// sample) whose phase is shifted by the qubit state — the dispersive shift
+/// of Fig. 5 — plus complex white noise per ADC sample. A `|1⟩` qubit may
+/// relax mid-readout (T1 decay), after which the remaining samples carry the
+/// `|0⟩` phase; this is the dominant source of late-readout classification
+/// error and the reason prediction cannot simply wait longer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadoutModel {
+    /// ADC sample rate in gigasamples per second (paper: 1 GSPS).
+    pub sample_rate_gsps: f64,
+    /// Readout pulse duration in nanoseconds (paper: 2 µs).
+    pub duration_ns: f64,
+    /// Carrier digital frequency, radians per sample.
+    pub omega: f64,
+    /// Carrier amplitude (arbitrary units).
+    pub amplitude: f64,
+    /// Carrier phase when the qubit is `|0⟩`, radians.
+    pub phase0: f64,
+    /// Carrier phase when the qubit is `|1⟩`, radians.
+    pub phase1: f64,
+    /// Standard deviation of the complex noise per sample (each quadrature).
+    pub noise_sigma: f64,
+    /// Qubit T1 during readout, nanoseconds (decay applies to `|1⟩` pulses).
+    pub t1_ns: f64,
+}
+
+impl ReadoutModel {
+    /// The evaluation platform of §6.1: 1 GSPS ADC, 2 µs readout,
+    /// T1 = 125 µs, with the signal-to-noise ratio calibrated so that full
+    /// integration reaches the paper's 99.0 % readout fidelity and partial
+    /// integration reproduces Fig. 15a (≈82.7 % at 0.75 µs, ≈90.6 % at
+    /// 1 µs).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            sample_rate_gsps: 1.0,
+            duration_ns: 2000.0,
+            omega: 0.35,
+            amplitude: 1.0,
+            phase0: 0.55,  // |0⟩ center at angle +0.55 rad
+            phase1: -0.55, // |1⟩ center at angle −0.55 rad
+            noise_sigma: 10.0,
+            t1_ns: 125_000.0,
+        }
+    }
+
+    /// Number of ADC samples in a full pulse.
+    #[must_use]
+    pub fn num_samples(&self) -> usize {
+        (self.duration_ns * self.sample_rate_gsps).round() as usize
+    }
+
+    /// Converts a time offset (ns) into a sample index, clamped to the pulse.
+    #[must_use]
+    pub fn sample_at_ns(&self, t_ns: f64) -> usize {
+        ((t_ns * self.sample_rate_gsps).round() as usize).min(self.num_samples())
+    }
+
+    /// Ideal (noise-free, decay-free) demodulated IQ center for a state.
+    #[must_use]
+    pub fn ideal_center(&self, state: bool) -> Complex64 {
+        let phase = if state { self.phase1 } else { self.phase0 };
+        Complex64::from_polar(self.amplitude, phase)
+    }
+
+    /// Synthesizes one readout pulse for a qubit in the given state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let model = artery_readout::ReadoutModel::paper();
+    /// let mut rng = artery_num::rng::rng_for("doc/synth");
+    /// let pulse = model.synthesize(false, &mut rng);
+    /// assert_eq!(pulse.samples.len(), 2000);
+    /// assert!(!pulse.true_state);
+    /// ```
+    #[must_use]
+    pub fn synthesize(&self, state: bool, rng: &mut impl Rng) -> ReadoutPulse {
+        let n = self.num_samples();
+        // Sample a decay time for |1⟩ pulses: exponential with mean T1.
+        let decay_at = if state && self.t1_ns.is_finite() {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let t = -self.t1_ns * u.ln();
+            (t < self.duration_ns).then_some(t)
+        } else {
+            None
+        };
+        let decay_sample = decay_at.map_or(usize::MAX, |t| self.sample_at_ns(t));
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let effective_state = state && i < decay_sample;
+            let phase = if effective_state {
+                self.phase1
+            } else {
+                self.phase0
+            };
+            let clean =
+                Complex64::from_polar(self.amplitude, self.omega * (i as f64) + phase);
+            let noise = Complex64::new(
+                self.noise_sigma * sample_standard_normal(rng),
+                self.noise_sigma * sample_standard_normal(rng),
+            );
+            samples.push(clean + noise);
+        }
+        ReadoutPulse {
+            samples,
+            true_state: state,
+            decayed_at_ns: decay_at,
+        }
+    }
+}
+
+/// One synthesized (or captured) readout pulse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadoutPulse {
+    /// Complex ADC samples.
+    pub samples: Vec<Complex64>,
+    /// The qubit state that produced the pulse (ground truth label).
+    pub true_state: bool,
+    /// When the qubit relaxed mid-readout, the decay time in nanoseconds.
+    pub decayed_at_ns: Option<f64>,
+}
+
+impl ReadoutPulse {
+    /// Number of ADC samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the pulse holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+
+    #[test]
+    fn paper_model_dimensions() {
+        let m = ReadoutModel::paper();
+        assert_eq!(m.num_samples(), 2000);
+        assert_eq!(m.sample_at_ns(1000.0), 1000);
+        assert_eq!(m.sample_at_ns(1e9), 2000); // clamped
+    }
+
+    #[test]
+    fn centers_are_separated() {
+        let m = ReadoutModel::paper();
+        let d = (m.ideal_center(false) - m.ideal_center(true)).norm();
+        assert!(d > 0.5, "separation {d}");
+    }
+
+    #[test]
+    fn synthesize_is_deterministic_per_seed() {
+        let m = ReadoutModel::paper();
+        let a = m.synthesize(true, &mut rng_for("model/det"));
+        let b = m.synthesize(true, &mut rng_for("model/det"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ground_state_never_decays() {
+        let m = ReadoutModel::paper();
+        let mut rng = rng_for("model/ground");
+        for _ in 0..32 {
+            assert!(m.synthesize(false, &mut rng).decayed_at_ns.is_none());
+        }
+    }
+
+    #[test]
+    fn decay_rate_matches_t1() {
+        let mut m = ReadoutModel::paper();
+        m.t1_ns = 2000.0; // aggressive decay for the test
+        let mut rng = rng_for("model/decay");
+        let mut decayed = 0usize;
+        const N: usize = 2000;
+        for _ in 0..N {
+            if m.synthesize(true, &mut rng).decayed_at_ns.is_some() {
+                decayed += 1;
+            }
+        }
+        let frac = decayed as f64 / N as f64;
+        let expected = 1.0 - (-1.0f64).exp(); // 1 − e^{−2000/2000}
+        assert!((frac - expected).abs() < 0.04, "decay fraction {frac}");
+    }
+
+    #[test]
+    fn noise_scale_is_respected() {
+        let mut m = ReadoutModel::paper();
+        m.noise_sigma = 0.0;
+        let mut rng = rng_for("model/clean");
+        let pulse = m.synthesize(false, &mut rng);
+        for (i, s) in pulse.samples.iter().enumerate() {
+            let expected =
+                Complex64::from_polar(m.amplitude, m.omega * i as f64 + m.phase0);
+            assert!((*s - expected).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_decay_probability_is_small() {
+        // T1 = 125 µs over a 2 µs pulse → ~1.6 % decays.
+        let m = ReadoutModel::paper();
+        let mut rng = rng_for("model/paper-decay");
+        let mut decayed = 0usize;
+        const N: usize = 4000;
+        for _ in 0..N {
+            if m.synthesize(true, &mut rng).decayed_at_ns.is_some() {
+                decayed += 1;
+            }
+        }
+        let frac = decayed as f64 / N as f64;
+        assert!(frac > 0.005 && frac < 0.035, "decay fraction {frac}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Frequency-multiplexed readout lines.
+//!
+//! The evaluation platform reads 3 qubits per line using frequency
+//! multiplexing (§6.1): each qubit's resonator is probed at its own carrier
+//! frequency, the line carries the sum, and the controller demodulates each
+//! channel with its own digital oscillator. Channel carriers must be far
+//! enough apart that the windowed demodulation of one carrier averages the
+//! others to (near) zero.
+
+use artery_num::Complex64;
+use rand::Rng;
+
+use crate::demod::{Demodulator, IqPoint};
+use crate::model::{ReadoutModel, ReadoutPulse};
+
+/// A readout line shared by several frequency-multiplexed channels.
+#[derive(Debug, Clone)]
+pub struct MultiplexedLine {
+    channels: Vec<ReadoutModel>,
+}
+
+/// A captured multiplexed pulse: summed samples plus per-channel ground
+/// truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiplexedPulse {
+    /// Summed complex ADC samples of the whole line.
+    pub samples: Vec<Complex64>,
+    /// The state of each channel's qubit (ground truth labels).
+    pub true_states: Vec<bool>,
+}
+
+impl MultiplexedLine {
+    /// Builds a line with `n` channels derived from a base model, carriers
+    /// spaced by `spacing` radians/sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or the spacing would push a carrier past the
+    /// Nyquist limit (π radians/sample).
+    #[must_use]
+    pub fn new(base: &ReadoutModel, n: usize, spacing: f64) -> Self {
+        assert!(n >= 1, "a line needs at least one channel");
+        let top = base.omega + spacing * (n as f64 - 1.0);
+        assert!(
+            top < std::f64::consts::PI,
+            "carrier {top:.3} rad/sample beyond Nyquist"
+        );
+        let channels = (0..n)
+            .map(|k| ReadoutModel {
+                omega: base.omega + spacing * k as f64,
+                ..*base
+            })
+            .collect();
+        Self { channels }
+    }
+
+    /// The paper's configuration: 3 channels per line.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(&ReadoutModel::paper(), 3, 0.9)
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The per-channel synthesis models.
+    #[must_use]
+    pub fn channels(&self) -> &[ReadoutModel] {
+        &self.channels
+    }
+
+    /// Synthesizes one multiplexed capture for the given qubit states.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states.len()` differs from the channel count.
+    #[must_use]
+    pub fn synthesize(&self, states: &[bool], rng: &mut impl Rng) -> MultiplexedPulse {
+        assert_eq!(states.len(), self.channels.len(), "one state per channel");
+        let n = self.channels[0].num_samples();
+        let mut samples = vec![Complex64::ZERO; n];
+        // The carriers sum cleanly; the noise floor (amplifier chain) is a
+        // property of the *line* and is added once, so per-channel SNR
+        // matches the single-channel model up to carrier leakage.
+        for (model, &state) in self.channels.iter().zip(states) {
+            let clean = ReadoutModel {
+                noise_sigma: 0.0,
+                ..*model
+            };
+            let pulse = clean.synthesize(state, rng);
+            for (acc, s) in samples.iter_mut().zip(&pulse.samples) {
+                *acc += *s;
+            }
+        }
+        let sigma = self.channels[0].noise_sigma;
+        let noise_only = ReadoutModel {
+            amplitude: 0.0,
+            noise_sigma: sigma,
+            ..self.channels[0]
+        };
+        let noise = noise_only.synthesize(false, rng);
+        for (acc, s) in samples.iter_mut().zip(&noise.samples) {
+            *acc += *s;
+        }
+        MultiplexedPulse {
+            samples,
+            true_states: states.to_vec(),
+        }
+    }
+
+    /// Demultiplexes one channel of a captured pulse into a standard
+    /// [`ReadoutPulse`] that the per-channel demodulator/classifier stack
+    /// can consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is out of range.
+    #[must_use]
+    pub fn channel_view(&self, pulse: &MultiplexedPulse, channel: usize) -> ReadoutPulse {
+        assert!(channel < self.channels.len(), "channel out of range");
+        ReadoutPulse {
+            samples: pulse.samples.clone(),
+            true_state: pulse.true_states[channel],
+            decayed_at_ns: None,
+        }
+    }
+
+    /// Full-integration classification of one channel: demodulate at the
+    /// channel's own carrier and compare against its scaled ideal centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is out of range.
+    #[must_use]
+    pub fn classify_channel(
+        &self,
+        pulse: &MultiplexedPulse,
+        channel: usize,
+        window_ns: f64,
+    ) -> bool {
+        let model = &self.channels[channel];
+        let demod = Demodulator::for_model(model, window_ns);
+        let view = self.channel_view(pulse, channel);
+        let iq = demod.integrate_prefix(&view, view.samples.len());
+        let c0 = IqPoint::from(model.ideal_center(false));
+        let c1 = IqPoint::from(model.ideal_center(true));
+        iq.distance(&c1) < iq.distance(&c0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+
+    #[test]
+    fn paper_line_has_three_channels() {
+        let line = MultiplexedLine::paper();
+        assert_eq!(line.num_channels(), 3);
+        // Carriers are distinct and below Nyquist.
+        let omegas: Vec<f64> = line.channels().iter().map(|c| c.omega).collect();
+        assert!(omegas.windows(2).all(|w| w[1] > w[0]));
+        assert!(*omegas.last().unwrap() < std::f64::consts::PI);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn too_many_channels_panic() {
+        let _ = MultiplexedLine::new(&ReadoutModel::paper(), 8, 0.9);
+    }
+
+    #[test]
+    fn demux_recovers_every_channel() {
+        let line = MultiplexedLine::paper();
+        let mut rng = rng_for("mux/recover");
+        let mut correct = [0usize; 3];
+        const N: usize = 300;
+        for k in 0..N {
+            let states = [k % 2 == 0, k % 3 == 0, k % 5 == 0];
+            let pulse = line.synthesize(&states, &mut rng);
+            for (ch, &truth) in states.iter().enumerate() {
+                correct[ch] += usize::from(line.classify_channel(&pulse, ch, 30.0) == truth);
+            }
+        }
+        for (ch, &c) in correct.iter().enumerate() {
+            let acc = c as f64 / N as f64;
+            assert!(acc > 0.93, "channel {ch} accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn crosstalk_is_bounded() {
+        // Flipping channel 2's state must not change channel 0's
+        // classification statistics materially.
+        let line = MultiplexedLine::paper();
+        let mut rng = rng_for("mux/crosstalk");
+        let mut flips = 0usize;
+        const N: usize = 200;
+        for k in 0..N {
+            let s0 = k % 2 == 0;
+            let a = line.synthesize(&[s0, false, false], &mut rng);
+            let b = line.synthesize(&[s0, true, true], &mut rng);
+            let ca = line.classify_channel(&a, 0, 30.0);
+            let cb = line.classify_channel(&b, 0, 30.0);
+            flips += usize::from(ca != cb);
+        }
+        assert!(
+            (flips as f64 / N as f64) < 0.15,
+            "crosstalk flip rate {flips}/{N}"
+        );
+    }
+
+    #[test]
+    fn single_channel_line_matches_base_model() {
+        let base = ReadoutModel::paper();
+        let line = MultiplexedLine::new(&base, 1, 0.9);
+        let mut rng = rng_for("mux/single");
+        let pulse = line.synthesize(&[true], &mut rng);
+        assert!(line.classify_channel(&pulse, 0, 30.0));
+        assert_eq!(pulse.samples.len(), base.num_samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "one state per channel")]
+    fn wrong_state_count_panics() {
+        let line = MultiplexedLine::paper();
+        let mut rng = rng_for("mux/wrong");
+        let _ = line.synthesize(&[true], &mut rng);
+    }
+}

@@ -1,0 +1,440 @@
+//! Exact density-matrix evolution for validating the trajectory method.
+//!
+//! The executor simulates noise by *sampling* one Kraus branch per channel
+//! (Monte-Carlo trajectories) — fast, but only correct on average. This
+//! module evolves the full density matrix `ρ` through the same channels
+//! exactly, so the trajectory implementation can be checked against ground
+//! truth (see the `trajectory_matches_exact_*` tests and
+//! `tests/end_to_end.rs`). Dense `4^n` storage limits it to small registers,
+//! which is all validation needs.
+
+use artery_circuit::{Gate, GateMatrix, Qubit};
+use artery_num::Complex64;
+
+use crate::state::StateVector;
+
+/// A mixed quantum state over `n` qubits: a `2^n × 2^n` density matrix.
+///
+/// Basis ordering matches [`StateVector`]: qubit 0 is the least significant
+/// bit of the basis index.
+///
+/// # Examples
+///
+/// ```
+/// use artery_circuit::{Gate, Qubit};
+/// use artery_sim::DensityMatrix;
+///
+/// let mut rho = DensityMatrix::zero(1);
+/// rho.apply_gate(Gate::H, &[Qubit(0)]);
+/// rho.dephase(Qubit(0), 0.5); // fully dephasing channel
+/// assert!((rho.purity() - 0.5).abs() < 1e-12); // maximally mixed
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    dim: usize,
+    /// Row-major `dim × dim` entries.
+    rho: Vec<Complex64>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_qubits` exceeds 12 (the dense matrix would exceed
+    /// 256 MiB).
+    #[must_use]
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 12, "density matrix too large");
+        let dim = 1 << num_qubits;
+        let mut rho = vec![Complex64::ZERO; dim * dim];
+        rho[0] = Complex64::ONE;
+        Self {
+            num_qubits,
+            dim,
+            rho,
+        }
+    }
+
+    /// The pure state `|ψ⟩⟨ψ|` of a state vector.
+    #[must_use]
+    pub fn from_state(psi: &StateVector) -> Self {
+        let n = psi.num_qubits();
+        let dim = 1 << n;
+        let mut rho = vec![Complex64::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                rho[r * dim + c] = psi.amplitude(r) * psi.amplitude(c).conj();
+            }
+        }
+        Self {
+            num_qubits: n,
+            dim,
+            rho,
+        }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    fn at(&self, r: usize, c: usize) -> Complex64 {
+        self.rho[r * self.dim + c]
+    }
+
+    /// Trace of the matrix (1 for a normalized state).
+    #[must_use]
+    pub fn trace(&self) -> Complex64 {
+        (0..self.dim).map(|i| self.at(i, i)).sum()
+    }
+
+    /// Purity `Tr(ρ²)`: 1 for pure states, `1/2^n` for the maximally mixed
+    /// state.
+    #[must_use]
+    pub fn purity(&self) -> f64 {
+        let mut acc = Complex64::ZERO;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                acc += self.at(r, c) * self.at(c, r);
+            }
+        }
+        acc.re
+    }
+
+    /// Applies `ρ → AρA†` for a one-qubit operator `a` on qubit `q`,
+    /// accumulating into `out` (used to sum Kraus branches).
+    fn accumulate_conjugated(
+        &self,
+        a: &[[Complex64; 2]; 2],
+        q: Qubit,
+        out: &mut [Complex64],
+    ) {
+        let bit = 1usize << q.0;
+        // left = A ρ (acts on row index), computed into a scratch matrix.
+        let mut left = vec![Complex64::ZERO; self.dim * self.dim];
+        for r in 0..self.dim {
+            let (r0, r1) = (r & !bit, r | bit);
+            let row_bit = usize::from(r & bit != 0);
+            for c in 0..self.dim {
+                left[r * self.dim + c] =
+                    a[row_bit][0] * self.at(r0, c) + a[row_bit][1] * self.at(r1, c);
+            }
+        }
+        // out += left A† (acts on column index).
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                let (c0, c1) = (c & !bit, c | bit);
+                let col_bit = usize::from(c & bit != 0);
+                out[r * self.dim + c] += left[r * self.dim + c0] * a[col_bit][0].conj()
+                    + left[r * self.dim + c1] * a[col_bit][1].conj();
+            }
+        }
+    }
+
+    /// Applies a one-qubit Kraus channel `{K_k}` to qubit `q` exactly:
+    /// `ρ → Σ_k K_k ρ K_k†`.
+    pub fn apply_kraus1(&mut self, kraus: &[[[Complex64; 2]; 2]], q: Qubit) {
+        assert!(q.0 < self.num_qubits, "qubit {q} out of range");
+        let mut out = vec![Complex64::ZERO; self.dim * self.dim];
+        for k in kraus {
+            self.accumulate_conjugated(k, q, &mut out);
+        }
+        self.rho = out;
+    }
+
+    /// Applies a unitary gate exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range qubits.
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[Qubit]) {
+        match gate.matrix() {
+            GateMatrix::One(m) => {
+                assert_eq!(qubits.len(), 1, "gate arity");
+                self.apply_kraus1(&[m], qubits[0]);
+            }
+            GateMatrix::Two(m) => {
+                assert_eq!(qubits.len(), 2, "gate arity");
+                self.apply_unitary2(&m, qubits[0], qubits[1]);
+            }
+        }
+    }
+
+    /// Applies a two-qubit unitary (`q0` is the matrix's high-order bit,
+    /// matching [`Gate::matrix`]).
+    fn apply_unitary2(&mut self, m: &[[Complex64; 4]; 4], q0: Qubit, q1: Qubit) {
+        assert!(q0.0 < self.num_qubits && q1.0 < self.num_qubits);
+        let b0 = 1usize << q0.0;
+        let b1 = 1usize << q1.0;
+        let local = |idx: usize| -> usize {
+            (usize::from(idx & b0 != 0) << 1) | usize::from(idx & b1 != 0)
+        };
+        let base_of = |idx: usize, lo: usize| -> usize {
+            let mut out = idx & !b0 & !b1;
+            if lo & 0b10 != 0 {
+                out |= b0;
+            }
+            if lo & 0b01 != 0 {
+                out |= b1;
+            }
+            out
+        };
+        // U ρ on rows.
+        let mut left = vec![Complex64::ZERO; self.dim * self.dim];
+        for r in 0..self.dim {
+            let lr = local(r);
+            for c in 0..self.dim {
+                let mut acc = Complex64::ZERO;
+                for (k, coeff) in m[lr].iter().enumerate() {
+                    acc += *coeff * self.at(base_of(r, k), c);
+                }
+                left[r * self.dim + c] = acc;
+            }
+        }
+        // (Uρ) U† on columns.
+        let mut out = vec![Complex64::ZERO; self.dim * self.dim];
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                let lc = local(c);
+                let mut acc = Complex64::ZERO;
+                for k in 0..4 {
+                    acc += left[r * self.dim + base_of(c, k)] * m[lc][k].conj();
+                }
+                out[r * self.dim + c] = acc;
+            }
+        }
+        self.rho = out;
+    }
+
+    /// Exact amplitude-damping channel with decay probability `p`.
+    pub fn amplitude_damp(&mut self, q: Qubit, p: f64) {
+        let s = (1.0 - p).sqrt();
+        let sp = p.sqrt();
+        let z = Complex64::ZERO;
+        let k0 = [
+            [Complex64::ONE, z],
+            [z, Complex64::new(s, 0.0)],
+        ];
+        let k1 = [[z, Complex64::new(sp, 0.0)], [z, z]];
+        self.apply_kraus1(&[k0, k1], q);
+    }
+
+    /// Exact dephasing channel: applies Z with probability `p`.
+    pub fn dephase(&mut self, q: Qubit, p: f64) {
+        let z = Complex64::ZERO;
+        let a = (1.0 - p).sqrt();
+        let b = p.sqrt();
+        let k0 = [
+            [Complex64::new(a, 0.0), z],
+            [z, Complex64::new(a, 0.0)],
+        ];
+        let k1 = [
+            [Complex64::new(b, 0.0), z],
+            [z, Complex64::new(-b, 0.0)],
+        ];
+        self.apply_kraus1(&[k0, k1], q);
+    }
+
+    /// Exact depolarizing channel: X, Y or Z each with probability `p/3`.
+    pub fn depolarize(&mut self, q: Qubit, p: f64) {
+        let z = Complex64::ZERO;
+        let i = Complex64::i();
+        let w = |x: f64| Complex64::new(x, 0.0);
+        let s0 = (1.0 - p).sqrt();
+        let s = (p / 3.0).sqrt();
+        let k0 = [[w(s0), z], [z, w(s0)]];
+        let kx = [[z, w(s)], [w(s), z]];
+        let ky = [[z, -i * s], [i * s, z]];
+        let kz = [[w(s), z], [z, w(-s)]];
+        self.apply_kraus1(&[k0, kx, ky, kz], q);
+    }
+
+    /// Probability that measuring qubit `q` yields 1.
+    #[must_use]
+    pub fn prob_one(&self, q: Qubit) -> f64 {
+        let bit = 1usize << q.0;
+        (0..self.dim)
+            .filter(|i| i & bit != 0)
+            .map(|i| self.at(i, i).re)
+            .sum()
+    }
+
+    /// Expectation value of Z on qubit `q`.
+    #[must_use]
+    pub fn expectation_z(&self, q: Qubit) -> f64 {
+        1.0 - 2.0 * self.prob_one(q)
+    }
+
+    /// Fidelity `⟨ψ|ρ|ψ⟩` against a pure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatch.
+    #[must_use]
+    pub fn fidelity_with_pure(&self, psi: &StateVector) -> f64 {
+        assert_eq!(psi.num_qubits(), self.num_qubits, "size mismatch");
+        let mut acc = Complex64::ZERO;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                acc += psi.amplitude(r).conj() * self.at(r, c) * psi.amplitude(c);
+            }
+        }
+        acc.re
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::approx_eq;
+    use artery_num::rng::rng_for;
+    use crate::noise::NoiseModel;
+
+    #[test]
+    fn pure_state_round_trip() {
+        let mut psi = StateVector::zero(2);
+        psi.apply_gate(Gate::H, &[Qubit(0)]);
+        psi.apply_gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+        let rho = DensityMatrix::from_state(&psi);
+        assert!(approx_eq(rho.trace().re, 1.0, 1e-12));
+        assert!(approx_eq(rho.purity(), 1.0, 1e-12));
+        assert!(approx_eq(rho.fidelity_with_pure(&psi), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn gates_match_state_vector() {
+        let gates: Vec<(Gate, Vec<Qubit>)> = vec![
+            (Gate::H, vec![Qubit(0)]),
+            (Gate::RY(0.7), vec![Qubit(1)]),
+            (Gate::CNOT, vec![Qubit(0), Qubit(1)]),
+            (Gate::CZ, vec![Qubit(1), Qubit(2)]),
+            (Gate::RX(-1.2), vec![Qubit(2)]),
+            (Gate::Swap, vec![Qubit(0), Qubit(2)]),
+        ];
+        let mut psi = StateVector::zero(3);
+        let mut rho = DensityMatrix::zero(3);
+        for (g, qs) in gates {
+            psi.apply_gate(g, &qs);
+            rho.apply_gate(g, &qs);
+        }
+        assert!(approx_eq(rho.fidelity_with_pure(&psi), 1.0, 1e-10));
+        for q in 0..3 {
+            assert!(approx_eq(
+                rho.prob_one(Qubit(q)),
+                psi.prob_one(Qubit(q)),
+                1e-10
+            ));
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_exact_population() {
+        let mut rho = DensityMatrix::zero(1);
+        rho.apply_gate(Gate::X, &[Qubit(0)]);
+        rho.amplitude_damp(Qubit(0), 0.3);
+        assert!(approx_eq(rho.prob_one(Qubit(0)), 0.7, 1e-12));
+        assert!(approx_eq(rho.trace().re, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn full_dephasing_mixes_plus_state() {
+        let mut rho = DensityMatrix::zero(1);
+        rho.apply_gate(Gate::H, &[Qubit(0)]);
+        rho.dephase(Qubit(0), 0.5);
+        assert!(approx_eq(rho.purity(), 0.5, 1e-12));
+        // Populations untouched.
+        assert!(approx_eq(rho.prob_one(Qubit(0)), 0.5, 1e-12));
+    }
+
+    #[test]
+    fn depolarizing_preserves_trace_and_shrinks_purity() {
+        let mut rho = DensityMatrix::zero(1);
+        rho.apply_gate(Gate::RY(0.9), &[Qubit(0)]);
+        let before = rho.purity();
+        rho.depolarize(Qubit(0), 0.2);
+        assert!(approx_eq(rho.trace().re, 1.0, 1e-12));
+        assert!(rho.purity() < before);
+    }
+
+    #[test]
+    fn trajectory_matches_exact_amplitude_damping() {
+        // Monte-Carlo trajectories of the executor's damping channel must
+        // average to the exact channel.
+        let p = 0.25;
+        let mut exact = DensityMatrix::zero(1);
+        exact.apply_gate(Gate::RY(1.1), &[Qubit(0)]);
+        exact.amplitude_damp(Qubit(0), p);
+
+        // idle() with dt such that 1 − e^{−dt/T1} = p.
+        let t1 = 1000.0;
+        let dt = -t1 * (1.0f64 - p).ln();
+        let model = NoiseModel {
+            t1_ns: t1,
+            ..NoiseModel::noiseless()
+        };
+        let mut rng = rng_for("density/mc");
+        let mut mean_p1 = 0.0;
+        let mut mean_x = 0.0;
+        const N: usize = 6000;
+        for _ in 0..N {
+            let mut psi = StateVector::zero(1);
+            psi.apply_gate(Gate::RY(1.1), &[Qubit(0)]);
+            model.idle(&mut psi, Qubit(0), dt, &mut rng);
+            mean_p1 += psi.prob_one(Qubit(0));
+            // ⟨X⟩ via fidelity trick: measure in X basis.
+            let mut rot = psi.clone();
+            rot.apply_gate(Gate::H, &[Qubit(0)]);
+            mean_x += 1.0 - 2.0 * rot.prob_one(Qubit(0));
+        }
+        mean_p1 /= N as f64;
+        mean_x /= N as f64;
+        let exact_p1 = exact.prob_one(Qubit(0));
+        // Exact ⟨X⟩ = 2·Re ρ01.
+        let exact_x = 2.0 * exact.at(0, 1).re;
+        assert!(
+            (mean_p1 - exact_p1).abs() < 0.02,
+            "population: MC {mean_p1:.4} vs exact {exact_p1:.4}"
+        );
+        assert!(
+            (mean_x - exact_x).abs() < 0.03,
+            "coherence: MC {mean_x:.4} vs exact {exact_x:.4}"
+        );
+    }
+
+    #[test]
+    fn trajectory_matches_exact_depolarizing() {
+        let p = 0.3;
+        let mut exact = DensityMatrix::zero(1);
+        exact.apply_gate(Gate::RY(0.8), &[Qubit(0)]);
+        exact.depolarize(Qubit(0), p);
+
+        let model = NoiseModel {
+            depol_1q: p,
+            ..NoiseModel::noiseless()
+        };
+        let mut rng = rng_for("density/depol");
+        let mut mean_p1 = 0.0;
+        const N: usize = 6000;
+        for _ in 0..N {
+            let mut psi = StateVector::zero(1);
+            psi.apply_gate(Gate::RY(0.8), &[Qubit(0)]);
+            model.gate_noise(&mut psi, &[Qubit(0)], &mut rng);
+            mean_p1 += psi.prob_one(Qubit(0));
+        }
+        mean_p1 /= N as f64;
+        let exact_p1 = exact.prob_one(Qubit(0));
+        assert!(
+            (mean_p1 - exact_p1).abs() < 0.02,
+            "MC {mean_p1:.4} vs exact {exact_p1:.4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_register_panics() {
+        let _ = DensityMatrix::zero(13);
+    }
+}

@@ -1,0 +1,635 @@
+//! Circuit execution with pluggable feedback timing.
+//!
+//! The executor advances a single global clock. Every instruction (i) lets
+//! all qubits idle-decay for its duration and (ii) applies the operation plus
+//! its gate noise. Feedback instructions additionally consult a
+//! [`FeedbackHandler`], which decides how long the feedback blocks the
+//! program and which *wasted* pulses (pre-executed-then-undone gates of a
+//! misprediction) were physically played. This is where ARTERY and the
+//! baseline controllers differ; the quantum semantics are identical thanks to
+//! the pre-execution equivalence theorem (paper appendix), so both plug into
+//! the same executor.
+
+use artery_circuit::{BranchOp, Circuit, Feedback, FeedbackSite, GateApp, Instruction, Qubit};
+use rand::rngs::StdRng;
+
+use crate::noise::NoiseModel;
+use crate::state::StateVector;
+
+/// Outcome of resolving one feedback instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resolution {
+    /// Wall-clock time the feedback blocks the program, from readout start
+    /// until the branch's effect is complete, in nanoseconds.
+    pub latency_ns: f64,
+    /// Pulses that were physically played but cancelled out (pre-executed
+    /// branch plus its inverse on a misprediction). They contribute gate
+    /// noise but no net unitary.
+    pub wasted_pulses: Vec<GateApp>,
+    /// The branch the controller predicted, if it predicted at all.
+    pub predicted: Option<bool>,
+}
+
+impl Resolution {
+    /// A plain sequential resolution with the given latency.
+    #[must_use]
+    pub fn sequential(latency_ns: f64) -> Self {
+        Self {
+            latency_ns,
+            wasted_pulses: Vec::new(),
+            predicted: None,
+        }
+    }
+
+    /// Whether the prediction (if any) matched `reported`.
+    #[must_use]
+    pub fn correct(&self, reported: bool) -> Option<bool> {
+        self.predicted.map(|p| p == reported)
+    }
+}
+
+/// Decides feedback timing; implemented by the ARTERY engine and by every
+/// baseline controller.
+pub trait FeedbackHandler {
+    /// Resolves the feedback at `fb` whose hardware-reported outcome is
+    /// `reported`.
+    fn resolve(&mut self, fb: &Feedback, reported: bool, rng: &mut StdRng) -> Resolution;
+}
+
+/// The conventional controller: wait for the full readout, then for the
+/// classical processing pipeline, then execute the branch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialHandler {
+    /// Readout pulse duration in nanoseconds.
+    pub readout_ns: f64,
+    /// Classical processing latency (ADC + classify + pulse prep + DAC).
+    pub processing_ns: f64,
+}
+
+impl Default for SequentialHandler {
+    /// QubiC-like defaults: 2 µs readout + 150 ns processing (§2.2).
+    fn default() -> Self {
+        Self {
+            readout_ns: 2000.0,
+            processing_ns: 150.0,
+        }
+    }
+}
+
+impl FeedbackHandler for SequentialHandler {
+    fn resolve(&mut self, fb: &Feedback, reported: bool, _rng: &mut StdRng) -> Resolution {
+        let branch_ns = fb.branch_duration_ns(reported);
+        Resolution::sequential(self.readout_ns + self.processing_ns + branch_ns)
+    }
+}
+
+/// Everything a single shot produced.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Final (collapsed, noisy) state.
+    pub final_state: StateVector,
+    /// Classical register contents, indexed by `Clbit`.
+    pub clbits: Vec<bool>,
+    /// Reported outcome of every feedback site, in execution order.
+    pub feedback_outcomes: Vec<(FeedbackSite, bool)>,
+    /// Per-site feedback latency, in execution order.
+    pub feedback_latencies_ns: Vec<f64>,
+    /// Number of feedbacks whose prediction was wrong (sequential handlers
+    /// contribute zero).
+    pub mispredictions: usize,
+    /// Number of feedbacks that were predicted at all.
+    pub predictions: usize,
+    /// Total wall-clock time of the shot in nanoseconds.
+    pub total_ns: f64,
+}
+
+impl RunRecord {
+    /// Sum of all feedback latencies, in microseconds — the quantity of
+    /// Table 1.
+    #[must_use]
+    pub fn total_feedback_us(&self) -> f64 {
+        self.feedback_latencies_ns.iter().sum::<f64>() / 1000.0
+    }
+}
+
+/// Runs circuits under a [`NoiseModel`].
+#[derive(Debug, Clone)]
+pub struct Executor {
+    noise: NoiseModel,
+    readout_ns: f64,
+    /// Optional per-qubit T1 override, nanoseconds (index = qubit).
+    t1_map_ns: Option<Vec<f64>>,
+}
+
+impl Executor {
+    /// Creates an executor with a 2 µs readout (the paper's default).
+    #[must_use]
+    pub fn new(noise: NoiseModel) -> Self {
+        Self {
+            noise,
+            readout_ns: 2000.0,
+            t1_map_ns: None,
+        }
+    }
+
+    /// Overrides the readout pulse duration (nanoseconds).
+    #[must_use]
+    pub fn with_readout_ns(mut self, readout_ns: f64) -> Self {
+        self.readout_ns = readout_ns;
+        self
+    }
+
+    /// Installs a per-qubit T1 map (nanoseconds); qubits beyond the map's
+    /// length keep the global model's T1. See
+    /// [`DeviceCalibration::paper_t1_map_ns`](crate::DeviceCalibration::paper_t1_map_ns).
+    #[must_use]
+    pub fn with_t1_map(mut self, t1_map_ns: Vec<f64>) -> Self {
+        self.t1_map_ns = Some(t1_map_ns);
+        self
+    }
+
+    /// The active noise model.
+    #[must_use]
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    fn idle_all(&self, state: &mut StateVector, dt_ns: f64, rng: &mut StdRng) {
+        if dt_ns <= 0.0 {
+            return;
+        }
+        for q in 0..state.num_qubits() {
+            match self.t1_map_ns.as_ref().and_then(|m| m.get(q)) {
+                Some(&t1) => {
+                    let per_qubit = NoiseModel {
+                        t1_ns: t1,
+                        ..self.noise
+                    };
+                    per_qubit.idle(state, Qubit(q), dt_ns, rng);
+                }
+                None => self.noise.idle(state, Qubit(q), dt_ns, rng),
+            }
+        }
+    }
+
+    fn apply_gate_app(&self, state: &mut StateVector, g: &GateApp, rng: &mut StdRng) -> f64 {
+        let dt = g.gate.duration_ns();
+        self.idle_all(state, dt, rng);
+        state.apply_gate(g.gate, &g.qubits);
+        self.noise.gate_noise(state, &g.qubits, rng);
+        dt
+    }
+
+    fn apply_branch_op(&self, state: &mut StateVector, op: &BranchOp, clbits: &mut [bool], rng: &mut StdRng) -> f64 {
+        match op {
+            BranchOp::Gate(g) => self.apply_gate_app(state, g, rng),
+            BranchOp::Reset(q) => {
+                state.reset(*q, rng);
+                artery_circuit::XY_PULSE_NS
+            }
+            BranchOp::Measure(q, c) => {
+                let true_outcome = state.measure(*q, rng);
+                let reported = self.noise.readout_flip(true_outcome, rng);
+                if let Some(slot) = clbits.get_mut(c.0) {
+                    *slot = reported;
+                }
+                self.readout_ns
+            }
+        }
+    }
+
+    /// Executes one shot of `circuit` starting from `|0…0⟩`.
+    ///
+    /// Feedback timing and misprediction bookkeeping are delegated to
+    /// `handler`.
+    pub fn run<H: FeedbackHandler + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        handler: &mut H,
+        rng: &mut StdRng,
+    ) -> RunRecord {
+        let mut state = StateVector::zero(circuit.num_qubits());
+        self.run_from(&mut state, circuit, handler, rng)
+    }
+
+    /// Executes one shot with a *scripted* measurement record: the `script`
+    /// provides the reported outcome of every `Measure` and `Feedback`
+    /// instruction in program order. The state is collapsed toward the
+    /// scripted outcome whenever it has non-negligible probability (an
+    /// impossible outcome falls back to sampling).
+    ///
+    /// This is the reference arm of the conditional-fidelity protocol: run
+    /// noisily, replay the same measurement record noiselessly, and compare
+    /// the final states.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the script is shorter than the number of measurement
+    /// events.
+    pub fn run_scripted<H: FeedbackHandler + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        handler: &mut H,
+        script: &[bool],
+        rng: &mut StdRng,
+    ) -> RunRecord {
+        let mut state = StateVector::zero(circuit.num_qubits());
+        self.exec(&mut state, circuit, handler, rng, Some(script))
+    }
+
+    /// Executes one shot of `circuit` on an existing state (used when a
+    /// workload prepares a custom initial state).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` has fewer qubits than `circuit` requires.
+    pub fn run_from<H: FeedbackHandler + ?Sized>(
+        &mut self,
+        state: &mut StateVector,
+        circuit: &Circuit,
+        handler: &mut H,
+        rng: &mut StdRng,
+    ) -> RunRecord {
+        self.exec(state, circuit, handler, rng, None)
+    }
+
+    fn scripted_measure(
+        state: &mut StateVector,
+        q: Qubit,
+        forced: bool,
+        rng: &mut StdRng,
+    ) -> bool {
+        let p1 = state.prob_one(q);
+        let p_forced = if forced { p1 } else { 1.0 - p1 };
+        if p_forced > 1e-9 {
+            state.collapse(q, forced);
+            forced
+        } else {
+            state.measure(q, rng)
+        }
+    }
+
+    fn exec<H: FeedbackHandler + ?Sized>(
+        &mut self,
+        state: &mut StateVector,
+        circuit: &Circuit,
+        handler: &mut H,
+        rng: &mut StdRng,
+        script: Option<&[bool]>,
+    ) -> RunRecord {
+        assert!(
+            state.num_qubits() >= circuit.num_qubits(),
+            "state too small for circuit"
+        );
+        let mut cursor = 0usize;
+        let next_scripted = |cursor: &mut usize| -> Option<bool> {
+            script.map(|s| {
+                let v = *s
+                    .get(*cursor)
+                    .unwrap_or_else(|| panic!("script too short at event {cursor:?}"));
+                *cursor += 1;
+                v
+            })
+        };
+        let mut clbits = vec![false; circuit.num_clbits()];
+        let mut feedback_outcomes = Vec::new();
+        let mut feedback_latencies = Vec::new();
+        let mut mispredictions = 0usize;
+        let mut predictions = 0usize;
+        let mut total_ns = 0.0f64;
+
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::Gate(g) => {
+                    total_ns += self.apply_gate_app(state, g, rng);
+                }
+                Instruction::Measure(q, c) => {
+                    self.idle_all(state, self.readout_ns, rng);
+                    clbits[c.0] = match next_scripted(&mut cursor) {
+                        Some(forced) => Self::scripted_measure(state, *q, forced, rng),
+                        None => {
+                            let true_outcome = state.measure(*q, rng);
+                            self.noise.readout_flip(true_outcome, rng)
+                        }
+                    };
+                    total_ns += self.readout_ns;
+                }
+                Instruction::Reset(q) => {
+                    state.reset(*q, rng);
+                }
+                Instruction::Feedback(fb) => {
+                    let forced = next_scripted(&mut cursor);
+                    let (latency, reported) = self.run_feedback(
+                        state,
+                        fb,
+                        handler,
+                        &mut clbits,
+                        rng,
+                        &mut predictions,
+                        &mut mispredictions,
+                        forced,
+                    );
+                    clbits[fb.cbit.0] = reported;
+                    feedback_outcomes.push((fb.site, reported));
+                    feedback_latencies.push(latency);
+                    total_ns += latency;
+                }
+            }
+        }
+
+        RunRecord {
+            final_state: state.clone(),
+            clbits,
+            feedback_outcomes,
+            feedback_latencies_ns: feedback_latencies,
+            mispredictions,
+            predictions,
+            total_ns,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_feedback<H: FeedbackHandler + ?Sized>(
+        &self,
+        state: &mut StateVector,
+        fb: &Feedback,
+        handler: &mut H,
+        clbits: &mut [bool],
+        rng: &mut StdRng,
+        predictions: &mut usize,
+        mispredictions: &mut usize,
+        forced: Option<bool>,
+    ) -> (f64, bool) {
+        // Collapse at readout start; the resonator entangles immediately.
+        let reported = match forced {
+            Some(outcome) => Self::scripted_measure(state, fb.measured, outcome, rng),
+            None => {
+                let true_outcome = state.measure(fb.measured, rng);
+                self.noise.readout_flip(true_outcome, rng)
+            }
+        };
+        let res = handler.resolve(fb, reported, rng);
+        if let Some(correct) = res.correct(reported) {
+            *predictions += 1;
+            if !correct {
+                *mispredictions += 1;
+            }
+        }
+        // All qubits decay while the program is blocked on the feedback.
+        self.idle_all(state, res.latency_ns, rng);
+        // The selected branch is applied for real (equivalence theorem: the
+        // pre-execute/undo dance nets out to exactly this).
+        for op in fb.branch(reported) {
+            self.apply_branch_op(state, op, clbits, rng);
+        }
+        // Wasted pulses contribute gate noise only.
+        for pulse in &res.wasted_pulses {
+            self.noise.gate_noise(state, &pulse.qubits, rng);
+        }
+        (res.latency_ns, reported)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_circuit::{CircuitBuilder, Gate};
+    use artery_num::rng::rng_for;
+
+    fn reset_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(1);
+        b.gate(Gate::X, &[Qubit(0)]);
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(0)]).finish();
+        b.build()
+    }
+
+    #[test]
+    fn sequential_reset_flips_excited_qubit() {
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut handler = SequentialHandler::default();
+        let mut rng = rng_for("exec/reset");
+        let rec = exec.run(&reset_circuit(), &mut handler, &mut rng);
+        assert!(rec.final_state.prob_one(Qubit(0)) < 1e-9);
+        assert_eq!(rec.feedback_outcomes, vec![(artery_circuit::FeedbackSite(0), true)]);
+        assert!((rec.total_feedback_us() - 2.18).abs() < 1e-9); // 2 µs + 150 ns + 30 ns X
+    }
+
+    #[test]
+    fn sequential_handler_reports_no_predictions() {
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut handler = SequentialHandler::default();
+        let mut rng = rng_for("exec/nopred");
+        let rec = exec.run(&reset_circuit(), &mut handler, &mut rng);
+        assert_eq!(rec.predictions, 0);
+        assert_eq!(rec.mispredictions, 0);
+    }
+
+    #[test]
+    fn branch_zero_runs_when_outcome_zero() {
+        let mut b = CircuitBuilder::new(2);
+        // Measured qubit stays |0⟩ → branch0 applies X on q1.
+        b.feedback(Qubit(0)).on_zero(Gate::X, &[Qubit(1)]).finish();
+        let c = b.build();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("exec/branch0");
+        let rec = exec.run(&c, &mut SequentialHandler::default(), &mut rng);
+        assert!(rec.final_state.prob_one(Qubit(1)) > 1.0 - 1e-9);
+        assert!(!rec.clbits[0]);
+    }
+
+    #[test]
+    fn readout_error_selects_wrong_branch() {
+        let noise = NoiseModel {
+            readout_error: 1.0,
+            ..NoiseModel::noiseless()
+        };
+        let mut exec = Executor::new(noise);
+        let mut rng = rng_for("exec/flip");
+        // Qubit is |0⟩ but reported 1 → branch1 fires.
+        let mut b = CircuitBuilder::new(2);
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
+        let rec = exec.run(&b.build(), &mut SequentialHandler::default(), &mut rng);
+        assert!(rec.clbits[0]);
+        assert!(rec.final_state.prob_one(Qubit(1)) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn custom_handler_latency_and_waste_accounted() {
+        struct Fast;
+        impl FeedbackHandler for Fast {
+            fn resolve(&mut self, fb: &Feedback, reported: bool, _rng: &mut StdRng) -> Resolution {
+                Resolution {
+                    latency_ns: 1000.0,
+                    wasted_pulses: vec![GateApp::new(Gate::X, &[fb.measured])],
+                    predicted: Some(!reported), // always wrong
+                }
+            }
+        }
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("exec/custom");
+        let rec = exec.run(&reset_circuit(), &mut Fast, &mut rng);
+        assert_eq!(rec.predictions, 1);
+        assert_eq!(rec.mispredictions, 1);
+        assert!((rec.feedback_latencies_ns[0] - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_time_includes_gates_and_feedback() {
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("exec/time");
+        let rec = exec.run(&reset_circuit(), &mut SequentialHandler::default(), &mut rng);
+        // 30 ns X + (2000 + 150 + 30) feedback.
+        assert!((rec.total_ns - 2210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_run_preserves_norm() {
+        let mut exec = Executor::new(NoiseModel::paper_device());
+        let mut rng = rng_for("exec/norm");
+        let mut b = CircuitBuilder::new(3);
+        b.gate(Gate::H, &[Qubit(0)]);
+        b.gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(2)]).finish();
+        let rec = exec.run(&b.build(), &mut SequentialHandler::default(), &mut rng);
+        assert!(artery_num::approx_eq(rec.final_state.norm_sqr(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn run_from_allows_larger_state() {
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("exec/larger");
+        let mut state = StateVector::zero(3);
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::X, &[Qubit(0)]);
+        let rec = exec.run_from(&mut state, &b.build(), &mut SequentialHandler::default(), &mut rng);
+        assert!(rec.final_state.prob_one(Qubit(0)) > 1.0 - 1e-9);
+        assert_eq!(rec.final_state.num_qubits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn run_from_rejects_small_state() {
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("exec/small");
+        let mut state = StateVector::zero(1);
+        let b = {
+            let mut b = CircuitBuilder::new(2);
+            b.gate(Gate::X, &[Qubit(1)]);
+            b.build()
+        };
+        let _ = exec.run_from(&mut state, &b, &mut SequentialHandler::default(), &mut rng);
+    }
+
+    #[test]
+    fn branch_measure_writes_clbit() {
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::X, &[Qubit(1)]);
+        b.gate(Gate::X, &[Qubit(0)]);
+        let _pre = b.measure(Qubit(1)); // occupies clbit 0... allocated first
+        b.feedback(Qubit(0))
+            .op_on_one(artery_circuit::BranchOp::Measure(Qubit(1), artery_circuit::Clbit(0)))
+            .finish();
+        let c = b.build();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("exec/branchmeasure");
+        let rec = exec.run(&c, &mut SequentialHandler::default(), &mut rng);
+        assert!(rec.clbits[0]); // q1 is |1⟩ both times it is measured
+    }
+
+    #[test]
+    fn scripted_run_follows_the_script() {
+        // A superposed qubit would normally give random outcomes; the script
+        // pins them.
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::H, &[Qubit(0)]);
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
+        let c = b.build();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("exec/scripted");
+        for &forced in &[false, true, true, false] {
+            let rec = exec.run_scripted(&c, &mut SequentialHandler::default(), &[forced], &mut rng);
+            assert_eq!(rec.clbits[0], forced);
+            let p1 = rec.final_state.prob_one(Qubit(1));
+            assert!((p1 - f64::from(u8::from(forced))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scripted_replay_reproduces_noisy_record() {
+        // The reference arm of the conditional-fidelity protocol: replaying
+        // a noiseless shot's record noiselessly reproduces its final state.
+        let mut b = CircuitBuilder::new(3);
+        b.gate(Gate::H, &[Qubit(0)]);
+        b.gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(2)]).finish();
+        let c = b.build();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("exec/replay");
+        let noisy = exec.run(&c, &mut SequentialHandler::default(), &mut rng);
+        let script: Vec<bool> = noisy.feedback_outcomes.iter().map(|&(_, o)| o).collect();
+        let replay = exec.run_scripted(&c, &mut SequentialHandler::default(), &script, &mut rng);
+        assert!(replay.final_state.fidelity(&noisy.final_state) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn impossible_scripted_outcome_falls_back_to_sampling() {
+        let mut b = CircuitBuilder::new(1);
+        // Qubit stays |0⟩; script demands 1, which has zero probability.
+        b.feedback(Qubit(0)).finish();
+        let c = b.build();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("exec/impossible");
+        let rec = exec.run_scripted(&c, &mut SequentialHandler::default(), &[true], &mut rng);
+        assert!(!rec.clbits[0]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn per_qubit_t1_map_differentiates_decay() {
+        // Qubit 0 has a very short T1, qubit 1 an effectively infinite one;
+        // both start in |1⟩ and idle through a long feedback.
+        let noise = NoiseModel {
+            t1_ns: 1e12,
+            ..NoiseModel::noiseless()
+        };
+        let mut exec = Executor::new(noise).with_t1_map(vec![500.0, 1e12]);
+        let mut b = CircuitBuilder::new(3);
+        b.gate(Gate::X, &[Qubit(0)]);
+        b.gate(Gate::X, &[Qubit(1)]);
+        b.feedback(Qubit(2)).finish(); // blocks everyone for ~2 µs
+        let c = b.build();
+        let mut rng = rng_for("exec/t1map");
+        let mut survived = [0usize; 2];
+        const N: usize = 300;
+        for _ in 0..N {
+            let rec = exec.run(&c, &mut SequentialHandler::default(), &mut rng);
+            for q in 0..2 {
+                survived[q] += usize::from(rec.final_state.prob_one(Qubit(q)) > 0.5);
+            }
+        }
+        // T1 = 500 ns over ~2.15 µs → survival ≈ e^{-4.3} ≈ 1.4 %.
+        assert!(survived[0] < N / 5, "short-T1 qubit survived {} times", survived[0]);
+        assert_eq!(survived[1], N, "long-T1 qubit must not decay");
+    }
+
+    #[test]
+    fn t1_map_sampling_stays_in_paper_range() {
+        let mut rng = rng_for("exec/t1range");
+        let map = crate::DeviceCalibration::paper_t1_map_ns(18, &mut rng);
+        assert_eq!(map.len(), 18);
+        for &t1 in &map {
+            assert!((110_000.0..=140_000.0).contains(&t1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "script too short")]
+    fn short_script_panics() {
+        let mut b = CircuitBuilder::new(1);
+        b.feedback(Qubit(0)).finish();
+        let c = b.build();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("exec/shortscript");
+        let _ = exec.run_scripted(&c, &mut SequentialHandler::default(), &[], &mut rng);
+    }
+}

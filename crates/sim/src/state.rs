@@ -1,0 +1,407 @@
+//! Dense state-vector representation.
+
+use artery_circuit::{Gate, GateMatrix, Qubit};
+use artery_num::Complex64;
+use rand::Rng;
+
+/// A pure quantum state over `n` qubits as `2^n` complex amplitudes.
+///
+/// Basis ordering: qubit 0 is the **least significant bit** of the basis
+/// index, so `|q_{n-1} … q_1 q_0⟩` maps to index `Σ q_k·2^k`.
+///
+/// # Examples
+///
+/// ```
+/// use artery_circuit::{Gate, Qubit};
+/// use artery_sim::StateVector;
+///
+/// let mut psi = StateVector::zero(2);
+/// psi.apply_gate(Gate::X, &[Qubit(1)]);
+/// assert!((psi.probability_of(0b10) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_qubits` exceeds 26 (the dense representation would
+    /// exceed a gigabyte of amplitudes).
+    #[must_use]
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 26, "state vector too large: {num_qubits} qubits");
+        let mut amps = vec![Complex64::ZERO; 1 << num_qubits];
+        amps[0] = Complex64::ONE;
+        Self { num_qubits, amps }
+    }
+
+    /// A computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range for `num_qubits`.
+    #[must_use]
+    pub fn basis(num_qubits: usize, index: usize) -> Self {
+        let mut s = Self::zero(num_qubits);
+        assert!(index < s.amps.len(), "basis index out of range");
+        s.amps[0] = Complex64::ZERO;
+        s.amps[index] = Complex64::ONE;
+        s
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    #[must_use]
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        self.amps[index]
+    }
+
+    /// Probability of observing basis state `index` on a full measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    #[must_use]
+    pub fn probability_of(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Squared norm of the state (1 for a normalized state).
+    #[must_use]
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Rescales the state to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state is (numerically) zero.
+    pub fn normalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        assert!(n > 1e-300, "cannot normalize a zero state");
+        for a in &mut self.amps {
+            *a = *a / n;
+        }
+    }
+
+    /// Applies a one-qubit matrix to qubit `q`.
+    fn apply_one(&mut self, m: &[[Complex64; 2]; 2], q: Qubit) {
+        let bit = 1usize << q.0;
+        for base in 0..self.amps.len() {
+            if base & bit == 0 {
+                let other = base | bit;
+                let a0 = self.amps[base];
+                let a1 = self.amps[other];
+                self.amps[base] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[other] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Applies a two-qubit matrix; `q0` is the matrix's high-order bit,
+    /// matching [`Gate::matrix`].
+    fn apply_two(&mut self, m: &[[Complex64; 4]; 4], q0: Qubit, q1: Qubit) {
+        let b0 = 1usize << q0.0;
+        let b1 = 1usize << q1.0;
+        for base in 0..self.amps.len() {
+            if base & b0 == 0 && base & b1 == 0 {
+                let idx = [base, base | b1, base | b0, base | b0 | b1];
+                let a: Vec<Complex64> = idx.iter().map(|&i| self.amps[i]).collect();
+                for (r, &i) in idx.iter().enumerate() {
+                    self.amps[i] = (0..4).map(|c| m[r][c] * a[c]).sum();
+                }
+            }
+        }
+    }
+
+    /// Applies `gate` to the listed qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch or out-of-range qubits.
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[Qubit]) {
+        for q in qubits {
+            assert!(q.0 < self.num_qubits, "qubit {q} out of range");
+        }
+        match gate.matrix() {
+            GateMatrix::One(m) => {
+                assert_eq!(qubits.len(), 1);
+                self.apply_one(&m, qubits[0]);
+            }
+            GateMatrix::Two(m) => {
+                assert_eq!(qubits.len(), 2);
+                self.apply_two(&m, qubits[0], qubits[1]);
+            }
+        }
+    }
+
+    /// Applies a raw one-qubit matrix (used by noise channels; not
+    /// necessarily unitary — callers renormalize).
+    pub fn apply_matrix1(&mut self, m: &[[Complex64; 2]; 2], q: Qubit) {
+        assert!(q.0 < self.num_qubits, "qubit {q} out of range");
+        self.apply_one(m, q);
+    }
+
+    /// Probability that measuring qubit `q` yields 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    #[must_use]
+    pub fn prob_one(&self, q: Qubit) -> f64 {
+        assert!(q.0 < self.num_qubits, "qubit {q} out of range");
+        let bit = 1usize << q.0;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projectively measures qubit `q`, collapsing the state, and returns the
+    /// outcome.
+    pub fn measure(&mut self, q: Qubit, rng: &mut impl Rng) -> bool {
+        let p1 = self.prob_one(q);
+        let outcome = rng.gen::<f64>() < p1;
+        self.collapse(q, outcome);
+        outcome
+    }
+
+    /// Forces qubit `q` into the given outcome (project + renormalize).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the outcome has zero probability.
+    pub fn collapse(&mut self, q: Qubit, outcome: bool) {
+        let bit = 1usize << q.0;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let is_one = i & bit != 0;
+            if is_one != outcome {
+                *a = Complex64::ZERO;
+            }
+        }
+        self.normalize();
+    }
+
+    /// Resets qubit `q` to `|0⟩` by measuring and flipping if needed.
+    pub fn reset(&mut self, q: Qubit, rng: &mut impl Rng) {
+        if self.measure(q, rng) {
+            self.apply_gate(Gate::X, &[q]);
+        }
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the qubit counts differ.
+    #[must_use]
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "fidelity between states of different sizes"
+        );
+        let inner: Complex64 = self
+            .amps
+            .iter()
+            .zip(other.amps.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum();
+        inner.norm_sqr()
+    }
+
+    /// Expectation value of Pauli Z on qubit `q` (`+1` for `|0⟩`, `−1` for
+    /// `|1⟩`).
+    #[must_use]
+    pub fn expectation_z(&self, q: Qubit) -> f64 {
+        1.0 - 2.0 * self.prob_one(q)
+    }
+
+    /// Samples a full computational-basis measurement without collapsing.
+    #[must_use]
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::approx_eq;
+    use artery_num::rng::rng_for;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero(3);
+        assert!(approx_eq(s.norm_sqr(), 1.0, 1e-12));
+        assert_eq!(s.probability_of(0), 1.0);
+    }
+
+    #[test]
+    fn x_flips_basis() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate(Gate::X, &[Qubit(0)]);
+        assert!(approx_eq(s.probability_of(0b01), 1.0, 1e-12));
+        s.apply_gate(Gate::X, &[Qubit(1)]);
+        assert!(approx_eq(s.probability_of(0b11), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn hadamard_superposition_and_norm() {
+        let mut s = StateVector::zero(1);
+        s.apply_gate(Gate::H, &[Qubit(0)]);
+        assert!(approx_eq(s.prob_one(Qubit(0)), 0.5, 1e-12));
+        assert!(approx_eq(s.norm_sqr(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate(Gate::H, &[Qubit(0)]);
+        s.apply_gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+        assert!(approx_eq(s.probability_of(0b00), 0.5, 1e-12));
+        assert!(approx_eq(s.probability_of(0b11), 0.5, 1e-12));
+        assert!(approx_eq(s.probability_of(0b01), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn cnot_control_is_first_qubit() {
+        // |10⟩ (q1=1, q0=0): control q0 = 0 → no flip.
+        let mut s = StateVector::basis(2, 0b10);
+        s.apply_gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+        assert!(approx_eq(s.probability_of(0b10), 1.0, 1e-12));
+        // |01⟩ (q0=1): control set → target q1 flips → |11⟩.
+        let mut s = StateVector::basis(2, 0b01);
+        s.apply_gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+        assert!(approx_eq(s.probability_of(0b11), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn cz_phase_only_on_11() {
+        let mut s = StateVector::basis(2, 0b11);
+        s.apply_gate(Gate::CZ, &[Qubit(0), Qubit(1)]);
+        assert!(approx_eq(s.amplitude(0b11).re, -1.0, 1e-12));
+        let mut s = StateVector::basis(2, 0b01);
+        s.apply_gate(Gate::CZ, &[Qubit(0), Qubit(1)]);
+        assert!(approx_eq(s.amplitude(0b01).re, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn rotation_composition_equals_sum() {
+        let mut a = StateVector::zero(1);
+        a.apply_gate(Gate::RX(0.4), &[Qubit(0)]);
+        a.apply_gate(Gate::RX(0.6), &[Qubit(0)]);
+        let mut b = StateVector::zero(1);
+        b.apply_gate(Gate::RX(1.0), &[Qubit(0)]);
+        assert!(approx_eq(a.fidelity(&b), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn measurement_collapses() {
+        let mut rng = rng_for("test/measure");
+        let mut s = StateVector::zero(1);
+        s.apply_gate(Gate::H, &[Qubit(0)]);
+        let outcome = s.measure(Qubit(0), &mut rng);
+        let p1 = s.prob_one(Qubit(0));
+        assert!(approx_eq(p1, f64::from(u8::from(outcome)), 1e-12));
+    }
+
+    #[test]
+    fn measurement_statistics_match_amplitudes() {
+        let mut rng = rng_for("test/stats");
+        let mut ones = 0usize;
+        const N: usize = 4000;
+        for _ in 0..N {
+            let mut s = StateVector::zero(1);
+            s.apply_gate(Gate::RY(PI / 3.0), &[Qubit(0)]);
+            if s.measure(Qubit(0), &mut rng) {
+                ones += 1;
+            }
+        }
+        // sin²(π/6) = 0.25; binomial std ≈ 0.007.
+        let freq = ones as f64 / N as f64;
+        assert!((freq - 0.25).abs() < 0.03, "freq = {freq}");
+    }
+
+    #[test]
+    fn reset_always_gives_zero() {
+        let mut rng = rng_for("test/reset");
+        for _ in 0..16 {
+            let mut s = StateVector::zero(1);
+            s.apply_gate(Gate::H, &[Qubit(0)]);
+            s.reset(Qubit(0), &mut rng);
+            assert!(approx_eq(s.prob_one(Qubit(0)), 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = StateVector::basis(2, 0);
+        let b = StateVector::basis(2, 3);
+        assert!(approx_eq(a.fidelity(&b), 0.0, 1e-12));
+        assert!(approx_eq(a.fidelity(&a), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn expectation_z_signs() {
+        let s = StateVector::zero(1);
+        assert!(approx_eq(s.expectation_z(Qubit(0)), 1.0, 1e-12));
+        let s = StateVector::basis(1, 1);
+        assert!(approx_eq(s.expectation_z(Qubit(0)), -1.0, 1e-12));
+    }
+
+    #[test]
+    fn sample_respects_distribution() {
+        let mut rng = rng_for("test/sample");
+        let mut s = StateVector::zero(2);
+        s.apply_gate(Gate::X, &[Qubit(1)]);
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut rng), 0b10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gate_on_out_of_range_qubit_panics() {
+        let mut s = StateVector::zero(1);
+        s.apply_gate(Gate::X, &[Qubit(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn fidelity_size_mismatch_panics() {
+        let _ = StateVector::zero(1).fidelity(&StateVector::zero(2));
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut s = StateVector::basis(2, 0b01);
+        s.apply_gate(Gate::Swap, &[Qubit(0), Qubit(1)]);
+        assert!(approx_eq(s.probability_of(0b10), 1.0, 1e-12));
+    }
+}

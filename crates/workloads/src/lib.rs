@@ -1,0 +1,608 @@
+//! The paper's benchmark circuits (§6.1).
+//!
+//! Six dynamic-circuit workloads drive the evaluation:
+//!
+//! * [`qrw`] — quantum random walk on a coin + position pair; branch priors
+//!   are near 50/50, the hardest case for history-only prediction,
+//! * [`rcnot`] — long-range CNOT built from mid-circuit measurements and
+//!   feed-forward Pauli corrections (Bäumer et al., cited as [4]),
+//! * [`dqt`] — deterministic quantum teleportation across a relay chain
+//!   (Steffen et al., [55]),
+//! * [`rus_qnn`] — repeat-until-success quantum-neuron circuits (Moreira et
+//!   al., [36]) with skewed success priors,
+//! * [`active_reset`] — measurement-plus-conditional-flip reset on many
+//!   qubits simultaneously (case 3: the branch targets the measured qubit),
+//! * [`random_feedback`] — random circuits with 25–150 gates surrounding a
+//!   feedback, matching the paper's random benchmark.
+//!
+//! Each generator returns a plain [`Circuit`]; the [`Benchmark`] enum gives
+//! the harnesses a uniform way to enumerate the paper's sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use artery_circuit::{Circuit, CircuitBuilder, Gate, Qubit};
+use rand::Rng;
+
+/// Quantum random walk: `steps` iterations of coin flip → measure coin →
+/// conditionally shift the position qubit.
+///
+/// Qubit 0 is the coin, qubit 1 the (one-bit) position. Every step measures
+/// the coin in superposition, so branch outcomes are close to uniform — the
+/// workload that stresses real-time trajectory prediction the most.
+///
+/// # Panics
+///
+/// Panics when `steps` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let c = artery_workloads::qrw(5);
+/// assert_eq!(c.feedback_count(), 5);
+/// assert_eq!(c.num_qubits(), 2);
+/// ```
+#[must_use]
+pub fn qrw(steps: usize) -> Circuit {
+    assert!(steps > 0, "qrw needs at least one step");
+    let coin = Qubit(0);
+    let pos = Qubit(1);
+    let mut b = CircuitBuilder::new(2);
+    for _ in 0..steps {
+        b.gate(Gate::H, &[coin]);
+        // Walk: move (flip position) on heads, stay on tails.
+        b.feedback(coin).on_one(Gate::X, &[pos]).finish();
+    }
+    b.build()
+}
+
+/// Quantum random walk on a line of `2^position_bits` sites with a
+/// feedback-driven coin: each step measures the coin and, on heads,
+/// increments the position register modulo the line length. The two-qubit
+/// [`qrw`] is the 1-bit special case the paper's Table 1 sweeps; this
+/// variant gives the walk a real position distribution.
+///
+/// The conditional increment is exact on the basis set: for a 2-bit
+/// register, `+1` is `b1 ^= b0; b0 ^= 1` — one CNOT (before the flip) plus
+/// one X, both inside the feedback branch. Wider registers would need
+/// Toffoli carries (T-gate decompositions), which none of the paper's
+/// workloads require, so the register is capped at 2 bits.
+///
+/// Qubit 0 is the coin; qubits 1 (LSB) and 2 the position register.
+///
+/// # Panics
+///
+/// Panics when `steps` is zero or `position_bits` is outside `1..=2`.
+#[must_use]
+pub fn qrw_line(steps: usize, position_bits: usize) -> Circuit {
+    assert!(steps > 0, "qrw needs at least one step");
+    assert!(
+        (1..=2).contains(&position_bits),
+        "position register must be 1 or 2 bits (wider needs Toffoli carries)"
+    );
+    let coin = Qubit(0);
+    let lsb = Qubit(1);
+    let mut b = CircuitBuilder::new(1 + position_bits);
+    for _ in 0..steps {
+        b.gate(Gate::H, &[coin]);
+        let mut fb = b.feedback(coin);
+        if position_bits == 2 {
+            // Carry into the MSB from the pre-increment LSB.
+            fb = fb.on_one(Gate::CNOT, &[lsb, Qubit(2)]);
+        }
+        fb.on_one(Gate::X, &[lsb]).finish();
+    }
+    b.build()
+}
+
+/// Long-range CNOT through `depth` entangled relay segments.
+///
+/// Control is qubit 0; the target sits `depth + 1` qubits away. Each segment
+/// extends the entanglement with H/CZ, measures the relay qubit in the X
+/// basis and feeds the outcome forward as a Pauli correction on the target —
+/// one feedback per segment, each case-1 pre-executable.
+///
+/// # Panics
+///
+/// Panics when `depth` is zero.
+#[must_use]
+pub fn rcnot(depth: usize) -> Circuit {
+    assert!(depth > 0, "rcnot needs depth >= 1");
+    let n = depth + 2;
+    let mut b = CircuitBuilder::new(n);
+    let control = Qubit(0);
+    let target = Qubit(n - 1);
+    // Control in superposition so every relay measurement is unbiased.
+    b.gate(Gate::H, &[control]);
+    // Entangle the chain: control — relays — target.
+    for k in 0..n - 1 {
+        b.gate(Gate::H, &[Qubit(k + 1)]);
+        b.gate(Gate::CZ, &[Qubit(k), Qubit(k + 1)]);
+    }
+    // Measure each relay in the X basis; feed forward a Z (phase fix-up) on
+    // the target for odd parity, and an X correction from the last relay.
+    for k in 1..n - 1 {
+        b.gate(Gate::H, &[Qubit(k)]);
+        let correction = if k % 2 == 0 { Gate::Z } else { Gate::X };
+        b.feedback(Qubit(k)).on_one(correction, &[target]).finish();
+    }
+    b.build()
+}
+
+/// Deterministic quantum teleportation across `distance` relay hops.
+///
+/// The payload starts on qubit 0 in a random-looking state; each hop
+/// entangles the next pair, Bell-measures the carrier and applies the
+/// feed-forward correction on the receiving qubit (one feedback per hop,
+/// case 1).
+///
+/// # Panics
+///
+/// Panics when `distance` is zero.
+#[must_use]
+pub fn dqt(distance: usize) -> Circuit {
+    assert!(distance > 0, "dqt needs distance >= 1");
+    let n = distance + 1;
+    let mut b = CircuitBuilder::new(n);
+    // Payload state: something away from the poles.
+    b.gate(Gate::RY(1.2), &[Qubit(0)]);
+    b.gate(Gate::RZ(0.7), &[Qubit(0)]);
+    for hop in 0..distance {
+        let from = Qubit(hop);
+        let to = Qubit(hop + 1);
+        // Entangle carrier and receiver, then Bell-measure the carrier.
+        b.gate(Gate::H, &[to]);
+        b.gate(Gate::CZ, &[from, to]);
+        b.gate(Gate::H, &[from]);
+        // Feed-forward correction on the receiver.
+        b.feedback(from).on_one(Gate::Z, &[to]).finish();
+    }
+    b.build()
+}
+
+/// Repeat-until-success QNN circuit with `cycles` RUS rounds.
+///
+/// Each round rotates the ancilla, entangles it with the data qubit and
+/// measures it; outcome 1 signals failure and triggers the recovery rotation
+/// on the data qubit. Success priors are skewed (≈ cos²(θ/2)), giving the
+/// history predictor real leverage.
+///
+/// # Panics
+///
+/// Panics when `cycles` is zero.
+#[must_use]
+pub fn rus_qnn(cycles: usize) -> Circuit {
+    assert!(cycles > 0, "rus_qnn needs at least one cycle");
+    let data = Qubit(0);
+    let ancilla = Qubit(1);
+    let mut b = CircuitBuilder::new(2);
+    b.gate(Gate::RY(0.9), &[data]);
+    for _ in 0..cycles {
+        b.gate(Gate::RY(0.8), &[ancilla]);
+        b.gate(Gate::CZ, &[data, ancilla]);
+        b.gate(Gate::RY(-0.4), &[ancilla]);
+        // Failure branch: undo the partial rotation on the data qubit.
+        b.feedback(ancilla).on_one(Gate::RY(-0.6), &[data]).finish();
+        // Re-arm the ancilla for the next round.
+        b.reset(ancilla);
+    }
+    b.build()
+}
+
+/// Active reset of `num_qubits` qubits, each prepared in `|+⟩` and reset by
+/// measurement plus conditional flip (case 3 — the flip targets the measured
+/// qubit, so prediction can only hide the classical-processing latency).
+///
+/// # Panics
+///
+/// Panics when `num_qubits` is zero.
+#[must_use]
+pub fn active_reset(num_qubits: usize) -> Circuit {
+    assert!(num_qubits > 0, "reset needs at least one qubit");
+    let mut b = CircuitBuilder::new(num_qubits);
+    for q in 0..num_qubits {
+        b.gate(Gate::H, &[Qubit(q)]);
+    }
+    for q in 0..num_qubits {
+        b.feedback(Qubit(q)).on_one(Gate::X, &[Qubit(q)]).finish();
+    }
+    b.build()
+}
+
+/// Random benchmark: `num_gates` random basis gates split evenly before and
+/// after one case-1 feedback, on a small register (paper: 25–150 gates).
+///
+/// # Panics
+///
+/// Panics when `num_gates` is zero.
+#[must_use]
+pub fn random_feedback(num_gates: usize, rng: &mut impl Rng) -> Circuit {
+    assert!(num_gates > 0, "random benchmark needs gates");
+    const N: usize = 4;
+    let mut b = CircuitBuilder::new(N);
+    let push_random = |b: &mut CircuitBuilder, rng: &mut dyn rand::RngCore, count: usize| {
+        for _ in 0..count {
+            let q = Qubit(rng.gen_range(0..N));
+            match rng.gen_range(0..4) {
+                0 => b.gate(Gate::RX(rng.gen_range(-3.0..3.0)), &[q]),
+                1 => b.gate(Gate::RY(rng.gen_range(-3.0..3.0)), &[q]),
+                2 => b.gate(Gate::RZ(rng.gen_range(-3.0..3.0)), &[q]),
+                _ => {
+                    let mut q2 = Qubit(rng.gen_range(0..N));
+                    while q2 == q {
+                        q2 = Qubit(rng.gen_range(0..N));
+                    }
+                    b.gate(Gate::CZ, &[q, q2])
+                }
+            };
+        }
+    };
+    push_random(&mut b, rng, num_gates / 2);
+    b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
+    push_random(&mut b, rng, num_gates - num_gates / 2);
+    b.build()
+}
+
+/// One cycle-repeated surface-17 Z-stabilizer extraction circuit with
+/// feedback-based syndrome reset and one data-qubit pre-correction per
+/// cycle — the QEC workload of §6.2 (Fig. 11), restricted to the bit-flip
+/// sector so syndrome priors stay strongly skewed toward 0 (the property the
+/// paper's QEC latency results rely on).
+///
+/// Qubits 0–8 are data (row-major 3×3 grid), 9–12 are the Z-syndrome
+/// ancillas for supports {0,1,3,4}, {4,5,7,8}, {2,5}, {3,6}.
+///
+/// # Panics
+///
+/// Panics when `cycles` is zero.
+#[must_use]
+pub fn surface17_z_cycle(cycles: usize) -> Circuit {
+    assert!(cycles > 0, "qec needs at least one cycle");
+    const SUPPORTS: [&[usize]; 4] = [&[0, 1, 3, 4], &[4, 5, 7, 8], &[2, 5], &[3, 6]];
+    let mut b = CircuitBuilder::new(13);
+    for _ in 0..cycles {
+        for (s, support) in SUPPORTS.iter().enumerate() {
+            let ancilla = Qubit(9 + s);
+            for &d in *support {
+                b.gate(Gate::CNOT, &[Qubit(d), ancilla]);
+            }
+            // Pre-correction (case 1): flip a representative data qubit of
+            // the support when the syndrome fires, then syndrome reset
+            // handled by a dedicated case-3 feedback below.
+            b.feedback(ancilla)
+                .on_one(Gate::X, &[Qubit(support[0])])
+                .finish();
+            // Active reset of the syndrome ancilla for the next round.
+            b.feedback(ancilla).on_one(Gate::X, &[ancilla]).finish();
+        }
+    }
+    b.build()
+}
+
+/// Magic-state-injection-style circuit (paper §3, case 2): each round
+/// measures an ancilla whose branch applies a **two-qubit gate involving the
+/// measured qubit** — the pattern that forces pre-execution onto a spare
+/// ancilla (`PreExecCase::AncillaRemap`). Appears in logical-T-gate
+/// construction (Gupta et al., the paper's [17]).
+///
+/// Qubit 0 is the data qubit, qubit 1 the (reused) injection ancilla.
+///
+/// # Panics
+///
+/// Panics when `rounds` is zero.
+#[must_use]
+pub fn magic_injection(rounds: usize) -> Circuit {
+    assert!(rounds > 0, "magic injection needs at least one round");
+    let data = Qubit(0);
+    let ancilla = Qubit(1);
+    let mut b = CircuitBuilder::new(2);
+    b.gate(Gate::RY(0.7), &[data]);
+    for _ in 0..rounds {
+        // Prepare the resource state on the ancilla and measure it in a
+        // rotated basis.
+        b.gate(Gate::H, &[ancilla]);
+        b.gate(Gate::T, &[ancilla]);
+        b.gate(Gate::H, &[ancilla]);
+        // On outcome 1 the injected rotation needs a corrective entangling
+        // operation between the (collapsed) ancilla and the data qubit —
+        // the case-2 situation: the branch uses the measured qubit.
+        b.feedback(ancilla)
+            .on_one(Gate::CZ, &[ancilla, data])
+            .on_one(Gate::S, &[data])
+            .finish();
+        b.reset(ancilla);
+    }
+    b.build()
+}
+
+/// A single case-1 feedback whose measured qubit is prepared close to `|0⟩`
+/// (`p1 = sin²(angle/2)`), reproducing the skewed syndrome priors of QEC.
+/// Used by the Fig. 12 (a) and Fig. 14 harnesses.
+#[must_use]
+pub fn skewed_correction(angle: f64) -> Circuit {
+    let mut b = CircuitBuilder::new(2);
+    b.gate(Gate::RY(angle), &[Qubit(0)]);
+    b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
+    b.build()
+}
+
+/// A single case-3 reset whose measured qubit is prepared close to `|0⟩` —
+/// the QEC syndrome-reset pattern of Fig. 12 (a).
+#[must_use]
+pub fn skewed_reset(angle: f64) -> Circuit {
+    let mut b = CircuitBuilder::new(1);
+    b.gate(Gate::RY(angle), &[Qubit(0)]);
+    b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(0)]).finish();
+    b.build()
+}
+
+/// One of the paper's six benchmarks, with its sweep parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Quantum random walk with the given step count.
+    Qrw(usize),
+    /// Remote CNOT with the given depth.
+    Rcnot(usize),
+    /// Deterministic teleportation with the given distance.
+    Dqt(usize),
+    /// Repeat-until-success QNN with the given cycle count.
+    RusQnn(usize),
+    /// Simultaneous active reset of the given qubit count.
+    Reset(usize),
+    /// Random circuit with the given gate count.
+    Random(usize),
+}
+
+impl Benchmark {
+    /// Benchmark family name as used in the paper's tables.
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match self {
+            Benchmark::Qrw(_) => "QRW",
+            Benchmark::Rcnot(_) => "RCNOT",
+            Benchmark::Dqt(_) => "DQT",
+            Benchmark::RusQnn(_) => "RUS-QNN",
+            Benchmark::Reset(_) => "reset",
+            Benchmark::Random(_) => "Random",
+        }
+    }
+
+    /// The sweep parameter (steps / depth / distance / cycles / qubits /
+    /// gates).
+    #[must_use]
+    pub fn parameter(&self) -> usize {
+        match *self {
+            Benchmark::Qrw(p)
+            | Benchmark::Rcnot(p)
+            | Benchmark::Dqt(p)
+            | Benchmark::RusQnn(p)
+            | Benchmark::Reset(p)
+            | Benchmark::Random(p) => p,
+        }
+    }
+
+    /// Builds the circuit. Random benchmarks are seeded deterministically
+    /// from the gate count so repeated builds agree.
+    #[must_use]
+    pub fn circuit(&self) -> Circuit {
+        match *self {
+            Benchmark::Qrw(steps) => qrw(steps),
+            Benchmark::Rcnot(depth) => rcnot(depth),
+            Benchmark::Dqt(distance) => dqt(distance),
+            Benchmark::RusQnn(cycles) => rus_qnn(cycles),
+            Benchmark::Reset(n) => active_reset(n),
+            Benchmark::Random(gates) => {
+                let mut rng =
+                    artery_num::rng::rng_for(&format!("workload/random/{gates}"));
+                random_feedback(gates, &mut rng)
+            }
+        }
+    }
+
+    /// The Table 1 sweep of the paper.
+    #[must_use]
+    pub fn table1_sweep() -> Vec<Benchmark> {
+        let mut out = Vec::new();
+        for steps in [1usize, 5, 15, 25] {
+            out.push(Benchmark::Qrw(steps));
+        }
+        for depth in 1..=4 {
+            out.push(Benchmark::Rcnot(depth));
+        }
+        for cycles in 1..=4 {
+            out.push(Benchmark::RusQnn(cycles));
+        }
+        for distance in 1..=4 {
+            out.push(Benchmark::Dqt(distance));
+        }
+        out.push(Benchmark::Reset(8));
+        for gates in [25usize, 50, 75, 100] {
+            out.push(Benchmark::Random(gates));
+        }
+        out
+    }
+
+    /// One representative instance per family (ablation figures).
+    #[must_use]
+    pub fn representatives() -> Vec<Benchmark> {
+        vec![
+            Benchmark::Qrw(5),
+            Benchmark::Rcnot(3),
+            Benchmark::Dqt(3),
+            Benchmark::RusQnn(3),
+            Benchmark::Reset(4),
+            Benchmark::Random(50),
+        ]
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.family(), self.parameter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_circuit::analysis::{analyze_circuit, PreExecCase};
+
+    #[test]
+    fn qrw_structure() {
+        let c = qrw(25);
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.feedback_count(), 25);
+        for a in analyze_circuit(&c) {
+            assert_eq!(a.case, PreExecCase::Independent);
+        }
+    }
+
+    #[test]
+    fn rcnot_feedback_scales_with_depth() {
+        for depth in 1..=6 {
+            let c = rcnot(depth);
+            assert_eq!(c.feedback_count(), depth);
+            assert_eq!(c.num_qubits(), depth + 2);
+        }
+    }
+
+    #[test]
+    fn rcnot_is_case1() {
+        for a in analyze_circuit(&rcnot(4)) {
+            assert_eq!(a.case, PreExecCase::Independent);
+        }
+    }
+
+    #[test]
+    fn dqt_structure() {
+        let c = dqt(6);
+        assert_eq!(c.feedback_count(), 6);
+        assert_eq!(c.num_qubits(), 7);
+        for a in analyze_circuit(&c) {
+            assert_eq!(a.case, PreExecCase::Independent);
+        }
+    }
+
+    #[test]
+    fn rus_qnn_structure() {
+        let c = rus_qnn(4);
+        assert_eq!(c.feedback_count(), 4);
+        assert_eq!(c.num_qubits(), 2);
+    }
+
+    #[test]
+    fn reset_is_case3() {
+        let c = active_reset(5);
+        assert_eq!(c.feedback_count(), 5);
+        for a in analyze_circuit(&c) {
+            assert_eq!(a.case, PreExecCase::OnMeasuredQubit);
+        }
+    }
+
+    #[test]
+    fn random_has_requested_gates() {
+        let mut rng = artery_num::rng::rng_for("test/random-workload");
+        let c = random_feedback(60, &mut rng);
+        assert_eq!(c.gate_count(), 60);
+        assert_eq!(c.feedback_count(), 1);
+    }
+
+    #[test]
+    fn benchmark_enum_round_trip() {
+        for b in Benchmark::table1_sweep() {
+            let c = b.circuit();
+            assert!(c.feedback_count() > 0, "{b} has no feedback");
+        }
+    }
+
+    #[test]
+    fn benchmark_circuit_is_deterministic() {
+        let a = Benchmark::Random(50).circuit();
+        let b = Benchmark::Random(50).circuit();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table1_sweep_covers_all_families() {
+        let sweep = Benchmark::table1_sweep();
+        let families: std::collections::HashSet<&str> =
+            sweep.iter().map(Benchmark::family).collect();
+        assert_eq!(families.len(), 6);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Benchmark::Qrw(5).to_string(), "QRW(5)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        let _ = qrw(0);
+    }
+
+    #[test]
+    fn surface17_structure() {
+        let c = surface17_z_cycle(2);
+        assert_eq!(c.num_qubits(), 13);
+        // 4 stabilizers × (correction + reset) × 2 cycles.
+        assert_eq!(c.feedback_count(), 16);
+        let analyses = analyze_circuit(&c);
+        let corrections = analyses
+            .iter()
+            .filter(|a| a.case == PreExecCase::Independent)
+            .count();
+        let resets = analyses
+            .iter()
+            .filter(|a| a.case == PreExecCase::OnMeasuredQubit)
+            .count();
+        assert_eq!(corrections, 8);
+        assert_eq!(resets, 8);
+    }
+
+    #[test]
+    fn qrw_line_structure() {
+        let c = qrw_line(6, 2);
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.feedback_count(), 6);
+        for a in analyze_circuit(&c) {
+            assert_eq!(a.case, PreExecCase::Independent);
+        }
+        // 1-bit variant matches qrw's shape.
+        assert_eq!(qrw_line(4, 1).num_qubits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 2 bits")]
+    fn qrw_line_rejects_wide_registers() {
+        let _ = qrw_line(3, 3);
+    }
+
+    #[test]
+    fn magic_injection_is_case2() {
+        let c = magic_injection(3);
+        assert_eq!(c.feedback_count(), 3);
+        let analyses = analyze_circuit(&c);
+        for a in &analyses {
+            assert_eq!(a.case, PreExecCase::AncillaRemap);
+            assert!(a.ancilla.is_some(), "case 2 must allocate an ancilla");
+        }
+        // Distinct ancillas above the register.
+        assert_eq!(analyses[0].ancilla, Some(Qubit(2)));
+        assert_eq!(analyses[1].ancilla, Some(Qubit(3)));
+    }
+
+    #[test]
+    fn skewed_circuits_have_expected_cases() {
+        let corr = skewed_correction(0.2);
+        assert_eq!(
+            analyze_circuit(&corr)[0].case,
+            PreExecCase::Independent
+        );
+        let reset = skewed_reset(0.2);
+        assert_eq!(
+            analyze_circuit(&reset)[0].case,
+            PreExecCase::OnMeasuredQubit
+        );
+    }
+}

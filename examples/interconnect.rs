@@ -1,0 +1,66 @@
+//! The scalable controller interconnect (§5.2) and the feedback trigger
+//! mechanism (§5.3): route a prediction from the classifying FPGA to the
+//! branch decider across the backplane hierarchy.
+//!
+//! ```text
+//! cargo run --release --example interconnect
+//! ```
+
+use artery::hw::interconnect::Topology;
+use artery::hw::trigger::{DynamicTimingController, ProbabilityUpdate, Thresholds};
+use artery::hw::{ControllerTiming, HardwareParams};
+
+fn main() {
+    let hw = HardwareParams::paper();
+    let timing = ControllerTiming::new(hw, 30.0);
+
+    // A 72-qubit system: 3 backplanes × 4 FPGAs × 6 qubits.
+    let topology = Topology {
+        fpgas_per_backplane: 4,
+        num_backplanes: 3,
+        qubits_per_fpga: 6,
+    };
+    println!(
+        "control system: {} FPGAs on {} backplanes, {} qubits\n",
+        topology.num_fpgas(),
+        topology.num_backplanes,
+        topology.num_qubits()
+    );
+
+    println!("feedback routes from qubit 0's controller:");
+    for &target in &[3usize, 8, 30, 70] {
+        println!(
+            "  qubit 0 → qubit {target:>2}: {:?}, {:>5.0} ns",
+            topology.route_level(
+                topology.fpga_of_qubit(0),
+                topology.fpga_of_qubit(target)
+            ),
+            topology.qubit_route_latency_ns(0, target, &hw)
+        );
+    }
+
+    // A predictor probability stream crossing the θ = 0.91 threshold at
+    // window 12; the dynamic timing controller converts it into a trigger.
+    let controller = DynamicTimingController::new(Thresholds::default());
+    let updates: Vec<ProbabilityUpdate> = (5..20)
+        .map(|w| ProbabilityUpdate {
+            window: w,
+            p_predict_1: 0.5 + 0.04 * (w as f64 - 4.0),
+        })
+        .collect();
+    println!("\nfeedback trigger for a rising confidence stream (θ = 0.91):");
+    for &route in &[4.0, 48.0, 144.0] {
+        let trig = controller
+            .first_trigger(updates.iter().copied(), &timing, route)
+            .expect("threshold crossed");
+        println!(
+            "  route {route:>5.0} ns: fires at window {} ({:>6.0} ns), branch pulse starts at {:>6.0} ns",
+            trig.window, trig.fired_at_ns, trig.branch_start_ns
+        );
+    }
+    println!(
+        "\nThe three-level hierarchy keeps most feedback on 4 ns on-chip wires;\n\
+         only cross-backplane pairs pay the 3×48 ns serdes path — and even that\n\
+         is hidden inside the 2 µs readout when the prediction fires early."
+    );
+}

@@ -1,0 +1,80 @@
+//! Anatomy of a prediction: watch `P_predict_1` evolve window by window for
+//! individual readout pulses, for three priors — the mechanism behind every
+//! latency number in the paper.
+//!
+//! ```text
+//! cargo run --release --example predictor_anatomy
+//! ```
+
+use artery::core::{ArteryConfig, BranchPredictor, Calibration};
+use artery::hw::trigger::Thresholds;
+
+fn sparkline(updates: &[(usize, f64)], theta: f64) -> String {
+    updates
+        .iter()
+        .map(|&(_, p)| {
+            if p > theta {
+                '█'
+            } else if p > 0.75 {
+                '▓'
+            } else if p > 0.5 {
+                '▒'
+            } else if p > 1.0 - theta {
+                '░'
+            } else {
+                '·'
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let config = ArteryConfig::default();
+    let mut rng = artery::num::rng::rng_for("example/anatomy");
+    let calibration = Calibration::train(&config, &mut rng);
+    let predictor = BranchPredictor::new(&calibration, &config);
+    let thresholds = Thresholds::symmetric(config.theta);
+    let window_us = config.window_ns / 1000.0;
+
+    println!(
+        "P_predict_1 per 30 ns window (█ > θ₁ = {}, · < 1−θ₀; decision = first █ or ·)\n",
+        config.theta
+    );
+    for (label, p_history, state) in [
+        ("uniform prior, qubit |1⟩  ", 0.5, true),
+        ("uniform prior, qubit |0⟩  ", 0.5, false),
+        ("QEC prior (P₁=0.02), |0⟩  ", 0.02, false),
+        ("inverted prior (P₁=0.98), |1⟩", 0.98, true),
+    ] {
+        let pulse = calibration.model().synthesize(state, &mut rng);
+        let stream: Vec<(usize, f64)> = predictor
+            .probability_stream(&pulse, p_history)
+            .into_iter()
+            .map(|u| (u.window, u.p_predict_1))
+            .collect();
+        let decision = stream
+            .iter()
+            .find(|&&(_, p)| thresholds.decide(p).is_some());
+        println!("{label}  {}", sparkline(&stream, config.theta));
+        match decision {
+            Some(&(w, p)) => println!(
+                "{:width$}  → commits branch {} at window {w} (t = {:.2} µs, P = {p:.3})\n",
+                "",
+                usize::from(p > 0.5),
+                (w + 1) as f64 * window_us,
+                width = label.chars().count()
+            ),
+            None => println!(
+                "{:width$}  → never commits; falls back to sequential feedback\n",
+                "",
+                width = label.chars().count()
+            ),
+        }
+    }
+    println!(
+        "Skewed priors push the Bayesian fusion over the threshold at the very\n\
+         first table lookup (~0.26 µs into the readout); uniform priors wait for\n\
+         the trajectory to accumulate evidence (~0.5–1.5 µs). This is exactly why\n\
+         QEC feedback accelerates 4.8x while QRW gains ~2x (Table 1, Fig. 12a)."
+    );
+}

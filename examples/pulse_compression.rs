@@ -1,0 +1,53 @@
+//! Adaptive pulse sampling (§5.4): compress a circuit's DAC stream with the
+//! three codecs and see how many DAC channels one FPGA can then feed.
+//!
+//! ```text
+//! cargo run --release --example pulse_compression
+//! ```
+
+use artery::pulse::bandwidth::BandwidthModel;
+use artery::pulse::codec::{Codec, Combined};
+use artery::pulse::{PulseLibrary, PulseStream, StreamRealism};
+use artery::workloads::surface17_z_cycle;
+
+fn main() {
+    // Two QEC cycles of the surface-17 bit-flip sector, rendered as the
+    // 16-bit sample stream that would cross the AXI bus.
+    let circuit = surface17_z_cycle(2);
+    let library = PulseLibrary::standard(2.0);
+    let stream =
+        PulseStream::for_circuit_realistic(&circuit, &library, 200.0, &StreamRealism::default());
+    let samples = stream.samples();
+    println!(
+        "pulse stream: {} samples ({:.1} KiB raw), {:.0}% idle zeros\n",
+        samples.len(),
+        (samples.len() * 2) as f64 / 1024.0,
+        100.0 * stream.waveform().zero_fraction()
+    );
+
+    let model = BandwidthModel::default();
+    println!("codec                 bandwidth   #DAC/FPGA   decode latency");
+    let raw = model.raw_report();
+    println!(
+        "raw pulse             {:>6.1} Gb/s  {:>6}      {:>8}",
+        raw.bandwidth_gbps, raw.dacs_per_fpga, "-"
+    );
+    for codec in ["huffman", "run-length", "huffman+run-length"] {
+        let rep = model.report(codec, samples);
+        println!(
+            "{codec:<21} {:>6.1} Gb/s  {:>6}      {:>5.0} ns",
+            rep.bandwidth_gbps, rep.dacs_per_fpga, rep.decode_latency_ns
+        );
+    }
+
+    // The decoder is lossless: the DAC plays back the exact calibrated
+    // samples.
+    let encoded = Combined.encode(samples);
+    let decoded = Combined.decode(&encoded).expect("well-formed stream");
+    assert_eq!(decoded, samples);
+    println!(
+        "\nround-trip verified: {} encoded bytes reproduce all {} samples exactly.",
+        encoded.len(),
+        samples.len()
+    );
+}

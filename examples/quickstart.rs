@@ -1,0 +1,59 @@
+//! Quickstart: accelerate an active-reset feedback with ARTERY and compare
+//! it against the QubiC-style sequential controller.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use artery::baselines::Baseline;
+use artery::core::{ArteryConfig, ArteryController, Calibration};
+use artery::num::stats::Accumulator;
+use artery::sim::{Executor, NoiseModel};
+use artery::workloads::active_reset;
+
+fn main() {
+    // 1. One-time hardware initialization: calibrate IQ centers and
+    //    pre-generate the trajectory state table from training pulses.
+    let config = ArteryConfig::default();
+    let mut rng = artery::num::rng::rng_for("example/quickstart");
+    let calibration = Calibration::train(&config, &mut rng);
+
+    // 2. The program: put a qubit in superposition, measure it, flip it back
+    //    to |0⟩ when the outcome was 1 (case-3 feedback).
+    let circuit = active_reset(1);
+
+    // 3. Run many shots under both controllers.
+    let mut executor = Executor::new(NoiseModel::noiseless());
+    let mut artery = ArteryController::new(&circuit, &config, &calibration);
+    let mut qubic = Baseline::qubic();
+
+    let mut artery_latency = Accumulator::new();
+    let mut qubic_latency = Accumulator::new();
+    for _ in 0..300 {
+        let rec = executor.run(&circuit, &mut artery, &mut rng);
+        artery_latency.push(rec.total_feedback_us());
+        let rec = executor.run(&circuit, &mut qubic, &mut rng);
+        qubic_latency.push(rec.total_feedback_us());
+    }
+
+    println!("active reset, 300 shots each:");
+    println!(
+        "  QubiC  (sequential): {:.3} µs per feedback",
+        qubic_latency.mean()
+    );
+    println!(
+        "  ARTERY (predicting): {:.3} µs per feedback",
+        artery_latency.mean()
+    );
+    println!(
+        "  speedup {:.2}x, prediction accuracy {:.1}%, commit rate {:.1}%",
+        qubic_latency.mean() / artery_latency.mean(),
+        100.0 * artery.stats().accuracy(),
+        100.0 * artery.stats().commit_rate()
+    );
+    println!(
+        "\nThe reset branch targets the measured qubit (case 3), so the armed pulse\n\
+         fires the moment the 2 µs readout ends — the ~160 ns classical pipeline\n\
+         disappears from the critical path (paper: 2.16 µs → 2.01 µs)."
+    );
+}

@@ -1,0 +1,77 @@
+//! Deterministic quantum teleportation with feed-forward corrections — the
+//! DQT workload of the paper's Fig. 13 — comparing the fidelity delivered by
+//! every feedback controller at growing relay distance.
+//!
+//! ```text
+//! cargo run --release --example teleportation
+//! ```
+
+use artery::baselines::Baseline;
+use artery::core::{ArteryConfig, ArteryController, Calibration};
+use artery::num::stats::Accumulator;
+use artery::sim::{Executor, FeedbackHandler, NoiseModel, SequentialHandler};
+use artery::workloads::dqt;
+
+/// Conditional fidelity: run noisily, replay the measurement record
+/// noiselessly, compare final states.
+fn fidelity<H: FeedbackHandler>(
+    circuit: &artery::circuit::Circuit,
+    handler: &mut H,
+    shots: usize,
+    label: &str,
+) -> f64 {
+    let mut noisy = Executor::new(NoiseModel::paper_device());
+    let mut clean = Executor::new(NoiseModel::noiseless());
+    let mut rng = artery::num::rng::rng_for(label);
+    let mut acc = Accumulator::new();
+    for _ in 0..shots {
+        let rec = noisy.run(circuit, handler, &mut rng);
+        let script: Vec<bool> = rec.feedback_outcomes.iter().map(|&(_, o)| o).collect();
+        let ideal = clean.run_scripted(circuit, &mut SequentialHandler::default(), &script, &mut rng);
+        acc.push(ideal.final_state.fidelity(&rec.final_state));
+    }
+    acc.mean()
+}
+
+fn main() {
+    let config = ArteryConfig::default();
+    let mut rng = artery::num::rng::rng_for("example/teleport/cal");
+    let calibration = Calibration::train(&config, &mut rng);
+    const SHOTS: usize = 60;
+
+    println!("deterministic quantum teleportation — conditional fidelity\n");
+    println!("distance  QubiC   Reuer   ARTERY");
+    for distance in [1usize, 2, 4, 6] {
+        let circuit = dqt(distance);
+        let f_qubic = fidelity(
+            &circuit,
+            &mut Baseline::qubic(),
+            SHOTS,
+            &format!("example/teleport/qubic/{distance}"),
+        );
+        let f_reuer = fidelity(
+            &circuit,
+            &mut Baseline::reuer(),
+            SHOTS,
+            &format!("example/teleport/reuer/{distance}"),
+        );
+        let mut artery = ArteryController::new(&circuit, &config, &calibration);
+        // Warm the per-site history first (the paper's training shots).
+        let mut warm = Executor::new(NoiseModel::noiseless());
+        for _ in 0..40 {
+            let _ = warm.run(&circuit, &mut artery, &mut rng);
+        }
+        let f_artery = fidelity(
+            &circuit,
+            &mut artery,
+            SHOTS,
+            &format!("example/teleport/artery/{distance}"),
+        );
+        println!("{distance:>8}  {f_qubic:.3}   {f_reuer:.3}   {f_artery:.3}");
+    }
+    println!(
+        "\nEach hop blocks on a mid-circuit measurement; ARTERY pre-executes the\n\
+         predicted Pauli correction during the readout, so the payload spends\n\
+         less time decohering — the gap widens with distance (paper Fig. 13 d)."
+    );
+}

@@ -1,0 +1,44 @@
+//! ARTERY — fast quantum feedback using branch prediction.
+//!
+//! This is the facade crate of the reproduction of *ARTERY: Fast Quantum
+//! Feedback using Branch Prediction* (Tian et al., ISCA 2025). It re-exports
+//! every subsystem so applications can depend on a single crate:
+//!
+//! * [`num`] — complex arithmetic and statistics,
+//! * [`circuit`] — dynamic-circuit IR with feedback instructions,
+//! * [`sim`] — noisy state-vector simulation,
+//! * [`readout`] — dispersive-readout pulse physics and demodulation,
+//! * [`pulse`] — waveforms and the adaptive-sampling codecs,
+//! * [`hw`] — the feedback-controller timing model and interconnect,
+//! * [`qec`] — surface-code error correction,
+//! * [`workloads`] — the paper's benchmark circuits,
+//! * [`baselines`] — QubiC / HERQULES / Salathé / Reuer controllers,
+//! * [`core`] — the branch predictor and feedback engine (the paper's
+//!   contribution).
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for an end-to-end run; the shortest possible
+//! taste:
+//!
+//! ```
+//! use artery::circuit::{CircuitBuilder, Gate, Qubit};
+//!
+//! let mut b = CircuitBuilder::new(1);
+//! b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(0)]).finish();
+//! let reset = b.build();
+//! assert_eq!(reset.feedback_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use artery_baselines as baselines;
+pub use artery_circuit as circuit;
+pub use artery_core as core;
+pub use artery_hw as hw;
+pub use artery_num as num;
+pub use artery_pulse as pulse;
+pub use artery_qec as qec;
+pub use artery_readout as readout;
+pub use artery_sim as sim;
+pub use artery_workloads as workloads;

@@ -1,0 +1,131 @@
+//! The pre-execution equivalence theorem (paper appendix): executing the
+//! predicted branch early and undoing it on a misprediction yields exactly
+//! the same quantum state as sequential feedback.
+//!
+//! The ARTERY controller and every sequential baseline plug into the same
+//! executor; given the same measurement record they must produce identical
+//! final states in a noiseless run — regardless of what the predictor
+//! guessed.
+
+use artery::baselines::Baseline;
+use artery::circuit::{Circuit, CircuitBuilder, Gate, Qubit};
+use artery::core::{ArteryConfig, ArteryController, Calibration};
+use artery::sim::{Executor, NoiseModel, SequentialHandler};
+use rand::Rng;
+
+fn random_feedback_circuit(seed: u64) -> Circuit {
+    let mut rng = artery::num::rng::rng_for_indexed("eq/circuit", seed);
+    let n = rng.gen_range(2..5);
+    let mut b = CircuitBuilder::new(n);
+    let gates = rng.gen_range(2..10);
+    for _ in 0..gates {
+        let q = Qubit(rng.gen_range(0..n));
+        match rng.gen_range(0..3) {
+            0 => b.gate(Gate::RY(rng.gen_range(-3.0..3.0)), &[q]),
+            1 => b.gate(Gate::H, &[q]),
+            _ => {
+                let mut q2 = Qubit(rng.gen_range(0..n));
+                while q2 == q {
+                    q2 = Qubit(rng.gen_range(0..n));
+                }
+                b.gate(Gate::CZ, &[q, q2])
+            }
+        };
+    }
+    // One or two case-1 feedbacks acting on qubits other than the measured
+    // one.
+    for _ in 0..rng.gen_range(1..3) {
+        let measured = Qubit(rng.gen_range(0..n));
+        let mut target = Qubit(rng.gen_range(0..n));
+        while target == measured {
+            target = Qubit(rng.gen_range(0..n));
+        }
+        let gate = if rng.gen() { Gate::X } else { Gate::Z };
+        b.feedback(measured).on_one(gate, &[target]).finish();
+    }
+    b.build()
+}
+
+#[test]
+fn artery_and_sequential_states_agree_on_random_circuits() {
+    let config = ArteryConfig {
+        train_pulses: 300,
+        ..ArteryConfig::paper()
+    };
+    let calibration = Calibration::train(&config, &mut artery::num::rng::rng_for("eq/cal"));
+    for seed in 0..24u64 {
+        let circuit = random_feedback_circuit(seed);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = artery::num::rng::rng_for_indexed("eq/run", seed);
+
+        // Reference arm: sequential handler, sampled outcomes.
+        let mut sequential = SequentialHandler::default();
+        let reference = exec.run(&circuit, &mut sequential, &mut rng);
+        let script: Vec<bool> = reference
+            .feedback_outcomes
+            .iter()
+            .map(|&(_, o)| o)
+            .collect();
+
+        // ARTERY arm: same measurement record, predictions and recoveries
+        // happen internally.
+        let mut controller = ArteryController::new(&circuit, &config, &calibration);
+        let replay = exec.run_scripted(&circuit, &mut controller, &script, &mut rng);
+        let fidelity = replay.final_state.fidelity(&reference.final_state);
+        assert!(
+            fidelity > 1.0 - 1e-9,
+            "seed {seed}: states diverge (fidelity {fidelity})"
+        );
+    }
+}
+
+#[test]
+fn all_baselines_agree_with_each_other() {
+    for seed in 0..8u64 {
+        let circuit = random_feedback_circuit(seed);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = artery::num::rng::rng_for_indexed("eq/base", seed);
+        let mut qubic = Baseline::qubic();
+        let reference = exec.run(&circuit, &mut qubic, &mut rng);
+        let script: Vec<bool> = reference
+            .feedback_outcomes
+            .iter()
+            .map(|&(_, o)| o)
+            .collect();
+        for baseline in Baseline::all() {
+            let mut handler = baseline;
+            let replay = exec.run_scripted(&circuit, &mut handler, &script, &mut rng);
+            assert!(
+                replay.final_state.fidelity(&reference.final_state) > 1.0 - 1e-9,
+                "seed {seed}: {} diverges",
+                baseline.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_never_changes_measured_statistics() {
+    // Under a forced 50/50 feedback, ARTERY's mispredictions must not bias
+    // the outcome distribution (recovery acts after the readout).
+    let config = ArteryConfig {
+        train_pulses: 300,
+        ..ArteryConfig::paper()
+    };
+    let calibration = Calibration::train(&config, &mut artery::num::rng::rng_for("eq/cal2"));
+    let mut b = CircuitBuilder::new(2);
+    b.gate(Gate::H, &[Qubit(0)]);
+    b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
+    let circuit = b.build();
+    let mut exec = Executor::new(NoiseModel::noiseless());
+    let mut rng = artery::num::rng::rng_for("eq/stats");
+    let mut controller = ArteryController::new(&circuit, &config, &calibration);
+    let mut ones = 0usize;
+    const N: usize = 400;
+    for _ in 0..N {
+        let rec = exec.run(&circuit, &mut controller, &mut rng);
+        ones += usize::from(rec.clbits[0]);
+    }
+    let freq = ones as f64 / N as f64;
+    assert!((freq - 0.5).abs() < 0.08, "outcome frequency {freq}");
+}

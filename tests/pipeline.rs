@@ -1,0 +1,180 @@
+//! Integration of the classification pipeline: readout physics →
+//! demodulation → trajectory table → Bayesian predictor → feedback trigger →
+//! controller timing.
+
+use artery::core::{ArteryConfig, BranchPredictor, Calibration};
+use artery::hw::trigger::{DynamicTimingController, Thresholds};
+use artery::hw::{ControllerTiming, HardwareParams};
+use artery::readout::{Demodulator, IqCenters};
+
+fn calibration() -> (ArteryConfig, Calibration) {
+    let config = ArteryConfig {
+        train_pulses: 500,
+        ..ArteryConfig::paper()
+    };
+    let cal = Calibration::train(&config, &mut artery::num::rng::rng_for("pipe/cal"));
+    (config, cal)
+}
+
+#[test]
+fn probability_stream_drives_the_trigger() {
+    let (config, cal) = calibration();
+    let predictor = BranchPredictor::new(&cal, &config);
+    let timing = ControllerTiming::new(HardwareParams::paper(), config.window_ns);
+    let trigger = DynamicTimingController::new(Thresholds::symmetric(config.theta));
+    let mut rng = artery::num::rng::rng_for("pipe/trigger");
+    let mut fired = 0usize;
+    const N: usize = 60;
+    for k in 0..N {
+        let pulse = cal.model().synthesize(k % 2 == 0, &mut rng);
+        let stream = predictor.probability_stream(&pulse, 0.5);
+        if let Some(t) = trigger.first_trigger(stream, &timing, 0.0) {
+            fired += 1;
+            // Triggers must fire inside the readout and the pulse must start
+            // after the trigger.
+            assert!(t.fired_at_ns < 2100.0);
+            assert!(t.branch_start_ns > t.fired_at_ns);
+        }
+    }
+    assert!(fired > N / 2, "trigger fired only {fired}/{N} times");
+}
+
+#[test]
+fn predictor_decision_matches_trigger_decision() {
+    let (config, cal) = calibration();
+    let predictor = BranchPredictor::new(&cal, &config);
+    let timing = ControllerTiming::new(HardwareParams::paper(), config.window_ns);
+    let trigger = DynamicTimingController::new(predictor.thresholds());
+    let mut rng = artery::num::rng::rng_for("pipe/consistency");
+    for k in 0..40 {
+        let pulse = cal.model().synthesize(k % 3 == 0, &mut rng);
+        let shot = predictor.predict_shot(&pulse, 0.5);
+        let stream = predictor.probability_stream(&pulse, 0.5);
+        let trig = trigger.first_trigger(stream, &timing, 0.0);
+        match (shot.decision, trig) {
+            (Some(d), Some(t)) => {
+                assert_eq!(d.window, t.window, "decision window mismatch");
+                assert_eq!(d.branch, t.branch, "decision branch mismatch");
+            }
+            (None, None) => {}
+            (d, t) => panic!("decision {d:?} vs trigger {t:?} disagree"),
+        }
+    }
+}
+
+#[test]
+fn calibrated_centers_classify_like_ideal_centers() {
+    let (config, cal) = calibration();
+    let demod = Demodulator::for_model(cal.model(), config.window_ns);
+    let ideal = IqCenters::ideal(cal.model());
+    let mut rng = artery::num::rng::rng_for("pipe/centers");
+    let mut agree = 0usize;
+    const N: usize = 300;
+    for k in 0..N {
+        let pulse = cal.model().synthesize(k % 2 == 0, &mut rng);
+        let a = cal.centers().classify_full(&pulse, &demod);
+        let b = ideal.classify_full(&pulse, &demod);
+        agree += usize::from(a == b);
+    }
+    assert!(agree as f64 / N as f64 > 0.98, "centers disagree: {agree}/{N}");
+}
+
+#[test]
+fn skewed_prior_reduces_decision_time() {
+    let (config, cal) = calibration();
+    let predictor = BranchPredictor::new(&cal, &config);
+    let mut rng = artery::num::rng::rng_for("pipe/prior");
+    let mut window_uniform = Vec::new();
+    let mut window_skewed = Vec::new();
+    for _ in 0..60 {
+        let pulse = cal.model().synthesize(false, &mut rng);
+        if let Some(d) = predictor.predict_shot(&pulse, 0.5).decision {
+            window_uniform.push(d.window as f64);
+        }
+        if let Some(d) = predictor.predict_shot(&pulse, 0.02).decision {
+            window_skewed.push(d.window as f64);
+        }
+    }
+    let mu = artery::num::stats::mean(&window_uniform);
+    let ms = artery::num::stats::mean(&window_skewed);
+    assert!(
+        ms < mu,
+        "skewed prior should decide earlier: skewed {ms:.1} vs uniform {mu:.1}"
+    );
+}
+
+#[test]
+fn multiplexed_channels_feed_the_predictor() {
+    // §6.1: three qubits share a readout line via frequency multiplexing.
+    // Each demultiplexed channel view must still drive the trajectory
+    // predictor accurately when the predictor is calibrated on that
+    // channel's carrier.
+    use artery::readout::MultiplexedLine;
+
+    let line = MultiplexedLine::paper();
+    let base = ArteryConfig {
+        train_pulses: 400,
+        ..ArteryConfig::paper()
+    };
+    // Calibrate a predictor per channel: training pulses are channel views
+    // of *multiplexed* captures, so the calibration sees the same co-channel
+    // interference the predictor will face live.
+    let mut rng = artery::num::rng::rng_for("pipe/mux");
+    for channel in 0..line.num_channels() {
+        let config = base;
+        let model = line.channels()[channel];
+        let train: Vec<artery::readout::ReadoutPulse> = (0..400)
+            .map(|k| {
+                let states = [k % 2 == 0, k % 3 == 0, (k / 3) % 2 == 0];
+                line.channel_view(&line.synthesize(&states, &mut rng), channel)
+            })
+            .collect();
+        let cal = Calibration::train_with_pulses(&model, &config, &train);
+        let predictor = BranchPredictor::new(&cal, &config);
+        let mut correct = 0usize;
+        const N: usize = 120;
+        for k in 0..N {
+            let states = [k % 2 == 0, k % 3 == 0, (k / 2) % 2 == 0];
+            let mux = line.synthesize(&states, &mut rng);
+            let view = line.channel_view(&mux, channel);
+            if let Some(d) = predictor.predict_shot(&view, 0.5).decision {
+                correct += usize::from(d.branch == states[channel]);
+            } else {
+                // No commitment: fall back to full classification.
+                correct += usize::from(
+                    predictor.final_classification(&view) == states[channel],
+                );
+            }
+        }
+        let acc = correct as f64 / N as f64;
+        assert!(acc > 0.85, "channel {channel} accuracy {acc}");
+    }
+}
+
+#[test]
+fn cross_program_table_update_keeps_accuracy() {
+    let (config, mut cal) = calibration();
+    let mut rng = artery::num::rng::rng_for("pipe/update");
+    // Refine the table with 200 extra labelled pulses (the paper's dynamic
+    // cross-program update), then verify accuracy did not degrade.
+    for k in 0..200 {
+        let state = k % 2 == 0;
+        let pulse = cal.model().synthesize(state, &mut rng);
+        cal.update_with(&pulse, state);
+    }
+    let predictor = BranchPredictor::new(&cal, &config);
+    let mut correct = 0usize;
+    let mut committed = 0usize;
+    for k in 0..200 {
+        let state = k % 2 == 0;
+        let pulse = cal.model().synthesize(state, &mut rng);
+        let reported = predictor.final_classification(&pulse);
+        if let Some(d) = predictor.predict_shot(&pulse, 0.5).decision {
+            committed += 1;
+            correct += usize::from(d.branch == reported);
+        }
+    }
+    assert!(committed > 100);
+    let acc = correct as f64 / committed as f64;
+    assert!(acc > 0.85, "post-update accuracy {acc}");
+}

@@ -1,0 +1,221 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use artery::circuit::{CircuitBuilder, Gate, GateApp, Qubit};
+use artery::core::predictor::fuse;
+use artery::pulse::codec::{Codec, Combined, Huffman, RunLength};
+use artery::sim::StateVector;
+use proptest::prelude::*;
+
+fn arbitrary_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        (-6.3f64..6.3).prop_map(Gate::RX),
+        (-6.3f64..6.3).prop_map(Gate::RY),
+        (-6.3f64..6.3).prop_map(Gate::RZ),
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::H),
+        Just(Gate::S),
+        Just(Gate::T),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_round_trips(samples in proptest::collection::vec(any::<i16>(), 0..600)) {
+        for codec in [&Huffman as &dyn Codec, &RunLength, &Combined] {
+            let decoded = codec.decode(&codec.encode(&samples)).expect("round trip");
+            prop_assert_eq!(&decoded, &samples, "codec {} failed", codec.name());
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_on_runny_data(
+        runs in proptest::collection::vec((1usize..40, -300i16..300), 1..60)
+    ) {
+        let samples: Vec<i16> = runs
+            .iter()
+            .flat_map(|&(n, v)| std::iter::repeat_n(v, n))
+            .collect();
+        for codec in [&Huffman as &dyn Codec, &RunLength, &Combined] {
+            let decoded = codec.decode(&codec.encode(&samples)).expect("round trip");
+            prop_assert_eq!(&decoded, &samples);
+        }
+    }
+
+    #[test]
+    fn gate_then_inverse_is_identity(gates in proptest::collection::vec(arbitrary_gate(), 1..12)) {
+        let mut s = StateVector::zero(1);
+        s.apply_gate(Gate::RY(0.7), &[Qubit(0)]); // non-trivial start
+        let reference = s.clone();
+        for g in &gates {
+            s.apply_gate(*g, &[Qubit(0)]);
+        }
+        for g in gates.iter().rev() {
+            s.apply_gate(g.inverse(), &[Qubit(0)]);
+        }
+        prop_assert!(s.fidelity(&reference) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn state_norm_is_preserved(gates in proptest::collection::vec((arbitrary_gate(), 0usize..3), 1..20)) {
+        let mut s = StateVector::zero(3);
+        for (g, q) in gates {
+            s.apply_gate(g, &[Qubit(q)]);
+        }
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bayes_fusion_is_bounded_and_monotone(
+        ph in 0.0f64..1.0,
+        pr in 0.0f64..1.0,
+        delta in 0.001f64..0.2,
+    ) {
+        let p = fuse(ph, pr);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Monotone in each argument.
+        if ph + delta <= 1.0 {
+            prop_assert!(fuse(ph + delta, pr) >= p - 1e-12);
+        }
+        if pr + delta <= 1.0 {
+            prop_assert!(fuse(ph, pr + delta) >= p - 1e-12);
+        }
+        // Complement symmetry.
+        prop_assert!((fuse(1.0 - ph, 1.0 - pr) - (1.0 - p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_recovery_cancels_exactly(
+        gates in proptest::collection::vec(arbitrary_gate(), 1..8),
+        start in -3.0f64..3.0,
+    ) {
+        // Pre-executing a branch and then undoing it must restore the state
+        // exactly — the recovery path of a misprediction.
+        let apps: Vec<GateApp> = gates.iter().map(|g| GateApp::new(*g, &[Qubit(1)])).collect();
+        let mut s = StateVector::zero(2);
+        s.apply_gate(Gate::RY(start), &[Qubit(1)]);
+        let reference = s.clone();
+        for app in &apps {
+            s.apply_gate(app.gate, &app.qubits);
+        }
+        for app in apps.iter().rev() {
+            let inv = app.inverse();
+            s.apply_gate(inv.gate, &inv.qubits);
+        }
+        prop_assert!(s.fidelity(&reference) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn circuit_builder_never_misindexes(
+        n in 1usize..6,
+        ops in proptest::collection::vec((0usize..6, 0usize..6), 0..20)
+    ) {
+        let mut b = CircuitBuilder::new(n);
+        for (a, t) in ops {
+            let qa = Qubit(a % n);
+            let qt = Qubit(t % n);
+            if qa == qt {
+                b.gate(Gate::H, &[qa]);
+            } else {
+                b.gate(Gate::CZ, &[qa, qt]);
+            }
+        }
+        let c = b.build();
+        prop_assert_eq!(c.num_qubits(), n);
+        // Every instruction's qubits are in range.
+        for inst in c.instructions() {
+            for q in inst.qubits() {
+                prop_assert!(q.0 < n);
+            }
+        }
+    }
+
+    #[test]
+    fn matching_decoder_always_clears_the_syndrome(
+        errors in proptest::collection::vec((0usize..8, 0usize..25), 0..6),
+        meas_flips in proptest::collection::vec((0usize..8, 0usize..12), 0..4),
+    ) {
+        use artery::qec::matching::MatchingDecoder;
+        use artery::qec::RotatedSurfaceCode;
+
+        let code = RotatedSurfaceCode::new(5);
+        let decoder = MatchingDecoder::build(&code);
+        let mut frame = vec![false; code.num_data_qubits()];
+        let mut rounds: Vec<Vec<bool>> = Vec::new();
+        for t in 0..8usize {
+            for &(round, q) in &errors {
+                if round == t {
+                    frame[q] = !frame[q];
+                }
+            }
+            let mut syndrome = code.z_syndrome(&frame);
+            for &(round, s) in &meas_flips {
+                if round == t {
+                    syndrome[s] = !syndrome[s];
+                }
+            }
+            rounds.push(syndrome);
+        }
+        rounds.push(code.z_syndrome(&frame)); // final perfect round
+        let events = MatchingDecoder::detection_events(&rounds);
+        for q in decoder.decode(&events) {
+            frame[q] = !frame[q];
+        }
+        // Whatever the matching chose, the residual must be undetectable.
+        prop_assert!(code.z_syndrome(&frame).iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn trajectory_table_estimates_are_probabilities(
+        k in 1usize..10,
+        buckets in 1usize..8,
+        observations in proptest::collection::vec((0usize..64usize, any::<bool>()), 0..200),
+    ) {
+        use artery::core::predictor::TrajectoryTable;
+        let mut table = TrajectoryTable::new(k, buckets);
+        let patterns = 1usize << k;
+        for &(raw, label) in &observations {
+            table.record(raw % buckets, raw % patterns, label);
+        }
+        for b in 0..buckets {
+            for p in 0..patterns {
+                let est = table.p_read_1(b, p);
+                prop_assert!(est > 0.0 && est < 1.0, "estimate {est} saturated");
+            }
+        }
+    }
+
+    #[test]
+    fn rle_tokens_expand_back_exactly(samples in proptest::collection::vec(-50i16..50, 0..400)) {
+        use artery::pulse::codec::{rle_expand, rle_tokens};
+        let tokens = rle_tokens(&samples);
+        // No two consecutive tokens share a value (maximal runs).
+        for pair in tokens.windows(2) {
+            prop_assert!(pair[0].1 != pair[1].1 || pair[0].0 == u16::MAX);
+        }
+        prop_assert_eq!(rle_expand(&tokens).expect("valid tokens"), samples);
+    }
+
+    #[test]
+    fn demodulated_pulse_classifies_toward_its_state(state in any::<bool>(), seed in 0u64..500) {
+        let model = artery::readout::ReadoutModel::paper();
+        let demod = artery::readout::Demodulator::for_model(&model, 30.0);
+        let centers = artery::readout::IqCenters::ideal(&model);
+        let mut rng = artery::num::rng::rng_for_indexed("prop/demod", seed);
+        let pulse = model.synthesize(state, &mut rng);
+        // Full integration classifies correctly except for rare noise/decay
+        // events; check the margin sign statistically by accepting either
+        // outcome but requiring a finite margin.
+        let iq = demod.integrate_prefix(&pulse, pulse.len());
+        let margin = centers.margin(iq);
+        prop_assert!(margin.is_finite());
+        // A decisive margin (more than half the center separation) can only
+        // occur on the true state's side unless the qubit decayed mid-pulse.
+        if pulse.decayed_at_ns.is_none() && margin.abs() > 0.6 {
+            prop_assert_eq!(centers.classify(iq), state);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! QEC integration: the surface-code substrate and the feedback engine
+//! working together.
+
+use artery::circuit::analysis::{analyze_circuit, PreExecCase};
+use artery::core::{ArteryConfig, ArteryController, Calibration};
+use artery::qec::scaling::{CycleNoiseModel, ScalingModel};
+use artery::qec::{LookupDecoder, MemoryExperiment, RotatedSurfaceCode};
+use artery::sim::{Executor, NoiseModel};
+use artery::workloads::surface17_z_cycle;
+
+#[test]
+fn faster_feedback_means_lower_logical_error() {
+    let noise = CycleNoiseModel::google_calibrated();
+    let mut rng = artery::num::rng::rng_for("qec-it/logical");
+    let slow = MemoryExperiment::new(RotatedSurfaceCode::new(3), noise.p_data(2.16), noise.p_meas)
+        .logical_error_rate(15, 800, &mut rng);
+    let fast = MemoryExperiment::new(RotatedSurfaceCode::new(3), noise.p_data(0.45), noise.p_meas)
+        .logical_error_rate(15, 800, &mut rng);
+    assert!(
+        fast < slow,
+        "fast feedback {fast:.3} should beat slow {slow:.3}"
+    );
+}
+
+#[test]
+fn qec_cycle_circuit_runs_under_artery() {
+    let config = ArteryConfig {
+        train_pulses: 400,
+        ..ArteryConfig::paper()
+    };
+    let cal = Calibration::train(&config, &mut artery::num::rng::rng_for("qec-it/cal"));
+    let circuit = surface17_z_cycle(1);
+    let mut exec = Executor::new(NoiseModel::noiseless());
+    let mut controller = ArteryController::new(&circuit, &config, &cal);
+    let mut rng = artery::num::rng::rng_for("qec-it/run");
+    for _ in 0..8 {
+        let rec = exec.run(&circuit, &mut controller, &mut rng);
+        assert_eq!(rec.feedback_outcomes.len(), 8);
+        // Noiseless |0…0⟩ Z-syndromes never fire; resets read 0.
+        assert!(rec.clbits.iter().all(|&b| !b));
+    }
+    // Syndrome sites are strongly zero-biased, so history commits quickly.
+    assert!(controller.stats().commit_rate() > 0.5);
+}
+
+#[test]
+fn cycle_circuit_case_analysis_is_stable() {
+    let circuit = surface17_z_cycle(3);
+    let analyses = analyze_circuit(&circuit);
+    assert_eq!(analyses.len(), 24);
+    for a in &analyses {
+        assert!(matches!(
+            a.case,
+            PreExecCase::Independent | PreExecCase::OnMeasuredQubit
+        ));
+    }
+}
+
+#[test]
+fn lookup_decoder_handles_all_weight_one_and_two_errors() {
+    let code = RotatedSurfaceCode::new(3);
+    let decoder = LookupDecoder::build(&code);
+    let mut failures = 0usize;
+    let mut cases = 0usize;
+    for a in 0..9usize {
+        for b in a..9usize {
+            let mut frame = vec![false; 9];
+            frame[a] = true;
+            if b != a {
+                frame[b] = true;
+            }
+            let syndrome = code.z_syndrome(&frame);
+            decoder.apply(&syndrome, &mut frame);
+            cases += 1;
+            assert!(code.z_syndrome(&frame).iter().all(|&s| !s));
+            failures += usize::from(code.is_logical_x_flip(&frame));
+        }
+    }
+    // A distance-3 code only guarantees weight-1 correction; weight-2
+    // errors are beyond the correction radius and about half of them decode
+    // to the wrong equivalence class. Require: no more than half of all
+    // patterns fail, and every failure involves a weight-2 error (weight-1
+    // correctness is asserted in the decoder's unit tests).
+    assert!(
+        failures * 2 <= cases,
+        "{failures}/{cases} residual logicals — decoder worse than min-weight"
+    );
+    assert!(failures > 0, "weight-2 errors cannot all be correctable at d = 3");
+}
+
+#[test]
+fn tableau_runs_distance5_syndrome_extraction() {
+    // 25 data + 12 Z-ancilla qubits — far beyond the dense state vector's
+    // comfortable range, trivial for the stabilizer tableau. Inject X
+    // errors, extract syndromes through real CNOT ladders, decode with the
+    // matching decoder, and verify the tableau's residual state is clean.
+    use artery::circuit::Qubit;
+    use artery::qec::matching::MatchingDecoder;
+    use artery::qec::{RotatedSurfaceCode, Tableau};
+
+    let code = RotatedSurfaceCode::new(5);
+    let decoder = MatchingDecoder::build(&code);
+    let n_data = code.num_data_qubits();
+    let n_anc = code.z_stabilizers().count();
+    let mut rng = artery::num::rng::rng_for("qec-it/tableau-d5");
+
+    let extract = |t: &mut Tableau, rng: &mut rand::rngs::StdRng| -> Vec<bool> {
+        code.z_stabilizers()
+            .enumerate()
+            .map(|(s, stab)| {
+                let ancilla = Qubit(n_data + s);
+                for &d in &stab.support {
+                    t.cnot(Qubit(d), ancilla);
+                }
+                let bit = t.measure(ancilla, rng);
+                t.reset(ancilla, rng);
+                bit
+            })
+            .collect()
+    };
+
+    for trial in 0..8 {
+        let mut t = Tableau::zero(n_data + n_anc);
+        // Inject one or two X errors on data qubits.
+        let mut frame = vec![false; n_data];
+        let injected = 1 + trial % 2;
+        for k in 0..injected {
+            let q = (trial * 7 + k * 11) % n_data;
+            t.x_gate(Qubit(q));
+            frame[q] ^= true;
+        }
+        // Extraction through the circuit must match the analytic syndrome.
+        let syndrome = extract(&mut t, &mut rng);
+        assert_eq!(syndrome, code.z_syndrome(&frame), "trial {trial}");
+        // Decode (single noiseless round → events are the syndrome bits)
+        // and apply the correction as physical X gates on the tableau.
+        let rounds = vec![syndrome];
+        let events = MatchingDecoder::detection_events(&rounds);
+        for q in decoder.decode(&events) {
+            t.x_gate(Qubit(q));
+            frame[q] ^= true;
+        }
+        // Post-correction extraction must be all-clear, and at these error
+        // weights (≤ 2 < (d+1)/2 = 3) the correction is exact.
+        assert!(extract(&mut t, &mut rng).iter().all(|&b| !b), "trial {trial}");
+        assert!(!code.is_logical_x_flip(&frame), "trial {trial} left a logical");
+    }
+}
+
+#[test]
+fn scaling_model_consistent_with_memory_results() {
+    let scaling = ScalingModel::paper_calibrated();
+    // Savings must be positive for small codes, zero beyond the crossover,
+    // and monotonically non-increasing in between.
+    let savings: Vec<f64> = (3..=17)
+        .step_by(2)
+        .map(|d| scaling.effective_saving_us(d))
+        .collect();
+    assert!(savings[0] > 0.0);
+    assert_eq!(*savings.last().expect("non-empty"), 0.0);
+    for pair in savings.windows(2) {
+        assert!(pair[1] <= pair[0] + 1e-12);
+    }
+}

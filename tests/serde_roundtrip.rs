@@ -1,0 +1,80 @@
+//! Serialization round trips: circuits, datasets and configurations are
+//! data — they must survive JSON without loss (the paper's workflow stores
+//! its 4,000-pulse dataset and calibrated parameters between runs).
+
+use artery::circuit::{Circuit, Gate, Qubit};
+use artery::core::ArteryConfig;
+use artery::readout::{Dataset, ReadoutModel, ReadoutPulse};
+
+#[test]
+fn circuit_round_trips_through_json() {
+    let circuit = artery::workloads::rcnot(3);
+    let json = serde_json::to_string(&circuit).expect("serialize circuit");
+    let back: Circuit = serde_json::from_str(&json).expect("deserialize circuit");
+    assert_eq!(back, circuit);
+    assert_eq!(back.feedback_count(), 3);
+}
+
+#[test]
+fn all_workloads_serialize() {
+    for bench in artery::workloads::Benchmark::table1_sweep() {
+        let circuit = bench.circuit();
+        let json = serde_json::to_string(&circuit).expect("serialize");
+        let back: Circuit = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, circuit, "{bench} diverged through JSON");
+    }
+}
+
+#[test]
+fn gate_angles_survive_exactly() {
+    let gate = Gate::RX(0.123456789012345);
+    let json = serde_json::to_string(&gate).expect("serialize gate");
+    let back: Gate = serde_json::from_str(&json).expect("deserialize gate");
+    assert_eq!(back, gate);
+}
+
+#[test]
+fn dataset_round_trips_through_json() {
+    let model = ReadoutModel::paper();
+    let mut rng = artery::num::rng::rng_for("serde/dataset");
+    let dataset = Dataset::generate(&model, 0.3, 8, &mut rng);
+    let json = serde_json::to_string(&dataset).expect("serialize dataset");
+    let back: Dataset = serde_json::from_str(&json).expect("deserialize dataset");
+    assert_eq!(back.len(), dataset.len());
+    assert_eq!(back.p1(), dataset.p1());
+    assert_eq!(back.pulses(), dataset.pulses());
+}
+
+#[test]
+fn pulse_labels_and_decay_survive() {
+    let model = ReadoutModel {
+        t1_ns: 1000.0,
+        ..ReadoutModel::paper()
+    };
+    let mut rng = artery::num::rng::rng_for("serde/pulse");
+    // Find a decayed pulse to exercise the Option field.
+    let pulse = loop {
+        let p = model.synthesize(true, &mut rng);
+        if p.decayed_at_ns.is_some() {
+            break p;
+        }
+    };
+    let json = serde_json::to_string(&pulse).expect("serialize pulse");
+    let back: ReadoutPulse = serde_json::from_str(&json).expect("deserialize pulse");
+    assert_eq!(back, pulse);
+}
+
+#[test]
+fn config_round_trips_and_stays_valid() {
+    let config = ArteryConfig::paper();
+    let json = serde_json::to_string(&config).expect("serialize config");
+    let back: ArteryConfig = serde_json::from_str(&json).expect("deserialize config");
+    assert_eq!(back, config);
+    assert_eq!(back.table_bytes(), config.table_bytes());
+}
+
+#[test]
+fn qubit_indices_are_transparent() {
+    let q = Qubit(7);
+    assert_eq!(serde_json::to_string(&q).expect("serialize"), "7");
+}
