@@ -11,7 +11,7 @@
 //! — the networks involved are tiny (tens of weights), matching what fits in
 //! FPGA fabric.
 
-use artery_readout::{Demodulator, ReadoutModel, ReadoutPulse};
+use artery_readout::{Demodulator, IqPoint, ReadoutModel, ReadoutPulse};
 use rand::Rng;
 
 /// A small feed-forward classifier over readout-pulse features.
@@ -114,13 +114,19 @@ impl FnnClassifier {
 
     /// Cumulative-IQ features at evenly spaced checkpoints.
     fn features(&self, pulse: &ReadoutPulse) -> Vec<f64> {
-        let traj = self.demod.cumulative_trajectory(pulse);
+        self.features_from_trajectory(&self.demod.cumulative_trajectory(pulse))
+    }
+
+    /// Features from an already-demodulated cumulative trajectory (e.g. one
+    /// replayed from a recorded trace instead of a raw pulse).
+    fn features_from_trajectory(&self, traj: &[IqPoint]) -> Vec<f64> {
         let n = traj.len().max(1);
         let mut out = Vec::with_capacity(self.checkpoints * 2);
         for k in 0..self.checkpoints {
             let idx = ((k + 1) * n / self.checkpoints).min(n) - 1;
-            out.push(traj[idx].i * self.feature_scale);
-            out.push(traj[idx].q * self.feature_scale);
+            let point = traj.get(idx).copied().unwrap_or_default();
+            out.push(point.i * self.feature_scale);
+            out.push(point.q * self.feature_scale);
         }
         out
     }
@@ -173,6 +179,22 @@ impl FnnClassifier {
     #[must_use]
     pub fn classify(&self, pulse: &ReadoutPulse) -> bool {
         self.probability(pulse) > 0.5
+    }
+
+    /// Probability of `|1⟩` from an already-demodulated cumulative
+    /// trajectory. Lets trace-driven harnesses evaluate the network from
+    /// recorded IQ checkpoints without re-synthesizing the pulse; the
+    /// trajectory must use the same window length the network was trained
+    /// with.
+    #[must_use]
+    pub fn probability_from_trajectory(&self, traj: &[IqPoint]) -> f64 {
+        self.forward(&self.features_from_trajectory(traj)).1
+    }
+
+    /// Hard classification from an already-demodulated trajectory.
+    #[must_use]
+    pub fn classify_trajectory(&self, traj: &[IqPoint]) -> bool {
+        self.probability_from_trajectory(traj) > 0.5
     }
 
     /// Accuracy against ground-truth labels.
@@ -272,5 +294,27 @@ mod tests {
     fn accuracy_of_empty_set_is_zero() {
         let (_, net, _) = trained();
         assert_eq!(net.accuracy(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn trajectory_api_matches_pulse_api() {
+        let (model, net, _) = trained();
+        let mut rng = rng_for("fnn/traj");
+        for state in [false, true] {
+            let pulse = model.synthesize(state, &mut rng);
+            let traj = net.demod.cumulative_trajectory(&pulse);
+            assert_eq!(
+                net.probability_from_trajectory(&traj),
+                net.probability(&pulse)
+            );
+            assert_eq!(net.classify_trajectory(&traj), net.classify(&pulse));
+        }
+    }
+
+    #[test]
+    fn empty_trajectory_is_handled() {
+        let (_, net, _) = trained();
+        let p = net.probability_from_trajectory(&[]);
+        assert!((0.0..=1.0).contains(&p));
     }
 }

@@ -1,0 +1,366 @@
+//! Trace-driven predictor evaluation — the CBP workflow applied to §6.
+//!
+//! Live evaluation pays for the state-vector simulator and the readout
+//! synthesizer on every shot of every configuration. This harness pays once:
+//! it records the six-workload corpus through a `TraceRecorder`, then fans a
+//! predictor panel — a θ grid, the Fig. 14 feature ablations, Fig. 16-style
+//! table geometries and the HERQULES-class FNN baseline — across OS threads,
+//! one trace shard per worker, and merges the per-shard statistics
+//! deterministically into an accuracy/commit-rate/latency leaderboard.
+//!
+//! Two invariants are checked in the output:
+//!
+//! * replaying the *recorded* configuration reproduces the live run's
+//!   resolved/committed/correct counts and latency distribution bit-for-bit,
+//! * replaying the whole panel is ≥ 10× faster than live re-simulation of
+//!   the same panel would have been.
+
+use std::time::Instant;
+
+use artery_baselines::fnn::{FnnClassifier, FnnConfig};
+use artery_bench::report::{banner, f2, f3, write_json, Table};
+use artery_bench::runner::{self, WARMUP_SHOTS};
+use artery_bench::shots_or;
+use artery_core::{ArteryConfig, ArteryController, Calibration, ShotStats};
+use artery_readout::{Dataset, IqPoint};
+use artery_sim::{Executor, NoiseModel};
+use artery_trace::{Replayer, TraceHeader, TraceReader, TraceRecorder, TraceWriter};
+use artery_workloads::Benchmark;
+use serde::Serialize;
+
+/// One recorded workload: its trace bytes plus the live run's ground truth.
+struct Shard {
+    name: String,
+    bytes: Vec<u8>,
+    /// Events recorded during warm-up (replay resets its stats after them,
+    /// mirroring the live train/measure split).
+    warmup_events: u64,
+    live_stats: ShotStats,
+    live_secs: f64,
+}
+
+/// One replayed predictor configuration.
+struct PanelEntry {
+    name: String,
+    config: ArteryConfig,
+    calibration: Calibration,
+}
+
+/// Per-shard replay results, one `ShotStats` per panel entry.
+struct ShardResult {
+    panel_stats: Vec<ShotStats>,
+    fnn_correct: u64,
+    fnn_total: u64,
+}
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    accuracy: f64,
+    commit_rate: f64,
+    mean_latency_us: f64,
+    resolved: u64,
+}
+
+#[derive(Serialize)]
+struct Results {
+    rows: Vec<Row>,
+    live_record_secs: f64,
+    replay_secs: f64,
+    panel_size: usize,
+    speedup_vs_live_panel: f64,
+}
+
+fn record_corpus(config: &ArteryConfig, calibration: &Calibration, shots: usize) -> Vec<Shard> {
+    let mut shards = Vec::new();
+    for bench in Benchmark::trace_corpus() {
+        let name = bench.to_string();
+        let circuit = bench.circuit();
+        let controller = ArteryController::new(&circuit, config, calibration);
+        let header = TraceHeader::new(config, &name);
+        let writer = TraceWriter::new(Vec::new(), &header).expect("start trace");
+        let mut recorder = TraceRecorder::new(controller, writer);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = artery_num::rng::rng_for(&format!("trace-eval/{name}"));
+        for _ in 0..WARMUP_SHOTS {
+            let _ = exec.run(&circuit, &mut recorder, &mut rng);
+        }
+        recorder.controller_mut().reset_stats();
+        let warmup_events = recorder.events_recorded();
+        let start = Instant::now();
+        for _ in 0..shots {
+            let _ = exec.run(&circuit, &mut recorder, &mut rng);
+        }
+        let live_secs = start.elapsed().as_secs_f64();
+        let (controller, bytes) = recorder.finish().expect("finish trace");
+        println!(
+            "recorded {name}: {} events, {} KiB, {:.2} s live",
+            warmup_events + controller.stats().resolved,
+            bytes.len() / 1024,
+            live_secs
+        );
+        shards.push(Shard {
+            name,
+            bytes,
+            warmup_events,
+            live_stats: controller.stats().clone(),
+            live_secs,
+        });
+    }
+    shards
+}
+
+fn build_panel(config: &ArteryConfig, calibration: &Calibration) -> Vec<PanelEntry> {
+    let mut panel = Vec::new();
+    for theta in [0.85, config.theta, 0.95, 0.99] {
+        panel.push(PanelEntry {
+            name: if theta == config.theta {
+                format!("theta={theta} (recorded)")
+            } else {
+                format!("theta={theta}")
+            },
+            config: ArteryConfig { theta, ..*config },
+            calibration: calibration.clone(),
+        });
+    }
+    panel.push(PanelEntry {
+        name: "history-only".into(),
+        config: ArteryConfig {
+            use_trajectory: false,
+            ..*config
+        },
+        calibration: calibration.clone(),
+    });
+    panel.push(PanelEntry {
+        name: "trajectory-only".into(),
+        config: ArteryConfig {
+            use_history: false,
+            ..*config
+        },
+        calibration: calibration.clone(),
+    });
+    // Table-geometry ablations replay against their own retrained tables —
+    // the trace supplies only window states and outcomes, so any
+    // calibration can consume it.
+    let k4 = ArteryConfig { k: 4, ..*config };
+    panel.push(PanelEntry {
+        name: "k=4".into(),
+        calibration: runner::calibration_for(&k4, "trace-eval/k4"),
+        config: k4,
+    });
+    let one_bucket = ArteryConfig {
+        time_buckets: 1,
+        ..*config
+    };
+    panel.push(PanelEntry {
+        name: "buckets=1".into(),
+        calibration: runner::calibration_for(&one_bucket, "trace-eval/b1"),
+        config: one_bucket,
+    });
+    panel
+}
+
+fn eval_shard(shard: &Shard, panel: &[PanelEntry], fnn: &FnnClassifier) -> ShardResult {
+    let events = TraceReader::new(shard.bytes.as_slice())
+        .expect("trace header")
+        .read_all()
+        .expect("trace events");
+    let warm = shard.warmup_events as usize;
+    let panel_stats = panel
+        .iter()
+        .map(|entry| {
+            let mut replay = Replayer::new(&entry.calibration, &entry.config);
+            replay.replay_all(&events[..warm]);
+            replay.reset_stats();
+            replay.replay_all(&events[warm..]);
+            replay.into_stats()
+        })
+        .collect();
+    // FNN baseline: classify the recorded full-readout IQ trajectory.
+    let mut fnn_correct = 0u64;
+    let mut fnn_total = 0u64;
+    for ev in &events[warm..] {
+        if ev.iq.is_empty() {
+            continue;
+        }
+        let traj: Vec<IqPoint> = ev
+            .iq
+            .iter()
+            .map(|&(i, q)| IqPoint {
+                i: f64::from(i),
+                q: f64::from(q),
+            })
+            .collect();
+        fnn_total += 1;
+        fnn_correct += u64::from(fnn.classify_trajectory(&traj) == ev.reported);
+    }
+    ShardResult {
+        panel_stats,
+        fnn_correct,
+        fnn_total,
+    }
+}
+
+fn main() {
+    banner(
+        "TRACE",
+        "trace-driven predictor evaluation (record once, replay the panel)",
+    );
+    let shots = shots_or(150);
+    let config = ArteryConfig::paper();
+    let calibration = runner::calibration_for(&config, "trace-eval");
+
+    // Phase 1: record the corpus live, once.
+    let shards = record_corpus(&config, &calibration, shots);
+    let live_record_secs: f64 = shards.iter().map(|s| s.live_secs).sum();
+
+    // The FNN baseline consumes recorded trajectories instead of pulses.
+    let model = config.readout_model();
+    let dataset = Dataset::generate(
+        &model,
+        0.5,
+        1200,
+        &mut artery_num::rng::rng_for("trace-eval/fnn-data"),
+    );
+    let fnn = FnnClassifier::train(
+        &model,
+        &FnnConfig {
+            window_ns: config.window_ns,
+            ..FnnConfig::default()
+        },
+        dataset.pulses(),
+        &mut artery_num::rng::rng_for("trace-eval/fnn-init"),
+    );
+
+    // Phase 2: fan the panel across OS threads, one shard per worker, and
+    // merge shard statistics in shard order (deterministic).
+    let panel = build_panel(&config, &calibration);
+    let replay_start = Instant::now();
+    let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
+        let panel = &panel;
+        let fnn = &fnn;
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| scope.spawn(move || eval_shard(shard, panel, fnn)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    let replay_secs = replay_start.elapsed().as_secs_f64();
+
+    let mut merged: Vec<ShotStats> = vec![ShotStats::default(); panel.len()];
+    let mut fnn_correct = 0u64;
+    let mut fnn_total = 0u64;
+    for result in &shard_results {
+        for (into, stats) in merged.iter_mut().zip(&result.panel_stats) {
+            into.merge(stats);
+        }
+        fnn_correct += result.fnn_correct;
+        fnn_total += result.fnn_total;
+    }
+    let mut live = ShotStats::default();
+    for shard in &shards {
+        live.merge(&shard.live_stats);
+    }
+
+    // Invariant 1: the recorded configuration replays bit-for-bit, per
+    // shard and in aggregate.
+    let recorded_idx = panel
+        .iter()
+        .position(|e| e.name.ends_with("(recorded)"))
+        .expect("panel contains the recorded configuration");
+    for (shard, result) in shards.iter().zip(&shard_results) {
+        assert_eq!(
+            result.panel_stats[recorded_idx], shard.live_stats,
+            "replay of {} diverged from the live run",
+            shard.name
+        );
+    }
+    let replayed = &merged[recorded_idx];
+    assert_eq!(replayed.resolved, live.resolved, "resolved counts diverged");
+    assert_eq!(replayed.committed, live.committed, "commit counts diverged");
+    assert_eq!(replayed.correct, live.correct, "correct counts diverged");
+    assert_eq!(
+        replayed.latency_ns.mean(),
+        live.latency_ns.mean(),
+        "latency distributions diverged"
+    );
+    println!(
+        "\nreplay of the recorded configuration matches the live run bit-for-bit \
+         ({} feedbacks, accuracy {:.4}, commit rate {:.4})",
+        live.resolved,
+        live.accuracy(),
+        live.commit_rate()
+    );
+
+    // Leaderboard, fastest mean feedback first.
+    let mut rows: Vec<Row> = merged
+        .iter()
+        .zip(&panel)
+        .map(|(stats, entry)| Row {
+            config: entry.name.clone(),
+            accuracy: stats.accuracy(),
+            commit_rate: stats.commit_rate(),
+            mean_latency_us: stats.latency_ns.mean() / 1000.0,
+            resolved: stats.resolved,
+        })
+        .collect();
+    rows.push(Row {
+        config: "FNN (full readout)".into(),
+        accuracy: if fnn_total == 0 {
+            0.0
+        } else {
+            fnn_correct as f64 / fnn_total as f64
+        },
+        commit_rate: 0.0,
+        mean_latency_us: live.latency_ns.mean() / 1000.0,
+        resolved: fnn_total,
+    });
+    rows.sort_by(|a, b| a.mean_latency_us.total_cmp(&b.mean_latency_us));
+
+    println!("\n## panel leaderboard ({} shards, {} configurations)\n", shards.len(), rows.len());
+    let mut table = Table::new([
+        "config",
+        "accuracy",
+        "commit rate",
+        "mean latency/feedback (µs)",
+        "feedbacks",
+    ]);
+    for row in &rows {
+        table.row([
+            row.config.clone(),
+            f3(row.accuracy),
+            f3(row.commit_rate),
+            f2(row.mean_latency_us),
+            row.resolved.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Invariant 2: the panel replays ≥ 10× faster than simulating it live.
+    let live_panel_estimate = live_record_secs * panel.len() as f64;
+    let speedup = live_panel_estimate / replay_secs.max(f64::MIN_POSITIVE);
+    println!(
+        "\nlive recording: {live_record_secs:.2} s for 1 configuration → live panel of {} \
+         would cost ≈ {live_panel_estimate:.2} s\nparallel replay of the panel: {replay_secs:.3} s \
+         → {speedup:.0}× faster than live re-simulation",
+        panel.len()
+    );
+    assert!(
+        speedup >= 10.0,
+        "trace replay speedup {speedup:.1}× fell below the 10× requirement"
+    );
+
+    write_json(
+        "trace_eval",
+        &Results {
+            rows,
+            live_record_secs,
+            replay_secs,
+            panel_size: panel.len(),
+            speedup_vs_live_panel: speedup,
+        },
+    );
+}

@@ -47,7 +47,7 @@ pub fn run_artery(
         let _ = exec.run(circuit, &mut controller, &mut rng);
     }
     // Measure with fresh statistics but warmed history.
-    let warm_stats = controller.stats().clone();
+    controller.reset_stats();
     let mut total = Accumulator::new();
     let mut circuit_time = Accumulator::new();
     for _ in 0..shots {
@@ -56,22 +56,11 @@ pub fn run_artery(
         circuit_time.push(rec.total_ns / 1000.0);
     }
     let stats = controller.stats();
-    let resolved = stats.resolved - warm_stats.resolved;
-    let committed = stats.committed - warm_stats.committed;
-    let correct = stats.correct - warm_stats.correct;
     LatencySummary {
         total_feedback_us: total.mean(),
         per_feedback_us: total.mean() / circuit.feedback_count() as f64,
-        accuracy: if committed == 0 {
-            1.0
-        } else {
-            correct as f64 / committed as f64
-        },
-        commit_rate: if resolved == 0 {
-            0.0
-        } else {
-            committed as f64 / resolved as f64
-        },
+        accuracy: stats.accuracy(),
+        commit_rate: stats.commit_rate(),
         total_circuit_us: circuit_time.mean(),
         shots,
     }

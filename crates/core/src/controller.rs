@@ -24,7 +24,7 @@ use artery_sim::{FeedbackHandler, Resolution};
 use rand::rngs::StdRng;
 
 use crate::config::ArteryConfig;
-use crate::predictor::{BranchPredictor, Calibration, HistoryTracker};
+use crate::predictor::{BranchPredictor, Calibration, Decision, HistoryTracker};
 
 /// Outcome record of one resolved feedback (harness export).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +83,107 @@ impl ShotStats {
             0.0
         } else {
             self.committed as f64 / self.resolved as f64
+        }
+    }
+
+    /// Folds one resolved feedback into the aggregates — the single
+    /// bookkeeping path shared by the live controller and trace replay, so
+    /// the two can never drift apart.
+    pub fn record(&mut self, outcome: &SiteOutcome) {
+        self.resolved += 1;
+        self.latency_ns.push(outcome.latency_ns);
+        if let Some(correct) = outcome.correct() {
+            self.committed += 1;
+            self.correct += u64::from(correct);
+            if let Some(w) = outcome.window {
+                self.decision_window.push(w as f64);
+            }
+        }
+    }
+
+    /// Merges another run's statistics into this one (shard reduction in
+    /// parallel harnesses).
+    pub fn merge(&mut self, other: &ShotStats) {
+        self.resolved += other.resolved;
+        self.committed += other.committed;
+        self.correct += other.correct;
+        self.latency_ns.merge(&other.latency_ns);
+        self.decision_window.merge(&other.decision_window);
+    }
+}
+
+/// Everything the controller computed while resolving one feedback — the
+/// raw material a trace recorder needs to make the shot replayable offline
+/// (see the `artery-trace` crate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolveTrace {
+    /// The feedback site.
+    pub site: FeedbackSite,
+    /// The §3 pre-execution case of the site.
+    pub case: PreExecCase,
+    /// Per-window preliminary classifications of the in-flight readout
+    /// pulse (empty for sites that never predict, i.e. case 4).
+    pub states: Vec<bool>,
+    /// Cumulative IQ trajectory at each window boundary, `(I, Q)` pairs
+    /// (empty for sites that never predict). Feeds trajectory-consuming
+    /// baselines such as the FNN classifier during replay.
+    pub iq: Vec<(f64, f64)>,
+    /// Per-site historical prior `P_history_1` at resolve time.
+    pub p_history: f64,
+    /// The branch the hardware reported at readout end.
+    pub reported: bool,
+    /// The predicted branch, if the predictor committed.
+    pub predicted: Option<bool>,
+    /// Window of the commitment, if any.
+    pub window: Option<usize>,
+    /// Feedback latency charged to this resolve, ns.
+    pub latency_ns: f64,
+    /// Branch-0 pulse duration, ns.
+    pub branch0_ns: f64,
+    /// Branch-1 pulse duration, ns.
+    pub branch1_ns: f64,
+}
+
+/// Latency charged to one feedback, given the predictor's decision — the
+/// timing model of §5 reduced to its inputs. Shared by the live controller
+/// and trace replay so both charge identical latencies.
+#[must_use]
+pub fn feedback_latency_ns(
+    timing: &ControllerTiming,
+    route_ns: f64,
+    case: PreExecCase,
+    branch0_ns: f64,
+    branch1_ns: f64,
+    reported: bool,
+    decision: Option<&Decision>,
+) -> f64 {
+    let branch_ns = |b: bool| if b { branch1_ns } else { branch0_ns };
+    let sequential_ns = timing.sequential_latency_ns() + branch_ns(reported);
+    match decision {
+        None => sequential_ns,
+        Some(d) if d.branch == reported => match case {
+            PreExecCase::Independent | PreExecCase::AncillaRemap => {
+                timing.branch_start_ns(d.window, route_ns) + branch_ns(d.branch)
+            }
+            PreExecCase::OnMeasuredQubit => {
+                timing.armed_latency_ns(d.window, route_ns) + branch_ns(d.branch)
+            }
+            // Case-4 sites never predict; a decision here can only come from
+            // a hand-crafted replay, which degrades to sequential.
+            PreExecCase::NotPreExecutable => sequential_ns,
+        },
+        Some(d) => {
+            // Misprediction: truth arrives via the sequential pipeline, then
+            // undo + correct branch (`recovery_ns` = undo time +
+            // correct-branch time).
+            let analysis = SiteAnalysis {
+                site: FeedbackSite(0),
+                case,
+                ancilla: None,
+                branch0_ns,
+                branch1_ns,
+            };
+            timing.misprediction_latency_ns() + analysis.recovery_ns(d.branch)
         }
     }
 }
@@ -188,6 +289,14 @@ impl<'a> ArteryController<'a> {
         &self.stats
     }
 
+    /// Clears the aggregate statistics and the outcome log while keeping the
+    /// learned per-site history — the train/measure split of the harnesses:
+    /// warm the history up, reset, then measure.
+    pub fn reset_stats(&mut self) {
+        self.stats = ShotStats::default();
+        self.outcomes.clear();
+    }
+
     /// Drains the per-feedback outcome log.
     pub fn take_outcomes(&mut self) -> Vec<SiteOutcome> {
         std::mem::take(&mut self.outcomes)
@@ -219,80 +328,71 @@ impl<'a> ArteryController<'a> {
     }
 
     fn record(&mut self, outcome: SiteOutcome) {
-        self.stats.resolved += 1;
-        self.stats.latency_ns.push(outcome.latency_ns);
-        if let Some(correct) = outcome.correct() {
-            self.stats.committed += 1;
-            self.stats.correct += u64::from(correct);
-            if let Some(w) = outcome.window {
-                self.stats.decision_window.push(w as f64);
-            }
-        }
+        self.stats.record(&outcome);
         if self.log_outcomes {
             self.outcomes.push(outcome);
         }
     }
-}
 
-impl FeedbackHandler for ArteryController<'_> {
-    fn resolve(&mut self, fb: &Feedback, reported: bool, rng: &mut StdRng) -> Resolution {
+    /// Resolves one feedback and additionally returns everything a trace
+    /// recorder needs to replay the shot offline (window states, IQ
+    /// trajectory, the prior, branch durations). [`FeedbackHandler::resolve`]
+    /// delegates here, so the two paths cannot diverge.
+    pub fn resolve_traced(
+        &mut self,
+        fb: &Feedback,
+        reported: bool,
+        rng: &mut StdRng,
+    ) -> (Resolution, ResolveTrace) {
         let analysis = self
             .analyses
             .get(&fb.site.0)
             .unwrap_or_else(|| panic!("feedback site {} was not analyzed", fb.site))
             .clone();
-        let branch_ns = fb.branch_duration_ns(reported);
-        let sequential_ns = self.timing.sequential_latency_ns() + branch_ns;
+        let p_history = self.history.p_history_1(fb.site);
 
-        let (latency_ns, wasted, predicted, window) =
-            if !analysis.case.benefits_from_prediction() {
-                // Case 4: never predict.
-                (sequential_ns, Vec::new(), None, None)
-            } else {
-                // The in-flight pulse the classifier sees, conditioned on
-                // the outcome the hardware will report.
-                let pulse = self.calibration.model().synthesize(reported, rng);
-                let p_history = self.history.p_history_1(fb.site);
-                let config = match self.site_theta.get(&fb.site.0) {
-                    Some(&theta) => ArteryConfig {
-                        theta,
-                        ..self.config
-                    },
-                    None => self.config,
-                };
-                let predictor = BranchPredictor::new(self.calibration, &config);
-                match predictor.predict_shot(&pulse, p_history).decision {
-                    None => (sequential_ns, Vec::new(), None, None),
-                    Some(d) if d.branch == reported => {
-                        let route = self.config.route_ns;
-                        let lat = match analysis.case {
-                            PreExecCase::Independent | PreExecCase::AncillaRemap => {
-                                self.timing.branch_start_ns(d.window, route)
-                                    + fb.branch_duration_ns(d.branch)
-                            }
-                            PreExecCase::OnMeasuredQubit => {
-                                self.timing.armed_latency_ns(d.window, route)
-                                    + fb.branch_duration_ns(d.branch)
-                            }
-                            PreExecCase::NotPreExecutable => unreachable!("filtered above"),
-                        };
-                        (lat, Vec::new(), Some(d.branch), Some(d.window))
-                    }
-                    Some(d) => {
-                        // Misprediction: truth arrives via the sequential
-                        // pipeline, then undo + correct branch
-                        // (`recovery_ns` = undo time + correct-branch time).
-                        let lat = self.timing.misprediction_latency_ns()
-                            + analysis.recovery_ns(d.branch);
-                        (
-                            lat,
-                            Self::wasted_pulses(fb, d.branch),
-                            Some(d.branch),
-                            Some(d.window),
-                        )
-                    }
-                }
+        let (states, iq, decision) = if analysis.case.benefits_from_prediction() {
+            // The in-flight pulse the classifier sees, conditioned on the
+            // outcome the hardware will report.
+            let pulse = self.calibration.model().synthesize(reported, rng);
+            let traj = self.calibration.demod().cumulative_trajectory(&pulse);
+            let states: Vec<bool> = traj
+                .iter()
+                .map(|&iq| self.calibration.centers().classify(iq))
+                .collect();
+            let iq: Vec<(f64, f64)> = traj.iter().map(|p| (p.i, p.q)).collect();
+            let config = match self.site_theta.get(&fb.site.0) {
+                Some(&theta) => ArteryConfig {
+                    theta,
+                    ..self.config
+                },
+                None => self.config,
             };
+            let predictor = BranchPredictor::new(self.calibration, &config);
+            let decision = predictor.predict_states(&states, p_history).decision;
+            (states, iq, decision)
+        } else {
+            // Case 4: never predict.
+            (Vec::new(), Vec::new(), None)
+        };
+
+        let branch0_ns = fb.branch_duration_ns(false);
+        let branch1_ns = fb.branch_duration_ns(true);
+        let latency_ns = feedback_latency_ns(
+            &self.timing,
+            self.config.route_ns,
+            analysis.case,
+            branch0_ns,
+            branch1_ns,
+            reported,
+            decision.as_ref(),
+        );
+        let wasted = match decision {
+            Some(d) if d.branch != reported => Self::wasted_pulses(fb, d.branch),
+            _ => Vec::new(),
+        };
+        let predicted = decision.map(|d| d.branch);
+        let window = decision.map(|d| d.window);
 
         self.history.observe(fb.site, reported);
         self.record(SiteOutcome {
@@ -302,11 +402,33 @@ impl FeedbackHandler for ArteryController<'_> {
             reported,
             latency_ns,
         });
-        Resolution {
-            latency_ns,
-            wasted_pulses: wasted,
+        let trace = ResolveTrace {
+            site: fb.site,
+            case: analysis.case,
+            states,
+            iq,
+            p_history,
+            reported,
             predicted,
-        }
+            window,
+            latency_ns,
+            branch0_ns,
+            branch1_ns,
+        };
+        (
+            Resolution {
+                latency_ns,
+                wasted_pulses: wasted,
+                predicted,
+            },
+            trace,
+        )
+    }
+}
+
+impl FeedbackHandler for ArteryController<'_> {
+    fn resolve(&mut self, fb: &Feedback, reported: bool, rng: &mut StdRng) -> Resolution {
+        self.resolve_traced(fb, reported, rng).0
     }
 }
 
@@ -508,6 +630,140 @@ mod tests {
                 o.latency_ns
             );
         }
+    }
+
+    #[test]
+    fn reset_stats_clears_counts_but_keeps_history() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::active_reset(1);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("ctrl/reset-stats");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal).with_outcome_log();
+        for _ in 0..20 {
+            let _ = exec.run(&circuit, &mut ctl, &mut rng);
+        }
+        let shots_before = ctl.history.shots(FeedbackSite(0));
+        assert_eq!(ctl.stats().resolved, 20);
+        ctl.reset_stats();
+        assert_eq!(ctl.stats(), &ShotStats::default());
+        assert!(ctl.take_outcomes().is_empty());
+        // The learned prior survives the reset.
+        assert_eq!(ctl.history.shots(FeedbackSite(0)), shots_before);
+        let _ = exec.run(&circuit, &mut ctl, &mut rng);
+        assert_eq!(ctl.stats().resolved, 1);
+    }
+
+    #[test]
+    fn traced_resolve_agrees_with_logged_outcome() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::qrw(1);
+        let fb = circuit.feedback_sites().next().expect("one site").clone();
+        let mut rng = rng_for("ctrl/traced");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal).with_outcome_log();
+        for k in 0..30 {
+            let reported = k % 2 == 0;
+            let (res, trace) = ctl.resolve_traced(&fb, reported, &mut rng);
+            assert_eq!(trace.reported, reported);
+            assert_eq!(trace.predicted, res.predicted);
+            assert_eq!(trace.latency_ns, res.latency_ns);
+            // A predicting site always records the full window stream.
+            assert!(!trace.states.is_empty());
+            assert_eq!(trace.states.len(), trace.iq.len());
+        }
+        let outcomes = ctl.take_outcomes();
+        assert_eq!(outcomes.len(), 30);
+    }
+
+    #[test]
+    fn shared_latency_model_covers_all_paths() {
+        let timing = ControllerTiming::new(ArteryConfig::paper().hardware(), 30.0);
+        let seq = timing.sequential_latency_ns();
+        // No decision: sequential + reported branch.
+        let none = feedback_latency_ns(
+            &timing,
+            0.0,
+            PreExecCase::Independent,
+            0.0,
+            30.0,
+            true,
+            None,
+        );
+        assert_eq!(none, seq + 30.0);
+        let d = Decision {
+            window: 10,
+            branch: true,
+            p_predict_1: 0.99,
+        };
+        // Correct case-1 prediction overlaps the readout.
+        let correct = feedback_latency_ns(
+            &timing,
+            0.0,
+            PreExecCase::Independent,
+            0.0,
+            30.0,
+            true,
+            Some(&d),
+        );
+        assert!(correct < seq);
+        // Misprediction charges undo + correct branch on top of sequential.
+        let wrong = feedback_latency_ns(
+            &timing,
+            0.0,
+            PreExecCase::Independent,
+            40.0,
+            30.0,
+            false,
+            Some(&d),
+        );
+        assert_eq!(wrong, timing.misprediction_latency_ns() + 30.0 + 40.0);
+        // Case-3 correct predictions floor at the readout duration.
+        let armed = feedback_latency_ns(
+            &timing,
+            0.0,
+            PreExecCase::OnMeasuredQubit,
+            0.0,
+            30.0,
+            true,
+            Some(&Decision {
+                window: 0,
+                branch: true,
+                p_predict_1: 0.99,
+            }),
+        );
+        assert_eq!(armed, timing.params().readout_ns + 30.0);
+    }
+
+    #[test]
+    fn stats_merge_equals_sequential_recording() {
+        let outcomes: Vec<SiteOutcome> = (0..40)
+            .map(|k| SiteOutcome {
+                site: FeedbackSite(0),
+                window: if k % 3 == 0 { Some(k % 7) } else { None },
+                predicted: if k % 3 == 0 { Some(k % 2 == 0) } else { None },
+                reported: k % 2 == 0,
+                latency_ns: 500.0 + k as f64,
+            })
+            .collect();
+        let mut whole = ShotStats::default();
+        for o in &outcomes {
+            whole.record(o);
+        }
+        let mut left = ShotStats::default();
+        let mut right = ShotStats::default();
+        for o in &outcomes[..17] {
+            left.record(o);
+        }
+        for o in &outcomes[17..] {
+            right.record(o);
+        }
+        left.merge(&right);
+        assert_eq!(left.resolved, whole.resolved);
+        assert_eq!(left.committed, whole.committed);
+        assert_eq!(left.correct, whole.correct);
+        assert_eq!(left.latency_ns.len(), whole.latency_ns.len());
+        assert!((left.latency_ns.mean() - whole.latency_ns.mean()).abs() < 1e-9);
     }
 
     #[test]

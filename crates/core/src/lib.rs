@@ -46,5 +46,7 @@ pub mod predictor;
 pub mod tune;
 
 pub use config::ArteryConfig;
-pub use controller::{ArteryController, ShotStats, SiteOutcome};
+pub use controller::{
+    feedback_latency_ns, ArteryController, ResolveTrace, ShotStats, SiteOutcome,
+};
 pub use predictor::{BranchPredictor, Calibration, Decision, ShotPrediction};

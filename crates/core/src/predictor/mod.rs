@@ -183,6 +183,21 @@ impl<'a> BranchPredictor<'a> {
     pub fn predict_shot(&self, pulse: &ReadoutPulse, p_history: f64) -> ShotPrediction {
         let cal = self.calibration;
         let states = cal.centers.window_states(pulse, &cal.demod);
+        self.predict_states(&states, p_history)
+    }
+
+    /// The per-window decision step over an already-classified window-state
+    /// stream — the predictor's core loop, decoupled from readout physics.
+    ///
+    /// This is what trace replay (`artery-trace`) drives: a recorded shot
+    /// stores exactly these preliminary classifications, so any predictor
+    /// configuration can be re-evaluated without re-synthesizing or
+    /// re-demodulating pulses. [`predict_shot`](Self::predict_shot) is the
+    /// live path: it derives `states` from the in-flight pulse and delegates
+    /// here, guaranteeing live and replayed decisions agree bit-for-bit.
+    #[must_use]
+    pub fn predict_states(&self, states: &[bool], p_history: f64) -> ShotPrediction {
+        let cal = self.calibration;
         let n = states.len();
         let mut updates = Vec::with_capacity(n.saturating_sub(self.config.k - 1));
         let mut decision = None;
@@ -362,6 +377,37 @@ mod tests {
         let pulse = cal.model().synthesize(false, &mut rng);
         let shot = pred.predict_shot(&pulse, 0.5);
         assert_eq!(shot.updates[0].window, config.k - 1);
+    }
+
+    #[test]
+    fn predict_states_matches_predict_shot() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let pred = BranchPredictor::new(&cal, &config);
+        let mut rng = rng_for("pred/states");
+        for k in 0..20 {
+            let pulse = cal.model().synthesize(k % 2 == 0, &mut rng);
+            let states = cal.centers().window_states(&pulse, cal.demod());
+            for ph in [0.05, 0.5, 0.95] {
+                assert_eq!(
+                    pred.predict_states(&states, ph),
+                    pred.predict_shot(&pulse, ph)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_states_on_short_stream_never_commits() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let pred = BranchPredictor::new(&cal, &config);
+        // Fewer windows than history registers: no lookup can happen.
+        let shot = pred.predict_states(&[true; 3], 0.01);
+        assert!(shot.updates.is_empty());
+        assert!(shot.decision.is_none());
+        let empty = pred.predict_states(&[], 0.5);
+        assert!(empty.updates.is_empty() && empty.decision.is_none());
     }
 
     #[test]

@@ -14,12 +14,14 @@
 
 mod huffman;
 mod rle;
+mod varint;
 
 use std::error::Error;
 use std::fmt;
 
 pub use huffman::Huffman;
 pub use rle::{rle_expand, rle_tokens, ByteRunLength, RunLength};
+pub use varint::{read_varint, write_varint, MAX_VARINT_LEN};
 
 /// Decoding failure (corrupt or truncated stream).
 #[derive(Debug, Clone, PartialEq, Eq)]

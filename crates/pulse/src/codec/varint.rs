@@ -1,0 +1,143 @@
+//! LEB128 variable-length integers.
+//!
+//! Small non-negative integers dominate the codec side-channels (run
+//! lengths, token counts, section sizes) and the recorded-trace format of
+//! `artery-trace` (site ids, window indices, run-length streams). LEB128
+//! stores them in one byte per 7 bits, little-endian, with the high bit of
+//! each byte marking continuation — the same encoding protobuf and DWARF
+//! use.
+
+use super::DecodeError;
+
+/// Maximum encoded length of a `u64` (⌈64 / 7⌉ bytes).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+///
+/// # Examples
+///
+/// ```
+/// use artery_pulse::codec::{read_varint, write_varint};
+///
+/// let mut buf = Vec::new();
+/// write_varint(&mut buf, 300);
+/// assert_eq!(buf, [0xAC, 0x02]);
+/// let mut pos = 0;
+/// assert_eq!(read_varint(&buf, &mut pos).unwrap(), 300);
+/// assert_eq!(pos, 2);
+/// ```
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 integer from `bytes` starting at `*pos`, advancing
+/// `*pos` past it.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on a truncated stream or an encoding longer than
+/// [`MAX_VARINT_LEN`] bytes (which cannot represent a `u64`).
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| DecodeError::new("varint truncated"))?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(DecodeError::new("varint overflows u64"));
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(DecodeError::new("varint too long"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        assert!(buf.len() <= MAX_VARINT_LEN);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos).unwrap(), v, "value {v}");
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn single_byte_values() {
+        for v in 0..=127u64 {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+        }
+        round_trip(0);
+        round_trip(127);
+    }
+
+    #[test]
+    fn multi_byte_values() {
+        for v in [128u64, 300, 16_384, u64::from(u32::MAX), u64::MAX] {
+            round_trip(v);
+        }
+    }
+
+    #[test]
+    fn boundary_widths() {
+        // 2^7k boundaries flip the encoded width.
+        for k in 1..9u32 {
+            round_trip((1u64 << (7 * k)) - 1);
+            round_trip(1u64 << (7 * k));
+        }
+    }
+
+    #[test]
+    fn sequential_reads_advance_position() {
+        let mut buf = Vec::new();
+        for v in [1u64, 500, 9] {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos).unwrap(), 1);
+        assert_eq!(read_varint(&buf, &mut pos).unwrap(), 500);
+        assert_eq!(read_varint(&buf, &mut pos).unwrap(), 9);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        assert!(read_varint(&[], &mut 0).is_err());
+        assert!(read_varint(&[0x80], &mut 0).is_err());
+        assert!(read_varint(&[0xFF, 0xFF], &mut 0).is_err());
+    }
+
+    #[test]
+    fn overlong_encoding_errors() {
+        // Eleven continuation bytes can never terminate inside u64.
+        let bytes = [0xFFu8; 11];
+        assert!(read_varint(&bytes, &mut 0).is_err());
+    }
+
+    #[test]
+    fn max_u64_uses_ten_bytes() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), MAX_VARINT_LEN);
+    }
+}

@@ -1,0 +1,141 @@
+//! The in-memory representation of one recorded feedback resolution.
+
+use artery_circuit::analysis::PreExecCase;
+use artery_core::{ArteryConfig, ResolveTrace};
+
+/// The decision the live predictor committed to, if it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedDecision {
+    /// Demodulation window at which the predictor crossed θ.
+    pub window: usize,
+    /// The branch it committed to.
+    pub branch: bool,
+}
+
+/// One recorded feedback resolution — everything a replay needs to re-drive
+/// an arbitrary predictor configuration over the shot, plus the live run's
+/// own decision and latency for equivalence checking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Feedback site index within the circuit.
+    pub site: usize,
+    /// The §3 pre-execution case of the site.
+    pub case: PreExecCase,
+    /// The branch the hardware reported at readout end.
+    pub reported: bool,
+    /// Per-window preliminary classifications of the in-flight readout pulse
+    /// (empty for case-4 sites, which never predict).
+    pub states: Vec<bool>,
+    /// Cumulative IQ trajectory at each window boundary, stored at `f32`
+    /// precision (sufficient for trajectory-consuming baselines; empty when
+    /// the recorder drops IQ to shrink the trace).
+    pub iq: Vec<(f32, f32)>,
+    /// Historical prior `P_history_1` the live predictor saw.
+    pub p_history: f64,
+    /// The live predictor's commitment, if any.
+    pub decision: Option<RecordedDecision>,
+    /// Feedback latency the live run charged, ns.
+    pub latency_ns: f64,
+    /// Branch-0 pulse duration, ns.
+    pub branch0_ns: f64,
+    /// Branch-1 pulse duration, ns.
+    pub branch1_ns: f64,
+}
+
+impl TraceEvent {
+    /// Converts the controller's [`ResolveTrace`] into a trace event,
+    /// optionally keeping the IQ trajectory.
+    #[must_use]
+    pub fn from_resolve(trace: ResolveTrace, keep_iq: bool) -> Self {
+        let decision = match (trace.window, trace.predicted) {
+            (Some(window), Some(branch)) => Some(RecordedDecision { window, branch }),
+            _ => None,
+        };
+        Self {
+            site: trace.site.0,
+            case: trace.case,
+            reported: trace.reported,
+            states: trace.states,
+            iq: if keep_iq {
+                trace.iq.iter().map(|&(i, q)| (i as f32, q as f32)).collect()
+            } else {
+                Vec::new()
+            },
+            p_history: trace.p_history,
+            decision,
+            latency_ns: trace.latency_ns,
+            branch0_ns: trace.branch0_ns,
+            branch1_ns: trace.branch1_ns,
+        }
+    }
+}
+
+/// Trace-file header: the configuration the recording controller ran with
+/// and a free-form label (workload name, shot count, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHeader {
+    /// Configuration of the recording controller. Replaying this exact
+    /// configuration reproduces the live run bit-for-bit.
+    pub config: ArteryConfig,
+    /// Free-form description of the recorded corpus.
+    pub label: String,
+}
+
+impl TraceHeader {
+    /// Builds a header for `config` with a descriptive label.
+    #[must_use]
+    pub fn new(config: &ArteryConfig, label: impl Into<String>) -> Self {
+        Self {
+            config: *config,
+            label: label.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_circuit::FeedbackSite;
+
+    #[test]
+    fn from_resolve_pairs_the_decision() {
+        let base = ResolveTrace {
+            site: FeedbackSite(3),
+            case: PreExecCase::Independent,
+            states: vec![true, false, true],
+            iq: vec![(0.25, -1.5), (0.5, -1.0), (0.75, -0.5)],
+            p_history: 0.625,
+            reported: true,
+            predicted: Some(true),
+            window: Some(2),
+            latency_ns: 412.0,
+            branch0_ns: 0.0,
+            branch1_ns: 30.0,
+        };
+        let ev = TraceEvent::from_resolve(base.clone(), true);
+        assert_eq!(ev.site, 3);
+        assert_eq!(
+            ev.decision,
+            Some(RecordedDecision {
+                window: 2,
+                branch: true,
+            })
+        );
+        assert_eq!(ev.iq.len(), 3);
+        assert_eq!(ev.iq[0], (0.25, -1.5));
+
+        let no_iq = TraceEvent::from_resolve(base.clone(), false);
+        assert!(no_iq.iq.is_empty());
+        assert_eq!(no_iq.states, base.states);
+
+        let undecided = TraceEvent::from_resolve(
+            ResolveTrace {
+                predicted: None,
+                window: None,
+                ..base
+            },
+            true,
+        );
+        assert_eq!(undecided.decision, None);
+    }
+}

@@ -1,0 +1,735 @@
+//! The versioned binary trace format (v1).
+//!
+//! Layout:
+//!
+//! ```text
+//! MAGIC (8 bytes: "ARTERYTR")
+//! format version (u16 LE)
+//! header frame:  varint byte length + header body
+//! event frames:  varint byte length + event body, repeated until EOF
+//! ```
+//!
+//! Framing every record with its byte length lets the reader stream events
+//! one at a time, detect truncation precisely, and (in future versions) skip
+//! records it does not understand. Inside a frame the encoding reuses the
+//! LEB128 varint primitive of `artery-pulse`'s codec layer; the per-window
+//! state stream — the bulk of every event — is run-length encoded as
+//! alternating varint run lengths, mirroring the pulse codecs' RLE idiom.
+//! Floating-point fields are stored as IEEE-754 bit patterns (little-endian),
+//! so every value round-trips exactly.
+
+use std::io::{Read, Write};
+
+use artery_circuit::analysis::PreExecCase;
+use artery_core::ArteryConfig;
+use artery_pulse::codec::{read_varint, write_varint, DecodeError};
+
+use crate::event::{RecordedDecision, TraceEvent, TraceHeader};
+
+/// File magic: the first eight bytes of every trace.
+pub const MAGIC: [u8; 8] = *b"ARTERYTR";
+
+/// Format version this library writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Upper bound on a single frame, guarding `Vec` allocations against
+/// corrupt length fields (16 MiB — three orders of magnitude above any
+/// real event).
+const MAX_FRAME_BYTES: u64 = 1 << 24;
+
+/// Upper bound on decoded per-event sequence lengths (window states, IQ
+/// points); real readouts have at most a few hundred windows.
+const MAX_SEQUENCE_LEN: u64 = 1 << 20;
+
+/// Failure while writing or reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying sink or source failed.
+    Io(std::io::Error),
+    /// The byte stream is not a valid trace: bad magic, unsupported
+    /// version, truncated frame, or inconsistent fields.
+    Corrupt(String),
+}
+
+impl TraceError {
+    pub(crate) fn corrupt(message: impl Into<String>) -> Self {
+        Self::Corrupt(message.into())
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "trace i/o error: {e}"),
+            Self::Corrupt(m) => write!(f, "corrupt trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<DecodeError> for TraceError {
+    fn from(e: DecodeError) -> Self {
+        Self::Corrupt(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian IEEE-754 scalar helpers.
+
+fn push_f64(out: &mut Vec<u8>, value: f64) {
+    out.extend_from_slice(&value.to_bits().to_le_bytes());
+}
+
+fn push_f32(out: &mut Vec<u8>, value: f32) {
+    out.extend_from_slice(&value.to_bits().to_le_bytes());
+}
+
+fn take<const N: usize>(bytes: &[u8], pos: &mut usize, what: &str) -> Result<[u8; N], TraceError> {
+    let slice = bytes
+        .get(*pos..*pos + N)
+        .ok_or_else(|| TraceError::corrupt(format!("{what} truncated")))?;
+    *pos += N;
+    Ok(slice.try_into().expect("length checked"))
+}
+
+fn read_f64(bytes: &[u8], pos: &mut usize, what: &str) -> Result<f64, TraceError> {
+    Ok(f64::from_bits(u64::from_le_bytes(take::<8>(bytes, pos, what)?)))
+}
+
+fn read_f32(bytes: &[u8], pos: &mut usize, what: &str) -> Result<f32, TraceError> {
+    Ok(f32::from_bits(u32::from_le_bytes(take::<4>(bytes, pos, what)?)))
+}
+
+fn read_len(bytes: &[u8], pos: &mut usize, what: &str) -> Result<usize, TraceError> {
+    let v = read_varint(bytes, pos)?;
+    usize::try_from(v).map_err(|_| TraceError::corrupt(format!("{what} exceeds usize")))
+}
+
+// ---------------------------------------------------------------------------
+// Streaming frame primitives.
+
+/// Reads one byte, distinguishing clean EOF (`None`) from failure.
+fn read_byte<R: Read>(src: &mut R) -> Result<Option<u8>, TraceError> {
+    let mut buf = [0u8; 1];
+    loop {
+        match src.read(&mut buf) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(buf[0])),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(TraceError::Io(e)),
+        }
+    }
+}
+
+/// Reads a frame-length varint from the stream. `None` only when the stream
+/// ends exactly at a frame boundary; a partial varint is corruption.
+fn read_frame_len<R: Read>(src: &mut R) -> Result<Option<u64>, TraceError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = match read_byte(src)? {
+            Some(b) => b,
+            None if shift == 0 => return Ok(None),
+            None => return Err(TraceError::corrupt("frame length truncated")),
+        };
+        let group = u64::from(byte & 0x7f);
+        if shift >= 64 || (shift == 63 && group > 1) {
+            return Err(TraceError::corrupt("frame length varint overflows u64"));
+        }
+        value |= group << shift;
+        if byte & 0x80 == 0 {
+            return Ok(Some(value));
+        }
+        shift += 7;
+    }
+}
+
+/// Reads one length-prefixed frame; `None` at clean EOF.
+fn read_frame<R: Read>(src: &mut R, what: &str) -> Result<Option<Vec<u8>>, TraceError> {
+    let len = match read_frame_len(src)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    if len > MAX_FRAME_BYTES {
+        return Err(TraceError::corrupt(format!(
+            "{what} frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut frame = vec![0u8; len as usize];
+    src.read_exact(&mut frame)
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => {
+                TraceError::corrupt(format!("{what} frame truncated"))
+            }
+            _ => TraceError::Io(e),
+        })?;
+    Ok(Some(frame))
+}
+
+fn write_frame<W: Write>(sink: &mut W, body: &[u8]) -> Result<(), TraceError> {
+    let mut len = Vec::with_capacity(artery_pulse::codec::MAX_VARINT_LEN);
+    write_varint(&mut len, body.len() as u64);
+    sink.write_all(&len)?;
+    sink.write_all(body)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Header body.
+
+const HEADER_FLAG_HISTORY: u8 = 1;
+const HEADER_FLAG_TRAJECTORY: u8 = 1 << 1;
+
+pub(crate) fn encode_header_body(header: &TraceHeader) -> Vec<u8> {
+    let c = &header.config;
+    let mut out = Vec::with_capacity(64 + header.label.len());
+    push_f64(&mut out, c.window_ns);
+    push_f64(&mut out, c.theta);
+    push_f64(&mut out, c.route_ns);
+    push_f64(&mut out, c.readout_ns);
+    write_varint(&mut out, c.k as u64);
+    write_varint(&mut out, c.time_buckets as u64);
+    write_varint(&mut out, c.train_pulses as u64);
+    let mut flags = 0u8;
+    if c.use_history {
+        flags |= HEADER_FLAG_HISTORY;
+    }
+    if c.use_trajectory {
+        flags |= HEADER_FLAG_TRAJECTORY;
+    }
+    out.push(flags);
+    write_varint(&mut out, header.label.len() as u64);
+    out.extend_from_slice(header.label.as_bytes());
+    out
+}
+
+pub(crate) fn decode_header_body(bytes: &[u8]) -> Result<TraceHeader, TraceError> {
+    let mut pos = 0;
+    let window_ns = read_f64(bytes, &mut pos, "header window_ns")?;
+    let theta = read_f64(bytes, &mut pos, "header theta")?;
+    let route_ns = read_f64(bytes, &mut pos, "header route_ns")?;
+    let readout_ns = read_f64(bytes, &mut pos, "header readout_ns")?;
+    let k = read_len(bytes, &mut pos, "header k")?;
+    let time_buckets = read_len(bytes, &mut pos, "header time_buckets")?;
+    let train_pulses = read_len(bytes, &mut pos, "header train_pulses")?;
+    let [flags] = take::<1>(bytes, &mut pos, "header flags")?;
+    if flags & !(HEADER_FLAG_HISTORY | HEADER_FLAG_TRAJECTORY) != 0 {
+        return Err(TraceError::corrupt("reserved header flag bit set"));
+    }
+    let label_len = read_len(bytes, &mut pos, "header label length")?;
+    let label_bytes = bytes
+        .get(pos..pos + label_len)
+        .ok_or_else(|| TraceError::corrupt("header label truncated"))?;
+    pos += label_len;
+    let label = String::from_utf8(label_bytes.to_vec())
+        .map_err(|_| TraceError::corrupt("header label is not UTF-8"))?;
+    if pos != bytes.len() {
+        return Err(TraceError::corrupt("trailing bytes in header frame"));
+    }
+    Ok(TraceHeader {
+        config: ArteryConfig {
+            window_ns,
+            k,
+            theta,
+            time_buckets,
+            train_pulses,
+            use_history: flags & HEADER_FLAG_HISTORY != 0,
+            use_trajectory: flags & HEADER_FLAG_TRAJECTORY != 0,
+            route_ns,
+            readout_ns,
+        },
+        label,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Event body.
+
+const EVENT_FLAG_REPORTED: u8 = 1;
+const EVENT_FLAG_DECIDED: u8 = 1 << 1;
+const EVENT_FLAG_BRANCH: u8 = 1 << 2;
+const EVENT_FLAG_FIRST_STATE: u8 = 1 << 3;
+const EVENT_FLAG_IQ: u8 = 1 << 4;
+const EVENT_CASE_SHIFT: u8 = 5;
+
+fn case_code(case: PreExecCase) -> u8 {
+    match case {
+        PreExecCase::Independent => 0,
+        PreExecCase::AncillaRemap => 1,
+        PreExecCase::OnMeasuredQubit => 2,
+        PreExecCase::NotPreExecutable => 3,
+    }
+}
+
+fn case_from_code(code: u8) -> PreExecCase {
+    match code {
+        0 => PreExecCase::Independent,
+        1 => PreExecCase::AncillaRemap,
+        2 => PreExecCase::OnMeasuredQubit,
+        _ => PreExecCase::NotPreExecutable,
+    }
+}
+
+/// Collapses a bool stream into alternating run lengths, starting from the
+/// value of the first element (empty stream → no runs).
+fn bool_runs(states: &[bool]) -> Vec<u64> {
+    let mut runs = Vec::new();
+    let Some(&first) = states.first() else {
+        return runs;
+    };
+    let mut current = first;
+    let mut len = 0u64;
+    for &s in states {
+        if s == current {
+            len += 1;
+        } else {
+            runs.push(len);
+            current = s;
+            len = 1;
+        }
+    }
+    runs.push(len);
+    runs
+}
+
+pub(crate) fn encode_event(ev: &TraceEvent) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + 8 * ev.iq.len());
+    let mut flags = 0u8;
+    if ev.reported {
+        flags |= EVENT_FLAG_REPORTED;
+    }
+    if let Some(d) = ev.decision {
+        flags |= EVENT_FLAG_DECIDED;
+        if d.branch {
+            flags |= EVENT_FLAG_BRANCH;
+        }
+    }
+    if ev.states.first() == Some(&true) {
+        flags |= EVENT_FLAG_FIRST_STATE;
+    }
+    if !ev.iq.is_empty() {
+        flags |= EVENT_FLAG_IQ;
+    }
+    flags |= case_code(ev.case) << EVENT_CASE_SHIFT;
+    out.push(flags);
+    write_varint(&mut out, ev.site as u64);
+    let runs = bool_runs(&ev.states);
+    write_varint(&mut out, runs.len() as u64);
+    for &r in &runs {
+        write_varint(&mut out, r);
+    }
+    if let Some(d) = ev.decision {
+        write_varint(&mut out, d.window as u64);
+    }
+    push_f64(&mut out, ev.p_history);
+    push_f64(&mut out, ev.latency_ns);
+    push_f64(&mut out, ev.branch0_ns);
+    push_f64(&mut out, ev.branch1_ns);
+    if !ev.iq.is_empty() {
+        write_varint(&mut out, ev.iq.len() as u64);
+        for &(i, q) in &ev.iq {
+            push_f32(&mut out, i);
+            push_f32(&mut out, q);
+        }
+    }
+    out
+}
+
+pub(crate) fn decode_event(bytes: &[u8]) -> Result<TraceEvent, TraceError> {
+    let mut pos = 0;
+    let [flags] = take::<1>(bytes, &mut pos, "event flags")?;
+    let reported = flags & EVENT_FLAG_REPORTED != 0;
+    let decided = flags & EVENT_FLAG_DECIDED != 0;
+    let branch = flags & EVENT_FLAG_BRANCH != 0;
+    let first_state = flags & EVENT_FLAG_FIRST_STATE != 0;
+    let has_iq = flags & EVENT_FLAG_IQ != 0;
+    let case = case_from_code((flags >> EVENT_CASE_SHIFT) & 0b11);
+    if flags & 0x80 != 0 {
+        return Err(TraceError::corrupt("reserved event flag bit set"));
+    }
+    if !decided && branch {
+        return Err(TraceError::corrupt("branch flag set without a decision"));
+    }
+    let site = read_len(bytes, &mut pos, "event site")?;
+
+    let run_count = read_len(bytes, &mut pos, "event run count")?;
+    if first_state && run_count == 0 {
+        return Err(TraceError::corrupt("state flag set on an empty stream"));
+    }
+    let mut states = Vec::new();
+    let mut value = first_state;
+    let mut total = 0u64;
+    for _ in 0..run_count {
+        let run = read_varint(bytes, &mut pos)?;
+        if run == 0 {
+            return Err(TraceError::corrupt("zero-length state run"));
+        }
+        total += run;
+        if total > MAX_SEQUENCE_LEN {
+            return Err(TraceError::corrupt("state stream exceeds the length cap"));
+        }
+        states.extend(std::iter::repeat_n(value, run as usize));
+        value = !value;
+    }
+
+    let decision = if decided {
+        let window = read_len(bytes, &mut pos, "event decision window")?;
+        Some(RecordedDecision { window, branch })
+    } else {
+        None
+    };
+
+    let p_history = read_f64(bytes, &mut pos, "event p_history")?;
+    let latency_ns = read_f64(bytes, &mut pos, "event latency")?;
+    let branch0_ns = read_f64(bytes, &mut pos, "event branch0")?;
+    let branch1_ns = read_f64(bytes, &mut pos, "event branch1")?;
+
+    let iq = if has_iq {
+        let n = read_varint(bytes, &mut pos)?;
+        if n == 0 {
+            return Err(TraceError::corrupt("IQ flag set on an empty trajectory"));
+        }
+        if n > MAX_SEQUENCE_LEN {
+            return Err(TraceError::corrupt("IQ trajectory exceeds the length cap"));
+        }
+        let mut iq = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let i = read_f32(bytes, &mut pos, "event IQ point")?;
+            let q = read_f32(bytes, &mut pos, "event IQ point")?;
+            iq.push((i, q));
+        }
+        iq
+    } else {
+        Vec::new()
+    };
+
+    if pos != bytes.len() {
+        return Err(TraceError::corrupt("trailing bytes in event frame"));
+    }
+    Ok(TraceEvent {
+        site,
+        case,
+        reported,
+        states,
+        iq,
+        p_history,
+        decision,
+        latency_ns,
+        branch0_ns,
+        branch1_ns,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Writer / reader.
+
+/// Streaming trace writer: emits the magic, version and header on
+/// construction, then one frame per event.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    events: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace on `sink`, writing magic, version and `header`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the sink fails.
+    pub fn new(mut sink: W, header: &TraceHeader) -> Result<Self, TraceError> {
+        sink.write_all(&MAGIC)?;
+        sink.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        write_frame(&mut sink, &encode_header_body(header))?;
+        Ok(Self { sink, events: 0 })
+    }
+
+    /// Appends one event frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the sink fails.
+    pub fn write_event(&mut self, event: &TraceEvent) -> Result<(), TraceError> {
+        write_frame(&mut self.sink, &encode_event(event))?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Number of events written so far.
+    #[must_use]
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the flush fails.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming trace reader: validates magic and version, decodes the header,
+/// then yields events one frame at a time.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    src: R,
+    header: TraceHeader,
+    events: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace, validating magic and format version and decoding the
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Corrupt`] on a bad magic, an unsupported
+    /// version or a malformed header, and [`TraceError::Io`] when the
+    /// source fails.
+    pub fn new(mut src: R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 8];
+        src.read_exact(&mut magic).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => TraceError::corrupt("magic truncated"),
+            _ => TraceError::Io(e),
+        })?;
+        if magic != MAGIC {
+            return Err(TraceError::corrupt("bad magic — not an ARTERY trace"));
+        }
+        let mut version = [0u8; 2];
+        src.read_exact(&mut version).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => TraceError::corrupt("version truncated"),
+            _ => TraceError::Io(e),
+        })?;
+        let version = u16::from_le_bytes(version);
+        if version != FORMAT_VERSION {
+            return Err(TraceError::corrupt(format!(
+                "unsupported trace format version {version} (this library reads {FORMAT_VERSION})"
+            )));
+        }
+        let header_frame = read_frame(&mut src, "header")?
+            .ok_or_else(|| TraceError::corrupt("missing header frame"))?;
+        let header = decode_header_body(&header_frame)?;
+        Ok(Self {
+            src,
+            header,
+            events: 0,
+        })
+    }
+
+    /// The trace header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Number of events decoded so far.
+    #[must_use]
+    pub fn events_read(&self) -> u64 {
+        self.events
+    }
+
+    /// Decodes the next event; `None` at clean end of trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Corrupt`] on a malformed or truncated frame and
+    /// [`TraceError::Io`] when the source fails.
+    pub fn next_event(&mut self) -> Result<Option<TraceEvent>, TraceError> {
+        match read_frame(&mut self.src, "event")? {
+            None => Ok(None),
+            Some(frame) => {
+                let ev = decode_event(&frame)?;
+                self.events += 1;
+                Ok(Some(ev))
+            }
+        }
+    }
+
+    /// Drains the remaining events into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decode failure.
+    pub fn read_all(mut self) -> Result<Vec<TraceEvent>, TraceError> {
+        let mut events = Vec::new();
+        while let Some(ev) = self.next_event()? {
+            events.push(ev);
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> TraceHeader {
+        TraceHeader::new(&ArteryConfig::paper(), "unit/format")
+    }
+
+    fn sample_event() -> TraceEvent {
+        TraceEvent {
+            site: 5,
+            case: PreExecCase::AncillaRemap,
+            reported: true,
+            states: vec![false, false, true, true, true, false],
+            iq: vec![(0.5, -0.25), (1.0, -0.5), (1.5, -0.75)],
+            p_history: 0.8125,
+            decision: Some(RecordedDecision {
+                window: 4,
+                branch: true,
+            }),
+            latency_ns: 512.5,
+            branch0_ns: 0.0,
+            branch1_ns: 30.0,
+        }
+    }
+
+    fn round_trip(events: &[TraceEvent]) -> (TraceHeader, Vec<TraceEvent>) {
+        let mut w = TraceWriter::new(Vec::new(), &sample_header()).unwrap();
+        for ev in events {
+            w.write_event(ev).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let r = TraceReader::new(bytes.as_slice()).unwrap();
+        let header = r.header().clone();
+        (header, r.read_all().unwrap())
+    }
+
+    #[test]
+    fn header_and_events_round_trip() {
+        let events = vec![
+            sample_event(),
+            TraceEvent {
+                decision: None,
+                iq: Vec::new(),
+                ..sample_event()
+            },
+            TraceEvent {
+                states: Vec::new(),
+                iq: Vec::new(),
+                case: PreExecCase::NotPreExecutable,
+                decision: None,
+                ..sample_event()
+            },
+            TraceEvent {
+                states: vec![true],
+                reported: false,
+                ..sample_event()
+            },
+        ];
+        let (header, decoded) = round_trip(&events);
+        assert_eq!(header, sample_header());
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let (header, decoded) = round_trip(&[]);
+        assert_eq!(header.config, ArteryConfig::paper());
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn trace_opens_with_magic_and_version() {
+        let w = TraceWriter::new(Vec::new(), &sample_header()).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(&bytes[..8], b"ARTERYTR");
+        assert_eq!(&bytes[8..10], &1u16.to_le_bytes());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let w = TraceWriter::new(Vec::new(), &sample_header()).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes[0] = b'X';
+        let err = TraceReader::new(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let w = TraceWriter::new(Vec::new(), &sample_header()).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes[8..10].copy_from_slice(&2u16.to_le_bytes());
+        let err = TraceReader::new(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version 2"), "{err}");
+    }
+
+    #[test]
+    fn truncated_event_frame_is_corrupt() {
+        let mut w = TraceWriter::new(Vec::new(), &sample_header()).unwrap();
+        w.write_event(&sample_event()).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = TraceReader::new(&bytes[..bytes.len() - 3]).unwrap();
+        let err = r.next_event().unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_in_event_is_corrupt() {
+        let mut body = encode_event(&sample_event());
+        body.push(0);
+        let err = decode_event(&body).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn run_length_encoding_is_compact() {
+        // 66 windows of a typical shot: one long run + a short tail run.
+        let mut states = vec![false; 60];
+        states.extend_from_slice(&[true; 6]);
+        let ev = TraceEvent {
+            states,
+            iq: Vec::new(),
+            ..sample_event()
+        };
+        let body = encode_event(&ev);
+        // flags + site + run bookkeeping + decision + 4 f64s: far below one
+        // byte per window.
+        assert!(body.len() < 45, "event body is {} bytes", body.len());
+    }
+
+    #[test]
+    fn bool_runs_alternate() {
+        assert_eq!(bool_runs(&[]), Vec::<u64>::new());
+        assert_eq!(bool_runs(&[true]), vec![1]);
+        assert_eq!(bool_runs(&[false, false, true]), vec![2, 1]);
+        assert_eq!(bool_runs(&[true, false, false, true]), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn all_cases_round_trip_through_flags() {
+        for case in [
+            PreExecCase::Independent,
+            PreExecCase::AncillaRemap,
+            PreExecCase::OnMeasuredQubit,
+            PreExecCase::NotPreExecutable,
+        ] {
+            assert_eq!(case_from_code(case_code(case)), case);
+            let ev = TraceEvent {
+                case,
+                ..sample_event()
+            };
+            assert_eq!(decode_event(&encode_event(&ev)).unwrap(), ev);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Recorded shot traces and trace-driven predictor evaluation.
+//!
+//! Live evaluation of a predictor configuration re-runs the state-vector
+//! simulator and the readout synthesizer for every shot — fine for one
+//! configuration, wasteful for a grid of them. This crate applies the
+//! classic branch-predictor-championship workflow to quantum feedback:
+//!
+//! 1. **Record** ([`TraceRecorder`]): a drop-in
+//!    [`FeedbackHandler`](artery_sim::FeedbackHandler) wrapping
+//!    [`ArteryController`](artery_core::ArteryController) that streams every
+//!    resolved feedback — window states, IQ trajectory, prior, reported
+//!    branch, live decision and latency — to a [`TraceWriter`].
+//! 2. **Store** ([`TraceWriter`]/[`TraceReader`]): a versioned compact
+//!    binary format ([`MAGIC`] + [`FORMAT_VERSION`]); window-state streams
+//!    are run-length coded with the LEB128 varints of `artery-pulse`'s codec
+//!    layer, floats are stored as exact IEEE-754 bit patterns, and every
+//!    record is length-framed for streaming and truncation detection.
+//! 3. **Replay** ([`Replayer`]): re-drive any predictor configuration —
+//!    threshold grids, table ablations, retrained calibrations — over the
+//!    recorded events without touching the simulator. Replaying the
+//!    recorded configuration reproduces the live run's committed windows,
+//!    predictions, accuracy and latencies bit-for-bit, because record and
+//!    replay share the controller's decision, latency and bookkeeping code.
+//!
+//! Events are independent between shots, so traces shard trivially: the
+//! `trace_eval` harness in `artery-bench` fans a configuration panel across
+//! OS threads, one shard per worker, and merges
+//! [`ShotStats`](artery_core::ShotStats) deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod format;
+mod recorder;
+mod replay;
+
+pub use event::{RecordedDecision, TraceEvent, TraceHeader};
+pub use format::{TraceError, TraceReader, TraceWriter, FORMAT_VERSION, MAGIC};
+pub use recorder::TraceRecorder;
+pub use replay::Replayer;

@@ -1,0 +1,203 @@
+//! Recording feedback handler: a drop-in wrapper around
+//! [`ArteryController`] that streams every resolved feedback to a
+//! [`TraceWriter`] while behaving identically to the bare controller.
+
+use std::io::Write;
+
+use artery_circuit::Feedback;
+use artery_core::ArteryController;
+use artery_sim::{FeedbackHandler, Resolution};
+use rand::rngs::StdRng;
+
+use crate::event::TraceEvent;
+use crate::format::{TraceError, TraceWriter};
+
+/// A [`FeedbackHandler`] that records every resolution it forwards to the
+/// wrapped [`ArteryController`].
+///
+/// The recorder delegates to
+/// [`ArteryController::resolve_traced`], the same code path
+/// [`FeedbackHandler::resolve`] uses on the bare controller, so a recorded
+/// run is *the* live run — identical latencies, statistics and RNG
+/// consumption — plus a trace on the side.
+///
+/// # Examples
+///
+/// ```
+/// use artery_core::{ArteryConfig, ArteryController, Calibration};
+/// use artery_sim::{Executor, NoiseModel};
+/// use artery_trace::{TraceHeader, TraceReader, TraceRecorder, TraceWriter};
+///
+/// let config = ArteryConfig::default();
+/// let mut rng = artery_num::rng::rng_for("doc/trace");
+/// let calibration = Calibration::train(&config, &mut rng);
+/// let circuit = artery_workloads::active_reset(1);
+///
+/// let controller = ArteryController::new(&circuit, &config, &calibration);
+/// let header = TraceHeader::new(&config, "doc: active reset");
+/// let writer = TraceWriter::new(Vec::new(), &header).unwrap();
+/// let mut recorder = TraceRecorder::new(controller, writer);
+///
+/// let mut exec = Executor::new(NoiseModel::noiseless());
+/// for _ in 0..3 {
+///     exec.run(&circuit, &mut recorder, &mut rng);
+/// }
+///
+/// let (_controller, bytes) = recorder.finish().unwrap();
+/// let events = TraceReader::new(bytes.as_slice()).unwrap().read_all().unwrap();
+/// assert_eq!(events.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct TraceRecorder<'a, W: Write> {
+    controller: ArteryController<'a>,
+    writer: TraceWriter<W>,
+    keep_iq: bool,
+}
+
+impl<'a, W: Write> TraceRecorder<'a, W> {
+    /// Wraps `controller`, streaming events to `writer`. IQ trajectories are
+    /// recorded by default (see [`Self::without_iq`]).
+    #[must_use]
+    pub fn new(controller: ArteryController<'a>, writer: TraceWriter<W>) -> Self {
+        Self {
+            controller,
+            writer,
+            keep_iq: true,
+        }
+    }
+
+    /// Drops IQ trajectories from recorded events, roughly halving the trace
+    /// size. Window states — all a [`crate::Replayer`] needs — are always
+    /// kept; only trajectory-consuming baselines (e.g. the FNN) lose their
+    /// input.
+    #[must_use]
+    pub fn without_iq(mut self) -> Self {
+        self.keep_iq = false;
+        self
+    }
+
+    /// The wrapped controller.
+    #[must_use]
+    pub fn controller(&self) -> &ArteryController<'a> {
+        &self.controller
+    }
+
+    /// Mutable access to the wrapped controller (threshold overrides,
+    /// history seeding, stat resets).
+    pub fn controller_mut(&mut self) -> &mut ArteryController<'a> {
+        &mut self.controller
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn events_recorded(&self) -> u64 {
+        self.writer.events_written()
+    }
+
+    /// Flushes the trace and dismantles the recorder into the controller and
+    /// the writer's sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the final flush fails.
+    pub fn finish(self) -> Result<(ArteryController<'a>, W), TraceError> {
+        let sink = self.writer.finish()?;
+        Ok((self.controller, sink))
+    }
+}
+
+impl<W: Write> FeedbackHandler for TraceRecorder<'_, W> {
+    fn resolve(&mut self, fb: &Feedback, reported: bool, rng: &mut StdRng) -> Resolution {
+        let (resolution, trace) = self.controller.resolve_traced(fb, reported, rng);
+        let event = TraceEvent::from_resolve(trace, self.keep_iq);
+        // `FeedbackHandler::resolve` is infallible; a dead sink mid-run
+        // cannot be handled gracefully, so fail loudly.
+        self.writer
+            .write_event(&event)
+            .expect("trace sink failed while recording");
+        resolution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceHeader;
+    use crate::format::TraceReader;
+    use artery_core::{ArteryConfig, Calibration};
+    use artery_num::rng::rng_for;
+    use artery_sim::{Executor, NoiseModel};
+
+    fn calibration(config: &ArteryConfig) -> Calibration {
+        Calibration::train(config, &mut rng_for("trace/rec-cal"))
+    }
+
+    #[test]
+    fn recorded_run_matches_bare_controller() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = calibration(&config);
+        let circuit = artery_workloads::qrw(2);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+
+        // Bare controller run.
+        let mut bare = ArteryController::new(&circuit, &config, &cal);
+        let mut rng = rng_for("trace/rec-run");
+        for _ in 0..25 {
+            let _ = exec.run(&circuit, &mut bare, &mut rng);
+        }
+
+        // Identical run through the recorder (same seed, same executor).
+        let controller = ArteryController::new(&circuit, &config, &cal);
+        let writer =
+            TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "unit/qrw")).unwrap();
+        let mut recorder = TraceRecorder::new(controller, writer);
+        let mut rng = rng_for("trace/rec-run");
+        for _ in 0..25 {
+            let _ = exec.run(&circuit, &mut recorder, &mut rng);
+        }
+
+        assert_eq!(recorder.events_recorded(), bare.stats().resolved);
+        let (recorded, bytes) = recorder.finish().unwrap();
+        assert_eq!(recorded.stats(), bare.stats());
+
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.header().label, "unit/qrw");
+        let events = reader.read_all().unwrap();
+        assert_eq!(events.len() as u64, bare.stats().resolved);
+        // Predicting sites carry the full window stream and IQ trajectory.
+        for ev in &events {
+            assert!(!ev.states.is_empty());
+            assert_eq!(ev.states.len(), ev.iq.len());
+        }
+    }
+
+    #[test]
+    fn without_iq_strips_trajectories_only() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = calibration(&config);
+        let circuit = artery_workloads::active_reset(1);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+
+        let controller = ArteryController::new(&circuit, &config, &cal);
+        let writer =
+            TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "unit/lean")).unwrap();
+        let mut recorder = TraceRecorder::new(controller, writer).without_iq();
+        let mut rng = rng_for("trace/rec-lean");
+        for _ in 0..10 {
+            let _ = exec.run(&circuit, &mut recorder, &mut rng);
+        }
+        let (_, bytes) = recorder.finish().unwrap();
+        let events = TraceReader::new(bytes.as_slice()).unwrap().read_all().unwrap();
+        assert_eq!(events.len(), 10);
+        for ev in &events {
+            assert!(ev.iq.is_empty());
+            assert!(!ev.states.is_empty());
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Trace-driven predictor evaluation — CBP-style replay.
+//!
+//! A [`Replayer`] re-drives an arbitrary predictor configuration over a
+//! recorded event stream without touching the state-vector simulator or the
+//! readout synthesizer: the expensive physics (pulse synthesis, windowed
+//! demodulation, preliminary classification) was paid once at record time
+//! and is replayed from the stored window states. What *is* recomputed per
+//! event is exactly what a configuration change can alter — the historical
+//! prior, the Bayesian fusion walk across windows, the threshold decision
+//! and the resulting latency.
+//!
+//! Replaying the recorded configuration reproduces the live run bit-for-bit:
+//! the replayer calls the same
+//! [`BranchPredictor::predict_states`](artery_core::BranchPredictor::predict_states),
+//! [`feedback_latency_ns`] and [`ShotStats::record`] the live controller
+//! uses, and re-derives the history prior from the recorded reported-outcome
+//! stream (history updates are deterministic, so the priors match exactly).
+
+use std::collections::HashMap;
+
+use artery_circuit::FeedbackSite;
+use artery_core::predictor::HistoryTracker;
+use artery_core::{
+    feedback_latency_ns, ArteryConfig, BranchPredictor, Calibration, ShotStats, SiteOutcome,
+};
+use artery_hw::ControllerTiming;
+
+use crate::event::TraceEvent;
+
+/// Re-drives one predictor configuration over recorded trace events.
+///
+/// # Examples
+///
+/// ```
+/// use artery_core::{ArteryConfig, ArteryController, Calibration};
+/// use artery_sim::{Executor, NoiseModel};
+/// use artery_trace::{Replayer, TraceHeader, TraceReader, TraceRecorder, TraceWriter};
+///
+/// let config = ArteryConfig::default();
+/// let mut rng = artery_num::rng::rng_for("doc/replay");
+/// let calibration = Calibration::train(&config, &mut rng);
+/// let circuit = artery_workloads::active_reset(1);
+///
+/// // Record a short live run.
+/// let controller = ArteryController::new(&circuit, &config, &calibration);
+/// let writer = TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "doc")).unwrap();
+/// let mut recorder = TraceRecorder::new(controller, writer);
+/// let mut exec = Executor::new(NoiseModel::noiseless());
+/// for _ in 0..5 {
+///     exec.run(&circuit, &mut recorder, &mut rng);
+/// }
+/// let (live, bytes) = recorder.finish().unwrap();
+///
+/// // Replay the recorded configuration: statistics match bit-for-bit.
+/// let events = TraceReader::new(bytes.as_slice()).unwrap().read_all().unwrap();
+/// let mut replay = Replayer::new(&calibration, &config);
+/// replay.replay_all(&events);
+/// assert_eq!(replay.stats(), live.stats());
+///
+/// // Replay a stricter threshold — no re-simulation needed.
+/// let strict = ArteryConfig { theta: 0.999, ..config };
+/// let mut replay = Replayer::new(&calibration, &strict);
+/// replay.replay_all(&events);
+/// assert!(replay.stats().commit_rate() <= live.stats().commit_rate());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Replayer<'a> {
+    calibration: &'a Calibration,
+    config: ArteryConfig,
+    timing: ControllerTiming,
+    history: HistoryTracker,
+    site_theta: HashMap<usize, f64>,
+    stats: ShotStats,
+}
+
+impl<'a> Replayer<'a> {
+    /// Builds a replayer evaluating `config` against `calibration`.
+    ///
+    /// The calibration may differ from the recording one (table ablations,
+    /// retrained k/time-bucket grids); only the recorded window states and
+    /// reported outcomes are taken from the trace.
+    #[must_use]
+    pub fn new(calibration: &'a Calibration, config: &ArteryConfig) -> Self {
+        Self {
+            calibration,
+            config: *config,
+            timing: ControllerTiming::new(config.hardware(), config.window_ns),
+            history: HistoryTracker::new(),
+            site_theta: HashMap::new(),
+            stats: ShotStats::default(),
+        }
+    }
+
+    /// Overrides the confidence threshold at one feedback site, mirroring
+    /// [`ArteryController::set_site_threshold`](artery_core::ArteryController::set_site_threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `theta` is in `(0.5, 1.0]`.
+    pub fn set_site_threshold(&mut self, site: FeedbackSite, theta: f64) {
+        assert!(
+            theta > 0.5 && theta <= 1.0,
+            "threshold must be in (0.5, 1.0]"
+        );
+        self.site_theta.insert(site.0, theta);
+    }
+
+    /// Warm-starts a site's history, mirroring
+    /// [`ArteryController::seed_history`](artery_core::ArteryController::seed_history).
+    pub fn seed_history(&mut self, site: FeedbackSite, p1: f64, weight: u64) {
+        self.history.seed(site, p1, weight);
+    }
+
+    /// Clears the aggregate statistics while keeping the learned history —
+    /// the same warm-up/measure split as
+    /// [`ArteryController::reset_stats`](artery_core::ArteryController::reset_stats).
+    pub fn reset_stats(&mut self) {
+        self.stats = ShotStats::default();
+    }
+
+    /// Aggregate statistics over all replayed events.
+    #[must_use]
+    pub fn stats(&self) -> &ShotStats {
+        &self.stats
+    }
+
+    /// Consumes the replayer, returning its statistics (shard reduction).
+    #[must_use]
+    pub fn into_stats(self) -> ShotStats {
+        self.stats
+    }
+
+    /// Replays one event: recomputes the prior, the windowed decision and
+    /// the latency under this replayer's configuration, then advances the
+    /// history with the recorded outcome.
+    pub fn replay_event(&mut self, event: &TraceEvent) -> SiteOutcome {
+        let site = FeedbackSite(event.site);
+        let p_history = self.history.p_history_1(site);
+        let decision = if event.case.benefits_from_prediction() {
+            let config = match self.site_theta.get(&event.site) {
+                Some(&theta) => ArteryConfig {
+                    theta,
+                    ..self.config
+                },
+                None => self.config,
+            };
+            let predictor = BranchPredictor::new(self.calibration, &config);
+            predictor.predict_states(&event.states, p_history).decision
+        } else {
+            None
+        };
+        let latency_ns = feedback_latency_ns(
+            &self.timing,
+            self.config.route_ns,
+            event.case,
+            event.branch0_ns,
+            event.branch1_ns,
+            event.reported,
+            decision.as_ref(),
+        );
+        self.history.observe(site, event.reported);
+        let outcome = SiteOutcome {
+            site,
+            window: decision.as_ref().map(|d| d.window),
+            predicted: decision.as_ref().map(|d| d.branch),
+            reported: event.reported,
+            latency_ns,
+        };
+        self.stats.record(&outcome);
+        outcome
+    }
+
+    /// Replays a slice of events in order.
+    pub fn replay_all(&mut self, events: &[TraceEvent]) {
+        for event in events {
+            self.replay_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceHeader;
+    use crate::format::{TraceReader, TraceWriter};
+    use crate::recorder::TraceRecorder;
+    use artery_core::ArteryController;
+    use artery_num::rng::rng_for;
+    use artery_sim::{Executor, NoiseModel};
+
+    fn record_qrw(config: &ArteryConfig, cal: &Calibration, shots: usize) -> Vec<TraceEvent> {
+        let circuit = artery_workloads::qrw(2);
+        let controller = ArteryController::new(&circuit, config, cal);
+        let writer =
+            TraceWriter::new(Vec::new(), &TraceHeader::new(config, "unit/replay")).unwrap();
+        let mut recorder = TraceRecorder::new(controller, writer).without_iq();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("trace/replay-run");
+        for _ in 0..shots {
+            let _ = exec.run(&circuit, &mut recorder, &mut rng);
+        }
+        let (_, bytes) = recorder.finish().unwrap();
+        TraceReader::new(bytes.as_slice()).unwrap().read_all().unwrap()
+    }
+
+    #[test]
+    fn recorded_config_replays_bit_for_bit() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("trace/replay-cal"));
+        let events = record_qrw(&config, &cal, 30);
+        // Decisions, windows and latencies must match the live run exactly.
+        let mut replay = Replayer::new(&cal, &config);
+        for ev in &events {
+            let out = replay.replay_event(ev);
+            assert_eq!(out.predicted, ev.decision.map(|d| d.branch));
+            assert_eq!(out.window, ev.decision.map(|d| d.window));
+            assert_eq!(out.latency_ns, ev.latency_ns);
+        }
+    }
+
+    #[test]
+    fn stricter_threshold_commits_later_or_less() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("trace/replay-cal"));
+        let events = record_qrw(&config, &cal, 60);
+
+        let mut base = Replayer::new(&cal, &config);
+        base.replay_all(&events);
+        let mut strict = Replayer::new(&cal, &ArteryConfig { theta: 0.999, ..config });
+        strict.replay_all(&events);
+
+        assert!(strict.stats().commit_rate() <= base.stats().commit_rate());
+        assert!(strict.stats().accuracy() >= base.stats().accuracy() - 1e-12);
+        assert_eq!(strict.stats().resolved, base.stats().resolved);
+    }
+
+    #[test]
+    fn site_threshold_override_and_reset_mirror_the_controller() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("trace/replay-cal"));
+        let events = record_qrw(&config, &cal, 40);
+        let site = FeedbackSite(events[0].site);
+
+        let mut tuned = Replayer::new(&cal, &config);
+        tuned.set_site_threshold(site, 0.999);
+        tuned.replay_all(&events);
+        let mut plain = Replayer::new(&cal, &config);
+        plain.replay_all(&events);
+        let strict_commits = tuned
+            .stats()
+            .committed
+            .min(plain.stats().committed);
+        assert_eq!(strict_commits, tuned.stats().committed);
+
+        tuned.reset_stats();
+        assert_eq!(tuned.stats(), &ShotStats::default());
+        // History survives the reset, as on the live controller.
+        tuned.replay_all(&events);
+        assert_eq!(tuned.stats().resolved, events.len() as u64);
+    }
+
+    #[test]
+    fn sharded_replay_merges_to_the_whole() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("trace/replay-cal"));
+        let events = record_qrw(&config, &cal, 40);
+
+        let mut whole = Replayer::new(&cal, &config);
+        whole.replay_all(&events);
+
+        // Shard at a shot boundary; each shard replays with fresh history,
+        // so merged counters must match a per-shard-restarted whole.
+        let (left, right) = events.split_at(events.len() / 2);
+        let mut a = Replayer::new(&cal, &config);
+        a.replay_all(left);
+        let mut b = Replayer::new(&cal, &config);
+        b.replay_all(right);
+        let mut merged = a.into_stats();
+        merged.merge(&b.into_stats());
+        assert_eq!(merged.resolved, whole.stats().resolved);
+        assert_eq!(merged.latency_ns.len(), whole.stats().latency_ns.len());
+    }
+}

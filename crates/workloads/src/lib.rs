@@ -434,6 +434,15 @@ impl Benchmark {
             Benchmark::Random(50),
         ]
     }
+
+    /// The corpus the trace-driven evaluation harness records: one instance
+    /// per family, so a replayed predictor panel sees every §3 case and
+    /// every branch-prior regime. Each benchmark becomes one trace shard
+    /// that the `trace_eval` harness replays on its own worker thread.
+    #[must_use]
+    pub fn trace_corpus() -> Vec<Benchmark> {
+        Self::representatives()
+    }
 }
 
 impl std::fmt::Display for Benchmark {
@@ -533,6 +542,14 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(Benchmark::Qrw(5).to_string(), "QRW(5)");
+    }
+
+    #[test]
+    fn trace_corpus_covers_all_families() {
+        let corpus = Benchmark::trace_corpus();
+        let families: std::collections::HashSet<&str> =
+            corpus.iter().map(Benchmark::family).collect();
+        assert_eq!(families.len(), 6);
     }
 
     #[test]

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Lint gate: formatting + clippy across the whole workspace, warnings fatal.
+# Run locally before pushing; CI runs the same two commands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -14,7 +14,8 @@
 //! * [`workloads`] — the paper's benchmark circuits,
 //! * [`baselines`] — QubiC / HERQULES / Salathé / Reuer controllers,
 //! * [`core`] — the branch predictor and feedback engine (the paper's
-//!   contribution).
+//!   contribution),
+//! * [`trace`] — recorded shot traces and trace-driven predictor replay.
 //!
 //! # Examples
 //!
@@ -41,4 +42,5 @@ pub use artery_pulse as pulse;
 pub use artery_qec as qec;
 pub use artery_readout as readout;
 pub use artery_sim as sim;
+pub use artery_trace as trace;
 pub use artery_workloads as workloads;

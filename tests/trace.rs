@@ -1,0 +1,288 @@
+//! Integration tests of the trace subsystem: golden-file pinning of the
+//! on-disk format, property-based round-trip guarantees, and bit-for-bit
+//! equivalence between a live run and its trace replay.
+
+use artery::circuit::analysis::PreExecCase;
+use artery::core::{ArteryConfig, ArteryController, Calibration};
+use artery::num::rng::rng_for;
+use artery::sim::{Executor, NoiseModel};
+use artery::trace::{
+    RecordedDecision, Replayer, TraceEvent, TraceHeader, TraceReader, TraceRecorder, TraceWriter,
+    FORMAT_VERSION, MAGIC,
+};
+use proptest::prelude::*;
+
+/// The exact bytes of an empty trace recorded with the paper configuration
+/// and the label "golden": magic, version 1, and the 44-byte header frame.
+/// Any byte-level change to the format must bump [`FORMAT_VERSION`] and
+/// update this constant deliberately.
+const GOLDEN_EMPTY_TRACE: [u8; 55] = [
+    0x41, 0x52, 0x54, 0x45, 0x52, 0x59, 0x54, 0x52, // "ARTERYTR"
+    0x01, 0x00, // version 1 (u16 LE)
+    0x2c, // header frame length (44)
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x3e, 0x40, // window_ns = 30.0
+    0x1f, 0x85, 0xeb, 0x51, 0xb8, 0x1e, 0xed, 0x3f, // theta = 0.91
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // route_ns = 0.0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x40, 0x9f, 0x40, // readout_ns = 2000.0
+    0x06, // k = 6
+    0x08, // time_buckets = 8
+    0xe8, 0x07, // train_pulses = 1000
+    0x03, // flags: use_history | use_trajectory
+    0x06, // label length
+    0x67, 0x6f, 0x6c, 0x64, 0x65, 0x6e, // "golden"
+];
+
+#[test]
+fn golden_empty_trace_bytes_are_pinned() {
+    let header = TraceHeader::new(&ArteryConfig::paper(), "golden");
+    let writer = TraceWriter::new(Vec::new(), &header).expect("write header");
+    let bytes = writer.finish().expect("finish");
+    assert_eq!(bytes.as_slice(), GOLDEN_EMPTY_TRACE);
+
+    // And the pinned bytes decode back to the same header.
+    let reader = TraceReader::new(&GOLDEN_EMPTY_TRACE[..]).expect("golden readable");
+    assert_eq!(reader.header(), &header);
+    assert_eq!(reader.read_all().expect("no events"), Vec::new());
+}
+
+#[test]
+fn magic_and_version_are_pinned() {
+    assert_eq!(&MAGIC, b"ARTERYTR");
+    assert_eq!(FORMAT_VERSION, 1);
+    assert_eq!(&GOLDEN_EMPTY_TRACE[..8], &MAGIC);
+    assert_eq!(
+        u16::from_le_bytes([GOLDEN_EMPTY_TRACE[8], GOLDEN_EMPTY_TRACE[9]]),
+        FORMAT_VERSION
+    );
+}
+
+fn round_trip(header: &TraceHeader, events: &[TraceEvent]) -> (TraceHeader, Vec<TraceEvent>) {
+    let mut writer = TraceWriter::new(Vec::new(), header).expect("header");
+    for ev in events {
+        writer.write_event(ev).expect("event");
+    }
+    let bytes = writer.finish().expect("finish");
+    let reader = TraceReader::new(bytes.as_slice()).expect("reopen");
+    let decoded_header = reader.header().clone();
+    (decoded_header, reader.read_all().expect("events"))
+}
+
+#[test]
+fn empty_and_single_window_shots_round_trip() {
+    let header = TraceHeader::new(&ArteryConfig::paper(), "edge cases");
+    let base = TraceEvent {
+        site: 0,
+        case: PreExecCase::NotPreExecutable,
+        reported: false,
+        states: Vec::new(),
+        iq: Vec::new(),
+        p_history: 0.5,
+        decision: None,
+        latency_ns: 2190.0,
+        branch0_ns: 0.0,
+        branch1_ns: 30.0,
+    };
+    let events = vec![
+        // Case-4 shot: no window stream at all.
+        base.clone(),
+        // Single-window shot, committed at window 0.
+        TraceEvent {
+            case: PreExecCase::Independent,
+            states: vec![true],
+            iq: vec![(0.5, -0.5)],
+            decision: Some(RecordedDecision {
+                window: 0,
+                branch: true,
+            }),
+            reported: true,
+            ..base.clone()
+        },
+        // Single-window shot, no commitment.
+        TraceEvent {
+            case: PreExecCase::OnMeasuredQubit,
+            states: vec![false],
+            ..base
+        },
+    ];
+    let (h, decoded) = round_trip(&header, &events);
+    assert_eq!(h, header);
+    assert_eq!(decoded, events);
+}
+
+fn arbitrary_case() -> impl Strategy<Value = PreExecCase> {
+    prop_oneof![
+        Just(PreExecCase::Independent),
+        Just(PreExecCase::AncillaRemap),
+        Just(PreExecCase::OnMeasuredQubit),
+        Just(PreExecCase::NotPreExecutable),
+    ]
+}
+
+fn arbitrary_event() -> impl Strategy<Value = TraceEvent> {
+    let head = (
+        0usize..512,
+        arbitrary_case(),
+        any::<bool>(),
+        proptest::collection::vec(any::<bool>(), 0..100),
+        proptest::collection::vec((-1e3f32..1e3, -1e3f32..1e3), 0..12),
+    );
+    let tail = (
+        0.0f64..1.0,
+        proptest::option::of((0usize..70, any::<bool>())),
+        0.0f64..5000.0,
+        0.0f64..200.0,
+        0.0f64..200.0,
+    );
+    (head, tail).prop_map(
+        |(
+            (site, case, reported, states, iq),
+            (p_history, decision, latency_ns, branch0_ns, branch1_ns),
+        )| TraceEvent {
+            site,
+            case,
+            reported,
+            states,
+            iq,
+            p_history,
+            decision: decision.map(|(window, branch)| RecordedDecision { window, branch }),
+            latency_ns,
+            branch0_ns,
+            branch1_ns,
+        },
+    )
+}
+
+fn arbitrary_config() -> impl Strategy<Value = ArteryConfig> {
+    (
+        (10.0f64..100.0, 1usize..10, 0.51f64..1.0, 1usize..16),
+        (1usize..5000, any::<bool>(), any::<bool>(), 0.0f64..200.0, 500.0f64..4000.0),
+    )
+        .prop_map(
+            |(
+                (window_ns, k, theta, time_buckets),
+                (train_pulses, use_history, use_trajectory, route_ns, readout_ns),
+            )| ArteryConfig {
+                window_ns,
+                k,
+                theta,
+                time_buckets,
+                train_pulses,
+                use_history,
+                use_trajectory,
+                route_ns,
+                readout_ns,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn traces_round_trip_exactly(
+        config in arbitrary_config(),
+        label in "[ -~]{0,40}",
+        events in proptest::collection::vec(arbitrary_event(), 0..20),
+    ) {
+        let header = TraceHeader::new(&config, label);
+        let (h, decoded) = round_trip(&header, &events);
+        prop_assert_eq!(h, header);
+        prop_assert_eq!(decoded, events);
+    }
+}
+
+/// Satellite 4: a recorded trace, replayed through the same `ArteryConfig`,
+/// reproduces the live run's committed windows, predictions, accuracy and
+/// latency distribution bit-for-bit.
+#[test]
+fn replay_of_recorded_config_is_bit_for_bit_equivalent() {
+    let config = ArteryConfig {
+        train_pulses: 500,
+        ..ArteryConfig::paper()
+    };
+    let calibration = Calibration::train(&config, &mut rng_for("it/trace-cal"));
+    let mut exec = Executor::new(NoiseModel::noiseless());
+
+    for bench in [
+        artery::workloads::Benchmark::Qrw(3),
+        artery::workloads::Benchmark::Reset(2),
+        artery::workloads::Benchmark::RusQnn(2),
+    ] {
+        let circuit = bench.circuit();
+        let controller =
+            ArteryController::new(&circuit, &config, &calibration).with_outcome_log();
+        let writer =
+            TraceWriter::new(Vec::new(), &TraceHeader::new(&config, bench.to_string()))
+                .expect("start trace");
+        let mut recorder = TraceRecorder::new(controller, writer);
+        let mut rng = rng_for(&format!("it/trace-run/{bench}"));
+        for _ in 0..40 {
+            let _ = exec.run(&circuit, &mut recorder, &mut rng);
+        }
+        let (mut live, bytes) = recorder.finish().expect("finish trace");
+        let live_outcomes = live.take_outcomes();
+
+        let events = TraceReader::new(bytes.as_slice())
+            .expect("reopen")
+            .read_all()
+            .expect("events");
+        assert_eq!(events.len(), live_outcomes.len());
+
+        let mut replay = Replayer::new(&calibration, &config);
+        for (ev, outcome) in events.iter().zip(&live_outcomes) {
+            let replayed = replay.replay_event(ev);
+            // Committed window, predicted branch and charged latency all
+            // reproduce the live outcome exactly.
+            assert_eq!(replayed, *outcome, "{bench}");
+        }
+        assert_eq!(replay.stats(), live.stats(), "{bench}");
+        assert_eq!(replay.stats().accuracy(), live.stats().accuracy());
+        assert_eq!(replay.stats().commit_rate(), live.stats().commit_rate());
+    }
+}
+
+/// A different configuration replayed over the same trace must actually
+/// change behaviour (the panel in `trace_eval` is not a no-op).
+#[test]
+fn replay_panel_distinguishes_configurations() {
+    let config = ArteryConfig {
+        train_pulses: 500,
+        ..ArteryConfig::paper()
+    };
+    let calibration = Calibration::train(&config, &mut rng_for("it/trace-cal"));
+    let circuit = artery::workloads::qrw(3);
+    let controller = ArteryController::new(&circuit, &config, &calibration);
+    let writer = TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "panel"))
+        .expect("start trace");
+    let mut recorder = TraceRecorder::new(controller, writer);
+    let mut exec = Executor::new(NoiseModel::noiseless());
+    let mut rng = rng_for("it/trace-panel");
+    for _ in 0..60 {
+        let _ = exec.run(&circuit, &mut recorder, &mut rng);
+    }
+    let (_, bytes) = recorder.finish().expect("finish");
+    let events = TraceReader::new(bytes.as_slice())
+        .expect("reopen")
+        .read_all()
+        .expect("events");
+
+    let mut base = Replayer::new(&calibration, &config);
+    base.replay_all(&events);
+    let mut history_only = Replayer::new(
+        &calibration,
+        &ArteryConfig {
+            use_trajectory: false,
+            ..config
+        },
+    );
+    history_only.replay_all(&events);
+
+    // QRW priors are near 50/50: without the trajectory feature the
+    // predictor commits far less often.
+    assert!(
+        history_only.stats().commit_rate() < base.stats().commit_rate(),
+        "history-only commit rate {} vs base {}",
+        history_only.stats().commit_rate(),
+        base.stats().commit_rate()
+    );
+}
