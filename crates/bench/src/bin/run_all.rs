@@ -5,10 +5,21 @@
 //! cargo run --release -p artery-bench --bin run_all
 //! ```
 //!
-//! Each harness's stdout is streamed through; JSON results accumulate under
-//! `target/experiments/`.
+//! Each harness's stdout is streamed through and its wall time recorded;
+//! JSON results accumulate under `target/experiments/`. A closing wall-time
+//! table plus a kernel ns/op microbench (specialized dispatch vs the generic
+//! matrix path) are written to `BENCH_perf.json` at the repo root, giving
+//! future PRs a perf trajectory to compare against. `ARTERY_THREADS` caps
+//! the shot-parallel worker count of every harness.
 
 use std::process::Command;
+use std::time::Instant;
+
+use artery_bench::report::{f2, Table};
+use artery_bench::runner::parallel;
+use artery_circuit::{Gate, Qubit};
+use artery_sim::StateVector;
+use serde::Serialize;
 
 /// Every experiment binary, in the paper's presentation order.
 const EXPERIMENTS: &[&str] = &[
@@ -32,31 +43,168 @@ const EXPERIMENTS: &[&str] = &[
     "ext_readout_sweep",
 ];
 
+#[derive(Serialize)]
+struct HarnessTiming {
+    name: String,
+    wall_secs: f64,
+    ok: bool,
+}
+
+#[derive(Serialize)]
+struct KernelTiming {
+    gate: String,
+    qubits: usize,
+    specialized_ns_per_op: f64,
+    generic_ns_per_op: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct PerfReport {
+    threads: usize,
+    shards: usize,
+    harnesses: Vec<HarnessTiming>,
+    total_wall_secs: f64,
+    kernels: Vec<KernelTiming>,
+}
+
+/// Median-of-repeats ns/op of `f` applied to a fresh clone of `base`.
+fn ns_per_op(base: &StateVector, iters: usize, mut f: impl FnMut(&mut StateVector)) -> f64 {
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let mut state = base.clone();
+        let start = Instant::now();
+        for _ in 0..iters {
+            f(&mut state);
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Instant-based kernel microbench: cheap enough to run on every `run_all`
+/// invocation, precise enough to track the specialized/generic ratio (the
+/// criterion `kernels` group is the rigorous version).
+fn kernel_microbench() -> Vec<KernelTiming> {
+    let n = 12;
+    let mut base = StateVector::zero(n);
+    for q in 0..n {
+        base.apply_gate(Gate::H, &[Qubit(q)]);
+        base.apply_gate(Gate::RZ(0.3 * q as f64 + 0.1), &[Qubit(q)]);
+    }
+    let one_q = [Qubit(n / 2)];
+    let two_q = [Qubit(2), Qubit(n - 3)];
+    let cases: &[(&str, Gate, &[Qubit])] = &[
+        ("x", Gate::X, &one_q),
+        ("z", Gate::Z, &one_q),
+        ("rz", Gate::RZ(0.37), &one_q),
+        ("cz", Gate::CZ, &two_q),
+        ("cnot", Gate::CNOT, &two_q),
+        ("swap", Gate::Swap, &two_q),
+    ];
+    let iters = 400;
+    cases
+        .iter()
+        .map(|&(name, gate, qubits)| {
+            let specialized = ns_per_op(&base, iters, |s| s.apply_gate(gate, qubits));
+            let generic = ns_per_op(&base, iters, |s| s.apply_gate_generic(gate, qubits));
+            KernelTiming {
+                gate: name.to_string(),
+                qubits: qubits.len(),
+                specialized_ns_per_op: specialized,
+                generic_ns_per_op: generic,
+                speedup: generic / specialized,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     // Harness binaries live next to this one.
     let me = std::env::current_exe().expect("current executable path");
     let dir = me.parent().expect("binary directory").to_path_buf();
-    let mut failed = Vec::new();
+    let mut timings: Vec<HarnessTiming> = Vec::new();
+    let run_start = Instant::now();
     for (i, name) in EXPERIMENTS.iter().enumerate() {
-        println!("\n========== [{}/{}] {name} ==========", i + 1, EXPERIMENTS.len());
+        println!(
+            "\n========== [{}/{}] {name} ==========",
+            i + 1,
+            EXPERIMENTS.len()
+        );
         let path = dir.join(name);
+        let start = Instant::now();
         let status = Command::new(&path).status();
-        match status {
-            Ok(s) if s.success() => {}
+        let ok = match status {
+            Ok(s) if s.success() => true,
             Ok(s) => {
                 eprintln!("{name} exited with {s}");
-                failed.push(*name);
+                false
             }
             Err(e) => {
                 eprintln!(
                     "could not launch {name} ({e}); build all harnesses first:\n  \
                      cargo build --release -p artery-bench --bins"
                 );
-                failed.push(*name);
+                false
             }
-        }
+        };
+        timings.push(HarnessTiming {
+            name: (*name).to_string(),
+            wall_secs: start.elapsed().as_secs_f64(),
+            ok,
+        });
     }
+    let total_wall_secs = run_start.elapsed().as_secs_f64();
+
+    println!("\n========== kernel microbench ==========");
+    let kernels = kernel_microbench();
+    let mut ktable = Table::new(["kernel", "specialized ns/op", "generic ns/op", "speedup"]);
+    for k in &kernels {
+        ktable.row([
+            k.gate.clone(),
+            f2(k.specialized_ns_per_op),
+            f2(k.generic_ns_per_op),
+            format!("{:.2}x", k.speedup),
+        ]);
+    }
+    ktable.print();
+
+    println!("\n========== wall time ==========");
+    let mut table = Table::new(["harness", "wall s", "status"]);
+    for t in &timings {
+        table.row([
+            t.name.clone(),
+            f2(t.wall_secs),
+            if t.ok { "ok" } else { "FAILED" }.to_string(),
+        ]);
+    }
+    table.row(["total".to_string(), f2(total_wall_secs), String::new()]);
+    table.print();
+
+    let report = PerfReport {
+        threads: parallel::threads(),
+        shards: parallel::SHARDS,
+        harnesses: timings,
+        total_wall_secs,
+        kernels,
+    };
+    let perf_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => match std::fs::write(perf_path, json) {
+            Ok(()) => println!("\n[perf report written to {perf_path}]"),
+            Err(e) => eprintln!("could not write {perf_path}: {e}"),
+        },
+        Err(e) => eprintln!("could not serialize perf report: {e}"),
+    }
+
     println!("\n========== summary ==========");
+    let failed: Vec<&str> = report
+        .harnesses
+        .iter()
+        .filter(|t| !t.ok)
+        .map(|t| t.name.as_str())
+        .collect();
     if failed.is_empty() {
         println!(
             "all {} experiments completed; JSON results under target/experiments/",

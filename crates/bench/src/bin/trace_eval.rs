@@ -232,22 +232,15 @@ fn main() {
         &mut artery_num::rng::rng_for("trace-eval/fnn-init"),
     );
 
-    // Phase 2: fan the panel across OS threads, one shard per worker, and
-    // merge shard statistics in shard order (deterministic).
+    // Phase 2: fan the panel across OS threads via the shared sharding
+    // helper (honors ARTERY_THREADS) and merge shard statistics in shard
+    // order (deterministic).
     let panel = build_panel(&config, &calibration);
     let replay_start = Instant::now();
-    let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
-        let panel = &panel;
-        let fnn = &fnn;
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|shard| scope.spawn(move || eval_shard(shard, panel, fnn)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
-    });
+    let shard_results: Vec<ShardResult> =
+        runner::parallel::map_on(runner::parallel::threads(), &shards, |shard| {
+            eval_shard(shard, &panel, &fnn)
+        });
     let replay_secs = replay_start.elapsed().as_secs_f64();
 
     let mut merged: Vec<ShotStats> = vec![ShotStats::default(); panel.len()];
@@ -320,7 +313,11 @@ fn main() {
     });
     rows.sort_by(|a, b| a.mean_latency_us.total_cmp(&b.mean_latency_us));
 
-    println!("\n## panel leaderboard ({} shards, {} configurations)\n", shards.len(), rows.len());
+    println!(
+        "\n## panel leaderboard ({} shards, {} configurations)\n",
+        shards.len(),
+        rows.len()
+    );
     let mut table = Table::new([
         "config",
         "accuracy",

@@ -11,7 +11,10 @@
 //!   prints *paper vs. measured* side by side.
 //!
 //! Shot counts default to quick-but-stable values and can be scaled with
-//! the `ARTERY_SHOTS` environment variable.
+//! the `ARTERY_SHOTS` environment variable. Measured shot loops run
+//! shard-parallel (see [`runner::parallel`]); `ARTERY_THREADS` caps the
+//! worker count without changing any reported number — results are
+//! bit-identical for every thread count by construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,17 +1,28 @@
 //! Shot loops shared by the experiment harnesses.
+//!
+//! Every measured loop here is **shot-parallel**: the shot budget is split
+//! into the fixed deterministic shard partition of [`parallel`], each shard
+//! gets its own RNG stream (`rng_for("{label}/shard{i}")`), its own executor
+//! and — for ARTERY — its own warmed controller, and the per-shard
+//! [`Accumulator`]/[`ShotStats`] are merged in shard order. Results are
+//! therefore bit-identical for any worker count; `ARTERY_THREADS` only
+//! changes how fast they arrive.
+
+pub mod parallel;
 
 use artery_circuit::Circuit;
-use artery_core::{ArteryConfig, ArteryController, Calibration};
+use artery_core::{ArteryConfig, ArteryController, Calibration, ShotStats};
 use artery_num::stats::Accumulator;
 use artery_sim::{Executor, FeedbackHandler, NoiseModel};
 use serde::Serialize;
 
 /// Aggregated latency/prediction results of one (circuit, controller) run.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct LatencySummary {
     /// Mean total feedback latency per shot, µs (the Table 1 quantity).
     pub total_feedback_us: f64,
-    /// Mean latency per individual feedback, µs.
+    /// Mean latency per individual feedback, µs (0 for feedback-free
+    /// circuits).
     pub per_feedback_us: f64,
     /// Prediction accuracy over committed predictions (1.0 for baselines).
     pub accuracy: f64,
@@ -24,14 +35,23 @@ pub struct LatencySummary {
     pub shots: usize,
 }
 
-/// Number of warm-up shots used to build per-site history before measuring
-/// (the paper trains on 1,000 sequences; history converges much faster).
+/// Number of warm-up shots used to build per-site history before measuring,
+/// **per shard** (the paper trains on 1,000 sequences; history converges
+/// much faster).
 pub const WARMUP_SHOTS: usize = 60;
 
-/// Runs ARTERY on `circuit` and summarizes latency and accuracy.
+/// RNG label of one shard of a sharded loop.
+fn shard_label(label: &str, index: usize) -> String {
+    format!("{label}/shard{index}")
+}
+
+/// Runs ARTERY on `circuit` and summarizes latency and accuracy, sharded
+/// over the default worker count ([`parallel::threads`]).
 ///
-/// History is warmed for [`WARMUP_SHOTS`] shots first, mirroring the paper's
-/// train/test split.
+/// Each shard owns a controller whose history is warmed for
+/// [`WARMUP_SHOTS`] shots first, mirroring the paper's train/test split;
+/// statistics are then reset and the shard's measured shots merged in shard
+/// order, so the summary does not depend on the thread count.
 #[must_use]
 pub fn run_artery(
     circuit: &Circuit,
@@ -40,25 +60,56 @@ pub fn run_artery(
     shots: usize,
     label: &str,
 ) -> LatencySummary {
-    let mut exec = Executor::new(NoiseModel::noiseless());
-    let mut rng = artery_num::rng::rng_for(label);
-    let mut controller = ArteryController::new(circuit, config, calibration);
-    for _ in 0..WARMUP_SHOTS {
-        let _ = exec.run(circuit, &mut controller, &mut rng);
-    }
-    // Measure with fresh statistics but warmed history.
-    controller.reset_stats();
+    run_artery_on(
+        parallel::threads(),
+        circuit,
+        config,
+        calibration,
+        shots,
+        label,
+    )
+}
+
+/// [`run_artery`] with an explicit worker count (tests use this to prove
+/// thread-count invariance without touching the environment).
+#[must_use]
+pub fn run_artery_on(
+    threads: usize,
+    circuit: &Circuit,
+    config: &ArteryConfig,
+    calibration: &Calibration,
+    shots: usize,
+    label: &str,
+) -> LatencySummary {
+    let shard_results = parallel::run_sharded_on(threads, shots, |shard| {
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
+        let mut controller = ArteryController::new(circuit, config, calibration);
+        for _ in 0..WARMUP_SHOTS {
+            let _ = exec.run(circuit, &mut controller, &mut rng);
+        }
+        // Measure with fresh statistics but warmed history.
+        controller.reset_stats();
+        let mut total = Accumulator::new();
+        let mut circuit_time = Accumulator::new();
+        for _ in 0..shard.shots {
+            let rec = exec.run(circuit, &mut controller, &mut rng);
+            total.push(rec.total_feedback_us());
+            circuit_time.push(rec.total_ns / 1000.0);
+        }
+        (total, circuit_time, controller.stats().clone())
+    });
     let mut total = Accumulator::new();
     let mut circuit_time = Accumulator::new();
-    for _ in 0..shots {
-        let rec = exec.run(circuit, &mut controller, &mut rng);
-        total.push(rec.total_feedback_us());
-        circuit_time.push(rec.total_ns / 1000.0);
+    let mut stats = ShotStats::default();
+    for (shard_total, shard_circuit, shard_stats) in &shard_results {
+        total.merge(shard_total);
+        circuit_time.merge(shard_circuit);
+        stats.merge(shard_stats);
     }
-    let stats = controller.stats();
     LatencySummary {
         total_feedback_us: total.mean(),
-        per_feedback_us: total.mean() / circuit.feedback_count() as f64,
+        per_feedback_us: total.mean() / circuit.feedback_count().max(1) as f64,
         accuracy: stats.accuracy(),
         commit_rate: stats.commit_rate(),
         total_circuit_us: circuit_time.mean(),
@@ -66,22 +117,46 @@ pub fn run_artery(
     }
 }
 
-/// Runs any sequential handler (the baselines) on `circuit`.
+/// Runs any stateless-enough handler (the baselines) on `circuit`, sharded
+/// over the default worker count. Each shard works on its own clone of
+/// `handler`.
 #[must_use]
-pub fn run_handler<H: FeedbackHandler>(
+pub fn run_handler<H: FeedbackHandler + Clone + Sync>(
     circuit: &Circuit,
     handler: &mut H,
     shots: usize,
     label: &str,
 ) -> LatencySummary {
-    let mut exec = Executor::new(NoiseModel::noiseless());
-    let mut rng = artery_num::rng::rng_for(label);
+    run_handler_on(parallel::threads(), circuit, handler, shots, label)
+}
+
+/// [`run_handler`] with an explicit worker count.
+#[must_use]
+pub fn run_handler_on<H: FeedbackHandler + Clone + Sync>(
+    threads: usize,
+    circuit: &Circuit,
+    handler: &H,
+    shots: usize,
+    label: &str,
+) -> LatencySummary {
+    let shard_results = parallel::run_sharded_on(threads, shots, |shard| {
+        let mut handler = handler.clone();
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
+        let mut total = Accumulator::new();
+        let mut circuit_time = Accumulator::new();
+        for _ in 0..shard.shots {
+            let rec = exec.run(circuit, &mut handler, &mut rng);
+            total.push(rec.total_feedback_us());
+            circuit_time.push(rec.total_ns / 1000.0);
+        }
+        (total, circuit_time)
+    });
     let mut total = Accumulator::new();
     let mut circuit_time = Accumulator::new();
-    for _ in 0..shots {
-        let rec = exec.run(circuit, handler, &mut rng);
-        total.push(rec.total_feedback_us());
-        circuit_time.push(rec.total_ns / 1000.0);
+    for (shard_total, shard_circuit) in &shard_results {
+        total.merge(shard_total);
+        circuit_time.merge(shard_circuit);
     }
     LatencySummary {
         total_feedback_us: total.mean(),
@@ -95,30 +170,53 @@ pub fn run_handler<H: FeedbackHandler>(
 
 /// Mean conditional fidelity of `circuit` under a feedback handler: each
 /// shot runs under the calibrated noise model, then its measurement record
-/// is replayed noiselessly and the final states are compared.
+/// is replayed noiselessly and the final states are compared. Sharded over
+/// the default worker count; each shard works on its own clone of
+/// `handler`.
 #[must_use]
-pub fn conditional_fidelity<H: FeedbackHandler>(
+pub fn conditional_fidelity<H: FeedbackHandler + Clone + Sync>(
     circuit: &Circuit,
     handler: &mut H,
     shots: usize,
     label: &str,
 ) -> f64 {
-    let mut noisy_exec = Executor::new(NoiseModel::paper_device());
-    let mut ref_exec = Executor::new(NoiseModel::noiseless());
-    let mut rng = artery_num::rng::rng_for(label);
+    conditional_fidelity_on(parallel::threads(), circuit, handler, shots, label)
+}
+
+/// [`conditional_fidelity`] with an explicit worker count.
+#[must_use]
+pub fn conditional_fidelity_on<H: FeedbackHandler + Clone + Sync>(
+    threads: usize,
+    circuit: &Circuit,
+    handler: &H,
+    shots: usize,
+    label: &str,
+) -> f64 {
+    let shard_accs = parallel::run_sharded_on(threads, shots, |shard| {
+        let mut handler = handler.clone();
+        let mut noisy_exec = Executor::new(NoiseModel::paper_device());
+        let mut ref_exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
+        let mut acc = Accumulator::new();
+        for _ in 0..shard.shots {
+            let rec = noisy_exec.run(circuit, &mut handler, &mut rng);
+            let script: Vec<bool> = rec.feedback_outcomes.iter().map(|&(_, o)| o).collect();
+            let mut reference = artery_sim::SequentialHandler::default();
+            let ideal = ref_exec.run_scripted(circuit, &mut reference, &script, &mut rng);
+            acc.push(ideal.final_state.fidelity(&rec.final_state));
+        }
+        acc
+    });
     let mut acc = Accumulator::new();
-    for _ in 0..shots {
-        let rec = noisy_exec.run(circuit, handler, &mut rng);
-        let script: Vec<bool> = rec.feedback_outcomes.iter().map(|&(_, o)| o).collect();
-        let mut reference = artery_sim::SequentialHandler::default();
-        let ideal = ref_exec.run_scripted(circuit, &mut reference, &script, &mut rng);
-        acc.push(ideal.final_state.fidelity(&rec.final_state));
+    for shard_acc in &shard_accs {
+        acc.merge(shard_acc);
     }
     acc.mean()
 }
 
 /// Conditional fidelity for ARTERY (owns the controller life cycle and
-/// warm-up).
+/// warm-up). The controller is warmed serially once, then each shard
+/// measures on its own clone of the warmed controller.
 #[must_use]
 pub fn conditional_fidelity_artery(
     circuit: &Circuit,
@@ -148,6 +246,7 @@ pub fn calibration_for(config: &ArteryConfig, label: &str) -> Calibration {
 mod tests {
     use super::*;
     use artery_baselines::Baseline;
+    use artery_circuit::{CircuitBuilder, Gate, Qubit};
 
     #[test]
     fn artery_beats_qubic_on_reset() {
@@ -169,5 +268,54 @@ mod tests {
         let f = conditional_fidelity(&circuit, &mut Baseline::qubic(), 20, "runner/fid");
         assert!((0.0..=1.0).contains(&f));
         assert!(f > 0.5, "fidelity {f} suspiciously low");
+    }
+
+    #[test]
+    fn feedback_free_circuit_yields_finite_per_feedback_latency() {
+        // Regression: `per_feedback_us` used to divide by
+        // `feedback_count() == 0`, producing NaN for feedback-free circuits.
+        let circuit = {
+            let mut b = CircuitBuilder::new(1);
+            b.gate(Gate::H, &[Qubit(0)]);
+            b.build()
+        };
+        let config = ArteryConfig {
+            train_pulses: 300,
+            ..ArteryConfig::paper()
+        };
+        let cal = calibration_for(&config, "runner-nofeedback");
+        let artery = run_artery(&circuit, &config, &cal, 8, "runner/nofb");
+        assert!(artery.per_feedback_us.is_finite());
+        assert_eq!(artery.per_feedback_us, 0.0);
+        let handler = run_handler(&circuit, &mut Baseline::qubic(), 8, "runner/nofb-h");
+        assert!(handler.per_feedback_us.is_finite());
+        assert_eq!(handler.per_feedback_us, 0.0);
+    }
+
+    #[test]
+    fn thread_invariance_of_sharded_runners() {
+        // The shard partition, not the worker count, defines the statistics:
+        // 1, 2 and 4 workers must produce bit-identical summaries.
+        let config = ArteryConfig {
+            train_pulses: 300,
+            ..ArteryConfig::paper()
+        };
+        let cal = calibration_for(&config, "runner-invariance");
+        let circuit = artery_workloads::active_reset(2);
+        let shots = 24;
+        let one = run_artery_on(1, &circuit, &config, &cal, shots, "runner/inv");
+        let two = run_artery_on(2, &circuit, &config, &cal, shots, "runner/inv");
+        let four = run_artery_on(4, &circuit, &config, &cal, shots, "runner/inv");
+        assert_eq!(one, two);
+        assert_eq!(one, four);
+
+        let qubic = Baseline::qubic();
+        let h1 = run_handler_on(1, &circuit, &qubic, shots, "runner/inv-h");
+        let h4 = run_handler_on(4, &circuit, &qubic, shots, "runner/inv-h");
+        assert_eq!(h1, h4);
+
+        let f1 = conditional_fidelity_on(1, &circuit, &qubic, 12, "runner/inv-f");
+        let f4 = conditional_fidelity_on(4, &circuit, &qubic, 12, "runner/inv-f");
+        assert_eq!(f1.to_bits(), f4.to_bits());
     }
 }

@@ -1,0 +1,181 @@
+//! Deterministic shot sharding across OS threads.
+//!
+//! Every harness shot loop splits its work into a **fixed** number of shards
+//! ([`SHARDS`], independent of the machine), each with its own deterministic
+//! RNG stream (`rng_for("{label}/shard{i}")`) and its own warmed controller.
+//! Threads only decide *when* a shard runs, never *what* it computes, and the
+//! per-shard results are merged in shard order — so the merged output is
+//! bit-identical for any worker count, including 1.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! can be overridden with the `ARTERY_THREADS` environment variable, which
+//! every harness binary honors because they all route through this module.
+
+use std::num::NonZeroUsize;
+
+/// Fixed shard count for sharded shot loops.
+///
+/// Results are a function of the shard partition alone, so this constant —
+/// not the host's core count — defines the statistics a harness reports.
+/// Eight shards keep every current host shape (2–16 cores) busy without
+/// making per-shard warm-up dominate.
+pub const SHARDS: usize = 8;
+
+/// One shard of a sharded shot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard index in `0..shard_count(total_shots)`; used to derive the
+    /// shard's RNG label.
+    pub index: usize,
+    /// Number of measured shots assigned to this shard.
+    pub shots: usize,
+}
+
+/// Worker threads to use: the `ARTERY_THREADS` override when set to a
+/// positive integer, otherwise the host's available parallelism.
+#[must_use]
+pub fn threads() -> usize {
+    std::env::var("ARTERY_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Number of shards a `shots`-shot run is split into: [`SHARDS`], but never
+/// more than one shard per shot and at least one shard.
+#[must_use]
+pub fn shard_count(shots: usize) -> usize {
+    shots.clamp(1, SHARDS)
+}
+
+/// The deterministic partition of `shots` into shards: remainder shots go to
+/// the lowest-indexed shards, so `Σ shards(n)[i].shots == n`.
+#[must_use]
+pub fn shards(shots: usize) -> Vec<Shard> {
+    let count = shard_count(shots);
+    (0..count)
+        .map(|index| Shard {
+            index,
+            shots: shots / count + usize::from(index < shots % count),
+        })
+        .collect()
+}
+
+/// Maps `work` over `items` on up to `threads` OS threads, returning results
+/// in item order. Item `i` is always processed by worker `i % workers`, and
+/// each item's computation is self-contained, so the output is independent
+/// of the worker count.
+///
+/// # Panics
+///
+/// Panics when a worker thread panics.
+pub fn map_on<I, T, F>(threads: usize, items: &[I], work: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(work).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, item)| (i, work(item)))
+                        .collect::<Vec<(usize, T)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("shard worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|v| v.expect("every item produced a result"))
+        .collect()
+}
+
+/// Splits `shots` into the deterministic [`shards`] partition and runs
+/// `work` over every shard on up to `threads` workers, returning per-shard
+/// results in shard order.
+pub fn run_sharded_on<T, F>(threads: usize, shots: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Shard) -> T + Sync,
+{
+    map_on(threads, &shards(shots), |s| work(*s))
+}
+
+/// [`run_sharded_on`] with the default worker count ([`threads`]).
+pub fn run_sharded<T, F>(shots: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Shard) -> T + Sync,
+{
+    run_sharded_on(threads(), shots, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_partition_conserves_shots() {
+        for shots in [0usize, 1, 3, 7, 8, 9, 150, 1001] {
+            let parts = shards(shots);
+            assert_eq!(parts.len(), shard_count(shots));
+            assert_eq!(parts.iter().map(|s| s.shots).sum::<usize>(), shots);
+            for (i, s) in parts.iter().enumerate() {
+                assert_eq!(s.index, i);
+            }
+        }
+    }
+
+    #[test]
+    fn small_runs_never_get_empty_shards() {
+        for shots in 1..SHARDS {
+            let parts = shards(shots);
+            assert_eq!(parts.len(), shots);
+            assert!(parts.iter().all(|s| s.shots == 1));
+        }
+    }
+
+    #[test]
+    fn map_on_preserves_item_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..23).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = map_on(threads, &items, |&x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_sharded_is_thread_count_invariant() {
+        // The per-shard computation is a pure function of the shard, so the
+        // merged output must not depend on the worker count.
+        let one = run_sharded_on(1, 100, |s| (s.index, s.shots));
+        let four = run_sharded_on(4, 100, |s| (s.index, s.shots));
+        let many = run_sharded_on(32, 100, |s| (s.index, s.shots));
+        assert_eq!(one, four);
+        assert_eq!(one, many);
+    }
+}

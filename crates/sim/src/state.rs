@@ -1,8 +1,40 @@
 //! Dense state-vector representation.
+//!
+//! Gate application is the innermost loop of every experiment harness, so it
+//! is throughput-engineered: instead of scanning all `2^n` indices and
+//! testing bits, the loops split the index space into contiguous strides
+//! around the target qubit's bit, and the gates the workloads actually use
+//! (Pauli flips, phase/diagonal gates, CNOT/CZ/SWAP permutations) dispatch
+//! to specialized kernels that avoid complex multiplies entirely. The
+//! generic dense-matrix path is kept as the reference implementation — see
+//! [`StateVector::apply_gate_generic`] — and the kernels are property-tested
+//! amplitude-for-amplitude against it (`tests/kernels.rs`).
+
+use std::f64::consts::FRAC_PI_4;
 
 use artery_circuit::{Gate, GateMatrix, Qubit};
 use artery_num::Complex64;
 use rand::Rng;
+
+/// Visits every basis index whose `lo` and `hi` bits are both clear, in
+/// increasing order. `lo` and `hi` must be distinct powers of two with
+/// `lo < hi`; the visited indices are the canonical bases of the 4-element
+/// amplitude groups of a two-qubit gate.
+#[inline]
+fn for_each_pair_base(len: usize, lo: usize, hi: usize, mut f: impl FnMut(usize)) {
+    debug_assert!(lo < hi && lo.is_power_of_two() && hi.is_power_of_two());
+    let mut outer = 0;
+    while outer < len {
+        let mut mid = outer;
+        while mid < outer + hi {
+            for base in mid..mid + lo {
+                f(base);
+            }
+            mid += lo << 1;
+        }
+        outer += hi << 1;
+    }
+}
 
 /// A pure quantum state over `n` qubits as `2^n` complex amplitudes.
 ///
@@ -34,7 +66,10 @@ impl StateVector {
     /// exceed a gigabyte of amplitudes).
     #[must_use]
     pub fn zero(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 26, "state vector too large: {num_qubits} qubits");
+        assert!(
+            num_qubits <= 26,
+            "state vector too large: {num_qubits} qubits"
+        );
         let mut amps = vec![Complex64::ZERO; 1 << num_qubits];
         amps[0] = Complex64::ONE;
         Self { num_qubits, amps }
@@ -55,6 +90,7 @@ impl StateVector {
     }
 
     /// Number of qubits.
+    #[inline]
     #[must_use]
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
@@ -65,6 +101,7 @@ impl StateVector {
     /// # Panics
     ///
     /// Panics when `index` is out of range.
+    #[inline]
     #[must_use]
     pub fn amplitude(&self, index: usize) -> Complex64 {
         self.amps[index]
@@ -75,6 +112,7 @@ impl StateVector {
     /// # Panics
     ///
     /// Panics when `index` is out of range.
+    #[inline]
     #[must_use]
     pub fn probability_of(&self, index: usize) -> f64 {
         self.amps[index].norm_sqr()
@@ -86,7 +124,7 @@ impl StateVector {
         self.amps.iter().map(|a| a.norm_sqr()).sum()
     }
 
-    /// Rescales the state to unit norm.
+    /// Rescales the state to unit norm with a single reciprocal multiply.
     ///
     /// # Panics
     ///
@@ -94,84 +132,254 @@ impl StateVector {
     pub fn normalize(&mut self) {
         let n = self.norm_sqr().sqrt();
         assert!(n > 1e-300, "cannot normalize a zero state");
+        let inv = 1.0 / n;
         for a in &mut self.amps {
-            *a = *a / n;
+            *a = a.scale(inv);
         }
     }
 
-    /// Applies a one-qubit matrix to qubit `q`.
+    /// Applies a one-qubit matrix to qubit `q` — the generic strided path.
+    ///
+    /// The index space splits into blocks of `2·bit` amplitudes whose lower
+    /// half has the qubit's bit clear and whose upper half has it set, so the
+    /// pair loop walks two contiguous slices instead of testing a bit per
+    /// index.
     fn apply_one(&mut self, m: &[[Complex64; 2]; 2], q: Qubit) {
         let bit = 1usize << q.0;
-        for base in 0..self.amps.len() {
-            if base & bit == 0 {
-                let other = base | bit;
-                let a0 = self.amps[base];
-                let a1 = self.amps[other];
-                self.amps[base] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[other] = m[1][0] * a0 + m[1][1] * a1;
+        let span = bit << 1;
+        let mut base = 0;
+        while base < self.amps.len() {
+            let (zeros, ones) = self.amps[base..base + span].split_at_mut(bit);
+            for (a0, a1) in zeros.iter_mut().zip(ones.iter_mut()) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = m[0][0] * x0 + m[0][1] * x1;
+                *a1 = m[1][0] * x0 + m[1][1] * x1;
             }
+            base += span;
         }
     }
 
     /// Applies a two-qubit matrix; `q0` is the matrix's high-order bit,
-    /// matching [`Gate::matrix`].
+    /// matching [`Gate::matrix`]. Generic strided path: the 4-element
+    /// amplitude groups are enumerated without scanning or allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q0 == q1`.
     fn apply_two(&mut self, m: &[[Complex64; 4]; 4], q0: Qubit, q1: Qubit) {
         let b0 = 1usize << q0.0;
         let b1 = 1usize << q1.0;
-        for base in 0..self.amps.len() {
-            if base & b0 == 0 && base & b1 == 0 {
-                let idx = [base, base | b1, base | b0, base | b0 | b1];
-                let a: Vec<Complex64> = idx.iter().map(|&i| self.amps[i]).collect();
-                for (r, &i) in idx.iter().enumerate() {
-                    self.amps[i] = (0..4).map(|c| m[r][c] * a[c]).sum();
+        assert_ne!(b0, b1, "two-qubit gate requires distinct qubits");
+        let (lo, hi) = if b0 < b1 { (b0, b1) } else { (b1, b0) };
+        let amps = &mut self.amps;
+        for_each_pair_base(amps.len(), lo, hi, |base| {
+            let idx = [base, base | b1, base | b0, base | b0 | b1];
+            let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+            for (r, &i) in idx.iter().enumerate() {
+                amps[i] = m[r][0] * a[0] + m[r][1] * a[1] + m[r][2] * a[2] + m[r][3] * a[3];
+            }
+        });
+    }
+
+    /// Pauli-X kernel: swaps the two contiguous halves of every pair block.
+    fn apply_x_kernel(&mut self, q: Qubit) {
+        let bit = 1usize << q.0;
+        let span = bit << 1;
+        let mut base = 0;
+        while base < self.amps.len() {
+            let (zeros, ones) = self.amps[base..base + span].split_at_mut(bit);
+            zeros.swap_with_slice(ones);
+            base += span;
+        }
+    }
+
+    /// Pauli-Y kernel: `|0⟩ ↦ −i·a1`, `|1⟩ ↦ i·a0` — a swap plus component
+    /// shuffles, no complex multiplies.
+    fn apply_y_kernel(&mut self, q: Qubit) {
+        let bit = 1usize << q.0;
+        let span = bit << 1;
+        let mut base = 0;
+        while base < self.amps.len() {
+            let (zeros, ones) = self.amps[base..base + span].split_at_mut(bit);
+            for (a0, a1) in zeros.iter_mut().zip(ones.iter_mut()) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = Complex64::new(x1.im, -x1.re);
+                *a1 = Complex64::new(-x0.im, x0.re);
+            }
+            base += span;
+        }
+    }
+
+    /// Diagonal kernel `diag(p0, p1)` for the RZ/phase family. When `p0` is
+    /// exactly 1 (Z, S, S†, T, T†) only the `|1⟩` half of each block is
+    /// touched.
+    fn apply_diag_kernel(&mut self, p0: Complex64, p1: Complex64, q: Qubit) {
+        let bit = 1usize << q.0;
+        let span = bit << 1;
+        let phase_only = p0 == Complex64::ONE;
+        let mut base = 0;
+        while base < self.amps.len() {
+            if !phase_only {
+                for a in &mut self.amps[base..base + bit] {
+                    *a = p0 * *a;
                 }
             }
+            for a in &mut self.amps[base + bit..base + span] {
+                *a = p1 * *a;
+            }
+            base += span;
         }
+    }
+
+    /// CZ kernel: negates the amplitudes whose index has both bits set.
+    fn apply_cz_kernel(&mut self, q0: Qubit, q1: Qubit) {
+        let b0 = 1usize << q0.0;
+        let b1 = 1usize << q1.0;
+        assert_ne!(b0, b1, "two-qubit gate requires distinct qubits");
+        let (lo, hi) = if b0 < b1 { (b0, b1) } else { (b1, b0) };
+        let both = b0 | b1;
+        let amps = &mut self.amps;
+        for_each_pair_base(amps.len(), lo, hi, |base| {
+            let i = base | both;
+            amps[i] = -amps[i];
+        });
+    }
+
+    /// CNOT permutation kernel: where the control bit is set, swap the
+    /// target pair.
+    fn apply_cnot_kernel(&mut self, control: Qubit, target: Qubit) {
+        let bc = 1usize << control.0;
+        let bt = 1usize << target.0;
+        assert_ne!(bc, bt, "two-qubit gate requires distinct qubits");
+        let (lo, hi) = if bc < bt { (bc, bt) } else { (bt, bc) };
+        let amps = &mut self.amps;
+        for_each_pair_base(amps.len(), lo, hi, |base| {
+            amps.swap(base | bc, base | bc | bt);
+        });
+    }
+
+    /// SWAP permutation kernel: exchanges the `|01⟩` and `|10⟩` amplitudes
+    /// of every group.
+    fn apply_swap_kernel(&mut self, q0: Qubit, q1: Qubit) {
+        let b0 = 1usize << q0.0;
+        let b1 = 1usize << q1.0;
+        assert_ne!(b0, b1, "two-qubit gate requires distinct qubits");
+        let (lo, hi) = if b0 < b1 { (b0, b1) } else { (b1, b0) };
+        let amps = &mut self.amps;
+        for_each_pair_base(amps.len(), lo, hi, |base| {
+            amps.swap(base | b0, base | b1);
+        });
+    }
+
+    /// Validates a gate's qubit operands against this state.
+    fn check_qubits(&self, gate: Gate, qubits: &[Qubit]) {
+        for q in qubits {
+            assert!(q.0 < self.num_qubits, "qubit {q} out of range");
+        }
+        assert_eq!(
+            qubits.len(),
+            gate.num_qubits(),
+            "gate {gate} expects {} qubit operand(s)",
+            gate.num_qubits()
+        );
     }
 
     /// Applies `gate` to the listed qubits.
     ///
+    /// Dispatches to a specialized kernel when one exists (Pauli flips, the
+    /// diagonal RZ/phase family, CZ/CNOT/SWAP permutations) and falls back to
+    /// the generic dense-matrix path otherwise (RX, RY, H).
+    ///
     /// # Panics
     ///
-    /// Panics on qubit-count mismatch or out-of-range qubits.
+    /// Panics on qubit-count mismatch, out-of-range qubits, or duplicate
+    /// qubits on a two-qubit gate.
     pub fn apply_gate(&mut self, gate: Gate, qubits: &[Qubit]) {
-        for q in qubits {
-            assert!(q.0 < self.num_qubits, "qubit {q} out of range");
-        }
-        match gate.matrix() {
-            GateMatrix::One(m) => {
-                assert_eq!(qubits.len(), 1);
+        self.check_qubits(gate, qubits);
+        match gate {
+            Gate::X => self.apply_x_kernel(qubits[0]),
+            Gate::Y => self.apply_y_kernel(qubits[0]),
+            Gate::Z => self.apply_diag_kernel(Complex64::ONE, -Complex64::ONE, qubits[0]),
+            Gate::S => self.apply_diag_kernel(Complex64::ONE, Complex64::i(), qubits[0]),
+            Gate::Sdg => self.apply_diag_kernel(Complex64::ONE, -Complex64::i(), qubits[0]),
+            Gate::T => {
+                self.apply_diag_kernel(Complex64::ONE, Complex64::cis(FRAC_PI_4), qubits[0]);
+            }
+            Gate::Tdg => {
+                self.apply_diag_kernel(Complex64::ONE, Complex64::cis(-FRAC_PI_4), qubits[0]);
+            }
+            Gate::RZ(t) => {
+                self.apply_diag_kernel(
+                    Complex64::cis(-t / 2.0),
+                    Complex64::cis(t / 2.0),
+                    qubits[0],
+                );
+            }
+            Gate::CZ => self.apply_cz_kernel(qubits[0], qubits[1]),
+            Gate::CNOT => self.apply_cnot_kernel(qubits[0], qubits[1]),
+            Gate::Swap => self.apply_swap_kernel(qubits[0], qubits[1]),
+            Gate::RX(_) | Gate::RY(_) | Gate::H => {
+                let GateMatrix::One(m) = gate.matrix() else {
+                    unreachable!("one-qubit gate with a two-qubit matrix")
+                };
                 self.apply_one(&m, qubits[0]);
             }
-            GateMatrix::Two(m) => {
-                assert_eq!(qubits.len(), 2);
-                self.apply_two(&m, qubits[0], qubits[1]);
-            }
+        }
+    }
+
+    /// Applies `gate` through the generic dense-matrix path, bypassing every
+    /// specialized kernel.
+    ///
+    /// Semantically identical to [`Self::apply_gate`]; kept public as the
+    /// oracle the kernels are property-tested (`tests/kernels.rs`) and
+    /// benchmarked (`benches/kernels.rs`) against.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch, out-of-range qubits, or duplicate
+    /// qubits on a two-qubit gate.
+    pub fn apply_gate_generic(&mut self, gate: Gate, qubits: &[Qubit]) {
+        self.check_qubits(gate, qubits);
+        match gate.matrix() {
+            GateMatrix::One(m) => self.apply_one(&m, qubits[0]),
+            GateMatrix::Two(m) => self.apply_two(&m, qubits[0], qubits[1]),
         }
     }
 
     /// Applies a raw one-qubit matrix (used by noise channels; not
     /// necessarily unitary — callers renormalize).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
     pub fn apply_matrix1(&mut self, m: &[[Complex64; 2]; 2], q: Qubit) {
         assert!(q.0 < self.num_qubits, "qubit {q} out of range");
         self.apply_one(m, q);
     }
 
-    /// Probability that measuring qubit `q` yields 1.
+    /// Probability that measuring qubit `q` yields 1 — a fused strided sum
+    /// over the `|1⟩` halves, no per-index bit test.
     ///
     /// # Panics
     ///
     /// Panics when `q` is out of range.
+    #[inline]
     #[must_use]
     pub fn prob_one(&self, q: Qubit) -> f64 {
         assert!(q.0 < self.num_qubits, "qubit {q} out of range");
         let bit = 1usize << q.0;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        let span = bit << 1;
+        let mut p = 0.0;
+        let mut base = bit;
+        while base < self.amps.len() {
+            for a in &self.amps[base..base + bit] {
+                p += a.norm_sqr();
+            }
+            base += span;
+        }
+        p
     }
 
     /// Projectively measures qubit `q`, collapsing the state, and returns the
@@ -187,14 +395,18 @@ impl StateVector {
     ///
     /// # Panics
     ///
-    /// Panics when the outcome has zero probability.
+    /// Panics when `q` is out of range or the outcome has zero probability.
     pub fn collapse(&mut self, q: Qubit, outcome: bool) {
+        assert!(q.0 < self.num_qubits, "qubit {q} out of range");
         let bit = 1usize << q.0;
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            let is_one = i & bit != 0;
-            if is_one != outcome {
+        let span = bit << 1;
+        // Zero the discarded half of every pair block, then renormalize.
+        let mut base = if outcome { 0 } else { bit };
+        while base < self.amps.len() {
+            for a in &mut self.amps[base..base + bit] {
                 *a = Complex64::ZERO;
             }
+            base += span;
         }
         self.normalize();
     }
@@ -403,5 +615,94 @@ mod tests {
         let mut s = StateVector::basis(2, 0b01);
         s.apply_gate(Gate::Swap, &[Qubit(0), Qubit(1)]);
         assert!(approx_eq(s.probability_of(0b10), 1.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct qubits")]
+    fn duplicate_qubits_on_two_qubit_gate_panic() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate(Gate::CZ, &[Qubit(1), Qubit(1)]);
+    }
+
+    /// A fixed entangled state exercising every amplitude.
+    fn scrambled(num_qubits: usize) -> StateVector {
+        let mut s = StateVector::zero(num_qubits);
+        for q in 0..num_qubits {
+            s.apply_gate(Gate::H, &[Qubit(q)]);
+            s.apply_gate(Gate::RX(0.37 + 0.51 * q as f64), &[Qubit(q)]);
+            s.apply_gate(Gate::RZ(1.0 - 0.23 * q as f64), &[Qubit(q)]);
+        }
+        for q in 1..num_qubits {
+            s.apply_gate(Gate::CNOT, &[Qubit(q - 1), Qubit(q)]);
+        }
+        s
+    }
+
+    fn assert_states_close(a: &StateVector, b: &StateVector, context: &str) {
+        for i in 0..a.amps.len() {
+            let d = a.amplitude(i) - b.amplitude(i);
+            assert!(
+                d.norm() < 1e-12,
+                "{context}: amplitude {i} differs by {}",
+                d.norm()
+            );
+        }
+    }
+
+    #[test]
+    fn specialized_kernels_match_generic_path() {
+        let one_qubit = [
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::RZ(0.71),
+            Gate::RZ(-2.3),
+        ];
+        for g in one_qubit {
+            for q in [0usize, 2, 3] {
+                let mut fast = scrambled(4);
+                let mut slow = fast.clone();
+                fast.apply_gate(g, &[Qubit(q)]);
+                slow.apply_gate_generic(g, &[Qubit(q)]);
+                assert_states_close(&fast, &slow, &format!("{g} on q{q}"));
+            }
+        }
+        let two_qubit = [Gate::CZ, Gate::CNOT, Gate::Swap];
+        for g in two_qubit {
+            for (a, b) in [(0usize, 1usize), (1, 3), (3, 0), (2, 1)] {
+                let mut fast = scrambled(4);
+                let mut slow = fast.clone();
+                fast.apply_gate(g, &[Qubit(a), Qubit(b)]);
+                slow.apply_gate_generic(g, &[Qubit(a), Qubit(b)]);
+                assert_states_close(&fast, &slow, &format!("{g} on ({a},{b})"));
+            }
+        }
+    }
+
+    #[test]
+    fn prob_one_matches_bitwise_sum() {
+        let s = scrambled(5);
+        for q in 0..5 {
+            let bit = 1usize << q;
+            let direct: f64 = (0..s.amps.len())
+                .filter(|i| i & bit != 0)
+                .map(|i| s.probability_of(i))
+                .sum();
+            assert!(approx_eq(s.prob_one(Qubit(q)), direct, 1e-12));
+        }
+    }
+
+    #[test]
+    fn normalize_uses_exact_reciprocal_scaling() {
+        let mut s = scrambled(3);
+        for a in &mut s.amps {
+            *a = a.scale(3.7);
+        }
+        s.normalize();
+        assert!(approx_eq(s.norm_sqr(), 1.0, 1e-12));
     }
 }

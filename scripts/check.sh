@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Lint gate: formatting + clippy across the whole workspace, warnings fatal.
-# Run locally before pushing; CI runs the same two commands.
+# Lint gate: formatting + clippy across the whole workspace, warnings fatal,
+# plus the perf-critical guarantees — benches must compile and the sharded
+# runners must be thread-count invariant.
+# Run locally before pushing; CI runs the same commands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+cargo bench --workspace --no-run
+cargo test -p artery-bench --lib -q thread_invariance

@@ -1,0 +1,125 @@
+//! Property tests pinning the specialized state-vector gate kernels to the
+//! generic matrix path they replaced: on random states and random (distinct)
+//! qubit choices, `apply_gate` and `apply_gate_generic` must agree amplitude
+//! for amplitude to 1e-12.
+
+use artery::circuit::{Gate, Qubit};
+use artery::sim::StateVector;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const N: usize = 4;
+const TOL: f64 = 1e-12;
+
+fn scrambling_gate() -> impl Strategy<Value = (Gate, usize)> {
+    (
+        prop_oneof![
+            (-6.3f64..6.3).prop_map(Gate::RX),
+            (-6.3f64..6.3).prop_map(Gate::RY),
+            (-6.3f64..6.3).prop_map(Gate::RZ),
+            Just(Gate::H),
+            Just(Gate::T),
+        ],
+        0usize..N,
+    )
+}
+
+/// Every gate the dispatcher specializes (plus the generic-path ones, as a
+/// control group).
+fn any_one_qubit_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::H),
+        Just(Gate::S),
+        Just(Gate::Sdg),
+        Just(Gate::T),
+        Just(Gate::Tdg),
+        (-6.3f64..6.3).prop_map(Gate::RX),
+        (-6.3f64..6.3).prop_map(Gate::RY),
+        (-6.3f64..6.3).prop_map(Gate::RZ),
+    ]
+}
+
+fn any_two_qubit_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![Just(Gate::CZ), Just(Gate::CNOT), Just(Gate::Swap)]
+}
+
+/// A random non-product state: scrambling single-qubit gates plus an
+/// entangling CNOT chain.
+fn random_state(gates: &[(Gate, usize)]) -> StateVector {
+    let mut s = StateVector::zero(N);
+    for q in 0..N {
+        s.apply_gate(Gate::H, &[Qubit(q)]);
+    }
+    for q in 0..N - 1 {
+        s.apply_gate(Gate::CNOT, &[Qubit(q), Qubit(q + 1)]);
+    }
+    for &(g, q) in gates {
+        s.apply_gate(g, &[Qubit(q)]);
+    }
+    s
+}
+
+fn assert_amplitudes_match(
+    specialized: &StateVector,
+    generic: &StateVector,
+) -> Result<(), TestCaseError> {
+    for i in 0..(1usize << N) {
+        let a = specialized.amplitude(i);
+        let b = generic.amplitude(i);
+        prop_assert!(
+            (a.re - b.re).abs() < TOL && (a.im - b.im).abs() < TOL,
+            "amplitude {i} diverged: kernel {a:?} vs generic {b:?}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn one_qubit_kernels_match_generic_path(
+        scramble in proptest::collection::vec(scrambling_gate(), 0..16),
+        gate in any_one_qubit_gate(),
+        q in 0usize..N,
+    ) {
+        let base = random_state(&scramble);
+        let mut specialized = base.clone();
+        specialized.apply_gate(gate, &[Qubit(q)]);
+        let mut generic = base;
+        generic.apply_gate_generic(gate, &[Qubit(q)]);
+        assert_amplitudes_match(&specialized, &generic)?;
+    }
+
+    #[test]
+    fn two_qubit_kernels_match_generic_path(
+        scramble in proptest::collection::vec(scrambling_gate(), 0..16),
+        gate in any_two_qubit_gate(),
+        a in 0usize..N,
+        offset in 1usize..N,
+    ) {
+        let b = (a + offset) % N; // distinct from `a` by construction
+        let base = random_state(&scramble);
+        let mut specialized = base.clone();
+        specialized.apply_gate(gate, &[Qubit(a), Qubit(b)]);
+        let mut generic = base;
+        generic.apply_gate_generic(gate, &[Qubit(a), Qubit(b)]);
+        assert_amplitudes_match(&specialized, &generic)?;
+    }
+
+    #[test]
+    fn fused_prob_one_matches_generic_sum(
+        scramble in proptest::collection::vec(scrambling_gate(), 0..16),
+        q in 0usize..N,
+    ) {
+        let state = random_state(&scramble);
+        let expected: f64 = (0..(1usize << N))
+            .filter(|i| i & (1 << q) != 0)
+            .map(|i| state.amplitude(i).norm_sqr())
+            .sum();
+        prop_assert!((state.prob_one(Qubit(q)) - expected).abs() < TOL);
+    }
+}
