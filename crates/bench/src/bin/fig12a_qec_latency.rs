@@ -11,6 +11,7 @@ use artery_bench::paper;
 use artery_bench::report::{banner, f2, write_json, Table};
 use artery_bench::{runner, shots_or};
 use artery_core::ArteryConfig;
+use artery_metrics::GroupSnapshot;
 use artery_qec::scaling::CycleTiming;
 use artery_workloads::{skewed_correction, skewed_reset};
 use serde::Serialize;
@@ -24,6 +25,10 @@ struct Results {
     reset_artery_us: f64,
     cycle_qubic_us: f64,
     cycle_artery_us: f64,
+    /// Per-site observability of the two ARTERY runs: latency quantiles
+    /// plus mispredict/recovery counters.
+    correction_metrics: GroupSnapshot,
+    reset_metrics: GroupSnapshot,
 }
 
 fn main() {
@@ -37,12 +42,14 @@ fn main() {
 
     let corr_qubic =
         runner::run_handler(&correction, &mut Baseline::qubic(), shots, "fig12a/corr/qubic");
-    let corr_artery =
-        runner::run_artery(&correction, &config, &calibration, shots, "fig12a/corr/artery");
+    // The metrics runner shares the plain runner's RNG streams and labels,
+    // so these summaries are exactly what `run_artery` would report.
+    let (corr_artery, corr_registry) =
+        runner::run_artery_metrics(&correction, &config, &calibration, shots, "fig12a/corr/artery");
     let reset_qubic =
         runner::run_handler(&reset, &mut Baseline::qubic(), shots, "fig12a/reset/qubic");
-    let reset_artery =
-        runner::run_artery(&reset, &config, &calibration, shots, "fig12a/reset/artery");
+    let (reset_artery, reset_registry) =
+        runner::run_artery_metrics(&reset, &config, &calibration, shots, "fig12a/reset/artery");
 
     let cycle = |reset_us: f64| CycleTiming {
         reset_us,
@@ -97,6 +104,35 @@ fn main() {
         corr_artery.accuracy, corr_artery.commit_rate
     );
 
+    let correction_metrics = corr_registry.snapshot("correction");
+    let reset_metrics = reset_registry.snapshot("reset");
+    println!("\n## ARTERY per-site metrics\n");
+    let mut mtable = Table::new([
+        "workload",
+        "site",
+        "resolved",
+        "mispredicted",
+        "recovered",
+        "p50 µs",
+        "p90 µs",
+        "p99 µs",
+    ]);
+    for group in [&correction_metrics, &reset_metrics] {
+        for site in &group.sites {
+            mtable.row([
+                group.label.clone(),
+                site.site.to_string(),
+                site.resolved.to_string(),
+                site.mispredicted.to_string(),
+                site.recovered.to_string(),
+                f2(site.latency.p50 / 1000.0),
+                f2(site.latency.p90 / 1000.0),
+                f2(site.latency.p99 / 1000.0),
+            ]);
+        }
+    }
+    mtable.print();
+
     write_json(
         "fig12a_qec_latency",
         &Results {
@@ -107,6 +143,8 @@ fn main() {
             reset_artery_us: reset_artery.total_feedback_us,
             cycle_qubic_us: cycle_qubic,
             cycle_artery_us: cycle_artery,
+            correction_metrics,
+            reset_metrics,
         },
     );
 }

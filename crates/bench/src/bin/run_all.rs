@@ -9,15 +9,20 @@
 //! JSON results accumulate under `target/experiments/`. A closing wall-time
 //! table plus a kernel ns/op microbench (specialized dispatch vs the generic
 //! matrix path) are written to `BENCH_perf.json` at the repo root, giving
-//! future PRs a perf trajectory to compare against. `ARTERY_THREADS` caps
-//! the shot-parallel worker count of every harness.
+//! future PRs a perf trajectory to compare against, and the bell-feedback
+//! corpus metrics snapshot (per-site latency histograms and
+//! mispredict/recovery counters) goes to `BENCH_metrics.json` — that file
+//! is byte-identical for any `ARTERY_THREADS`. `ARTERY_THREADS` caps the
+//! shot-parallel worker count of every harness.
 
 use std::process::Command;
 use std::time::Instant;
 
 use artery_bench::report::{f2, Table};
-use artery_bench::runner::parallel;
+use artery_bench::runner::{self, parallel};
+use artery_bench::shots_or;
 use artery_circuit::{Gate, Qubit};
+use artery_metrics::{JsonSink, MetricsSink};
 use artery_sim::StateVector;
 use serde::Serialize;
 
@@ -169,6 +174,45 @@ fn main() {
         ]);
     }
     ktable.print();
+
+    println!("\n========== metrics snapshot ==========");
+    // The bell-feedback corpus with full observability: per-site latency
+    // distributions plus mispredict/recovery counters. The snapshot is a
+    // pure function of the corpus (no thread counts, no timestamps), so
+    // `BENCH_metrics.json` is byte-identical under any `ARTERY_THREADS`.
+    let snapshot = runner::bell_feedback_metrics_on(parallel::threads(), shots_or(160));
+    let mut mtable = Table::new([
+        "workload",
+        "site",
+        "resolved",
+        "committed",
+        "mispredicted",
+        "recovered",
+        "p50 µs",
+        "p90 µs",
+        "p99 µs",
+    ]);
+    for group in &snapshot.groups {
+        for site in &group.sites {
+            mtable.row([
+                group.label.clone(),
+                site.site.to_string(),
+                site.resolved.to_string(),
+                site.committed.to_string(),
+                site.mispredicted.to_string(),
+                site.recovered.to_string(),
+                f2(site.latency.p50 / 1000.0),
+                f2(site.latency.p90 / 1000.0),
+                f2(site.latency.p99 / 1000.0),
+            ]);
+        }
+    }
+    mtable.print();
+    let metrics_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_metrics.json");
+    match JsonSink::new(metrics_path).export(&snapshot) {
+        Ok(()) => println!("\n[metrics snapshot written to {metrics_path}]"),
+        Err(e) => eprintln!("could not write {metrics_path}: {e}"),
+    }
 
     println!("\n========== wall time ==========");
     let mut table = Table::new(["harness", "wall s", "status"]);

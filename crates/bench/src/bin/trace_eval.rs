@@ -21,7 +21,9 @@ use artery_baselines::fnn::{FnnClassifier, FnnConfig};
 use artery_bench::report::{banner, f2, f3, write_json, Table};
 use artery_bench::runner::{self, WARMUP_SHOTS};
 use artery_bench::shots_or;
-use artery_core::{ArteryConfig, ArteryController, Calibration, ShotStats};
+use artery_core::{resolve_timeline, ArteryConfig, ArteryController, Calibration, ShotStats};
+use artery_hw::ControllerTiming;
+use artery_metrics::{GroupSnapshot, MetricsRegistry};
 use artery_readout::{Dataset, IqPoint};
 use artery_sim::{Executor, NoiseModel};
 use artery_trace::{Replayer, TraceHeader, TraceReader, TraceRecorder, TraceWriter};
@@ -46,9 +48,13 @@ struct PanelEntry {
     calibration: Calibration,
 }
 
-/// Per-shard replay results, one `ShotStats` per panel entry.
+/// Per-shard replay results, one `ShotStats` per panel entry plus the
+/// recorded configuration's metrics registry.
 struct ShardResult {
     panel_stats: Vec<ShotStats>,
+    /// Observability of the recorded-configuration replay: the same
+    /// per-site timelines the live controller would aggregate.
+    recorded_metrics: MetricsRegistry,
     fnn_correct: u64,
     fnn_total: u64,
 }
@@ -69,6 +75,9 @@ struct Results {
     replay_secs: f64,
     panel_size: usize,
     speedup_vs_live_panel: f64,
+    /// Per-workload metrics of the recorded configuration (per-site
+    /// latency histograms, mispredict/recovery counters).
+    recorded_metrics: Vec<GroupSnapshot>,
 }
 
 fn record_corpus(config: &ArteryConfig, calibration: &Calibration, shots: usize) -> Vec<Shard> {
@@ -160,19 +169,47 @@ fn build_panel(config: &ArteryConfig, calibration: &Calibration) -> Vec<PanelEnt
     panel
 }
 
-fn eval_shard(shard: &Shard, panel: &[PanelEntry], fnn: &FnnClassifier) -> ShardResult {
+fn eval_shard(
+    shard: &Shard,
+    panel: &[PanelEntry],
+    recorded_idx: usize,
+    fnn: &FnnClassifier,
+) -> ShardResult {
     let events = TraceReader::new(shard.bytes.as_slice())
         .expect("trace header")
         .read_all()
         .expect("trace events");
     let warm = shard.warmup_events as usize;
+    let mut recorded_metrics = MetricsRegistry::new();
     let panel_stats = panel
         .iter()
-        .map(|entry| {
+        .enumerate()
+        .map(|(idx, entry)| {
             let mut replay = Replayer::new(&entry.calibration, &entry.config);
             replay.replay_all(&events[..warm]);
             replay.reset_stats();
-            replay.replay_all(&events[warm..]);
+            if idx == recorded_idx {
+                // The recorded configuration replays event-by-event so each
+                // outcome can feed the same timeline builder the live
+                // controller uses; the stats stay bit-identical to
+                // `replay_all` because metrics consume no replay state.
+                let timing =
+                    ControllerTiming::new(entry.config.hardware(), entry.config.window_ns);
+                for ev in &events[warm..] {
+                    let outcome = replay.replay_event(ev);
+                    recorded_metrics.observe(&resolve_timeline(
+                        outcome.site.0,
+                        &timing,
+                        entry.config.route_ns,
+                        outcome.reported,
+                        outcome.window,
+                        outcome.predicted,
+                        outcome.latency_ns,
+                    ));
+                }
+            } else {
+                replay.replay_all(&events[warm..]);
+            }
             replay.into_stats()
         })
         .collect();
@@ -196,6 +233,7 @@ fn eval_shard(shard: &Shard, panel: &[PanelEntry], fnn: &FnnClassifier) -> Shard
     }
     ShardResult {
         panel_stats,
+        recorded_metrics,
         fnn_correct,
         fnn_total,
     }
@@ -236,10 +274,14 @@ fn main() {
     // helper (honors ARTERY_THREADS) and merge shard statistics in shard
     // order (deterministic).
     let panel = build_panel(&config, &calibration);
+    let recorded_idx = panel
+        .iter()
+        .position(|e| e.name.ends_with("(recorded)"))
+        .expect("panel contains the recorded configuration");
     let replay_start = Instant::now();
     let shard_results: Vec<ShardResult> =
         runner::parallel::map_on(runner::parallel::threads(), &shards, |shard| {
-            eval_shard(shard, &panel, &fnn)
+            eval_shard(shard, &panel, recorded_idx, &fnn)
         });
     let replay_secs = replay_start.elapsed().as_secs_f64();
 
@@ -260,10 +302,6 @@ fn main() {
 
     // Invariant 1: the recorded configuration replays bit-for-bit, per
     // shard and in aggregate.
-    let recorded_idx = panel
-        .iter()
-        .position(|e| e.name.ends_with("(recorded)"))
-        .expect("panel contains the recorded configuration");
     for (shard, result) in shards.iter().zip(&shard_results) {
         assert_eq!(
             result.panel_stats[recorded_idx], shard.live_stats,
@@ -287,6 +325,51 @@ fn main() {
         live.accuracy(),
         live.commit_rate()
     );
+
+    // Per-workload observability of the recorded replay. Workloads keep
+    // their own `GroupSnapshot` — site indices are per-circuit, so merging
+    // registries across workloads would conflate unrelated sites.
+    let recorded_metrics: Vec<GroupSnapshot> = shards
+        .iter()
+        .zip(&shard_results)
+        .map(|(shard, result)| result.recorded_metrics.snapshot(&shard.name))
+        .collect();
+    for (shard, result) in shards.iter().zip(&shard_results) {
+        let observed: u64 = result
+            .recorded_metrics
+            .sites()
+            .map(|(_, m)| m.resolved.get())
+            .sum();
+        assert_eq!(
+            observed, shard.live_stats.resolved,
+            "metrics of {} observed a different number of feedbacks than the replay resolved",
+            shard.name
+        );
+    }
+    println!("\n## recorded-configuration metrics (per feedback site)\n");
+    let mut mtable = Table::new([
+        "workload",
+        "site",
+        "resolved",
+        "mispredicted",
+        "p50 µs",
+        "p90 µs",
+        "p99 µs",
+    ]);
+    for group in &recorded_metrics {
+        for site in &group.sites {
+            mtable.row([
+                group.label.clone(),
+                site.site.to_string(),
+                site.resolved.to_string(),
+                site.mispredicted.to_string(),
+                f2(site.latency.p50 / 1000.0),
+                f2(site.latency.p90 / 1000.0),
+                f2(site.latency.p99 / 1000.0),
+            ]);
+        }
+    }
+    mtable.print();
 
     // Leaderboard, fastest mean feedback first.
     let mut rows: Vec<Row> = merged
@@ -358,6 +441,7 @@ fn main() {
             replay_secs,
             panel_size: panel.len(),
             speedup_vs_live_panel: speedup,
+            recorded_metrics,
         },
     );
 }

@@ -4,7 +4,8 @@
 //! into the fixed deterministic shard partition of [`parallel`], each shard
 //! gets its own RNG stream (`rng_for("{label}/shard{i}")`), its own executor
 //! and — for ARTERY — its own warmed controller, and the per-shard
-//! [`Accumulator`]/[`ShotStats`] are merged in shard order. Results are
+//! [`Accumulator`]/[`ShotStats`] (and, for the metrics runners, the
+//! per-shard [`MetricsRegistry`]) are merged in shard order. Results are
 //! therefore bit-identical for any worker count; `ARTERY_THREADS` only
 //! changes how fast they arrive.
 
@@ -12,8 +13,10 @@ pub mod parallel;
 
 use artery_circuit::Circuit;
 use artery_core::{ArteryConfig, ArteryController, Calibration, ShotStats};
+use artery_metrics::{MetricsRegistry, MetricsSnapshot};
 use artery_num::stats::Accumulator;
 use artery_sim::{Executor, FeedbackHandler, NoiseModel};
+use artery_workloads::Benchmark;
 use serde::Serialize;
 
 /// Aggregated latency/prediction results of one (circuit, controller) run.
@@ -81,10 +84,65 @@ pub fn run_artery_on(
     shots: usize,
     label: &str,
 ) -> LatencySummary {
+    run_artery_sharded(threads, circuit, config, calibration, shots, label, false).0
+}
+
+/// [`run_artery`] that additionally aggregates per-site metrics: every
+/// measured resolve's [`ShotTimeline`](artery_metrics::ShotTimeline) is
+/// folded into a per-shard [`MetricsRegistry`], and the shard registries
+/// are merged in shard order — the registry, like the summary, is
+/// bit-identical for any worker count. Metrics collection consumes no
+/// randomness, so the summary matches [`run_artery`] exactly.
+#[must_use]
+pub fn run_artery_metrics(
+    circuit: &Circuit,
+    config: &ArteryConfig,
+    calibration: &Calibration,
+    shots: usize,
+    label: &str,
+) -> (LatencySummary, MetricsRegistry) {
+    run_artery_metrics_on(
+        parallel::threads(),
+        circuit,
+        config,
+        calibration,
+        shots,
+        label,
+    )
+}
+
+/// [`run_artery_metrics`] with an explicit worker count.
+#[must_use]
+pub fn run_artery_metrics_on(
+    threads: usize,
+    circuit: &Circuit,
+    config: &ArteryConfig,
+    calibration: &Calibration,
+    shots: usize,
+    label: &str,
+) -> (LatencySummary, MetricsRegistry) {
+    run_artery_sharded(threads, circuit, config, calibration, shots, label, true)
+}
+
+/// The one sharded ARTERY shot loop behind [`run_artery_on`] and
+/// [`run_artery_metrics_on`]; `collect_metrics` keeps the plain path free
+/// of observability cost.
+fn run_artery_sharded(
+    threads: usize,
+    circuit: &Circuit,
+    config: &ArteryConfig,
+    calibration: &Calibration,
+    shots: usize,
+    label: &str,
+    collect_metrics: bool,
+) -> (LatencySummary, MetricsRegistry) {
     let shard_results = parallel::run_sharded_on(threads, shots, |shard| {
         let mut exec = Executor::new(NoiseModel::noiseless());
         let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
         let mut controller = ArteryController::new(circuit, config, calibration);
+        if collect_metrics {
+            controller = controller.with_metrics();
+        }
         for _ in 0..WARMUP_SHOTS {
             let _ = exec.run(circuit, &mut controller, &mut rng);
         }
@@ -97,24 +155,52 @@ pub fn run_artery_on(
             total.push(rec.total_feedback_us());
             circuit_time.push(rec.total_ns / 1000.0);
         }
-        (total, circuit_time, controller.stats().clone())
+        let metrics = controller.take_metrics().unwrap_or_default();
+        (total, circuit_time, controller.stats().clone(), metrics)
     });
     let mut total = Accumulator::new();
     let mut circuit_time = Accumulator::new();
     let mut stats = ShotStats::default();
-    for (shard_total, shard_circuit, shard_stats) in &shard_results {
+    let mut metrics = MetricsRegistry::new();
+    for (shard_total, shard_circuit, shard_stats, shard_metrics) in &shard_results {
         total.merge(shard_total);
         circuit_time.merge(shard_circuit);
         stats.merge(shard_stats);
+        metrics.merge(shard_metrics);
     }
-    LatencySummary {
+    let summary = LatencySummary {
         total_feedback_us: total.mean(),
         per_feedback_us: total.mean() / circuit.feedback_count().max(1) as f64,
         accuracy: stats.accuracy(),
         commit_rate: stats.commit_rate(),
         total_circuit_us: circuit_time.mean(),
         shots,
+    };
+    (summary, metrics)
+}
+
+/// Runs the Bell-measurement feed-forward corpus
+/// ([`Benchmark::bell_feedback_corpus`]) with metrics aggregation and
+/// returns one snapshot group per workload. This is what `run_all`
+/// exports to `BENCH_metrics.json`.
+///
+/// The snapshot deliberately carries no environment-dependent fields, and
+/// every instrument state is merge-exact, so two calls with different
+/// `threads` serialize **byte-identically** — the PR 2 determinism
+/// contract extended to metrics.
+#[must_use]
+pub fn bell_feedback_metrics_on(threads: usize, shots: usize) -> MetricsSnapshot {
+    let config = ArteryConfig::paper();
+    let calibration = calibration_for(&config, "metrics-corpus");
+    let mut snapshot = MetricsSnapshot::new();
+    for bench in Benchmark::bell_feedback_corpus() {
+        let circuit = bench.circuit();
+        let label = format!("metrics/{bench}");
+        let (_, registry) =
+            run_artery_metrics_on(threads, &circuit, &config, &calibration, shots, &label);
+        snapshot.push(registry.snapshot(&bench.to_string()));
     }
+    snapshot
 }
 
 /// Runs any stateless-enough handler (the baselines) on `circuit`, sharded
@@ -317,5 +403,43 @@ mod tests {
         let f1 = conditional_fidelity_on(1, &circuit, &qubic, 12, "runner/inv-f");
         let f4 = conditional_fidelity_on(4, &circuit, &qubic, 12, "runner/inv-f");
         assert_eq!(f1.to_bits(), f4.to_bits());
+    }
+
+    #[test]
+    fn metrics_runner_agrees_with_the_plain_runner() {
+        let config = ArteryConfig {
+            train_pulses: 300,
+            ..ArteryConfig::paper()
+        };
+        let cal = calibration_for(&config, "runner-metrics");
+        let circuit = artery_workloads::dqt(2);
+        let shots = 16;
+        let plain = run_artery_on(2, &circuit, &config, &cal, shots, "runner/met");
+        let (summary, metrics) =
+            run_artery_metrics_on(2, &circuit, &config, &cal, shots, "runner/met");
+        // Metrics collection consumes no randomness: identical summary.
+        assert_eq!(summary, plain);
+        // Every measured resolve landed in the registry, per site.
+        assert_eq!(metrics.len(), circuit.feedback_count());
+        let resolved: u64 = metrics.sites().map(|(_, s)| s.resolved.get()).sum();
+        assert_eq!(resolved as usize, shots * circuit.feedback_count());
+        for (_, site) in metrics.sites() {
+            assert_eq!(site.resolved.get() as usize, shots);
+            assert!(site.latency_ns.p50() <= site.latency_ns.p90());
+            assert!(site.latency_ns.p90() <= site.latency_ns.p99());
+            assert!(site.latency_ns.p99() <= site.peak_latency_ns.get());
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_thread_invariance() {
+        // The acceptance bar of the metrics layer: bell-feedback corpus
+        // snapshots are byte-identical for any worker count.
+        let one = bell_feedback_metrics_on(1, 10);
+        let four = bell_feedback_metrics_on(4, 10);
+        assert_eq!(one, four);
+        assert_eq!(one.to_json_string(), four.to_json_string());
+        assert_eq!(one.groups.len(), 3);
+        assert!(one.groups.iter().all(|g| !g.sites.is_empty()));
     }
 }

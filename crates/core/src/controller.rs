@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use artery_circuit::analysis::{analyze_circuit, PreExecCase, SiteAnalysis};
 use artery_circuit::{BranchOp, Circuit, Feedback, FeedbackSite, GateApp};
 use artery_hw::ControllerTiming;
+use artery_metrics::{MetricsRegistry, ShotTimeline, Stage};
 use artery_num::stats::Accumulator;
 use artery_sim::{FeedbackHandler, Resolution};
 use rand::rngs::StdRng;
@@ -103,12 +104,45 @@ impl ShotStats {
 
     /// Merges another run's statistics into this one (shard reduction in
     /// parallel harnesses).
+    ///
+    /// Both operands must cover *disjoint* shot sets — merging a shard
+    /// twice double-counts silently, because the counters carry no shot
+    /// ids. Debug builds assert the cross-field invariants that
+    /// overlapping or partial merges break (counters drifting away from
+    /// their sample accumulators).
     pub fn merge(&mut self, other: &ShotStats) {
+        self.debug_check_invariants();
+        other.debug_check_invariants();
         self.resolved += other.resolved;
         self.committed += other.committed;
         self.correct += other.correct;
         self.latency_ns.merge(&other.latency_ns);
         self.decision_window.merge(&other.decision_window);
+    }
+
+    /// Every path that builds a `ShotStats` ([`Self::record`] and disjoint
+    /// merges of recorded stats) maintains these; a violation means some
+    /// field was merged or mutated out of band.
+    fn debug_check_invariants(&self) {
+        debug_assert!(
+            self.committed <= self.resolved && self.correct <= self.committed,
+            "counter ordering violated: correct {} <= committed {} <= resolved {}",
+            self.correct,
+            self.committed,
+            self.resolved
+        );
+        debug_assert_eq!(
+            self.latency_ns.len(),
+            self.resolved,
+            "latency sample count diverged from the resolved counter — \
+             overlapping or double merge?"
+        );
+        debug_assert!(
+            self.decision_window.len() <= self.committed,
+            "decision-window samples {} exceed committed count {}",
+            self.decision_window.len(),
+            self.committed
+        );
     }
 }
 
@@ -188,6 +222,44 @@ pub fn feedback_latency_ns(
     }
 }
 
+/// The canonical observability timeline of one resolved feedback: which
+/// stages the resolve passed through and when, in ns from readout start.
+/// Shared by the live controller and trace-driven replay so both report
+/// identical metrics; stage times come from the same
+/// [`ControllerTiming`] model that [`feedback_latency_ns`] charges.
+#[must_use]
+pub fn resolve_timeline(
+    site: usize,
+    timing: &ControllerTiming,
+    route_ns: f64,
+    reported: bool,
+    window: Option<usize>,
+    predicted: Option<bool>,
+    latency_ns: f64,
+) -> ShotTimeline {
+    let mut timeline = ShotTimeline::new(site, latency_ns);
+    if let (Some(w), Some(p)) = (window, predicted) {
+        // The prediction and the dynamic-timing trigger are simultaneous:
+        // the trigger fires the moment the threshold crossing is known.
+        let fired_ns = timing.prediction_ready_ns(w);
+        timeline.push(Stage::Predict, fired_ns);
+        timeline.push(Stage::TriggerFire, fired_ns);
+        timeline.push(Stage::PreExecute, timing.branch_start_ns(w, route_ns));
+        if p == reported {
+            timeline.push(Stage::Commit, latency_ns);
+        } else {
+            // The rollback starts when the sequential truth arrives;
+            // recovery (undo + correct branch) ends at the charged latency.
+            timeline.push(Stage::Rollback, timing.misprediction_latency_ns());
+            timeline.push(Stage::Recover, latency_ns);
+        }
+    } else {
+        // Sequential fallback (no commitment, or a case-4 site).
+        timeline.push(Stage::Commit, latency_ns);
+    }
+    timeline
+}
+
 /// The ARTERY feedback controller for one circuit.
 #[derive(Debug, Clone)]
 pub struct ArteryController<'a> {
@@ -199,6 +271,9 @@ pub struct ArteryController<'a> {
     stats: ShotStats,
     outcomes: Vec<SiteOutcome>,
     log_outcomes: bool,
+    /// Per-site metrics aggregation; `None` (the default) keeps the hot
+    /// path free of observability cost.
+    metrics: Option<MetricsRegistry>,
     /// Per-site θ overrides (§6.6 recommends per-benchmark tuning).
     site_theta: HashMap<usize, f64>,
 }
@@ -221,6 +296,7 @@ impl<'a> ArteryController<'a> {
             stats: ShotStats::default(),
             outcomes: Vec::new(),
             log_outcomes: false,
+            metrics: None,
             site_theta: HashMap::new(),
         }
     }
@@ -278,6 +354,27 @@ impl<'a> ArteryController<'a> {
         self
     }
 
+    /// Enables per-site metrics aggregation: every resolve additionally
+    /// builds a [`ShotTimeline`] and folds it into a [`MetricsRegistry`].
+    /// Consumes no randomness, so summaries and decisions are unchanged.
+    #[must_use]
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = Some(MetricsRegistry::new());
+        self
+    }
+
+    /// The metrics registry, when enabled via [`Self::with_metrics`].
+    #[must_use]
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Takes the aggregated metrics (shard reduction), leaving an empty
+    /// registry behind; `None` when metrics were never enabled.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.as_mut().map(std::mem::take)
+    }
+
     /// Warm-starts a site's history (e.g. from a previous program run).
     pub fn seed_history(&mut self, site: FeedbackSite, p1: f64, weight: u64) {
         self.history.seed(site, p1, weight);
@@ -295,6 +392,9 @@ impl<'a> ArteryController<'a> {
     pub fn reset_stats(&mut self) {
         self.stats = ShotStats::default();
         self.outcomes.clear();
+        if let Some(registry) = &mut self.metrics {
+            *registry = MetricsRegistry::new();
+        }
     }
 
     /// Drains the per-feedback outcome log.
@@ -402,6 +502,17 @@ impl<'a> ArteryController<'a> {
             reported,
             latency_ns,
         });
+        if let Some(registry) = &mut self.metrics {
+            registry.observe(&resolve_timeline(
+                fb.site.0,
+                &self.timing,
+                self.config.route_ns,
+                reported,
+                window,
+                predicted,
+                latency_ns,
+            ));
+        }
         let trace = ResolveTrace {
             site: fb.site,
             case: analysis.case,
@@ -764,6 +875,122 @@ mod tests {
         assert_eq!(left.correct, whole.correct);
         assert_eq!(left.latency_ns.len(), whole.latency_ns.len());
         assert!((left.latency_ns.mean() - whole.latency_ns.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "latency sample count diverged")]
+    fn overlapping_stats_merge_is_caught_in_debug() {
+        let outcome = SiteOutcome {
+            site: FeedbackSite(0),
+            window: None,
+            predicted: None,
+            reported: false,
+            latency_ns: 2190.0,
+        };
+        let mut shard = ShotStats::default();
+        shard.record(&outcome);
+        // Simulate a broken shard reduction that folded the latency samples
+        // twice but the counters once: the accumulator now claims more
+        // samples than the resolved counter.
+        let mut corrupt = shard.clone();
+        corrupt.latency_ns.merge(&shard.latency_ns);
+        let mut whole = ShotStats::default();
+        whole.record(&outcome);
+        whole.merge(&corrupt);
+    }
+
+    #[test]
+    fn metrics_registry_agrees_with_stats() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::qrw(2);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("ctrl/metrics");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal).with_metrics();
+        for _ in 0..25 {
+            let _ = exec.run(&circuit, &mut ctl, &mut rng);
+        }
+        let registry = ctl.metrics().expect("metrics enabled");
+        let resolved: u64 = registry.sites().map(|(_, s)| s.resolved.get()).sum();
+        let committed: u64 = registry.sites().map(|(_, s)| s.committed.get()).sum();
+        let mispredicted: u64 =
+            registry.sites().map(|(_, s)| s.mispredicted.get()).sum();
+        let recovered: u64 = registry.sites().map(|(_, s)| s.recovered.get()).sum();
+        assert_eq!(resolved, ctl.stats().resolved);
+        assert_eq!(committed, ctl.stats().correct);
+        assert_eq!(mispredicted + recovered, 2 * (ctl.stats().committed - ctl.stats().correct));
+        for (_, site) in registry.sites() {
+            assert_eq!(site.latency_ns.count(), site.resolved.get());
+            assert_eq!(site.peak_latency_ns.get(), site.latency_ns.max_ns());
+            assert!(site.latency_ns.p50() <= site.latency_ns.p99());
+        }
+
+        // reset_stats clears the registry but keeps it enabled.
+        ctl.reset_stats();
+        assert!(ctl.metrics().expect("still enabled").is_empty());
+        let _ = exec.run(&circuit, &mut ctl, &mut rng);
+        assert!(!ctl.metrics().expect("still enabled").is_empty());
+        let taken = ctl.take_metrics().expect("takeable");
+        assert!(!taken.is_empty());
+        assert!(ctl.metrics().expect("still enabled").is_empty());
+    }
+
+    #[test]
+    fn enabling_metrics_does_not_change_decisions() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::qrw(2);
+        let run = |with_metrics: bool| {
+            let mut exec = Executor::new(NoiseModel::noiseless());
+            let mut rng = rng_for("ctrl/metrics-neutral");
+            let mut ctl = ArteryController::new(&circuit, &config, &cal);
+            if with_metrics {
+                ctl = ctl.with_metrics();
+            }
+            for _ in 0..15 {
+                let _ = exec.run(&circuit, &mut ctl, &mut rng);
+            }
+            ctl.stats().clone()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn resolve_timeline_covers_all_paths() {
+        let timing = ControllerTiming::new(ArteryConfig::paper().hardware(), 30.0);
+        // Sequential (no prediction): a single commit at the latency.
+        let seq = resolve_timeline(0, &timing, 0.0, true, None, None, 2190.0);
+        assert_eq!(seq.events().len(), 1);
+        assert_eq!(seq.stage_at(Stage::Commit), Some(2190.0));
+        assert!(!seq.has(Stage::Predict));
+        // Correct prediction: predict/trigger at the prediction-ready time,
+        // pre-execution at the branch start, commit at the latency.
+        let hit = resolve_timeline(1, &timing, 0.0, true, Some(2), Some(true), 320.0);
+        assert_eq!(hit.stage_at(Stage::Predict), Some(timing.prediction_ready_ns(2)));
+        assert_eq!(
+            hit.stage_at(Stage::TriggerFire),
+            hit.stage_at(Stage::Predict)
+        );
+        assert_eq!(
+            hit.stage_at(Stage::PreExecute),
+            Some(timing.branch_start_ns(2, 0.0))
+        );
+        assert_eq!(hit.stage_at(Stage::Commit), Some(320.0));
+        assert!(!hit.has(Stage::Rollback));
+        // Remote sites start their branch later by the route latency.
+        let remote = resolve_timeline(1, &timing, 48.0, true, Some(2), Some(true), 368.0);
+        let local_pre = hit.stage_at(Stage::PreExecute).unwrap();
+        assert_eq!(remote.stage_at(Stage::PreExecute), Some(local_pre + 48.0));
+        // Misprediction: rollback at the sequential truth, recovery at the
+        // charged latency, no commit.
+        let miss = resolve_timeline(1, &timing, 0.0, false, Some(2), Some(true), 3000.0);
+        assert_eq!(
+            miss.stage_at(Stage::Rollback),
+            Some(timing.misprediction_latency_ns())
+        );
+        assert_eq!(miss.stage_at(Stage::Recover), Some(3000.0));
+        assert!(!miss.has(Stage::Commit));
     }
 
     #[test]

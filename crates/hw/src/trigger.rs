@@ -194,6 +194,45 @@ mod tests {
     }
 
     #[test]
+    fn exact_threshold_boundary_holds_fire() {
+        // θ = 0.75 and p1 ∈ {0.25, 0.75} are exactly representable, so both
+        // comparisons are exact: commitment requires strictly *exceeding*
+        // the threshold, and p1 == θ1 (or 1 − p1 == θ0) must not commit.
+        let t = Thresholds::symmetric(0.75);
+        assert_eq!(t.decide(0.75), None);
+        assert_eq!(t.decide(0.25), None);
+        // One ULP past the boundary commits.
+        assert_eq!(t.decide(0.75 + f64::EPSILON), Some(true));
+        assert_eq!(t.decide(0.25 - f64::EPSILON), Some(false));
+    }
+
+    #[test]
+    fn nan_probability_never_commits() {
+        // NaN compares false against both thresholds: the decider must
+        // degrade to the sequential path, never fire on garbage confidence.
+        let t = Thresholds::default();
+        assert_eq!(t.decide(f64::NAN), None);
+        let ctl = DynamicTimingController::new(t);
+        let updates = (0..66).map(|w| ProbabilityUpdate {
+            window: w,
+            p_predict_1: f64::NAN,
+        });
+        assert!(ctl.first_trigger(updates, &timing(), 0.0).is_none());
+    }
+
+    #[test]
+    fn empty_probability_stream_never_triggers() {
+        // A shot can end before any window produces an update (e.g. a
+        // case-4 site): the controller must fall back without firing.
+        let ctl = DynamicTimingController::new(Thresholds::default());
+        let updates: Vec<ProbabilityUpdate> = Vec::new();
+        assert!(ctl.first_trigger(updates, &timing(), 0.0).is_none());
+        assert!(ctl
+            .first_trigger(std::iter::empty(), &timing(), 144.0)
+            .is_none());
+    }
+
+    #[test]
     fn remote_trigger_adds_route_latency() {
         let ctl = DynamicTimingController::new(Thresholds::symmetric(0.9));
         let updates = vec![ProbabilityUpdate { window: 2, p_predict_1: 0.95 }];

@@ -1,0 +1,474 @@
+//! Deterministic merge-exact instruments: [`Histogram`], [`Counter`] and
+//! [`Gauge`].
+//!
+//! The histogram's aggregation state is pure integers — fixed log-spaced
+//! nanosecond buckets (16 one-ns linear buckets, then 16 sub-buckets per
+//! power-of-two octave, HdrHistogram style) plus exact f64 min/max — so
+//! [`Histogram::merge`] is *exactly* associative and commutative: u64
+//! addition has no rounding and f64 min/max are order-independent. Any
+//! shard partition merged in any order reproduces the sequential state
+//! bit-for-bit, which is what lets the metrics layer inherit the
+//! `ARTERY_THREADS` determinism contract without per-shot sample buffers.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of one-nanosecond linear buckets covering `[0, 16)` ns.
+const LINEAR_BUCKETS: usize = 16;
+/// Sub-buckets per power-of-two octave above the linear range.
+const SUB_BUCKETS: usize = 16;
+/// Octaves above the linear range; the top octave ends at 2^32 ns (~4.3 s)
+/// and everything larger saturates into the last bucket.
+const OCTAVES: usize = 28;
+/// Total number of histogram buckets.
+pub const NUM_BUCKETS: usize = LINEAR_BUCKETS + SUB_BUCKETS * OCTAVES;
+
+/// Maps a (sanitized, truncated-to-u64) nanosecond value to its bucket.
+fn bucket_index(ns: f64) -> usize {
+    let sanitized = if ns.is_finite() { ns.max(0.0) } else { 0.0 };
+    let v = sanitized as u64;
+    if v < LINEAR_BUCKETS as u64 {
+        return v as usize;
+    }
+    // v >= 16, so the most significant bit is at position >= 4.
+    let msb = 63 - v.leading_zeros() as usize;
+    let shift = msb - 4;
+    let sub = ((v >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (LINEAR_BUCKETS + SUB_BUCKETS * shift + sub).min(NUM_BUCKETS - 1)
+}
+
+/// Inclusive-exclusive `[lo, hi)` nanosecond bounds of a bucket.
+fn bucket_bounds(index: usize) -> (f64, f64) {
+    if index < LINEAR_BUCKETS {
+        return (index as f64, (index + 1) as f64);
+    }
+    let shift = (index - LINEAR_BUCKETS) / SUB_BUCKETS;
+    let sub = (index - LINEAR_BUCKETS) % SUB_BUCKETS;
+    let lo = ((SUB_BUCKETS + sub) as u64) << shift;
+    let width = 1u64 << shift;
+    (lo as f64, (lo + width) as f64)
+}
+
+/// A latency histogram over fixed log-spaced nanosecond buckets.
+///
+/// Bucket widths are exact at 1 ns below 16 ns and stay within 1/16
+/// (6.25 %) relative error above; quantiles interpolate linearly inside
+/// the crossing bucket and are clamped to the exact observed min/max.
+///
+/// # Examples
+///
+/// ```
+/// use artery_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for ns in [110.0, 140.0, 500.0, 3000.0] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max_ns(), 3000.0);
+/// assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket sample counts, indexed by [`bucket_index`].
+    counts: Vec<u64>,
+    /// Total number of recorded samples.
+    count: u64,
+    /// Exact smallest recorded value (`+inf` when empty).
+    min_ns: f64,
+    /// Exact largest recorded value (`-inf` when empty).
+    max_ns: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            min_ns: f64::INFINITY,
+            max_ns: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Non-finite values are sanitized to 0 ns rather
+    /// than poisoning min/max, and negatives clamp to 0.
+    pub fn record(&mut self, ns: f64) {
+        let sanitized = if ns.is_finite() { ns.max(0.0) } else { 0.0 };
+        self.counts[bucket_index(sanitized)] += 1;
+        self.count += 1;
+        self.min_ns = self.min_ns.min(sanitized);
+        self.max_ns = self.max_ns.max(sanitized);
+    }
+
+    /// Folds `other` into `self`. Exact: u64 bucket adds plus f64 min/max,
+    /// so merging is associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest recorded value, or 0.0 when empty.
+    #[must_use]
+    pub fn min_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Exact largest recorded value, or 0.0 when empty.
+    #[must_use]
+    pub fn max_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max_ns
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) by linear interpolation within
+    /// the crossing bucket, clamped to the observed min/max. Returns 0.0
+    /// when empty. Monotone non-decreasing in `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q` is in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile rank must be in [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let (lo, hi) = bucket_bounds(index);
+                let frac = (target - seen) as f64 / c as f64;
+                let v = lo + (hi - lo) * frac;
+                return v.clamp(self.min_ns, self.max_ns);
+            }
+            seen += c;
+        }
+        self.max_ns
+    }
+
+    /// Median (50th-percentile) latency in nanoseconds.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th-percentile latency in nanoseconds.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.9)
+    }
+
+    /// 99th-percentile (tail) latency in nanoseconds.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Serializable snapshot: quantile summary plus the sparse non-empty
+    /// buckets in index order.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            min_ns: self.min_ns(),
+            max_ns: self.max_ns(),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(index, &count)| {
+                    let (lo_ns, hi_ns) = bucket_bounds(index);
+                    BucketSnapshot {
+                        index,
+                        lo_ns,
+                        hi_ns,
+                        count,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty bucket in a [`HistogramSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSnapshot {
+    /// Bucket index in `[0, NUM_BUCKETS)`.
+    pub index: usize,
+    /// Inclusive lower bound in nanoseconds.
+    pub lo_ns: f64,
+    /// Exclusive upper bound in nanoseconds.
+    pub hi_ns: f64,
+    /// Samples that fell in this bucket.
+    pub count: u64,
+}
+
+/// Serializable summary of a [`Histogram`]: exact extrema, interpolated
+/// quantiles and the sparse bucket counts. Empty histograms report 0.0
+/// extrema/quantiles (never non-finite values, which JSON cannot carry).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Exact smallest sample (0.0 when empty).
+    pub min_ns: f64,
+    /// Exact largest sample (0.0 when empty).
+    pub max_ns: f64,
+    /// Median latency in nanoseconds.
+    pub p50: f64,
+    /// 90th-percentile latency in nanoseconds.
+    pub p90: f64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99: f64,
+    /// Non-empty buckets in index order.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+/// A merge-exact monotone event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Folds `other` into `self` (addition — associative and commutative).
+    pub fn merge(&mut self, other: &Counter) {
+        self.value += other.value;
+    }
+}
+
+/// A last-value instrument whose merge keeps the maximum.
+///
+/// Taking the max (rather than "last write wins") is what makes shard
+/// merges order-independent: the merged value is the same whichever shard
+/// is folded first, so gauges stay inside the determinism contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value (single-writer use).
+    pub fn set(&mut self, value: f64) {
+        self.value = value;
+    }
+
+    /// Raises the value to `value` if larger; NaN is ignored.
+    pub fn maximize(&mut self, value: f64) {
+        if value > self.value {
+            self.value = value;
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+
+    /// Folds `other` into `self` by taking the maximum.
+    pub fn merge(&mut self, other: &Gauge) {
+        self.maximize(other.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        // Every linear bucket maps to itself; the first octave continues
+        // seamlessly at index 16.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v as f64), v as usize);
+        }
+        assert_eq!(bucket_index(16.0), 16);
+        assert_eq!(bucket_index(31.0), 31);
+        assert_eq!(bucket_index(32.0), 32);
+        let mut prev = 0;
+        for v in 0..4096u64 {
+            let idx = bucket_index(v as f64);
+            assert!(idx >= prev, "index decreased at {v}");
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                lo <= v as f64 && (v as f64) < hi,
+                "{v} outside bucket [{lo}, {hi})"
+            );
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_sanitized() {
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        // Values beyond the top octave saturate into the last bucket.
+        assert_eq!(bucket_index(1e18), NUM_BUCKETS - 1);
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(-1.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min_ns(), 0.0);
+        assert_eq!(h.max_ns(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_the_sample() {
+        let mut h = Histogram::new();
+        h.record(100.0);
+        assert_eq!(h.p50(), 100.0);
+        assert_eq!(h.p90(), 100.0);
+        assert_eq!(h.p99(), 100.0);
+        assert_eq!(h.min_ns(), 100.0);
+        assert_eq!(h.max_ns(), 100.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        // Log-bucketed quantiles are exact to bucket resolution (6.25 %).
+        assert!((h.p50() - 500.0).abs() / 500.0 < 0.07, "p50 {}", h.p50());
+        assert!((h.p90() - 900.0).abs() / 900.0 < 0.07, "p90 {}", h.p90());
+        assert!((h.p99() - 990.0).abs() / 990.0 < 0.07, "p99 {}", h.p99());
+        assert!(h.quantile(0.0) >= h.min_ns());
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, ns) in [3.0, 17.0, 250.0, 2160.0, 110.0, 1e7].iter().enumerate() {
+            whole.record(*ns);
+            if i % 2 == 0 {
+                a.record(*ns);
+            } else {
+                b.record(*ns);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+        // Merging an empty histogram is the identity.
+        let mut id = whole.clone();
+        id.merge(&Histogram::new());
+        assert_eq!(id, whole);
+    }
+
+    #[test]
+    fn counter_and_gauge_merge_deterministically() {
+        let mut a = Counter::new();
+        a.add(3);
+        a.incr();
+        let mut b = Counter::new();
+        b.add(5);
+        a.merge(&b);
+        assert_eq!(a.get(), 9);
+
+        let mut g = Gauge::new();
+        g.set(2.0);
+        g.maximize(1.0);
+        assert_eq!(g.get(), 2.0);
+        g.maximize(f64::NAN);
+        assert_eq!(g.get(), 2.0);
+        let mut h = Gauge::new();
+        h.set(7.5);
+        g.merge(&h);
+        assert_eq!(g.get(), 7.5);
+    }
+
+    #[test]
+    fn snapshot_reports_sparse_buckets_in_order() {
+        let mut h = Histogram::new();
+        h.record(100.0);
+        h.record(100.0);
+        h.record(3000.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets.len(), 2);
+        assert!(snap.buckets[0].index < snap.buckets[1].index);
+        assert_eq!(snap.buckets[0].count, 2);
+        assert!(snap.buckets[0].lo_ns <= 100.0 && 100.0 < snap.buckets[0].hi_ns);
+        // Empty histograms snapshot to all-zero summaries, not NaN/inf.
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.min_ns, 0.0);
+        assert_eq!(empty.max_ns, 0.0);
+        assert_eq!(empty.p99, 0.0);
+        assert!(empty.buckets.is_empty());
+    }
+}

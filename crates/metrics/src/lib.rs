@@ -1,0 +1,35 @@
+//! `artery-metrics` — allocation-conscious observability for the ARTERY
+//! feedback pipeline.
+//!
+//! ARTERY's headline claims are *distributions*, not means: feedback
+//! latency under dynamic timing, mispredict/recovery frequency, per-site
+//! commit rates. This crate records them without giving up the repo's
+//! determinism contract:
+//!
+//! - [`Histogram`], [`Counter`] and [`Gauge`] keep pure-integer (or exact
+//!   min/max) aggregation state, so `merge` is exactly associative and
+//!   commutative — shard-merged metrics are bit-identical to a sequential
+//!   run under any `ARTERY_THREADS`.
+//! - [`ShotTimeline`] captures one resolve's stage markers (predict →
+//!   trigger-fire → pre-execute → commit | rollback → recover) on a
+//!   `Copy`, allocation-free inline array.
+//! - [`MetricsRegistry`] folds timelines into per-site aggregates in
+//!   site order and snapshots them into serializable documents.
+//! - [`MetricsSink`] abstracts export: [`NullSink`] (the default; the
+//!   disabled path costs nothing) and [`JsonSink`] (how `run_all` writes
+//!   `BENCH_metrics.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod sink;
+pub mod timeline;
+
+pub use hist::{BucketSnapshot, Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use registry::{
+    GroupSnapshot, MetricsRegistry, MetricsSnapshot, SiteMetrics, SiteSnapshot, SNAPSHOT_VERSION,
+};
+pub use sink::{JsonSink, MetricsSink, NullSink};
+pub use timeline::{ShotTimeline, Stage, TimelineEvent, MAX_TIMELINE_EVENTS};

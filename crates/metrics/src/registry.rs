@@ -1,0 +1,367 @@
+//! Per-site aggregation of shot timelines into histograms and counters,
+//! plus the serializable snapshot types.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::timeline::{ShotTimeline, Stage};
+
+/// Snapshot schema version; bump on any structural change so downstream
+/// readers of `BENCH_metrics.json` can detect incompatibility.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Aggregated observability state for one feedback site.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteMetrics {
+    /// End-to-end feedback latency of every resolve.
+    pub latency_ns: Histogram,
+    /// Latency of resolves that committed a correct prediction.
+    pub commit_latency_ns: Histogram,
+    /// Latency of resolves that mispredicted (rollback + recovery).
+    pub mispredict_latency_ns: Histogram,
+    /// Time the dynamic-timing trigger fired, for early-commit analysis.
+    pub trigger_fire_ns: Histogram,
+    /// Total resolves observed.
+    pub resolved: Counter,
+    /// Resolves whose prediction committed correctly.
+    pub committed: Counter,
+    /// Resolves whose prediction was wrong (rolled back).
+    pub mispredicted: Counter,
+    /// Rollbacks that completed recovery.
+    pub recovered: Counter,
+    /// Resolves that fell back to the sequential path (no prediction).
+    pub sequential: Counter,
+    /// Worst end-to-end latency seen at this site.
+    pub peak_latency_ns: Gauge,
+}
+
+impl SiteMetrics {
+    /// Folds one resolve timeline into the aggregates.
+    pub fn observe(&mut self, timeline: &ShotTimeline) {
+        self.resolved.incr();
+        self.latency_ns.record(timeline.latency_ns());
+        self.peak_latency_ns.maximize(timeline.latency_ns());
+        if let Some(at_ns) = timeline.stage_at(Stage::TriggerFire) {
+            self.trigger_fire_ns.record(at_ns);
+        }
+        let predicted = timeline.has(Stage::Predict);
+        if predicted && timeline.has(Stage::Commit) {
+            self.committed.incr();
+            self.commit_latency_ns.record(timeline.latency_ns());
+        }
+        if timeline.has(Stage::Rollback) {
+            self.mispredicted.incr();
+            self.mispredict_latency_ns.record(timeline.latency_ns());
+        }
+        if timeline.has(Stage::Recover) {
+            self.recovered.incr();
+        }
+        if !predicted {
+            self.sequential.incr();
+        }
+    }
+
+    /// Folds `other` into `self`; exact, order-independent.
+    pub fn merge(&mut self, other: &SiteMetrics) {
+        self.latency_ns.merge(&other.latency_ns);
+        self.commit_latency_ns.merge(&other.commit_latency_ns);
+        self.mispredict_latency_ns.merge(&other.mispredict_latency_ns);
+        self.trigger_fire_ns.merge(&other.trigger_fire_ns);
+        self.resolved.merge(&other.resolved);
+        self.committed.merge(&other.committed);
+        self.mispredicted.merge(&other.mispredicted);
+        self.recovered.merge(&other.recovered);
+        self.sequential.merge(&other.sequential);
+        self.peak_latency_ns.merge(&other.peak_latency_ns);
+    }
+}
+
+/// Per-site metrics aggregation for one run (or one shard of a run).
+///
+/// Sites live in a `BTreeMap`, so iteration — and therefore snapshots —
+/// is in site order regardless of observation order. Combined with the
+/// merge-exact instruments this makes shard-merged registries bit-identical
+/// to a sequential run under any `ARTERY_THREADS`.
+///
+/// # Examples
+///
+/// ```
+/// use artery_metrics::{MetricsRegistry, ShotTimeline, Stage};
+///
+/// let mut registry = MetricsRegistry::new();
+/// let mut t = ShotTimeline::new(0, 202.0);
+/// t.push(Stage::Predict, 110.0);
+/// t.push(Stage::TriggerFire, 110.0);
+/// t.push(Stage::PreExecute, 202.0);
+/// t.push(Stage::Commit, 202.0);
+/// registry.observe(&t);
+/// let site = registry.site(0).unwrap();
+/// assert_eq!(site.resolved.get(), 1);
+/// assert_eq!(site.committed.get(), 1);
+/// assert_eq!(site.latency_ns.p50(), 202.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    sites: BTreeMap<usize, SiteMetrics>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one resolve timeline into its site's aggregates.
+    pub fn observe(&mut self, timeline: &ShotTimeline) {
+        self.sites.entry(timeline.site()).or_default().observe(timeline);
+    }
+
+    /// The aggregates for one site, if it has been observed.
+    #[must_use]
+    pub fn site(&self, site: usize) -> Option<&SiteMetrics> {
+        self.sites.get(&site)
+    }
+
+    /// All observed sites in ascending site order.
+    pub fn sites(&self) -> impl Iterator<Item = (usize, &SiteMetrics)> {
+        self.sites.iter().map(|(&site, metrics)| (site, metrics))
+    }
+
+    /// Number of observed sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no timeline has been observed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Folds `other` into `self`. The result is the per-site union of
+    /// the exact instrument merges, so any merge order (or partition)
+    /// yields the same registry.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&site, metrics) in &other.sites {
+            self.sites.entry(site).or_default().merge(metrics);
+        }
+    }
+
+    /// A serializable snapshot of every site, labelled `label`, with
+    /// sites in ascending order.
+    #[must_use]
+    pub fn snapshot(&self, label: &str) -> GroupSnapshot {
+        GroupSnapshot {
+            label: label.to_string(),
+            sites: self
+                .sites
+                .iter()
+                .map(|(&site, m)| SiteSnapshot {
+                    site,
+                    resolved: m.resolved.get(),
+                    committed: m.committed.get(),
+                    mispredicted: m.mispredicted.get(),
+                    recovered: m.recovered.get(),
+                    sequential: m.sequential.get(),
+                    peak_latency_ns: m.peak_latency_ns.get(),
+                    latency: m.latency_ns.snapshot(),
+                    commit_latency: m.commit_latency_ns.snapshot(),
+                    mispredict_latency: m.mispredict_latency_ns.snapshot(),
+                    trigger_fire: m.trigger_fire_ns.snapshot(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serializable aggregates of one feedback site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSnapshot {
+    /// Feedback-site index.
+    pub site: usize,
+    /// Total resolves observed.
+    pub resolved: u64,
+    /// Resolves whose prediction committed correctly.
+    pub committed: u64,
+    /// Resolves whose prediction was wrong (rolled back).
+    pub mispredicted: u64,
+    /// Rollbacks that completed recovery.
+    pub recovered: u64,
+    /// Resolves that fell back to the sequential path.
+    pub sequential: u64,
+    /// Worst end-to-end latency seen at this site.
+    pub peak_latency_ns: f64,
+    /// End-to-end feedback latency distribution.
+    pub latency: HistogramSnapshot,
+    /// Latency distribution of correct commits.
+    pub commit_latency: HistogramSnapshot,
+    /// Latency distribution of mispredicted resolves.
+    pub mispredict_latency: HistogramSnapshot,
+    /// Trigger-fire time distribution.
+    pub trigger_fire: HistogramSnapshot,
+}
+
+/// One labelled registry snapshot (a workload, a trace shard, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSnapshot {
+    /// Group label, e.g. the workload name.
+    pub label: String,
+    /// Per-site aggregates in ascending site order.
+    pub sites: Vec<SiteSnapshot>,
+}
+
+/// The top-level snapshot document written to `BENCH_metrics.json`.
+///
+/// Deliberately contains no environment-dependent fields (thread counts,
+/// timestamps, host names): the document is a pure function of the
+/// workload and configuration, so runs under different `ARTERY_THREADS`
+/// serialize byte-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Labelled registry snapshots.
+    pub groups: Vec<GroupSnapshot>,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot at the current schema version.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            version: SNAPSHOT_VERSION,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Appends one labelled group.
+    pub fn push(&mut self, group: GroupSnapshot) {
+        self.groups.push(group);
+    }
+
+    /// Deterministic pretty-printed JSON rendering. Byte-identical for
+    /// equal snapshots: struct field order is fixed by the schema and
+    /// all maps were flattened into ordered vectors.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics snapshots always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed_timeline(site: usize, latency_ns: f64) -> ShotTimeline {
+        let mut t = ShotTimeline::new(site, latency_ns);
+        t.push(Stage::Predict, 110.0);
+        t.push(Stage::TriggerFire, 110.0);
+        t.push(Stage::PreExecute, 202.0);
+        t.push(Stage::Commit, latency_ns);
+        t
+    }
+
+    fn mispredicted_timeline(site: usize, latency_ns: f64) -> ShotTimeline {
+        let mut t = ShotTimeline::new(site, latency_ns);
+        t.push(Stage::Predict, 140.0);
+        t.push(Stage::TriggerFire, 140.0);
+        t.push(Stage::PreExecute, 232.0);
+        t.push(Stage::Rollback, 2160.0);
+        t.push(Stage::Recover, latency_ns);
+        t
+    }
+
+    fn sequential_timeline(site: usize, latency_ns: f64) -> ShotTimeline {
+        let mut t = ShotTimeline::new(site, latency_ns);
+        t.push(Stage::Commit, latency_ns);
+        t
+    }
+
+    #[test]
+    fn observe_classifies_commit_rollback_and_sequential() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe(&committed_timeline(2, 500.0));
+        reg.observe(&mispredicted_timeline(2, 3000.0));
+        reg.observe(&sequential_timeline(0, 100.0));
+
+        let s2 = reg.site(2).unwrap();
+        assert_eq!(s2.resolved.get(), 2);
+        assert_eq!(s2.committed.get(), 1);
+        assert_eq!(s2.mispredicted.get(), 1);
+        assert_eq!(s2.recovered.get(), 1);
+        assert_eq!(s2.sequential.get(), 0);
+        assert_eq!(s2.latency_ns.count(), 2);
+        assert_eq!(s2.commit_latency_ns.count(), 1);
+        assert_eq!(s2.mispredict_latency_ns.count(), 1);
+        assert_eq!(s2.trigger_fire_ns.count(), 2);
+        assert_eq!(s2.peak_latency_ns.get(), 3000.0);
+
+        let s0 = reg.site(0).unwrap();
+        assert_eq!(s0.sequential.get(), 1);
+        assert_eq!(s0.committed.get(), 0);
+        assert_eq!(s0.trigger_fire_ns.count(), 0);
+
+        // Sites iterate in ascending order for deterministic snapshots.
+        let order: Vec<usize> = reg.sites().map(|(site, _)| site).collect();
+        assert_eq!(order, vec![0, 2]);
+    }
+
+    #[test]
+    fn shard_merge_equals_sequential_observation() {
+        let timelines = [
+            committed_timeline(0, 202.0),
+            sequential_timeline(1, 2190.0),
+            mispredicted_timeline(0, 3000.0),
+            committed_timeline(1, 320.0),
+            committed_timeline(0, 260.0),
+        ];
+        let mut whole = MetricsRegistry::new();
+        for t in &timelines {
+            whole.observe(t);
+        }
+        // Round-robin shard split, merged in shard order — and reversed.
+        let mut shards = vec![MetricsRegistry::new(), MetricsRegistry::new()];
+        for (i, t) in timelines.iter().enumerate() {
+            shards[i % 2].observe(t);
+        }
+        let mut forward = MetricsRegistry::new();
+        for s in &shards {
+            forward.merge(s);
+        }
+        let mut backward = MetricsRegistry::new();
+        for s in shards.iter().rev() {
+            backward.merge(s);
+        }
+        assert_eq!(forward, whole);
+        assert_eq!(backward, whole);
+        assert_eq!(
+            forward.snapshot("x").sites,
+            whole.snapshot("x").sites
+        );
+    }
+
+    #[test]
+    fn snapshot_serialization_is_deterministic() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe(&committed_timeline(1, 500.0));
+        let mut snap = MetricsSnapshot::new();
+        snap.push(reg.snapshot("unit"));
+        let a = snap.to_json_string();
+        let b = snap.clone().to_json_string();
+        assert_eq!(a, b);
+        // And the document round-trips through serde exactly.
+        let back: MetricsSnapshot = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.version, SNAPSHOT_VERSION);
+    }
+}

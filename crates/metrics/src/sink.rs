@@ -1,0 +1,106 @@
+//! Snapshot export: the [`MetricsSink`] trait and its two built-ins.
+//!
+//! Sinks sit entirely off the hot path: the harness aggregates into
+//! registries while running, takes one [`MetricsSnapshot`] at the end and
+//! hands it to a sink. [`NullSink`] is the default and makes the whole
+//! export a no-op; [`JsonSink`] pretty-prints to a file (this is how
+//! `run_all` produces `BENCH_metrics.json`).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::registry::MetricsSnapshot;
+
+/// Destination for a finished metrics snapshot.
+pub trait MetricsSink {
+    /// Exports one snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying destination.
+    fn export(&mut self, snapshot: &MetricsSnapshot) -> io::Result<()>;
+}
+
+/// The default sink: discards every snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn export(&mut self, _snapshot: &MetricsSnapshot) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes snapshots as deterministic pretty-printed JSON to a file,
+/// replacing any previous contents.
+#[derive(Debug, Clone)]
+pub struct JsonSink {
+    path: PathBuf,
+}
+
+impl JsonSink {
+    /// A sink writing to `path`.
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        Self {
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+
+    /// The destination path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl MetricsSink for JsonSink {
+    fn export(&mut self, snapshot: &MetricsSnapshot) -> io::Result<()> {
+        fs::write(&self.path, snapshot.to_json_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{ShotTimeline, Stage};
+    use crate::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        let mut t = ShotTimeline::new(0, 150.0);
+        t.push(Stage::Commit, 150.0);
+        reg.observe(&t);
+        let mut snap = MetricsSnapshot::new();
+        snap.push(reg.snapshot("sink-test"));
+        snap
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let snap = sample_snapshot();
+        NullSink.export(&snap).unwrap();
+        // Works through the trait object the harness passes around.
+        let sink: &mut dyn MetricsSink = &mut NullSink;
+        sink.export(&snap).unwrap();
+    }
+
+    #[test]
+    fn json_sink_round_trips_through_the_file() {
+        let snap = sample_snapshot();
+        let path = std::env::temp_dir().join("artery-metrics-sink-test.json");
+        let mut sink = JsonSink::new(&path);
+        assert_eq!(sink.path(), path.as_path());
+        sink.export(&snap).unwrap();
+        let bytes = fs::read_to_string(&path).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&bytes).unwrap();
+        assert_eq!(back, snap);
+        let _ = fs::remove_file(&path);
+        // Empty groups serialize fine too.
+        let empty = MetricsSnapshot::new();
+        assert!(empty.groups.is_empty());
+        let parsed: MetricsSnapshot =
+            serde_json::from_str(&empty.to_json_string()).unwrap();
+        assert_eq!(parsed, empty);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-resolve event timelines.
+//!
+//! A [`ShotTimeline`] records the controller-side stages of one feedback
+//! resolve — predict, trigger-fire, pre-execute, then commit or
+//! rollback/recover — as `(stage, time)` pairs on a fixed-size inline
+//! array. Timelines are `Copy`, allocation-free and cheap enough to build
+//! on the hot path; the registry folds them into histograms immediately,
+//! so none are retained per shot.
+
+/// A controller-side stage of one feedback resolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// The windowed predictor crossed its confidence threshold.
+    Predict,
+    /// The dynamic-timing trigger fired toward the pulse sequencer.
+    TriggerFire,
+    /// The predicted branch began pre-execution.
+    PreExecute,
+    /// The prediction matched the final readout; the branch committed.
+    Commit,
+    /// The prediction missed; the pre-executed branch was rolled back.
+    Rollback,
+    /// Recovery after a rollback completed (inverse + correct branch).
+    Recover,
+}
+
+/// One timeline entry: a stage and when it happened, in nanoseconds from
+/// readout start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineEvent {
+    /// Which stage this entry marks.
+    pub stage: Stage,
+    /// Stage time in nanoseconds from the start of the readout pulse.
+    pub at_ns: f64,
+}
+
+/// Maximum events one resolve can produce (predict, trigger-fire,
+/// pre-execute, rollback, recover, commit).
+pub const MAX_TIMELINE_EVENTS: usize = 6;
+
+/// The recorded stage timeline of a single feedback resolve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShotTimeline {
+    /// Feedback-site index this resolve belongs to.
+    site: usize,
+    /// End-to-end feedback latency charged for the resolve.
+    latency_ns: f64,
+    /// Number of valid entries in `events`.
+    len: usize,
+    /// Inline event storage; only `events[..len]` is meaningful.
+    events: [TimelineEvent; MAX_TIMELINE_EVENTS],
+}
+
+impl ShotTimeline {
+    /// An empty timeline for one resolve at `site` whose end-to-end
+    /// feedback latency is `latency_ns`.
+    #[must_use]
+    pub fn new(site: usize, latency_ns: f64) -> Self {
+        Self {
+            site,
+            latency_ns,
+            len: 0,
+            events: [TimelineEvent {
+                stage: Stage::Commit,
+                at_ns: 0.0,
+            }; MAX_TIMELINE_EVENTS],
+        }
+    }
+
+    /// Appends a stage marker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_TIMELINE_EVENTS`] stages are pushed —
+    /// a resolve can only pass through each stage once.
+    pub fn push(&mut self, stage: Stage, at_ns: f64) {
+        assert!(
+            self.len < MAX_TIMELINE_EVENTS,
+            "timeline overflow: a resolve has at most {MAX_TIMELINE_EVENTS} stages"
+        );
+        self.events[self.len] = TimelineEvent { stage, at_ns };
+        self.len += 1;
+    }
+
+    /// Feedback-site index this resolve belongs to.
+    #[must_use]
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    /// End-to-end feedback latency charged for the resolve.
+    #[must_use]
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+
+    /// The recorded stage markers, in push order.
+    #[must_use]
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events[..self.len]
+    }
+
+    /// Whether the timeline contains `stage`.
+    #[must_use]
+    pub fn has(&self, stage: Stage) -> bool {
+        self.events().iter().any(|e| e.stage == stage)
+    }
+
+    /// The time of the first marker for `stage`, if present.
+    #[must_use]
+    pub fn stage_at(&self, stage: Stage) -> Option<f64> {
+        self.events()
+            .iter()
+            .find(|e| e.stage == stage)
+            .map(|e| e.at_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timelines_record_stages_in_order() {
+        let mut t = ShotTimeline::new(3, 500.0);
+        assert!(t.events().is_empty());
+        t.push(Stage::Predict, 110.0);
+        t.push(Stage::TriggerFire, 110.0);
+        t.push(Stage::PreExecute, 202.0);
+        t.push(Stage::Commit, 500.0);
+        assert_eq!(t.site(), 3);
+        assert_eq!(t.latency_ns(), 500.0);
+        assert_eq!(t.events().len(), 4);
+        assert_eq!(t.events()[0].stage, Stage::Predict);
+        assert!(t.has(Stage::Commit));
+        assert!(!t.has(Stage::Rollback));
+        assert_eq!(t.stage_at(Stage::PreExecute), Some(202.0));
+        assert_eq!(t.stage_at(Stage::Recover), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeline overflow")]
+    fn overflowing_the_inline_storage_panics() {
+        let mut t = ShotTimeline::new(0, 0.0);
+        for _ in 0..=MAX_TIMELINE_EVENTS {
+            t.push(Stage::Commit, 0.0);
+        }
+    }
+}

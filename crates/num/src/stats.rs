@@ -22,13 +22,22 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(acc.mean(), 2.5);
 /// assert_eq!(acc.len(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Accumulator {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// `Default` must agree with [`Accumulator::new`]: the derived impl would
+/// zero `min`/`max`, and a default-then-push accumulator would then report
+/// a spurious minimum of 0 for all-positive samples.
+impl Default for Accumulator {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Accumulator {
@@ -101,7 +110,26 @@ impl Accumulator {
     }
 
     /// Merges another accumulator into this one (parallel Welford).
+    ///
+    /// Callers are responsible for the operands covering *disjoint* sample
+    /// sets (e.g. distinct shot-id shards); merging overlapping shards
+    /// double-counts silently. Debug builds assert the cheap invariants
+    /// that overlap bugs tend to violate — an operand whose extrema are
+    /// inconsistent with its count, or a count overflow from runaway
+    /// repeated merging.
     pub fn merge(&mut self, other: &Accumulator) {
+        debug_assert!(
+            other.count == 0 || !(other.min > other.max),
+            "merge operand has {} samples but min {} > max {} — \
+             was it merged from overlapping or corrupted shards?",
+            other.count,
+            other.min,
+            other.max
+        );
+        debug_assert!(
+            self.count.checked_add(other.count).is_some(),
+            "sample count overflow in merge — repeated self-merge?"
+        );
         if other.count == 0 {
             return;
         }
@@ -272,6 +300,30 @@ mod tests {
         let mut empty = Accumulator::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn default_is_a_true_empty_accumulator() {
+        // Regression: the derived Default zeroed min/max, so pushing into a
+        // defaulted accumulator reported min = 0 for all-positive samples.
+        assert_eq!(Accumulator::default(), Accumulator::new());
+        let mut acc = Accumulator::default();
+        acc.push(5.0);
+        acc.push(9.0);
+        assert_eq!(acc.min(), 5.0);
+        assert_eq!(acc.max(), 9.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overlapping or corrupted")]
+    fn merge_of_inconsistent_operand_is_caught_in_debug() {
+        // An operand claiming samples while its extrema say "never pushed"
+        // is the signature of counters merged separately from samples.
+        let mut bogus = Accumulator::new();
+        bogus.count = 3;
+        let mut acc: Accumulator = [1.0, 2.0].iter().copied().collect();
+        acc.merge(&bogus);
     }
 
     #[test]

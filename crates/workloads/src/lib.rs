@@ -443,6 +443,15 @@ impl Benchmark {
     pub fn trace_corpus() -> Vec<Benchmark> {
         Self::representatives()
     }
+
+    /// The Bell-measurement feed-forward corpus the metrics harness
+    /// aggregates (`run_all` → `BENCH_metrics.json`): teleportation chains
+    /// of growing depth, whose per-hop feed-forward corrections exercise
+    /// one feedback site per hop with near-50/50 priors.
+    #[must_use]
+    pub fn bell_feedback_corpus() -> Vec<Benchmark> {
+        vec![Benchmark::Dqt(1), Benchmark::Dqt(2), Benchmark::Dqt(3)]
+    }
 }
 
 impl std::fmt::Display for Benchmark {
@@ -621,5 +630,17 @@ mod tests {
             analyze_circuit(&reset)[0].case,
             PreExecCase::OnMeasuredQubit
         );
+    }
+
+    #[test]
+    fn bell_feedback_corpus_is_feed_forward_teleportation() {
+        let corpus = Benchmark::bell_feedback_corpus();
+        assert_eq!(corpus.len(), 3);
+        for (k, bench) in corpus.iter().enumerate() {
+            assert!(matches!(bench, Benchmark::Dqt(_)), "{bench}");
+            let circuit = bench.circuit();
+            // One feed-forward correction per teleportation hop.
+            assert_eq!(circuit.feedback_count(), k + 1);
+        }
     }
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Lint gate: formatting + clippy across the whole workspace, warnings fatal,
-# plus the perf-critical guarantees — benches must compile and the sharded
-# runners must be thread-count invariant.
+# plus the perf-critical guarantees — benches must compile, the sharded
+# runners must be thread-count invariant, and the metrics layer must keep
+# its merge-exactness/golden-schema promises.
 # Run locally before pushing; CI runs the same commands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,3 +11,5 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --workspace --no-run
 cargo test -p artery-bench --lib -q thread_invariance
+cargo test -q -p artery-metrics
+cargo test -q --test metrics

@@ -15,7 +15,9 @@
 //! * [`baselines`] — QubiC / HERQULES / Salathé / Reuer controllers,
 //! * [`core`] — the branch predictor and feedback engine (the paper's
 //!   contribution),
-//! * [`trace`] — recorded shot traces and trace-driven predictor replay.
+//! * [`trace`] — recorded shot traces and trace-driven predictor replay,
+//! * [`metrics`] — merge-exact histograms, shot timelines and snapshot
+//!   sinks for pipeline observability.
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@ pub use artery_baselines as baselines;
 pub use artery_circuit as circuit;
 pub use artery_core as core;
 pub use artery_hw as hw;
+pub use artery_metrics as metrics;
 pub use artery_num as num;
 pub use artery_pulse as pulse;
 pub use artery_qec as qec;

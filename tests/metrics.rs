@@ -1,0 +1,245 @@
+//! Integration tests of the metrics layer: merge-exactness properties,
+//! the golden `BENCH_metrics.json` schema, thread-count invariance of the
+//! exported snapshot, and the sink trait.
+
+use artery::metrics::{
+    Histogram, JsonSink, MetricsRegistry, MetricsSink, MetricsSnapshot, NullSink, ShotTimeline,
+    Stage, SNAPSHOT_VERSION,
+};
+use proptest::prelude::*;
+use serde_json::json;
+
+/// Sample values spanning the linear buckets, several octaves, the
+/// saturating top bucket and the sanitized degenerate inputs.
+fn arbitrary_ns() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => 0.0..1.0e7f64,
+        1 => Just(-3.0),
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(1.0e18),
+    ]
+}
+
+fn histogram_of(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &ns in samples {
+        h.record(ns);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Merge is exactly associative and commutative — the property the
+    // ARTERY_THREADS determinism contract rests on: any shard partition
+    // merged in any order must reproduce the sequential histogram
+    // bit-for-bit (struct equality covers every bucket and the extrema).
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        a in proptest::collection::vec(arbitrary_ns(), 0..40),
+        b in proptest::collection::vec(arbitrary_ns(), 0..40),
+        c in proptest::collection::vec(arbitrary_ns(), 0..40),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab;
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // And both equal sequential recording of the concatenation.
+        let whole: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&ab_c, &histogram_of(&whole));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_the_rank(
+        samples in proptest::collection::vec(arbitrary_ns(), 1..60),
+        q1 in 0.0..=1.0f64,
+        q2 in 0.0..=1.0f64,
+    ) {
+        let h = histogram_of(&samples);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+        prop_assert!(h.quantile(0.0) >= h.min_ns());
+        prop_assert!(h.quantile(1.0) <= h.max_ns());
+    }
+}
+
+/// The golden snapshot: three hand-built timelines whose histograms,
+/// counters and quantiles are small enough to compute by hand.
+fn golden_snapshot() -> MetricsSnapshot {
+    let mut registry = MetricsRegistry::new();
+
+    // Site 0: one sequential (unpredicted) resolve at 100 ns.
+    let mut sequential = ShotTimeline::new(0, 100.0);
+    sequential.push(Stage::Commit, 100.0);
+    registry.observe(&sequential);
+
+    // Site 2: one correct commit at 500 ns …
+    let mut committed = ShotTimeline::new(2, 500.0);
+    committed.push(Stage::Predict, 110.0);
+    committed.push(Stage::TriggerFire, 110.0);
+    committed.push(Stage::PreExecute, 202.0);
+    committed.push(Stage::Commit, 500.0);
+    registry.observe(&committed);
+
+    // … and one misprediction recovering at 3000 ns.
+    let mut mispredicted = ShotTimeline::new(2, 3000.0);
+    mispredicted.push(Stage::Predict, 140.0);
+    mispredicted.push(Stage::TriggerFire, 140.0);
+    mispredicted.push(Stage::PreExecute, 232.0);
+    mispredicted.push(Stage::Rollback, 2160.0);
+    mispredicted.push(Stage::Recover, 3000.0);
+    registry.observe(&mispredicted);
+
+    let mut snapshot = MetricsSnapshot::new();
+    snapshot.push(registry.snapshot("golden"));
+    snapshot
+}
+
+#[test]
+fn snapshot_serializes_to_the_golden_schema() {
+    // Every field and every hand-computed number of the exported document,
+    // pinned: a schema change that breaks `BENCH_metrics.json` readers must
+    // break this test (and bump SNAPSHOT_VERSION).
+    //
+    // Bucket bounds: 100 → bucket 57 [100, 104); 110 → 59 [108, 112);
+    // 140 → 65 [136, 144); 500 → 95 [496, 512); 3000 → 135 [2944, 3072).
+    // Quantiles interpolate to the bucket's upper bound (one sample per
+    // bucket) and clamp to the exact observed extrema.
+    let empty_hist = json!({
+        "count": 0, "min_ns": 0.0, "max_ns": 0.0,
+        "p50": 0.0, "p90": 0.0, "p99": 0.0, "buckets": [],
+    });
+    let expected = json!({
+        "version": 1,
+        "groups": [{
+            "label": "golden",
+            "sites": [
+                {
+                    "site": 0,
+                    "resolved": 1, "committed": 0, "mispredicted": 0,
+                    "recovered": 0, "sequential": 1,
+                    "peak_latency_ns": 100.0,
+                    "latency": {
+                        "count": 1, "min_ns": 100.0, "max_ns": 100.0,
+                        "p50": 100.0, "p90": 100.0, "p99": 100.0,
+                        "buckets": [
+                            {"index": 57, "lo_ns": 100.0, "hi_ns": 104.0, "count": 1},
+                        ],
+                    },
+                    "commit_latency": empty_hist.clone(),
+                    "mispredict_latency": empty_hist.clone(),
+                    "trigger_fire": empty_hist,
+                },
+                {
+                    "site": 2,
+                    "resolved": 2, "committed": 1, "mispredicted": 1,
+                    "recovered": 1, "sequential": 0,
+                    "peak_latency_ns": 3000.0,
+                    "latency": {
+                        "count": 2, "min_ns": 500.0, "max_ns": 3000.0,
+                        "p50": 512.0, "p90": 3000.0, "p99": 3000.0,
+                        "buckets": [
+                            {"index": 95, "lo_ns": 496.0, "hi_ns": 512.0, "count": 1},
+                            {"index": 135, "lo_ns": 2944.0, "hi_ns": 3072.0, "count": 1},
+                        ],
+                    },
+                    "commit_latency": {
+                        "count": 1, "min_ns": 500.0, "max_ns": 500.0,
+                        "p50": 500.0, "p90": 500.0, "p99": 500.0,
+                        "buckets": [
+                            {"index": 95, "lo_ns": 496.0, "hi_ns": 512.0, "count": 1},
+                        ],
+                    },
+                    "mispredict_latency": {
+                        "count": 1, "min_ns": 3000.0, "max_ns": 3000.0,
+                        "p50": 3000.0, "p90": 3000.0, "p99": 3000.0,
+                        "buckets": [
+                            {"index": 135, "lo_ns": 2944.0, "hi_ns": 3072.0, "count": 1},
+                        ],
+                    },
+                    "trigger_fire": {
+                        "count": 2, "min_ns": 110.0, "max_ns": 140.0,
+                        "p50": 112.0, "p90": 140.0, "p99": 140.0,
+                        "buckets": [
+                            {"index": 59, "lo_ns": 108.0, "hi_ns": 112.0, "count": 1},
+                            {"index": 65, "lo_ns": 136.0, "hi_ns": 144.0, "count": 1},
+                        ],
+                    },
+                },
+            ],
+        }],
+    });
+
+    let snapshot = golden_snapshot();
+    assert_eq!(snapshot.version, SNAPSHOT_VERSION);
+    let value = serde_json::to_value(&snapshot).expect("snapshot serializes");
+    assert_eq!(value, expected);
+
+    // The pretty rendering round-trips and is deterministic byte-for-byte.
+    let rendered = snapshot.to_json_string();
+    assert_eq!(rendered, snapshot.clone().to_json_string());
+    let back: MetricsSnapshot = serde_json::from_str(&rendered).expect("round trip");
+    assert_eq!(back, snapshot);
+}
+
+#[test]
+fn bell_feedback_snapshot_is_byte_identical_across_thread_counts() {
+    // The acceptance bar of this PR: the document `run_all` writes to
+    // `BENCH_metrics.json` must not depend on the worker count.
+    let one = artery_bench::runner::bell_feedback_metrics_on(1, 12);
+    let eight = artery_bench::runner::bell_feedback_metrics_on(8, 12);
+    assert_eq!(one, eight);
+    assert_eq!(one.to_json_string(), eight.to_json_string());
+
+    // The corpus exercised real feedback: every group saw resolves and
+    // at least one commit histogram carries samples.
+    assert!(!one.groups.is_empty());
+    for group in &one.groups {
+        assert!(!group.sites.is_empty(), "{} has no sites", group.label);
+        for site in &group.sites {
+            assert!(site.resolved > 0);
+            assert_eq!(site.latency.count, site.resolved);
+            assert!(site.latency.p50 <= site.latency.p90);
+            assert!(site.latency.p90 <= site.latency.p99);
+            assert!(site.latency.p99 <= site.peak_latency_ns);
+        }
+    }
+    assert!(one
+        .groups
+        .iter()
+        .flat_map(|g| &g.sites)
+        .any(|s| s.committed > 0));
+}
+
+#[test]
+fn sinks_export_the_snapshot() {
+    let snapshot = golden_snapshot();
+
+    // The default sink accepts anything and does nothing.
+    let mut null: Box<dyn MetricsSink> = Box::new(NullSink);
+    null.export(&snapshot).expect("null sink never fails");
+
+    // The JSON sink writes exactly the deterministic rendering.
+    let path = std::env::temp_dir().join("artery-metrics-facade-test.json");
+    let mut sink = JsonSink::new(&path);
+    sink.export(&snapshot).expect("write snapshot");
+    let written = std::fs::read_to_string(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(written, snapshot.to_json_string());
+    let back: MetricsSnapshot = serde_json::from_str(&written).expect("parse");
+    assert_eq!(back, snapshot);
+}
