@@ -93,10 +93,20 @@ impl FnnClassifier {
                 .map(|_| rng.gen_range(-0.5..0.5))
                 .collect(),
         };
-        // Pre-compute features once.
+        // Pre-compute features once, demodulating every training pulse
+        // through the model's shared phase table into one reused trajectory
+        // buffer (bit-identical to the naive per-pulse path).
+        let table = model.phase_table();
+        let mut traj = Vec::new();
         let data: Vec<(Vec<f64>, f64)> = pulses
             .iter()
-            .map(|p| (net.features(p), f64::from(u8::from(p.true_state))))
+            .map(|p| {
+                net.demod.cumulative_trajectory_into(&table, p, &mut traj);
+                (
+                    net.features_from_trajectory(&traj),
+                    f64::from(u8::from(p.true_state)),
+                )
+            })
             .collect();
         let mut order: Vec<usize> = (0..data.len()).collect();
         for _ in 0..config.epochs {
@@ -308,6 +318,19 @@ mod tests {
                 net.probability(&pulse)
             );
             assert_eq!(net.classify_trajectory(&traj), net.classify(&pulse));
+        }
+    }
+
+    #[test]
+    fn table_training_features_match_naive_features() {
+        let (model, net, _) = trained();
+        let table = model.phase_table();
+        let mut rng = rng_for("fnn/table-features");
+        let mut traj = Vec::new();
+        for state in [false, true] {
+            let pulse = model.synthesize(state, &mut rng);
+            net.demod.cumulative_trajectory_into(&table, &pulse, &mut traj);
+            assert_eq!(net.features_from_trajectory(&traj), net.features(&pulse));
         }
     }
 

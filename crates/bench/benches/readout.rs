@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the trig-free, allocation-free readout
+//! fast path: each group pits the naive per-sample `cis`/allocating oracle
+//! against the shared [`PhaseTable`](artery_readout::PhaseTable) +
+//! scratch-buffer `*_into` implementation. The two arms are bit-identical
+//! (pinned by the equivalence tests); only the speed differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use artery_core::{ArteryConfig, BranchPredictor, Calibration};
+use artery_readout::{Demodulator, ReadoutModel, ReadoutPulse};
+
+fn bench_synthesize(c: &mut Criterion) {
+    let model = ReadoutModel::paper();
+    let table = model.phase_table();
+    let mut naive_rng = artery_num::rng::rng_for("bench/readout/synth");
+    c.bench_function("readout/synthesize/naive_cis", |b| {
+        b.iter(|| black_box(model.synthesize(black_box(true), &mut naive_rng)))
+    });
+    let mut table_rng = artery_num::rng::rng_for("bench/readout/synth");
+    let mut out = ReadoutPulse::default();
+    c.bench_function("readout/synthesize/table_into", |b| {
+        b.iter(|| {
+            model.synthesize_into(&table, black_box(true), &mut table_rng, &mut out);
+            black_box(out.samples.len())
+        })
+    });
+}
+
+fn bench_demodulate(c: &mut Criterion) {
+    let model = ReadoutModel::paper();
+    let table = model.phase_table();
+    let demod = Demodulator::for_model(&model, 30.0);
+    let pulse = model.synthesize(true, &mut artery_num::rng::rng_for("bench/readout/demod"));
+    c.bench_function("readout/cumulative/naive_cis", |b| {
+        b.iter(|| black_box(demod.cumulative_trajectory(black_box(&pulse))))
+    });
+    let mut traj = Vec::new();
+    c.bench_function("readout/cumulative/table_into", |b| {
+        b.iter(|| {
+            demod.cumulative_trajectory_into(&table, black_box(&pulse), &mut traj);
+            black_box(traj.len())
+        })
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let config = ArteryConfig {
+        train_pulses: 200,
+        ..ArteryConfig::paper()
+    };
+    let cal = Calibration::train(&config, &mut artery_num::rng::rng_for("bench/readout/cal"));
+    let pred = BranchPredictor::new(&cal, &config);
+    let pulse = cal
+        .model()
+        .synthesize(true, &mut artery_num::rng::rng_for("bench/readout/pulse"));
+    // The pre-PR composition: demodulate into a Vec<IqPoint>, classify into
+    // a Vec<bool>, then walk the windows allocating the update stream.
+    c.bench_function("readout/predict_shot/naive_composed", |b| {
+        b.iter(|| {
+            let traj = cal.demod().cumulative_trajectory(black_box(&pulse));
+            let states: Vec<bool> = traj.iter().map(|&iq| cal.centers().classify(iq)).collect();
+            black_box(pred.predict_states(&states, black_box(0.5)))
+        })
+    });
+    let mut states = Vec::new();
+    let mut updates = Vec::new();
+    c.bench_function("readout/predict_shot/fused_into", |b| {
+        b.iter(|| {
+            black_box(pred.predict_shot_into(
+                black_box(&pulse),
+                black_box(0.5),
+                &mut states,
+                &mut updates,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_synthesize, bench_demodulate, bench_predict);
+criterion_main!(benches);

@@ -12,9 +12,12 @@
 //! future PRs a perf trajectory to compare against, and the bell-feedback
 //! corpus metrics snapshot (per-site latency histograms and
 //! mispredict/recovery counters) goes to `BENCH_metrics.json` — that file
-//! is byte-identical for any `ARTERY_THREADS`. `ARTERY_THREADS` caps the
-//! shot-parallel worker count of every harness.
+//! is byte-identical for any `ARTERY_THREADS`. A readout microbench (naive
+//! per-sample-`cis` oracles vs the phase-table + scratch-buffer fast path)
+//! goes to `BENCH_readout.json`. `ARTERY_THREADS` caps the shot-parallel
+//! worker count of every harness.
 
+use std::hint::black_box;
 use std::process::Command;
 use std::time::Instant;
 
@@ -22,7 +25,9 @@ use artery_bench::report::{f2, Table};
 use artery_bench::runner::{self, parallel};
 use artery_bench::shots_or;
 use artery_circuit::{Gate, Qubit};
+use artery_core::{ArteryConfig, BranchPredictor, Calibration};
 use artery_metrics::{JsonSink, MetricsSink};
+use artery_readout::ReadoutPulse;
 use artery_sim::StateVector;
 use serde::Serialize;
 
@@ -62,6 +67,20 @@ struct KernelTiming {
     specialized_ns_per_op: f64,
     generic_ns_per_op: f64,
     speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ReadoutTiming {
+    path: String,
+    naive_ns_per_op: f64,
+    optimized_ns_per_op: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ReadoutReport {
+    samples_per_pulse: usize,
+    paths: Vec<ReadoutTiming>,
 }
 
 #[derive(Serialize)]
@@ -125,6 +144,102 @@ fn kernel_microbench() -> Vec<KernelTiming> {
         .collect()
 }
 
+/// Median-of-repeats ns/op of a self-contained closure (state lives in the
+/// closure's captures).
+fn med_ns_per_op(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Instant-based readout microbench: the naive per-sample-`cis`/allocating
+/// oracles against the phase-table + scratch-buffer fast path (the criterion
+/// `readout` group is the rigorous version). Both arms are bit-identical —
+/// pinned by the equivalence tests — so the ratio is pure speed.
+fn readout_microbench() -> ReadoutReport {
+    let config = ArteryConfig {
+        train_pulses: 200,
+        ..ArteryConfig::paper()
+    };
+    let cal = Calibration::train(&config, &mut artery_num::rng::rng_for("run_all/readout"));
+    let pred = BranchPredictor::new(&cal, &config);
+    let model = *cal.model();
+    let table = model.phase_table();
+    let pulse = model.synthesize(true, &mut artery_num::rng::rng_for("run_all/readout/pulse"));
+    let iters = 200;
+    let mut paths = Vec::new();
+
+    // Pulse synthesis: per-sample `from_polar` + fresh Vec vs table lookup
+    // into a reused buffer.
+    let mut naive_rng = artery_num::rng::rng_for("run_all/readout/synth");
+    let naive_synth = med_ns_per_op(iters, || {
+        black_box(model.synthesize(true, &mut naive_rng));
+    });
+    let mut table_rng = artery_num::rng::rng_for("run_all/readout/synth");
+    let mut scratch = ReadoutPulse::default();
+    let fast_synth = med_ns_per_op(iters, || {
+        model.synthesize_into(&table, true, &mut table_rng, &mut scratch);
+        black_box(scratch.samples.len());
+    });
+    paths.push(ReadoutTiming {
+        path: "synthesize".to_string(),
+        naive_ns_per_op: naive_synth,
+        optimized_ns_per_op: fast_synth,
+        speedup: naive_synth / fast_synth,
+    });
+
+    // Demodulate + classify + predict — the controller's per-shot analysis
+    // path and the PR's headline ≥3× number.
+    let naive_pred = med_ns_per_op(iters, || {
+        let traj = cal.demod().cumulative_trajectory(&pulse);
+        let states: Vec<bool> = traj.iter().map(|&iq| cal.centers().classify(iq)).collect();
+        black_box(pred.predict_states(&states, 0.5));
+    });
+    let mut states = Vec::new();
+    let mut updates = Vec::new();
+    let fast_pred = med_ns_per_op(iters, || {
+        black_box(pred.predict_shot_into(&pulse, 0.5, &mut states, &mut updates));
+    });
+    paths.push(ReadoutTiming {
+        path: "demod_predict".to_string(),
+        naive_ns_per_op: naive_pred,
+        optimized_ns_per_op: fast_pred,
+        speedup: naive_pred / fast_pred,
+    });
+
+    // Whole shot: synthesize + demodulate + classify + predict.
+    let mut naive_shot_rng = artery_num::rng::rng_for("run_all/readout/shot");
+    let naive_shot = med_ns_per_op(iters, || {
+        let p = model.synthesize(true, &mut naive_shot_rng);
+        let traj = cal.demod().cumulative_trajectory(&p);
+        let states: Vec<bool> = traj.iter().map(|&iq| cal.centers().classify(iq)).collect();
+        black_box(pred.predict_states(&states, 0.5));
+    });
+    let mut fast_shot_rng = artery_num::rng::rng_for("run_all/readout/shot");
+    let fast_shot = med_ns_per_op(iters, || {
+        model.synthesize_into(&table, true, &mut fast_shot_rng, &mut scratch);
+        black_box(pred.predict_shot_into(&scratch, 0.5, &mut states, &mut updates));
+    });
+    paths.push(ReadoutTiming {
+        path: "full_shot".to_string(),
+        naive_ns_per_op: naive_shot,
+        optimized_ns_per_op: fast_shot,
+        speedup: naive_shot / fast_shot,
+    });
+
+    ReadoutReport {
+        samples_per_pulse: model.num_samples(),
+        paths,
+    }
+}
+
 fn main() {
     // Harness binaries live next to this one.
     let me = std::env::current_exe().expect("current executable path");
@@ -174,6 +289,27 @@ fn main() {
         ]);
     }
     ktable.print();
+
+    println!("\n========== readout microbench ==========");
+    let readout = readout_microbench();
+    let mut rtable = Table::new(["path", "naive ns/op", "table ns/op", "speedup"]);
+    for r in &readout.paths {
+        rtable.row([
+            r.path.clone(),
+            f2(r.naive_ns_per_op),
+            f2(r.optimized_ns_per_op),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    rtable.print();
+    let readout_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_readout.json");
+    match serde_json::to_string_pretty(&readout) {
+        Ok(json) => match std::fs::write(readout_path, json) {
+            Ok(()) => println!("\n[readout report written to {readout_path}]"),
+            Err(e) => eprintln!("could not write {readout_path}: {e}"),
+        },
+        Err(e) => eprintln!("could not serialize readout report: {e}"),
+    }
 
     println!("\n========== metrics snapshot ==========");
     // The bell-feedback corpus with full observability: per-site latency

@@ -137,7 +137,9 @@ fn run_artery_sharded(
     collect_metrics: bool,
 ) -> (LatencySummary, MetricsRegistry) {
     let shard_results = parallel::run_sharded_on(threads, shots, |shard| {
-        let mut exec = Executor::new(NoiseModel::noiseless());
+        // The latency loops never look at the final state; skip the per-shot
+        // state-vector clone.
+        let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
         let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
         let mut controller = ArteryController::new(circuit, config, calibration);
         if collect_metrics {
@@ -227,7 +229,7 @@ pub fn run_handler_on<H: FeedbackHandler + Clone + Sync>(
 ) -> LatencySummary {
     let shard_results = parallel::run_sharded_on(threads, shots, |shard| {
         let mut handler = handler.clone();
-        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
         let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
         let mut total = Accumulator::new();
         let mut circuit_time = Accumulator::new();
@@ -289,7 +291,7 @@ pub fn conditional_fidelity_on<H: FeedbackHandler + Clone + Sync>(
             let script: Vec<bool> = rec.feedback_outcomes.iter().map(|&(_, o)| o).collect();
             let mut reference = artery_sim::SequentialHandler::default();
             let ideal = ref_exec.run_scripted(circuit, &mut reference, &script, &mut rng);
-            acc.push(ideal.final_state.fidelity(&rec.final_state));
+            acc.push(ideal.state().fidelity(rec.state()));
         }
         acc
     });
@@ -312,8 +314,8 @@ pub fn conditional_fidelity_artery(
     label: &str,
 ) -> f64 {
     let mut controller = ArteryController::new(circuit, config, calibration);
-    // Warm the history on the noiseless executor first.
-    let mut exec = Executor::new(NoiseModel::noiseless());
+    // Warm the history on the noiseless executor first (records discarded).
+    let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
     let mut rng = artery_num::rng::rng_for(&format!("{label}/warm"));
     for _ in 0..WARMUP_SHOTS {
         let _ = exec.run(circuit, &mut controller, &mut rng);

@@ -18,9 +18,11 @@ use std::collections::HashMap;
 
 use artery_circuit::analysis::{analyze_circuit, PreExecCase, SiteAnalysis};
 use artery_circuit::{BranchOp, Circuit, Feedback, FeedbackSite, GateApp};
+use artery_hw::trigger::ProbabilityUpdate;
 use artery_hw::ControllerTiming;
 use artery_metrics::{MetricsRegistry, ShotTimeline, Stage};
 use artery_num::stats::Accumulator;
+use artery_readout::{IqPoint, ReadoutPulse};
 use artery_sim::{FeedbackHandler, Resolution};
 use rand::rngs::StdRng;
 
@@ -260,6 +262,58 @@ pub fn resolve_timeline(
     timeline
 }
 
+/// Reusable per-shot buffers of the controller's hot resolve path.
+///
+/// The first resolve at a given pulse length grows each buffer once; every
+/// later shot clears and refills them in place, so the steady-state loop —
+/// synthesize, demodulate+classify (fused), predict — performs zero heap
+/// allocations. The allocating APIs ([`ReadoutModel::synthesize`],
+/// [`Demodulator::cumulative_trajectory`],
+/// [`BranchPredictor::predict_states`]) remain as oracles; equivalence
+/// tests pin the scratch path to their exact output.
+///
+/// [`ReadoutModel::synthesize`]: artery_readout::ReadoutModel::synthesize
+/// [`Demodulator::cumulative_trajectory`]: artery_readout::Demodulator::cumulative_trajectory
+/// [`BranchPredictor::predict_states`]: crate::BranchPredictor::predict_states
+#[derive(Debug, Clone, Default)]
+pub struct ShotScratch {
+    /// The in-flight readout pulse of the current resolve.
+    pub pulse: ReadoutPulse,
+    /// Cumulative IQ trajectory at each window boundary.
+    pub traj: Vec<IqPoint>,
+    /// Per-window preliminary classifications.
+    pub states: Vec<bool>,
+    /// Probability-update stream of the predictor walk.
+    pub updates: Vec<ProbabilityUpdate>,
+}
+
+impl ShotScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears every buffer, retaining capacity.
+    pub fn clear(&mut self) {
+        self.pulse.samples.clear();
+        self.pulse.true_state = false;
+        self.pulse.decayed_at_ns = None;
+        self.traj.clear();
+        self.states.clear();
+        self.updates.clear();
+    }
+}
+
+/// Copy-cheap per-resolve values the hot path hands to the trace builder.
+struct ResolveMeta {
+    case: PreExecCase,
+    p_history: f64,
+    window: Option<usize>,
+    branch0_ns: f64,
+    branch1_ns: f64,
+}
+
 /// The ARTERY feedback controller for one circuit.
 #[derive(Debug, Clone)]
 pub struct ArteryController<'a> {
@@ -276,6 +330,8 @@ pub struct ArteryController<'a> {
     metrics: Option<MetricsRegistry>,
     /// Per-site θ overrides (§6.6 recommends per-benchmark tuning).
     site_theta: HashMap<usize, f64>,
+    /// Reused per-shot buffers (zero-allocation steady state).
+    scratch: ShotScratch,
 }
 
 impl<'a> ArteryController<'a> {
@@ -298,6 +354,7 @@ impl<'a> ArteryController<'a> {
             log_outcomes: false,
             metrics: None,
             site_theta: HashMap::new(),
+            scratch: ShotScratch::new(),
         }
     }
 
@@ -434,33 +491,34 @@ impl<'a> ArteryController<'a> {
         }
     }
 
-    /// Resolves one feedback and additionally returns everything a trace
-    /// recorder needs to replay the shot offline (window states, IQ
-    /// trajectory, the prior, branch durations). [`FeedbackHandler::resolve`]
-    /// delegates here, so the two paths cannot diverge.
-    pub fn resolve_traced(
+    /// The hot resolve path: everything lands in the controller's reusable
+    /// [`ShotScratch`] buffers, so a steady-state shot performs no heap
+    /// allocation. Both [`FeedbackHandler::resolve`] and
+    /// [`Self::resolve_traced`] delegate here — the traced path merely
+    /// copies what this left in the scratch — so the two cannot diverge.
+    fn resolve_scratch(
         &mut self,
         fb: &Feedback,
         reported: bool,
         rng: &mut StdRng,
-    ) -> (Resolution, ResolveTrace) {
+    ) -> (Resolution, ResolveMeta) {
         let analysis = self
             .analyses
             .get(&fb.site.0)
             .unwrap_or_else(|| panic!("feedback site {} was not analyzed", fb.site))
             .clone();
         let p_history = self.history.p_history_1(fb.site);
+        self.scratch.clear();
 
-        let (states, iq, decision) = if analysis.case.benefits_from_prediction() {
+        let decision = if analysis.case.benefits_from_prediction() {
             // The in-flight pulse the classifier sees, conditioned on the
-            // outcome the hardware will report.
-            let pulse = self.calibration.model().synthesize(reported, rng);
-            let traj = self.calibration.demod().cumulative_trajectory(&pulse);
-            let states: Vec<bool> = traj
-                .iter()
-                .map(|&iq| self.calibration.centers().classify(iq))
-                .collect();
-            let iq: Vec<(f64, f64)> = traj.iter().map(|p| (p.i, p.q)).collect();
+            // outcome the hardware will report. Carrier and demodulation
+            // phasors come from the calibration's shared phase table, so
+            // this consumes the same RNG stream and produces the same bits
+            // as the naive trig path.
+            let cal = self.calibration;
+            cal.model()
+                .synthesize_into(cal.phase_table(), reported, rng, &mut self.scratch.pulse);
             let config = match self.site_theta.get(&fb.site.0) {
                 Some(&theta) => ArteryConfig {
                     theta,
@@ -468,12 +526,24 @@ impl<'a> ArteryController<'a> {
                 },
                 None => self.config,
             };
-            let predictor = BranchPredictor::new(self.calibration, &config);
-            let decision = predictor.predict_states(&states, p_history).decision;
-            (states, iq, decision)
+            let ShotScratch {
+                pulse,
+                traj,
+                states,
+                updates,
+            } = &mut self.scratch;
+            // One fused demodulate+classify pass: trajectory and window
+            // states fill together, with no intermediate Vec.
+            let centers = cal.centers();
+            cal.demod().fold_cumulative_with(cal.phase_table(), pulse, |iq| {
+                traj.push(iq);
+                states.push(centers.classify(iq));
+            });
+            let predictor = BranchPredictor::new(cal, &config);
+            predictor.predict_states_into(states, p_history, updates)
         } else {
             // Case 4: never predict.
-            (Vec::new(), Vec::new(), None)
+            None
         };
 
         let branch0_ns = fb.branch_duration_ns(false);
@@ -513,33 +583,54 @@ impl<'a> ArteryController<'a> {
                 latency_ns,
             ));
         }
-        let trace = ResolveTrace {
-            site: fb.site,
-            case: analysis.case,
-            states,
-            iq,
-            p_history,
-            reported,
-            predicted,
-            window,
-            latency_ns,
-            branch0_ns,
-            branch1_ns,
-        };
         (
             Resolution {
                 latency_ns,
                 wasted_pulses: wasted,
                 predicted,
             },
-            trace,
+            ResolveMeta {
+                case: analysis.case,
+                p_history,
+                window,
+                branch0_ns,
+                branch1_ns,
+            },
         )
+    }
+
+    /// Resolves one feedback and additionally returns everything a trace
+    /// recorder needs to replay the shot offline (window states, IQ
+    /// trajectory, the prior, branch durations). Delegates to the same hot
+    /// path as [`FeedbackHandler::resolve`] and copies the scratch buffers
+    /// out, so traced and untraced runs are identical.
+    pub fn resolve_traced(
+        &mut self,
+        fb: &Feedback,
+        reported: bool,
+        rng: &mut StdRng,
+    ) -> (Resolution, ResolveTrace) {
+        let (resolution, meta) = self.resolve_scratch(fb, reported, rng);
+        let trace = ResolveTrace {
+            site: fb.site,
+            case: meta.case,
+            states: self.scratch.states.clone(),
+            iq: self.scratch.traj.iter().map(|p| (p.i, p.q)).collect(),
+            p_history: meta.p_history,
+            reported,
+            predicted: resolution.predicted,
+            window: meta.window,
+            latency_ns: resolution.latency_ns,
+            branch0_ns: meta.branch0_ns,
+            branch1_ns: meta.branch1_ns,
+        };
+        (resolution, trace)
     }
 }
 
 impl FeedbackHandler for ArteryController<'_> {
     fn resolve(&mut self, fb: &Feedback, reported: bool, rng: &mut StdRng) -> Resolution {
-        self.resolve_traced(fb, reported, rng).0
+        self.resolve_scratch(fb, reported, rng).0
     }
 }
 
@@ -785,6 +876,62 @@ mod tests {
         }
         let outcomes = ctl.take_outcomes();
         assert_eq!(outcomes.len(), 30);
+    }
+
+    #[test]
+    fn hot_path_matches_naive_oracle() {
+        // Re-derive the pre-scratch implementation — allocating synthesize,
+        // two-pass cumulative trajectory + classify, allocating predictor —
+        // on a cloned RNG stream and demand bitwise agreement.
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::qrw(1);
+        let fb = circuit.feedback_sites().next().expect("one site").clone();
+        let mut rng = rng_for("ctrl/oracle");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal);
+        for k in 0..20 {
+            let reported = k % 2 == 0;
+            let p_history = ctl.history.p_history_1(fb.site);
+            let mut oracle_rng = rng.clone();
+            let (res, trace) = ctl.resolve_traced(&fb, reported, &mut rng);
+
+            let pulse = cal.model().synthesize(reported, &mut oracle_rng);
+            let traj = cal.demod().cumulative_trajectory(&pulse);
+            let states: Vec<bool> =
+                traj.iter().map(|&iq| cal.centers().classify(iq)).collect();
+            let iq: Vec<(f64, f64)> = traj.iter().map(|p| (p.i, p.q)).collect();
+            assert_eq!(trace.states, states);
+            assert_eq!(trace.iq, iq);
+            let predictor = BranchPredictor::new(&cal, &config);
+            let decision = predictor.predict_states(&states, p_history).decision;
+            assert_eq!(res.predicted, decision.map(|d| d.branch));
+            assert_eq!(trace.window, decision.map(|d| d.window));
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_across_shots() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::qrw(1);
+        let fb = circuit.feedback_sites().next().expect("one site").clone();
+        let mut rng = rng_for("ctrl/scratch-reuse");
+        let mut ctl = ArteryController::new(&circuit, &config, &cal);
+        let _ = ctl.resolve_traced(&fb, true, &mut rng);
+        let caps = (
+            ctl.scratch.pulse.samples.capacity(),
+            ctl.scratch.traj.capacity(),
+            ctl.scratch.states.capacity(),
+            ctl.scratch.updates.capacity(),
+        );
+        assert!(caps.0 > 0 && caps.1 > 0 && caps.2 > 0);
+        for k in 0..10 {
+            let _ = ctl.resolve_traced(&fb, k % 2 == 0, &mut rng);
+            assert_eq!(ctl.scratch.pulse.samples.capacity(), caps.0);
+            assert_eq!(ctl.scratch.traj.capacity(), caps.1);
+            assert_eq!(ctl.scratch.states.capacity(), caps.2);
+            assert_eq!(ctl.scratch.updates.capacity(), caps.3);
+        }
     }
 
     #[test]

@@ -18,20 +18,22 @@ pub use history::HistoryTracker;
 pub use table::TrajectoryTable;
 
 use artery_hw::trigger::{ProbabilityUpdate, Thresholds};
-use artery_readout::{Dataset, Demodulator, IqCenters, ReadoutModel, ReadoutPulse};
+use artery_readout::{Dataset, Demodulator, IqCenters, PhaseTable, ReadoutModel, ReadoutPulse};
 use rand::Rng;
 
 use crate::config::ArteryConfig;
 
 /// Hardware-initialization products shared by every program: the calibrated
-/// IQ centers and the pre-generated trajectory state table (§4: "the
+/// IQ centers, the pre-generated trajectory state table (§4: "the
 /// `<states, P_read_1>` table is pre-generated when the quantum hardware is
-/// initialized").
+/// initialized"), and the model's phase table, which makes every downstream
+/// synthesis/demodulation loop trig-free.
 #[derive(Debug, Clone)]
 pub struct Calibration {
     model: ReadoutModel,
     demod: Demodulator,
     centers: IqCenters,
+    phases: PhaseTable,
     table: TrajectoryTable,
 }
 
@@ -63,7 +65,9 @@ impl Calibration {
     ///
     /// # Panics
     ///
-    /// Panics when `pulses` lacks one of the two labels.
+    /// Panics when `pulses` lacks one of the two labels, or when a pulse is
+    /// longer than the model's sample count (the trig-free demodulation
+    /// path reads phasors from the model's precomputed phase table).
     #[must_use]
     pub fn train_with_pulses(
         model: &ReadoutModel,
@@ -72,19 +76,21 @@ impl Calibration {
     ) -> Self {
         let model = *model;
         let demod = Demodulator::for_model(&model, config.window_ns);
-        let centers = IqCenters::calibrate(pulses, &demod);
+        let phases = model.phase_table();
+        let centers = IqCenters::calibrate_with(pulses, &demod, &phases);
         let mut table = TrajectoryTable::new(config.k, config.time_buckets);
         for pulse in pulses {
-            let states = centers.window_states(pulse, &demod);
+            let states = centers.window_states_with(pulse, &demod, &phases);
             // Labels are what the hardware will *report* at readout end —
             // the predictor's job is to guess that report early.
-            let label = centers.classify_full(pulse, &demod);
+            let label = centers.classify_full_with(pulse, &demod, &phases);
             table.train([(states.as_slice(), label)]);
         }
         Self {
             model,
             demod,
             centers,
+            phases,
             table,
         }
     }
@@ -113,10 +119,17 @@ impl Calibration {
         &self.table
     }
 
+    /// The precomputed carrier/demodulation phasors of the readout model —
+    /// shared by the controller's synthesize/demodulate hot loop.
+    #[must_use]
+    pub fn phase_table(&self) -> &PhaseTable {
+        &self.phases
+    }
+
     /// Refines the state table with an additional labelled pulse — the
     /// cross-program dynamic update of §4.
     pub fn update_with(&mut self, pulse: &ReadoutPulse, label: bool) {
-        let states = self.centers.window_states(pulse, &self.demod);
+        let states = self.centers.window_states_with(pulse, &self.demod, &self.phases);
         self.table.train([(states.as_slice(), label)]);
     }
 }
@@ -182,8 +195,30 @@ impl<'a> BranchPredictor<'a> {
     #[must_use]
     pub fn predict_shot(&self, pulse: &ReadoutPulse, p_history: f64) -> ShotPrediction {
         let cal = self.calibration;
-        let states = cal.centers.window_states(pulse, &cal.demod);
+        let states = cal.centers.window_states_with(pulse, &cal.demod, &cal.phases);
         self.predict_states(&states, p_history)
+    }
+
+    /// Zero-allocation [`Self::predict_shot`]: one fused
+    /// demodulate+classify pass writes the window states into `states` and
+    /// the probability walk into `updates`, both reused across shots.
+    /// Bit-identical decisions and updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pulse is longer than the calibration's phase table.
+    #[must_use]
+    pub fn predict_shot_into(
+        &self,
+        pulse: &ReadoutPulse,
+        p_history: f64,
+        states: &mut Vec<bool>,
+        updates: &mut Vec<ProbabilityUpdate>,
+    ) -> Option<Decision> {
+        let cal = self.calibration;
+        cal.centers
+            .window_states_into(pulse, &cal.demod, &cal.phases, states);
+        self.predict_states_into(states, p_history, updates)
     }
 
     /// The per-window decision step over an already-classified window-state
@@ -197,9 +232,23 @@ impl<'a> BranchPredictor<'a> {
     /// here, guaranteeing live and replayed decisions agree bit-for-bit.
     #[must_use]
     pub fn predict_states(&self, states: &[bool], p_history: f64) -> ShotPrediction {
+        let mut updates = Vec::new();
+        let decision = self.predict_states_into(states, p_history, &mut updates);
+        ShotPrediction { updates, decision }
+    }
+
+    /// Buffer-reusing [`Self::predict_states`]: clears and refills
+    /// `updates` and returns the first threshold crossing.
+    pub fn predict_states_into(
+        &self,
+        states: &[bool],
+        p_history: f64,
+        updates: &mut Vec<ProbabilityUpdate>,
+    ) -> Option<Decision> {
         let cal = self.calibration;
         let n = states.len();
-        let mut updates = Vec::with_capacity(n.saturating_sub(self.config.k - 1));
+        updates.clear();
+        updates.reserve(n.saturating_sub(self.config.k - 1));
         let mut decision = None;
         let ph = if self.config.use_history {
             p_history
@@ -232,7 +281,7 @@ impl<'a> BranchPredictor<'a> {
                 }
             }
         }
-        ShotPrediction { updates, decision }
+        decision
     }
 
     /// The full per-window probability stream *without* the trigger's
@@ -241,7 +290,7 @@ impl<'a> BranchPredictor<'a> {
     #[must_use]
     pub fn probability_stream(&self, pulse: &ReadoutPulse, p_history: f64) -> Vec<ProbabilityUpdate> {
         let cal = self.calibration;
-        let states = cal.centers.window_states(pulse, &cal.demod);
+        let states = cal.centers.window_states_with(pulse, &cal.demod, &cal.phases);
         let n = states.len();
         let ph = if self.config.use_history { p_history } else { 0.5 };
         ((self.config.k - 1)..n)
@@ -265,9 +314,11 @@ impl<'a> BranchPredictor<'a> {
     /// for prediction correctness).
     #[must_use]
     pub fn final_classification(&self, pulse: &ReadoutPulse) -> bool {
-        self.calibration
-            .centers
-            .classify_full(pulse, &self.calibration.demod)
+        self.calibration.centers.classify_full_with(
+            pulse,
+            &self.calibration.demod,
+            &self.calibration.phases,
+        )
     }
 }
 
@@ -408,6 +459,29 @@ mod tests {
         assert!(shot.decision.is_none());
         let empty = pred.predict_states(&[], 0.5);
         assert!(empty.updates.is_empty() && empty.decision.is_none());
+    }
+
+    #[test]
+    fn scratch_prediction_is_bit_identical() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let pred = BranchPredictor::new(&cal, &config);
+        let mut rng = rng_for("pred/scratch");
+        let mut states = Vec::new();
+        let mut updates = Vec::new();
+        for k in 0..20 {
+            let pulse = cal.model().synthesize(k % 2 == 0, &mut rng);
+            for ph in [0.05, 0.5, 0.95] {
+                let shot = pred.predict_shot(&pulse, ph);
+                let decision = pred.predict_shot_into(&pulse, ph, &mut states, &mut updates);
+                assert_eq!(decision, shot.decision);
+                assert_eq!(updates, shot.updates);
+                assert_eq!(
+                    states,
+                    cal.centers().window_states(&pulse, cal.demod())
+                );
+            }
+        }
     }
 
     #[test]

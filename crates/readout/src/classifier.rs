@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::demod::{Demodulator, IqPoint};
 use crate::model::{ReadoutModel, ReadoutPulse};
+use crate::phase::PhaseTable;
 
 /// Calibrated `|0⟩`/`|1⟩` cluster centers in the IQ plane.
 ///
@@ -58,10 +59,44 @@ impl IqCenters {
         }
     }
 
-    /// Hard nearest-center classification of an IQ point.
+    /// Trig-free [`Self::calibrate`]: full-pulse integration reads its
+    /// demodulation factors from `table`. Bit-identical centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is missing, or when the table is mismatched
+    /// or shorter than a pulse.
+    #[must_use]
+    pub fn calibrate_with<'a>(
+        pulses: impl IntoIterator<Item = &'a ReadoutPulse>,
+        demod: &Demodulator,
+        table: &PhaseTable,
+    ) -> Self {
+        let mut sums = [IqPoint::default(); 2];
+        let mut counts = [0usize; 2];
+        for pulse in pulses {
+            let iq = demod.integrate_prefix_with(table, pulse, pulse.len());
+            let k = usize::from(pulse.true_state);
+            sums[k].i += iq.i;
+            sums[k].q += iq.q;
+            counts[k] += 1;
+        }
+        assert!(
+            counts[0] > 0 && counts[1] > 0,
+            "calibration needs both labels"
+        );
+        Self {
+            c0: IqPoint::new(sums[0].i / counts[0] as f64, sums[0].q / counts[0] as f64),
+            c1: IqPoint::new(sums[1].i / counts[1] as f64, sums[1].q / counts[1] as f64),
+        }
+    }
+
+    /// Hard nearest-center classification of an IQ point. Compares squared
+    /// distances — `sqrt` is monotone, so the decision is identical to
+    /// comparing true distances, without the two square roots.
     #[must_use]
     pub fn classify(&self, iq: IqPoint) -> bool {
-        iq.distance(&self.c1) < iq.distance(&self.c0)
+        iq.distance_sq(&self.c1) < iq.distance_sq(&self.c0)
     }
 
     /// Signed margin of a classification: positive leans `|1⟩`, negative
@@ -78,11 +113,48 @@ impl IqCenters {
     /// cumulative trajectory so late windows are increasingly reliable.
     #[must_use]
     pub fn window_states(&self, pulse: &ReadoutPulse, demod: &Demodulator) -> Vec<bool> {
-        demod
-            .cumulative_trajectory(pulse)
-            .into_iter()
-            .map(|iq| self.classify(iq))
-            .collect()
+        // Fused demodulate+classify: one pass over the samples, no
+        // intermediate Vec<IqPoint>. Same accumulation order as
+        // `cumulative_trajectory`, so the states are bit-identical to the
+        // two-pass composition (pinned by tests).
+        let mut out = Vec::with_capacity(demod.num_windows(pulse));
+        demod.fold_cumulative(pulse, |iq| out.push(self.classify(iq)));
+        out
+    }
+
+    /// Trig-free [`Self::window_states`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is mismatched or too short.
+    #[must_use]
+    pub fn window_states_with(
+        &self,
+        pulse: &ReadoutPulse,
+        demod: &Demodulator,
+        table: &PhaseTable,
+    ) -> Vec<bool> {
+        let mut out = Vec::with_capacity(demod.num_windows(pulse));
+        demod.fold_cumulative_with(table, pulse, |iq| out.push(self.classify(iq)));
+        out
+    }
+
+    /// Zero-allocation [`Self::window_states`]: clears and refills `out`,
+    /// retaining its capacity across shots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is mismatched or too short.
+    pub fn window_states_into(
+        &self,
+        pulse: &ReadoutPulse,
+        demod: &Demodulator,
+        table: &PhaseTable,
+        out: &mut Vec<bool>,
+    ) {
+        out.clear();
+        out.reserve(demod.num_windows(pulse));
+        demod.fold_cumulative_with(table, pulse, |iq| out.push(self.classify(iq)));
     }
 
     /// Full-integration classification of a pulse (what the baseline state
@@ -90,6 +162,21 @@ impl IqCenters {
     #[must_use]
     pub fn classify_full(&self, pulse: &ReadoutPulse, demod: &Demodulator) -> bool {
         self.classify(demod.integrate_prefix(pulse, pulse.len()))
+    }
+
+    /// Trig-free [`Self::classify_full`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is mismatched or too short.
+    #[must_use]
+    pub fn classify_full_with(
+        &self,
+        pulse: &ReadoutPulse,
+        demod: &Demodulator,
+        table: &PhaseTable,
+    ) -> bool {
+        self.classify(demod.integrate_prefix_with(table, pulse, pulse.len()))
     }
 }
 
@@ -182,6 +269,48 @@ mod tests {
         let centers = IqCenters::ideal(&m);
         let pulse = m.synthesize(true, &mut rng_for("classifier/windows"));
         assert_eq!(centers.window_states(&pulse, &demod).len(), 66);
+    }
+
+    #[test]
+    fn fused_window_states_match_two_pass_composition() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let table = m.phase_table();
+        let centers = IqCenters::ideal(&m);
+        let mut rng = rng_for("classifier/fused");
+        for k in 0..8 {
+            let pulse = m.synthesize(k % 2 == 0, &mut rng);
+            let composed: Vec<bool> = demod
+                .cumulative_trajectory(&pulse)
+                .into_iter()
+                .map(|iq| centers.classify(iq))
+                .collect();
+            assert_eq!(centers.window_states(&pulse, &demod), composed);
+            assert_eq!(centers.window_states_with(&pulse, &demod, &table), composed);
+            let mut reused = Vec::new();
+            centers.window_states_into(&pulse, &demod, &table, &mut reused);
+            assert_eq!(reused, composed);
+        }
+    }
+
+    #[test]
+    fn table_calibration_and_full_classification_are_bit_identical() {
+        let m = ReadoutModel::paper();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let table = m.phase_table();
+        let mut rng = rng_for("classifier/table-cal");
+        let pulses: Vec<ReadoutPulse> = (0..64)
+            .map(|k| m.synthesize(k % 2 == 0, &mut rng))
+            .collect();
+        let naive = IqCenters::calibrate(&pulses, &demod);
+        let fast = IqCenters::calibrate_with(&pulses, &demod, &table);
+        assert_eq!(naive, fast);
+        for pulse in &pulses {
+            assert_eq!(
+                naive.classify_full(pulse, &demod),
+                naive.classify_full_with(pulse, &demod, &table)
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use artery_num::Complex64;
 use serde::{Deserialize, Serialize};
 
 use crate::model::{ReadoutModel, ReadoutPulse};
+use crate::phase::PhaseTable;
 
 /// One demodulated point in the IQ plane.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -24,7 +25,15 @@ impl IqPoint {
     /// Euclidean distance to another point.
     #[must_use]
     pub fn distance(&self, other: &IqPoint) -> f64 {
-        ((self.i - other.i).powi(2) + (self.q - other.q).powi(2)).sqrt()
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance — `sqrt`-free, and monotone in
+    /// [`Self::distance`], so nearest-center comparisons on squared
+    /// distances make the same decisions.
+    #[must_use]
+    pub fn distance_sq(&self, other: &IqPoint) -> f64 {
+        (self.i - other.i).powi(2) + (self.q - other.q).powi(2)
     }
 
     /// Conversion to a complex number `I + iQ`.
@@ -99,6 +108,60 @@ impl Demodulator {
         IqPoint::new(scaled.re, scaled.im)
     }
 
+    /// Trig-free [`Self::demodulate_range`]: the factors `e^{−iωi}` are
+    /// read from `table` instead of evaluated per sample. Bit-identical to
+    /// the naive path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the pulse or the table does not match
+    /// this demodulator.
+    #[must_use]
+    pub fn demodulate_range_with(
+        &self,
+        table: &PhaseTable,
+        pulse: &ReadoutPulse,
+        start: usize,
+        len: usize,
+    ) -> IqPoint {
+        self.demodulate_slice_with(table, &pulse.samples, start, len)
+    }
+
+    /// [`Self::demodulate_range_with`] over a raw sample slice — lets the
+    /// multiplexed line demodulate a channel directly from the shared wire
+    /// samples without cloning a per-channel [`ReadoutPulse`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the samples or the table is too short
+    /// or mismatched.
+    #[must_use]
+    pub fn demodulate_slice_with(
+        &self,
+        table: &PhaseTable,
+        samples: &[Complex64],
+        start: usize,
+        len: usize,
+    ) -> IqPoint {
+        assert!(start + len <= samples.len(), "window exceeds pulse");
+        assert!(len > 0, "empty demodulation window");
+        assert!(
+            table.matches_demod(self),
+            "phase table was built for a different carrier frequency"
+        );
+        let factors = table.demod_factors();
+        assert!(start + len <= factors.len(), "phase table shorter than pulse");
+        let mut acc = Complex64::ZERO;
+        for (a, f) in samples[start..start + len]
+            .iter()
+            .zip(&factors[start..start + len])
+        {
+            acc += *a * *f;
+        }
+        let scaled = acc / (len as f64 + 1.0);
+        IqPoint::new(scaled.re, scaled.im)
+    }
+
     /// Number of whole windows in a pulse.
     #[must_use]
     pub fn num_windows(&self, pulse: &ReadoutPulse) -> usize {
@@ -119,8 +182,18 @@ impl Demodulator {
     /// the state center.
     #[must_use]
     pub fn cumulative_trajectory(&self, pulse: &ReadoutPulse) -> Vec<IqPoint> {
+        let mut out = Vec::with_capacity(self.num_windows(pulse));
+        self.fold_cumulative(pulse, |iq| out.push(iq));
+        out
+    }
+
+    /// Streams the cumulative trajectory through `sink`, one point per
+    /// window boundary, without materializing a `Vec<IqPoint>`. This is the
+    /// naive-`cis` walk — the oracle the table-driven
+    /// [`Self::fold_cumulative_with`] is tested against — and the single
+    /// pass the fused demodulate+classify path builds on.
+    pub fn fold_cumulative(&self, pulse: &ReadoutPulse, mut sink: impl FnMut(IqPoint)) {
         let n = self.num_windows(pulse);
-        let mut out = Vec::with_capacity(n);
         let mut acc = Complex64::ZERO;
         let mut count = 0usize;
         for w in 0..n {
@@ -134,9 +207,80 @@ impl Demodulator {
             }
             count += self.window_samples;
             let scaled = acc / (count as f64 + 1.0);
-            out.push(IqPoint::new(scaled.re, scaled.im));
+            sink(IqPoint::new(scaled.re, scaled.im));
         }
+    }
+
+    /// Trig-free [`Self::fold_cumulative`]: demodulation factors come from
+    /// `table`. Bit-identical to the naive walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table does not match this demodulator or is shorter
+    /// than the pulse's whole windows.
+    pub fn fold_cumulative_with(
+        &self,
+        table: &PhaseTable,
+        pulse: &ReadoutPulse,
+        mut sink: impl FnMut(IqPoint),
+    ) {
+        let n = self.num_windows(pulse);
+        assert!(
+            table.matches_demod(self),
+            "phase table was built for a different carrier frequency"
+        );
+        let factors = table.demod_factors();
+        assert!(
+            n * self.window_samples <= factors.len(),
+            "phase table shorter than pulse"
+        );
+        let mut acc = Complex64::ZERO;
+        let mut count = 0usize;
+        for w in 0..n {
+            let start = w * self.window_samples;
+            for (a, f) in pulse.samples[start..start + self.window_samples]
+                .iter()
+                .zip(&factors[start..start + self.window_samples])
+            {
+                acc += *a * *f;
+            }
+            count += self.window_samples;
+            let scaled = acc / (count as f64 + 1.0);
+            sink(IqPoint::new(scaled.re, scaled.im));
+        }
+    }
+
+    /// Trig-free, allocating [`Self::cumulative_trajectory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is mismatched or too short.
+    #[must_use]
+    pub fn cumulative_trajectory_with(
+        &self,
+        table: &PhaseTable,
+        pulse: &ReadoutPulse,
+    ) -> Vec<IqPoint> {
+        let mut out = Vec::with_capacity(self.num_windows(pulse));
+        self.fold_cumulative_with(table, pulse, |iq| out.push(iq));
         out
+    }
+
+    /// Zero-allocation [`Self::cumulative_trajectory`]: clears and refills
+    /// `out`, retaining its capacity across shots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is mismatched or too short.
+    pub fn cumulative_trajectory_into(
+        &self,
+        table: &PhaseTable,
+        pulse: &ReadoutPulse,
+        out: &mut Vec<IqPoint>,
+    ) {
+        out.clear();
+        out.reserve(self.num_windows(pulse));
+        self.fold_cumulative_with(table, pulse, |iq| out.push(iq));
     }
 
     /// Cumulative IQ using only the first `t_ns` nanoseconds of the pulse
@@ -145,6 +289,22 @@ impl Demodulator {
     pub fn integrate_prefix(&self, pulse: &ReadoutPulse, samples: usize) -> IqPoint {
         let n = samples.min(pulse.len()).max(1);
         self.demodulate_range(pulse, 0, n)
+    }
+
+    /// Trig-free [`Self::integrate_prefix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is mismatched or too short.
+    #[must_use]
+    pub fn integrate_prefix_with(
+        &self,
+        table: &PhaseTable,
+        pulse: &ReadoutPulse,
+        samples: usize,
+    ) -> IqPoint {
+        let n = samples.min(pulse.len()).max(1);
+        self.demodulate_range_with(table, pulse, 0, n)
     }
 }
 
@@ -253,7 +413,45 @@ mod tests {
         let a = IqPoint::new(0.0, 0.0);
         let b = IqPoint::new(3.0, 4.0);
         assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
         assert_eq!(b.to_complex(), Complex64::new(3.0, 4.0));
         assert_eq!(IqPoint::from(Complex64::new(1.0, 2.0)), IqPoint::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn table_demodulation_is_bit_identical() {
+        let m = ReadoutModel::paper();
+        let table = m.phase_table();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let pulse = m.synthesize(true, &mut rng_for("demod/table"));
+        for (start, len) in [(0usize, 2000usize), (0, 1), (990, 30), (1970, 30), (13, 777)] {
+            let naive = demod.demodulate_range(&pulse, start, len);
+            let fast = demod.demodulate_range_with(&table, &pulse, start, len);
+            assert_eq!(naive, fast, "range ({start}, {len})");
+        }
+        assert_eq!(
+            demod.cumulative_trajectory(&pulse),
+            demod.cumulative_trajectory_with(&table, &pulse)
+        );
+        let mut reused = Vec::new();
+        demod.cumulative_trajectory_into(&table, &pulse, &mut reused);
+        assert_eq!(reused, demod.cumulative_trajectory(&pulse));
+        let cap = reused.capacity();
+        demod.cumulative_trajectory_into(&table, &pulse, &mut reused);
+        assert_eq!(reused.capacity(), cap);
+        assert_eq!(
+            demod.integrate_prefix(&pulse, 750),
+            demod.integrate_prefix_with(&table, &pulse, 750)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different carrier frequency")]
+    fn mismatched_table_frequency_panics() {
+        let m = ReadoutModel::paper();
+        let table = ReadoutModel { omega: 0.5, ..m }.phase_table();
+        let demod = Demodulator::for_model(&m, 30.0);
+        let pulse = m.synthesize(false, &mut rng_for("demod/table-mismatch"));
+        let _ = demod.demodulate_range_with(&table, &pulse, 0, 30);
     }
 }

@@ -15,7 +15,10 @@
 //! * [`IqCenters`] calibrates the `|0⟩`/`|1⟩` cluster centers and classifies
 //!   IQ points,
 //! * [`Dataset`] draws the train/test pulse collections the evaluation uses
-//!   (the paper's 4,000-pulse device dataset is private; see DESIGN.md).
+//!   (the paper's 4,000-pulse device dataset is private; see DESIGN.md),
+//! * [`PhaseTable`] caches every per-sample carrier/demodulation phasor of a
+//!   model so the hot `*_with` / `*_into` paths run trig-free and
+//!   allocation-free while staying bit-identical to the naive loops.
 //!
 //! # Examples
 //!
@@ -38,9 +41,11 @@ mod dataset;
 mod demod;
 mod model;
 mod multiplex;
+mod phase;
 
 pub use classifier::IqCenters;
 pub use dataset::{Dataset, DatasetSplit};
 pub use demod::{Demodulator, IqPoint};
 pub use model::{ReadoutModel, ReadoutPulse};
 pub use multiplex::{MultiplexedLine, MultiplexedPulse};
+pub use phase::PhaseTable;

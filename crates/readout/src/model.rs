@@ -5,6 +5,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use rand_distr_normal::sample_standard_normal;
 
+use crate::phase::PhaseTable;
+
 /// Box–Muller standard normal sampling (rand's `StandardNormal` lives in
 /// `rand_distr`, which is not in the approved dependency set).
 mod rand_distr_normal {
@@ -134,10 +136,76 @@ impl ReadoutModel {
             decayed_at_ns: decay_at,
         }
     }
+
+    /// Evaluates this model's carrier and demodulation phasors once; the
+    /// resulting [`PhaseTable`] drives the trig-free `*_with` / `*_into`
+    /// fast paths, which are bit-identical to the naive loops.
+    #[must_use]
+    pub fn phase_table(&self) -> PhaseTable {
+        PhaseTable::for_model(self)
+    }
+
+    /// Trig-free [`Self::synthesize`]: identical RNG consumption and
+    /// bit-identical samples, with the carrier read from `table` instead of
+    /// evaluated per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `table` was built for a different carrier.
+    #[must_use]
+    pub fn synthesize_with(&self, table: &PhaseTable, state: bool, rng: &mut impl Rng) -> ReadoutPulse {
+        let mut out = ReadoutPulse::default();
+        self.synthesize_into(table, state, rng, &mut out);
+        out
+    }
+
+    /// Zero-allocation [`Self::synthesize`]: writes the pulse into `out`,
+    /// reusing its sample buffer. After the first call at this pulse length
+    /// the steady state allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `table` was built for a different carrier.
+    pub fn synthesize_into(
+        &self,
+        table: &PhaseTable,
+        state: bool,
+        rng: &mut impl Rng,
+        out: &mut ReadoutPulse,
+    ) {
+        assert!(
+            table.matches_model(self),
+            "phase table was built for a different readout model"
+        );
+        let n = self.num_samples();
+        // Identical decay draw to `synthesize` — the RNG stream must match
+        // sample for sample so both paths see the same noise.
+        let decay_at = if state && self.t1_ns.is_finite() {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let t = -self.t1_ns * u.ln();
+            (t < self.duration_ns).then_some(t)
+        } else {
+            None
+        };
+        let decay_sample = decay_at.map_or(usize::MAX, |t| self.sample_at_ns(t));
+        out.samples.clear();
+        out.samples.reserve(n);
+        for i in 0..n {
+            let effective_state = state && i < decay_sample;
+            let clean = table.carrier(effective_state, i);
+            let noise = Complex64::new(
+                self.noise_sigma * sample_standard_normal(rng),
+                self.noise_sigma * sample_standard_normal(rng),
+            );
+            out.samples.push(clean + noise);
+        }
+        out.true_state = state;
+        out.decayed_at_ns = decay_at;
+    }
 }
 
 /// One synthesized (or captured) readout pulse.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ReadoutPulse {
     /// Complex ADC samples.
     pub samples: Vec<Complex64>,
@@ -226,6 +294,43 @@ mod tests {
                 Complex64::from_polar(m.amplitude, m.omega * i as f64 + m.phase0);
             assert!((*s - expected).norm() < 1e-12);
         }
+    }
+
+    #[test]
+    fn table_synthesis_is_bit_identical() {
+        let m = ReadoutModel::paper();
+        let table = m.phase_table();
+        for state in [false, true] {
+            for seed in 0..8u64 {
+                let label = format!("model/table-{state}-{seed}");
+                let naive = m.synthesize(state, &mut rng_for(&label));
+                let fast = m.synthesize_with(&table, state, &mut rng_for(&label));
+                assert_eq!(naive, fast);
+            }
+        }
+    }
+
+    #[test]
+    fn synthesize_into_reuses_the_buffer() {
+        let m = ReadoutModel::paper();
+        let table = m.phase_table();
+        let mut out = ReadoutPulse::default();
+        let mut rng = rng_for("model/reuse");
+        m.synthesize_into(&table, true, &mut rng, &mut out);
+        let cap = out.samples.capacity();
+        m.synthesize_into(&table, false, &mut rng, &mut out);
+        assert_eq!(out.samples.capacity(), cap);
+        assert!(!out.true_state);
+        assert_eq!(out.len(), m.num_samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "different readout model")]
+    fn mismatched_table_panics() {
+        let m = ReadoutModel::paper();
+        let detuned = ReadoutModel { omega: 0.5, ..m };
+        let table = detuned.phase_table();
+        let _ = m.synthesize_with(&table, false, &mut rng_for("model/mismatch"));
     }
 
     #[test]

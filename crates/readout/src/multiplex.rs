@@ -12,11 +12,17 @@ use rand::Rng;
 
 use crate::demod::{Demodulator, IqPoint};
 use crate::model::{ReadoutModel, ReadoutPulse};
+use crate::phase::PhaseTable;
 
 /// A readout line shared by several frequency-multiplexed channels.
 #[derive(Debug, Clone)]
 pub struct MultiplexedLine {
     channels: Vec<ReadoutModel>,
+    /// Per-channel carrier/demod phasors, shared by synthesis and
+    /// demultiplexing (built once at construction).
+    tables: Vec<PhaseTable>,
+    /// Phasors of the amplitude-zero line-noise model.
+    noise_table: PhaseTable,
 }
 
 /// A captured multiplexed pulse: summed samples plus per-channel ground
@@ -45,13 +51,22 @@ impl MultiplexedLine {
             top < std::f64::consts::PI,
             "carrier {top:.3} rad/sample beyond Nyquist"
         );
-        let channels = (0..n)
+        let channels: Vec<ReadoutModel> = (0..n)
             .map(|k| ReadoutModel {
                 omega: base.omega + spacing * k as f64,
                 ..*base
             })
             .collect();
-        Self { channels }
+        let tables = channels.iter().map(PhaseTable::for_model).collect();
+        let noise_table = PhaseTable::for_model(&ReadoutModel {
+            amplitude: 0.0,
+            ..channels[0]
+        });
+        Self {
+            channels,
+            tables,
+            noise_table,
+        }
     }
 
     /// The paper's configuration: 3 channels per line.
@@ -84,14 +99,17 @@ impl MultiplexedLine {
         let mut samples = vec![Complex64::ZERO; n];
         // The carriers sum cleanly; the noise floor (amplifier chain) is a
         // property of the *line* and is added once, so per-channel SNR
-        // matches the single-channel model up to carrier leakage.
-        for (model, &state) in self.channels.iter().zip(states) {
+        // matches the single-channel model up to carrier leakage. Each
+        // channel's carrier comes from its shared phase table (bit-identical
+        // to per-sample `from_polar`), and one scratch pulse is reused.
+        let mut scratch = ReadoutPulse::default();
+        for ((model, table), &state) in self.channels.iter().zip(&self.tables).zip(states) {
             let clean = ReadoutModel {
                 noise_sigma: 0.0,
                 ..*model
             };
-            let pulse = clean.synthesize(state, rng);
-            for (acc, s) in samples.iter_mut().zip(&pulse.samples) {
+            clean.synthesize_into(table, state, rng, &mut scratch);
+            for (acc, s) in samples.iter_mut().zip(&scratch.samples) {
                 *acc += *s;
             }
         }
@@ -101,8 +119,8 @@ impl MultiplexedLine {
             noise_sigma: sigma,
             ..self.channels[0]
         };
-        let noise = noise_only.synthesize(false, rng);
-        for (acc, s) in samples.iter_mut().zip(&noise.samples) {
+        noise_only.synthesize_into(&self.noise_table, false, rng, &mut scratch);
+        for (acc, s) in samples.iter_mut().zip(&scratch.samples) {
             *acc += *s;
         }
         MultiplexedPulse {
@@ -143,11 +161,14 @@ impl MultiplexedLine {
     ) -> bool {
         let model = &self.channels[channel];
         let demod = Demodulator::for_model(model, window_ns);
-        let view = self.channel_view(pulse, channel);
-        let iq = demod.integrate_prefix(&view, view.samples.len());
+        // Demodulate straight off the shared wire samples through the
+        // channel's phase table — no per-channel pulse clone, no per-sample
+        // `cis`; bit-identical to the naive `channel_view` path.
+        let len = pulse.samples.len().max(1);
+        let iq = demod.demodulate_slice_with(&self.tables[channel], &pulse.samples, 0, len);
         let c0 = IqPoint::from(model.ideal_center(false));
         let c1 = IqPoint::from(model.ideal_center(true));
-        iq.distance(&c1) < iq.distance(&c0)
+        iq.distance_sq(&c1) < iq.distance_sq(&c0)
     }
 }
 
@@ -221,6 +242,62 @@ mod tests {
         let pulse = line.synthesize(&[true], &mut rng);
         assert!(line.classify_channel(&pulse, 0, 30.0));
         assert_eq!(pulse.samples.len(), base.num_samples());
+    }
+
+    #[test]
+    fn table_synthesis_matches_naive_oracle() {
+        // The naive oracle re-derives the pre-phase-table implementation:
+        // per-channel clean synthesis with per-sample `from_polar`, then one
+        // line-noise pulse, consuming the same RNG stream.
+        let line = MultiplexedLine::paper();
+        for seed in 0..4u64 {
+            let label = format!("mux/oracle-{seed}");
+            let states = [seed % 2 == 0, seed % 3 == 0, true];
+            let got = line.synthesize(&states, &mut rng_for(&label));
+
+            let mut rng = rng_for(&label);
+            let n = line.channels()[0].num_samples();
+            let mut samples = vec![Complex64::ZERO; n];
+            for (model, &state) in line.channels().iter().zip(&states) {
+                let clean = ReadoutModel {
+                    noise_sigma: 0.0,
+                    ..*model
+                };
+                let pulse = clean.synthesize(state, &mut rng);
+                for (acc, s) in samples.iter_mut().zip(&pulse.samples) {
+                    *acc += *s;
+                }
+            }
+            let noise_only = ReadoutModel {
+                amplitude: 0.0,
+                ..line.channels()[0]
+            };
+            let noise = noise_only.synthesize(false, &mut rng);
+            for (acc, s) in samples.iter_mut().zip(&noise.samples) {
+                *acc += *s;
+            }
+            assert_eq!(got.samples, samples);
+        }
+    }
+
+    #[test]
+    fn table_channel_classification_matches_naive_view() {
+        let line = MultiplexedLine::paper();
+        let mut rng = rng_for("mux/classify-oracle");
+        for k in 0..16 {
+            let states = [k % 2 == 0, k % 3 == 0, k % 5 == 0];
+            let pulse = line.synthesize(&states, &mut rng);
+            for ch in 0..line.num_channels() {
+                let model = &line.channels()[ch];
+                let demod = Demodulator::for_model(model, 30.0);
+                let view = line.channel_view(&pulse, ch);
+                let iq = demod.integrate_prefix(&view, view.samples.len());
+                let c0 = IqPoint::from(model.ideal_center(false));
+                let c1 = IqPoint::from(model.ideal_center(true));
+                let naive = iq.distance(&c1) < iq.distance(&c0);
+                assert_eq!(line.classify_channel(&pulse, ch, 30.0), naive);
+            }
+        }
     }
 
     #[test]

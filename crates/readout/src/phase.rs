@@ -1,0 +1,186 @@
+//! Shared phase tables — the trig-free readout fast path.
+//!
+//! Every hot loop in the readout pipeline evaluates the same per-sample
+//! phasors: synthesis needs the state-conditioned carrier
+//! `A·e^{i(ωi+φ_s)}` and demodulation needs the conjugate carrier
+//! `e^{−iωi}`. Both depend only on the sample index and the (fixed)
+//! [`ReadoutModel`], so a [`PhaseTable`] evaluates them once per model and
+//! the per-shot loops become pure multiply-adds — no `sin`/`cos` per
+//! sample.
+//!
+//! # Bit-identity
+//!
+//! The table stores the *exact expressions* the naive loops evaluate —
+//! `Complex64::from_polar(amplitude, omega·i + phase)` for the carriers
+//! (not the algebraically equal but not bitwise-equal product
+//! `A·cis(ωi)·cis(φ)`) and `Complex64::cis(−omega·i)` for the
+//! demodulation factors. A table lookup therefore yields the same f64
+//! bits as the trigonometric evaluation it replaces, and every consumer
+//! (synthesis, windowed demodulation, the multiplexed line) produces
+//! byte-identical output. The equivalence proptests in
+//! `tests/properties.rs` pin this down.
+
+use artery_num::Complex64;
+
+use crate::demod::Demodulator;
+use crate::model::ReadoutModel;
+
+/// Precomputed per-sample carrier and demodulation phasors of one
+/// [`ReadoutModel`].
+///
+/// # Examples
+///
+/// ```
+/// use artery_readout::{PhaseTable, ReadoutModel};
+///
+/// let model = ReadoutModel::paper();
+/// let table = PhaseTable::for_model(&model);
+/// assert_eq!(table.len(), model.num_samples());
+/// assert!(table.matches_model(&model));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTable {
+    omega: f64,
+    amplitude: f64,
+    phase0: f64,
+    phase1: f64,
+    carrier0: Vec<Complex64>,
+    carrier1: Vec<Complex64>,
+    demod: Vec<Complex64>,
+}
+
+impl PhaseTable {
+    /// Evaluates the carrier and demodulation phasors of `model` at every
+    /// sample index of a full pulse.
+    #[must_use]
+    pub fn for_model(model: &ReadoutModel) -> Self {
+        let n = model.num_samples();
+        let mut carrier0 = Vec::with_capacity(n);
+        let mut carrier1 = Vec::with_capacity(n);
+        let mut demod = Vec::with_capacity(n);
+        for i in 0..n {
+            let angle = model.omega * (i as f64);
+            carrier0.push(Complex64::from_polar(model.amplitude, angle + model.phase0));
+            carrier1.push(Complex64::from_polar(model.amplitude, angle + model.phase1));
+            demod.push(Complex64::cis(-model.omega * (i as f64)));
+        }
+        Self {
+            omega: model.omega,
+            amplitude: model.amplitude,
+            phase0: model.phase0,
+            phase1: model.phase1,
+            carrier0,
+            carrier1,
+            demod,
+        }
+    }
+
+    /// Number of tabulated sample indices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.demod.len()
+    }
+
+    /// Whether the table is empty (a zero-length model).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.demod.is_empty()
+    }
+
+    /// The state-conditioned carrier `A·e^{i(ω·i+φ_state)}` at sample `i`.
+    #[inline]
+    #[must_use]
+    pub fn carrier(&self, state: bool, i: usize) -> Complex64 {
+        if state {
+            self.carrier1[i]
+        } else {
+            self.carrier0[i]
+        }
+    }
+
+    /// The full carrier table for one state.
+    #[must_use]
+    pub fn carriers(&self, state: bool) -> &[Complex64] {
+        if state {
+            &self.carrier1
+        } else {
+            &self.carrier0
+        }
+    }
+
+    /// The demodulation factors `e^{−iω·i}` for all sample indices.
+    #[inline]
+    #[must_use]
+    pub fn demod_factors(&self) -> &[Complex64] {
+        &self.demod
+    }
+
+    /// Whether this table was built from a model with the same carrier
+    /// parameters and pulse length as `model`.
+    ///
+    /// Noise and T1 parameters are deliberately *not* compared: the table
+    /// holds only deterministic carrier phasors, so e.g. the multiplexed
+    /// line's `noise_sigma: 0` clean copies share their channel's table.
+    #[must_use]
+    pub fn matches_model(&self, model: &ReadoutModel) -> bool {
+        self.omega.to_bits() == model.omega.to_bits()
+            && self.amplitude.to_bits() == model.amplitude.to_bits()
+            && self.phase0.to_bits() == model.phase0.to_bits()
+            && self.phase1.to_bits() == model.phase1.to_bits()
+            && self.len() == model.num_samples()
+    }
+
+    /// Whether this table's demodulation factors apply to `demod` (same
+    /// carrier frequency).
+    #[must_use]
+    pub fn matches_demod(&self, demod: &Demodulator) -> bool {
+        self.omega.to_bits() == demod.omega.to_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_naive_expressions() {
+        let m = ReadoutModel::paper();
+        let t = PhaseTable::for_model(&m);
+        assert_eq!(t.len(), m.num_samples());
+        for i in (0..t.len()).step_by(97) {
+            let c0 = Complex64::from_polar(m.amplitude, m.omega * (i as f64) + m.phase0);
+            let c1 = Complex64::from_polar(m.amplitude, m.omega * (i as f64) + m.phase1);
+            let d = Complex64::cis(-m.omega * (i as f64));
+            assert_eq!(t.carrier(false, i), c0);
+            assert_eq!(t.carrier(true, i), c1);
+            assert_eq!(t.demod_factors()[i], d);
+        }
+    }
+
+    #[test]
+    fn matching_ignores_noise_parameters() {
+        let m = ReadoutModel::paper();
+        let t = PhaseTable::for_model(&m);
+        let clean = ReadoutModel {
+            noise_sigma: 0.0,
+            t1_ns: f64::INFINITY,
+            ..m
+        };
+        assert!(t.matches_model(&clean));
+        let detuned = ReadoutModel { omega: 0.36, ..m };
+        assert!(!t.matches_model(&detuned));
+    }
+
+    #[test]
+    fn matching_respects_demodulator_frequency() {
+        let m = ReadoutModel::paper();
+        let t = PhaseTable::for_model(&m);
+        let demod = Demodulator::for_model(&m, 30.0);
+        assert!(t.matches_demod(&demod));
+        let other = Demodulator {
+            omega: 0.5,
+            ..demod
+        };
+        assert!(!t.matches_demod(&other));
+    }
+}

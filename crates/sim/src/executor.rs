@@ -86,8 +86,12 @@ impl FeedbackHandler for SequentialHandler {
 /// Everything a single shot produced.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
-    /// Final (collapsed, noisy) state.
-    pub final_state: StateVector,
+    /// Final (collapsed, noisy) state, unless the executor was configured
+    /// with [`Executor::without_final_state`] — copying the full state vector
+    /// every shot dominates small-circuit throughput, so runners that only
+    /// read latencies opt out. Use [`RunRecord::state`] when the state is
+    /// known to be kept.
+    pub final_state: Option<StateVector>,
     /// Classical register contents, indexed by `Clbit`.
     pub clbits: Vec<bool>,
     /// Reported outcome of every feedback site, in execution order.
@@ -110,6 +114,19 @@ impl RunRecord {
     pub fn total_feedback_us(&self) -> f64 {
         self.feedback_latencies_ns.iter().sum::<f64>() / 1000.0
     }
+
+    /// The final state of the shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the executor was configured with
+    /// [`Executor::without_final_state`].
+    #[must_use]
+    pub fn state(&self) -> &StateVector {
+        self.final_state
+            .as_ref()
+            .expect("final state was discarded (Executor::without_final_state)")
+    }
 }
 
 /// Runs circuits under a [`NoiseModel`].
@@ -119,6 +136,8 @@ pub struct Executor {
     readout_ns: f64,
     /// Optional per-qubit T1 override, nanoseconds (index = qubit).
     t1_map_ns: Option<Vec<f64>>,
+    /// Whether [`RunRecord::final_state`] gets a copy of the state.
+    keep_final_state: bool,
 }
 
 impl Executor {
@@ -129,6 +148,7 @@ impl Executor {
             noise,
             readout_ns: 2000.0,
             t1_map_ns: None,
+            keep_final_state: true,
         }
     }
 
@@ -136,6 +156,15 @@ impl Executor {
     #[must_use]
     pub fn with_readout_ns(mut self, readout_ns: f64) -> Self {
         self.readout_ns = readout_ns;
+        self
+    }
+
+    /// Skips the per-shot copy of the final state into
+    /// [`RunRecord::final_state`]. Latency-only runners use this; everything
+    /// else about the shot (RNG stream, clbits, latencies) is unchanged.
+    #[must_use]
+    pub fn without_final_state(mut self) -> Self {
+        self.keep_final_state = false;
         self
     }
 
@@ -338,7 +367,7 @@ impl Executor {
         }
 
         RunRecord {
-            final_state: state.clone(),
+            final_state: self.keep_final_state.then(|| state.clone()),
             clbits,
             feedback_outcomes,
             feedback_latencies_ns: feedback_latencies,
@@ -409,7 +438,7 @@ mod tests {
         let mut handler = SequentialHandler::default();
         let mut rng = rng_for("exec/reset");
         let rec = exec.run(&reset_circuit(), &mut handler, &mut rng);
-        assert!(rec.final_state.prob_one(Qubit(0)) < 1e-9);
+        assert!(rec.state().prob_one(Qubit(0)) < 1e-9);
         assert_eq!(rec.feedback_outcomes, vec![(artery_circuit::FeedbackSite(0), true)]);
         assert!((rec.total_feedback_us() - 2.18).abs() < 1e-9); // 2 µs + 150 ns + 30 ns X
     }
@@ -433,7 +462,7 @@ mod tests {
         let mut exec = Executor::new(NoiseModel::noiseless());
         let mut rng = rng_for("exec/branch0");
         let rec = exec.run(&c, &mut SequentialHandler::default(), &mut rng);
-        assert!(rec.final_state.prob_one(Qubit(1)) > 1.0 - 1e-9);
+        assert!(rec.state().prob_one(Qubit(1)) > 1.0 - 1e-9);
         assert!(!rec.clbits[0]);
     }
 
@@ -450,7 +479,7 @@ mod tests {
         b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
         let rec = exec.run(&b.build(), &mut SequentialHandler::default(), &mut rng);
         assert!(rec.clbits[0]);
-        assert!(rec.final_state.prob_one(Qubit(1)) > 1.0 - 1e-9);
+        assert!(rec.state().prob_one(Qubit(1)) > 1.0 - 1e-9);
     }
 
     #[test]
@@ -491,7 +520,7 @@ mod tests {
         b.gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
         b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(2)]).finish();
         let rec = exec.run(&b.build(), &mut SequentialHandler::default(), &mut rng);
-        assert!(artery_num::approx_eq(rec.final_state.norm_sqr(), 1.0, 1e-9));
+        assert!(artery_num::approx_eq(rec.state().norm_sqr(), 1.0, 1e-9));
     }
 
     #[test]
@@ -502,8 +531,8 @@ mod tests {
         let mut b = CircuitBuilder::new(2);
         b.gate(Gate::X, &[Qubit(0)]);
         let rec = exec.run_from(&mut state, &b.build(), &mut SequentialHandler::default(), &mut rng);
-        assert!(rec.final_state.prob_one(Qubit(0)) > 1.0 - 1e-9);
-        assert_eq!(rec.final_state.num_qubits(), 3);
+        assert!(rec.state().prob_one(Qubit(0)) > 1.0 - 1e-9);
+        assert_eq!(rec.state().num_qubits(), 3);
     }
 
     #[test]
@@ -549,7 +578,7 @@ mod tests {
         for &forced in &[false, true, true, false] {
             let rec = exec.run_scripted(&c, &mut SequentialHandler::default(), &[forced], &mut rng);
             assert_eq!(rec.clbits[0], forced);
-            let p1 = rec.final_state.prob_one(Qubit(1));
+            let p1 = rec.state().prob_one(Qubit(1));
             assert!((p1 - f64::from(u8::from(forced))).abs() < 1e-9);
         }
     }
@@ -568,7 +597,7 @@ mod tests {
         let noisy = exec.run(&c, &mut SequentialHandler::default(), &mut rng);
         let script: Vec<bool> = noisy.feedback_outcomes.iter().map(|&(_, o)| o).collect();
         let replay = exec.run_scripted(&c, &mut SequentialHandler::default(), &script, &mut rng);
-        assert!(replay.final_state.fidelity(&noisy.final_state) > 1.0 - 1e-9);
+        assert!(replay.state().fidelity(noisy.state()) > 1.0 - 1e-9);
     }
 
     #[test]
@@ -604,7 +633,7 @@ mod tests {
         for _ in 0..N {
             let rec = exec.run(&c, &mut SequentialHandler::default(), &mut rng);
             for q in 0..2 {
-                survived[q] += usize::from(rec.final_state.prob_one(Qubit(q)) > 0.5);
+                survived[q] += usize::from(rec.state().prob_one(Qubit(q)) > 0.5);
             }
         }
         // T1 = 500 ns over ~2.15 µs → survival ≈ e^{-4.3} ≈ 1.4 %.
@@ -620,6 +649,30 @@ mod tests {
         for &t1 in &map {
             assert!((110_000.0..=140_000.0).contains(&t1));
         }
+    }
+
+    #[test]
+    fn without_final_state_changes_nothing_but_the_state() {
+        let mut keep = Executor::new(NoiseModel::paper_device());
+        let mut drop = Executor::new(NoiseModel::paper_device()).without_final_state();
+        let c = reset_circuit();
+        let kept = keep.run(&c, &mut SequentialHandler::default(), &mut rng_for("exec/keep"));
+        let dropped = drop.run(&c, &mut SequentialHandler::default(), &mut rng_for("exec/keep"));
+        assert!(kept.final_state.is_some());
+        assert!(dropped.final_state.is_none());
+        assert_eq!(kept.clbits, dropped.clbits);
+        assert_eq!(kept.feedback_outcomes, dropped.feedback_outcomes);
+        assert_eq!(kept.feedback_latencies_ns, dropped.feedback_latencies_ns);
+        assert_eq!(kept.total_ns, dropped.total_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "final state was discarded")]
+    fn discarded_state_accessor_panics() {
+        let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+        let mut rng = rng_for("exec/discarded");
+        let rec = exec.run(&reset_circuit(), &mut SequentialHandler::default(), &mut rng);
+        let _ = rec.state();
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! let mut handler = SequentialHandler::default();
 //! let mut rng = artery_num::rng::rng_for("doc/bell");
 //! let record = exec.run(&circuit, &mut handler, &mut rng);
-//! let p11 = record.final_state.probability_of(0b11);
+//! let p11 = record.state().probability_of(0b11);
 //! assert!((p11 - 0.5).abs() < 1e-9);
 //! ```
 

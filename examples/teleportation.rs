@@ -28,7 +28,7 @@ fn fidelity<H: FeedbackHandler>(
         let rec = noisy.run(circuit, handler, &mut rng);
         let script: Vec<bool> = rec.feedback_outcomes.iter().map(|&(_, o)| o).collect();
         let ideal = clean.run_scripted(circuit, &mut SequentialHandler::default(), &script, &mut rng);
-        acc.push(ideal.final_state.fidelity(&rec.final_state));
+        acc.push(ideal.state().fidelity(rec.state()));
     }
     acc.mean()
 }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Lint gate: formatting + clippy across the whole workspace, warnings fatal,
 # plus the perf-critical guarantees — benches must compile, the sharded
-# runners must be thread-count invariant, and the metrics layer must keep
-# its merge-exactness/golden-schema promises.
-# Run locally before pushing; CI runs the same commands.
+# runners must be thread-count invariant, the metrics layer must keep its
+# merge-exactness/golden-schema promises, and the trig-free phase-table /
+# scratch-buffer readout fast path must stay bit-identical to the naive
+# oracles. Run locally before pushing; CI runs the same commands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,3 +14,6 @@ cargo bench --workspace --no-run
 cargo test -p artery-bench --lib -q thread_invariance
 cargo test -q -p artery-metrics
 cargo test -q --test metrics
+cargo test -q -p artery-readout
+cargo test -q -p artery-core bit_identical
+cargo test -q --test readout_fastpath

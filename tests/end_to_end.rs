@@ -119,12 +119,12 @@ fn qrw_line_increments_position_exactly() {
     let mut handler = artery::sim::SequentialHandler::default();
     let rec = exec.run_scripted(&circuit, &mut handler, &[true, true, true], &mut rng);
     use artery::circuit::Qubit;
-    assert!(rec.final_state.prob_one(Qubit(1)) > 1.0 - 1e-9); // LSB = 1
-    assert!(rec.final_state.prob_one(Qubit(2)) > 1.0 - 1e-9); // MSB = 1
+    assert!(rec.state().prob_one(Qubit(1)) > 1.0 - 1e-9); // LSB = 1
+    assert!(rec.state().prob_one(Qubit(2)) > 1.0 - 1e-9); // MSB = 1
     // Two heads then tails → position 2 (binary 10).
     let rec = exec.run_scripted(&circuit, &mut handler, &[true, true, false], &mut rng);
-    assert!(rec.final_state.prob_one(Qubit(1)) < 1e-9);
-    assert!(rec.final_state.prob_one(Qubit(2)) > 1.0 - 1e-9);
+    assert!(rec.state().prob_one(Qubit(1)) < 1e-9);
+    assert!(rec.state().prob_one(Qubit(2)) > 1.0 - 1e-9);
 }
 
 #[test]
@@ -151,7 +151,7 @@ fn artery_fidelity_not_worse_under_noise() {
                 &script,
                 &mut rng,
             );
-            acc.push(ideal.final_state.fidelity(&rec.final_state));
+            acc.push(ideal.state().fidelity(rec.state()));
         }
         acc.mean()
     };

@@ -71,7 +71,7 @@ fn artery_and_sequential_states_agree_on_random_circuits() {
         // happen internally.
         let mut controller = ArteryController::new(&circuit, &config, &calibration);
         let replay = exec.run_scripted(&circuit, &mut controller, &script, &mut rng);
-        let fidelity = replay.final_state.fidelity(&reference.final_state);
+        let fidelity = replay.state().fidelity(reference.state());
         assert!(
             fidelity > 1.0 - 1e-9,
             "seed {seed}: states diverge (fidelity {fidelity})"
@@ -96,7 +96,7 @@ fn all_baselines_agree_with_each_other() {
             let mut handler = baseline;
             let replay = exec.run_scripted(&circuit, &mut handler, &script, &mut rng);
             assert!(
-                replay.final_state.fidelity(&reference.final_state) > 1.0 - 1e-9,
+                replay.state().fidelity(reference.state()) > 1.0 - 1e-9,
                 "seed {seed}: {} diverges",
                 baseline.name()
             );

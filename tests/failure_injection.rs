@@ -50,7 +50,7 @@ fn sabotaged_predictor_still_produces_correct_states() {
         // Outcome-conditioned correctness: q2 == reported outcome of q0.
         let expected = f64::from(u8::from(rec.clbits[0]));
         assert!(
-            (rec.final_state.prob_one(Qubit(2)) - expected).abs() < 1e-9,
+            (rec.state().prob_one(Qubit(2)) - expected).abs() < 1e-9,
             "branch applied incorrectly"
         );
     }
@@ -123,7 +123,7 @@ fn total_readout_noise_keeps_engine_sound() {
     for _ in 0..40 {
         let rec = exec.run(&circuit, &mut handler, &mut rng);
         let expected = f64::from(u8::from(rec.clbits[0]));
-        assert!((rec.final_state.prob_one(Qubit(2)) - expected).abs() < 1e-9);
+        assert!((rec.state().prob_one(Qubit(2)) - expected).abs() < 1e-9);
     }
 }
 

@@ -200,6 +200,73 @@ proptest! {
     }
 
     #[test]
+    fn phase_table_pipeline_is_bit_identical_to_naive_cis(state in any::<bool>(), seed in 0u64..200) {
+        let model = artery::readout::ReadoutModel::paper();
+        let table = model.phase_table();
+        let demod = artery::readout::Demodulator::for_model(&model, 30.0);
+        let centers = artery::readout::IqCenters::ideal(&model);
+
+        // Synthesis: same RNG stream, bit-identical samples.
+        let naive = model.synthesize(state, &mut artery::num::rng::rng_for_indexed("prop/table", seed));
+        let mut fast = artery::readout::ReadoutPulse::default();
+        model.synthesize_into(
+            &table,
+            state,
+            &mut artery::num::rng::rng_for_indexed("prop/table", seed),
+            &mut fast,
+        );
+        prop_assert_eq!(&naive, &fast);
+
+        // Demodulation: allocating naive-cis trajectory == table `*_into`.
+        let traj = demod.cumulative_trajectory(&naive);
+        let mut traj_fast = Vec::new();
+        demod.cumulative_trajectory_into(&table, &naive, &mut traj_fast);
+        prop_assert_eq!(&traj, &traj_fast);
+
+        // Fused single-pass window states == two-pass composition.
+        let composed: Vec<bool> = traj.iter().map(|&iq| centers.classify(iq)).collect();
+        prop_assert_eq!(&centers.window_states(&naive, &demod), &composed);
+        let mut states = Vec::new();
+        centers.window_states_into(&naive, &demod, &table, &mut states);
+        prop_assert_eq!(&states, &composed);
+    }
+
+    #[test]
+    fn windowed_table_demodulation_is_bit_identical(
+        start in 0usize..1990,
+        len in 1usize..64,
+        seed in 0u64..100,
+    ) {
+        let model = artery::readout::ReadoutModel::paper();
+        let table = model.phase_table();
+        let demod = artery::readout::Demodulator::for_model(&model, 30.0);
+        let pulse = model.synthesize(
+            seed % 2 == 0,
+            &mut artery::num::rng::rng_for_indexed("prop/window", seed),
+        );
+        let len = len.min(pulse.len() - start);
+        prop_assert_eq!(
+            demod.demodulate_range(&pulse, start, len),
+            demod.demodulate_range_with(&table, &pulse, start, len)
+        );
+    }
+
+    #[test]
+    fn squared_distance_decision_matches_true_distance(
+        i in -5.0f64..5.0,
+        q in -5.0f64..5.0,
+    ) {
+        let model = artery::readout::ReadoutModel::paper();
+        let centers = artery::readout::IqCenters::ideal(&model);
+        let p = artery::readout::IqPoint::new(i, q);
+        // `sqrt` is monotone: the squared-distance classifier must agree
+        // with the true-distance comparison on every point.
+        let naive = p.distance(&centers.c1) < p.distance(&centers.c0);
+        prop_assert_eq!(centers.classify(p), naive);
+        prop_assert!((p.distance(&centers.c0).powi(2) - p.distance_sq(&centers.c0)).abs() < 1e-12);
+    }
+
+    #[test]
     fn demodulated_pulse_classifies_toward_its_state(state in any::<bool>(), seed in 0u64..500) {
         let model = artery::readout::ReadoutModel::paper();
         let demod = artery::readout::Demodulator::for_model(&model, 30.0);

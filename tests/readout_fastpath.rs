@@ -1,0 +1,111 @@
+//! Integration tests of the trig-free, zero-allocation readout fast path:
+//! facade-level oracle equivalence of the `PhaseTable`/`*_into` pipeline,
+//! trace record→replay over the new live path, final-state gating, and
+//! thread invariance of the scratch-buffer controllers.
+
+use artery::core::{ArteryConfig, ArteryController, BranchPredictor, Calibration};
+use artery::num::rng::rng_for;
+use artery::readout::ReadoutPulse;
+use artery::sim::{Executor, NoiseModel, SequentialHandler};
+use artery::trace::{Replayer, TraceHeader, TraceReader, TraceRecorder, TraceWriter};
+
+/// The whole per-shot analysis pipeline — synthesize, demodulate, classify,
+/// predict — produces bit-identical pulses, states, updates and decisions
+/// whether it runs through the naive allocating oracles or the phase-table
+/// scratch path.
+#[test]
+fn facade_fast_path_is_bit_identical_to_naive_oracles() {
+    let config = ArteryConfig {
+        train_pulses: 400,
+        ..ArteryConfig::paper()
+    };
+    let cal = Calibration::train(&config, &mut rng_for("it/fastpath-cal"));
+    let pred = BranchPredictor::new(&cal, &config);
+    let model = *cal.model();
+    let table = model.phase_table();
+    let mut scratch = ReadoutPulse::default();
+    let mut states = Vec::new();
+    let mut updates = Vec::new();
+    for seed in 0..24u64 {
+        let state = seed % 2 == 0;
+        let label = format!("it/fastpath-{seed}");
+        let naive = model.synthesize(state, &mut rng_for(&label));
+        model.synthesize_into(&table, state, &mut rng_for(&label), &mut scratch);
+        assert_eq!(naive, scratch);
+
+        let traj = cal.demod().cumulative_trajectory(&naive);
+        let composed: Vec<bool> = traj.iter().map(|&iq| cal.centers().classify(iq)).collect();
+        let shot = pred.predict_states(&composed, 0.5);
+        let decision = pred.predict_shot_into(&naive, 0.5, &mut states, &mut updates);
+        assert_eq!(states, composed);
+        assert_eq!(decision, shot.decision);
+        assert_eq!(updates, shot.updates);
+    }
+}
+
+/// Satellite 4: shots recorded from the live scratch-buffer controller
+/// replay bit-for-bit — the fused demodulate+classify pass feeds the trace
+/// the exact window states the replayer re-evaluates.
+#[test]
+fn recorded_shots_replay_bit_for_bit_against_the_live_scratch_path() {
+    let config = ArteryConfig {
+        train_pulses: 400,
+        ..ArteryConfig::paper()
+    };
+    let calibration = Calibration::train(&config, &mut rng_for("it/fastpath-trace-cal"));
+    let circuit = artery::workloads::qrw(2);
+    let controller = ArteryController::new(&circuit, &config, &calibration);
+    let writer = TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "fastpath"))
+        .expect("start trace");
+    let mut recorder = TraceRecorder::new(controller, writer);
+    let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+    let mut rng = rng_for("it/fastpath-trace");
+    for _ in 0..30 {
+        let _ = exec.run(&circuit, &mut recorder, &mut rng);
+    }
+    let (live, bytes) = recorder.finish().expect("finish trace");
+    let events = TraceReader::new(bytes.as_slice())
+        .expect("reopen")
+        .read_all()
+        .expect("events");
+    assert!(!events.is_empty());
+    let mut replay = Replayer::new(&calibration, &config);
+    replay.replay_all(&events);
+    assert_eq!(replay.stats(), live.stats());
+}
+
+/// Satellite 2: gating the final-state copy changes nothing observable —
+/// same RNG stream, same clbits, same outcomes and latencies.
+#[test]
+fn final_state_gating_changes_no_observable_statistics() {
+    let circuit = artery::workloads::active_reset(2);
+    let mut keep = Executor::new(NoiseModel::paper_device());
+    let mut gated = Executor::new(NoiseModel::paper_device()).without_final_state();
+    for seed in 0..4u64 {
+        let label = format!("it/gate-{seed}");
+        let a = keep.run(&circuit, &mut SequentialHandler::default(), &mut rng_for(&label));
+        let b = gated.run(&circuit, &mut SequentialHandler::default(), &mut rng_for(&label));
+        assert!(a.final_state.is_some());
+        assert!(b.final_state.is_none());
+        assert_eq!(a.clbits, b.clbits);
+        assert_eq!(a.feedback_outcomes, b.feedback_outcomes);
+        assert_eq!(a.feedback_latencies_ns, b.feedback_latencies_ns);
+        assert_eq!(a.total_ns, b.total_ns);
+    }
+}
+
+/// The controller-owned scratch buffers live per shard, so the sharded
+/// runners stay bit-identical for any worker count.
+#[test]
+fn scratch_controllers_stay_thread_invariant() {
+    let config = ArteryConfig {
+        train_pulses: 300,
+        ..ArteryConfig::paper()
+    };
+    let cal = artery_bench::runner::calibration_for(&config, "it-fastpath");
+    let circuit = artery::workloads::active_reset(2);
+    let one = artery_bench::runner::run_artery_on(1, &circuit, &config, &cal, 24, "it/fastpath-inv");
+    let four =
+        artery_bench::runner::run_artery_on(4, &circuit, &config, &cal, 24, "it/fastpath-inv");
+    assert_eq!(one, four);
+}
