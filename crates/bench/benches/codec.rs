@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks for the streaming pulse-codec engine: each
+//! group pits the allocation-heavy naive oracle against the zero-alloc
+//! `*_into` engine path (reusable [`CodecScratch`], word-buffered bit I/O,
+//! root-LUT decoding). The two arms are byte-identical (pinned by the
+//! equivalence tests in `tests/codec_engine.rs`); only the speed differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use artery_pulse::codec::{
+    codebook_key, Codec, CodebookCache, CodecAnalysis, CodecScratch, Combined, Huffman, RunLength,
+};
+use artery_pulse::{PulseLibrary, PulseStream, StreamRealism};
+use artery_workloads::surface17_z_cycle;
+
+/// A hardware-realistic sparse pulse corpus: the Table 2 QEC stream with
+/// calibration jitter, dither and 2× DAC interpolation — mostly idle zeros
+/// interrupted by calibrated pulse shapes.
+fn corpus() -> Vec<i16> {
+    let library = PulseLibrary::standard(2.0);
+    let realism = StreamRealism::default();
+    let circuit = surface17_z_cycle(2);
+    let stream = PulseStream::for_circuit_realistic(&circuit, &library, 200.0, &realism);
+    stream.samples().to_vec()
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let data = corpus();
+    let h = Huffman;
+    c.bench_function("codec/huffman/encode/naive", |b| {
+        b.iter(|| black_box(h.naive_encode(black_box(&data))))
+    });
+    let mut scratch = CodecScratch::new();
+    let mut out = Vec::new();
+    c.bench_function("codec/huffman/encode/engine_into", |b| {
+        b.iter(|| {
+            h.encode_into(black_box(&data), &mut scratch, &mut out);
+            black_box(out.len())
+        })
+    });
+    let encoded = h.naive_encode(&data);
+    c.bench_function("codec/huffman/decode/naive", |b| {
+        b.iter(|| black_box(h.naive_decode(black_box(&encoded)).unwrap()))
+    });
+    let mut dec = Vec::new();
+    c.bench_function("codec/huffman/decode/engine_into", |b| {
+        b.iter(|| {
+            h.decode_into(black_box(&encoded), &mut scratch, &mut dec)
+                .unwrap();
+            black_box(dec.len())
+        })
+    });
+}
+
+fn bench_combined(c: &mut Criterion) {
+    let data = corpus();
+    let co = Combined;
+    c.bench_function("codec/combined/encode/naive", |b| {
+        b.iter(|| black_box(co.naive_encode(black_box(&data))))
+    });
+    let mut scratch = CodecScratch::new();
+    let mut out = Vec::new();
+    c.bench_function("codec/combined/encode/engine_into", |b| {
+        b.iter(|| {
+            co.encode_into(black_box(&data), &mut scratch, &mut out);
+            black_box(out.len())
+        })
+    });
+    let mut cache = CodebookCache::new();
+    let key = codebook_key(&data);
+    c.bench_function("codec/combined/encode/cached_codebook", |b| {
+        b.iter(|| {
+            cache.combined_encode_into(black_box(key), black_box(&data), &mut scratch, &mut out);
+            black_box(out.len())
+        })
+    });
+    let encoded = co.naive_encode(&data);
+    c.bench_function("codec/combined/decode/naive", |b| {
+        b.iter(|| black_box(co.naive_decode(black_box(&encoded)).unwrap()))
+    });
+    let mut dec = Vec::new();
+    c.bench_function("codec/combined/decode/engine_into", |b| {
+        b.iter(|| {
+            co.decode_into(black_box(&encoded), &mut scratch, &mut dec)
+                .unwrap();
+            black_box(dec.len())
+        })
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let data = corpus();
+    // The pre-PR BandwidthModel::report composition: one full encode per
+    // ratio plus the tree walk for max_code_len.
+    c.bench_function("codec/analysis/naive_reencode", |b| {
+        b.iter(|| {
+            let huffman = Huffman.naive_encode(black_box(&data)).len();
+            let rle = RunLength.encode(&data).len();
+            let combined = Combined.naive_encode(&data).len();
+            black_box((huffman, rle, combined, Huffman::max_code_len(&data)))
+        })
+    });
+    c.bench_function("codec/analysis/single_pass", |b| {
+        b.iter(|| black_box(CodecAnalysis::of(black_box(&data))))
+    });
+}
+
+criterion_group!(benches, bench_huffman, bench_combined, bench_analysis);
+criterion_main!(benches);

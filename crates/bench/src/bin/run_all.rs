@@ -14,8 +14,10 @@
 //! mispredict/recovery counters) goes to `BENCH_metrics.json` — that file
 //! is byte-identical for any `ARTERY_THREADS`. A readout microbench (naive
 //! per-sample-`cis` oracles vs the phase-table + scratch-buffer fast path)
-//! goes to `BENCH_readout.json`. `ARTERY_THREADS` caps the shot-parallel
-//! worker count of every harness.
+//! goes to `BENCH_readout.json`, and a codec microbench (the
+//! allocation-heavy naive codecs vs the streaming zero-alloc engine on the
+//! Table 2 QEC pulse stream) goes to `BENCH_codec.json`. `ARTERY_THREADS`
+//! caps the shot-parallel worker count of every harness.
 
 use std::hint::black_box;
 use std::process::Command;
@@ -27,8 +29,13 @@ use artery_bench::shots_or;
 use artery_circuit::{Gate, Qubit};
 use artery_core::{ArteryConfig, BranchPredictor, Calibration};
 use artery_metrics::{JsonSink, MetricsSink};
+use artery_pulse::codec::{
+    codebook_key, Codec, CodebookCache, CodecAnalysis, CodecScratch, Combined, Huffman, RunLength,
+};
+use artery_pulse::{PulseLibrary, PulseStream, StreamRealism};
 use artery_readout::ReadoutPulse;
 use artery_sim::StateVector;
+use artery_workloads::surface17_z_cycle;
 use serde::Serialize;
 
 /// Every experiment binary, in the paper's presentation order.
@@ -81,6 +88,23 @@ struct ReadoutTiming {
 struct ReadoutReport {
     samples_per_pulse: usize,
     paths: Vec<ReadoutTiming>,
+}
+
+#[derive(Serialize)]
+struct CodecTiming {
+    path: String,
+    naive_ns_per_op: f64,
+    engine_ns_per_op: f64,
+    naive_mbps: f64,
+    engine_mbps: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct CodecBenchReport {
+    corpus_samples: usize,
+    corpus_bytes: usize,
+    paths: Vec<CodecTiming>,
 }
 
 #[derive(Serialize)]
@@ -240,6 +264,104 @@ fn readout_microbench() -> ReadoutReport {
     }
 }
 
+/// Instant-based codec microbench: the allocation-heavy naive oracles
+/// against the streaming engine's `*_into` paths on the hardware-realistic
+/// Table 2 QEC pulse stream (the criterion `codec` group is the rigorous
+/// version). Both arms are byte-identical — pinned by the equivalence
+/// tests — so the ratio is pure speed. Throughput is measured over the raw
+/// (uncompressed) stream bytes.
+fn codec_microbench() -> CodecBenchReport {
+    let library = PulseLibrary::standard(2.0);
+    let realism = StreamRealism::default();
+    let stream =
+        PulseStream::for_circuit_realistic(&surface17_z_cycle(2), &library, 200.0, &realism);
+    let data = stream.samples().to_vec();
+    let corpus_bytes = data.len() * 2;
+    let mbps = |ns_per_op: f64| corpus_bytes as f64 / ns_per_op * 1000.0;
+    let iters = 12;
+    let mut scratch = CodecScratch::new();
+    let mut out = Vec::new();
+    let mut dec = Vec::new();
+    let mut paths = Vec::new();
+    let push = |path: &str, naive_ns: f64, engine_ns: f64, paths: &mut Vec<CodecTiming>| {
+        paths.push(CodecTiming {
+            path: path.to_string(),
+            naive_ns_per_op: naive_ns,
+            engine_ns_per_op: engine_ns,
+            naive_mbps: mbps(naive_ns),
+            engine_mbps: mbps(engine_ns),
+            speedup: naive_ns / engine_ns,
+        });
+    };
+
+    // Huffman encode + decode.
+    let naive = med_ns_per_op(iters, || {
+        black_box(Huffman.naive_encode(&data));
+    });
+    let engine = med_ns_per_op(iters, || {
+        Huffman.encode_into(&data, &mut scratch, &mut out);
+        black_box(out.len());
+    });
+    push("huffman_encode", naive, engine, &mut paths);
+    let encoded = Huffman.naive_encode(&data);
+    let naive = med_ns_per_op(iters, || {
+        black_box(Huffman.naive_decode(&encoded).expect("oracle decode"));
+    });
+    let engine = med_ns_per_op(iters, || {
+        Huffman
+            .decode_into(&encoded, &mut scratch, &mut dec)
+            .expect("engine decode");
+        black_box(dec.len());
+    });
+    push("huffman_decode", naive, engine, &mut paths);
+
+    // Combined encode (fresh codebooks and cached) + decode.
+    let naive_combined = med_ns_per_op(iters, || {
+        black_box(Combined.naive_encode(&data));
+    });
+    let engine = med_ns_per_op(iters, || {
+        Combined.encode_into(&data, &mut scratch, &mut out);
+        black_box(out.len());
+    });
+    push("combined_encode", naive_combined, engine, &mut paths);
+    let mut cache = CodebookCache::new();
+    let key = codebook_key(&data);
+    let cached = med_ns_per_op(iters, || {
+        cache.combined_encode_into(key, &data, &mut scratch, &mut out);
+        black_box(out.len());
+    });
+    push("combined_encode_cached", naive_combined, cached, &mut paths);
+    let encoded = Combined.naive_encode(&data);
+    let naive = med_ns_per_op(iters, || {
+        black_box(Combined.naive_decode(&encoded).expect("oracle decode"));
+    });
+    let engine = med_ns_per_op(iters, || {
+        Combined
+            .decode_into(&encoded, &mut scratch, &mut dec)
+            .expect("engine decode");
+        black_box(dec.len());
+    });
+    push("combined_decode", naive, engine, &mut paths);
+
+    // Table 2 analysis: one encode per codec ratio vs the single-pass scan.
+    let naive = med_ns_per_op(iters, || {
+        let huffman = Huffman.naive_encode(&data).len();
+        let rle = RunLength.encode(&data).len();
+        let combined = Combined.naive_encode(&data).len();
+        black_box((huffman, rle, combined, Huffman::max_code_len(&data)));
+    });
+    let engine = med_ns_per_op(iters, || {
+        black_box(CodecAnalysis::of(&data));
+    });
+    push("table2_analysis", naive, engine, &mut paths);
+
+    CodecBenchReport {
+        corpus_samples: data.len(),
+        corpus_bytes,
+        paths,
+    }
+}
+
 fn main() {
     // Harness binaries live next to this one.
     let me = std::env::current_exe().expect("current executable path");
@@ -309,6 +431,36 @@ fn main() {
             Err(e) => eprintln!("could not write {readout_path}: {e}"),
         },
         Err(e) => eprintln!("could not serialize readout report: {e}"),
+    }
+
+    println!("\n========== codec microbench ==========");
+    let codec = codec_microbench();
+    let mut ctable = Table::new([
+        "path",
+        "naive ns/op",
+        "engine ns/op",
+        "naive MB/s",
+        "engine MB/s",
+        "speedup",
+    ]);
+    for p in &codec.paths {
+        ctable.row([
+            p.path.clone(),
+            f2(p.naive_ns_per_op),
+            f2(p.engine_ns_per_op),
+            f2(p.naive_mbps),
+            f2(p.engine_mbps),
+            format!("{:.2}x", p.speedup),
+        ]);
+    }
+    ctable.print();
+    let codec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
+    match serde_json::to_string_pretty(&codec) {
+        Ok(json) => match std::fs::write(codec_path, json) {
+            Ok(()) => println!("\n[codec report written to {codec_path}]"),
+            Err(e) => eprintln!("could not write {codec_path}: {e}"),
+        },
+        Err(e) => eprintln!("could not serialize codec report: {e}"),
     }
 
     println!("\n========== metrics snapshot ==========");

@@ -61,8 +61,8 @@ fn main() {
             f2(1.0),
         ]);
         let reference = TABLE2.iter().find(|r| r.workload == *name);
-        for codec in ["huffman", "run-length", "huffman+run-length"] {
-            let rep = model.report(codec, samples);
+        // One single-pass analysis per workload feeds all three codec rows.
+        for (codec, rep) in model.report_all(samples) {
             let paper_triplet = reference.map(|r| match codec {
                 "huffman" => r.huffman,
                 "run-length" => r.run_length,

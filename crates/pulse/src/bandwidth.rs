@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::codec::{Codec, Combined, Huffman, RunLength};
+use crate::codec::CodecAnalysis;
 
 /// Static bandwidth parameters of the evaluation platform (§6.1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -111,25 +111,51 @@ impl BandwidthModel {
 
     /// Full Table 2 triplet for a named codec on a sample stream.
     ///
+    /// The stream is scanned once ([`CodecAnalysis`]); the old implementation
+    /// re-encoded it per codec name — up to four full encodes for
+    /// `"huffman+run-length"`. Reported numbers are bit-for-bit unchanged
+    /// (the analysis sizes are exact).
+    ///
     /// # Panics
     ///
     /// Panics when `codec_name` is not one of `"huffman"`, `"run-length"`,
     /// `"huffman+run-length"`.
     #[must_use]
     pub fn report(&self, codec_name: &str, samples: &[i16]) -> CodecReport {
+        self.report_from_analysis(codec_name, &CodecAnalysis::of(samples))
+    }
+
+    /// All three Table 2 triplets from a single stream scan. Use this when
+    /// emitting a full table row — `report` called per name would repeat the
+    /// analysis.
+    #[must_use]
+    pub fn report_all(&self, samples: &[i16]) -> [(&'static str, CodecReport); 3] {
+        let analysis = CodecAnalysis::of(samples);
+        ["huffman", "run-length", "huffman+run-length"]
+            .map(|name| (name, self.report_from_analysis(name, &analysis)))
+    }
+
+    /// Table 2 triplet for a named codec from an existing analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `codec_name` is not one of `"huffman"`, `"run-length"`,
+    /// `"huffman+run-length"`.
+    #[must_use]
+    pub fn report_from_analysis(&self, codec_name: &str, analysis: &CodecAnalysis) -> CodecReport {
         let (ratio, latency) = match codec_name {
-            "huffman" => {
-                let ratio = Huffman.stats(samples).ratio();
-                (ratio, self.huffman_latency_ns(Huffman::max_code_len(samples)))
-            }
+            "huffman" => (
+                analysis.huffman.ratio(),
+                self.huffman_latency_ns(analysis.max_code_len),
+            ),
             "run-length" => {
-                let ratio = RunLength.stats(samples).ratio();
+                let ratio = analysis.run_length.ratio();
                 (ratio, self.rle_latency_ns(ratio))
             }
             "huffman+run-length" => {
-                let ratio = Combined.stats(samples).ratio();
-                let rle = self.rle_latency_ns(RunLength.stats(samples).ratio());
-                let huff = self.huffman_latency_ns(Huffman::max_code_len(samples));
+                let ratio = analysis.combined.ratio();
+                let rle = self.rle_latency_ns(analysis.run_length.ratio());
+                let huff = self.huffman_latency_ns(analysis.max_code_len);
                 (ratio, self.combined_latency_ns(rle, huff))
             }
             other => panic!("unknown codec {other}"),
@@ -146,6 +172,7 @@ impl BandwidthModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::{Codec, Combined, CompressionStats, Huffman, RunLength};
 
     #[test]
     fn raw_configuration_matches_paper() {
@@ -202,6 +229,74 @@ mod tests {
             assert!(rep.bandwidth_gbps < raw.bandwidth_gbps);
             assert!(rep.dacs_per_fpga >= raw.dacs_per_fpga);
             assert!(rep.decode_latency_ns > 0.0);
+        }
+    }
+
+    /// The pre-analysis implementation of `report`, reproduced verbatim on
+    /// the naive oracles: one `stats` (= encode) per ratio, plus the extra
+    /// RLE ratio and `max_code_len` passes for the combined row.
+    fn report_by_reencoding(m: &BandwidthModel, codec_name: &str, samples: &[i16]) -> CodecReport {
+        let stats = |encoded: &[u8]| CompressionStats {
+            raw_bits: samples.len() * 16,
+            encoded_bits: encoded.len() * 8,
+        };
+        let (ratio, latency) = match codec_name {
+            "huffman" => {
+                let ratio = stats(&Huffman.naive_encode(samples)).ratio();
+                (ratio, m.huffman_latency_ns(Huffman::max_code_len(samples)))
+            }
+            "run-length" => {
+                let ratio = stats(&RunLength.encode(samples)).ratio();
+                (ratio, m.rle_latency_ns(ratio))
+            }
+            "huffman+run-length" => {
+                let ratio = stats(&Combined.naive_encode(samples)).ratio();
+                let rle = m.rle_latency_ns(stats(&RunLength.encode(samples)).ratio());
+                let huff = m.huffman_latency_ns(Huffman::max_code_len(samples));
+                (ratio, m.combined_latency_ns(rle, huff))
+            }
+            other => panic!("unknown codec {other}"),
+        };
+        CodecReport {
+            bandwidth_gbps: m.effective_gbps(ratio),
+            dacs_per_fpga: m.dacs_per_fpga(ratio),
+            decode_latency_ns: latency,
+            compression_ratio: ratio,
+        }
+    }
+
+    #[test]
+    fn single_pass_report_is_bit_identical_to_reencoding() {
+        let m = BandwidthModel::default();
+        let mut sparse = vec![0i16; 4000];
+        for (k, s) in sparse.iter_mut().enumerate().take(120) {
+            *s = (k as i16) * 100;
+        }
+        let streams: [Vec<i16>; 4] = [
+            sparse,
+            vec![7i16; 300],
+            (0..2000).map(|k| (k % 97) as i16 * 11).collect(),
+            Vec::new(),
+        ];
+        for samples in &streams {
+            for name in ["huffman", "run-length", "huffman+run-length"] {
+                // Exact equality, f64 fields included: the analysis computes
+                // the same encoded sizes the real encoders produce.
+                assert_eq!(
+                    m.report(name, samples),
+                    report_by_reencoding(&m, name, samples),
+                    "report changed for {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_all_matches_per_name_reports() {
+        let m = BandwidthModel::default();
+        let samples: Vec<i16> = (0..3000).map(|k| if k % 50 < 45 { 0 } else { k as i16 }).collect();
+        for (name, rep) in m.report_all(&samples) {
+            assert_eq!(rep, m.report(name, &samples));
         }
     }
 

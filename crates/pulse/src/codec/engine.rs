@@ -1,0 +1,1275 @@
+//! The streaming, zero-steady-state-allocation codec engine.
+//!
+//! The naive codecs in [`huffman`](super::huffman) and [`rle`](super::rle)
+//! are faithful but allocation-heavy: every `Huffman::encode` rebuilds a
+//! `HashMap` histogram and a `Box`-pointer tree, and every decode resolves
+//! codes one bit at a time through a `Vec<HashMap<u64, i16>>`. This module
+//! re-implements the whole layer around reusable buffers:
+//!
+//! * [`CodecScratch`] — one flat-array workspace (histogram, canonical
+//!   codebook, tree arena, decoder tables, token buffers) threaded through
+//!   every `encode_into`/`decode_into` call, mirroring the readout path's
+//!   `ShotScratch`. After warm-up, steady-state encode/decode loops perform
+//!   **zero heap allocations** (pinned by the `codec_zero_alloc` test).
+//! * A word-buffered 64-bit [`BitWriter`]/[`BitReader`] replacing the
+//!   bit-at-a-time byte pokes of the naive path.
+//! * A multi-bit root-LUT Huffman decoder: an 11-bit primary table resolves
+//!   common codes in one probe; longer codes chain through per-prefix
+//!   overflow subtables, and pathological (> 22-bit) codes fall back to a
+//!   canonical first-code/limit scan. No hashing anywhere.
+//! * [`CodecAnalysis`] — compressed sizes of all three Table 2 codecs plus
+//!   the Huffman `max_code_len` from a **single scan** of the input, used by
+//!   `BandwidthModel::report` so one Table 2 row-triplet no longer costs
+//!   four full encodes.
+//! * [`CodebookCache`] — canonical codebooks keyed by pulse-library entry,
+//!   so repeated waveforms across shots and multiplexed channels skip both
+//!   the histogram pass and the tree build.
+//!
+//! # Canonical tie-break contract
+//!
+//! The engine's output is **byte-identical** to the naive oracle. Canonical
+//! code assignment only depends on the per-symbol code *lengths*, so the
+//! engine reproduces the naive tree construction's tie-breaking exactly:
+//! leaves enter the merge queue keyed by `(frequency, symbol-rank)` with
+//! ranks assigned in ascending symbol order, and the `m`-th merged internal
+//! node is keyed by `(frequency, usize::MAX - m)`. All keys are distinct, so
+//! any min-heap pops them in the same order as the naive `BinaryHeap` and
+//! the resulting length profile — and therefore every encoded byte — is
+//! identical. Equivalence is pinned by proptests in `tests/codec_engine.rs`.
+
+use std::collections::HashMap;
+
+use super::rle::scan_runs;
+use super::{CompressionStats, DecodeError, MAX_CODE_LEN};
+
+/// Number of distinct 16-bit symbols (flat table size).
+const SYMBOL_SPACE: usize = 1 << 16;
+
+/// Width of the primary decoder lookup table: one probe resolves any code of
+/// at most this many bits. Pulse alphabets produce mostly 1–14-bit codes, so
+/// 11 bits (an 8 KiB table) catches the overwhelming majority in one step.
+const ROOT_BITS: u32 = 11;
+
+/// Maximum width of an overflow subtable. Codes longer than
+/// `ROOT_BITS + SUB_BITS` (22 bits — adversarial inputs only) resolve via
+/// the canonical first-code scan instead.
+const SUB_BITS: u32 = 11;
+
+/// Decoder LUT entry flag: the entry points at an overflow subtable.
+const SUB_FLAG: u32 = 1 << 31;
+
+const fn mask(bits: u32) -> u64 {
+    if bits == 0 {
+        0
+    } else {
+        u64::MAX >> (64 - bits)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+/// Flat-array symbol histogram with an explicit touched-set so clearing is
+/// `O(distinct symbols)`, not `O(65536)`.
+#[derive(Debug)]
+pub(crate) struct Histogram {
+    counts: Vec<u64>,
+    touched: Vec<u16>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; SYMBOL_SPACE],
+            touched: Vec::new(),
+        }
+    }
+}
+
+impl Histogram {
+    fn reset(&mut self) {
+        for &t in &self.touched {
+            self.counts[t as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn add(&mut self, symbol: i16, weight: u64) {
+        let idx = symbol as u16;
+        if self.counts[idx as usize] == 0 {
+            self.touched.push(idx);
+        }
+        self.counts[idx as usize] += weight;
+    }
+
+    fn count_samples(&mut self, samples: &[i16]) {
+        self.reset();
+        for &s in samples {
+            self.add(s, 1);
+        }
+    }
+
+    #[inline]
+    fn count_of(&self, symbol: i16) -> u64 {
+        self.counts[symbol as u16 as usize]
+    }
+
+    fn distinct(&self) -> usize {
+        self.touched.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Huffman tree construction (flat arena, no Box nodes).
+
+/// Workspace for the canonical code-length construction.
+#[derive(Debug, Default)]
+struct TreeScratch {
+    /// Sorted distinct symbols (the leaves, in naive id order).
+    syms: Vec<i16>,
+    /// Min-heap of `(key, node-handle)`; `key = freq << 64 | tie-break id`.
+    heap: Vec<(u128, u32)>,
+    /// Children of internal nodes, in creation order. Internal node `m` has
+    /// handle `n + m` where `n` is the leaf count.
+    children: Vec<[u32; 2]>,
+    /// Depth of every node handle.
+    depths: Vec<u32>,
+}
+
+fn heap_push(heap: &mut Vec<(u128, u32)>, item: (u128, u32)) {
+    heap.push(item);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[parent].0 <= heap[i].0 {
+            break;
+        }
+        heap.swap(parent, i);
+        i = parent;
+    }
+}
+
+fn heap_pop(heap: &mut Vec<(u128, u32)>) -> (u128, u32) {
+    let top = heap.swap_remove(0);
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut smallest = i;
+        if l < heap.len() && heap[l].0 < heap[smallest].0 {
+            smallest = l;
+        }
+        if r < heap.len() && heap[r].0 < heap[smallest].0 {
+            smallest = r;
+        }
+        if smallest == i {
+            break;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+    top
+}
+
+/// Computes canonical code lengths into `lengths`, sorted by
+/// `(length, symbol)` — the wire header order. Reproduces the naive
+/// `BinaryHeap`-of-`Box`-nodes construction bit for bit (see the module-level
+/// tie-break contract) without allocating any tree nodes.
+fn build_lengths(hist: &Histogram, tree: &mut TreeScratch, lengths: &mut Vec<(i16, u8)>) {
+    lengths.clear();
+    let n = hist.distinct();
+    if n == 0 {
+        return;
+    }
+    tree.syms.clear();
+    tree.syms.extend(hist.touched.iter().map(|&t| t as i16));
+    tree.syms.sort_unstable();
+    if n == 1 {
+        lengths.push((tree.syms[0], 1));
+        return;
+    }
+    tree.heap.clear();
+    for (rank, &sym) in tree.syms.iter().enumerate() {
+        let key = (u128::from(hist.count_of(sym)) << 64) | rank as u128;
+        heap_push(&mut tree.heap, (key, rank as u32));
+    }
+    tree.children.clear();
+    let mut merges: u64 = 0;
+    while tree.heap.len() > 1 {
+        let (ka, a) = heap_pop(&mut tree.heap);
+        let (kb, b) = heap_pop(&mut tree.heap);
+        let freq = (ka >> 64) as u64 + (kb >> 64) as u64;
+        let handle = (n + tree.children.len()) as u32;
+        tree.children.push([a, b]);
+        merges += 1;
+        // The naive construction tie-breaks internal nodes by
+        // `usize::MAX - merge-count`, so later merges pop first among equal
+        // frequencies.
+        let key = (u128::from(freq) << 64) | u128::from(u64::MAX - merges);
+        heap_push(&mut tree.heap, (key, handle));
+    }
+    let total = n + tree.children.len();
+    tree.depths.clear();
+    tree.depths.resize(total, 0);
+    // Children are always created before their parent, so one reverse sweep
+    // over the internal nodes resolves every depth.
+    for m in (0..tree.children.len()).rev() {
+        let d = tree.depths[n + m] + 1;
+        let [a, b] = tree.children[m];
+        tree.depths[a as usize] = d;
+        tree.depths[b as usize] = d;
+    }
+    for (rank, &sym) in tree.syms.iter().enumerate() {
+        debug_assert!(tree.depths[rank] >= 1 && tree.depths[rank] <= 255);
+        lengths.push((sym, tree.depths[rank] as u8));
+    }
+    // Keys are unique, so the unstable sort is deterministic and matches the
+    // naive `sort_by_key`.
+    lengths.sort_unstable_by_key(|&(sym, len)| (len, sym));
+}
+
+// ---------------------------------------------------------------------------
+// Canonical codebook (encode side).
+
+/// A canonical Huffman codebook: the wire header (`(symbol, length)` sorted
+/// by `(length, symbol)`) plus a flat symbol-indexed code table.
+#[derive(Debug)]
+pub struct Codebook {
+    /// Header order: `(symbol, code length)` sorted by `(length, symbol)`.
+    lengths: Vec<(i16, u8)>,
+    /// Packed `(code << 8) | len` per symbol index; `0` = symbol absent
+    /// (lengths are always ≥ 1).
+    table: Vec<u64>,
+    max_len: u8,
+}
+
+impl Default for Codebook {
+    fn default() -> Self {
+        Self {
+            lengths: Vec::new(),
+            table: vec![0; SYMBOL_SPACE],
+            max_len: 0,
+        }
+    }
+}
+
+impl Codebook {
+    fn clear(&mut self) {
+        for &(sym, _) in &self.lengths {
+            self.table[sym as u16 as usize] = 0;
+        }
+        self.lengths.clear();
+        self.max_len = 0;
+    }
+
+    /// Assigns canonical codes for `lengths` (already in header order).
+    fn assign(&mut self, lengths: &[(i16, u8)]) {
+        self.clear();
+        self.lengths.extend_from_slice(lengths);
+        let mut code: u64 = 0;
+        let mut prev: u8 = 0;
+        for &(sym, len) in &self.lengths {
+            code <<= len - prev;
+            debug_assert!(len <= 56, "code length {len} exceeds the packed-entry budget");
+            self.table[sym as u16 as usize] = (code << 8) | u64::from(len);
+            code += 1;
+            prev = len;
+            self.max_len = len;
+        }
+    }
+
+    /// Longest assigned code length (0 for an empty book).
+    #[must_use]
+    pub fn max_code_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// Payload size in bits when encoding a stream with histogram `hist`.
+    fn payload_bits(&self, hist: &Histogram) -> u64 {
+        self.lengths
+            .iter()
+            .map(|&(sym, len)| hist.count_of(sym) * u64::from(len))
+            .sum()
+    }
+
+    /// Total encoded byte length (header + count + payload) for
+    /// `sample_count` samples drawn from `hist`.
+    fn encoded_len(&self, hist: &Histogram) -> usize {
+        let header = 4 + 3 * self.lengths.len() + 8;
+        header + (self.payload_bits(hist) as usize).div_ceil(8)
+    }
+
+    /// Appends the self-describing header (symbol table + sample count).
+    fn append_header(&self, sample_count: usize, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.lengths.len() as u32).to_le_bytes());
+        for &(sym, len) in &self.lengths {
+            out.extend_from_slice(&sym.to_le_bytes());
+            out.push(len);
+        }
+        out.extend_from_slice(&(sample_count as u64).to_le_bytes());
+    }
+
+    /// Appends the MSB-first payload for `samples`.
+    ///
+    /// Returns `false` (leaving `out` untouched past `start`) when a sample
+    /// has no code in this book — only possible when a cached book is applied
+    /// to a stream it was not built from.
+    fn append_payload(&self, samples: &[i16], out: &mut Vec<u8>) -> bool {
+        let start = out.len();
+        let mut writer = BitWriter::default();
+        for &s in samples {
+            let entry = self.table[s as u16 as usize];
+            if entry == 0 {
+                out.truncate(start);
+                return false;
+            }
+            writer.push_code(out, entry >> 8, (entry & 0xFF) as u8);
+        }
+        writer.finish(out);
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Word-buffered bit I/O.
+
+/// MSB-first bit writer buffering through a 64-bit accumulator; emits bytes
+/// identical to the naive bit-at-a-time writer.
+#[derive(Debug, Default)]
+struct BitWriter {
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    #[inline]
+    fn push_code(&mut self, out: &mut Vec<u8>, code: u64, len: u8) {
+        let len = u32::from(len);
+        if len > 32 {
+            let lo = len - 32;
+            self.push_bits(out, code >> lo, 32);
+            self.push_bits(out, code & mask(lo), lo);
+        } else {
+            self.push_bits(out, code & mask(len), len);
+        }
+    }
+
+    #[inline]
+    fn push_bits(&mut self, out: &mut Vec<u8>, bits: u64, len: u32) {
+        debug_assert!(len <= 32);
+        self.acc = (self.acc << len) | bits;
+        self.nbits += len;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            out.push((self.acc >> self.nbits) as u8);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<u8>) {
+        if self.nbits > 0 {
+            out.push(((self.acc << (8 - self.nbits)) & 0xFF) as u8);
+            self.nbits = 0;
+        }
+        self.acc = 0;
+    }
+}
+
+/// MSB-first bit reader with a 64-bit refill buffer. `peek` pads with zeros
+/// past the end of the stream; `consume` is what errors on exhaustion, so a
+/// padded lookahead can never silently decode past the payload.
+#[derive(Debug)]
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    next: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            next: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits < 56 && self.next < self.bytes.len() {
+            self.acc = (self.acc << 8) | u64::from(self.bytes[self.next]);
+            self.next += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Next `n` bits (MSB-first), zero-padded past the end of the stream.
+    #[inline]
+    fn peek(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 56);
+        self.refill();
+        if self.nbits >= n {
+            (self.acc >> (self.nbits - n)) & mask(n)
+        } else {
+            (self.acc << (n - self.nbits)) & mask(n)
+        }
+    }
+
+    /// Consumes `n` bits.
+    #[inline]
+    fn consume(&mut self, n: u32) -> Result<(), DecodeError> {
+        self.refill();
+        if n > self.nbits {
+            return Err(DecodeError::new("bitstream exhausted"));
+        }
+        self.nbits -= n;
+        self.acc &= mask(self.nbits);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder tables.
+
+/// Root-LUT + overflow-subtable decoder state, rebuilt per stream into
+/// reused buffers.
+#[derive(Debug)]
+struct DecoderTables {
+    /// `2^ROOT_BITS` entries. Direct entry: `(len << 16) | sym` with
+    /// `len ≥ 1`; `0` = no code; `SUB_FLAG | (width << 26) | offset` =
+    /// overflow subtable.
+    lut: Vec<u32>,
+    /// Concatenated overflow subtables (direct entries; `0` = escape to the
+    /// canonical scan).
+    sub: Vec<u32>,
+    /// Parsed header entries in canonical (wire) order.
+    lengths: Vec<(i16, u8)>,
+    /// Symbols in canonical order (for the first-code scan).
+    syms: Vec<i16>,
+    /// First canonical code of each length.
+    first_code: [u64; MAX_CODE_LEN + 1],
+    /// Number of codes of each length.
+    count: [u32; MAX_CODE_LEN + 1],
+    /// Index into `syms` of the first symbol of each length.
+    first_idx: [u32; MAX_CODE_LEN + 1],
+    max_len: u32,
+}
+
+impl Default for DecoderTables {
+    fn default() -> Self {
+        Self {
+            lut: vec![0; 1 << ROOT_BITS],
+            sub: Vec::new(),
+            lengths: Vec::new(),
+            syms: Vec::new(),
+            first_code: [0; MAX_CODE_LEN + 1],
+            count: [0; MAX_CODE_LEN + 1],
+            first_idx: [0; MAX_CODE_LEN + 1],
+            max_len: 0,
+        }
+    }
+}
+
+#[inline]
+fn direct_entry(sym: i16, len: u8) -> u32 {
+    (u32::from(len) << 16) | u32::from(sym as u16)
+}
+
+impl DecoderTables {
+    /// Builds every table from the parsed header (entries must be sorted by
+    /// ascending length — the canonical wire order; enforced by the caller).
+    fn build(&mut self) {
+        self.lut.fill(0);
+        self.sub.clear();
+        self.syms.clear();
+        self.first_code.fill(0);
+        self.count.fill(0);
+        self.first_idx.fill(0);
+        self.max_len = 0;
+
+        // Canonical code assignment + first-code/limit bookkeeping.
+        let mut code: u64 = 0;
+        let mut prev: u8 = 0;
+        for (i, &(sym, len)) in self.lengths.iter().enumerate() {
+            code <<= len - prev;
+            let l = usize::from(len);
+            if self.count[l] == 0 {
+                self.first_code[l] = code;
+                self.first_idx[l] = i as u32;
+            }
+            self.count[l] += 1;
+            self.syms.push(sym);
+            self.max_len = u32::from(len);
+
+            // Root fill for short codes. Codes that overflow their own bit
+            // width (possible only with a non-canonical header) are
+            // unreachable by any bit pattern and are skipped, matching the
+            // naive per-bit decoder.
+            let len_bits = u32::from(len);
+            if code >> len_bits == 0 && len_bits <= ROOT_BITS {
+                let lo = code << (ROOT_BITS - len_bits);
+                let hi = (code + 1) << (ROOT_BITS - len_bits);
+                for slot in &mut self.lut[lo as usize..hi as usize] {
+                    // First (shortest) code wins, as in the per-bit walk.
+                    if *slot == 0 {
+                        *slot = direct_entry(sym, len);
+                    }
+                }
+            }
+            code += 1;
+            prev = len;
+        }
+
+        // Overflow subtables: group long codes by their ROOT_BITS prefix.
+        if self.max_len <= ROOT_BITS {
+            return;
+        }
+        // Pass 1: per-prefix subtable width, stashed in the LUT entry itself
+        // (no side map — the build stays allocation-free). Lengths arrive in
+        // ascending order, so the last write per prefix carries the width of
+        // its longest code.
+        let mut code: u64 = 0;
+        let mut prev: u8 = 0;
+        for &(_, len) in &self.lengths {
+            code <<= len - prev;
+            let len_bits = u32::from(len);
+            if code >> len_bits == 0 && len_bits > ROOT_BITS {
+                let prefix = (code >> (len_bits - ROOT_BITS)) as usize;
+                // A prefix already resolved by a shorter direct code is
+                // unreachable for longer codes.
+                if self.lut[prefix] == 0 || self.lut[prefix] & SUB_FLAG != 0 {
+                    let w = (len_bits - ROOT_BITS).min(SUB_BITS);
+                    self.lut[prefix] = SUB_FLAG | (w << 26);
+                }
+            }
+            code += 1;
+            prev = len;
+        }
+        // Allocate subtables into the reused backing storage. At most
+        // 2^ROOT_BITS prefixes of at most 2^SUB_BITS slots each, so the
+        // 26-bit offset field never saturates.
+        for entry in &mut self.lut {
+            if *entry & SUB_FLAG != 0 {
+                let width = (*entry >> 26) & 0x1F;
+                let offset = self.sub.len() as u32;
+                debug_assert!(offset < (1 << 26));
+                self.sub.resize(self.sub.len() + (1usize << width), 0);
+                *entry = SUB_FLAG | (width << 26) | offset;
+            }
+        }
+        // Pass 2: fill subtable slots (ascending length, first code wins).
+        let mut code: u64 = 0;
+        let mut prev: u8 = 0;
+        for &(sym, len) in &self.lengths {
+            code <<= len - prev;
+            let len_bits = u32::from(len);
+            if code >> len_bits == 0 && len_bits > ROOT_BITS {
+                let prefix = code >> (len_bits - ROOT_BITS);
+                let entry = self.lut[prefix as usize];
+                if entry & SUB_FLAG != 0 {
+                    let width = (entry >> 26) & 0x1F;
+                    let offset = (entry & 0x03FF_FFFF) as usize;
+                    if len_bits <= ROOT_BITS + width {
+                        let tail = code & mask(len_bits - ROOT_BITS);
+                        let lo = tail << (ROOT_BITS + width - len_bits);
+                        let hi = (tail + 1) << (ROOT_BITS + width - len_bits);
+                        for slot in &mut self.sub[offset + lo as usize..offset + hi as usize] {
+                            if *slot == 0 {
+                                *slot = direct_entry(sym, len);
+                            }
+                        }
+                    }
+                }
+            }
+            code += 1;
+            prev = len;
+        }
+    }
+
+    /// Canonical first-code scan: resolves one symbol of length in
+    /// `(from, max_len]`, mirroring the naive bit-at-a-time walk (shortest
+    /// match wins; exhaustion and overflow map to the same errors).
+    fn scan_decode(&self, reader: &mut BitReader<'_>, from: u32) -> Result<i16, DecodeError> {
+        let window = reader.peek(self.max_len.max(1));
+        for l in 1..=self.max_len {
+            if l <= from || self.count[l as usize] == 0 {
+                continue;
+            }
+            let code = window >> (self.max_len - l);
+            let rel = code.wrapping_sub(self.first_code[l as usize]);
+            if code >= self.first_code[l as usize] && rel < u64::from(self.count[l as usize]) {
+                reader.consume(l)?;
+                return Ok(self.syms[self.first_idx[l as usize] as usize + rel as usize]);
+            }
+        }
+        // No code matches: the naive walk would keep pulling bits until it
+        // ran out or exceeded MAX_CODE_LEN.
+        if reader.nbits as usize + 8 * (reader.bytes.len() - reader.next) < MAX_CODE_LEN {
+            Err(DecodeError::new("bitstream exhausted"))
+        } else {
+            Err(DecodeError::new("code length overflow"))
+        }
+    }
+
+    /// Decodes one symbol.
+    #[inline]
+    fn decode_symbol(&self, reader: &mut BitReader<'_>) -> Result<i16, DecodeError> {
+        let probe = reader.peek(ROOT_BITS);
+        let mut entry = self.lut[probe as usize];
+        if entry & SUB_FLAG != 0 {
+            let width = (entry >> 26) & 0x1F;
+            let offset = (entry & 0x03FF_FFFF) as usize;
+            let idx = (reader.peek(ROOT_BITS + width) & mask(width)) as usize;
+            entry = self.sub[offset + idx];
+            if entry == 0 {
+                // Pathological > ROOT+SUB-bit code: canonical scan.
+                return self.scan_decode(reader, ROOT_BITS + width);
+            }
+        } else if entry == 0 {
+            return self.scan_decode(reader, 0);
+        }
+        let len = entry >> 16;
+        reader.consume(len)?;
+        Ok(entry as u16 as i16)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scratch.
+
+/// Reusable workspace threaded through every engine entry point. One
+/// instance per worker thread (or one per call site) keeps the steady-state
+/// encode/decode loop allocation-free.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    hist: Histogram,
+    tree: TreeScratch,
+    lengths: Vec<(i16, u8)>,
+    book: Codebook,
+    dec: DecoderTables,
+    /// `(run, value)` tokens of the combined codec.
+    tokens: Vec<(u16, i16)>,
+    /// Run lengths reinterpreted as i16 symbols.
+    runs: Vec<i16>,
+    /// Token values.
+    values: Vec<i16>,
+}
+
+impl CodecScratch {
+    /// A fresh workspace (flat tables eagerly sized; everything else grows
+    /// to the high-water mark of the streams it sees).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the canonical codebook for `samples` into the internal
+    /// workspace and returns it.
+    fn build_book(&mut self, samples: &[i16]) {
+        self.hist.count_samples(samples);
+        build_lengths(&self.hist, &mut self.tree, &mut self.lengths);
+        self.book.assign(&self.lengths);
+    }
+
+    // -- Huffman ----------------------------------------------------------
+
+    /// Appends the full Huffman encoding of `samples` (header + payload) to
+    /// `out`. Byte-identical to the naive `Huffman::encode`.
+    pub(crate) fn huffman_append(&mut self, samples: &[i16], out: &mut Vec<u8>) {
+        self.build_book(samples);
+        self.book.append_header(samples.len(), out);
+        let ok = self.book.append_payload(samples, out);
+        debug_assert!(ok, "freshly built codebook covers every symbol");
+    }
+
+    /// Longest Huffman code length for `samples`.
+    pub(crate) fn huffman_max_code_len(&mut self, samples: &[i16]) -> u8 {
+        self.hist.count_samples(samples);
+        build_lengths(&self.hist, &mut self.tree, &mut self.lengths);
+        self.lengths.iter().map(|&(_, len)| len).max().unwrap_or(0)
+    }
+
+    /// Parses a Huffman header at the front of `bytes`.
+    ///
+    /// Returns `(payload offset, sample count)`; the header's table is left
+    /// in `self.dec.lengths`.
+    fn huffman_parse_header(&mut self, bytes: &[u8]) -> Result<(usize, usize), DecodeError> {
+        let err = || DecodeError::new("huffman header truncated");
+        let s = u32::from_le_bytes(bytes.get(..4).ok_or_else(err)?.try_into().expect("4 bytes"))
+            as usize;
+        // Each table entry occupies 3 header bytes; reject impossible symbol
+        // counts before reserving table space.
+        if s > bytes.len().saturating_sub(4) / 3 {
+            return Err(DecodeError::new("symbol count exceeds header"));
+        }
+        self.dec.lengths.clear();
+        // The histogram doubles as an O(1) seen-set for duplicate symbols
+        // (decode never needs sample counts).
+        self.hist.reset();
+        let mut at = 4;
+        let mut prev_len = 0u8;
+        for _ in 0..s {
+            let entry = bytes.get(at..at + 3).ok_or_else(err)?;
+            let sym = i16::from_le_bytes([entry[0], entry[1]]);
+            let len = entry[2];
+            if len == 0 || usize::from(len) > MAX_CODE_LEN {
+                return Err(DecodeError::new("invalid huffman code length"));
+            }
+            // Canonical headers are sorted by (length, symbol) and list each
+            // symbol once; a decreasing length would underflow the canonical
+            // code assignment, and a duplicate symbol would make decoding
+            // ambiguous. Both guards mirror `Huffman::naive_decode`.
+            if len < prev_len {
+                return Err(DecodeError::new("huffman table lengths not sorted"));
+            }
+            if self.hist.count_of(sym) != 0 {
+                return Err(DecodeError::new("duplicate symbol in huffman table"));
+            }
+            self.hist.add(sym, 1);
+            prev_len = len;
+            self.dec.lengths.push((sym, len));
+            at += 3;
+        }
+        let count = u64::from_le_bytes(
+            bytes
+                .get(at..at + 8)
+                .ok_or_else(err)?
+                .try_into()
+                .expect("8 bytes"),
+        ) as usize;
+        Ok((at + 8, count))
+    }
+
+    /// Appends the decoded samples of a Huffman stream to `out`.
+    /// Accepts exactly the streams the naive decoder accepts and produces
+    /// identical samples.
+    pub(crate) fn huffman_decode_append(
+        &mut self,
+        bytes: &[u8],
+        out: &mut Vec<i16>,
+    ) -> Result<(), DecodeError> {
+        let (at, count) = self.huffman_parse_header(bytes)?;
+        if self.dec.lengths.is_empty() {
+            return if count == 0 {
+                Ok(())
+            } else {
+                Err(DecodeError::new("samples promised but no symbols"))
+            };
+        }
+        // Every decoded sample consumes at least one payload bit, so `count`
+        // can be sanity-checked against the stream before reserving space.
+        let available_bits = (bytes.len() - at) * 8;
+        if count > available_bits {
+            return Err(DecodeError::new("sample count exceeds payload"));
+        }
+        self.dec.build();
+        out.reserve(count);
+        let mut reader = BitReader::new(&bytes[at..]);
+        for _ in 0..count {
+            out.push(self.dec.decode_symbol(&mut reader)?);
+        }
+        Ok(())
+    }
+
+    // -- Combined ---------------------------------------------------------
+
+    /// Tokenizes `samples` into the internal `(run, value)` buffers.
+    fn tokenize(&mut self, samples: &[i16]) {
+        self.tokens.clear();
+        scan_runs(samples, u16::MAX as usize, |run, value| {
+            self.tokens.push((run as u16, value));
+        });
+        self.runs.clear();
+        self.values.clear();
+        for &(run, value) in &self.tokens {
+            self.runs.push(run as i16);
+            self.values.push(value);
+        }
+    }
+
+    /// Appends the combined (Huffman-over-RLE-tokens) encoding of `samples`
+    /// to `out`. Byte-identical to the naive `Combined::encode`.
+    pub(crate) fn combined_append(&mut self, samples: &[i16], out: &mut Vec<u8>) {
+        self.tokenize(samples);
+        let len_at = out.len();
+        out.extend_from_slice(&[0u8; 8]);
+        let runs = std::mem::take(&mut self.runs);
+        let values = std::mem::take(&mut self.values);
+        let runs_start = out.len();
+        self.huffman_append(&runs, out);
+        let runs_len = (out.len() - runs_start) as u64;
+        out[len_at..len_at + 8].copy_from_slice(&runs_len.to_le_bytes());
+        self.huffman_append(&values, out);
+        self.runs = runs;
+        self.values = values;
+    }
+
+    /// Appends the decoded samples of a combined stream to `out`.
+    pub(crate) fn combined_decode_append(
+        &mut self,
+        bytes: &[u8],
+        out: &mut Vec<i16>,
+    ) -> Result<(), DecodeError> {
+        let header: [u8; 8] = bytes
+            .get(..8)
+            .ok_or_else(|| DecodeError::new("combined header truncated"))?
+            .try_into()
+            .expect("8 bytes");
+        let runs_len = u64::from_le_bytes(header) as usize;
+        let rest = &bytes[8..];
+        if runs_len > rest.len() {
+            return Err(DecodeError::new("combined run section truncated"));
+        }
+        let mut runs = std::mem::take(&mut self.runs);
+        let mut values = std::mem::take(&mut self.values);
+        runs.clear();
+        values.clear();
+        let result = self
+            .huffman_decode_append(&rest[..runs_len], &mut runs)
+            .and_then(|()| self.huffman_decode_append(&rest[runs_len..], &mut values))
+            .and_then(|()| {
+                if runs.len() != values.len() {
+                    return Err(DecodeError::new("run/value section length mismatch"));
+                }
+                for (&run, &value) in runs.iter().zip(&values) {
+                    let run = run as u16;
+                    if run == 0 {
+                        return Err(DecodeError::new("zero-length run"));
+                    }
+                    out.extend(std::iter::repeat_n(value, run as usize));
+                }
+                Ok(())
+            });
+        self.runs = runs;
+        self.values = values;
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-pass analysis.
+
+/// Compressed sizes of all three Table 2 codecs — plus the Huffman maximum
+/// code length driving the decoder-latency model — computed from **one scan**
+/// of the input stream (the naive path re-encodes the stream up to four
+/// times to produce the same numbers).
+///
+/// Sizes are exact: the canonical header/payload layout makes every encoded
+/// byte length a closed-form function of the histogram and code lengths, so
+/// the ratios match a real encode bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecAnalysis {
+    /// Input size in bits (16 per sample).
+    pub raw_bits: usize,
+    /// Huffman raw/encoded sizes.
+    pub huffman: CompressionStats,
+    /// Run-length raw/encoded sizes.
+    pub run_length: CompressionStats,
+    /// Combined (Huffman over RLE tokens) raw/encoded sizes.
+    pub combined: CompressionStats,
+    /// Longest Huffman code over the raw sample alphabet.
+    pub max_code_len: u8,
+}
+
+impl CodecAnalysis {
+    /// Analyzes `samples` using the thread-local scratch.
+    #[must_use]
+    pub fn of(samples: &[i16]) -> Self {
+        super::with_scratch(|scratch| Self::compute(samples, scratch))
+    }
+
+    /// Analyzes `samples` into `scratch` (allocation-free after warm-up).
+    #[must_use]
+    pub fn compute(samples: &[i16], scratch: &mut CodecScratch) -> Self {
+        let raw_bits = samples.len() * 16;
+        // One pass over the input: histogram + RLE tokenization together.
+        scratch.hist.reset();
+        scratch.tokens.clear();
+        {
+            let hist = &mut scratch.hist;
+            let tokens = &mut scratch.tokens;
+            scan_runs(samples, u16::MAX as usize, |run, value| {
+                hist.add(value, run as u64);
+                tokens.push((run as u16, value));
+            });
+        }
+        // Huffman over raw samples.
+        build_lengths(&scratch.hist, &mut scratch.tree, &mut scratch.lengths);
+        scratch.book.assign(&scratch.lengths);
+        let max_code_len = scratch.book.max_code_len();
+        let huffman_bytes = scratch.book.encoded_len(&scratch.hist);
+        // Run-length: 4 bytes per token.
+        let rle_bytes = scratch.tokens.len() * 4;
+        // Combined: 8-byte section header + a Huffman section over the run
+        // lengths + one over the values.
+        let mut combined_bytes = 8;
+        for part in 0..2 {
+            scratch.hist.reset();
+            for &(run, value) in &scratch.tokens {
+                let sym = if part == 0 { run as i16 } else { value };
+                scratch.hist.add(sym, 1);
+            }
+            build_lengths(&scratch.hist, &mut scratch.tree, &mut scratch.lengths);
+            scratch.book.assign(&scratch.lengths);
+            combined_bytes += scratch.book.encoded_len(&scratch.hist);
+        }
+        Self {
+            raw_bits,
+            huffman: CompressionStats {
+                raw_bits,
+                encoded_bits: huffman_bytes * 8,
+            },
+            run_length: CompressionStats {
+                raw_bits,
+                encoded_bits: rle_bytes * 8,
+            },
+            combined: CompressionStats {
+                raw_bits,
+                encoded_bits: combined_bytes * 8,
+            },
+            max_code_len,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codebook cache.
+
+/// A cached canonical codebook pair for the combined codec's two sections.
+#[derive(Debug)]
+struct CachedCombined {
+    runs: CachedBook,
+    values: CachedBook,
+}
+
+/// One cached codebook plus the length of the stream it was built from
+/// (a cheap guard against key misuse).
+#[derive(Debug)]
+struct CachedBook {
+    lengths: Vec<(i16, u8)>,
+    source_len: usize,
+}
+
+/// Canonical codebooks keyed by pulse-library entry, so repeated waveforms
+/// across shots and multiplexed channels skip the histogram pass and the
+/// tree build on every encode after the first.
+///
+/// Keys must identify the sample stream contents —
+/// [`PulseStream::codec_cache_key`](crate::PulseStream::codec_cache_key)
+/// provides a content hash. A key reused for *different* contents is
+/// detected (missing symbol, or a changed stream length) and falls back to a
+/// fresh build, keeping the output byte-identical to the naive oracle in
+/// every case.
+#[derive(Debug, Default)]
+pub struct CodebookCache {
+    huffman: HashMap<u64, CachedBook>,
+    combined: HashMap<u64, CachedCombined>,
+}
+
+/// FNV-1a over the little-endian bytes of `samples` — a cheap content key
+/// for [`CodebookCache`].
+#[must_use]
+pub fn codebook_key(samples: &[i16]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &s in samples {
+        for byte in s.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash ^ (samples.len() as u64)
+}
+
+impl CodebookCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached Huffman codebooks (combined entries count once).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.huffman.len() + self.combined.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.huffman.is_empty() && self.combined.is_empty()
+    }
+
+    /// Huffman-encodes `samples` into `out` (clearing it first), reusing the
+    /// codebook cached under `key` when possible. Byte-identical to
+    /// `Huffman::encode`.
+    pub fn huffman_encode_into(
+        &mut self,
+        key: u64,
+        samples: &[i16],
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) {
+        out.clear();
+        if let Some(cached) = self.huffman.get(&key) {
+            if cached.source_len == samples.len() {
+                scratch.book.assign(&cached.lengths);
+                scratch.book.append_header(samples.len(), out);
+                if scratch.book.append_payload(samples, out) {
+                    return;
+                }
+                // Key collision or mutated stream: rebuild below.
+                out.clear();
+            }
+        }
+        scratch.huffman_append(samples, out);
+        self.huffman.insert(
+            key,
+            CachedBook {
+                lengths: scratch.lengths.clone(),
+                source_len: samples.len(),
+            },
+        );
+    }
+
+    /// Combined-encodes `samples` into `out` (clearing it first), reusing
+    /// the two section codebooks cached under `key` when possible.
+    /// Byte-identical to `Combined::encode`.
+    pub fn combined_encode_into(
+        &mut self,
+        key: u64,
+        samples: &[i16],
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) {
+        out.clear();
+        scratch.tokenize(samples);
+        let runs = std::mem::take(&mut scratch.runs);
+        let values = std::mem::take(&mut scratch.values);
+        let mut hit = false;
+        if let Some(cached) = self.combined.get(&key) {
+            if cached.runs.source_len == runs.len() && cached.values.source_len == values.len() {
+                hit = Self::append_section_pair(
+                    &cached.runs.lengths,
+                    &cached.values.lengths,
+                    &runs,
+                    &values,
+                    scratch,
+                    out,
+                );
+            }
+        }
+        if !hit {
+            out.clear();
+            let len_at = out.len();
+            out.extend_from_slice(&[0u8; 8]);
+            let runs_start = out.len();
+            scratch.huffman_append(&runs, out);
+            let runs_book = scratch.lengths.clone();
+            let runs_len = (out.len() - runs_start) as u64;
+            out[len_at..len_at + 8].copy_from_slice(&runs_len.to_le_bytes());
+            scratch.huffman_append(&values, out);
+            self.combined.insert(
+                key,
+                CachedCombined {
+                    runs: CachedBook {
+                        lengths: runs_book,
+                        source_len: runs.len(),
+                    },
+                    values: CachedBook {
+                        lengths: scratch.lengths.clone(),
+                        source_len: values.len(),
+                    },
+                },
+            );
+        }
+        scratch.runs = runs;
+        scratch.values = values;
+    }
+
+    /// Appends both cached sections; `false` when either book misses a
+    /// symbol (collision fallback).
+    fn append_section_pair(
+        runs_book: &[(i16, u8)],
+        values_book: &[(i16, u8)],
+        runs: &[i16],
+        values: &[i16],
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        let len_at = out.len();
+        out.extend_from_slice(&[0u8; 8]);
+        let runs_start = out.len();
+        scratch.book.assign(runs_book);
+        scratch.book.append_header(runs.len(), out);
+        if !scratch.book.append_payload(runs, out) {
+            return false;
+        }
+        let runs_len = (out.len() - runs_start) as u64;
+        out[len_at..len_at + 8].copy_from_slice(&runs_len.to_le_bytes());
+        scratch.book.assign(values_book);
+        scratch.book.append_header(values.len(), out);
+        scratch.book.append_payload(values, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Codec, Combined, Huffman};
+    use super::*;
+
+    fn sparse() -> Vec<i16> {
+        let mut v = Vec::new();
+        for block in 0..12 {
+            v.extend(std::iter::repeat_n(0i16, 400));
+            v.extend((0..40).map(|k| (k as i16) * 113 + block));
+        }
+        v
+    }
+
+    #[test]
+    fn engine_encode_matches_naive_huffman() {
+        let data = sparse();
+        let mut scratch = CodecScratch::new();
+        let mut out = Vec::new();
+        scratch.huffman_append(&data, &mut out);
+        assert_eq!(out, Huffman.naive_encode(&data));
+    }
+
+    #[test]
+    fn engine_encode_matches_naive_combined() {
+        let data = sparse();
+        let mut scratch = CodecScratch::new();
+        let mut out = Vec::new();
+        scratch.combined_append(&data, &mut out);
+        assert_eq!(out, Combined.naive_encode(&data));
+    }
+
+    #[test]
+    fn engine_decode_round_trips() {
+        let data = sparse();
+        let mut scratch = CodecScratch::new();
+        let mut enc = Vec::new();
+        let mut dec = Vec::new();
+        scratch.huffman_append(&data, &mut enc);
+        scratch.huffman_decode_append(&enc, &mut dec).unwrap();
+        assert_eq!(dec, data);
+        enc.clear();
+        dec.clear();
+        scratch.combined_append(&data, &mut enc);
+        scratch.combined_decode_append(&enc, &mut dec).unwrap();
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn analysis_matches_real_encodes() {
+        for data in [sparse(), Vec::new(), vec![7i16; 300], (0..500i16).collect()] {
+            let a = CodecAnalysis::of(&data);
+            assert_eq!(a.huffman.encoded_bits, Huffman.naive_encode(&data).len() * 8);
+            assert_eq!(a.combined.encoded_bits, Combined.naive_encode(&data).len() * 8);
+            assert_eq!(
+                a.run_length.encoded_bits,
+                super::super::RunLength.encode(&data).len() * 8
+            );
+            assert_eq!(a.max_code_len, Huffman::max_code_len(&data));
+        }
+    }
+
+    #[test]
+    fn single_symbol_and_empty_streams() {
+        let mut scratch = CodecScratch::new();
+        for data in [Vec::new(), vec![42i16; 77]] {
+            let mut enc = Vec::new();
+            let mut dec = Vec::new();
+            scratch.huffman_append(&data, &mut enc);
+            assert_eq!(enc, Huffman.naive_encode(&data));
+            scratch.huffman_decode_append(&enc, &mut dec).unwrap();
+            assert_eq!(dec, data);
+        }
+    }
+
+    #[test]
+    fn deep_codes_resolve_through_subtables() {
+        // Exponential-ish frequencies force long codes past ROOT_BITS.
+        let mut data = Vec::new();
+        for k in 0..18u32 {
+            data.extend(std::iter::repeat_n(k as i16, 1usize << k));
+        }
+        let mut scratch = CodecScratch::new();
+        let mut enc = Vec::new();
+        let mut dec = Vec::new();
+        scratch.huffman_append(&data, &mut enc);
+        assert_eq!(enc, Huffman.naive_encode(&data));
+        assert!(scratch.huffman_max_code_len(&data) > 11);
+        scratch.huffman_decode_append(&enc, &mut dec).unwrap();
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn cache_hits_are_byte_identical() {
+        let data = sparse();
+        let mut cache = CodebookCache::new();
+        let mut scratch = CodecScratch::new();
+        let key = codebook_key(&data);
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        cache.huffman_encode_into(key, &data, &mut scratch, &mut first);
+        cache.huffman_encode_into(key, &data, &mut scratch, &mut second);
+        assert_eq!(first, Huffman.naive_encode(&data));
+        assert_eq!(first, second);
+        assert_eq!(cache.len(), 1);
+        cache.combined_encode_into(key, &data, &mut scratch, &mut first);
+        cache.combined_encode_into(key, &data, &mut scratch, &mut second);
+        assert_eq!(first, Combined.naive_encode(&data));
+        assert_eq!(first, second);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_key_collisions_fall_back_to_fresh_builds() {
+        let a = sparse();
+        let b: Vec<i16> = (0..600).map(|k| (k % 23) as i16 * 7).collect();
+        let mut cache = CodebookCache::new();
+        let mut scratch = CodecScratch::new();
+        let mut out = Vec::new();
+        // Deliberately reuse one key for two different streams.
+        cache.huffman_encode_into(1, &a, &mut scratch, &mut out);
+        assert_eq!(out, Huffman.naive_encode(&a));
+        cache.huffman_encode_into(1, &b, &mut scratch, &mut out);
+        assert_eq!(out, Huffman.naive_encode(&b));
+        cache.combined_encode_into(1, &a, &mut scratch, &mut out);
+        assert_eq!(out, Combined.naive_encode(&a));
+        cache.combined_encode_into(1, &b, &mut scratch, &mut out);
+        assert_eq!(out, Combined.naive_encode(&b));
+    }
+
+    #[test]
+    fn codebook_key_depends_on_content_and_length() {
+        assert_ne!(codebook_key(&[1, 2, 3]), codebook_key(&[1, 2, 4]));
+        assert_ne!(codebook_key(&[0]), codebook_key(&[0, 0]));
+        assert_eq!(codebook_key(&[5, -5]), codebook_key(&[5, -5]));
+    }
+
+    #[test]
+    fn bitwriter_matches_manual_bits() {
+        let mut out = Vec::new();
+        let mut w = BitWriter::default();
+        // 0b101 (3) + 0b0110 (4) + 0b1 (1) = 1010 1101 padded.
+        w.push_code(&mut out, 0b101, 3);
+        w.push_code(&mut out, 0b0110, 4);
+        w.push_code(&mut out, 0b1, 1);
+        w.finish(&mut out);
+        assert_eq!(out, vec![0b1010_1101]);
+    }
+
+    #[test]
+    fn bitreader_consume_errors_at_end() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek(8), 0xFF);
+        r.consume(8).unwrap();
+        assert!(r.consume(1).is_err());
+        // Zero-padded peeks past the end are allowed.
+        assert_eq!(r.peek(4), 0);
+    }
+}

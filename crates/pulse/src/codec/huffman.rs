@@ -12,20 +12,23 @@
 //! Canonical codes are assigned by (length, symbol) order, so only lengths
 //! need to be transmitted — this mirrors how a hardware Huffman table is
 //! initialized.
+//!
+//! Two implementations share this format. [`Huffman::naive_encode`] /
+//! [`Huffman::naive_decode`] are the reference pair: a `BinaryHeap` of
+//! boxed tree nodes and a bit-at-a-time reader resolving codes through
+//! per-length hash maps. The [`Codec`] trait impl routes through the
+//! streaming [`engine`](super::engine) instead — flat-array histogram,
+//! arena tree, word-buffered bit I/O, root-LUT decoder — which is pinned
+//! byte-identical to the naive pair by the `codec_engine` proptests.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
-use super::{Codec, DecodeError};
+use super::{Codec, CodecScratch, DecodeError, MAX_CODE_LEN};
 
 /// Canonical Huffman codec.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Huffman;
-
-/// Maximum admissible code length. With ≤ 65536 symbols, optimal Huffman
-/// codes never exceed 63 bits for realistic inputs; we cap at 48 to keep the
-/// decoder's length loop bounded.
-const MAX_CODE_LEN: usize = 48;
 
 fn code_lengths(freqs: &HashMap<i16, u64>) -> Vec<(i16, u8)> {
     // Special cases: empty input and single-symbol alphabets.
@@ -138,6 +141,52 @@ impl Codec for Huffman {
     }
 
     fn encode(&self, samples: &[i16]) -> Vec<u8> {
+        super::with_scratch(|scratch| {
+            let mut out = Vec::new();
+            scratch.huffman_append(samples, &mut out);
+            out
+        })
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
+        super::with_scratch(|scratch| {
+            let mut out = Vec::new();
+            scratch.huffman_decode_append(bytes, &mut out)?;
+            Ok(out)
+        })
+    }
+}
+
+impl Huffman {
+    /// Encodes `samples` into `out` (cleared first) through the streaming
+    /// engine: allocation-free in steady state once `scratch` and `out` have
+    /// warmed up. Byte-identical to [`Huffman::naive_encode`].
+    pub fn encode_into(&self, samples: &[i16], scratch: &mut CodecScratch, out: &mut Vec<u8>) {
+        out.clear();
+        scratch.huffman_append(samples, out);
+    }
+
+    /// Decodes `bytes` into `out` (cleared first) through the engine's
+    /// root-LUT decoder: allocation-free in steady state, and accepts
+    /// exactly the streams [`Huffman::naive_decode`] accepts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the byte stream is corrupt or truncated.
+    pub fn decode_into(
+        &self,
+        bytes: &[u8],
+        scratch: &mut CodecScratch,
+        out: &mut Vec<i16>,
+    ) -> Result<(), DecodeError> {
+        out.clear();
+        scratch.huffman_decode_append(bytes, out)
+    }
+
+    /// Reference encoder: `HashMap` histogram, boxed-node tree, bit-at-a-time
+    /// writer. Kept as the bit-identity oracle for the engine.
+    #[must_use]
+    pub fn naive_encode(&self, samples: &[i16]) -> Vec<u8> {
         let mut freqs: HashMap<i16, u64> = HashMap::new();
         for &s in samples {
             *freqs.entry(s).or_insert(0) += 1;
@@ -160,36 +209,52 @@ impl Codec for Huffman {
         out
     }
 
-    fn decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
-        let take = |bytes: &[u8], at: usize, n: usize| -> Result<Vec<u8>, DecodeError> {
+    /// Reference decoder: per-length hash-map probe, one bit at a time. Kept
+    /// as the acceptance oracle for the engine decoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the byte stream is corrupt or truncated.
+    pub fn naive_decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
+        // Borrows straight from the input — the old version built a fresh
+        // `Vec<u8>` per header read.
+        fn take(bytes: &[u8], at: usize, n: usize) -> Result<&[u8], DecodeError> {
             bytes
                 .get(at..at + n)
-                .map(<[u8]>::to_vec)
                 .ok_or_else(|| DecodeError::new("huffman header truncated"))
-        };
-        let s = u32::from_le_bytes(
-            take(bytes, 0, 4)?
-                .try_into()
-                .expect("4 bytes"),
-        ) as usize;
+        }
+        let s = u32::from_le_bytes(take(bytes, 0, 4)?.try_into().expect("4 bytes")) as usize;
         // Each table entry occupies 3 header bytes; reject impossible symbol
         // counts before allocating.
         if s > bytes.len().saturating_sub(4) / 3 {
             return Err(DecodeError::new("symbol count exceeds header"));
         }
         let mut lengths: Vec<(i16, u8)> = Vec::with_capacity(s);
+        let mut seen: HashSet<i16> = HashSet::with_capacity(s);
         let mut at = 4;
+        let mut prev_len = 0u8;
         for _ in 0..s {
-            let sym = i16::from_le_bytes(take(bytes, at, 2)?.try_into().expect("2 bytes"));
-            let len = take(bytes, at + 2, 1)?[0];
+            let entry = take(bytes, at, 3)?;
+            let sym = i16::from_le_bytes([entry[0], entry[1]]);
+            let len = entry[2];
             if len == 0 || len as usize > MAX_CODE_LEN {
                 return Err(DecodeError::new("invalid huffman code length"));
             }
+            // Canonical headers are sorted by (length, symbol) and list each
+            // symbol once; a decreasing length would underflow the canonical
+            // code assignment, and a duplicate symbol would make decoding
+            // ambiguous.
+            if len < prev_len {
+                return Err(DecodeError::new("huffman table lengths not sorted"));
+            }
+            if !seen.insert(sym) {
+                return Err(DecodeError::new("duplicate symbol in huffman table"));
+            }
+            prev_len = len;
             lengths.push((sym, len));
             at += 3;
         }
-        let count =
-            u64::from_le_bytes(take(bytes, at, 8)?.try_into().expect("8 bytes")) as usize;
+        let count = u64::from_le_bytes(take(bytes, at, 8)?.try_into().expect("8 bytes")) as usize;
         at += 8;
         if s == 0 {
             return if count == 0 {
@@ -212,7 +277,7 @@ impl Codec for Huffman {
         // can be sanity-checked against the stream before allocating —
         // otherwise a corrupt header could demand a huge allocation.
         let available_bits = (bytes.len() - at) * 8;
-        if count > available_bits && (count != 0) {
+        if count > available_bits {
             return Err(DecodeError::new("sample count exceeds payload"));
         }
         let mut out = Vec::with_capacity(count);
@@ -233,22 +298,12 @@ impl Codec for Huffman {
         }
         Ok(out)
     }
-}
 
-impl Huffman {
     /// Longest code length used for `samples` — the hardware decoder's
     /// critical path is proportional to this.
     #[must_use]
     pub fn max_code_len(samples: &[i16]) -> u8 {
-        let mut freqs: HashMap<i16, u64> = HashMap::new();
-        for &s in samples {
-            *freqs.entry(s).or_insert(0) += 1;
-        }
-        code_lengths(&freqs)
-            .iter()
-            .map(|&(_, len)| len)
-            .max()
-            .unwrap_or(0)
+        super::with_scratch(|scratch| scratch.huffman_max_code_len(samples))
     }
 }
 
@@ -274,6 +329,16 @@ mod tests {
     fn round_trip_empty() {
         let h = Huffman;
         assert_eq!(h.decode(&h.encode(&[])).unwrap(), Vec::<i16>::new());
+    }
+
+    #[test]
+    fn trait_impl_matches_naive_oracle() {
+        let mut data = vec![0i16; 700];
+        data.extend((0..90).map(|k| (k % 13) * 41));
+        let h = Huffman;
+        let enc = h.encode(&data);
+        assert_eq!(enc, h.naive_encode(&data));
+        assert_eq!(h.decode(&enc).unwrap(), h.naive_decode(&enc).unwrap());
     }
 
     #[test]
@@ -333,12 +398,44 @@ mod tests {
         let mut enc = h.encode(&[1i16, 2, 3, 1, 1, 1]);
         enc.truncate(enc.len() - 1);
         assert!(h.decode(&enc).is_err());
+        assert!(h.naive_decode(&enc).is_err());
     }
 
     #[test]
     fn garbage_header_errors() {
         let h = Huffman;
         assert!(h.decode(&[255, 255, 255, 255]).is_err());
+        assert!(h.naive_decode(&[255, 255, 255, 255]).is_err());
+    }
+
+    #[test]
+    fn unsorted_header_lengths_error() {
+        // Header claiming lengths [2, 1] would underflow the canonical code
+        // assignment; both decoders must reject it instead of panicking.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&1i16.to_le_bytes());
+        bytes.push(2);
+        bytes.extend_from_slice(&2i16.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let h = Huffman;
+        assert!(h.decode(&bytes).is_err());
+        assert!(h.naive_decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn duplicate_header_symbols_error() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&5i16.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&5i16.to_le_bytes());
+        bytes.push(2);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let h = Huffman;
+        assert!(h.decode(&bytes).is_err());
+        assert!(h.naive_decode(&bytes).is_err());
     }
 
     #[test]

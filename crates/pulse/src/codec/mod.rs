@@ -11,17 +11,47 @@
 //! * **Combined** ([`Combined`]): run-length tokens whose run counts and
 //!   values are each Huffman-coded — the paper's decoder run-length-decodes
 //!   first and then reconstructs values via the Huffman table.
+//!
+//! Two layers implement the same wire formats. The `naive_*` methods on
+//! [`Huffman`] and [`Combined`] are the original allocation-heavy reference
+//! implementations, kept as bit-identity oracles. The [`Codec`] trait impls
+//! route through the streaming [`engine`] — reusable [`CodecScratch`]
+//! buffers, word-buffered bit I/O, a root-LUT decoder, single-pass
+//! [`CodecAnalysis`], and a [`CodebookCache`] — which is byte-identical to
+//! the oracles on every stream (proptest-pinned in `tests/codec_engine.rs`).
 
+mod engine;
 mod huffman;
 mod rle;
 mod varint;
 
+use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
 
+pub use engine::{codebook_key, CodebookCache, CodecAnalysis, CodecScratch};
 pub use huffman::Huffman;
 pub use rle::{rle_expand, rle_tokens, ByteRunLength, RunLength};
 pub use varint::{read_varint, write_varint, MAX_VARINT_LEN};
+
+/// Maximum admissible Huffman code length. With ≤ 65536 symbols, optimal
+/// Huffman codes never exceed 63 bits for realistic inputs; we cap at 48 to
+/// keep the decoders' length loops bounded.
+pub const MAX_CODE_LEN: usize = 48;
+
+thread_local! {
+    /// Per-thread engine workspace backing the `Codec` trait impls, so the
+    /// allocation-heavy naive structures are gone even for callers that never
+    /// thread a [`CodecScratch`] explicitly (works for any `ARTERY_THREADS`).
+    static SCRATCH: RefCell<CodecScratch> = RefCell::new(CodecScratch::new());
+}
+
+/// Runs `f` with this thread's shared codec scratch. Engine internals must
+/// never call back into the `Codec` trait impls (that would re-borrow the
+/// `RefCell`); they take `&mut CodecScratch` directly instead.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut CodecScratch) -> R) -> R {
+    SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
 
 /// Decoding failure (corrupt or truncated stream).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,12 +138,56 @@ impl Codec for Combined {
     }
 
     fn encode(&self, samples: &[i16]) -> Vec<u8> {
+        with_scratch(|scratch| {
+            let mut out = Vec::new();
+            scratch.combined_append(samples, &mut out);
+            out
+        })
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
+        with_scratch(|scratch| {
+            let mut out = Vec::new();
+            scratch.combined_decode_append(bytes, &mut out)?;
+            Ok(out)
+        })
+    }
+}
+
+impl Combined {
+    /// Encodes `samples` into `out` (cleared first) through the streaming
+    /// engine: allocation-free in steady state once `scratch` and `out` have
+    /// warmed up. Byte-identical to [`Combined::naive_encode`].
+    pub fn encode_into(&self, samples: &[i16], scratch: &mut CodecScratch, out: &mut Vec<u8>) {
+        out.clear();
+        scratch.combined_append(samples, out);
+    }
+
+    /// Decodes `bytes` into `out` (cleared first) through the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the byte stream is corrupt or truncated.
+    pub fn decode_into(
+        &self,
+        bytes: &[u8],
+        scratch: &mut CodecScratch,
+        out: &mut Vec<i16>,
+    ) -> Result<(), DecodeError> {
+        out.clear();
+        scratch.combined_decode_append(bytes, out)
+    }
+
+    /// Reference encoder composed from the naive Huffman oracle and the
+    /// token helpers. Kept as the bit-identity oracle for the engine.
+    #[must_use]
+    pub fn naive_encode(&self, samples: &[i16]) -> Vec<u8> {
         let tokens = rle::rle_tokens(samples);
         // Reinterpret the u16 run as an i16 symbol (pure bit pattern).
         let runs: Vec<i16> = tokens.iter().map(|&(r, _)| r as i16).collect();
         let values: Vec<i16> = tokens.iter().map(|&(_, v)| v).collect();
-        let runs_enc = Huffman.encode(&runs);
-        let values_enc = Huffman.encode(&values);
+        let runs_enc = Huffman.naive_encode(&runs);
+        let values_enc = Huffman.naive_encode(&values);
         let mut out = Vec::with_capacity(8 + runs_enc.len() + values_enc.len());
         out.extend_from_slice(&(runs_enc.len() as u64).to_le_bytes());
         out.extend_from_slice(&runs_enc);
@@ -121,7 +195,12 @@ impl Codec for Combined {
         out
     }
 
-    fn decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
+    /// Reference decoder composed from the naive Huffman oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the byte stream is corrupt or truncated.
+    pub fn naive_decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
         let header: [u8; 8] = bytes
             .get(..8)
             .ok_or_else(|| DecodeError::new("combined header truncated"))?
@@ -132,8 +211,8 @@ impl Codec for Combined {
         if runs_len > rest.len() {
             return Err(DecodeError::new("combined run section truncated"));
         }
-        let runs = Huffman.decode(&rest[..runs_len])?;
-        let values = Huffman.decode(&rest[runs_len..])?;
+        let runs = Huffman.naive_decode(&rest[..runs_len])?;
+        let values = Huffman.naive_decode(&rest[runs_len..])?;
         if runs.len() != values.len() {
             return Err(DecodeError::new("run/value section length mismatch"));
         }
@@ -170,6 +249,15 @@ mod tests {
     }
 
     #[test]
+    fn combined_trait_matches_naive_oracle() {
+        let data = sparse_stream();
+        let c = Combined;
+        let enc = c.encode(&data);
+        assert_eq!(enc, c.naive_encode(&data));
+        assert_eq!(c.decode(&enc).unwrap(), c.naive_decode(&enc).unwrap());
+    }
+
+    #[test]
     fn combined_beats_both_parts_on_sparse_data() {
         let data = sparse_stream();
         let h = Huffman.stats(&data).ratio();
@@ -198,6 +286,22 @@ mod tests {
     fn combined_empty_round_trip() {
         let c = Combined;
         assert_eq!(c.decode(&c.encode(&[])).unwrap(), Vec::<i16>::new());
+    }
+
+    #[test]
+    fn combined_encode_into_reuses_buffers() {
+        let data = sparse_stream();
+        let c = Combined;
+        let mut scratch = CodecScratch::new();
+        let mut enc = Vec::new();
+        let mut dec = Vec::new();
+        c.encode_into(&data, &mut scratch, &mut enc);
+        assert_eq!(enc, c.encode(&data));
+        let cap = enc.capacity();
+        c.encode_into(&data, &mut scratch, &mut enc);
+        assert_eq!(enc.capacity(), cap);
+        c.decode_into(&enc, &mut scratch, &mut dec).unwrap();
+        assert_eq!(dec, data);
     }
 
     #[test]

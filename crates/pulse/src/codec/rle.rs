@@ -1,6 +1,32 @@
 //! Run-length encoding over samples and over bytes.
+//!
+//! Both codecs — the sample-level `(run, value)` token stream and the
+//! byte-level escape format used behind the combined codec — share one run
+//! scanner, [`scan_runs`]: the only differences are the run cap and what the
+//! caller does with each `(run, value)` pair.
 
 use super::{Codec, DecodeError};
+
+/// Scans `items` into maximal runs of equal values (each run capped at
+/// `max_run` and split), invoking `emit(run, value)` per run in stream
+/// order. This is the single run-detection loop behind [`rle_tokens`],
+/// [`ByteRunLength::encode_bytes`], and the engine's combined tokenizer.
+pub(crate) fn scan_runs<T: Copy + PartialEq>(
+    items: &[T],
+    max_run: usize,
+    mut emit: impl FnMut(usize, T),
+) {
+    let mut i = 0usize;
+    while i < items.len() {
+        let value = items[i];
+        let mut run = 1usize;
+        while run < max_run && i + run < items.len() && items[i + run] == value {
+            run += 1;
+        }
+        emit(run, value);
+        i += run;
+    }
+}
 
 /// Sample-level run-length codec: a stream of `(run: u16 LE, value: i16 LE)`
 /// tokens. Runs longer than `u16::MAX` are split.
@@ -12,15 +38,9 @@ pub struct RunLength;
 #[must_use]
 pub fn rle_tokens(samples: &[i16]) -> Vec<(u16, i16)> {
     let mut out = Vec::new();
-    let mut iter = samples.iter().copied().peekable();
-    while let Some(value) = iter.next() {
-        let mut run: u32 = 1;
-        while run < u32::from(u16::MAX) && iter.peek() == Some(&value) {
-            iter.next();
-            run += 1;
-        }
+    scan_runs(samples, u16::MAX as usize, |run, value| {
         out.push((run as u16, value));
-    }
+    });
     out
 }
 
@@ -40,25 +60,31 @@ pub fn rle_expand(tokens: &[(u16, i16)]) -> Result<Vec<i16>, DecodeError> {
     Ok(out)
 }
 
-impl Codec for RunLength {
-    fn name(&self) -> &'static str {
-        "run-length"
-    }
-
-    fn encode(&self, samples: &[i16]) -> Vec<u8> {
-        let mut out = Vec::new();
-        for (run, value) in rle_tokens(samples) {
-            out.extend_from_slice(&run.to_le_bytes());
+impl RunLength {
+    /// Encodes `samples` into `out` (cleared first) without any intermediate
+    /// token buffer — allocation-free once `out` has warmed up to the
+    /// high-water encoded size.
+    pub fn encode_into(&self, samples: &[i16], out: &mut Vec<u8>) {
+        out.clear();
+        scan_runs(samples, u16::MAX as usize, |run, value| {
+            out.extend_from_slice(&(run as u16).to_le_bytes());
             out.extend_from_slice(&value.to_le_bytes());
-        }
-        out
+        });
     }
 
-    fn decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
+    /// Decodes a token stream into `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on a zero-length run or a stream that is not
+    /// a whole number of 4-byte tokens.
+    pub fn decode_into(&self, bytes: &[u8], out: &mut Vec<i16>) -> Result<(), DecodeError> {
+        out.clear();
         if !bytes.len().is_multiple_of(4) {
-            return Err(DecodeError::new("run-length stream not a whole number of tokens"));
+            return Err(DecodeError::new(
+                "run-length stream not a whole number of tokens",
+            ));
         }
-        let mut out = Vec::new();
         for token in bytes.chunks_exact(4) {
             let run = u16::from_le_bytes([token[0], token[1]]) as usize;
             let value = i16::from_le_bytes([token[2], token[3]]);
@@ -67,6 +93,24 @@ impl Codec for RunLength {
             }
             out.extend(std::iter::repeat_n(value, run));
         }
+        Ok(())
+    }
+}
+
+impl Codec for RunLength {
+    fn name(&self) -> &'static str {
+        "run-length"
+    }
+
+    fn encode(&self, samples: &[i16]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(samples, &mut out);
+        out
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Vec<i16>, DecodeError> {
+        let mut out = Vec::new();
+        self.decode_into(bytes, &mut out)?;
         Ok(out)
     }
 }
@@ -105,13 +149,7 @@ impl ByteRunLength {
             }
             literals.clear();
         };
-        let mut i = 0usize;
-        while i < bytes.len() {
-            let value = bytes[i];
-            let mut run = 1usize;
-            while run < MAX_RUN && i + run < bytes.len() && bytes[i + run] == value {
-                run += 1;
-            }
+        scan_runs(bytes, MAX_RUN, |run, value| {
             if run >= MIN_RUN {
                 flush(&mut literals, &mut out);
                 out.push((run + RUN_BIAS) as u8);
@@ -119,8 +157,7 @@ impl ByteRunLength {
             } else {
                 literals.extend(std::iter::repeat_n(value, run));
             }
-            i += run;
-        }
+        });
         flush(&mut literals, &mut out);
         out
     }
@@ -169,6 +206,38 @@ mod tests {
     }
 
     #[test]
+    fn scan_runs_splits_at_cap() {
+        let data = [9u8; 10];
+        let mut runs = Vec::new();
+        scan_runs(&data, 4, |run, value| runs.push((run, value)));
+        assert_eq!(runs, vec![(4, 9), (4, 9), (2, 9)]);
+    }
+
+    #[test]
+    fn scan_runs_empty_and_distinct() {
+        let mut runs: Vec<(usize, i16)> = Vec::new();
+        scan_runs(&[], 100, |run, value| runs.push((run, value)));
+        assert!(runs.is_empty());
+        scan_runs(&[1i16, 2, 3], 100, |run, value| runs.push((run, value)));
+        assert_eq!(runs, vec![(1, 1), (1, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_capacity() {
+        let data: Vec<i16> = vec![0, 0, 0, 5, 5, -3, 0, 0, 7];
+        let rl = RunLength;
+        let mut out = Vec::new();
+        rl.encode_into(&data, &mut out);
+        assert_eq!(out, rl.encode(&data));
+        let cap = out.capacity();
+        rl.encode_into(&data, &mut out);
+        assert_eq!(out.capacity(), cap);
+        let mut dec = Vec::new();
+        rl.decode_into(&out, &mut dec).unwrap();
+        assert_eq!(dec, data);
+    }
+
+    #[test]
     fn zeros_compress_massively() {
         let data = vec![0i16; 4000];
         let rl = RunLength;
@@ -189,8 +258,18 @@ mod tests {
     fn long_runs_split_at_u16_max() {
         let data = vec![9i16; 70000];
         let rl = RunLength;
-        let decoded = rl.decode(&rl.encode(&data)).unwrap();
-        assert_eq!(decoded, data);
+        let encoded = rl.encode(&data);
+        // 70000 = 65535 + 4465 → exactly two tokens, same as the pre-helper
+        // encoder produced.
+        assert_eq!(encoded.len(), 8);
+        assert_eq!(rl.decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn tokens_match_encode_format() {
+        let data: Vec<i16> = vec![4, 4, 4, -1, -1, 0];
+        assert_eq!(rle_tokens(&data), vec![(3, 4), (2, -1), (1, 0)]);
+        assert_eq!(rle_expand(&rle_tokens(&data)).unwrap(), data);
     }
 
     #[test]
@@ -230,6 +309,14 @@ mod tests {
         // 256 literals in chunks of 127 → 3 control bytes of overhead.
         assert_eq!(enc.len(), 259);
         assert_eq!(ByteRunLength::decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_rle_short_runs_stay_literal() {
+        // Runs of 1–2 must be emitted as literals, exactly as before the
+        // shared scanner: [7, 7, 3] → literal chunk of 3 bytes.
+        let enc = ByteRunLength::encode_bytes(&[7, 7, 3]);
+        assert_eq!(enc, vec![3, 7, 7, 3]);
     }
 
     #[test]

@@ -195,6 +195,15 @@ impl PulseStream {
         self.waveform.samples()
     }
 
+    /// Content hash of the assembled samples, suitable as a
+    /// [`CodebookCache`](crate::codec::CodebookCache) key: pulse-library
+    /// entries for the same circuit and realism settings hash identically, so
+    /// repeated encodes of the same stream reuse their cached codebooks.
+    #[must_use]
+    pub fn codec_cache_key(&self) -> u64 {
+        crate::codec::codebook_key(self.samples())
+    }
+
     /// The assembled waveform.
     #[must_use]
     pub fn waveform(&self) -> &Waveform {

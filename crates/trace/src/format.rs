@@ -284,12 +284,14 @@ fn case_from_code(code: u8) -> PreExecCase {
     }
 }
 
-/// Collapses a bool stream into alternating run lengths, starting from the
-/// value of the first element (empty stream → no runs).
-fn bool_runs(states: &[bool]) -> Vec<u64> {
-    let mut runs = Vec::new();
+/// Collapses a bool stream into alternating run lengths in `runs` (cleared
+/// first), starting from the value of the first element (empty stream → no
+/// runs). Scratch-reusing core of [`bool_runs`], mirroring the pulse codec
+/// engine's `*_into` idiom.
+fn bool_runs_into(states: &[bool], runs: &mut Vec<u64>) {
+    runs.clear();
     let Some(&first) = states.first() else {
-        return runs;
+        return;
     };
     let mut current = first;
     let mut len = 0u64;
@@ -303,11 +305,28 @@ fn bool_runs(states: &[bool]) -> Vec<u64> {
         }
     }
     runs.push(len);
+}
+
+/// Allocating wrapper over [`bool_runs_into`].
+fn bool_runs(states: &[bool]) -> Vec<u64> {
+    let mut runs = Vec::new();
+    bool_runs_into(states, &mut runs);
     runs
 }
 
 pub(crate) fn encode_event(ev: &TraceEvent) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + 8 * ev.iq.len());
+    let mut runs = Vec::new();
+    encode_event_into(ev, &mut out, &mut runs);
+    out
+}
+
+/// Encodes one event body into `out` (cleared first), using `runs` as the
+/// state-run scratch: allocation-free once both buffers have warmed up to
+/// their high-water sizes. [`TraceWriter`] threads its own scratch through
+/// here so long recording runs stop allocating per event.
+pub(crate) fn encode_event_into(ev: &TraceEvent, out: &mut Vec<u8>, runs: &mut Vec<u64>) {
+    out.clear();
     let mut flags = 0u8;
     if ev.reported {
         flags |= EVENT_FLAG_REPORTED;
@@ -326,27 +345,26 @@ pub(crate) fn encode_event(ev: &TraceEvent) -> Vec<u8> {
     }
     flags |= case_code(ev.case) << EVENT_CASE_SHIFT;
     out.push(flags);
-    write_varint(&mut out, ev.site as u64);
-    let runs = bool_runs(&ev.states);
-    write_varint(&mut out, runs.len() as u64);
-    for &r in &runs {
-        write_varint(&mut out, r);
+    write_varint(out, ev.site as u64);
+    bool_runs_into(&ev.states, runs);
+    write_varint(out, runs.len() as u64);
+    for &r in runs.iter() {
+        write_varint(out, r);
     }
     if let Some(d) = ev.decision {
-        write_varint(&mut out, d.window as u64);
+        write_varint(out, d.window as u64);
     }
-    push_f64(&mut out, ev.p_history);
-    push_f64(&mut out, ev.latency_ns);
-    push_f64(&mut out, ev.branch0_ns);
-    push_f64(&mut out, ev.branch1_ns);
+    push_f64(out, ev.p_history);
+    push_f64(out, ev.latency_ns);
+    push_f64(out, ev.branch0_ns);
+    push_f64(out, ev.branch1_ns);
     if !ev.iq.is_empty() {
-        write_varint(&mut out, ev.iq.len() as u64);
+        write_varint(out, ev.iq.len() as u64);
         for &(i, q) in &ev.iq {
-            push_f32(&mut out, i);
-            push_f32(&mut out, q);
+            push_f32(out, i);
+            push_f32(out, q);
         }
     }
-    out
 }
 
 pub(crate) fn decode_event(bytes: &[u8]) -> Result<TraceEvent, TraceError> {
@@ -439,10 +457,21 @@ pub(crate) fn decode_event(bytes: &[u8]) -> Result<TraceEvent, TraceError> {
 
 /// Streaming trace writer: emits the magic, version and header on
 /// construction, then one frame per event.
+///
+/// Event bodies, state runs and frame-length varints are built in reusable
+/// scratch buffers, so a long recording run performs no per-event heap
+/// allocation once the buffers reach their high-water sizes. The bytes
+/// written are identical to the scratch-free v1 encoder.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
     sink: W,
     events: u64,
+    /// Reusable event-body buffer.
+    body: Vec<u8>,
+    /// Reusable state-run scratch for [`encode_event_into`].
+    runs: Vec<u64>,
+    /// Reusable frame-length varint buffer.
+    len_buf: Vec<u8>,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -455,7 +484,13 @@ impl<W: Write> TraceWriter<W> {
         sink.write_all(&MAGIC)?;
         sink.write_all(&FORMAT_VERSION.to_le_bytes())?;
         write_frame(&mut sink, &encode_header_body(header))?;
-        Ok(Self { sink, events: 0 })
+        Ok(Self {
+            sink,
+            events: 0,
+            body: Vec::new(),
+            runs: Vec::new(),
+            len_buf: Vec::with_capacity(artery_pulse::codec::MAX_VARINT_LEN),
+        })
     }
 
     /// Appends one event frame.
@@ -464,7 +499,11 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// Returns [`TraceError::Io`] when the sink fails.
     pub fn write_event(&mut self, event: &TraceEvent) -> Result<(), TraceError> {
-        write_frame(&mut self.sink, &encode_event(event))?;
+        encode_event_into(event, &mut self.body, &mut self.runs);
+        self.len_buf.clear();
+        write_varint(&mut self.len_buf, self.body.len() as u64);
+        self.sink.write_all(&self.len_buf)?;
+        self.sink.write_all(&self.body)?;
         self.events += 1;
         Ok(())
     }
@@ -706,6 +745,37 @@ mod tests {
         // flags + site + run bookkeeping + decision + 4 f64s: far below one
         // byte per window.
         assert!(body.len() < 45, "event body is {} bytes", body.len());
+    }
+
+    #[test]
+    fn writer_scratch_path_matches_standalone_encoder() {
+        let events = [
+            sample_event(),
+            TraceEvent {
+                states: Vec::new(),
+                iq: Vec::new(),
+                decision: None,
+                ..sample_event()
+            },
+            TraceEvent {
+                states: vec![true; 40],
+                ..sample_event()
+            },
+        ];
+        let mut w = TraceWriter::new(Vec::new(), &sample_header()).unwrap();
+        for ev in &events {
+            w.write_event(ev).unwrap();
+        }
+        let via_writer = w.finish().unwrap();
+        // The scratch-free path: frame each standalone-encoded body.
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&MAGIC);
+        expected.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        write_frame(&mut expected, &encode_header_body(&sample_header())).unwrap();
+        for ev in &events {
+            write_frame(&mut expected, &encode_event(ev)).unwrap();
+        }
+        assert_eq!(via_writer, expected);
     }
 
     #[test]

@@ -2,9 +2,11 @@
 # Lint gate: formatting + clippy across the whole workspace, warnings fatal,
 # plus the perf-critical guarantees — benches must compile, the sharded
 # runners must be thread-count invariant, the metrics layer must keep its
-# merge-exactness/golden-schema promises, and the trig-free phase-table /
+# merge-exactness/golden-schema promises, the trig-free phase-table /
 # scratch-buffer readout fast path must stay bit-identical to the naive
-# oracles. Run locally before pushing; CI runs the same commands.
+# oracles, and the streaming codec engine must stay byte-identical to its
+# oracles and allocation-free in steady state. Run locally before pushing;
+# CI runs the same commands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,3 +19,8 @@ cargo test -q --test metrics
 cargo test -q -p artery-readout
 cargo test -q -p artery-core bit_identical
 cargo test -q --test readout_fastpath
+cargo test -q -p artery-pulse
+cargo test -q -p artery-trace
+cargo test -q --test codec_engine
+cargo test -q --test codec_zero_alloc
+cargo test -q --test trace

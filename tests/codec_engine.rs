@@ -1,0 +1,212 @@
+//! Integration tests pinning the streaming codec engine to the naive
+//! oracles: byte-identical encodes (golden bytes + proptests over random,
+//! constant, sparse and all-distinct streams), identical accept/reject
+//! behaviour on corrupted and truncated streams (never a panic, never an
+//! unbounded allocation), and byte-stable cached-codebook encodes.
+
+use artery::pulse::codec::{
+    codebook_key, Codec, CodebookCache, CodecAnalysis, CodecScratch, Combined, Huffman, RunLength,
+};
+use proptest::prelude::*;
+
+/// A realistic sparse control stream: a shaped pulse repeated between long
+/// idle stretches.
+fn sparse_stream() -> Vec<i16> {
+    let mut v = Vec::new();
+    for _ in 0..12 {
+        v.extend(std::iter::repeat_n(0i16, 700));
+        v.extend((0..60).map(|k| (k as i16) * 137));
+    }
+    v
+}
+
+fn structured_streams() -> Vec<Vec<i16>> {
+    vec![
+        Vec::new(),
+        vec![42; 500],                                   // constant
+        sparse_stream(),                                 // sparse
+        (0..1200).map(|k| k as i16).collect(),           // all-distinct
+        (0..900).map(|k| ((k * 7919) % 256) as i16 - 128).collect(), // pseudo-random
+    ]
+}
+
+/// The exact engine encode of `[0, 0, 0, 0, 5, 5, 7]`, computed by hand from
+/// the canonical wire format (lengths 0→1, 5→2, 7→2; codes 0, 10, 11). A
+/// pre-PR encode of this stream is bit-for-bit these bytes, and both the
+/// engine and the naive oracle must keep producing and decoding them.
+const GOLDEN_HUFFMAN: [u8; 23] = [
+    0x03, 0x00, 0x00, 0x00, // 3 symbols
+    0x00, 0x00, 0x01, // symbol 0, length 1
+    0x05, 0x00, 0x02, // symbol 5, length 2
+    0x07, 0x00, 0x02, // symbol 7, length 2
+    0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 7 samples
+    0x0a, 0xc0, // payload 0000 10 10 11 + pad
+];
+
+/// The engine Combined encode of the same stream: u64 run-section length,
+/// then Huffman([4, 2, 1]) (codes 4→0, 1→10, 2→11), then Huffman([0, 5, 7])
+/// (codes 7→0, 0→10, 5→11).
+const GOLDEN_COMBINED: [u8; 52] = [
+    0x16, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // run section = 22 bytes
+    0x03, 0x00, 0x00, 0x00, // runs: 3 symbols
+    0x04, 0x00, 0x01, // run 4, length 1
+    0x01, 0x00, 0x02, // run 1, length 2
+    0x02, 0x00, 0x02, // run 2, length 2
+    0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 3 run tokens
+    0x70, // payload 0 11 10 + pad
+    0x03, 0x00, 0x00, 0x00, // values: 3 symbols
+    0x07, 0x00, 0x01, // value 7, length 1
+    0x00, 0x00, 0x02, // value 0, length 2
+    0x05, 0x00, 0x02, // value 5, length 2
+    0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 3 value tokens
+    0xb0, // payload 10 11 0 + pad
+];
+
+#[test]
+fn golden_encode_bytes_are_pinned() {
+    let samples: Vec<i16> = vec![0, 0, 0, 0, 5, 5, 7];
+    assert_eq!(Huffman.encode(&samples), GOLDEN_HUFFMAN);
+    assert_eq!(Huffman.naive_encode(&samples), GOLDEN_HUFFMAN);
+    assert_eq!(Huffman.decode(&GOLDEN_HUFFMAN).unwrap(), samples);
+    assert_eq!(Huffman.naive_decode(&GOLDEN_HUFFMAN).unwrap(), samples);
+    assert_eq!(Combined.encode(&samples), GOLDEN_COMBINED);
+    assert_eq!(Combined.naive_encode(&samples), GOLDEN_COMBINED);
+    assert_eq!(Combined.decode(&GOLDEN_COMBINED).unwrap(), samples);
+    assert_eq!(Combined.naive_decode(&GOLDEN_COMBINED).unwrap(), samples);
+}
+
+#[test]
+fn engine_matches_naive_on_structured_streams() {
+    let mut scratch = CodecScratch::new();
+    let mut out = Vec::new();
+    let mut dec = Vec::new();
+    for samples in structured_streams() {
+        let huff = Huffman.naive_encode(&samples);
+        Huffman.encode_into(&samples, &mut scratch, &mut out);
+        assert_eq!(out, huff);
+        assert_eq!(Huffman.encode(&samples), huff);
+        Huffman.decode_into(&huff, &mut scratch, &mut dec).unwrap();
+        assert_eq!(dec, samples);
+
+        let comb = Combined.naive_encode(&samples);
+        Combined.encode_into(&samples, &mut scratch, &mut out);
+        assert_eq!(out, comb);
+        assert_eq!(Combined.encode(&samples), comb);
+        Combined.decode_into(&comb, &mut scratch, &mut dec).unwrap();
+        assert_eq!(dec, samples);
+    }
+}
+
+#[test]
+fn cached_codebook_encodes_are_byte_identical() {
+    let mut scratch = CodecScratch::new();
+    let mut cache = CodebookCache::new();
+    let mut out = Vec::new();
+    for samples in structured_streams() {
+        let key = codebook_key(&samples);
+        // Cold (build + insert) and warm (cached lengths) encodes both match
+        // the oracle exactly.
+        for _ in 0..2 {
+            cache.huffman_encode_into(key, &samples, &mut scratch, &mut out);
+            assert_eq!(out, Huffman.naive_encode(&samples));
+            cache.combined_encode_into(key, &samples, &mut scratch, &mut out);
+            assert_eq!(out, Combined.naive_encode(&samples));
+        }
+    }
+    assert!(!cache.is_empty());
+}
+
+#[test]
+fn analysis_matches_trait_stats() {
+    for samples in structured_streams() {
+        let analysis = CodecAnalysis::of(&samples);
+        assert_eq!(analysis.huffman, Huffman.stats(&samples));
+        assert_eq!(analysis.run_length, RunLength.stats(&samples));
+        assert_eq!(analysis.combined, Combined.stats(&samples));
+        assert_eq!(analysis.max_code_len, Huffman::max_code_len(&samples));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_encode_is_byte_identical_to_naive(
+        samples in proptest::collection::vec(any::<i16>(), 0..600)
+    ) {
+        prop_assert_eq!(Huffman.encode(&samples), Huffman.naive_encode(&samples));
+        prop_assert_eq!(Combined.encode(&samples), Combined.naive_encode(&samples));
+    }
+
+    #[test]
+    fn engine_encode_matches_naive_on_runny_data(
+        runs in proptest::collection::vec((1usize..50, -400i16..400), 0..50)
+    ) {
+        let samples: Vec<i16> = runs
+            .iter()
+            .flat_map(|&(n, v)| std::iter::repeat_n(v, n))
+            .collect();
+        let mut scratch = CodecScratch::new();
+        let mut out = Vec::new();
+        Huffman.encode_into(&samples, &mut scratch, &mut out);
+        prop_assert_eq!(&out, &Huffman.naive_encode(&samples));
+        Combined.encode_into(&samples, &mut scratch, &mut out);
+        prop_assert_eq!(&out, &Combined.naive_encode(&samples));
+        let mut dec = Vec::new();
+        Combined.decode_into(&out, &mut scratch, &mut dec).unwrap();
+        prop_assert_eq!(&dec, &samples);
+    }
+
+    /// Corrupted or truncated streams must never panic or allocate without
+    /// bound, and the engine decoder must accept exactly the streams the
+    /// naive oracle accepts — with identical values on acceptance. (Error
+    /// *messages* may differ between the two implementations.)
+    #[test]
+    fn corrupted_streams_decode_identically_to_naive(
+        samples in proptest::collection::vec(any::<i16>(), 0..300),
+        flips in proptest::collection::vec((any::<usize>(), 1u8..=255), 0..6),
+        cut in any::<usize>(),
+    ) {
+        for which in 0..2 {
+            let mut bytes = if which == 0 {
+                Huffman.naive_encode(&samples)
+            } else {
+                Combined.naive_encode(&samples)
+            };
+            for &(pos, mask) in &flips {
+                if !bytes.is_empty() {
+                    let n = bytes.len();
+                    bytes[pos % n] ^= mask;
+                }
+            }
+            bytes.truncate(cut % (bytes.len() + 1));
+            let (engine, naive) = if which == 0 {
+                (Huffman.decode(&bytes), Huffman.naive_decode(&bytes))
+            } else {
+                (Combined.decode(&bytes), Combined.naive_decode(&bytes))
+            };
+            prop_assert_eq!(
+                engine.is_err(),
+                naive.is_err(),
+                "engine/naive accept mismatch (codec {})",
+                which
+            );
+            if let (Ok(e), Ok(n)) = (engine, naive) {
+                prop_assert_eq!(e, n, "engine/naive value mismatch (codec {})", which);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_run_length_streams_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200)
+    ) {
+        let mut dec = Vec::new();
+        let into = RunLength.decode_into(&bytes, &mut dec);
+        let trait_path = RunLength.decode(&bytes);
+        prop_assert_eq!(into.is_err(), trait_path.is_err());
+        if let Ok(t) = trait_path {
+            prop_assert_eq!(dec, t);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Steady-state allocation accounting for the streaming codec engine: once
+//! the scratch buffers have warmed up to their high-water sizes, a full
+//! encode → decode → analysis → cached-encode loop must perform **zero**
+//! heap allocations. A counting `#[global_allocator]` makes the guarantee
+//! checkable; this file holds exactly one test so no concurrent test can
+//! perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use artery::pulse::codec::{
+    codebook_key, CodebookCache, CodecAnalysis, CodecScratch, Combined, Huffman, RunLength,
+};
+
+/// Counts every allocation (fresh, zeroed, or growing) and forwards to the
+/// system allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_codec_loop_performs_zero_allocations() {
+    // A sparse pulse-like stream with a non-trivial alphabet, so every code
+    // path (histogram, tree, LUT + subtables, tokenizer) is exercised.
+    let mut data = vec![0i16; 6000];
+    for (k, s) in data.iter_mut().enumerate() {
+        if k % 97 < 9 {
+            *s = ((k * 211) % 1291) as i16 - 600;
+        }
+    }
+    let mut scratch = CodecScratch::new();
+    let mut cache = CodebookCache::new();
+    let key = codebook_key(&data);
+    let mut enc = Vec::new();
+    let mut dec = Vec::new();
+    let expected_huffman = Huffman.naive_encode(&data);
+    let expected_combined = Combined.naive_encode(&data);
+
+    // Warm-up: two rounds grow every scratch buffer to its high-water size
+    // and populate the codebook cache.
+    for _ in 0..2 {
+        Huffman.encode_into(&data, &mut scratch, &mut enc);
+        assert_eq!(enc, expected_huffman);
+        Huffman.decode_into(&enc, &mut scratch, &mut dec).unwrap();
+        assert_eq!(dec, data);
+        Combined.encode_into(&data, &mut scratch, &mut enc);
+        assert_eq!(enc, expected_combined);
+        Combined.decode_into(&enc, &mut scratch, &mut dec).unwrap();
+        assert_eq!(dec, data);
+        RunLength.encode_into(&data, &mut enc);
+        RunLength.decode_into(&enc, &mut dec).unwrap();
+        cache.combined_encode_into(key, &data, &mut scratch, &mut enc);
+        assert_eq!(enc, expected_combined);
+        let _ = CodecAnalysis::compute(&data, &mut scratch);
+    }
+
+    // Steady state: the whole loop must not touch the heap.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        Huffman.encode_into(&data, &mut scratch, &mut enc);
+        Huffman.decode_into(&enc, &mut scratch, &mut dec).unwrap();
+        Combined.encode_into(&data, &mut scratch, &mut enc);
+        Combined.decode_into(&enc, &mut scratch, &mut dec).unwrap();
+        RunLength.encode_into(&data, &mut enc);
+        RunLength.decode_into(&enc, &mut dec).unwrap();
+        cache.combined_encode_into(key, &data, &mut scratch, &mut enc);
+        let _ = CodecAnalysis::compute(&data, &mut scratch);
+    }
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocations, 0,
+        "steady-state codec loop performed {allocations} heap allocations"
+    );
+
+    // And the loop was still doing real work: the final outputs are the
+    // oracle bytes and the exact input.
+    assert_eq!(enc, expected_combined);
+    assert_eq!(dec, data);
+}

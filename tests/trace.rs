@@ -45,6 +45,53 @@ fn golden_empty_trace_bytes_are_pinned() {
     assert_eq!(reader.read_all().expect("no events"), Vec::new());
 }
 
+/// One pinned event frame recorded before the scratch-buffer writer rewrite
+/// (PR 5): a committed shot at site 3 with runs 5×false / 3×true. The
+/// rewritten writer must keep producing — and replaying — these exact bytes.
+const GOLDEN_EVENT_FRAME: [u8; 39] = [
+    0x26, // event frame length (38)
+    0x07, // flags: reported | decided | branch-1, case Independent
+    0x03, // site = 3
+    0x02, // two state runs
+    0x05, 0x03, // runs: 5 × false, 3 × true
+    0x02, // decision window = 2
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe8, 0x3f, // p_history = 0.75
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x80, 0x40, // latency_ns = 512.0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // branch0_ns = 0.0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x3e, 0x40, // branch1_ns = 30.0
+];
+
+#[test]
+fn golden_event_trace_bytes_are_pinned() {
+    let header = TraceHeader::new(&ArteryConfig::paper(), "golden");
+    let event = TraceEvent {
+        site: 3,
+        case: PreExecCase::Independent,
+        reported: true,
+        states: vec![false, false, false, false, false, true, true, true],
+        iq: Vec::new(),
+        p_history: 0.75,
+        decision: Some(RecordedDecision {
+            window: 2,
+            branch: true,
+        }),
+        latency_ns: 512.0,
+        branch0_ns: 0.0,
+        branch1_ns: 30.0,
+    };
+    let mut writer = TraceWriter::new(Vec::new(), &header).expect("header");
+    writer.write_event(&event).expect("event");
+    let bytes = writer.finish().expect("finish");
+    let mut expected = GOLDEN_EMPTY_TRACE.to_vec();
+    expected.extend_from_slice(&GOLDEN_EVENT_FRAME);
+    assert_eq!(bytes, expected);
+
+    // And the pre-PR bytes replay bit-for-bit through today's reader.
+    let reader = TraceReader::new(expected.as_slice()).expect("golden readable");
+    assert_eq!(reader.header(), &header);
+    assert_eq!(reader.read_all().expect("events"), vec![event]);
+}
+
 #[test]
 fn magic_and_version_are_pinned() {
     assert_eq!(&MAGIC, b"ARTERYTR");
