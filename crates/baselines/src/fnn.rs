@@ -163,7 +163,7 @@ impl FnnClassifier {
     fn sgd_step(&mut self, x: &[f64], y: f64, lr: f64) {
         let (acts, p) = self.forward(x);
         let delta_out = p - y; // dL/dz for cross-entropy + sigmoid
-        // Output layer.
+                               // Output layer.
         for (w, a) in self.output[..acts.len()].iter_mut().zip(&acts) {
             *w -= lr * delta_out * a;
         }
@@ -329,7 +329,8 @@ mod tests {
         let mut traj = Vec::new();
         for state in [false, true] {
             let pulse = model.synthesize(state, &mut rng);
-            net.demod.cumulative_trajectory_into(&table, &pulse, &mut traj);
+            net.demod
+                .cumulative_trajectory_into(&table, &pulse, &mut traj);
             assert_eq!(net.features_from_trajectory(&traj), net.features(&pulse));
         }
     }

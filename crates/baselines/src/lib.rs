@@ -167,7 +167,10 @@ mod tests {
     #[test]
     fn all_lists_four() {
         let names: Vec<&str> = Baseline::all().iter().map(Baseline::name).collect();
-        assert_eq!(names, ["QubiC", "HERQULES", "Salathe et al.", "Reuer et al."]);
+        assert_eq!(
+            names,
+            ["QubiC", "HERQULES", "Salathe et al.", "Reuer et al."]
+        );
     }
 
     #[test]

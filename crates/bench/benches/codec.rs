@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use artery_pulse::codec::{
-    codebook_key, Codec, CodebookCache, CodecAnalysis, CodecScratch, Combined, Huffman, RunLength,
+    codebook_key, CodebookCache, Codec, CodecAnalysis, CodecScratch, Combined, Huffman, RunLength,
 };
 use artery_pulse::{PulseLibrary, PulseStream, StreamRealism};
 use artery_workloads::surface17_z_cycle;

@@ -33,7 +33,7 @@ fn main() {
     banner("EXT", "interconnect scaling: hierarchical vs flat routing");
     let hw = HardwareParams::paper();
     let systems = [
-        (3usize, 1usize),  // the paper's 18-qubit system
+        (3usize, 1usize), // the paper's 18-qubit system
         (4, 2),
         (4, 4),
         (6, 6),

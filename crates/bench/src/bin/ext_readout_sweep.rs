@@ -27,7 +27,10 @@ struct Row {
 }
 
 fn main() {
-    banner("EXT", "readout-duration sweep: faster readout, bigger ratio");
+    banner(
+        "EXT",
+        "readout-duration sweep: faster readout, bigger ratio",
+    );
     let shots = shots_or(250);
     let mut table = Table::new([
         "readout (µs)",
@@ -47,8 +50,8 @@ fn main() {
         let correction = skewed_correction(0.2);
         let mut qubic = Baseline::qubic().with_readout_ns(readout_ns);
 
-        let reset_q = runner::run_handler(&reset, &mut qubic, shots, "ext-readout/reset/q")
-            .total_feedback_us;
+        let reset_q =
+            runner::run_handler(&reset, &mut qubic, shots, "ext-readout/reset/q").total_feedback_us;
         let reset_a = runner::run_artery(
             &reset,
             &config,

@@ -25,14 +25,11 @@ struct Record {
 }
 
 fn sweep(configs: &[(usize, usize)], shots: usize, records: &mut Vec<Record>) {
-    let circuits: Vec<(String, artery_circuit::Circuit)> = [
-        Benchmark::Qrw(5),
-        Benchmark::Rcnot(3),
-        Benchmark::RusQnn(3),
-    ]
-    .iter()
-    .map(|b| (b.to_string(), b.circuit()))
-    .collect();
+    let circuits: Vec<(String, artery_circuit::Circuit)> =
+        [Benchmark::Qrw(5), Benchmark::Rcnot(3), Benchmark::RusQnn(3)]
+            .iter()
+            .map(|b| (b.to_string(), b.circuit()))
+            .collect();
     let mut table = Table::new([
         "k",
         "time buckets",
@@ -92,7 +89,11 @@ fn main() {
     );
 
     println!("\n## time-bucket sweep (k = 6; 1 bucket = the paper's literal table)\n");
-    sweep(&[(6, 1), (6, 2), (6, 4), (6, 8), (6, 16)], shots, &mut records);
+    sweep(
+        &[(6, 1), (6, 2), (6, 4), (6, 8), (6, 16)],
+        shots,
+        &mut records,
+    );
 
     let one_bucket = records
         .iter()

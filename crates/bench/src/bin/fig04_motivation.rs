@@ -42,11 +42,7 @@ fn main() {
     let (prior_1, posterior_1) = (p(halves[0]), p(halves[1]));
 
     let mut table = Table::new(["shots", "P(branch 0)", "P(branch 1)"]);
-    table.row([
-        "prior half".to_string(),
-        f3(1.0 - prior_1),
-        f3(prior_1),
-    ]);
+    table.row(["prior half".to_string(), f3(1.0 - prior_1), f3(prior_1)]);
     table.row([
         "posterior half".to_string(),
         f3(1.0 - posterior_1),

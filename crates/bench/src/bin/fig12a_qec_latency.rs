@@ -40,27 +40,43 @@ fn main() {
     let correction = skewed_correction(0.2);
     let reset = skewed_reset(0.2);
 
-    let corr_qubic =
-        runner::run_handler(&correction, &mut Baseline::qubic(), shots, "fig12a/corr/qubic");
+    let corr_qubic = runner::run_handler(
+        &correction,
+        &mut Baseline::qubic(),
+        shots,
+        "fig12a/corr/qubic",
+    );
     // The metrics runner shares the plain runner's RNG streams and labels,
     // so these summaries are exactly what `run_artery` would report.
-    let (corr_artery, corr_registry) =
-        runner::run_artery_metrics(&correction, &config, &calibration, shots, "fig12a/corr/artery");
+    let (corr_artery, corr_registry) = runner::run_artery_metrics(
+        &correction,
+        &config,
+        &calibration,
+        shots,
+        "fig12a/corr/artery",
+    );
     let reset_qubic =
         runner::run_handler(&reset, &mut Baseline::qubic(), shots, "fig12a/reset/qubic");
     let (reset_artery, reset_registry) =
         runner::run_artery_metrics(&reset, &config, &calibration, shots, "fig12a/reset/artery");
 
-    let cycle = |reset_us: f64| CycleTiming {
-        reset_us,
-        correction_us: 0.0,
-        gate_layer_us: CycleTiming::PAPER_GATE_LAYER_US,
-    }
-    .cycle_us();
+    let cycle = |reset_us: f64| {
+        CycleTiming {
+            reset_us,
+            correction_us: 0.0,
+            gate_layer_us: CycleTiming::PAPER_GATE_LAYER_US,
+        }
+        .cycle_us()
+    };
     let cycle_qubic = cycle(reset_qubic.total_feedback_us);
     let cycle_artery = cycle(reset_artery.total_feedback_us);
 
-    let mut table = Table::new(["quantity", "QubiC (paper)", "ARTERY (paper)", "speedup (paper)"]);
+    let mut table = Table::new([
+        "quantity",
+        "QubiC (paper)",
+        "ARTERY (paper)",
+        "speedup (paper)",
+    ]);
     table.row([
         "data-qubit correction (µs)".to_string(),
         format!("{} (2.16)", f2(corr_qubic.total_feedback_us)),

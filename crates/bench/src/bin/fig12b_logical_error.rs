@@ -28,14 +28,17 @@ struct Results {
 }
 
 fn main() {
-    banner("Fig. 12b", "d=3 logical error rate vs cycles, ARTERY vs QubiC");
+    banner(
+        "Fig. 12b",
+        "d=3 logical error rate vs cycles, ARTERY vs QubiC",
+    );
     let shots = shots_or(500);
     let config = ArteryConfig::paper();
     let calibration = runner::calibration_for(&config, "fig12b");
     let micro = skewed_correction(0.2);
 
-    let exposure_qubic = runner::run_handler(&micro, &mut Baseline::qubic(), 200, "fig12b/qubic")
-        .total_feedback_us;
+    let exposure_qubic =
+        runner::run_handler(&micro, &mut Baseline::qubic(), 200, "fig12b/qubic").total_feedback_us;
     let exposure_artery =
         runner::run_artery(&micro, &config, &calibration, 200, "fig12b/artery").total_feedback_us;
 
@@ -51,7 +54,12 @@ fn main() {
     );
 
     let cycles: Vec<usize> = (1..=30).step_by(3).collect();
-    let mut table = Table::new(["cycles", "QubiC logical err", "ARTERY logical err", "reduction"]);
+    let mut table = Table::new([
+        "cycles",
+        "QubiC logical err",
+        "ARTERY logical err",
+        "reduction",
+    ]);
     let mut curves: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
     let mut rng = artery_num::rng::rng_for("fig12b/memory");
     for &n in &cycles {

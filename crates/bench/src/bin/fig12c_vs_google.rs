@@ -33,15 +33,27 @@ struct Results {
 }
 
 fn main() {
-    banner("Fig. 12c", "ARTERY simulation vs Google's QEC demonstration");
+    banner(
+        "Fig. 12c",
+        "ARTERY simulation vs Google's QEC demonstration",
+    );
     let shots = shots_or(600);
     let config = ArteryConfig::paper();
     let calibration = runner::calibration_for(&config, "fig12c");
-    let exposure =
-        runner::run_artery(&skewed_correction(0.2), &config, &calibration, 200, "fig12c/exp")
-            .total_feedback_us;
+    let exposure = runner::run_artery(
+        &skewed_correction(0.2),
+        &config,
+        &calibration,
+        200,
+        "fig12c/exp",
+    )
+    .total_feedback_us;
     let noise = CycleNoiseModel::google_calibrated();
-    let exp = MemoryExperiment::new(RotatedSurfaceCode::new(3), noise.p_data(exposure), noise.p_meas);
+    let exp = MemoryExperiment::new(
+        RotatedSurfaceCode::new(3),
+        noise.p_data(exposure),
+        noise.p_meas,
+    );
 
     let cycles: Vec<usize> = vec![1, 5, 10, 15, 20, 25];
     let mut rng = artery_num::rng::rng_for("fig12c/memory");

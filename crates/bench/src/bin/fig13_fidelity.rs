@@ -35,7 +35,14 @@ fn main() {
         Benchmark::Reset(4),
     ];
 
-    let mut table = Table::new(["benchmark", "QubiC", "HERQULES", "Salathe", "Reuer", "ARTERY"]);
+    let mut table = Table::new([
+        "benchmark",
+        "QubiC",
+        "HERQULES",
+        "Salathe",
+        "Reuer",
+        "ARTERY",
+    ]);
     let mut records = Vec::new();
     // improvement[i] collects ARTERY / baseline_i ratios.
     let mut improvements = vec![Vec::new(); 4];

@@ -18,7 +18,10 @@ struct Record {
 }
 
 fn main() {
-    banner("Fig. 14", "feature ablation: history vs trajectory vs combined");
+    banner(
+        "Fig. 14",
+        "feature ablation: history vs trajectory vs combined",
+    );
     let shots = shots_or(250);
     let variants = [
         ("history-only", ArteryConfig::history_only()),

@@ -18,7 +18,10 @@ struct Record {
 }
 
 fn main() {
-    banner("Fig. 15b", "prediction accuracy distribution (14 batches each)");
+    banner(
+        "Fig. 15b",
+        "prediction accuracy distribution (14 batches each)",
+    );
     let shots = shots_or(120);
     let config = ArteryConfig::paper();
     let calibration = runner::calibration_for(&config, "fig15b");

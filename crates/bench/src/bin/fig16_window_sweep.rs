@@ -50,7 +50,11 @@ fn main() {
             mean_accuracy: artery_num::stats::mean(&accs),
             mean_latency_us: artery_num::stats::mean(&lats),
         };
-        table.row([f3(rec.window_us), f3(rec.mean_accuracy), f2(rec.mean_latency_us)]);
+        table.row([
+            f3(rec.window_us),
+            f3(rec.mean_accuracy),
+            f2(rec.mean_latency_us),
+        ]);
         records.push(rec);
     }
     table.print();

@@ -30,7 +30,7 @@ use artery_circuit::{Gate, Qubit};
 use artery_core::{ArteryConfig, BranchPredictor, Calibration};
 use artery_metrics::{JsonSink, MetricsSink};
 use artery_pulse::codec::{
-    codebook_key, Codec, CodebookCache, CodecAnalysis, CodecScratch, Combined, Huffman, RunLength,
+    codebook_key, CodebookCache, Codec, CodecAnalysis, CodecScratch, Combined, Huffman, RunLength,
 };
 use artery_pulse::{PulseLibrary, PulseStream, StreamRealism};
 use artery_readout::ReadoutPulse;
@@ -58,6 +58,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext_table_ablation",
     "ext_interconnect_scaling",
     "ext_readout_sweep",
+    "trace_eval",
 ];
 
 #[derive(Serialize)]
@@ -461,6 +462,17 @@ fn main() {
             Err(e) => eprintln!("could not write {codec_path}: {e}"),
         },
         Err(e) => eprintln!("could not serialize codec report: {e}"),
+    }
+
+    // The predictor-zoo leaderboard `trace_eval` just wrote is also a
+    // repo-root BENCH artifact: like BENCH_metrics.json it is a pure
+    // function of the recorded corpus, byte-identical for any
+    // `ARTERY_THREADS`, so future PRs can diff predictor quality.
+    let zoo_src = artery_bench::report::experiments_dir().join("predictors.json");
+    let zoo_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_predictors.json");
+    match std::fs::copy(&zoo_src, zoo_path) {
+        Ok(_) => println!("\n[predictor leaderboard written to {zoo_path}]"),
+        Err(e) => eprintln!("could not copy {} to {zoo_path}: {e}", zoo_src.display()),
     }
 
     println!("\n========== metrics snapshot ==========");

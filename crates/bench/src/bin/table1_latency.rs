@@ -62,8 +62,7 @@ fn main() {
     let mut avg_artery = Vec::new();
 
     for family in families {
-        let instances: Vec<&Benchmark> =
-            benches.iter().filter(|b| b.family() == family).collect();
+        let instances: Vec<&Benchmark> = benches.iter().filter(|b| b.family() == family).collect();
         let mut table = Table::new(
             std::iter::once("method".to_string()).chain(
                 instances

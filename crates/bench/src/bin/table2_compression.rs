@@ -23,7 +23,10 @@ struct Row {
 }
 
 fn main() {
-    banner("Table 2", "adaptive pulse sampling (bandwidth / #DAC / latency)");
+    banner(
+        "Table 2",
+        "adaptive pulse sampling (bandwidth / #DAC / latency)",
+    );
     let model = BandwidthModel::default();
     // Waveforms synthesize at 2 GSPS and are upsampled 2× for the 4 GSPS
     // interpolating DAC (§6.1); streams carry per-instance calibration

@@ -197,9 +197,7 @@ pub fn remap_branch(branch: &[BranchOp], from: Qubit, to: Qubit) -> Vec<BranchOp
                 BranchOp::Gate(crate::circuit::GateApp::new(g.gate, &qubits))
             }
             BranchOp::Reset(q) => BranchOp::Reset(if *q == from { to } else { *q }),
-            BranchOp::Measure(q, c) => {
-                BranchOp::Measure(if *q == from { to } else { *q }, *c)
-            }
+            BranchOp::Measure(q, c) => BranchOp::Measure(if *q == from { to } else { *q }, *c),
         })
         .collect()
 }

@@ -575,10 +575,7 @@ mod tests {
         let mut b = CircuitBuilder::new(2);
         b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(1)]).finish();
         let c = b.build();
-        assert_eq!(
-            c.instructions()[0].qubits(),
-            vec![Qubit(0), Qubit(1)]
-        );
+        assert_eq!(c.instructions()[0].qubits(), vec![Qubit(0), Qubit(1)]);
     }
 
     #[test]

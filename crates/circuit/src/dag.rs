@@ -70,11 +70,7 @@ impl CircuitDag {
         // ASAP layering.
         let mut layer_of = vec![0usize; n];
         for i in 0..n {
-            layer_of[i] = preds[i]
-                .iter()
-                .map(|&p| layer_of[p] + 1)
-                .max()
-                .unwrap_or(0);
+            layer_of[i] = preds[i].iter().map(|&p| layer_of[p] + 1).max().unwrap_or(0);
         }
         let depth = layer_of.iter().map(|&l| l + 1).max().unwrap_or(0);
         let mut layers = vec![Vec::new(); depth];

@@ -144,10 +144,9 @@ impl Gate {
                 let s = Complex64::new((t / 2.0).sin(), 0.0);
                 GateMatrix::One([[c, -s], [s, c]])
             }
-            Gate::RZ(t) => GateMatrix::One([
-                [Complex64::cis(-t / 2.0), z],
-                [z, Complex64::cis(t / 2.0)],
-            ]),
+            Gate::RZ(t) => {
+                GateMatrix::One([[Complex64::cis(-t / 2.0), z], [z, Complex64::cis(t / 2.0)]])
+            }
             Gate::X => GateMatrix::One([[z, o], [o, z]]),
             Gate::Y => GateMatrix::One([[z, -i], [i, z]]),
             Gate::Z => GateMatrix::One([[o, z], [z, -o]]),
@@ -325,7 +324,11 @@ mod tests {
                     let (rh, rl) = (r >> 1, r & 1);
                     let (ch, cl) = (c >> 1, c & 1);
                     out[r][c] = if local == 1 {
-                        if rh == ch { m[rl][cl] } else { z }
+                        if rh == ch {
+                            m[rl][cl]
+                        } else {
+                            z
+                        }
                     } else if rl == cl {
                         m[rh][ch]
                     } else {
@@ -353,7 +356,15 @@ mod tests {
 
     #[test]
     fn self_inverse_gates() {
-        for g in [Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::CZ, Gate::CNOT, Gate::Swap] {
+        for g in [
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::CZ,
+            Gate::CNOT,
+            Gate::Swap,
+        ] {
             assert_eq!(g.inverse(), g);
         }
     }

@@ -207,7 +207,9 @@ mod tests {
     #[test]
     fn phase_equality_ignores_global_phase() {
         let m = GateMatrix::identity(1);
-        let GateMatrix::One(i) = m else { unreachable!() };
+        let GateMatrix::One(i) = m else {
+            unreachable!()
+        };
         let mut rotated = i;
         let phase = Complex64::cis(0.7);
         for row in rotated.iter_mut() {

@@ -27,7 +27,9 @@ use artery_sim::{FeedbackHandler, Resolution};
 use rand::rngs::StdRng;
 
 use crate::config::ArteryConfig;
-use crate::predictor::{BranchPredictor, Calibration, Decision, HistoryTracker};
+use crate::predictor::{
+    BranchPredictor, Calibration, Decision, HistoryTracker, ShotView, SitePredictor,
+};
 
 /// Outcome record of one resolved feedback (harness export).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -332,6 +334,10 @@ pub struct ArteryController<'a> {
     site_theta: HashMap<usize, f64>,
     /// Reused per-shot buffers (zero-allocation steady state).
     scratch: ShotScratch,
+    /// Pluggable predictor replacing the built-in Bayesian walk, when set
+    /// via [`Self::with_zoo_predictor`]. `None` (the default) keeps the
+    /// inline [`BranchPredictor`] hot path.
+    zoo: Option<Box<dyn SitePredictor>>,
 }
 
 impl<'a> ArteryController<'a> {
@@ -355,7 +361,29 @@ impl<'a> ArteryController<'a> {
             metrics: None,
             site_theta: HashMap::new(),
             scratch: ShotScratch::new(),
+            zoo: None,
         }
+    }
+
+    /// Routes every prediction through `predictor` instead of the built-in
+    /// Bayesian walk — the CBP-style hot swap. The controller still
+    /// synthesizes, demodulates and classifies the in-flight pulse (so the
+    /// RNG stream, the latency model and the recorded traces are unchanged)
+    /// and still maintains its own per-site history, whose prior is passed
+    /// to the predictor through [`ShotView::p_history`].
+    ///
+    /// Swapping in the `artery-predictors` paper adapter reproduces the
+    /// default controller bit-for-bit; see that crate's tests.
+    #[must_use]
+    pub fn with_zoo_predictor(mut self, predictor: Box<dyn SitePredictor>) -> Self {
+        self.zoo = Some(predictor);
+        self
+    }
+
+    /// The pluggable predictor, when one was installed.
+    #[must_use]
+    pub fn zoo_predictor(&self) -> Option<&dyn SitePredictor> {
+        self.zoo.as_deref()
     }
 
     /// Overrides the confidence threshold at one feedback site (§6.6:
@@ -535,12 +563,30 @@ impl<'a> ArteryController<'a> {
             // One fused demodulate+classify pass: trajectory and window
             // states fill together, with no intermediate Vec.
             let centers = cal.centers();
-            cal.demod().fold_cumulative_with(cal.phase_table(), pulse, |iq| {
-                traj.push(iq);
-                states.push(centers.classify(iq));
-            });
-            let predictor = BranchPredictor::new(cal, &config);
-            predictor.predict_states_into(states, p_history, updates)
+            cal.demod()
+                .fold_cumulative_with(cal.phase_table(), pulse, |iq| {
+                    traj.push(iq);
+                    states.push(centers.classify(iq));
+                });
+            match &mut self.zoo {
+                // The hot swap: the pluggable predictor sees exactly what
+                // the built-in walk would have (window states, trajectory,
+                // prior — and the truth, for oracle bounds).
+                Some(zoo) => zoo.predict(
+                    &ShotView {
+                        site: fb.site,
+                        states,
+                        iq: traj,
+                        p_history,
+                        truth: reported,
+                    },
+                    updates,
+                ),
+                None => {
+                    let predictor = BranchPredictor::new(cal, &config);
+                    predictor.predict_states_into(states, p_history, updates)
+                }
+            }
         } else {
             // Case 4: never predict.
             None
@@ -565,6 +611,13 @@ impl<'a> ArteryController<'a> {
         let window = decision.map(|d| d.window);
 
         self.history.observe(fb.site, reported);
+        if let Some(zoo) = &mut self.zoo {
+            if analysis.case.benefits_from_prediction() {
+                zoo.update(fb.site, reported);
+            } else {
+                zoo.track_other(fb.site, reported);
+            }
+        }
         self.record(SiteOutcome {
             site: fb.site,
             window,
@@ -784,7 +837,10 @@ mod tests {
         // A near-certain threshold must slow the site down (later commits /
         // more sequential fallbacks) but raise accuracy.
         let (strict_lat, strict_acc) = run(Some(0.999));
-        assert!(strict_lat > default_lat, "strict {strict_lat} vs {default_lat}");
+        assert!(
+            strict_lat > default_lat,
+            "strict {strict_lat} vs {default_lat}"
+        );
         assert!(strict_acc > 0.95);
     }
 
@@ -824,7 +880,10 @@ mod tests {
             .iter()
             .filter(|o| o.correct() == Some(true))
             .collect();
-        assert!(!fast.is_empty(), "no correct predictions at the case-2 site");
+        assert!(
+            !fast.is_empty(),
+            "no correct predictions at the case-2 site"
+        );
         for o in &fast {
             assert!(
                 o.latency_ns < seq,
@@ -897,8 +956,7 @@ mod tests {
 
             let pulse = cal.model().synthesize(reported, &mut oracle_rng);
             let traj = cal.demod().cumulative_trajectory(&pulse);
-            let states: Vec<bool> =
-                traj.iter().map(|&iq| cal.centers().classify(iq)).collect();
+            let states: Vec<bool> = traj.iter().map(|&iq| cal.centers().classify(iq)).collect();
             let iq: Vec<(f64, f64)> = traj.iter().map(|p| (p.i, p.q)).collect();
             assert_eq!(trace.states, states);
             assert_eq!(trace.iq, iq);
@@ -1061,12 +1119,14 @@ mod tests {
         let registry = ctl.metrics().expect("metrics enabled");
         let resolved: u64 = registry.sites().map(|(_, s)| s.resolved.get()).sum();
         let committed: u64 = registry.sites().map(|(_, s)| s.committed.get()).sum();
-        let mispredicted: u64 =
-            registry.sites().map(|(_, s)| s.mispredicted.get()).sum();
+        let mispredicted: u64 = registry.sites().map(|(_, s)| s.mispredicted.get()).sum();
         let recovered: u64 = registry.sites().map(|(_, s)| s.recovered.get()).sum();
         assert_eq!(resolved, ctl.stats().resolved);
         assert_eq!(committed, ctl.stats().correct);
-        assert_eq!(mispredicted + recovered, 2 * (ctl.stats().committed - ctl.stats().correct));
+        assert_eq!(
+            mispredicted + recovered,
+            2 * (ctl.stats().committed - ctl.stats().correct)
+        );
         for (_, site) in registry.sites() {
             assert_eq!(site.latency_ns.count(), site.resolved.get());
             assert_eq!(site.peak_latency_ns.get(), site.latency_ns.max_ns());
@@ -1114,7 +1174,10 @@ mod tests {
         // Correct prediction: predict/trigger at the prediction-ready time,
         // pre-execution at the branch start, commit at the latency.
         let hit = resolve_timeline(1, &timing, 0.0, true, Some(2), Some(true), 320.0);
-        assert_eq!(hit.stage_at(Stage::Predict), Some(timing.prediction_ready_ns(2)));
+        assert_eq!(
+            hit.stage_at(Stage::Predict),
+            Some(timing.prediction_ready_ns(2))
+        );
         assert_eq!(
             hit.stage_at(Stage::TriggerFire),
             hit.stage_at(Stage::Predict)

@@ -47,7 +47,9 @@ pub mod tune;
 
 pub use config::ArteryConfig;
 pub use controller::{
-    feedback_latency_ns, resolve_timeline, ArteryController, ResolveTrace, ShotScratch,
-    ShotStats, SiteOutcome,
+    feedback_latency_ns, resolve_timeline, ArteryController, ResolveTrace, ShotScratch, ShotStats,
+    SiteOutcome,
 };
-pub use predictor::{BranchPredictor, Calibration, Decision, ShotPrediction};
+pub use predictor::{
+    BranchPredictor, Calibration, Decision, PredictorSpec, ShotPrediction, ShotView, SitePredictor,
+};

@@ -11,10 +11,12 @@
 
 mod bayes;
 mod history;
+mod site;
 mod table;
 
 pub use bayes::fuse;
 pub use history::HistoryTracker;
+pub use site::{PredictorSpec, ShotView, SitePredictor};
 pub use table::TrajectoryTable;
 
 use artery_hw::trigger::{ProbabilityUpdate, Thresholds};
@@ -129,7 +131,9 @@ impl Calibration {
     /// Refines the state table with an additional labelled pulse — the
     /// cross-program dynamic update of §4.
     pub fn update_with(&mut self, pulse: &ReadoutPulse, label: bool) {
-        let states = self.centers.window_states_with(pulse, &self.demod, &self.phases);
+        let states = self
+            .centers
+            .window_states_with(pulse, &self.demod, &self.phases);
         self.table.train([(states.as_slice(), label)]);
     }
 }
@@ -195,7 +199,9 @@ impl<'a> BranchPredictor<'a> {
     #[must_use]
     pub fn predict_shot(&self, pulse: &ReadoutPulse, p_history: f64) -> ShotPrediction {
         let cal = self.calibration;
-        let states = cal.centers.window_states_with(pulse, &cal.demod, &cal.phases);
+        let states = cal
+            .centers
+            .window_states_with(pulse, &cal.demod, &cal.phases);
         self.predict_states(&states, p_history)
     }
 
@@ -237,6 +243,28 @@ impl<'a> BranchPredictor<'a> {
         ShotPrediction { updates, decision }
     }
 
+    /// The §4 per-window fusion step shared by every probability walk: the
+    /// trajectory-table lookup for window `w` of `n` (uniform when the
+    /// feature is ablated) fused with the history feature `ph`.
+    fn window_probability(&self, states: &[bool], w: usize, n: usize, ph: f64) -> f64 {
+        let pr = if self.config.use_trajectory {
+            let table = &self.calibration.table;
+            table.p_read_1(table.bucket_of(w, n), table.pattern_of(&states[..=w]))
+        } else {
+            0.5
+        };
+        fuse(ph, pr)
+    }
+
+    /// The history feature: the per-site prior, or uniform when ablated.
+    fn history_feature(&self, p_history: f64) -> f64 {
+        if self.config.use_history {
+            p_history
+        } else {
+            0.5
+        }
+    }
+
     /// Buffer-reusing [`Self::predict_states`]: clears and refills
     /// `updates` and returns the first threshold crossing.
     pub fn predict_states_into(
@@ -245,25 +273,13 @@ impl<'a> BranchPredictor<'a> {
         p_history: f64,
         updates: &mut Vec<ProbabilityUpdate>,
     ) -> Option<Decision> {
-        let cal = self.calibration;
         let n = states.len();
         updates.clear();
         updates.reserve(n.saturating_sub(self.config.k - 1));
         let mut decision = None;
-        let ph = if self.config.use_history {
-            p_history
-        } else {
-            0.5
-        };
+        let ph = self.history_feature(p_history);
         for w in (self.config.k - 1)..n {
-            let pr = if self.config.use_trajectory {
-                let pattern = cal.table.pattern_of(&states[..=w]);
-                let bucket = cal.table.bucket_of(w, n);
-                cal.table.p_read_1(bucket, pattern)
-            } else {
-                0.5
-            };
-            let p = fuse(ph, pr);
+            let p = self.window_probability(states, w, n, ph);
             updates.push(ProbabilityUpdate {
                 window: w,
                 p_predict_1: p,
@@ -288,24 +304,21 @@ impl<'a> BranchPredictor<'a> {
     /// first-crossing early exit — used by the accuracy-versus-readout-time
     /// analysis (Fig. 15 a), where the decision is forced at a chosen time.
     #[must_use]
-    pub fn probability_stream(&self, pulse: &ReadoutPulse, p_history: f64) -> Vec<ProbabilityUpdate> {
+    pub fn probability_stream(
+        &self,
+        pulse: &ReadoutPulse,
+        p_history: f64,
+    ) -> Vec<ProbabilityUpdate> {
         let cal = self.calibration;
-        let states = cal.centers.window_states_with(pulse, &cal.demod, &cal.phases);
+        let states = cal
+            .centers
+            .window_states_with(pulse, &cal.demod, &cal.phases);
         let n = states.len();
-        let ph = if self.config.use_history { p_history } else { 0.5 };
+        let ph = self.history_feature(p_history);
         ((self.config.k - 1)..n)
-            .map(|w| {
-                let pr = if self.config.use_trajectory {
-                    let pattern = cal.table.pattern_of(&states[..=w]);
-                    let bucket = cal.table.bucket_of(w, n);
-                    cal.table.p_read_1(bucket, pattern)
-                } else {
-                    0.5
-                };
-                ProbabilityUpdate {
-                    window: w,
-                    p_predict_1: fuse(ph, pr),
-                }
+            .map(|w| ProbabilityUpdate {
+                window: w,
+                p_predict_1: self.window_probability(&states, w, n, ph),
             })
             .collect()
     }
@@ -367,6 +380,33 @@ mod tests {
         // With a 50/50 prior the decision should wait well past the first
         // lookup (window 5) — typically several hundred ns into the pulse.
         assert!(mean_window > 8.0, "mean decision window {mean_window}");
+    }
+
+    #[test]
+    fn stream_prefix_matches_decision_walk_bit_for_bit() {
+        // Pin for the shared per-window step: the early-exit decision walk
+        // and the full probability stream must agree bit-for-bit on every
+        // window the walk visited, for every feature ablation.
+        let cal = calibration();
+        for config in [
+            ArteryConfig::paper(),
+            ArteryConfig::history_only(),
+            ArteryConfig::trajectory_only(),
+        ] {
+            let pred = BranchPredictor::new(&cal, &config);
+            let mut rng = rng_for("pred/s2");
+            for k in 0..20 {
+                let pulse = cal.model().synthesize(k % 2 == 0, &mut rng);
+                let p_history = 0.05 + 0.9 * (k as f64 / 19.0);
+                let shot = pred.predict_shot(&pulse, p_history);
+                let stream = pred.probability_stream(&pulse, p_history);
+                assert!(shot.updates.len() <= stream.len());
+                for (walked, streamed) in shot.updates.iter().zip(&stream) {
+                    assert_eq!(walked.window, streamed.window);
+                    assert_eq!(walked.p_predict_1.to_bits(), streamed.p_predict_1.to_bits());
+                }
+            }
+        }
     }
 
     #[test]
@@ -476,10 +516,7 @@ mod tests {
                 let decision = pred.predict_shot_into(&pulse, ph, &mut states, &mut updates);
                 assert_eq!(decision, shot.decision);
                 assert_eq!(updates, shot.updates);
-                assert_eq!(
-                    states,
-                    cal.centers().window_states(&pulse, cal.demod())
-                );
+                assert_eq!(states, cal.centers().window_states(&pulse, cal.demod()));
             }
         }
     }

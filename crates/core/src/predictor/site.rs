@@ -1,0 +1,178 @@
+//! The pluggable per-site predictor interface — the CBP wrapper shape.
+//!
+//! The championship-branch-prediction world the paper borrows from scores
+//! predictors through one narrow interface: *predict* on the information
+//! available before the branch resolves, *update* on the resolved outcome,
+//! and a *spec* describing the contender. [`SitePredictor`] is that
+//! interface for quantum feedback: per shot the controller (or the trace
+//! replayer) hands the predictor everything the live hardware would have —
+//! the feedback site, the per-window preliminary classifications of the
+//! in-flight readout pulse, the cumulative IQ trajectory and the site's
+//! historical prior — and the predictor walks the windows and may commit to
+//! a branch. After the readout completes, the resolved outcome trains the
+//! predictor.
+//!
+//! [`ArteryController`](crate::ArteryController) accepts any boxed
+//! implementation via
+//! [`with_zoo_predictor`](crate::ArteryController::with_zoo_predictor);
+//! the `artery-predictors` crate ships the zoo (the paper's Bayesian
+//! predictor behind this trait, a TAGE history predictor, baselines and an
+//! oracle) plus the trace-driven leaderboard that ranks them.
+
+use artery_circuit::FeedbackSite;
+use artery_hw::trigger::ProbabilityUpdate;
+use artery_readout::IqPoint;
+
+use super::Decision;
+
+/// Everything a predictor may look at while one shot's readout is in
+/// flight, borrowed from the controller's scratch buffers (live path) or a
+/// recorded trace event (replay path).
+#[derive(Debug, Clone, Copy)]
+pub struct ShotView<'a> {
+    /// The feedback site being resolved.
+    pub site: FeedbackSite,
+    /// Per-window preliminary classifications of the in-flight pulse.
+    pub states: &'a [bool],
+    /// Cumulative IQ trajectory at each window boundary. May be empty when
+    /// the source (a slim trace) did not retain IQ; predictors that need it
+    /// must degrade to "no commitment" rather than panic.
+    pub iq: &'a [IqPoint],
+    /// The site's historical prior `P_history_1` at shot start.
+    pub p_history: f64,
+    /// The classification the hardware will report at readout end.
+    ///
+    /// This is the *future*: it exists so an oracle upper bound can be
+    /// scored alongside real predictors, exactly as CBP traces carry the
+    /// resolved direction. Every non-oracle predictor must ignore it.
+    pub truth: bool,
+}
+
+/// Descriptor of one predictor in the zoo — the CBP "spec" line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictorSpec {
+    /// Leaderboard name, e.g. `"tage"`.
+    pub name: String,
+    /// One-line description of the algorithm and its configuration.
+    pub detail: String,
+    /// Whether the predictor reads [`ShotView::truth`] (oracle bounds are
+    /// ranked but disqualified from "best real predictor" claims).
+    pub is_oracle: bool,
+}
+
+/// A hot-swappable per-site branch predictor (the CBP wrapper shape:
+/// predict / update / spec).
+///
+/// Implementations must be deterministic: the same sequence of
+/// [`predict`](Self::predict) / [`update`](Self::update) /
+/// [`track_other`](Self::track_other) calls must leave identical state and
+/// produce identical decisions, so sharded replay stays bit-identical for
+/// any worker count. (`Send + Sync` because harnesses share a prototype
+/// zoo across shard workers, each taking its own [`clone_box`](Self::clone_box).)
+pub trait SitePredictor: std::fmt::Debug + Send + Sync {
+    /// The descriptor shown on the leaderboard.
+    fn spec(&self) -> PredictorSpec;
+
+    /// Walks the demodulation windows of one shot and returns the first
+    /// commitment, if any. `updates` is cleared and refilled with the
+    /// per-window probability stream the predictor produced (empty is fine
+    /// for predictors that do not expose one).
+    fn predict(
+        &mut self,
+        view: &ShotView<'_>,
+        updates: &mut Vec<ProbabilityUpdate>,
+    ) -> Option<Decision>;
+
+    /// Trains on the resolved outcome of a shot this predictor was asked to
+    /// [`predict`](Self::predict).
+    fn update(&mut self, site: FeedbackSite, outcome: bool);
+
+    /// Observes the resolved outcome of a shot the controller *never*
+    /// predicted (a case-4 site): the outcome is real history even though
+    /// no prediction was scored. Defaults to [`update`](Self::update).
+    fn track_other(&mut self, site: FeedbackSite, outcome: bool) {
+        self.update(site, outcome);
+    }
+
+    /// Clones the predictor with its full training state — shard replay
+    /// hands each worker its own copy.
+    fn clone_box(&self) -> Box<dyn SitePredictor>;
+}
+
+impl Clone for Box<dyn SitePredictor> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal conforming implementation used to pin the object-safety
+    /// and default-method contract.
+    #[derive(Debug, Clone, Default)]
+    struct Counting {
+        updates: u64,
+    }
+
+    impl SitePredictor for Counting {
+        fn spec(&self) -> PredictorSpec {
+            PredictorSpec {
+                name: "counting".into(),
+                detail: "test stub".into(),
+                is_oracle: false,
+            }
+        }
+
+        fn predict(
+            &mut self,
+            _view: &ShotView<'_>,
+            updates: &mut Vec<ProbabilityUpdate>,
+        ) -> Option<Decision> {
+            updates.clear();
+            None
+        }
+
+        fn update(&mut self, _site: FeedbackSite, _outcome: bool) {
+            self.updates += 1;
+        }
+
+        fn clone_box(&self) -> Box<dyn SitePredictor> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_boxes_clone() {
+        let mut boxed: Box<dyn SitePredictor> = Box::new(Counting::default());
+        boxed.update(FeedbackSite(0), true);
+        let mut cloned = boxed.clone();
+        // The clone carries the training state, and the two diverge after.
+        cloned.update(FeedbackSite(0), false);
+        assert_eq!(boxed.spec().name, "counting");
+        assert_eq!(cloned.spec().name, "counting");
+    }
+
+    #[test]
+    fn default_track_other_delegates_to_update() {
+        let mut p = Counting::default();
+        p.track_other(FeedbackSite(0), true);
+        assert_eq!(p.updates, 1);
+    }
+
+    #[test]
+    fn view_is_copy_and_borrows() {
+        let states = [true, false];
+        let view = ShotView {
+            site: FeedbackSite(3),
+            states: &states,
+            iq: &[],
+            p_history: 0.5,
+            truth: true,
+        };
+        let copy = view;
+        assert_eq!(copy.states, view.states);
+        assert_eq!(copy.site, FeedbackSite(3));
+    }
+}

@@ -149,8 +149,7 @@ mod tests {
         let train: Vec<ReadoutPulse> = (0..400)
             .map(|k| cal.model().synthesize(k % 2 == 0, &mut rng))
             .collect();
-        let (scores, _) =
-            tune_threshold(&cal, &config, &[0.70, 0.99], &train, 0.5, 60.0);
+        let (scores, _) = tune_threshold(&cal, &config, &[0.70, 0.99], &train, 0.5, 60.0);
         assert!(
             scores[1].accuracy >= scores[0].accuracy,
             "θ=0.99 accuracy {:.3} below θ=0.70 {:.3}",

@@ -76,10 +76,7 @@ impl ControllerTiming {
     /// any recovery).
     #[must_use]
     pub fn branch_start_ns(&self, window: usize, route_ns: f64) -> f64 {
-        self.prediction_ready_ns(window)
-            + route_ns
-            + self.params.pulse_prep_ns
-            + self.params.dac_ns
+        self.prediction_ready_ns(window) + route_ns + self.params.pulse_prep_ns + self.params.dac_ns
     }
 
     /// Latency of a case-3 (reset-style) predicted feedback: the branch pulse

@@ -114,10 +114,7 @@ pub fn feedback_timeline(
     let hw = timing.params();
     let mut queue = EventQueue::new();
     let trigger = controller.first_trigger(updates.iter().copied(), timing, route_ns);
-    let last_window = trigger.map_or(
-        updates.last().map_or(0, |u| u.window),
-        |t| t.window,
-    );
+    let last_window = trigger.map_or(updates.last().map_or(0, |u| u.window), |t| t.window);
     for u in updates.iter().take_while(|u| u.window <= last_window) {
         let window_end = (u.window as f64 + 1.0) * timing.window_ns();
         queue.push(TimelineEvent {

@@ -117,7 +117,12 @@ impl Topology {
 
     /// Latency of the feedback path between two qubits' controllers, ns.
     #[must_use]
-    pub fn qubit_route_latency_ns(&self, from_qubit: usize, to_qubit: usize, hw: &HardwareParams) -> f64 {
+    pub fn qubit_route_latency_ns(
+        &self,
+        from_qubit: usize,
+        to_qubit: usize,
+        hw: &HardwareParams,
+    ) -> f64 {
         self.route_latency_ns(
             self.fpga_of_qubit(from_qubit),
             self.fpga_of_qubit(to_qubit),
@@ -176,8 +181,14 @@ mod tests {
     fn route_levels() {
         let t = big();
         assert_eq!(t.route_level(FpgaId(0), FpgaId(0)), RouteLevel::IntraFpga);
-        assert_eq!(t.route_level(FpgaId(0), FpgaId(3)), RouteLevel::IntraBackplane);
-        assert_eq!(t.route_level(FpgaId(0), FpgaId(4)), RouteLevel::InterBackplane);
+        assert_eq!(
+            t.route_level(FpgaId(0), FpgaId(3)),
+            RouteLevel::IntraBackplane
+        );
+        assert_eq!(
+            t.route_level(FpgaId(0), FpgaId(4)),
+            RouteLevel::InterBackplane
+        );
     }
 
     #[test]

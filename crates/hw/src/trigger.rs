@@ -166,10 +166,22 @@ mod tests {
     fn first_crossing_fires() {
         let ctl = DynamicTimingController::new(Thresholds::symmetric(0.9));
         let updates = vec![
-            ProbabilityUpdate { window: 0, p_predict_1: 0.7 },
-            ProbabilityUpdate { window: 1, p_predict_1: 0.85 },
-            ProbabilityUpdate { window: 2, p_predict_1: 0.93 },
-            ProbabilityUpdate { window: 3, p_predict_1: 0.99 },
+            ProbabilityUpdate {
+                window: 0,
+                p_predict_1: 0.7,
+            },
+            ProbabilityUpdate {
+                window: 1,
+                p_predict_1: 0.85,
+            },
+            ProbabilityUpdate {
+                window: 2,
+                p_predict_1: 0.93,
+            },
+            ProbabilityUpdate {
+                window: 3,
+                p_predict_1: 0.99,
+            },
         ];
         let trig = ctl.first_trigger(updates, &timing(), 0.0).expect("trigger");
         assert_eq!(trig.window, 2);
@@ -181,7 +193,10 @@ mod tests {
     #[test]
     fn branch_zero_trigger() {
         let ctl = DynamicTimingController::new(Thresholds::symmetric(0.9));
-        let updates = vec![ProbabilityUpdate { window: 5, p_predict_1: 0.02 }];
+        let updates = vec![ProbabilityUpdate {
+            window: 5,
+            p_predict_1: 0.02,
+        }];
         let trig = ctl.first_trigger(updates, &timing(), 0.0).expect("trigger");
         assert!(!trig.branch);
     }
@@ -189,7 +204,10 @@ mod tests {
     #[test]
     fn no_crossing_no_trigger() {
         let ctl = DynamicTimingController::new(Thresholds::symmetric(0.95));
-        let updates = (0..66).map(|w| ProbabilityUpdate { window: w, p_predict_1: 0.5 });
+        let updates = (0..66).map(|w| ProbabilityUpdate {
+            window: w,
+            p_predict_1: 0.5,
+        });
         assert!(ctl.first_trigger(updates, &timing(), 0.0).is_none());
     }
 
@@ -235,7 +253,10 @@ mod tests {
     #[test]
     fn remote_trigger_adds_route_latency() {
         let ctl = DynamicTimingController::new(Thresholds::symmetric(0.9));
-        let updates = vec![ProbabilityUpdate { window: 2, p_predict_1: 0.95 }];
+        let updates = vec![ProbabilityUpdate {
+            window: 2,
+            p_predict_1: 0.95,
+        }];
         let local = ctl
             .first_trigger(updates.clone(), &timing(), 0.0)
             .expect("local");

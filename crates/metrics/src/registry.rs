@@ -67,7 +67,8 @@ impl SiteMetrics {
     pub fn merge(&mut self, other: &SiteMetrics) {
         self.latency_ns.merge(&other.latency_ns);
         self.commit_latency_ns.merge(&other.commit_latency_ns);
-        self.mispredict_latency_ns.merge(&other.mispredict_latency_ns);
+        self.mispredict_latency_ns
+            .merge(&other.mispredict_latency_ns);
         self.trigger_fire_ns.merge(&other.trigger_fire_ns);
         self.resolved.merge(&other.resolved);
         self.committed.merge(&other.committed);
@@ -116,7 +117,10 @@ impl MetricsRegistry {
 
     /// Folds one resolve timeline into its site's aggregates.
     pub fn observe(&mut self, timeline: &ShotTimeline) {
-        self.sites.entry(timeline.site()).or_default().observe(timeline);
+        self.sites
+            .entry(timeline.site())
+            .or_default()
+            .observe(timeline);
     }
 
     /// The aggregates for one site, if it has been observed.
@@ -344,10 +348,7 @@ mod tests {
         }
         assert_eq!(forward, whole);
         assert_eq!(backward, whole);
-        assert_eq!(
-            forward.snapshot("x").sites,
-            whole.snapshot("x").sites
-        );
+        assert_eq!(forward.snapshot("x").sites, whole.snapshot("x").sites);
     }
 
     #[test]

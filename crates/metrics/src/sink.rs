@@ -99,8 +99,7 @@ mod tests {
         // Empty groups serialize fine too.
         let empty = MetricsSnapshot::new();
         assert!(empty.groups.is_empty());
-        let parsed: MetricsSnapshot =
-            serde_json::from_str(&empty.to_json_string()).unwrap();
+        let parsed: MetricsSnapshot = serde_json::from_str(&empty.to_json_string()).unwrap();
         assert_eq!(parsed, empty);
     }
 }

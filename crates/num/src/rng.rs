@@ -83,8 +83,14 @@ mod tests {
 
     #[test]
     fn same_label_same_stream() {
-        let xs: Vec<u64> = rng_for("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> = rng_for("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> = rng_for("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = rng_for("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 

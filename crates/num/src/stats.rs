@@ -119,7 +119,8 @@ impl Accumulator {
     /// repeated merging.
     pub fn merge(&mut self, other: &Accumulator) {
         debug_assert!(
-            other.count == 0 || !(other.min > other.max),
+            other.count == 0
+                || other.min.partial_cmp(&other.max) != Some(std::cmp::Ordering::Greater),
             "merge operand has {} samples but min {} > max {} — \
              was it merged from overlapping or corrupted shards?",
             other.count,
@@ -140,8 +141,8 @@ impl Accumulator {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);

@@ -1,0 +1,141 @@
+//! History-only bimodal baseline: one saturating counter per site.
+
+use std::collections::HashMap;
+
+use artery_circuit::FeedbackSite;
+use artery_core::{ArteryConfig, Decision, PredictorSpec, ShotView, SitePredictor};
+use artery_hw::trigger::{ProbabilityUpdate, Thresholds};
+
+/// Counter width in bits. Wide enough that a saturated counter's
+/// probability (1 − 1/2⁷) clears any threshold the paper sweeps (Fig. 17
+/// tops out at 0.99); a classic 2-bit bimodal counter could never commit.
+const BITS: u32 = 6;
+const MAX: i32 = (1 << (BITS - 1)) - 1;
+
+/// The simplest real contender: a per-site `BITS`-bit saturating counter,
+/// no trajectory feature, no tagged history. The counter's probability is
+/// checked against θ once the branch history registers are full (window
+/// `k − 1`); it never changes mid-readout, so the prediction either fires
+/// there or the shot degrades to sequential feedback.
+///
+/// This is the floor TAGE must beat: it captures a site's bias and nothing
+/// else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bimodal {
+    k: usize,
+    thresholds: Thresholds,
+    counters: HashMap<usize, i32>,
+}
+
+impl Bimodal {
+    /// An empty table; `k` and θ come from the ARTERY configuration so the
+    /// earliest decision window and the trigger match the other contenders.
+    #[must_use]
+    pub fn new(config: &ArteryConfig) -> Self {
+        Self {
+            k: config.k,
+            thresholds: Thresholds::symmetric(config.theta),
+            counters: HashMap::new(),
+        }
+    }
+
+    /// `P(outcome = 1)` of a site: the counter mapped onto (0, 1).
+    #[must_use]
+    pub fn probability(&self, site: FeedbackSite) -> f64 {
+        let c = self.counters.get(&site.0).copied().unwrap_or(0);
+        (f64::from(c) + f64::from(MAX) + 1.5) / f64::from(2 * (MAX + 1))
+    }
+}
+
+impl SitePredictor for Bimodal {
+    fn spec(&self) -> PredictorSpec {
+        PredictorSpec {
+            name: "bimodal".into(),
+            detail: format!("history-only per-site {BITS}-bit saturating counter"),
+            is_oracle: false,
+        }
+    }
+
+    fn predict(
+        &mut self,
+        view: &ShotView<'_>,
+        updates: &mut Vec<ProbabilityUpdate>,
+    ) -> Option<Decision> {
+        updates.clear();
+        if view.states.len() < self.k {
+            return None;
+        }
+        let window = self.k - 1;
+        let p = self.probability(view.site);
+        updates.push(ProbabilityUpdate {
+            window,
+            p_predict_1: p,
+        });
+        self.thresholds.decide(p).map(|branch| Decision {
+            window,
+            branch,
+            p_predict_1: p,
+        })
+    }
+
+    fn update(&mut self, site: FeedbackSite, outcome: bool) {
+        let c = self.counters.entry(site.0).or_insert(0);
+        *c = (*c + if outcome { 1 } else { -1 }).clamp(-(MAX + 1), MAX);
+    }
+
+    fn clone_box(&self) -> Box<dyn SitePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(states: &[bool]) -> ShotView<'_> {
+        ShotView {
+            site: FeedbackSite(0),
+            states,
+            iq: &[],
+            p_history: 0.5,
+            truth: false,
+        }
+    }
+
+    #[test]
+    fn cold_counter_never_commits() {
+        let mut b = Bimodal::new(&ArteryConfig::paper());
+        let states = vec![true; 20];
+        let mut updates = Vec::new();
+        assert_eq!(b.predict(&view(&states), &mut updates), None);
+        assert_eq!(updates.len(), 1);
+        assert!((b.probability(FeedbackSite(0)) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn saturated_counter_commits_at_first_window() {
+        let config = ArteryConfig::paper();
+        let mut b = Bimodal::new(&config);
+        for _ in 0..100 {
+            b.update(FeedbackSite(0), false);
+        }
+        let states = vec![true; 20];
+        let mut updates = Vec::new();
+        let d = b.predict(&view(&states), &mut updates).expect("commit");
+        assert!(!d.branch);
+        assert_eq!(d.window, config.k - 1);
+        assert!(b.probability(FeedbackSite(0)) < 0.03);
+    }
+
+    #[test]
+    fn short_streams_never_commit() {
+        let mut b = Bimodal::new(&ArteryConfig::paper());
+        for _ in 0..100 {
+            b.update(FeedbackSite(0), true);
+        }
+        let states = vec![true; 3]; // fewer than k windows
+        let mut updates = Vec::new();
+        assert_eq!(b.predict(&view(&states), &mut updates), None);
+        assert!(updates.is_empty());
+    }
+}

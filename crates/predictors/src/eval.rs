@@ -1,0 +1,263 @@
+//! Trace-driven zoo scoring — the CBP leaderboard's inner loop.
+//!
+//! [`ZooReplayer`] is [`Replayer`](artery_trace::Replayer) generalized over
+//! [`SitePredictor`]: it re-drives one contender over recorded trace
+//! events with exactly the live controller's semantics — the history prior
+//! is re-derived from the recorded outcome stream, `case.benefits_from_
+//! prediction()` gates prediction, the decision is priced through
+//! [`feedback_latency_ns`], and the outcome trains the predictor via
+//! `update`/`track_other`. Replaying the paper adapter therefore
+//! reproduces the recorded configuration's statistics bit-for-bit (pinned
+//! by this module's tests and the `trace_eval` harness).
+
+use std::collections::BTreeMap;
+
+use artery_circuit::FeedbackSite;
+use artery_core::predictor::HistoryTracker;
+use artery_core::{
+    feedback_latency_ns, ArteryConfig, PredictorSpec, ShotStats, ShotView, SiteOutcome,
+    SitePredictor,
+};
+use artery_hw::trigger::ProbabilityUpdate;
+use artery_hw::ControllerTiming;
+use artery_readout::IqPoint;
+use artery_trace::TraceEvent;
+
+/// One contender's leaderboard entry: aggregate statistics plus the
+/// per-site split (the per-predictor mispredict counters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorScore {
+    /// The contender's descriptor.
+    pub spec: PredictorSpec,
+    /// Aggregate statistics over every replayed feedback.
+    pub stats: ShotStats,
+    /// Per-site statistics, keyed by site index (deterministic order).
+    pub sites: BTreeMap<usize, ShotStats>,
+}
+
+impl PredictorScore {
+    /// Committed-but-wrong predictions.
+    #[must_use]
+    pub fn mispredicts(&self) -> u64 {
+        self.stats.committed - self.stats.correct
+    }
+
+    /// The MPKI analog: mispredictions per 1 000 resolved feedbacks.
+    #[must_use]
+    pub fn mispredicts_per_1k(&self) -> f64 {
+        if self.stats.resolved == 0 {
+            0.0
+        } else {
+            1000.0 * self.mispredicts() as f64 / self.stats.resolved as f64
+        }
+    }
+
+    /// Merges another shard's score for the same contender (shard-order
+    /// reduction keeps the leaderboard thread-count invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scores describe different contenders.
+    pub fn merge(&mut self, other: &PredictorScore) {
+        assert_eq!(
+            self.spec, other.spec,
+            "merging scores of different contenders"
+        );
+        self.stats.merge(&other.stats);
+        for (site, stats) in &other.sites {
+            self.sites.entry(*site).or_default().merge(stats);
+        }
+    }
+}
+
+/// Re-drives one [`SitePredictor`] over recorded trace events.
+#[derive(Debug, Clone)]
+pub struct ZooReplayer {
+    config: ArteryConfig,
+    timing: ControllerTiming,
+    history: HistoryTracker,
+    predictor: Box<dyn SitePredictor>,
+    stats: ShotStats,
+    sites: BTreeMap<usize, ShotStats>,
+    /// Reused per-event buffers.
+    iq: Vec<IqPoint>,
+    updates: Vec<ProbabilityUpdate>,
+}
+
+impl ZooReplayer {
+    /// Builds a replayer driving `predictor` under `config`'s latency
+    /// model. The predictor arrives with whatever training it already has;
+    /// warm it by replaying warm-up events, then [`Self::reset_stats`].
+    #[must_use]
+    pub fn new(predictor: Box<dyn SitePredictor>, config: &ArteryConfig) -> Self {
+        Self {
+            config: *config,
+            timing: ControllerTiming::new(config.hardware(), config.window_ns),
+            history: HistoryTracker::new(),
+            predictor,
+            stats: ShotStats::default(),
+            sites: BTreeMap::new(),
+            iq: Vec::new(),
+            updates: Vec::new(),
+        }
+    }
+
+    /// Replays one event: prior, prediction, latency, then training —
+    /// the same order as the live controller's resolve path.
+    pub fn replay_event(&mut self, event: &TraceEvent) -> SiteOutcome {
+        let site = FeedbackSite(event.site);
+        let p_history = self.history.p_history_1(site);
+        let predicts = event.case.benefits_from_prediction();
+        let decision = if predicts {
+            self.iq.clear();
+            self.iq.extend(event.iq.iter().map(|&(i, q)| IqPoint {
+                i: f64::from(i),
+                q: f64::from(q),
+            }));
+            let view = ShotView {
+                site,
+                states: &event.states,
+                iq: &self.iq,
+                p_history,
+                truth: event.reported,
+            };
+            self.predictor.predict(&view, &mut self.updates)
+        } else {
+            None
+        };
+        let latency_ns = feedback_latency_ns(
+            &self.timing,
+            self.config.route_ns,
+            event.case,
+            event.branch0_ns,
+            event.branch1_ns,
+            event.reported,
+            decision.as_ref(),
+        );
+        self.history.observe(site, event.reported);
+        if predicts {
+            self.predictor.update(site, event.reported);
+        } else {
+            self.predictor.track_other(site, event.reported);
+        }
+        let outcome = SiteOutcome {
+            site,
+            window: decision.as_ref().map(|d| d.window),
+            predicted: decision.as_ref().map(|d| d.branch),
+            reported: event.reported,
+            latency_ns,
+        };
+        self.stats.record(&outcome);
+        self.sites.entry(event.site).or_default().record(&outcome);
+        outcome
+    }
+
+    /// Replays a slice of events in order.
+    pub fn replay_all(&mut self, events: &[TraceEvent]) {
+        for event in events {
+            self.replay_event(event);
+        }
+    }
+
+    /// Clears the statistics while keeping the predictor's training and the
+    /// re-derived history — the warm-up/measure split of the harnesses.
+    pub fn reset_stats(&mut self) {
+        self.stats = ShotStats::default();
+        self.sites.clear();
+    }
+
+    /// Aggregate statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &ShotStats {
+        &self.stats
+    }
+
+    /// Consumes the replayer into its leaderboard entry.
+    #[must_use]
+    pub fn into_score(self) -> PredictorScore {
+        PredictorScore {
+            spec: self.predictor.spec(),
+            stats: self.stats,
+            sites: self.sites,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Oracle, PaperPredictor};
+    use artery_core::{ArteryController, Calibration};
+    use artery_num::rng::rng_for;
+    use artery_sim::{Executor, NoiseModel};
+    use artery_trace::{Replayer, TraceHeader, TraceReader, TraceRecorder, TraceWriter};
+
+    fn record(config: &ArteryConfig, cal: &Calibration, shots: usize) -> Vec<TraceEvent> {
+        let circuit = artery_workloads::qrw(2);
+        let controller = ArteryController::new(&circuit, config, cal);
+        let writer = TraceWriter::new(Vec::new(), &TraceHeader::new(config, "zoo/eval")).unwrap();
+        let mut recorder = TraceRecorder::new(controller, writer);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("zoo/eval-run");
+        for _ in 0..shots {
+            let _ = exec.run(&circuit, &mut recorder, &mut rng);
+        }
+        let (_, bytes) = recorder.finish().unwrap();
+        TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_adapter_replays_bit_identical_to_the_replayer() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("zoo/eval-cal"));
+        let events = record(&config, &cal, 40);
+
+        let mut reference = Replayer::new(&cal, &config);
+        reference.replay_all(&events);
+
+        let adapter = Box::new(PaperPredictor::new(&cal, &config));
+        let mut zoo = ZooReplayer::new(adapter, &config);
+        zoo.replay_all(&events);
+
+        assert_eq!(zoo.stats(), reference.stats());
+        let score = zoo.into_score();
+        let site_resolved: u64 = score.sites.values().map(|s| s.resolved).sum();
+        assert_eq!(site_resolved, score.stats.resolved);
+    }
+
+    #[test]
+    fn oracle_scores_zero_mispredicts_and_merges() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("zoo/eval-cal"));
+        let events = record(&config, &cal, 30);
+
+        let mut whole = ZooReplayer::new(Box::new(Oracle::new(&config)), &config);
+        whole.replay_all(&events);
+        let whole = whole.into_score();
+        assert_eq!(whole.mispredicts(), 0);
+        assert_eq!(whole.mispredicts_per_1k(), 0.0);
+        assert_eq!(whole.stats.committed, whole.stats.resolved);
+
+        // Sharded replay merges to the whole (the leaderboard's
+        // thread-invariance relies on this).
+        let (left, right) = events.split_at(events.len() / 2);
+        let mut a = ZooReplayer::new(Box::new(Oracle::new(&config)), &config);
+        a.replay_all(left);
+        let mut merged = a.into_score();
+        let mut b = ZooReplayer::new(Box::new(Oracle::new(&config)), &config);
+        b.replay_all(right);
+        merged.merge(&b.into_score());
+        assert_eq!(merged.stats.resolved, whole.stats.resolved);
+        assert_eq!(merged.stats.correct, whole.stats.correct);
+        assert_eq!(merged.sites.len(), whole.sites.len());
+    }
+}

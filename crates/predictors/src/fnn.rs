@@ -1,0 +1,152 @@
+//! The HERQULES-class FNN baseline behind the zoo trait.
+
+use artery_baselines::fnn::FnnClassifier;
+use artery_circuit::FeedbackSite;
+use artery_core::{ArteryConfig, Decision, PredictorSpec, ShotView, SitePredictor};
+use artery_hw::trigger::{ProbabilityUpdate, Thresholds};
+
+/// A pre-trained feed-forward network scoring the *full* recorded IQ
+/// trajectory: the classifier the ML-FPGA literature deploys, which waits
+/// for readout end before it can emit a probability. Its commitment (when
+/// confident past θ) lands at the last demodulation window, so it can never
+/// beat the windowed predictors on latency — it is on the leaderboard to
+/// show what trajectory-only classification buys in accuracy at that cost.
+///
+/// Shots recorded without IQ (slim traces) degrade to "no commitment".
+#[derive(Debug, Clone)]
+pub struct FnnPredictor {
+    fnn: FnnClassifier,
+    thresholds: Thresholds,
+}
+
+impl FnnPredictor {
+    /// Wraps a trained classifier; θ comes from the ARTERY configuration so
+    /// the trigger matches the other contenders.
+    #[must_use]
+    pub fn new(fnn: FnnClassifier, config: &ArteryConfig) -> Self {
+        Self {
+            fnn,
+            thresholds: Thresholds::symmetric(config.theta),
+        }
+    }
+}
+
+impl SitePredictor for FnnPredictor {
+    fn spec(&self) -> PredictorSpec {
+        PredictorSpec {
+            name: "fnn".into(),
+            detail: "feed-forward network over the full IQ trajectory (artery-baselines)".into(),
+            is_oracle: false,
+        }
+    }
+
+    fn predict(
+        &mut self,
+        view: &ShotView<'_>,
+        updates: &mut Vec<ProbabilityUpdate>,
+    ) -> Option<Decision> {
+        updates.clear();
+        if view.iq.is_empty() {
+            return None;
+        }
+        let window = view.iq.len() - 1;
+        let p = self.fnn.probability_from_trajectory(view.iq);
+        updates.push(ProbabilityUpdate {
+            window,
+            p_predict_1: p,
+        });
+        self.thresholds.decide(p).map(|branch| Decision {
+            window,
+            branch,
+            p_predict_1: p,
+        })
+    }
+
+    fn update(&mut self, _site: FeedbackSite, _outcome: bool) {
+        // The network is pre-trained; no online training.
+    }
+
+    fn clone_box(&self) -> Box<dyn SitePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+/// Trains a small FNN for unit tests (few pulses, few epochs).
+#[cfg(test)]
+pub(crate) fn train_for_tests(config: &ArteryConfig) -> FnnClassifier {
+    use artery_baselines::fnn::FnnConfig;
+    use artery_readout::Dataset;
+
+    let model = config.readout_model();
+    let dataset = Dataset::generate(
+        &model,
+        0.5,
+        200,
+        &mut artery_num::rng::rng_for("predictors/fnn-data"),
+    );
+    FnnClassifier::train(
+        &model,
+        &FnnConfig {
+            window_ns: config.window_ns,
+            epochs: 10,
+            ..FnnConfig::default()
+        },
+        dataset.pulses(),
+        &mut artery_num::rng::rng_for("predictors/fnn-init"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+    use artery_readout::IqPoint;
+
+    #[test]
+    fn classifies_clean_trajectories_and_skips_slim_traces() {
+        let config = ArteryConfig {
+            train_pulses: 100,
+            ..ArteryConfig::paper()
+        };
+        let fnn = train_for_tests(&config);
+        let mut pred = FnnPredictor::new(fnn, &config);
+        let model = config.readout_model();
+        let demod = artery_readout::Demodulator::for_model(&model, config.window_ns);
+        let mut rng = rng_for("predictors/fnn-shots");
+        let mut updates = Vec::new();
+        let mut correct = 0u32;
+        let mut committed = 0u32;
+        for shot in 0..60u32 {
+            let truth = shot % 2 == 0;
+            let pulse = model.synthesize(truth, &mut rng);
+            let iq: Vec<IqPoint> = demod.cumulative_trajectory(&pulse);
+            let states = vec![truth; iq.len()];
+            let view = ShotView {
+                site: FeedbackSite(0),
+                states: &states,
+                iq: &iq,
+                p_history: 0.5,
+                truth,
+            };
+            if let Some(d) = pred.predict(&view, &mut updates) {
+                assert_eq!(d.window, iq.len() - 1, "FNN decides at readout end");
+                committed += 1;
+                correct += u32::from(d.branch == truth);
+            }
+        }
+        assert!(committed > 30, "committed only {committed}/60");
+        let acc = f64::from(correct) / f64::from(committed);
+        assert!(acc > 0.9, "FNN accuracy {acc}");
+
+        // A slim trace (no IQ) cannot be classified.
+        let view = ShotView {
+            site: FeedbackSite(0),
+            states: &[true; 10],
+            iq: &[],
+            p_history: 0.5,
+            truth: true,
+        };
+        assert_eq!(pred.predict(&view, &mut updates), None);
+        assert!(updates.is_empty());
+    }
+}

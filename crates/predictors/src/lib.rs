@@ -1,0 +1,114 @@
+//! The ARTERY predictor zoo — hot-swappable contenders behind
+//! [`SitePredictor`], scored CBP-style on recorded traces.
+//!
+//! ARTERY's Bayesian prior+trajectory predictor is one fixed point in the
+//! design space the paper borrows from: the championship-branch-prediction
+//! world, whose competition interface exists precisely to make predictors
+//! swappable and rank them head-to-head. This crate ships that interface's
+//! contenders:
+//!
+//! * [`PaperPredictor`] — the paper's predictor behind the trait,
+//!   bit-identical to the built-in [`BranchPredictor`] walk,
+//! * [`Tage`] — a tagged-geometric (TAGE) predictor over per-site
+//!   shot-outcome history, fused with the trajectory probability exactly as
+//!   the paper fuses its history prior,
+//! * [`Bimodal`] — a history-only saturating-counter baseline,
+//! * [`FnnPredictor`] — the HERQULES-class feed-forward network from
+//!   `artery-baselines`, consuming the full recorded IQ trajectory,
+//! * [`Oracle`] — the upper bound: commits to the truth at the earliest
+//!   legal window.
+//!
+//! [`ZooReplayer`] re-drives any contender over a recorded trace with the
+//! same history/latency semantics as the live controller, producing the
+//! [`PredictorScore`]s the `trace_eval` leaderboard ranks (mispredicts per
+//! 1k feedbacks, commit rate, mean decision window, net latency).
+//!
+//! [`BranchPredictor`]: artery_core::BranchPredictor
+//!
+//! # Examples
+//!
+//! Swap the paper's predictor into the live controller through the trait —
+//! decisions are bit-identical to the default controller:
+//!
+//! ```
+//! use artery_core::{ArteryConfig, ArteryController, Calibration};
+//! use artery_predictors::PaperPredictor;
+//! use artery_sim::{Executor, NoiseModel};
+//!
+//! let config = ArteryConfig::default();
+//! let mut rng = artery_num::rng::rng_for("doc/zoo");
+//! let calibration = Calibration::train(&config, &mut rng);
+//! let circuit = artery_workloads::active_reset(1);
+//!
+//! let adapter = Box::new(PaperPredictor::new(&calibration, &config));
+//! let mut swapped =
+//!     ArteryController::new(&circuit, &config, &calibration).with_zoo_predictor(adapter);
+//! let mut exec = Executor::new(NoiseModel::noiseless());
+//! exec.run(&circuit, &mut swapped, &mut rng);
+//! assert_eq!(swapped.stats().resolved, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bimodal;
+mod eval;
+mod fnn;
+mod oracle;
+mod paper;
+mod tage;
+
+pub use bimodal::Bimodal;
+pub use eval::{PredictorScore, ZooReplayer};
+pub use fnn::FnnPredictor;
+pub use oracle::Oracle;
+pub use paper::PaperPredictor;
+pub use tage::{Tage, TageConfig};
+
+use artery_baselines::fnn::FnnClassifier;
+use artery_core::{ArteryConfig, Calibration, SitePredictor};
+
+/// The standard five-contender zoo the leaderboard ranks: paper adapter,
+/// TAGE, bimodal, FNN and the oracle, in that order.
+///
+/// The FNN must be trained by the caller (training needs a labelled pulse
+/// dataset and an RNG stream; see `trace_eval` for the canonical recipe).
+#[must_use]
+pub fn standard_zoo(
+    calibration: &Calibration,
+    config: &ArteryConfig,
+    fnn: FnnClassifier,
+) -> Vec<Box<dyn SitePredictor>> {
+    vec![
+        Box::new(PaperPredictor::new(calibration, config)),
+        Box::new(Tage::new(&TageConfig::default(), calibration, config)),
+        Box::new(Bimodal::new(config)),
+        Box::new(FnnPredictor::new(fnn, config)),
+        Box::new(Oracle::new(config)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+
+    #[test]
+    fn standard_zoo_has_five_distinct_contenders() {
+        let config = ArteryConfig {
+            train_pulses: 100,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("zoo/five"));
+        let fnn = crate::fnn::train_for_tests(&config);
+        let zoo = standard_zoo(&cal, &config, fnn);
+        assert_eq!(zoo.len(), 5);
+        let names: Vec<String> = zoo.iter().map(|p| p.spec().name).collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate names: {names:?}");
+        // Exactly one contender is allowed to peek at the truth.
+        assert_eq!(zoo.iter().filter(|p| p.spec().is_oracle).count(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! The oracle upper bound: perfect prediction at the earliest legal window.
+
+use artery_circuit::FeedbackSite;
+use artery_core::{ArteryConfig, Decision, PredictorSpec, ShotView, SitePredictor};
+use artery_hw::trigger::ProbabilityUpdate;
+
+/// Commits to [`ShotView::truth`] at window `k − 1` — the earliest moment
+/// any contender playing by the branch-history-register rules could commit.
+/// Zero mispredictions, maximal commit rate, minimal decision window: the
+/// latency this scores is the floor of the whole design space, which is why
+/// the leaderboard must rank it first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Oracle {
+    k: usize,
+}
+
+impl Oracle {
+    /// An oracle honoring the configuration's `k`-window warm-up.
+    #[must_use]
+    pub fn new(config: &ArteryConfig) -> Self {
+        Self { k: config.k }
+    }
+}
+
+impl SitePredictor for Oracle {
+    fn spec(&self) -> PredictorSpec {
+        PredictorSpec {
+            name: "oracle".into(),
+            detail: format!("perfect prediction at window k-1={}", self.k - 1),
+            is_oracle: true,
+        }
+    }
+
+    fn predict(
+        &mut self,
+        view: &ShotView<'_>,
+        updates: &mut Vec<ProbabilityUpdate>,
+    ) -> Option<Decision> {
+        updates.clear();
+        if view.states.len() < self.k {
+            return None;
+        }
+        let p = if view.truth { 1.0 } else { 0.0 };
+        let window = self.k - 1;
+        updates.push(ProbabilityUpdate {
+            window,
+            p_predict_1: p,
+        });
+        Some(Decision {
+            window,
+            branch: view.truth,
+            p_predict_1: p,
+        })
+    }
+
+    fn update(&mut self, _site: FeedbackSite, _outcome: bool) {}
+
+    fn clone_box(&self) -> Box<dyn SitePredictor> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_right_at_the_first_window() {
+        let config = ArteryConfig::paper();
+        let mut o = Oracle::new(&config);
+        let states = vec![false; 20];
+        let mut updates = Vec::new();
+        for truth in [false, true] {
+            let d = o
+                .predict(
+                    &ShotView {
+                        site: FeedbackSite(0),
+                        states: &states,
+                        iq: &[],
+                        p_history: 0.5,
+                        truth,
+                    },
+                    &mut updates,
+                )
+                .expect("oracle always commits");
+            assert_eq!(d.branch, truth);
+            assert_eq!(d.window, config.k - 1);
+        }
+    }
+
+    #[test]
+    fn respects_the_register_warmup() {
+        let mut o = Oracle::new(&ArteryConfig::paper());
+        let states = vec![false; 2];
+        let mut updates = Vec::new();
+        assert_eq!(
+            o.predict(
+                &ShotView {
+                    site: FeedbackSite(0),
+                    states: &states,
+                    iq: &[],
+                    p_history: 0.5,
+                    truth: true,
+                },
+                &mut updates,
+            ),
+            None
+        );
+    }
+}

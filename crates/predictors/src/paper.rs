@@ -1,0 +1,108 @@
+//! The paper's Bayesian predictor behind the zoo trait.
+
+use artery_circuit::FeedbackSite;
+use artery_core::{
+    ArteryConfig, BranchPredictor, Calibration, Decision, PredictorSpec, ShotView, SitePredictor,
+};
+use artery_hw::trigger::ProbabilityUpdate;
+
+/// Adapter over the built-in [`BranchPredictor`]: the §4 prior+trajectory
+/// fusion walk, unchanged, behind [`SitePredictor`].
+///
+/// Decisions and probability streams are bit-identical to calling
+/// [`BranchPredictor::predict_states`] directly — the adapter owns a clone
+/// of the calibration and delegates the walk verbatim. The history feature
+/// stays with the caller (the controller's or replayer's
+/// [`HistoryTracker`](artery_core::predictor::HistoryTracker) supplies
+/// [`ShotView::p_history`]), so [`update`](SitePredictor::update) is a
+/// no-op here.
+#[derive(Debug, Clone)]
+pub struct PaperPredictor {
+    calibration: Calibration,
+    config: ArteryConfig,
+}
+
+impl PaperPredictor {
+    /// Wraps the paper predictor over its calibration and configuration.
+    #[must_use]
+    pub fn new(calibration: &Calibration, config: &ArteryConfig) -> Self {
+        Self {
+            calibration: calibration.clone(),
+            config: *config,
+        }
+    }
+}
+
+impl SitePredictor for PaperPredictor {
+    fn spec(&self) -> PredictorSpec {
+        PredictorSpec {
+            name: "paper".into(),
+            detail: format!(
+                "Bayesian history+trajectory fusion (k={}, theta={}, buckets={})",
+                self.config.k, self.config.theta, self.config.time_buckets
+            ),
+            is_oracle: false,
+        }
+    }
+
+    fn predict(
+        &mut self,
+        view: &ShotView<'_>,
+        updates: &mut Vec<ProbabilityUpdate>,
+    ) -> Option<Decision> {
+        BranchPredictor::new(&self.calibration, &self.config).predict_states_into(
+            view.states,
+            view.p_history,
+            updates,
+        )
+    }
+
+    fn update(&mut self, _site: FeedbackSite, _outcome: bool) {
+        // History lives in the caller's tracker and arrives as
+        // `ShotView::p_history`; the walk itself is stateless.
+    }
+
+    fn clone_box(&self) -> Box<dyn SitePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_num::rng::rng_for;
+
+    #[test]
+    fn adapter_matches_branch_predictor_on_a_pulse() {
+        let config = ArteryConfig {
+            train_pulses: 300,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("paper/adapter"));
+        let direct = BranchPredictor::new(&cal, &config);
+        let mut adapter = PaperPredictor::new(&cal, &config);
+        let mut rng = rng_for("paper/adapter-pulse");
+        let mut updates = Vec::new();
+        for shot in 0..25 {
+            let pulse = cal.model().synthesize(shot % 2 == 0, &mut rng);
+            let states = {
+                let traj = cal.demod().cumulative_trajectory(&pulse);
+                traj.iter()
+                    .map(|&iq| cal.centers().classify(iq))
+                    .collect::<Vec<_>>()
+            };
+            let p_history = 0.1 + 0.03 * shot as f64;
+            let expected = direct.predict_states(&states, p_history);
+            let view = ShotView {
+                site: FeedbackSite(0),
+                states: &states,
+                iq: &[],
+                p_history,
+                truth: shot % 2 == 0,
+            };
+            let got = adapter.predict(&view, &mut updates);
+            assert_eq!(got, expected.decision);
+            assert_eq!(updates, expected.updates);
+        }
+    }
+}

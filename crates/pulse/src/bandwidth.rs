@@ -294,7 +294,9 @@ mod tests {
     #[test]
     fn report_all_matches_per_name_reports() {
         let m = BandwidthModel::default();
-        let samples: Vec<i16> = (0..3000).map(|k| if k % 50 < 45 { 0 } else { k as i16 }).collect();
+        let samples: Vec<i16> = (0..3000)
+            .map(|k| if k % 50 < 45 { 0 } else { k as i16 })
+            .collect();
         for (name, rep) in m.report_all(&samples) {
             assert_eq!(rep, m.report(name, &samples));
         }

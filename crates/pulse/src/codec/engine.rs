@@ -270,7 +270,10 @@ impl Codebook {
         let mut prev: u8 = 0;
         for &(sym, len) in &self.lengths {
             code <<= len - prev;
-            debug_assert!(len <= 56, "code length {len} exceeds the packed-entry budget");
+            debug_assert!(
+                len <= 56,
+                "code length {len} exceeds the packed-entry budget"
+            );
             self.table[sym as u16 as usize] = (code << 8) | u64::from(len);
             code += 1;
             prev = len;
@@ -1165,8 +1168,14 @@ mod tests {
     fn analysis_matches_real_encodes() {
         for data in [sparse(), Vec::new(), vec![7i16; 300], (0..500i16).collect()] {
             let a = CodecAnalysis::of(&data);
-            assert_eq!(a.huffman.encoded_bits, Huffman.naive_encode(&data).len() * 8);
-            assert_eq!(a.combined.encoded_bits, Combined.naive_encode(&data).len() * 8);
+            assert_eq!(
+                a.huffman.encoded_bits,
+                Huffman.naive_encode(&data).len() * 8
+            );
+            assert_eq!(
+                a.combined.encoded_bits,
+                Combined.naive_encode(&data).len() * 8
+            );
             assert_eq!(
                 a.run_length.encoded_bits,
                 super::super::RunLength.encode(&data).len() * 8

@@ -385,8 +385,11 @@ mod tests {
         let entries: Vec<(u64, u8)> = codes.values().copied().collect();
         for (i, &(ca, la)) in entries.iter().enumerate() {
             for &(cb, lb) in entries.iter().skip(i + 1) {
-                let (short, slen, long, llen) =
-                    if la <= lb { (ca, la, cb, lb) } else { (cb, lb, ca, la) };
+                let (short, slen, long, llen) = if la <= lb {
+                    (ca, la, cb, lb)
+                } else {
+                    (cb, lb, ca, la)
+                };
                 assert_ne!(long >> (llen - slen), short, "prefix violation");
             }
         }

@@ -216,11 +216,7 @@ impl Combined {
         if runs.len() != values.len() {
             return Err(DecodeError::new("run/value section length mismatch"));
         }
-        let tokens: Vec<(u16, i16)> = runs
-            .into_iter()
-            .map(|r| r as u16)
-            .zip(values)
-            .collect();
+        let tokens: Vec<(u16, i16)> = runs.into_iter().map(|r| r as u16).zip(values).collect();
         rle::rle_expand(&tokens)
     }
 }

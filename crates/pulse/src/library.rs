@@ -129,7 +129,11 @@ impl PulseStream {
         for inst in circuit.instructions() {
             match inst {
                 Instruction::Gate(g) => {
-                    push(&mut waveform, &library.waveform_for_gate(g.gate), &mut instance);
+                    push(
+                        &mut waveform,
+                        &library.waveform_for_gate(g.gate),
+                        &mut instance,
+                    );
                     waveform.append(&gap);
                 }
                 Instruction::Measure(..) | Instruction::Reset(_) => {
@@ -141,7 +145,11 @@ impl PulseStream {
                     waveform.append(&gap);
                     for op in fb.branch(true) {
                         if let artery_circuit::BranchOp::Gate(g) = op {
-                            push(&mut waveform, &library.waveform_for_gate(g.gate), &mut instance);
+                            push(
+                                &mut waveform,
+                                &library.waveform_for_gate(g.gate),
+                                &mut instance,
+                            );
                             waveform.append(&gap);
                         }
                     }

@@ -231,8 +231,7 @@ impl Waveform {
                     s
                 } else {
                     // SplitMix64 over (seed, block index) for stable dither.
-                    let mut z =
-                        seed ^ ((i / block) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut z = seed ^ ((i / block) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                     z ^= z >> 31;

@@ -26,7 +26,11 @@ impl LookupDecoder {
     #[must_use]
     pub fn build(code: &RotatedSurfaceCode) -> Self {
         let num_z = code.z_stabilizers().count();
-        assert!(num_z <= 16, "lookup table too large for distance {}", code.distance());
+        assert!(
+            num_z <= 16,
+            "lookup table too large for distance {}",
+            code.distance()
+        );
         let num_qubits = code.num_data_qubits();
         let num_patterns = 1usize << num_z;
         let mut corrections: Vec<Option<Vec<usize>>> = vec![None; num_patterns];

@@ -65,10 +65,9 @@ impl MatchingDecoder {
                     neighbors[*a].push((*b, q));
                     neighbors[*b].push((*a, q));
                 }
-                [a]
-                    if boundary_edge[*a].is_none() => {
-                        boundary_edge[*a] = Some(q);
-                    }
+                [a] if boundary_edge[*a].is_none() => {
+                    boundary_edge[*a] = Some(q);
+                }
                 _ => {} // a data qubit in zero Z-stabs cannot host detectable X errors
             }
         }
@@ -231,8 +230,14 @@ impl MatchingMemoryExperiment {
     /// Panics when probabilities are outside `[0, 1]`.
     #[must_use]
     pub fn new(code: RotatedSurfaceCode, p_data: f64, p_meas: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p_data), "p_data must be a probability");
-        assert!((0.0..=1.0).contains(&p_meas), "p_meas must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&p_data),
+            "p_data must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_meas),
+            "p_meas must be a probability"
+        );
         let decoder = MatchingDecoder::build(&code);
         Self {
             code,

@@ -42,8 +42,14 @@ impl MemoryExperiment {
     /// large for a lookup decoder.
     #[must_use]
     pub fn new(code: RotatedSurfaceCode, p_data: f64, p_meas: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p_data), "p_data must be a probability");
-        assert!((0.0..=1.0).contains(&p_meas), "p_meas must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&p_data),
+            "p_data must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_meas),
+            "p_meas must be a probability"
+        );
         let decoder = LookupDecoder::build(&code);
         Self {
             code,

@@ -150,7 +150,10 @@ impl Demodulator {
             "phase table was built for a different carrier frequency"
         );
         let factors = table.demod_factors();
-        assert!(start + len <= factors.len(), "phase table shorter than pulse");
+        assert!(
+            start + len <= factors.len(),
+            "phase table shorter than pulse"
+        );
         let mut acc = Complex64::ZERO;
         for (a, f) in samples[start..start + len]
             .iter()
@@ -415,7 +418,10 @@ mod tests {
         assert_eq!(a.distance(&b), 5.0);
         assert_eq!(a.distance_sq(&b), 25.0);
         assert_eq!(b.to_complex(), Complex64::new(3.0, 4.0));
-        assert_eq!(IqPoint::from(Complex64::new(1.0, 2.0)), IqPoint::new(1.0, 2.0));
+        assert_eq!(
+            IqPoint::from(Complex64::new(1.0, 2.0)),
+            IqPoint::new(1.0, 2.0)
+        );
     }
 
     #[test]
@@ -424,7 +430,13 @@ mod tests {
         let table = m.phase_table();
         let demod = Demodulator::for_model(&m, 30.0);
         let pulse = m.synthesize(true, &mut rng_for("demod/table"));
-        for (start, len) in [(0usize, 2000usize), (0, 1), (990, 30), (1970, 30), (13, 777)] {
+        for (start, len) in [
+            (0usize, 2000usize),
+            (0, 1),
+            (990, 30),
+            (1970, 30),
+            (13, 777),
+        ] {
             let naive = demod.demodulate_range(&pulse, start, len);
             let fast = demod.demodulate_range_with(&table, &pulse, start, len);
             assert_eq!(naive, fast, "range ({start}, {len})");

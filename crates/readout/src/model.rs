@@ -2,8 +2,8 @@
 
 use artery_num::Complex64;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use rand_distr_normal::sample_standard_normal;
+use serde::{Deserialize, Serialize};
 
 use crate::phase::PhaseTable;
 
@@ -122,8 +122,7 @@ impl ReadoutModel {
             } else {
                 self.phase0
             };
-            let clean =
-                Complex64::from_polar(self.amplitude, self.omega * (i as f64) + phase);
+            let clean = Complex64::from_polar(self.amplitude, self.omega * (i as f64) + phase);
             let noise = Complex64::new(
                 self.noise_sigma * sample_standard_normal(rng),
                 self.noise_sigma * sample_standard_normal(rng),
@@ -153,7 +152,12 @@ impl ReadoutModel {
     ///
     /// Panics when `table` was built for a different carrier.
     #[must_use]
-    pub fn synthesize_with(&self, table: &PhaseTable, state: bool, rng: &mut impl Rng) -> ReadoutPulse {
+    pub fn synthesize_with(
+        &self,
+        table: &PhaseTable,
+        state: bool,
+        rng: &mut impl Rng,
+    ) -> ReadoutPulse {
         let mut out = ReadoutPulse::default();
         self.synthesize_into(table, state, rng, &mut out);
         out
@@ -290,8 +294,7 @@ mod tests {
         let mut rng = rng_for("model/clean");
         let pulse = m.synthesize(false, &mut rng);
         for (i, s) in pulse.samples.iter().enumerate() {
-            let expected =
-                Complex64::from_polar(m.amplitude, m.omega * i as f64 + m.phase0);
+            let expected = Complex64::from_polar(m.amplitude, m.omega * i as f64 + m.phase0);
             assert!((*s - expected).norm() < 1e-12);
         }
     }

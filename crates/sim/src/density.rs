@@ -106,12 +106,7 @@ impl DensityMatrix {
 
     /// Applies `ρ → AρA†` for a one-qubit operator `a` on qubit `q`,
     /// accumulating into `out` (used to sum Kraus branches).
-    fn accumulate_conjugated(
-        &self,
-        a: &[[Complex64; 2]; 2],
-        q: Qubit,
-        out: &mut [Complex64],
-    ) {
+    fn accumulate_conjugated(&self, a: &[[Complex64; 2]; 2], q: Qubit, out: &mut [Complex64]) {
         let bit = 1usize << q.0;
         // left = A ρ (acts on row index), computed into a scratch matrix.
         let mut left = vec![Complex64::ZERO; self.dim * self.dim];
@@ -214,10 +209,7 @@ impl DensityMatrix {
         let s = (1.0 - p).sqrt();
         let sp = p.sqrt();
         let z = Complex64::ZERO;
-        let k0 = [
-            [Complex64::ONE, z],
-            [z, Complex64::new(s, 0.0)],
-        ];
+        let k0 = [[Complex64::ONE, z], [z, Complex64::new(s, 0.0)]];
         let k1 = [[z, Complex64::new(sp, 0.0)], [z, z]];
         self.apply_kraus1(&[k0, k1], q);
     }
@@ -227,14 +219,8 @@ impl DensityMatrix {
         let z = Complex64::ZERO;
         let a = (1.0 - p).sqrt();
         let b = p.sqrt();
-        let k0 = [
-            [Complex64::new(a, 0.0), z],
-            [z, Complex64::new(a, 0.0)],
-        ];
-        let k1 = [
-            [Complex64::new(b, 0.0), z],
-            [z, Complex64::new(-b, 0.0)],
-        ];
+        let k0 = [[Complex64::new(a, 0.0), z], [z, Complex64::new(a, 0.0)]];
+        let k1 = [[Complex64::new(b, 0.0), z], [z, Complex64::new(-b, 0.0)]];
         self.apply_kraus1(&[k0, k1], q);
     }
 
@@ -289,9 +275,9 @@ impl DensityMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::noise::NoiseModel;
     use artery_num::approx_eq;
     use artery_num::rng::rng_for;
-    use crate::noise::NoiseModel;
 
     #[test]
     fn pure_state_round_trip() {

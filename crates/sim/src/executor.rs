@@ -209,7 +209,13 @@ impl Executor {
         dt
     }
 
-    fn apply_branch_op(&self, state: &mut StateVector, op: &BranchOp, clbits: &mut [bool], rng: &mut StdRng) -> f64 {
+    fn apply_branch_op(
+        &self,
+        state: &mut StateVector,
+        op: &BranchOp,
+        clbits: &mut [bool],
+        rng: &mut StdRng,
+    ) -> f64 {
         match op {
             BranchOp::Gate(g) => self.apply_gate_app(state, g, rng),
             BranchOp::Reset(q) => {
@@ -282,12 +288,7 @@ impl Executor {
         self.exec(state, circuit, handler, rng, None)
     }
 
-    fn scripted_measure(
-        state: &mut StateVector,
-        q: Qubit,
-        forced: bool,
-        rng: &mut StdRng,
-    ) -> bool {
+    fn scripted_measure(state: &mut StateVector, q: Qubit, forced: bool, rng: &mut StdRng) -> bool {
         let p1 = state.prob_one(q);
         let p_forced = if forced { p1 } else { 1.0 - p1 };
         if p_forced > 1e-9 {
@@ -439,7 +440,10 @@ mod tests {
         let mut rng = rng_for("exec/reset");
         let rec = exec.run(&reset_circuit(), &mut handler, &mut rng);
         assert!(rec.state().prob_one(Qubit(0)) < 1e-9);
-        assert_eq!(rec.feedback_outcomes, vec![(artery_circuit::FeedbackSite(0), true)]);
+        assert_eq!(
+            rec.feedback_outcomes,
+            vec![(artery_circuit::FeedbackSite(0), true)]
+        );
         assert!((rec.total_feedback_us() - 2.18).abs() < 1e-9); // 2 µs + 150 ns + 30 ns X
     }
 
@@ -506,7 +510,11 @@ mod tests {
     fn total_time_includes_gates_and_feedback() {
         let mut exec = Executor::new(NoiseModel::noiseless());
         let mut rng = rng_for("exec/time");
-        let rec = exec.run(&reset_circuit(), &mut SequentialHandler::default(), &mut rng);
+        let rec = exec.run(
+            &reset_circuit(),
+            &mut SequentialHandler::default(),
+            &mut rng,
+        );
         // 30 ns X + (2000 + 150 + 30) feedback.
         assert!((rec.total_ns - 2210.0).abs() < 1e-9);
     }
@@ -530,7 +538,12 @@ mod tests {
         let mut state = StateVector::zero(3);
         let mut b = CircuitBuilder::new(2);
         b.gate(Gate::X, &[Qubit(0)]);
-        let rec = exec.run_from(&mut state, &b.build(), &mut SequentialHandler::default(), &mut rng);
+        let rec = exec.run_from(
+            &mut state,
+            &b.build(),
+            &mut SequentialHandler::default(),
+            &mut rng,
+        );
         assert!(rec.state().prob_one(Qubit(0)) > 1.0 - 1e-9);
         assert_eq!(rec.state().num_qubits(), 3);
     }
@@ -556,7 +569,10 @@ mod tests {
         b.gate(Gate::X, &[Qubit(0)]);
         let _pre = b.measure(Qubit(1)); // occupies clbit 0... allocated first
         b.feedback(Qubit(0))
-            .op_on_one(artery_circuit::BranchOp::Measure(Qubit(1), artery_circuit::Clbit(0)))
+            .op_on_one(artery_circuit::BranchOp::Measure(
+                Qubit(1),
+                artery_circuit::Clbit(0),
+            ))
             .finish();
         let c = b.build();
         let mut exec = Executor::new(NoiseModel::noiseless());
@@ -637,7 +653,11 @@ mod tests {
             }
         }
         // T1 = 500 ns over ~2.15 µs → survival ≈ e^{-4.3} ≈ 1.4 %.
-        assert!(survived[0] < N / 5, "short-T1 qubit survived {} times", survived[0]);
+        assert!(
+            survived[0] < N / 5,
+            "short-T1 qubit survived {} times",
+            survived[0]
+        );
         assert_eq!(survived[1], N, "long-T1 qubit must not decay");
     }
 
@@ -656,8 +676,16 @@ mod tests {
         let mut keep = Executor::new(NoiseModel::paper_device());
         let mut drop = Executor::new(NoiseModel::paper_device()).without_final_state();
         let c = reset_circuit();
-        let kept = keep.run(&c, &mut SequentialHandler::default(), &mut rng_for("exec/keep"));
-        let dropped = drop.run(&c, &mut SequentialHandler::default(), &mut rng_for("exec/keep"));
+        let kept = keep.run(
+            &c,
+            &mut SequentialHandler::default(),
+            &mut rng_for("exec/keep"),
+        );
+        let dropped = drop.run(
+            &c,
+            &mut SequentialHandler::default(),
+            &mut rng_for("exec/keep"),
+        );
         assert!(kept.final_state.is_some());
         assert!(dropped.final_state.is_none());
         assert_eq!(kept.clbits, dropped.clbits);
@@ -671,7 +699,11 @@ mod tests {
     fn discarded_state_accessor_panics() {
         let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
         let mut rng = rng_for("exec/discarded");
-        let rec = exec.run(&reset_circuit(), &mut SequentialHandler::default(), &mut rng);
+        let rec = exec.run(
+            &reset_circuit(),
+            &mut SequentialHandler::default(),
+            &mut rng,
+        );
         let _ = rec.state();
     }
 

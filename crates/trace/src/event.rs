@@ -57,7 +57,11 @@ impl TraceEvent {
             reported: trace.reported,
             states: trace.states,
             iq: if keep_iq {
-                trace.iq.iter().map(|&(i, q)| (i as f32, q as f32)).collect()
+                trace
+                    .iq
+                    .iter()
+                    .map(|&(i, q)| (i as f32, q as f32))
+                    .collect()
             } else {
                 Vec::new()
             },

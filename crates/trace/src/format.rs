@@ -107,11 +107,15 @@ fn take<const N: usize>(bytes: &[u8], pos: &mut usize, what: &str) -> Result<[u8
 }
 
 fn read_f64(bytes: &[u8], pos: &mut usize, what: &str) -> Result<f64, TraceError> {
-    Ok(f64::from_bits(u64::from_le_bytes(take::<8>(bytes, pos, what)?)))
+    Ok(f64::from_bits(u64::from_le_bytes(take::<8>(
+        bytes, pos, what,
+    )?)))
 }
 
 fn read_f32(bytes: &[u8], pos: &mut usize, what: &str) -> Result<f32, TraceError> {
-    Ok(f32::from_bits(u32::from_le_bytes(take::<4>(bytes, pos, what)?)))
+    Ok(f32::from_bits(u32::from_le_bytes(take::<4>(
+        bytes, pos, what,
+    )?)))
 }
 
 fn read_len(bytes: &[u8], pos: &mut usize, what: &str) -> Result<usize, TraceError> {
@@ -170,13 +174,10 @@ fn read_frame<R: Read>(src: &mut R, what: &str) -> Result<Option<Vec<u8>>, Trace
         )));
     }
     let mut frame = vec![0u8; len as usize];
-    src.read_exact(&mut frame)
-        .map_err(|e| match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => {
-                TraceError::corrupt(format!("{what} frame truncated"))
-            }
-            _ => TraceError::Io(e),
-        })?;
+    src.read_exact(&mut frame).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => TraceError::corrupt(format!("{what} frame truncated")),
+        _ => TraceError::Io(e),
+    })?;
     Ok(Some(frame))
 }
 
@@ -307,14 +308,17 @@ fn bool_runs_into(states: &[bool], runs: &mut Vec<u64>) {
     runs.push(len);
 }
 
-/// Allocating wrapper over [`bool_runs_into`].
+/// Allocating wrapper over [`bool_runs_into`], kept for the unit tests.
+#[cfg(test)]
 fn bool_runs(states: &[bool]) -> Vec<u64> {
     let mut runs = Vec::new();
     bool_runs_into(states, &mut runs);
     runs
 }
 
-pub(crate) fn encode_event(ev: &TraceEvent) -> Vec<u8> {
+/// Allocating wrapper over [`encode_event_into`], kept for the unit tests.
+#[cfg(test)]
+fn encode_event(ev: &TraceEvent) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + 8 * ev.iq.len());
     let mut runs = Vec::new();
     encode_event_into(ev, &mut out, &mut runs);

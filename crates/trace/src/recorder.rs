@@ -151,8 +151,7 @@ mod tests {
 
         // Identical run through the recorder (same seed, same executor).
         let controller = ArteryController::new(&circuit, &config, &cal);
-        let writer =
-            TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "unit/qrw")).unwrap();
+        let writer = TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "unit/qrw")).unwrap();
         let mut recorder = TraceRecorder::new(controller, writer);
         let mut rng = rng_for("trace/rec-run");
         for _ in 0..25 {
@@ -185,15 +184,17 @@ mod tests {
         let mut exec = Executor::new(NoiseModel::noiseless());
 
         let controller = ArteryController::new(&circuit, &config, &cal);
-        let writer =
-            TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "unit/lean")).unwrap();
+        let writer = TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "unit/lean")).unwrap();
         let mut recorder = TraceRecorder::new(controller, writer).without_iq();
         let mut rng = rng_for("trace/rec-lean");
         for _ in 0..10 {
             let _ = exec.run(&circuit, &mut recorder, &mut rng);
         }
         let (_, bytes) = recorder.finish().unwrap();
-        let events = TraceReader::new(bytes.as_slice()).unwrap().read_all().unwrap();
+        let events = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap();
         assert_eq!(events.len(), 10);
         for ev in &events {
             assert!(ev.iq.is_empty());

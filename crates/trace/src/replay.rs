@@ -200,7 +200,10 @@ mod tests {
             let _ = exec.run(&circuit, &mut recorder, &mut rng);
         }
         let (_, bytes) = recorder.finish().unwrap();
-        TraceReader::new(bytes.as_slice()).unwrap().read_all().unwrap()
+        TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap()
     }
 
     #[test]
@@ -232,7 +235,13 @@ mod tests {
 
         let mut base = Replayer::new(&cal, &config);
         base.replay_all(&events);
-        let mut strict = Replayer::new(&cal, &ArteryConfig { theta: 0.999, ..config });
+        let mut strict = Replayer::new(
+            &cal,
+            &ArteryConfig {
+                theta: 0.999,
+                ..config
+            },
+        );
         strict.replay_all(&events);
 
         assert!(strict.stats().commit_rate() <= base.stats().commit_rate());
@@ -255,10 +264,7 @@ mod tests {
         tuned.replay_all(&events);
         let mut plain = Replayer::new(&cal, &config);
         plain.replay_all(&events);
-        let strict_commits = tuned
-            .stats()
-            .committed
-            .min(plain.stats().committed);
+        let strict_commits = tuned.stats().committed.min(plain.stats().committed);
         assert_eq!(strict_commits, tuned.stats().committed);
 
         tuned.reset_stats();

@@ -392,8 +392,7 @@ impl Benchmark {
             Benchmark::RusQnn(cycles) => rus_qnn(cycles),
             Benchmark::Reset(n) => active_reset(n),
             Benchmark::Random(gates) => {
-                let mut rng =
-                    artery_num::rng::rng_for(&format!("workload/random/{gates}"));
+                let mut rng = artery_num::rng::rng_for(&format!("workload/random/{gates}"));
                 random_feedback(gates, &mut rng)
             }
         }
@@ -621,10 +620,7 @@ mod tests {
     #[test]
     fn skewed_circuits_have_expected_cases() {
         let corr = skewed_correction(0.2);
-        assert_eq!(
-            analyze_circuit(&corr)[0].case,
-            PreExecCase::Independent
-        );
+        assert_eq!(analyze_circuit(&corr)[0].case, PreExecCase::Independent);
         let reset = skewed_reset(0.2);
         assert_eq!(
             analyze_circuit(&reset)[0].case,

@@ -31,10 +31,7 @@ fn main() {
     for &target in &[3usize, 8, 30, 70] {
         println!(
             "  qubit 0 → qubit {target:>2}: {:?}, {:>5.0} ns",
-            topology.route_level(
-                topology.fpga_of_qubit(0),
-                topology.fpga_of_qubit(target)
-            ),
+            topology.route_level(topology.fpga_of_qubit(0), topology.fpga_of_qubit(target)),
             topology.qubit_route_latency_ns(0, target, &hw)
         );
     }

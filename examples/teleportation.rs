@@ -27,7 +27,12 @@ fn fidelity<H: FeedbackHandler>(
     for _ in 0..shots {
         let rec = noisy.run(circuit, handler, &mut rng);
         let script: Vec<bool> = rec.feedback_outcomes.iter().map(|&(_, o)| o).collect();
-        let ideal = clean.run_scripted(circuit, &mut SequentialHandler::default(), &script, &mut rng);
+        let ideal = clean.run_scripted(
+            circuit,
+            &mut SequentialHandler::default(),
+            &script,
+            &mut rng,
+        );
         acc.push(ideal.state().fidelity(rec.state()));
     }
     acc.mean()

@@ -21,8 +21,8 @@ fn main() {
 
     // 1. Record: wrap the live controller, run the workload as usual.
     let controller = ArteryController::new(&circuit, &config, &calibration);
-    let writer = TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "qrw-4"))
-        .expect("in-memory sink");
+    let writer =
+        TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "qrw-4")).expect("in-memory sink");
     let mut recorder = TraceRecorder::new(controller, writer);
     let mut exec = Executor::new(NoiseModel::noiseless());
     for _ in 0..200 {
@@ -38,21 +38,30 @@ fn main() {
 
     // 2. Read the trace back; the header carries the recording configuration.
     let reader = TraceReader::new(bytes.as_slice()).expect("valid trace");
-    let recorded_config = reader.header().config.clone();
+    let recorded_config = reader.header().config;
     let events = reader.read_all().expect("decode events");
 
     // 3. Replay a small panel. The recorded configuration reproduces the
     //    live run bit-for-bit; the others re-decide every shot differently.
-    println!("{:<28} {:>9} {:>12} {:>13}", "configuration", "accuracy", "commit rate", "latency (µs)");
+    println!(
+        "{:<28} {:>9} {:>12} {:>13}",
+        "configuration", "accuracy", "commit rate", "latency (µs)"
+    );
     for (name, cfg) in [
-        ("recorded (θ=0.91)".to_string(), recorded_config.clone()),
+        ("recorded (θ=0.91)".to_string(), recorded_config),
         (
             "strict θ=0.99".to_string(),
-            ArteryConfig { theta: 0.99, ..recorded_config.clone() },
+            ArteryConfig {
+                theta: 0.99,
+                ..recorded_config
+            },
         ),
         (
             "history-only".to_string(),
-            ArteryConfig { use_trajectory: false, ..recorded_config.clone() },
+            ArteryConfig {
+                use_trajectory: false,
+                ..recorded_config
+            },
         ),
     ] {
         let mut replay = Replayer::new(&calibration, &cfg);

@@ -4,9 +4,11 @@
 # runners must be thread-count invariant, the metrics layer must keep its
 # merge-exactness/golden-schema promises, the trig-free phase-table /
 # scratch-buffer readout fast path must stay bit-identical to the naive
-# oracles, and the streaming codec engine must stay byte-identical to its
-# oracles and allocation-free in steady state. Run locally before pushing;
-# CI runs the same commands.
+# oracles, the streaming codec engine must stay byte-identical to its
+# oracles and allocation-free in steady state, and the predictor zoo must
+# keep the paper adapter bit-identical and its leaderboard reproducible
+# for any thread count. Run locally before pushing; CI runs the same
+# commands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,3 +26,17 @@ cargo test -q -p artery-trace
 cargo test -q --test codec_engine
 cargo test -q --test codec_zero_alloc
 cargo test -q --test trace
+cargo test -q -p artery-predictors
+cargo test -q --test predictors
+
+# Leaderboard smoke: a small corpus, replayed with 1 and 8 workers. The
+# trace_eval binary itself asserts the oracle ranks first and the paper
+# adapter replays bit-identically; here we additionally require the
+# leaderboard JSON to be byte-identical across thread counts.
+cargo build --release -p artery-bench --bin trace_eval
+ARTERY_SHOTS=40 ARTERY_THREADS=1 ./target/release/trace_eval > /dev/null
+cp target/experiments/predictors.json target/experiments/predictors.t1.json
+ARTERY_SHOTS=40 ARTERY_THREADS=8 ./target/release/trace_eval > /dev/null
+cmp target/experiments/predictors.t1.json target/experiments/predictors.json
+rm target/experiments/predictors.t1.json
+echo "predictor leaderboard reproducible across thread counts"

@@ -15,6 +15,8 @@
 //! * [`baselines`] — QubiC / HERQULES / Salathé / Reuer controllers,
 //! * [`core`] — the branch predictor and feedback engine (the paper's
 //!   contribution),
+//! * [`predictors`] — the pluggable predictor zoo (paper adapter, TAGE,
+//!   bimodal, FNN, oracle) and the leaderboard replayer,
 //! * [`trace`] — recorded shot traces and trace-driven predictor replay,
 //! * [`metrics`] — merge-exact histograms, shot timelines and snapshot
 //!   sinks for pipeline observability.
@@ -41,6 +43,7 @@ pub use artery_core as core;
 pub use artery_hw as hw;
 pub use artery_metrics as metrics;
 pub use artery_num as num;
+pub use artery_predictors as predictors;
 pub use artery_pulse as pulse;
 pub use artery_qec as qec;
 pub use artery_readout as readout;

@@ -5,7 +5,7 @@
 //! unbounded allocation), and byte-stable cached-codebook encodes.
 
 use artery::pulse::codec::{
-    codebook_key, Codec, CodebookCache, CodecAnalysis, CodecScratch, Combined, Huffman, RunLength,
+    codebook_key, CodebookCache, Codec, CodecAnalysis, CodecScratch, Combined, Huffman, RunLength,
 };
 use proptest::prelude::*;
 
@@ -23,9 +23,9 @@ fn sparse_stream() -> Vec<i16> {
 fn structured_streams() -> Vec<Vec<i16>> {
     vec![
         Vec::new(),
-        vec![42; 500],                                   // constant
-        sparse_stream(),                                 // sparse
-        (0..1200).map(|k| k as i16).collect(),           // all-distinct
+        vec![42; 500],                                               // constant
+        sparse_stream(),                                             // sparse
+        (0..1200).map(|k| k as i16).collect(),                       // all-distinct
         (0..900).map(|k| ((k * 7919) % 256) as i16 - 128).collect(), // pseudo-random
     ]
 }

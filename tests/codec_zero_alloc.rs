@@ -78,22 +78,32 @@ fn steady_state_codec_loop_performs_zero_allocations() {
         let _ = CodecAnalysis::compute(&data, &mut scratch);
     }
 
-    // Steady state: the whole loop must not touch the heap.
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..10 {
-        Huffman.encode_into(&data, &mut scratch, &mut enc);
-        Huffman.decode_into(&enc, &mut scratch, &mut dec).unwrap();
-        Combined.encode_into(&data, &mut scratch, &mut enc);
-        Combined.decode_into(&enc, &mut scratch, &mut dec).unwrap();
-        RunLength.encode_into(&data, &mut enc);
-        RunLength.decode_into(&enc, &mut dec).unwrap();
-        cache.combined_encode_into(key, &data, &mut scratch, &mut enc);
-        let _ = CodecAnalysis::compute(&data, &mut scratch);
+    // Steady state: the whole loop must not touch the heap. The counter is
+    // process-global, so an unrelated allocation on libtest's main thread
+    // (timers, bookkeeping) can land inside the window; retry a few times and
+    // require at least one clean pass. A loop that genuinely allocates fails
+    // every attempt.
+    let mut allocations = usize::MAX;
+    for _attempt in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..10 {
+            Huffman.encode_into(&data, &mut scratch, &mut enc);
+            Huffman.decode_into(&enc, &mut scratch, &mut dec).unwrap();
+            Combined.encode_into(&data, &mut scratch, &mut enc);
+            Combined.decode_into(&enc, &mut scratch, &mut dec).unwrap();
+            RunLength.encode_into(&data, &mut enc);
+            RunLength.decode_into(&enc, &mut dec).unwrap();
+            cache.combined_encode_into(key, &data, &mut scratch, &mut enc);
+            let _ = CodecAnalysis::compute(&data, &mut scratch);
+        }
+        allocations = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if allocations == 0 {
+            break;
+        }
     }
-    let allocations = ALLOCATIONS.load(Ordering::SeqCst) - before;
     assert_eq!(
         allocations, 0,
-        "steady-state codec loop performed {allocations} heap allocations"
+        "steady-state codec loop performed {allocations} heap allocations in every attempt"
     );
 
     // And the loop was still doing real work: the final outputs are the

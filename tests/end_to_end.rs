@@ -42,8 +42,12 @@ fn artery_beats_every_baseline_on_every_workload() {
         let artery = mean_feedback_us(&circuit, &mut controller, 60, &format!("it/artery/{bench}"));
         for baseline in Baseline::all() {
             let mut b = baseline;
-            let base =
-                mean_feedback_us(&circuit, &mut b, 60, &format!("it/{bench}/{}", baseline.name()));
+            let base = mean_feedback_us(
+                &circuit,
+                &mut b,
+                60,
+                &format!("it/{bench}/{}", baseline.name()),
+            );
             assert!(
                 artery < base,
                 "{bench}: ARTERY {artery:.2} µs not faster than {} {base:.2} µs",
@@ -66,8 +70,12 @@ fn headline_speedup_is_at_least_1_5x() {
         let circuit = bench.circuit();
         let mut controller = ArteryController::new(&circuit, &config, &cal);
         let _ = mean_feedback_us(&circuit, &mut controller, 40, &format!("it/h/warm/{bench}"));
-        let artery =
-            mean_feedback_us(&circuit, &mut controller, 80, &format!("it/h/artery/{bench}"));
+        let artery = mean_feedback_us(
+            &circuit,
+            &mut controller,
+            80,
+            &format!("it/h/artery/{bench}"),
+        );
         let mut qubic = Baseline::qubic();
         let base = mean_feedback_us(&circuit, &mut qubic, 80, &format!("it/h/qubic/{bench}"));
         ratios.push(base / artery);
@@ -91,7 +99,10 @@ fn prediction_accuracy_within_paper_range() {
         let _ = mean_feedback_us(&circuit, &mut controller, 150, &format!("it/acc/{bench}"));
         let acc = controller.stats().accuracy();
         assert!(acc > 0.82, "{bench}: accuracy {acc:.3}");
-        assert!(controller.stats().commit_rate() > 0.8, "{bench}: rarely commits");
+        assert!(
+            controller.stats().commit_rate() > 0.8,
+            "{bench}: rarely commits"
+        );
     }
 }
 
@@ -107,7 +118,10 @@ fn reset_latency_floors_at_readout_duration() {
     let artery = mean_feedback_us(&circuit, &mut controller, 120, "it/reset");
     // Case 3 cannot beat the 2 µs readout but must beat QubiC's 2.16 µs.
     assert!(artery >= 2.0, "reset latency {artery:.3} below readout");
-    assert!(artery < 2.16, "reset latency {artery:.3} not better than QubiC");
+    assert!(
+        artery < 2.16,
+        "reset latency {artery:.3} not better than QubiC"
+    );
 }
 
 #[test]
@@ -121,7 +135,7 @@ fn qrw_line_increments_position_exactly() {
     use artery::circuit::Qubit;
     assert!(rec.state().prob_one(Qubit(1)) > 1.0 - 1e-9); // LSB = 1
     assert!(rec.state().prob_one(Qubit(2)) > 1.0 - 1e-9); // MSB = 1
-    // Two heads then tails → position 2 (binary 10).
+                                                          // Two heads then tails → position 2 (binary 10).
     let rec = exec.run_scripted(&circuit, &mut handler, &[true, true, false], &mut rng);
     assert!(rec.state().prob_one(Qubit(1)) < 1e-9);
     assert!(rec.state().prob_one(Qubit(2)) > 1.0 - 1e-9);

@@ -76,7 +76,10 @@ fn calibrated_centers_classify_like_ideal_centers() {
         let b = ideal.classify_full(&pulse, &demod);
         agree += usize::from(a == b);
     }
-    assert!(agree as f64 / N as f64 > 0.98, "centers disagree: {agree}/{N}");
+    assert!(
+        agree as f64 / N as f64 > 0.98,
+        "centers disagree: {agree}/{N}"
+    );
 }
 
 #[test]
@@ -141,9 +144,7 @@ fn multiplexed_channels_feed_the_predictor() {
                 correct += usize::from(d.branch == states[channel]);
             } else {
                 // No commitment: fall back to full classification.
-                correct += usize::from(
-                    predictor.final_classification(&view) == states[channel],
-                );
+                correct += usize::from(predictor.final_classification(&view) == states[channel]);
             }
         }
         let acc = correct as f64 / N as f64;

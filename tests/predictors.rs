@@ -1,0 +1,165 @@
+//! Integration tests of the predictor zoo: the paper adapter is
+//! bit-identical to the raw `BranchPredictor` on arbitrary inputs, TAGE is
+//! deterministic under randomized drive, its config survives serde, and a
+//! live controller running the paper predictor *through the trait* matches
+//! the built-in path exactly.
+
+use std::sync::OnceLock;
+
+use artery::circuit::FeedbackSite;
+use artery::core::{
+    ArteryConfig, ArteryController, BranchPredictor, Calibration, ShotView, SitePredictor,
+};
+use artery::num::rng::rng_for;
+use artery::predictors::{PaperPredictor, Tage, TageConfig};
+use artery::sim::{Executor, NoiseModel};
+use artery::workloads::Benchmark;
+use proptest::prelude::*;
+
+/// One shared calibration: training is the expensive step, the properties
+/// only exercise prediction.
+fn shared() -> &'static (Calibration, ArteryConfig) {
+    static SHARED: OnceLock<(Calibration, ArteryConfig)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("tests/predictors-cal"));
+        (cal, config)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The adapter's decision AND its per-window probability-update stream
+    /// are bit-identical to `BranchPredictor::predict_states` for any
+    /// window-state stream and any prior.
+    #[test]
+    fn paper_adapter_is_bit_identical(
+        states in proptest::collection::vec(any::<bool>(), 0..70),
+        p_history in 0.0001f64..0.9999,
+    ) {
+        let (cal, config) = shared();
+        let reference = BranchPredictor::new(cal, config).predict_states(&states, p_history);
+
+        let mut adapter = PaperPredictor::new(cal, config);
+        let mut updates = Vec::new();
+        let decision = adapter.predict(
+            &ShotView {
+                site: FeedbackSite(0),
+                states: &states,
+                iq: &[],
+                p_history,
+                truth: false,
+            },
+            &mut updates,
+        );
+        prop_assert_eq!(decision, reference.decision);
+        prop_assert_eq!(&updates, &reference.updates);
+    }
+
+    /// Two TAGE instances fed the same interleaved predict/update/track
+    /// stream stay in lockstep decision-for-decision, and a mid-stream
+    /// clone continues identically to its source.
+    #[test]
+    fn tage_is_deterministic_under_random_drive(
+        shots in proptest::collection::vec(
+            (0usize..4, any::<bool>(), any::<bool>(), proptest::collection::vec(any::<bool>(), 5..30)),
+            1..80,
+        ),
+    ) {
+        let (cal, config) = shared();
+        let cfg = TageConfig::default();
+        let mut a = Tage::new(&cfg, cal, config);
+        let mut b = Tage::new(&cfg, cal, config);
+        let mut cloned: Option<(Tage, Tage)> = None;
+        let mut updates_a = Vec::new();
+        let mut updates_b = Vec::new();
+        for (i, (site, outcome, tracked, states)) in shots.iter().enumerate() {
+            if i == shots.len() / 2 {
+                cloned = Some((a.clone(), b.clone()));
+            }
+            let view = ShotView {
+                site: FeedbackSite(*site),
+                states,
+                iq: &[],
+                p_history: 0.5,
+                truth: *outcome,
+            };
+            let da = a.predict(&view, &mut updates_a);
+            let db = b.predict(&view, &mut updates_b);
+            prop_assert_eq!(da, db, "decision diverged at shot {}", i);
+            prop_assert_eq!(&updates_a, &updates_b);
+            if *tracked {
+                a.update(FeedbackSite(*site), *outcome);
+                b.update(FeedbackSite(*site), *outcome);
+            } else {
+                a.track_other(FeedbackSite(*site), *outcome);
+                b.track_other(FeedbackSite(*site), *outcome);
+            }
+        }
+        prop_assert_eq!(&a, &b, "replicas diverged");
+        if let Some((ca, cb)) = cloned {
+            prop_assert_eq!(&ca, &cb, "mid-stream clones diverged");
+        }
+    }
+
+    /// Any in-range TAGE geometry survives a JSON round trip exactly.
+    #[test]
+    fn tage_config_round_trips_through_serde(
+        base_bits in 1usize..14,
+        table_bits in 1usize..14,
+        tag_bits in 1usize..16,
+        num_tables in 1usize..8,
+        min_history in 1usize..8,
+        extra_history in 0usize..56,
+        useful_reset_period in 1u64..100_000,
+    ) {
+        let cfg = TageConfig {
+            base_bits,
+            table_bits,
+            tag_bits,
+            num_tables,
+            min_history,
+            max_history: min_history + extra_history,
+            useful_reset_period,
+        };
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: TageConfig = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, cfg);
+    }
+}
+
+/// A live controller with the paper predictor mounted through the zoo
+/// trait resolves every shot identically to the built-in path: same
+/// accuracy, commit counts and latency distribution, shot for shot.
+#[test]
+fn controller_with_paper_adapter_matches_builtin_path() {
+    let (cal, config) = shared();
+    for bench in [Benchmark::Qrw(2), Benchmark::Reset(3)] {
+        let circuit = bench.circuit();
+
+        let mut builtin = ArteryController::new(&circuit, config, cal);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("tests/predictors-live");
+        for _ in 0..120 {
+            let _ = exec.run(&circuit, &mut builtin, &mut rng);
+        }
+
+        let mut zoo = ArteryController::new(&circuit, config, cal)
+            .with_zoo_predictor(Box::new(PaperPredictor::new(cal, config)));
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("tests/predictors-live");
+        for _ in 0..120 {
+            let _ = exec.run(&circuit, &mut zoo, &mut rng);
+        }
+
+        assert_eq!(
+            zoo.stats(),
+            builtin.stats(),
+            "{bench}: paper-via-trait diverged from the built-in predictor"
+        );
+    }
+}

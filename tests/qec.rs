@@ -85,7 +85,10 @@ fn lookup_decoder_handles_all_weight_one_and_two_errors() {
         failures * 2 <= cases,
         "{failures}/{cases} residual logicals — decoder worse than min-weight"
     );
-    assert!(failures > 0, "weight-2 errors cannot all be correctable at d = 3");
+    assert!(
+        failures > 0,
+        "weight-2 errors cannot all be correctable at d = 3"
+    );
 }
 
 #[test]
@@ -142,8 +145,14 @@ fn tableau_runs_distance5_syndrome_extraction() {
         }
         // Post-correction extraction must be all-clear, and at these error
         // weights (≤ 2 < (d+1)/2 = 3) the correction is exact.
-        assert!(extract(&mut t, &mut rng).iter().all(|&b| !b), "trial {trial}");
-        assert!(!code.is_logical_x_flip(&frame), "trial {trial} left a logical");
+        assert!(
+            extract(&mut t, &mut rng).iter().all(|&b| !b),
+            "trial {trial}"
+        );
+        assert!(
+            !code.is_logical_x_flip(&frame),
+            "trial {trial} left a logical"
+        );
     }
 }
 

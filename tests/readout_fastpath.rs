@@ -55,8 +55,8 @@ fn recorded_shots_replay_bit_for_bit_against_the_live_scratch_path() {
     let calibration = Calibration::train(&config, &mut rng_for("it/fastpath-trace-cal"));
     let circuit = artery::workloads::qrw(2);
     let controller = ArteryController::new(&circuit, &config, &calibration);
-    let writer = TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "fastpath"))
-        .expect("start trace");
+    let writer =
+        TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "fastpath")).expect("start trace");
     let mut recorder = TraceRecorder::new(controller, writer);
     let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
     let mut rng = rng_for("it/fastpath-trace");
@@ -83,8 +83,16 @@ fn final_state_gating_changes_no_observable_statistics() {
     let mut gated = Executor::new(NoiseModel::paper_device()).without_final_state();
     for seed in 0..4u64 {
         let label = format!("it/gate-{seed}");
-        let a = keep.run(&circuit, &mut SequentialHandler::default(), &mut rng_for(&label));
-        let b = gated.run(&circuit, &mut SequentialHandler::default(), &mut rng_for(&label));
+        let a = keep.run(
+            &circuit,
+            &mut SequentialHandler::default(),
+            &mut rng_for(&label),
+        );
+        let b = gated.run(
+            &circuit,
+            &mut SequentialHandler::default(),
+            &mut rng_for(&label),
+        );
         assert!(a.final_state.is_some());
         assert!(b.final_state.is_none());
         assert_eq!(a.clbits, b.clbits);
@@ -104,7 +112,8 @@ fn scratch_controllers_stay_thread_invariant() {
     };
     let cal = artery_bench::runner::calibration_for(&config, "it-fastpath");
     let circuit = artery::workloads::active_reset(2);
-    let one = artery_bench::runner::run_artery_on(1, &circuit, &config, &cal, 24, "it/fastpath-inv");
+    let one =
+        artery_bench::runner::run_artery_on(1, &circuit, &config, &cal, 24, "it/fastpath-inv");
     let four =
         artery_bench::runner::run_artery_on(4, &circuit, &config, &cal, 24, "it/fastpath-inv");
     assert_eq!(one, four);

@@ -202,7 +202,13 @@ fn arbitrary_event() -> impl Strategy<Value = TraceEvent> {
 fn arbitrary_config() -> impl Strategy<Value = ArteryConfig> {
     (
         (10.0f64..100.0, 1usize..10, 0.51f64..1.0, 1usize..16),
-        (1usize..5000, any::<bool>(), any::<bool>(), 0.0f64..200.0, 500.0f64..4000.0),
+        (
+            1usize..5000,
+            any::<bool>(),
+            any::<bool>(),
+            0.0f64..200.0,
+            500.0f64..4000.0,
+        ),
     )
         .prop_map(
             |(
@@ -256,11 +262,9 @@ fn replay_of_recorded_config_is_bit_for_bit_equivalent() {
         artery::workloads::Benchmark::RusQnn(2),
     ] {
         let circuit = bench.circuit();
-        let controller =
-            ArteryController::new(&circuit, &config, &calibration).with_outcome_log();
-        let writer =
-            TraceWriter::new(Vec::new(), &TraceHeader::new(&config, bench.to_string()))
-                .expect("start trace");
+        let controller = ArteryController::new(&circuit, &config, &calibration).with_outcome_log();
+        let writer = TraceWriter::new(Vec::new(), &TraceHeader::new(&config, bench.to_string()))
+            .expect("start trace");
         let mut recorder = TraceRecorder::new(controller, writer);
         let mut rng = rng_for(&format!("it/trace-run/{bench}"));
         for _ in 0..40 {
@@ -299,8 +303,8 @@ fn replay_panel_distinguishes_configurations() {
     let calibration = Calibration::train(&config, &mut rng_for("it/trace-cal"));
     let circuit = artery::workloads::qrw(3);
     let controller = ArteryController::new(&circuit, &config, &calibration);
-    let writer = TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "panel"))
-        .expect("start trace");
+    let writer =
+        TraceWriter::new(Vec::new(), &TraceHeader::new(&config, "panel")).expect("start trace");
     let mut recorder = TraceRecorder::new(controller, writer);
     let mut exec = Executor::new(NoiseModel::noiseless());
     let mut rng = rng_for("it/trace-panel");
