@@ -1,0 +1,155 @@
+//! Criterion benchmarks for the gate-fusion kernel engine against the
+//! per-gate paths it replaces: a composed one-qubit run vs eight sequential
+//! `apply_gate` passes, a table-driven diagonal sweep vs eight strided phase
+//! passes, the lane-split `prob_one` reduction, and a whole fused feedback
+//! shot vs per-gate execution. Both arms of every pair are pinned to 1e-12
+//! agreement by the fusion test suite, so the ratios are pure speed. The
+//! kernel cases run on an 18-qubit (4 MiB) state and mutate one persistent
+//! state per case (the gates are unitary, so the workload is identical
+//! every iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use artery_circuit::{CircuitBuilder, FusedOp, FusedProgram, Gate, Instruction, Qubit};
+use artery_sim::{Executor, NoiseModel, SequentialHandler, ShotBuffers, StateVector};
+
+const QUBITS: usize = 18;
+
+/// A state with non-trivial amplitude on every basis vector, so no kernel
+/// gets to skate on zeros.
+fn scrambled(n: usize) -> StateVector {
+    let mut state = StateVector::zero(n);
+    for q in 0..n {
+        state.apply_gate(Gate::H, &[Qubit(q)]);
+        state.apply_gate(Gate::RX(0.3 + q as f64), &[Qubit(q)]);
+        state.apply_gate(Gate::RZ(0.7 * q as f64 + 0.1), &[Qubit(q)]);
+    }
+    for q in 0..n.saturating_sub(1) {
+        state.apply_gate(Gate::CNOT, &[Qubit(q), Qubit(q + 1)]);
+    }
+    state
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let base = scrambled(QUBITS);
+    let mut group = c.benchmark_group("fusion");
+
+    // A run of 8 one-qubit gates on one qubit: one composed-matrix pass vs
+    // eight kernel passes.
+    let run = [
+        Gate::RX(0.3),
+        Gate::RZ(0.7),
+        Gate::H,
+        Gate::T,
+        Gate::RY(-0.4),
+        Gate::S,
+        Gate::RZ(1.1),
+        Gate::H,
+    ];
+    let q = Qubit(QUBITS / 2);
+    let run_circuit = {
+        let mut b = CircuitBuilder::new(QUBITS);
+        for g in run {
+            b.gate(g, &[q]);
+        }
+        b.build()
+    };
+    let matrix = match FusedProgram::fuse(&run_circuit).ops() {
+        [FusedOp::Run1 { matrix, .. }] => *matrix,
+        other => panic!("run must fuse to one op, got {other:?}"),
+    };
+    group.bench_function("run1_x8/unfused", |b| {
+        let mut s = base.clone();
+        b.iter(|| {
+            for g in run {
+                s.apply_gate(g, &[q]);
+            }
+            black_box(s.amplitude(0))
+        })
+    });
+    group.bench_function("run1_x8/fused", |b| {
+        let mut s = base.clone();
+        b.iter(|| {
+            s.apply_fused_one(&matrix, q);
+            black_box(s.amplitude(0))
+        })
+    });
+
+    // A chain of 8 diagonal gates (with CZs): one batched phase sweep vs
+    // eight strided passes.
+    let diag_circuit = {
+        let mut b = CircuitBuilder::new(QUBITS);
+        b.gate(Gate::S, &[Qubit(1)]);
+        b.gate(Gate::RZ(0.5), &[Qubit(4)]);
+        b.gate(Gate::CZ, &[Qubit(2), Qubit(9)]);
+        b.gate(Gate::T, &[Qubit(7)]);
+        b.gate(Gate::Z, &[Qubit(0)]);
+        b.gate(Gate::Tdg, &[Qubit(11)]);
+        b.gate(Gate::RZ(-1.3), &[Qubit(5)]);
+        b.gate(Gate::CZ, &[Qubit(3), Qubit(8)]);
+        b.build()
+    };
+    let (dqubits, table) = match FusedProgram::fuse(&diag_circuit).ops() {
+        [FusedOp::DiagSweep { qubits, table, .. }] => (qubits.clone(), table.clone()),
+        other => panic!("diag chain must fuse to one sweep, got {other:?}"),
+    };
+    group.bench_function("diag_sweep_x8/unfused", |b| {
+        let mut s = base.clone();
+        b.iter(|| {
+            for inst in diag_circuit.instructions() {
+                if let Instruction::Gate(g) = inst {
+                    s.apply_gate(g.gate, &g.qubits);
+                }
+            }
+            black_box(s.amplitude(0))
+        })
+    });
+    group.bench_function("diag_sweep_x8/fused", |b| {
+        let mut s = base.clone();
+        b.iter(|| {
+            s.apply_diag_sweep(&dqubits, &table);
+            black_box(s.amplitude(0))
+        })
+    });
+
+    // prob_one: sequential strided sum vs the four-accumulator lane split.
+    group.bench_function("prob_one/sequential", |b| {
+        b.iter(|| black_box(base.prob_one(black_box(q))))
+    });
+    group.bench_function("prob_one/lanes", |b| {
+        b.iter(|| black_box(base.prob_one_lanes(black_box(q))))
+    });
+
+    // A whole feedback shot: per-gate execution vs the cached fused program
+    // with reused buffers.
+    let circuit = artery_workloads::qrw(8);
+    let program = FusedProgram::fuse(&circuit);
+    group.bench_function("qrw_shot/unfused", |b| {
+        let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+        let mut rng = artery_num::rng::rng_for("bench/fusion/shot");
+        b.iter(|| {
+            let rec = exec.run(&circuit, &mut SequentialHandler::default(), &mut rng);
+            black_box(rec.total_ns)
+        })
+    });
+    group.bench_function("qrw_shot/fused", |b| {
+        let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+        let mut rng = artery_num::rng::rng_for("bench/fusion/shot");
+        let mut buffers = ShotBuffers::for_program(&program);
+        b.iter(|| {
+            let summary = exec.run_fused_with(
+                &program,
+                &mut SequentialHandler::default(),
+                &mut rng,
+                &mut buffers,
+            );
+            black_box(summary.total_ns)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(fusion_bench, bench_fusion);
+criterion_main!(fusion_bench);

@@ -26,7 +26,7 @@ use std::time::Instant;
 use artery_bench::report::{f2, Table};
 use artery_bench::runner::{self, parallel};
 use artery_bench::shots_or;
-use artery_circuit::{Gate, Qubit};
+use artery_circuit::{CircuitBuilder, FusedOp, FusedProgram, Gate, Qubit};
 use artery_core::{ArteryConfig, BranchPredictor, Calibration};
 use artery_metrics::{JsonSink, MetricsSink};
 use artery_pulse::codec::{
@@ -34,9 +34,9 @@ use artery_pulse::codec::{
 };
 use artery_pulse::{PulseLibrary, PulseStream, StreamRealism};
 use artery_readout::ReadoutPulse;
-use artery_sim::StateVector;
+use artery_sim::{Executor, NoiseModel, SequentialHandler, ShotBuffers, StateVector};
 use artery_workloads::surface17_z_cycle;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Every experiment binary, in the paper's presentation order.
 const EXPERIMENTS: &[&str] = &[
@@ -61,19 +61,27 @@ const EXPERIMENTS: &[&str] = &[
     "trace_eval",
 ];
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct HarnessTiming {
     name: String,
     wall_secs: f64,
     ok: bool,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct KernelTiming {
     gate: String,
     qubits: usize,
     specialized_ns_per_op: f64,
     generic_ns_per_op: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct FusionTiming {
+    path: String,
+    unfused_ns_per_op: f64,
+    fused_ns_per_op: f64,
     speedup: f64,
 }
 
@@ -115,6 +123,29 @@ struct PerfReport {
     harnesses: Vec<HarnessTiming>,
     total_wall_secs: f64,
     kernels: Vec<KernelTiming>,
+    fusion: Vec<FusionTiming>,
+}
+
+// Hand-written so that `fusion` defaults to empty: committed baselines from
+// before the fusion engine lack the key, and the delta report must still
+// load them.
+impl serde::Deserialize for PerfReport {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.expect_object("PerfReport")?;
+        Ok(Self {
+            threads: Deserialize::from_json_value(obj.field("threads", "PerfReport")?)?,
+            shards: Deserialize::from_json_value(obj.field("shards", "PerfReport")?)?,
+            harnesses: Deserialize::from_json_value(obj.field("harnesses", "PerfReport")?)?,
+            total_wall_secs: Deserialize::from_json_value(
+                obj.field("total_wall_secs", "PerfReport")?,
+            )?,
+            kernels: Deserialize::from_json_value(obj.field("kernels", "PerfReport")?)?,
+            fusion: match obj.get("fusion") {
+                Some(fusion) => Deserialize::from_json_value(fusion)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// Median-of-repeats ns/op of `f` applied to a fresh clone of `base`.
@@ -363,6 +394,213 @@ fn codec_microbench() -> CodecBenchReport {
     }
 }
 
+/// Instant-based fusion microbench: the composed fused kernels against
+/// per-gate sequential application (the criterion `fusion` group is the
+/// rigorous version). Both arms agree to 1e-12 — pinned by the fusion
+/// proptests — so the ratio is pure speed. Fusion's win is arithmetic: a
+/// k-gate run costs one composed matrix (or one table lookup) per amplitude
+/// instead of k kernel passes, so the speedup holds at any state size; 18
+/// qubits (4 MiB) also exercises the memory-traffic side.
+fn fusion_microbench() -> Vec<FusionTiming> {
+    let n = 18;
+    let mut base = StateVector::zero(n);
+    for q in 0..n {
+        base.apply_gate(Gate::H, &[Qubit(q)]);
+        base.apply_gate(Gate::RZ(0.3 * q as f64 + 0.1), &[Qubit(q)]);
+    }
+    let iters = 20;
+    let mut paths = Vec::new();
+    let mut push = |path: &str, unfused: f64, fused: f64| {
+        paths.push(FusionTiming {
+            path: path.to_string(),
+            unfused_ns_per_op: unfused,
+            fused_ns_per_op: fused,
+            speedup: unfused / fused,
+        });
+    };
+
+    // A run of 8 one-qubit gates: one composed-matrix pass instead of eight
+    // kernel passes.
+    let run = [
+        Gate::RX(0.3),
+        Gate::RZ(0.7),
+        Gate::H,
+        Gate::T,
+        Gate::RY(-0.4),
+        Gate::S,
+        Gate::RZ(1.1),
+        Gate::H,
+    ];
+    let q = Qubit(n / 2);
+    let run_circuit = {
+        let mut b = CircuitBuilder::new(n);
+        for g in run {
+            b.gate(g, &[q]);
+        }
+        b.build()
+    };
+    let run_program = FusedProgram::fuse(&run_circuit);
+    let matrix = match run_program.ops() {
+        [FusedOp::Run1 { matrix, .. }] => *matrix,
+        other => panic!("run must fuse to one op, got {other:?}"),
+    };
+    let unfused = ns_per_op(&base, iters, |s| {
+        for g in run {
+            s.apply_gate(g, &[q]);
+        }
+    });
+    let fused = ns_per_op(&base, iters, |s| s.apply_fused_one(&matrix, q));
+    push("run1_x8", unfused, fused);
+
+    // A chain of 8 diagonal gates (with CZs) across the register: one
+    // batched phase sweep instead of eight strided passes.
+    let diag_circuit = {
+        let mut b = CircuitBuilder::new(n);
+        b.gate(Gate::S, &[Qubit(1)]);
+        b.gate(Gate::RZ(0.5), &[Qubit(4)]);
+        b.gate(Gate::CZ, &[Qubit(2), Qubit(9)]);
+        b.gate(Gate::T, &[Qubit(7)]);
+        b.gate(Gate::Z, &[Qubit(0)]);
+        b.gate(Gate::Tdg, &[Qubit(11)]);
+        b.gate(Gate::RZ(-1.3), &[Qubit(5)]);
+        b.gate(Gate::CZ, &[Qubit(3), Qubit(8)]);
+        b.build()
+    };
+    let program = FusedProgram::fuse(&diag_circuit);
+    let (dqubits, table) = match program.ops() {
+        [FusedOp::DiagSweep { qubits, table, .. }] => (qubits.clone(), table.clone()),
+        other => panic!("diag chain must fuse to one sweep, got {other:?}"),
+    };
+    let unfused = ns_per_op(&base, iters, |s| {
+        for inst in diag_circuit.instructions() {
+            if let artery_circuit::Instruction::Gate(g) = inst {
+                s.apply_gate(g.gate, &g.qubits);
+            }
+        }
+    });
+    let fused = ns_per_op(&base, iters, |s| s.apply_diag_sweep(&dqubits, &table));
+    push("diag_sweep_x8", unfused, fused);
+
+    // prob_one: sequential strided sum vs the four-accumulator lane split.
+    let unfused = ns_per_op(&base, iters, |s| {
+        black_box(s.prob_one(q));
+    });
+    let fused = ns_per_op(&base, iters, |s| {
+        black_box(s.prob_one_lanes(q));
+    });
+    push("prob_one", unfused, fused);
+
+    // A whole feedback shot on the quantum-random-walk workload: per-gate
+    // execution vs the cached fused program with reused buffers.
+    let circuit = artery_workloads::qrw(8);
+    let program = FusedProgram::fuse(&circuit);
+    let shot_iters = 200;
+    let mut plain_exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+    let mut plain_rng = artery_num::rng::rng_for("run_all/fusion/shot");
+    let unfused = med_ns_per_op(shot_iters, || {
+        let rec = plain_exec.run(&circuit, &mut SequentialHandler::default(), &mut plain_rng);
+        black_box(rec.total_ns);
+    });
+    let mut fused_exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+    let mut fused_rng = artery_num::rng::rng_for("run_all/fusion/shot");
+    let mut buffers = ShotBuffers::for_program(&program);
+    let fused = med_ns_per_op(shot_iters, || {
+        let summary = fused_exec.run_fused_with(
+            &program,
+            &mut SequentialHandler::default(),
+            &mut fused_rng,
+            &mut buffers,
+        );
+        black_box(summary.total_ns);
+    });
+    push("qrw_full_shot", unfused, fused);
+
+    paths
+}
+
+/// Prints the perf delta against the previously committed `BENCH_perf.json`:
+/// harness wall times and kernel/fusion ns/op, flagging regressions beyond
+/// 10 % loudly. Baselines carry machine noise, so the table is advisory —
+/// the committed JSON is the durable record.
+fn print_perf_delta(previous: &PerfReport, current: &PerfReport) {
+    println!("\n========== perf delta vs committed baseline ==========");
+    let verdict = |old: f64, new: f64| -> String {
+        if old <= 0.0 || new <= 0.0 {
+            return String::new();
+        }
+        let ratio = new / old;
+        if ratio > 1.10 {
+            format!("REGRESSION +{:.0}%", (ratio - 1.0) * 100.0)
+        } else if ratio < 0.90 {
+            format!("improved {:.2}x", 1.0 / ratio)
+        } else {
+            "~unchanged".to_string()
+        }
+    };
+    let mut regressions = Vec::new();
+
+    let mut htable = Table::new(["harness", "baseline s", "now s", "delta"]);
+    for t in &current.harnesses {
+        let Some(prev) = previous.harnesses.iter().find(|p| p.name == t.name) else {
+            continue;
+        };
+        let v = verdict(prev.wall_secs, t.wall_secs);
+        if v.starts_with("REGRESSION") {
+            regressions.push(format!("{}: {v}", t.name));
+        }
+        htable.row([t.name.clone(), f2(prev.wall_secs), f2(t.wall_secs), v]);
+    }
+    htable.row([
+        "total".to_string(),
+        f2(previous.total_wall_secs),
+        f2(current.total_wall_secs),
+        verdict(previous.total_wall_secs, current.total_wall_secs),
+    ]);
+    htable.print();
+
+    let mut ktable = Table::new(["kernel", "baseline ns/op", "now ns/op", "delta"]);
+    for k in &current.kernels {
+        let Some(prev) = previous.kernels.iter().find(|p| p.gate == k.gate) else {
+            continue;
+        };
+        let v = verdict(prev.specialized_ns_per_op, k.specialized_ns_per_op);
+        if v.starts_with("REGRESSION") {
+            regressions.push(format!("kernel {}: {v}", k.gate));
+        }
+        ktable.row([
+            k.gate.clone(),
+            f2(prev.specialized_ns_per_op),
+            f2(k.specialized_ns_per_op),
+            v,
+        ]);
+    }
+    for f in &current.fusion {
+        let Some(prev) = previous.fusion.iter().find(|p| p.path == f.path) else {
+            continue;
+        };
+        let v = verdict(prev.fused_ns_per_op, f.fused_ns_per_op);
+        if v.starts_with("REGRESSION") {
+            regressions.push(format!("fusion {}: {v}", f.path));
+        }
+        ktable.row([
+            format!("fusion/{}", f.path),
+            f2(prev.fused_ns_per_op),
+            f2(f.fused_ns_per_op),
+            v,
+        ]);
+    }
+    ktable.print();
+
+    if regressions.is_empty() {
+        println!("\nno >10% regressions against the committed baseline");
+    } else {
+        println!("\n!!! PERF REGRESSIONS (>10% vs committed baseline) !!!");
+        for r in &regressions {
+            println!("  !!! {r}");
+        }
+    }
+}
+
 fn main() {
     // Harness binaries live next to this one.
     let me = std::env::current_exe().expect("current executable path");
@@ -412,6 +650,19 @@ fn main() {
         ]);
     }
     ktable.print();
+
+    println!("\n========== fusion microbench ==========");
+    let fusion = fusion_microbench();
+    let mut ftable = Table::new(["path", "unfused ns/op", "fused ns/op", "speedup"]);
+    for f in &fusion {
+        ftable.row([
+            f.path.clone(),
+            f2(f.unfused_ns_per_op),
+            f2(f.fused_ns_per_op),
+            format!("{:.2}x", f.speedup),
+        ]);
+    }
+    ftable.print();
 
     println!("\n========== readout microbench ==========");
     let readout = readout_microbench();
@@ -532,8 +783,17 @@ fn main() {
         harnesses: timings,
         total_wall_secs,
         kernels,
+        fusion,
     };
     let perf_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    // Diff against the previously committed baseline before overwriting it.
+    match std::fs::read_to_string(perf_path)
+        .ok()
+        .and_then(|json| serde_json::from_str::<PerfReport>(&json).ok())
+    {
+        Some(previous) => print_perf_delta(&previous, &report),
+        None => println!("\n[no committed perf baseline at {perf_path}; skipping delta]"),
+    }
     match serde_json::to_string_pretty(&report) {
         Ok(json) => match std::fs::write(perf_path, json) {
             Ok(()) => println!("\n[perf report written to {perf_path}]"),

@@ -11,11 +11,12 @@
 
 pub mod parallel;
 
-use artery_circuit::Circuit;
+use artery_circuit::analysis::analyze_circuit;
+use artery_circuit::{Circuit, FusedProgram};
 use artery_core::{ArteryConfig, ArteryController, Calibration, ShotStats};
 use artery_metrics::{MetricsRegistry, MetricsSnapshot};
 use artery_num::stats::Accumulator;
-use artery_sim::{Executor, FeedbackHandler, NoiseModel};
+use artery_sim::{Executor, FeedbackHandler, NoiseModel, ShotBuffers};
 use artery_workloads::Benchmark;
 use serde::Serialize;
 
@@ -136,26 +137,33 @@ fn run_artery_sharded(
     label: &str,
     collect_metrics: bool,
 ) -> (LatencySummary, MetricsRegistry) {
+    // Analyze and fuse once per configuration: every shard (and every shot)
+    // reuses the same `FusedProgram` and a clone of the same `SiteAnalysis`
+    // list instead of re-walking the circuit. Both paths are bit-identical
+    // to per-shot `exec.run`, so the summaries don't move.
+    let program = FusedProgram::fuse(circuit);
+    let analyses = analyze_circuit(circuit);
     let shard_results = parallel::run_sharded_on(threads, shots, |shard| {
         // The latency loops never look at the final state; skip the per-shot
         // state-vector clone.
         let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
         let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
-        let mut controller = ArteryController::new(circuit, config, calibration);
+        let mut controller = ArteryController::with_analyses(analyses.clone(), config, calibration);
         if collect_metrics {
             controller = controller.with_metrics();
         }
+        let mut buffers = ShotBuffers::for_program(&program);
         for _ in 0..WARMUP_SHOTS {
-            let _ = exec.run(circuit, &mut controller, &mut rng);
+            let _ = exec.run_fused_with(&program, &mut controller, &mut rng, &mut buffers);
         }
         // Measure with fresh statistics but warmed history.
         controller.reset_stats();
         let mut total = Accumulator::new();
         let mut circuit_time = Accumulator::new();
         for _ in 0..shard.shots {
-            let rec = exec.run(circuit, &mut controller, &mut rng);
-            total.push(rec.total_feedback_us());
-            circuit_time.push(rec.total_ns / 1000.0);
+            let summary = exec.run_fused_with(&program, &mut controller, &mut rng, &mut buffers);
+            total.push(buffers.total_feedback_us());
+            circuit_time.push(summary.total_ns / 1000.0);
         }
         let metrics = controller.take_metrics().unwrap_or_default();
         (total, circuit_time, controller.stats().clone(), metrics)
@@ -227,16 +235,18 @@ pub fn run_handler_on<H: FeedbackHandler + Clone + Sync>(
     shots: usize,
     label: &str,
 ) -> LatencySummary {
+    let program = FusedProgram::fuse(circuit);
     let shard_results = parallel::run_sharded_on(threads, shots, |shard| {
         let mut handler = handler.clone();
         let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
         let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
+        let mut buffers = ShotBuffers::for_program(&program);
         let mut total = Accumulator::new();
         let mut circuit_time = Accumulator::new();
         for _ in 0..shard.shots {
-            let rec = exec.run(circuit, &mut handler, &mut rng);
-            total.push(rec.total_feedback_us());
-            circuit_time.push(rec.total_ns / 1000.0);
+            let summary = exec.run_fused_with(&program, &mut handler, &mut rng, &mut buffers);
+            total.push(buffers.total_feedback_us());
+            circuit_time.push(summary.total_ns / 1000.0);
         }
         (total, circuit_time)
     });

@@ -1,0 +1,445 @@
+//! Circuit-analysis-time gate fusion.
+//!
+//! The simulator's strided kernels (PR 2) walk the state vector once per
+//! gate; this pass collapses gate *sequences* at analysis time so the
+//! executor does less work per amplitude. Two shapes fuse:
+//!
+//! * **Single-qubit runs** — maximal chains of consecutive single-qubit
+//!   gates on the same qubit become one [`FusedOp::Run1`]: the gate
+//!   matrices are composed at fuse time into a single precomputed 2×2
+//!   matrix, so a run of *k* gates costs one strided pass and one matrix
+//!   application per amplitude pair instead of *k*.
+//! * **Diagonal sweeps** — maximal chains of consecutive diagonal gates
+//!   (Z, S, S†, T, T†, RZ and CZ, on *any* qubits — they all act by basis
+//!   phases) become one [`FusedOp::DiagSweep`]: the chain's combined
+//!   per-basis phases are tabulated at fuse time over the chain's distinct
+//!   qubits (≤ [`MAX_SWEEP_QUBITS`]; longer chains split), so the sweep
+//!   costs one table lookup and one multiply per amplitude instead of one
+//!   pass per gate.
+//!
+//! Everything else — isolated gates, non-diagonal two-qubit gates,
+//! measurements, resets, feedback — falls through unchanged as
+//! [`FusedOp::Inst`].
+//!
+//! **Equivalence contract.** Only strictly adjacent gates fuse and no
+//! instruction is ever reordered, so fusion is algebraically exact; the
+//! composed matrices and phase tables round differently from gate-at-a-time
+//! application, so fused amplitudes agree with the sequential/generic path
+//! to ~1 ulp per gate (pinned to 1e-12 by the `tests/fusion.rs` proptests)
+//! rather than bit-for-bit. Everything *classical* — measurement outcomes,
+//! clbits, feedback resolutions, latencies, the `total_ns` clock, recorded
+//! trace bytes — stays **bit-identical** to unfused execution: the executor
+//! draws the same RNG stream against probabilities that differ by at most a
+//! few ulp (never at a threshold), and advances the clock per original
+//! gate. `tests/fusion.rs` pins both halves of the contract.
+//!
+//! The original [`GateApp`]s of every fused group are retained so noisy
+//! executors (per-gate idle decay and depolarizing draws) can fall back to
+//! per-instruction execution of the *same* program.
+
+use std::f64::consts::FRAC_PI_4;
+
+use artery_num::Complex64;
+
+use crate::circuit::{Circuit, GateApp, Instruction, Qubit};
+use crate::gate::Gate;
+use crate::matrix::{GateMatrix, Matrix2};
+
+/// Maximum number of distinct qubits a single [`FusedOp::DiagSweep`] may
+/// span: the phase table holds `2^m` entries, so 12 caps it at 4096 entries
+/// (64 KiB) — built once per circuit, L1-resident during the sweep. Chains
+/// touching more qubits are split into consecutive sweeps.
+pub const MAX_SWEEP_QUBITS: usize = 12;
+
+/// `a × b` for 2×2 complex matrices (gate composition: `a` applied after
+/// `b`).
+fn matmul2(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+    let mut c = [[Complex64::ZERO; 2]; 2];
+    for (row, c_row) in c.iter_mut().enumerate() {
+        for (col, entry) in c_row.iter_mut().enumerate() {
+            *entry = a[row][0] * b[0][col] + a[row][1] * b[1][col];
+        }
+    }
+    c
+}
+
+/// The diagonal `(p0, p1)` of a one-qubit diagonal gate, with `p0`
+/// guaranteed exactly 1 for the phase gates (Z, S, S†, T, T†) so table
+/// construction can skip the multiply and keep those entries exact.
+fn diag_phases(gate: Gate) -> (Complex64, Complex64) {
+    match gate {
+        Gate::Z => (Complex64::ONE, -Complex64::ONE),
+        Gate::S => (Complex64::ONE, Complex64::i()),
+        Gate::Sdg => (Complex64::ONE, -Complex64::i()),
+        Gate::T => (Complex64::ONE, Complex64::cis(FRAC_PI_4)),
+        Gate::Tdg => (Complex64::ONE, Complex64::cis(-FRAC_PI_4)),
+        Gate::RZ(t) => (Complex64::cis(-t / 2.0), Complex64::cis(t / 2.0)),
+        g => panic!("cannot take diagonal phases of non-diagonal gate {g}"),
+    }
+}
+
+/// Composes a same-qubit run of single-qubit gates into one matrix, in
+/// program order (`gates[k]` is applied after `gates[k-1]`, so the product
+/// is `M_k ⋯ M_1`).
+fn compose_run(gates: &[GateApp]) -> Matrix2 {
+    let mut m = [
+        [Complex64::ONE, Complex64::ZERO],
+        [Complex64::ZERO, Complex64::ONE],
+    ];
+    for g in gates {
+        let GateMatrix::One(gm) = g.gate.matrix() else {
+            unreachable!("single-qubit run contains a two-qubit gate")
+        };
+        m = matmul2(&gm, &m);
+    }
+    m
+}
+
+/// Tabulates the combined basis phases of a diagonal chain over its
+/// distinct qubits (`qubits` sorted ascending). Entry `t` is the phase of
+/// every basis state whose bit at `qubits[j]` equals bit `j` of `t`,
+/// accumulated gate by gate in program order. Exact-1 factors (the clear
+/// side of phase gates, CZ outside `|11⟩`) are skipped, so entries that a
+/// sequential sweep would leave untouched stay exactly 1.
+fn tabulate_diag(qubits: &[Qubit], gates: &[GateApp]) -> Vec<Complex64> {
+    let pos = |q: Qubit| {
+        qubits
+            .iter()
+            .position(|x| *x == q)
+            .expect("diagonal chain qubit missing from sweep qubit list")
+    };
+    let mut table = vec![Complex64::ONE; 1usize << qubits.len()];
+    for (t, entry) in table.iter_mut().enumerate() {
+        for g in gates {
+            match g.gate {
+                Gate::CZ => {
+                    let a = pos(g.qubits[0]);
+                    let b = pos(g.qubits[1]);
+                    if t >> a & 1 == 1 && t >> b & 1 == 1 {
+                        *entry = -*entry;
+                    }
+                }
+                gate => {
+                    let (p0, p1) = diag_phases(gate);
+                    if t >> pos(g.qubits[0]) & 1 == 1 {
+                        *entry = p1 * *entry;
+                    } else if p0 != Complex64::ONE {
+                        *entry = p0 * *entry;
+                    }
+                }
+            }
+        }
+    }
+    table
+}
+
+/// One operation of a [`FusedProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusedOp {
+    /// A run of ≥ 2 consecutive single-qubit gates on the same qubit,
+    /// composed into one precomputed matrix and applied in one strided
+    /// pass. `gates` keeps the original instructions for noisy fallback
+    /// and duration accounting.
+    Run1 {
+        /// The common target qubit.
+        qubit: Qubit,
+        /// The run's gates composed into a single 2×2 matrix.
+        matrix: Matrix2,
+        /// The original gate applications, in program order.
+        gates: Vec<GateApp>,
+    },
+    /// A chain of ≥ 2 consecutive diagonal gates, applied in one
+    /// full-state sweep driven by a precomputed phase table.
+    DiagSweep {
+        /// The distinct qubits the chain touches, sorted ascending; bit
+        /// `j` of a table index corresponds to `qubits[j]`.
+        qubits: Vec<Qubit>,
+        /// Combined phase per qubit-bit combination (`2^qubits.len()`
+        /// entries).
+        table: Vec<Complex64>,
+        /// The original gate applications, in program order.
+        gates: Vec<GateApp>,
+    },
+    /// An instruction the pass leaves untouched.
+    Inst(Instruction),
+}
+
+/// A [`Circuit`] rewritten for fused execution — the output of
+/// [`FusedProgram::fuse`], compiled once per circuit and reused across
+/// warm-up and every shot (the executor side is
+/// `Executor::run_fused`/`run_fused_with` in `artery-sim`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedProgram {
+    num_qubits: usize,
+    num_clbits: usize,
+    ops: Vec<FusedOp>,
+    fused_gates: usize,
+}
+
+impl FusedProgram {
+    /// Rewrites `circuit` into a fused program.
+    ///
+    /// Grouping is greedy over strictly consecutive instructions: at each
+    /// gate, the longer of (same-qubit single-qubit run, diagonal chain)
+    /// wins; groups shorter than 2 stay unfused; diagonal chains stop
+    /// extending rather than exceed [`MAX_SWEEP_QUBITS`] distinct qubits.
+    /// No instruction is ever reordered.
+    #[must_use]
+    pub fn fuse(circuit: &Circuit) -> Self {
+        let insts = circuit.instructions();
+        let gate_at = |k: usize| match insts.get(k) {
+            Some(Instruction::Gate(g)) => Some(g),
+            _ => None,
+        };
+        let mut ops = Vec::new();
+        let mut fused_gates = 0usize;
+        let mut i = 0;
+        while i < insts.len() {
+            let Some(g) = gate_at(i) else {
+                ops.push(FusedOp::Inst(insts[i].clone()));
+                i += 1;
+                continue;
+            };
+            // Maximal same-qubit single-qubit run starting here.
+            let mut run = 0;
+            if g.gate.num_qubits() == 1 {
+                let qubit = g.qubits[0];
+                while gate_at(i + run)
+                    .is_some_and(|n| n.gate.num_qubits() == 1 && n.qubits[0] == qubit)
+                {
+                    run += 1;
+                }
+            }
+            // Maximal diagonal chain starting here, capped at
+            // MAX_SWEEP_QUBITS distinct qubits.
+            let mut diag = 0;
+            let mut dqubits: Vec<Qubit> = Vec::new();
+            while let Some(n) = gate_at(i + diag) {
+                if !n.gate.is_diagonal() {
+                    break;
+                }
+                let added = n.qubits.iter().filter(|q| !dqubits.contains(q)).count();
+                if dqubits.len() + added > MAX_SWEEP_QUBITS {
+                    break;
+                }
+                for q in &n.qubits {
+                    if !dqubits.contains(q) {
+                        dqubits.push(*q);
+                    }
+                }
+                diag += 1;
+            }
+            let take = |count: usize| -> Vec<GateApp> {
+                (i..i + count)
+                    .map(|k| match &insts[k] {
+                        Instruction::Gate(g) => g.clone(),
+                        _ => unreachable!("fusion scan only matches gates"),
+                    })
+                    .collect()
+            };
+            if run >= 2 && run >= diag {
+                let gates = take(run);
+                let matrix = compose_run(&gates);
+                fused_gates += gates.len();
+                ops.push(FusedOp::Run1 {
+                    qubit: g.qubits[0],
+                    matrix,
+                    gates,
+                });
+                i += run;
+            } else if diag >= 2 {
+                let gates = take(diag);
+                dqubits.sort_unstable();
+                let table = tabulate_diag(&dqubits, &gates);
+                fused_gates += gates.len();
+                ops.push(FusedOp::DiagSweep {
+                    qubits: dqubits,
+                    table,
+                    gates,
+                });
+                i += diag;
+            } else {
+                ops.push(FusedOp::Inst(insts[i].clone()));
+                i += 1;
+            }
+        }
+        Self {
+            num_qubits: circuit.num_qubits(),
+            num_clbits: circuit.num_clbits(),
+            ops,
+            fused_gates,
+        }
+    }
+
+    /// Number of qubits of the source circuit.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits of the source circuit.
+    #[must_use]
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// The fused operations, in program order.
+    #[must_use]
+    pub fn ops(&self) -> &[FusedOp] {
+        &self.ops
+    }
+
+    /// Number of gates that landed inside a fused group (0 means the pass
+    /// was a structural no-op).
+    #[must_use]
+    pub fn fused_gate_count(&self) -> usize {
+        self.fused_gates
+    }
+
+    /// Whether every instruction fell through unchanged.
+    #[must_use]
+    pub fn is_unfused(&self) -> bool {
+        self.fused_gates == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+
+    fn approx(a: Complex64, b: Complex64) -> bool {
+        (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12
+    }
+
+    #[test]
+    fn same_qubit_run_fuses_and_composes() {
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::H, &[Qubit(0)]);
+        b.gate(Gate::T, &[Qubit(0)]);
+        b.gate(Gate::RX(0.3), &[Qubit(0)]);
+        b.gate(Gate::X, &[Qubit(1)]);
+        let p = FusedProgram::fuse(&b.build());
+        assert_eq!(p.ops().len(), 2);
+        assert_eq!(p.fused_gate_count(), 3);
+        let FusedOp::Run1 {
+            qubit,
+            matrix,
+            gates,
+        } = &p.ops()[0]
+        else {
+            panic!("expected a fused run, got {:?}", p.ops()[0]);
+        };
+        assert_eq!(*qubit, Qubit(0));
+        assert_eq!(gates.len(), 3);
+        // The composed matrix is RX(0.3) × T × H.
+        let (GateMatrix::One(h), GateMatrix::One(t), GateMatrix::One(rx)) =
+            (Gate::H.matrix(), Gate::T.matrix(), Gate::RX(0.3).matrix())
+        else {
+            panic!("one-qubit gates must have 2x2 matrices")
+        };
+        let want = matmul2(&rx, &matmul2(&t, &h));
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(approx(matrix[r][c], want[r][c]), "entry ({r},{c})");
+            }
+        }
+        assert!(matches!(p.ops()[1], FusedOp::Inst(_)));
+    }
+
+    #[test]
+    fn diagonal_chain_fuses_across_qubits_into_a_table() {
+        let mut b = CircuitBuilder::new(3);
+        b.gate(Gate::S, &[Qubit(0)]);
+        b.gate(Gate::CZ, &[Qubit(1), Qubit(2)]);
+        b.gate(Gate::RZ(1.2), &[Qubit(1)]);
+        b.gate(Gate::H, &[Qubit(2)]);
+        let p = FusedProgram::fuse(&b.build());
+        assert_eq!(p.ops().len(), 2);
+        let FusedOp::DiagSweep {
+            qubits,
+            table,
+            gates,
+        } = &p.ops()[0]
+        else {
+            panic!("expected a diagonal sweep, got {:?}", p.ops()[0]);
+        };
+        assert_eq!(qubits, &[Qubit(0), Qubit(1), Qubit(2)]);
+        assert_eq!(table.len(), 8);
+        assert_eq!(gates.len(), 3);
+        // Entry 0 (all bits clear): every factor skips → exactly 1.
+        assert_eq!(table[0], Complex64::ONE);
+        // Entry 0b111: i (S on q0) × −1 (CZ) × e^{i·0.6} (RZ |1⟩ phase).
+        let want = Complex64::cis(0.6) * -Complex64::i();
+        assert!(approx(table[0b111], want), "got {:?}", table[0b111]);
+    }
+
+    #[test]
+    fn longer_run_beats_diagonal_chain() {
+        // Z T on q0 is both a 2-run and a 2-chain; the following RX extends
+        // the run to 3, so the run wins and swallows all three.
+        let mut b = CircuitBuilder::new(1);
+        b.gate(Gate::Z, &[Qubit(0)]);
+        b.gate(Gate::T, &[Qubit(0)]);
+        b.gate(Gate::RX(0.5), &[Qubit(0)]);
+        let p = FusedProgram::fuse(&b.build());
+        assert_eq!(p.ops().len(), 1);
+        assert!(matches!(&p.ops()[0], FusedOp::Run1 { gates, .. } if gates.len() == 3));
+    }
+
+    #[test]
+    fn wide_diagonal_chains_split_at_the_qubit_cap() {
+        // A chain touching MAX_SWEEP_QUBITS + 2 distinct qubits must split
+        // into two sweeps rather than build a 2^(cap+2) table.
+        let n = MAX_SWEEP_QUBITS + 2;
+        let mut b = CircuitBuilder::new(n);
+        for q in 0..n {
+            b.gate(Gate::RZ(0.1 * q as f64 + 0.05), &[Qubit(q)]);
+        }
+        let p = FusedProgram::fuse(&b.build());
+        assert_eq!(p.fused_gate_count(), n);
+        assert_eq!(p.ops().len(), 2);
+        let FusedOp::DiagSweep { qubits, table, .. } = &p.ops()[0] else {
+            panic!("expected a sweep, got {:?}", p.ops()[0]);
+        };
+        assert_eq!(qubits.len(), MAX_SWEEP_QUBITS);
+        assert_eq!(table.len(), 1 << MAX_SWEEP_QUBITS);
+        let FusedOp::DiagSweep { qubits, table, .. } = &p.ops()[1] else {
+            panic!("expected a sweep, got {:?}", p.ops()[1]);
+        };
+        assert_eq!(qubits.len(), 2);
+        assert_eq!(table.len(), 4);
+    }
+
+    #[test]
+    fn unfusible_circuit_is_structurally_unchanged() {
+        let mut b = CircuitBuilder::new(3);
+        b.gate(Gate::H, &[Qubit(0)]);
+        b.gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+        b.gate(Gate::H, &[Qubit(1)]);
+        b.measure(Qubit(1));
+        b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(2)]).finish();
+        let c = b.build();
+        let p = FusedProgram::fuse(&c);
+        assert!(p.is_unfused());
+        assert_eq!(p.ops().len(), c.instructions().len());
+        for (op, inst) in p.ops().iter().zip(c.instructions()) {
+            assert_eq!(op, &FusedOp::Inst(inst.clone()));
+        }
+    }
+
+    #[test]
+    fn phase_table_keeps_untouched_entries_exactly_one() {
+        // A chain of phase-only gates: the all-clear entry must be the
+        // exact 1 a sequential sweep's skip would produce, including after
+        // an RZ(0) whose |0⟩ phase is exactly 1.
+        let mut b = CircuitBuilder::new(2);
+        b.gate(Gate::T, &[Qubit(0)]);
+        b.gate(Gate::RZ(0.0), &[Qubit(1)]);
+        let p = FusedProgram::fuse(&b.build());
+        let FusedOp::DiagSweep { table, .. } = &p.ops()[0] else {
+            panic!("expected a sweep, got {:?}", p.ops()[0]);
+        };
+        assert_eq!(table[0], Complex64::ONE);
+    }
+}

@@ -99,6 +99,17 @@ impl Gate {
         self.duration_ns() == 0.0
     }
 
+    /// Returns `true` for gates that are diagonal in the computational
+    /// basis (the Z/phase family plus CZ) — the gates the fusion pass
+    /// ([`crate::fuse`]) can collapse into a single batched phase sweep.
+    #[must_use]
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::RZ(_) | Gate::CZ
+        )
+    }
+
     /// The inverse gate (`U†`).
     ///
     /// # Examples

@@ -38,6 +38,7 @@
 pub mod analysis;
 mod circuit;
 pub mod dag;
+pub mod fuse;
 mod gate;
 mod matrix;
 pub mod text;
@@ -46,5 +47,6 @@ pub use circuit::{
     BranchOp, Circuit, CircuitBuilder, Clbit, Feedback, FeedbackBuilder, FeedbackSite, GateApp,
     Instruction, Qubit,
 };
+pub use fuse::{FusedOp, FusedProgram, MAX_SWEEP_QUBITS};
 pub use gate::{all_sample_gates, Gate, CZ_PULSE_NS, XY_PULSE_NS};
 pub use matrix::{GateMatrix, Matrix2, Matrix4};

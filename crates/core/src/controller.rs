@@ -345,10 +345,21 @@ impl<'a> ArteryController<'a> {
     /// feedback site and starts with empty per-site history.
     #[must_use]
     pub fn new(circuit: &Circuit, config: &ArteryConfig, calibration: &'a Calibration) -> Self {
-        let analyses = analyze_circuit(circuit)
-            .into_iter()
-            .map(|a| (a.site.0, a))
-            .collect();
+        Self::with_analyses(analyze_circuit(circuit), config, calibration)
+    }
+
+    /// Builds a controller from a pre-computed circuit analysis.
+    ///
+    /// [`analyze_circuit`] walks the whole circuit, so sharded shot runners
+    /// analyze once per configuration and hand each shard (and each shot) a
+    /// clone of the result instead of re-deriving it.
+    #[must_use]
+    pub fn with_analyses(
+        analyses: Vec<SiteAnalysis>,
+        config: &ArteryConfig,
+        calibration: &'a Calibration,
+    ) -> Self {
+        let analyses = analyses.into_iter().map(|a| (a.site.0, a)).collect();
         Self {
             config: *config,
             calibration,

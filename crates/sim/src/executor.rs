@@ -10,7 +10,9 @@
 //! the pre-execution equivalence theorem (paper appendix), so both plug into
 //! the same executor.
 
-use artery_circuit::{BranchOp, Circuit, Feedback, FeedbackSite, GateApp, Instruction, Qubit};
+use artery_circuit::{
+    BranchOp, Circuit, Feedback, FeedbackSite, FusedOp, FusedProgram, GateApp, Instruction, Qubit,
+};
 use rand::rngs::StdRng;
 
 use crate::noise::NoiseModel;
@@ -127,6 +129,93 @@ impl RunRecord {
             .as_ref()
             .expect("final state was discarded (Executor::without_final_state)")
     }
+}
+
+/// Reusable per-shot storage for [`Executor::run_fused_with`].
+///
+/// A steady-state shot loop allocates nothing: the state vector is reset in
+/// place and the outcome/latency vectors keep their capacity across shots.
+/// Create once per (program, shard) and reuse for every warm-up and measured
+/// shot.
+#[derive(Debug, Clone)]
+pub struct ShotBuffers {
+    state: StateVector,
+    clbits: Vec<bool>,
+    outcomes: Vec<(FeedbackSite, bool)>,
+    latencies: Vec<f64>,
+}
+
+impl ShotBuffers {
+    /// Allocates buffers sized for `program`.
+    #[must_use]
+    pub fn for_program(program: &FusedProgram) -> Self {
+        Self::new(program.num_qubits(), program.num_clbits())
+    }
+
+    /// Allocates buffers for a register of `num_qubits` qubits and
+    /// `num_clbits` classical bits.
+    #[must_use]
+    pub fn new(num_qubits: usize, num_clbits: usize) -> Self {
+        Self {
+            state: StateVector::zero(num_qubits),
+            clbits: vec![false; num_clbits],
+            outcomes: Vec::new(),
+            latencies: Vec::new(),
+        }
+    }
+
+    /// The final state of the most recent shot.
+    #[must_use]
+    pub fn state(&self) -> &StateVector {
+        &self.state
+    }
+
+    /// Classical register contents of the most recent shot.
+    #[must_use]
+    pub fn clbits(&self) -> &[bool] {
+        &self.clbits
+    }
+
+    /// Reported outcome of every feedback site of the most recent shot, in
+    /// execution order.
+    #[must_use]
+    pub fn feedback_outcomes(&self) -> &[(FeedbackSite, bool)] {
+        &self.outcomes
+    }
+
+    /// Per-site feedback latency of the most recent shot, in execution order.
+    #[must_use]
+    pub fn feedback_latencies_ns(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Sum of all feedback latencies in microseconds — identical summation
+    /// order to [`RunRecord::total_feedback_us`].
+    #[must_use]
+    pub fn total_feedback_us(&self) -> f64 {
+        self.latencies.iter().sum::<f64>() / 1000.0
+    }
+
+    /// Resets every buffer in place for the next shot, without shrinking
+    /// capacity.
+    fn reset(&mut self) {
+        self.state.reset_zero();
+        self.clbits.fill(false);
+        self.outcomes.clear();
+        self.latencies.clear();
+    }
+}
+
+/// The scalar bookkeeping of one fused shot; everything vector-shaped lives
+/// in the caller's [`ShotBuffers`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedShotSummary {
+    /// Number of feedbacks whose prediction was wrong.
+    pub mispredictions: usize,
+    /// Number of feedbacks that were predicted at all.
+    pub predictions: usize,
+    /// Total wall-clock time of the shot in nanoseconds.
+    pub total_ns: f64,
 }
 
 /// Runs circuits under a [`NoiseModel`].
@@ -286,6 +375,179 @@ impl Executor {
         rng: &mut StdRng,
     ) -> RunRecord {
         self.exec(state, circuit, handler, rng, None)
+    }
+
+    /// Whether [`Self::run_fused`] may use the batched kernels.
+    ///
+    /// The fast path elides the per-gate `idle_all`/`gate_noise` calls, which
+    /// is bit-identical to per-gate execution only when those channels are
+    /// guaranteed no-ops that consume no randomness
+    /// ([`NoiseModel::trivial_for_gates`]) and no per-qubit T1 map is
+    /// installed (the map makes `idle` draw RNG even when the global model
+    /// would not). Readout error is fine either way: `readout_flip` runs
+    /// identically on both paths.
+    #[must_use]
+    pub fn fused_fast_path(&self) -> bool {
+        self.t1_map_ns.is_none() && self.noise.trivial_for_gates()
+    }
+
+    /// Executes one shot of a pre-analyzed [`FusedProgram`] starting from
+    /// `|0…0⟩`.
+    ///
+    /// The **classical record** — clbits, feedback outcomes, latencies,
+    /// prediction counters, `total_ns` — is bit-identical to [`Self::run`]
+    /// on the source circuit with the same RNG state: the RNG stream is
+    /// drawn identically (fused groups consume none on the fast path, just
+    /// like the trivially-noisy per-gate path), and the clock advances per
+    /// original gate via each group's retained `gates`. Final-state
+    /// amplitudes agree to ~1 ulp per fused gate (composed matrices and
+    /// phase tables round once where sequential kernels round per gate);
+    /// under a noise model where the gate-time channels are non-trivial the
+    /// executor falls back to per-gate execution of the recorded gates and
+    /// is then bit-identical throughout.
+    pub fn run_fused<H: FeedbackHandler + ?Sized>(
+        &mut self,
+        program: &FusedProgram,
+        handler: &mut H,
+        rng: &mut StdRng,
+    ) -> RunRecord {
+        let mut buffers = ShotBuffers::for_program(program);
+        let summary = self.exec_fused(program, handler, rng, &mut buffers);
+        RunRecord {
+            final_state: self.keep_final_state.then(|| buffers.state.clone()),
+            clbits: buffers.clbits,
+            feedback_outcomes: buffers.outcomes,
+            feedback_latencies_ns: buffers.latencies,
+            mispredictions: summary.mispredictions,
+            predictions: summary.predictions,
+            total_ns: summary.total_ns,
+        }
+    }
+
+    /// Executes one shot of a pre-analyzed [`FusedProgram`] reusing
+    /// `buffers` — the zero-allocation steady state of a shot loop.
+    ///
+    /// The buffers are reset in place at the start of the shot; afterwards
+    /// they hold the shot's final state, clbits, feedback outcomes and
+    /// latencies, and the returned [`FusedShotSummary`] carries the scalar
+    /// counters. Semantics are exactly those of [`Self::run_fused`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `buffers` was sized for a different register shape.
+    pub fn run_fused_with<H: FeedbackHandler + ?Sized>(
+        &mut self,
+        program: &FusedProgram,
+        handler: &mut H,
+        rng: &mut StdRng,
+        buffers: &mut ShotBuffers,
+    ) -> FusedShotSummary {
+        self.exec_fused(program, handler, rng, buffers)
+    }
+
+    fn exec_fused<H: FeedbackHandler + ?Sized>(
+        &mut self,
+        program: &FusedProgram,
+        handler: &mut H,
+        rng: &mut StdRng,
+        buffers: &mut ShotBuffers,
+    ) -> FusedShotSummary {
+        assert!(
+            buffers.state.num_qubits() >= program.num_qubits(),
+            "state too small for circuit"
+        );
+        assert_eq!(
+            buffers.clbits.len(),
+            program.num_clbits(),
+            "clbit buffer sized for a different program"
+        );
+        buffers.reset();
+        let fast = self.fused_fast_path();
+        let mut mispredictions = 0usize;
+        let mut predictions = 0usize;
+        let mut total_ns = 0.0f64;
+
+        for op in program.ops() {
+            match op {
+                FusedOp::Run1 {
+                    qubit,
+                    matrix,
+                    gates,
+                } => {
+                    if fast {
+                        buffers.state.apply_fused_one(matrix, *qubit);
+                        for g in gates {
+                            total_ns += g.gate.duration_ns();
+                        }
+                    } else {
+                        for g in gates {
+                            total_ns += self.apply_gate_app(&mut buffers.state, g, rng);
+                        }
+                    }
+                }
+                FusedOp::DiagSweep {
+                    qubits,
+                    table,
+                    gates,
+                } => {
+                    if fast {
+                        buffers.state.apply_diag_sweep(qubits, table);
+                        for g in gates {
+                            total_ns += g.gate.duration_ns();
+                        }
+                    } else {
+                        for g in gates {
+                            total_ns += self.apply_gate_app(&mut buffers.state, g, rng);
+                        }
+                    }
+                }
+                FusedOp::Inst(inst) => match inst {
+                    Instruction::Gate(g) => {
+                        if fast {
+                            // idle_all/gate_noise are guaranteed no-ops here,
+                            // so only the kernel and the clock remain.
+                            buffers.state.apply_gate(g.gate, &g.qubits);
+                            total_ns += g.gate.duration_ns();
+                        } else {
+                            total_ns += self.apply_gate_app(&mut buffers.state, g, rng);
+                        }
+                    }
+                    Instruction::Measure(q, c) => {
+                        if !fast {
+                            self.idle_all(&mut buffers.state, self.readout_ns, rng);
+                        }
+                        let true_outcome = buffers.state.measure(*q, rng);
+                        buffers.clbits[c.0] = self.noise.readout_flip(true_outcome, rng);
+                        total_ns += self.readout_ns;
+                    }
+                    Instruction::Reset(q) => {
+                        buffers.state.reset(*q, rng);
+                    }
+                    Instruction::Feedback(fb) => {
+                        let (latency, reported) = self.run_feedback(
+                            &mut buffers.state,
+                            fb,
+                            handler,
+                            &mut buffers.clbits,
+                            rng,
+                            &mut predictions,
+                            &mut mispredictions,
+                            None,
+                        );
+                        buffers.clbits[fb.cbit.0] = reported;
+                        buffers.outcomes.push((fb.site, reported));
+                        buffers.latencies.push(latency);
+                        total_ns += latency;
+                    }
+                },
+            }
+        }
+
+        FusedShotSummary {
+            mispredictions,
+            predictions,
+            total_ns,
+        }
     }
 
     fn scripted_measure(state: &mut StateVector, q: Qubit, forced: bool, rng: &mut StdRng) -> bool {
@@ -705,6 +967,218 @@ mod tests {
             &mut rng,
         );
         let _ = rec.state();
+    }
+
+    /// A fusible workload: one-qubit runs, a diagonal chain, a CNOT and a
+    /// feedback with branches on both outcomes.
+    fn fusible_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(3);
+        b.gate(Gate::H, &[Qubit(0)]);
+        b.gate(Gate::RX(0.7), &[Qubit(0)]);
+        b.gate(Gate::T, &[Qubit(0)]);
+        b.gate(Gate::S, &[Qubit(1)]);
+        b.gate(Gate::CZ, &[Qubit(1), Qubit(2)]);
+        b.gate(Gate::RZ(0.3), &[Qubit(2)]);
+        b.gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+        b.gate(Gate::H, &[Qubit(2)]);
+        b.gate(Gate::RY(1.1), &[Qubit(2)]);
+        b.feedback(Qubit(2))
+            .on_one(Gate::X, &[Qubit(2)])
+            .on_zero(Gate::RZ(0.4), &[Qubit(1)])
+            .finish();
+        b.build()
+    }
+
+    /// The half of the fused-execution contract that holds under composed
+    /// matrices: every classical observable is bit-identical.
+    fn assert_classical_records_bit_identical(a: &RunRecord, b: &RunRecord, context: &str) {
+        assert_eq!(a.clbits, b.clbits, "{context}: clbits");
+        assert_eq!(
+            a.feedback_outcomes, b.feedback_outcomes,
+            "{context}: outcomes"
+        );
+        assert_eq!(
+            a.feedback_latencies_ns, b.feedback_latencies_ns,
+            "{context}: latencies"
+        );
+        assert_eq!(
+            a.mispredictions, b.mispredictions,
+            "{context}: mispredictions"
+        );
+        assert_eq!(a.predictions, b.predictions, "{context}: predictions");
+        assert_eq!(
+            a.total_ns.to_bits(),
+            b.total_ns.to_bits(),
+            "{context}: total_ns {} vs {}",
+            a.total_ns,
+            b.total_ns
+        );
+    }
+
+    /// Classical record bit-identical, state amplitudes within 1e-12 — the
+    /// fused-fast-path contract.
+    fn assert_records_equivalent(a: &RunRecord, b: &RunRecord, context: &str) {
+        assert_classical_records_bit_identical(a, b, context);
+        let (sa, sb) = (a.state(), b.state());
+        for i in 0..1usize << sa.num_qubits() {
+            let d = sa.amplitude(i) - sb.amplitude(i);
+            assert!(
+                d.norm() < 1e-12,
+                "{context}: amplitude {i} differs by {}",
+                d.norm()
+            );
+        }
+    }
+
+    /// Everything bit-identical, state included — holds whenever fused
+    /// execution takes the per-gate fallback (noisy models).
+    fn assert_records_bit_identical(a: &RunRecord, b: &RunRecord, context: &str) {
+        assert_classical_records_bit_identical(a, b, context);
+        let (sa, sb) = (a.state(), b.state());
+        for i in 0..1usize << sa.num_qubits() {
+            let (x, y) = (sa.amplitude(i), sb.amplitude(i));
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "{context}: amplitude {i} differs bitwise: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_run_matches_unfused_run() {
+        let circuit = fusible_circuit();
+        let program = FusedProgram::fuse(&circuit);
+        assert!(program.fused_gate_count() > 0, "circuit must actually fuse");
+        for shot in 0..16 {
+            let mut plain = Executor::new(NoiseModel::noiseless());
+            let mut fused = Executor::new(NoiseModel::noiseless());
+            let label = format!("exec/fused{shot}");
+            let a = plain.run(
+                &circuit,
+                &mut SequentialHandler::default(),
+                &mut rng_for(&label),
+            );
+            let b = fused.run_fused(
+                &program,
+                &mut SequentialHandler::default(),
+                &mut rng_for(&label),
+            );
+            assert_records_equivalent(&a, &b, &label);
+        }
+    }
+
+    #[test]
+    fn fused_run_with_readout_error_stays_equivalent() {
+        // Readout error consumes RNG on both paths; the fast path must still
+        // be taken and still agree.
+        let noise = NoiseModel {
+            readout_error: 0.4,
+            ..NoiseModel::noiseless()
+        };
+        assert!(Executor::new(noise).fused_fast_path());
+        let circuit = fusible_circuit();
+        let program = FusedProgram::fuse(&circuit);
+        for shot in 0..16 {
+            let label = format!("exec/fusedro{shot}");
+            let a = Executor::new(noise).run(
+                &circuit,
+                &mut SequentialHandler::default(),
+                &mut rng_for(&label),
+            );
+            let b = Executor::new(noise).run_fused(
+                &program,
+                &mut SequentialHandler::default(),
+                &mut rng_for(&label),
+            );
+            assert_records_equivalent(&a, &b, &label);
+        }
+    }
+
+    #[test]
+    fn fused_run_falls_back_under_noise_and_still_matches() {
+        let noise = NoiseModel::paper_device();
+        assert!(!Executor::new(noise).fused_fast_path());
+        let circuit = fusible_circuit();
+        let program = FusedProgram::fuse(&circuit);
+        for shot in 0..8 {
+            let label = format!("exec/fusednoisy{shot}");
+            let a = Executor::new(noise).run(
+                &circuit,
+                &mut SequentialHandler::default(),
+                &mut rng_for(&label),
+            );
+            let b = Executor::new(noise).run_fused(
+                &program,
+                &mut SequentialHandler::default(),
+                &mut rng_for(&label),
+            );
+            assert_records_bit_identical(&a, &b, &label);
+        }
+    }
+
+    #[test]
+    fn t1_map_disables_the_fast_path() {
+        let exec = Executor::new(NoiseModel::noiseless()).with_t1_map(vec![500.0]);
+        assert!(!exec.fused_fast_path());
+        assert!(Executor::new(NoiseModel::noiseless()).fused_fast_path());
+    }
+
+    #[test]
+    fn shot_buffers_reuse_reproduces_fresh_runs() {
+        let circuit = fusible_circuit();
+        let program = FusedProgram::fuse(&circuit);
+        let mut buffers = ShotBuffers::for_program(&program);
+        let mut reused = Executor::new(NoiseModel::noiseless());
+        for shot in 0..8 {
+            let label = format!("exec/buffers{shot}");
+            let summary = reused.run_fused_with(
+                &program,
+                &mut SequentialHandler::default(),
+                &mut rng_for(&label),
+                &mut buffers,
+            );
+            let fresh = Executor::new(NoiseModel::noiseless()).run_fused(
+                &program,
+                &mut SequentialHandler::default(),
+                &mut rng_for(&label),
+            );
+            assert_eq!(buffers.clbits(), fresh.clbits.as_slice(), "{label}");
+            assert_eq!(
+                buffers.feedback_outcomes(),
+                fresh.feedback_outcomes,
+                "{label}"
+            );
+            assert_eq!(
+                buffers.feedback_latencies_ns(),
+                fresh.feedback_latencies_ns,
+                "{label}"
+            );
+            assert_eq!(
+                summary.total_ns.to_bits(),
+                fresh.total_ns.to_bits(),
+                "{label}"
+            );
+            assert_eq!(summary.predictions, fresh.predictions, "{label}");
+            assert_eq!(summary.mispredictions, fresh.mispredictions, "{label}");
+            assert!(
+                (buffers.total_feedback_us() - fresh.total_feedback_us()).abs() == 0.0,
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clbit buffer sized for a different program")]
+    fn mismatched_buffers_panic() {
+        let program = FusedProgram::fuse(&fusible_circuit());
+        let mut buffers = ShotBuffers::new(3, 7);
+        let mut rng = rng_for("exec/badbuffers");
+        let _ = Executor::new(NoiseModel::noiseless()).run_fused_with(
+            &program,
+            &mut SequentialHandler::default(),
+            &mut rng,
+            &mut buffers,
+        );
     }
 
     #[test]

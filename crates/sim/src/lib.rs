@@ -43,6 +43,9 @@ mod noise;
 mod state;
 
 pub use density::DensityMatrix;
-pub use executor::{Executor, FeedbackHandler, Resolution, RunRecord, SequentialHandler};
+pub use executor::{
+    Executor, FeedbackHandler, FusedShotSummary, Resolution, RunRecord, SequentialHandler,
+    ShotBuffers,
+};
 pub use noise::{DeviceCalibration, NoiseModel};
 pub use state::StateVector;

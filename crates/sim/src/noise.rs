@@ -125,6 +125,25 @@ impl NoiseModel {
         Self::from_calibration(&DeviceCalibration::paper())
     }
 
+    /// Returns `true` when the gate-time channels are guaranteed no-ops that
+    /// consume **no randomness**: `idle` draws from the RNG only when `t1_ns`
+    /// is finite or `t2_ns` is finite with positive pure-dephasing rate, and
+    /// `gate_noise`/`depolarize` only when the depolarizing probability is
+    /// positive.
+    ///
+    /// The fused executor fast path ([`crate::Executor::run_fused`]) relies
+    /// on this to skip `idle`/`gate_noise` calls entirely while keeping the
+    /// RNG stream bit-identical to per-gate execution. Readout error is
+    /// deliberately **not** part of the predicate — `readout_flip` may
+    /// consume RNG and is always invoked by both paths.
+    #[must_use]
+    pub fn trivial_for_gates(&self) -> bool {
+        !self.t1_ns.is_finite()
+            && !self.t2_ns.is_finite()
+            && self.depol_1q <= 0.0
+            && self.depol_2q <= 0.0
+    }
+
     /// Applies idle decay (amplitude damping + pure dephasing) to one qubit
     /// for `dt_ns` nanoseconds using trajectory sampling.
     pub fn idle(&self, state: &mut StateVector, q: Qubit, dt_ns: f64, rng: &mut impl Rng) {
@@ -322,6 +341,38 @@ mod tests {
         }
         let rate = flipped as f64 / N as f64;
         assert!((rate - 0.25).abs() < 0.03, "flip rate {rate}");
+    }
+
+    #[test]
+    fn trivial_for_gates_tracks_gate_channels_only() {
+        assert!(NoiseModel::noiseless().trivial_for_gates());
+        // Readout error alone keeps the gate channels trivial.
+        let readout_only = NoiseModel {
+            readout_error: 0.05,
+            ..NoiseModel::noiseless()
+        };
+        assert!(readout_only.trivial_for_gates());
+        for broken in [
+            NoiseModel {
+                t1_ns: 1e5,
+                ..NoiseModel::noiseless()
+            },
+            NoiseModel {
+                t2_ns: 1e5,
+                ..NoiseModel::noiseless()
+            },
+            NoiseModel {
+                depol_1q: 1e-4,
+                ..NoiseModel::noiseless()
+            },
+            NoiseModel {
+                depol_2q: 1e-3,
+                ..NoiseModel::noiseless()
+            },
+        ] {
+            assert!(!broken.trivial_for_gates(), "{broken:?}");
+        }
+        assert!(!NoiseModel::paper_device().trivial_for_gates());
     }
 
     #[test]

@@ -12,9 +12,17 @@
 
 use std::f64::consts::FRAC_PI_4;
 
-use artery_circuit::{Gate, GateMatrix, Qubit};
+use artery_circuit::{Gate, GateMatrix, Matrix2, Qubit};
 use artery_num::Complex64;
 use rand::Rng;
+
+/// Width of the manually lane-split inner loops (an array-of-4 `f64x4`
+/// stand-in: four independent `Complex64` lanes per iteration, no unstable
+/// SIMD features). Every lane performs exactly the scalar arithmetic, so
+/// lane-splitting never changes a bit — except where a reduction must be
+/// reassociated, which only [`StateVector::prob_one_lanes`] does (and
+/// documents).
+const LANES: usize = 4;
 
 /// Visits every basis index whose `lo` and `hi` bits are both clear, in
 /// increasing order. `lo` and `hi` must be distinct powers of two with
@@ -359,6 +367,119 @@ impl StateVector {
         self.apply_one(m, q);
     }
 
+    /// Applies a fused single-qubit run — a `FusedOp::Run1`'s precomputed
+    /// composed matrix — to qubit `q` in **one** strided pass. A run of
+    /// *k* gates costs one matrix application per amplitude pair instead
+    /// of *k* kernel dispatches, dividing both the arithmetic and the
+    /// memory traffic by the run length.
+    ///
+    /// Agrees with applying the run's gates one [`Self::apply_gate`] at a
+    /// time to ~1 ulp per gate (the composed matrix rounds once where the
+    /// sequential path rounds per gate); `tests/fusion.rs` pins the bound
+    /// at 1e-12 against the generic oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    pub fn apply_fused_one(&mut self, m: &Matrix2, q: Qubit) {
+        assert!(q.0 < self.num_qubits, "qubit {q} out of range");
+        self.apply_one(m, q);
+    }
+
+    /// Applies a fused diagonal chain — a `FusedOp::DiagSweep`'s
+    /// precomputed phase table over its distinct `qubits` (sorted
+    /// ascending; bit `j` of a table index is `qubits[j]`'s bit) — in
+    /// **one** full-state sweep: one table lookup per contiguous run of
+    /// `2^qubits[0].0` amplitudes and one multiply per amplitude, however
+    /// many gates the chain held. Entries that are exactly 1 skip the
+    /// multiply, matching the phase-gate kernels' untouched-amplitude
+    /// behaviour.
+    ///
+    /// Same equivalence contract as [`Self::apply_fused_one`]: ~1 ulp per
+    /// fused gate versus the sequential sweep, pinned by
+    /// `tests/fusion.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `qubits` is empty or not strictly ascending, any qubit
+    /// is out of range, or `table.len() != 2^qubits.len()`.
+    pub fn apply_diag_sweep(&mut self, qubits: &[Qubit], table: &[Complex64]) {
+        assert!(!qubits.is_empty(), "diagonal sweep over no qubits");
+        for w in qubits.windows(2) {
+            assert!(w[0].0 < w[1].0, "sweep qubits must be strictly ascending");
+        }
+        let last = qubits[qubits.len() - 1];
+        assert!(last.0 < self.num_qubits, "qubit {last} out of range");
+        assert_eq!(
+            table.len(),
+            1usize << qubits.len(),
+            "phase table size mismatch"
+        );
+        let lo = 1usize << qubits[0].0;
+        // Incremental table-index tracking: walking base in steps of `lo`
+        // flips a handful of bits per step (1 + carries), so instead of
+        // regathering all m qubit bits per run, XOR-toggle the table-index
+        // bit of every *changed* sweep qubit — O(flipped bits) ≈ O(1)
+        // amortized per run.
+        let mut mask = 0usize;
+        let mut map = [0u8; 64];
+        for (j, q) in qubits.iter().enumerate() {
+            mask |= 1usize << q.0;
+            map[q.0] = j as u8;
+        }
+        if lo == 1 {
+            // Qubit 0 is in the sweep: every amplitude is its own run, so
+            // the slice loop and the exact-1 skip are pure overhead. Walk
+            // pairs instead — within a pair only the qubit-0 table bit
+            // differs, so the XOR chain runs once per two amplitudes and
+            // the two (unconditional) multiplies pipeline.
+            let b0 = 1usize << map[0];
+            let hi_mask = mask & !1;
+            let mut t = 0usize;
+            for (pair, chunk) in self.amps.chunks_exact_mut(2).enumerate() {
+                chunk[0] = table[t] * chunk[0];
+                chunk[1] = table[t ^ b0] * chunk[1];
+                let base = pair << 1;
+                let mut diff = (base ^ (base + 2)) & hi_mask;
+                while diff != 0 {
+                    let b = diff.trailing_zeros() as usize;
+                    t ^= 1usize << map[b];
+                    diff &= diff - 1;
+                }
+            }
+            return;
+        }
+        let len = self.amps.len();
+        let mut t = 0usize;
+        let mut base = 0;
+        while base < len {
+            let p = table[t];
+            if p != Complex64::ONE {
+                for a in &mut self.amps[base..base + lo] {
+                    *a = p * *a;
+                }
+            }
+            let next = base + lo;
+            let mut diff = (base ^ next) & mask;
+            while diff != 0 {
+                let b = diff.trailing_zeros() as usize;
+                t ^= 1usize << map[b];
+                diff &= diff - 1;
+            }
+            base = next;
+        }
+    }
+
+    /// Resets the state to `|0…0⟩` **in place** — no allocation, same
+    /// capacity. This is what lets a cached shot buffer replay a fused
+    /// program with a zero-allocation steady state.
+    pub fn reset_zero(&mut self) {
+        for a in &mut self.amps {
+            *a = Complex64::ZERO;
+        }
+        self.amps[0] = Complex64::ONE;
+    }
+
     /// Probability that measuring qubit `q` yields 1 — a fused strided sum
     /// over the `|1⟩` halves, no per-index bit test.
     ///
@@ -380,6 +501,42 @@ impl StateVector {
             base += span;
         }
         p
+    }
+
+    /// Lane-split variant of [`Self::prob_one`]: four independent partial
+    /// sums over the `|1⟩` halves, combined pairwise at the end.
+    ///
+    /// Unlike the fused gate kernels this **reassociates a reduction**, so
+    /// the result can differ from `prob_one` in the last ulp — which is why
+    /// the executor's measurement path keeps the sequential sum (its RNG
+    /// comparisons must stay bit-identical to the unfused path) and this
+    /// variant exists for throughput-only callers and the benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    #[must_use]
+    pub fn prob_one_lanes(&self, q: Qubit) -> f64 {
+        assert!(q.0 < self.num_qubits, "qubit {q} out of range");
+        let bit = 1usize << q.0;
+        let span = bit << 1;
+        let mut acc = [0.0f64; LANES];
+        let mut base = bit;
+        while base < self.amps.len() {
+            let ones = &self.amps[base..base + bit];
+            let mut k = 0;
+            while k + LANES <= bit {
+                for l in 0..LANES {
+                    acc[l] += ones[k + l].norm_sqr();
+                }
+                k += LANES;
+            }
+            for a in &ones[k..] {
+                acc[0] += a.norm_sqr();
+            }
+            base += span;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
     }
 
     /// Projectively measures qubit `q`, collapsing the state, and returns the
@@ -704,5 +861,91 @@ mod tests {
         }
         s.normalize();
         assert!(approx_eq(s.norm_sqr(), 1.0, 1e-12));
+    }
+
+    fn assert_states_bit_identical(a: &StateVector, b: &StateVector, context: &str) {
+        for i in 0..a.amps.len() {
+            let (x, y) = (a.amplitude(i), b.amplitude(i));
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "{context}: amplitude {i} differs bitwise: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_run_matches_sequential_gates() {
+        use artery_circuit::{CircuitBuilder, FusedOp, FusedProgram};
+        let runs: [&[Gate]; 4] = [
+            &[Gate::H, Gate::T, Gate::H],
+            &[Gate::RX(0.4), Gate::RZ(-1.3), Gate::RY(2.2), Gate::S],
+            &[Gate::X, Gate::Y, Gate::Z, Gate::Sdg, Gate::Tdg],
+            &[Gate::RZ(0.0), Gate::RZ(-0.0), Gate::T],
+        ];
+        for (r, gates) in runs.iter().enumerate() {
+            for q in 0..4 {
+                let mut b = CircuitBuilder::new(4);
+                for g in gates.iter() {
+                    b.gate(*g, &[Qubit(q)]);
+                }
+                let program = FusedProgram::fuse(&b.build());
+                let [FusedOp::Run1 { matrix, .. }] = program.ops() else {
+                    panic!("expected one fused run, got {:?}", program.ops());
+                };
+                let mut fused = scrambled(4);
+                let mut seq = fused.clone();
+                fused.apply_fused_one(matrix, Qubit(q));
+                for g in gates.iter() {
+                    seq.apply_gate(*g, &[Qubit(q)]);
+                }
+                assert_states_close(&fused, &seq, &format!("run {r} on q{q}"));
+            }
+        }
+    }
+
+    #[test]
+    fn diag_sweep_matches_sequential_gates() {
+        use artery_circuit::{CircuitBuilder, FusedOp, FusedProgram};
+        // A mixed chain of phase gates and CZs over 4 qubits.
+        let mut b = CircuitBuilder::new(4);
+        b.gate(Gate::S, &[Qubit(0)]);
+        b.gate(Gate::CZ, &[Qubit(1), Qubit(3)]);
+        b.gate(Gate::RZ(0.9), &[Qubit(2)]);
+        b.gate(Gate::Tdg, &[Qubit(3)]);
+        b.gate(Gate::CZ, &[Qubit(0), Qubit(2)]);
+        b.gate(Gate::Z, &[Qubit(1)]);
+        b.gate(Gate::RZ(-0.0), &[Qubit(0)]);
+        let circuit = b.build();
+        let program = FusedProgram::fuse(&circuit);
+        let [FusedOp::DiagSweep { qubits, table, .. }] = program.ops() else {
+            panic!("expected one diag sweep, got {:?}", program.ops());
+        };
+        let mut fused = scrambled(4);
+        let mut seq = fused.clone();
+        fused.apply_diag_sweep(qubits, table);
+        for inst in circuit.instructions() {
+            if let artery_circuit::Instruction::Gate(app) = inst {
+                seq.apply_gate(app.gate, &app.qubits);
+            }
+        }
+        assert_states_close(&fused, &seq, "diag sweep");
+    }
+
+    #[test]
+    fn reset_zero_restores_ground_state_in_place() {
+        let mut s = scrambled(3);
+        s.reset_zero();
+        let z = StateVector::zero(3);
+        assert_states_bit_identical(&s, &z, "reset_zero");
+    }
+
+    #[test]
+    fn prob_one_lanes_agrees_with_prob_one() {
+        let s = scrambled(5);
+        for q in 0..5 {
+            let a = s.prob_one(Qubit(q));
+            let b = s.prob_one_lanes(Qubit(q));
+            assert!(approx_eq(a, b, 1e-14), "q{q}: {a} vs {b}");
+        }
     }
 }

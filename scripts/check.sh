@@ -5,10 +5,12 @@
 # merge-exactness/golden-schema promises, the trig-free phase-table /
 # scratch-buffer readout fast path must stay bit-identical to the naive
 # oracles, the streaming codec engine must stay byte-identical to its
-# oracles and allocation-free in steady state, and the predictor zoo must
+# oracles and allocation-free in steady state, the predictor zoo must
 # keep the paper adapter bit-identical and its leaderboard reproducible
-# for any thread count. Run locally before pushing; CI runs the same
-# commands.
+# for any thread count, and the gate-fusion engine must keep its classical
+# record bit-identical to per-gate execution (amplitudes within 1e-12) and
+# stay allocation-free across reused shot buffers.
+# Run locally before pushing; CI runs the same commands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +30,8 @@ cargo test -q --test codec_zero_alloc
 cargo test -q --test trace
 cargo test -q -p artery-predictors
 cargo test -q --test predictors
+cargo test -q --test fusion
+cargo test -q --test fusion_zero_alloc
 
 # Leaderboard smoke: a small corpus, replayed with 1 and 8 workers. The
 # trace_eval binary itself asserts the oracle ranks first and the paper

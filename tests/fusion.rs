@@ -1,0 +1,285 @@
+//! Property tests pinning the gate-fusion engine to the paths it replaced:
+//!
+//! * on random circuits, a [`FusedProgram`]'s composed kernels are
+//!   amplitude-for-amplitude within 1e-12 of both the generic matrix oracle
+//!   and sequential `apply_gate` dispatch (composition rounds once where the
+//!   sequential path rounds per gate, so bit-identity is not the contract),
+//! * fusion is a structural no-op on circuits with nothing to fuse,
+//! * the fused executor reproduces the unfused executor's **classical**
+//!   shot record bit-identically (clbits, outcomes, latencies, clock; same
+//!   RNG stream) with final-state amplitudes within 1e-12, and
+//! * an ARTERY trace recorded through the fused executor is byte-identical
+//!   to one recorded through per-gate execution.
+
+use artery::circuit::{Circuit, CircuitBuilder, FusedOp, FusedProgram, Gate, Instruction, Qubit};
+use artery::core::{ArteryConfig, ArteryController, Calibration};
+use artery::num::rng::rng_for;
+use artery::sim::{Executor, NoiseModel, RunRecord, SequentialHandler, StateVector};
+use artery::trace::{TraceHeader, TraceRecorder, TraceWriter};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const N: usize = 4;
+const TOL: f64 = 1e-12;
+
+/// One instruction of a random dynamic circuit.
+#[derive(Clone, Debug)]
+enum Step {
+    One(Gate, usize),
+    Two(Gate, usize, usize),
+    Measure(usize),
+    Feedback(usize),
+}
+
+fn any_one_qubit_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::H),
+        Just(Gate::S),
+        Just(Gate::Sdg),
+        Just(Gate::T),
+        Just(Gate::Tdg),
+        (-6.3f64..6.3).prop_map(Gate::RX),
+        (-6.3f64..6.3).prop_map(Gate::RY),
+        (-6.3f64..6.3).prop_map(Gate::RZ),
+    ]
+}
+
+fn gate_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (any_one_qubit_gate(), 0usize..N).prop_map(|(g, q)| Step::One(g, q)),
+        2 => (
+            prop_oneof![Just(Gate::CZ), Just(Gate::CNOT), Just(Gate::Swap)],
+            0usize..N,
+            1usize..N,
+        )
+            .prop_map(|(g, a, off)| Step::Two(g, a, (a + off) % N)),
+    ]
+}
+
+fn dynamic_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        6 => gate_step(),
+        1 => (0usize..N).prop_map(Step::Measure),
+        1 => (0usize..N).prop_map(Step::Feedback),
+    ]
+}
+
+fn build(steps: &[Step]) -> Circuit {
+    let mut b = CircuitBuilder::new(N);
+    for step in steps {
+        match *step {
+            Step::One(g, q) => {
+                b.gate(g, &[Qubit(q)]);
+            }
+            Step::Two(g, a, bq) => {
+                b.gate(g, &[Qubit(a), Qubit(bq)]);
+            }
+            Step::Measure(q) => {
+                b.measure(Qubit(q));
+            }
+            Step::Feedback(q) => {
+                b.feedback(Qubit(q))
+                    .on_one(Gate::X, &[Qubit(q)])
+                    .on_zero(Gate::RZ(0.4), &[Qubit((q + 1) % N)])
+                    .finish();
+            }
+        }
+    }
+    b.build()
+}
+
+/// Applies a gate-only fused program directly through the state kernels.
+fn apply_program(state: &mut StateVector, program: &FusedProgram) {
+    for op in program.ops() {
+        match op {
+            FusedOp::Run1 { qubit, matrix, .. } => state.apply_fused_one(matrix, *qubit),
+            FusedOp::DiagSweep { qubits, table, .. } => state.apply_diag_sweep(qubits, table),
+            FusedOp::Inst(Instruction::Gate(g)) => state.apply_gate(g.gate, &g.qubits),
+            FusedOp::Inst(other) => panic!("gate-only circuit produced {other:?}"),
+        }
+    }
+}
+
+/// The fused-execution contract: every classical observable bit-identical,
+/// final-state amplitudes within 1e-12.
+fn assert_records_equivalent(fused: &RunRecord, plain: &RunRecord) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&fused.clbits, &plain.clbits);
+    prop_assert_eq!(&fused.feedback_outcomes, &plain.feedback_outcomes);
+    prop_assert_eq!(&fused.feedback_latencies_ns, &plain.feedback_latencies_ns);
+    prop_assert_eq!(fused.mispredictions, plain.mispredictions);
+    prop_assert_eq!(fused.predictions, plain.predictions);
+    prop_assert_eq!(fused.total_ns.to_bits(), plain.total_ns.to_bits());
+    let (a, b) = (fused.state(), plain.state());
+    for i in 0..(1usize << N) {
+        let (x, y) = (a.amplitude(i), b.amplitude(i));
+        prop_assert!(
+            (x.re - y.re).abs() < TOL && (x.im - y.im).abs() < TOL,
+            "amplitude {} diverged: fused {:?} vs plain {:?}",
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fused kernels vs the generic matrix oracle: within 1e-12 everywhere.
+    #[test]
+    fn fused_kernels_match_generic_oracle(
+        steps in proptest::collection::vec(gate_step(), 0..24),
+    ) {
+        let circuit = build(&steps);
+        let program = FusedProgram::fuse(&circuit);
+        let mut fused = StateVector::zero(N);
+        apply_program(&mut fused, &program);
+        let mut generic = StateVector::zero(N);
+        for inst in circuit.instructions() {
+            if let Instruction::Gate(g) = inst {
+                generic.apply_gate_generic(g.gate, &g.qubits);
+            }
+        }
+        for i in 0..(1usize << N) {
+            let a = fused.amplitude(i);
+            let b = generic.amplitude(i);
+            prop_assert!(
+                (a.re - b.re).abs() < TOL && (a.im - b.im).abs() < TOL,
+                "amplitude {} diverged: fused {:?} vs generic {:?}",
+                i, a, b
+            );
+        }
+    }
+
+    /// Fused kernels vs sequential specialized dispatch: within 1e-12 — the
+    /// exact contract the executor fast path relies on (classical record
+    /// identical, amplitudes to rounding).
+    #[test]
+    fn fused_kernels_match_sequential_dispatch(
+        steps in proptest::collection::vec(gate_step(), 0..24),
+    ) {
+        let circuit = build(&steps);
+        let program = FusedProgram::fuse(&circuit);
+        let mut fused = StateVector::zero(N);
+        apply_program(&mut fused, &program);
+        let mut sequential = StateVector::zero(N);
+        for inst in circuit.instructions() {
+            if let Instruction::Gate(g) = inst {
+                sequential.apply_gate(g.gate, &g.qubits);
+            }
+        }
+        for i in 0..(1usize << N) {
+            let a = fused.amplitude(i);
+            let b = sequential.amplitude(i);
+            prop_assert!(
+                (a.re - b.re).abs() < TOL && (a.im - b.im).abs() < TOL,
+                "amplitude {} diverged: fused {:?} vs sequential {:?}",
+                i, a, b
+            );
+        }
+    }
+
+    /// The fused executor reproduces the unfused executor's classical shot
+    /// record bit-identically — clbits, outcomes, latencies, wall clock —
+    /// with amplitudes within 1e-12, on random dynamic circuits with
+    /// measurements and feedback.
+    #[test]
+    fn fused_executor_matches_unfused_executor(
+        steps in proptest::collection::vec(dynamic_step(), 0..24),
+        seed in 0u32..1000,
+    ) {
+        let circuit = build(&steps);
+        let program = FusedProgram::fuse(&circuit);
+        let label = format!("it/fusion/exec{seed}");
+        let plain = Executor::new(NoiseModel::noiseless()).run(
+            &circuit,
+            &mut SequentialHandler::default(),
+            &mut rng_for(&label),
+        );
+        let fused = Executor::new(NoiseModel::noiseless()).run_fused(
+            &program,
+            &mut SequentialHandler::default(),
+            &mut rng_for(&label),
+        );
+        assert_records_equivalent(&fused, &plain)?;
+    }
+
+    /// Nothing-to-fuse circuits survive fusion structurally unchanged: every
+    /// instruction comes back as a pass-through `Inst` in program order.
+    #[test]
+    fn fusion_is_a_structural_noop_on_unfusible_circuits(
+        steps in proptest::collection::vec(
+            prop_oneof![
+                2 => (0usize..N, 1usize..N)
+                    .prop_map(|(a, off)| Step::Two(Gate::CNOT, a, (a + off) % N)),
+                1 => (0usize..N).prop_map(Step::Measure),
+                1 => (0usize..N).prop_map(Step::Feedback),
+            ],
+            0..16,
+        ),
+    ) {
+        let circuit = build(&steps);
+        let program = FusedProgram::fuse(&circuit);
+        prop_assert!(program.is_unfused());
+        prop_assert_eq!(program.fused_gate_count(), 0);
+        prop_assert_eq!(program.ops().len(), circuit.instructions().len());
+        for (op, inst) in program.ops().iter().zip(circuit.instructions()) {
+            match op {
+                FusedOp::Inst(i) => prop_assert_eq!(i, inst),
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "unfusible circuit produced {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// An ARTERY trace recorded through the fused executor is byte-identical to
+/// the panel recorded through per-gate execution — so every downstream
+/// consumer (replayer, leaderboard, golden files) is oblivious to fusion.
+#[test]
+fn fused_trace_recording_is_byte_identical() {
+    let config = ArteryConfig {
+        train_pulses: 500,
+        ..ArteryConfig::paper()
+    };
+    let calibration = Calibration::train(&config, &mut rng_for("it/fusion-cal"));
+
+    for bench in [
+        artery::workloads::Benchmark::Qrw(3),
+        artery::workloads::Benchmark::Reset(2),
+        artery::workloads::Benchmark::RusQnn(2),
+    ] {
+        let circuit = bench.circuit();
+        let program = FusedProgram::fuse(&circuit);
+
+        let record = |fused: bool| -> Vec<u8> {
+            let controller = ArteryController::new(&circuit, &config, &calibration);
+            let writer =
+                TraceWriter::new(Vec::new(), &TraceHeader::new(&config, bench.to_string()))
+                    .expect("start trace");
+            let mut recorder = TraceRecorder::new(controller, writer);
+            let mut exec = Executor::new(NoiseModel::noiseless());
+            let mut rng = rng_for(&format!("it/fusion-trace/{bench}"));
+            for _ in 0..40 {
+                if fused {
+                    let _ = exec.run_fused(&program, &mut recorder, &mut rng);
+                } else {
+                    let _ = exec.run(&circuit, &mut recorder, &mut rng);
+                }
+            }
+            let (_, bytes) = recorder.finish().expect("finish trace");
+            bytes
+        };
+
+        let plain_bytes = record(false);
+        let fused_bytes = record(true);
+        assert_eq!(plain_bytes, fused_bytes, "{bench}: traces diverged");
+    }
+}

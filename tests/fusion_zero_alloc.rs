@@ -1,0 +1,111 @@
+//! Steady-state allocation accounting for the fused shot loop: once the
+//! [`ShotBuffers`] have warmed up to their high-water sizes, a full
+//! warm-history `run_fused_with` shot — fused kernels, measurement collapse,
+//! feedback resolution, latency bookkeeping — must perform **zero** heap
+//! allocations. A counting `#[global_allocator]` makes the guarantee
+//! checkable; this file holds exactly one test so no concurrent test can
+//! perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use artery::circuit::{CircuitBuilder, FusedProgram, Gate, Qubit};
+use artery::num::rng::rng_for;
+use artery::sim::{Executor, NoiseModel, SequentialHandler, ShotBuffers};
+
+/// Counts every allocation (fresh, zeroed, or growing) and forwards to the
+/// system allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_fused_shot_loop_performs_zero_allocations() {
+    // A feedback workload exercising every fused-shot path: one-qubit runs,
+    // a diagonal sweep, a pass-through CNOT, measurement collapse, and a
+    // feedback per round.
+    let circuit = {
+        let mut b = CircuitBuilder::new(3);
+        for round in 0..4 {
+            let theta = 0.3 + 0.2 * round as f64;
+            b.gate(Gate::H, &[Qubit(0)]);
+            b.gate(Gate::RX(theta), &[Qubit(0)]);
+            b.gate(Gate::T, &[Qubit(0)]);
+            b.gate(Gate::S, &[Qubit(1)]);
+            b.gate(Gate::CZ, &[Qubit(1), Qubit(2)]);
+            b.gate(Gate::RZ(-theta), &[Qubit(2)]);
+            b.gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+            b.feedback(Qubit(0)).on_one(Gate::X, &[Qubit(2)]).finish();
+        }
+        b.build()
+    };
+    let program = FusedProgram::fuse(&circuit);
+    assert!(
+        program.fused_gate_count() > 0,
+        "workload must actually fuse"
+    );
+
+    let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+    assert!(exec.fused_fast_path());
+    let mut handler = SequentialHandler::default();
+    let mut rng = rng_for("it/fusion-zero-alloc");
+    let mut buffers = ShotBuffers::for_program(&program);
+    let mut checksum = 0.0f64;
+
+    // Warm-up: grow the outcome/latency buffers to their high-water sizes.
+    for _ in 0..3 {
+        let summary = exec.run_fused_with(&program, &mut handler, &mut rng, &mut buffers);
+        checksum += summary.total_ns;
+    }
+
+    // Steady state: the whole shot must not touch the heap. The counter is
+    // process-global, so an unrelated allocation on libtest's main thread
+    // (timers, bookkeeping) can land inside the window; retry a few times and
+    // require at least one clean pass. A loop that genuinely allocates fails
+    // every attempt.
+    let mut allocations = usize::MAX;
+    for _attempt in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..20 {
+            let summary = exec.run_fused_with(&program, &mut handler, &mut rng, &mut buffers);
+            checksum += summary.total_ns + buffers.total_feedback_us();
+        }
+        allocations = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if allocations == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        allocations, 0,
+        "steady-state fused shot loop performed {allocations} heap allocations in every attempt"
+    );
+
+    // And the loop was still doing real work: every shot advanced the clock
+    // and resolved every feedback site.
+    assert!(checksum > 0.0);
+    assert_eq!(buffers.feedback_outcomes().len(), circuit.feedback_count());
+}
