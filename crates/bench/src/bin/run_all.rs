@@ -759,6 +759,30 @@ fn main() {
         }
     }
     mtable.print();
+    if let Some(fairness) = &snapshot.scheduler {
+        // The corpus ran as one multi-tenant queue; its fairness counters
+        // are a pure function of the submitted jobs, so they ship inside
+        // the snapshot without breaking thread-count byte-identity.
+        let mut ftable = Table::new(["tenant", "jobs", "chunks", "shots", "max chunk"]);
+        for t in &fairness.tenants {
+            ftable.row([
+                t.tenant.clone(),
+                t.jobs.to_string(),
+                t.chunks.to_string(),
+                t.shots.to_string(),
+                t.max_chunk_shots.to_string(),
+            ]);
+        }
+        ftable.row([
+            "queue total".to_string(),
+            fairness.queue.jobs.to_string(),
+            fairness.queue.chunks.to_string(),
+            fairness.queue.shots.to_string(),
+            String::new(),
+        ]);
+        println!("\nscheduler fairness counters (embedded in the snapshot):");
+        ftable.print();
+    }
     let metrics_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_metrics.json");
     match JsonSink::new(metrics_path).export(&snapshot) {
         Ok(()) => println!("\n[metrics snapshot written to {metrics_path}]"),

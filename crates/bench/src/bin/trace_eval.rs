@@ -4,9 +4,10 @@
 //! synthesizer on every shot of every configuration. This harness pays once:
 //! it records the six-workload corpus through a `TraceRecorder`, then fans a
 //! predictor panel — a θ grid, the Fig. 14 feature ablations, Fig. 16-style
-//! table geometries and the HERQULES-class FNN baseline — across OS threads,
-//! one trace shard per worker, and merges the per-shard statistics
-//! deterministically into an accuracy/commit-rate/latency leaderboard.
+//! table geometries and the HERQULES-class FNN baseline — through the
+//! multi-tenant work-stealing shot scheduler, one job per recorded workload,
+//! and merges the per-workload statistics deterministically into an
+//! accuracy/commit-rate/latency leaderboard.
 //!
 //! Two invariants are checked in the output:
 //!
@@ -19,6 +20,7 @@ use std::time::Instant;
 
 use artery_baselines::fnn::{FnnClassifier, FnnConfig};
 use artery_bench::report::{banner, f2, f3, write_json, Table};
+use artery_bench::runner::scheduler::{Chunk, ChunkPlan, JobSpec, SchedulerOptions};
 use artery_bench::runner::{self, WARMUP_SHOTS};
 use artery_bench::shots_or;
 use artery_core::{
@@ -333,30 +335,75 @@ fn main() {
     let zoo = standard_zoo(&calibration, &config, fnn.clone());
     assert!(zoo.len() >= 5, "the zoo fields at least five contenders");
 
-    // Phase 2: fan the panel across OS threads via the shared sharding
-    // helper (honors ARTERY_THREADS) and merge shard statistics in shard
-    // order (deterministic).
+    // Phase 2: fan the panel across the multi-tenant shot scheduler — one
+    // job per recorded workload (tenant = the workload, one chunk per job
+    // since a replay consumes its whole trace) — and take per-job results
+    // in submission order, which is deterministic for any worker count and
+    // any steal interleaving.
     let panel = build_panel(&config, &calibration);
     let recorded_idx = panel
         .iter()
         .position(|e| e.name.ends_with("(recorded)"))
         .expect("panel contains the recorded configuration");
+    let labels: Vec<String> = shards
+        .iter()
+        .map(|s| format!("trace-eval/replay/{}", s.name))
+        .collect();
     // Replay is deterministic, so re-running it is free of result drift;
     // retry the wall-clock measurement a couple of times so a transient
     // load spike (cold pages right after a build, a background compile)
     // cannot fail the speedup invariant below.
     let mut shard_results: Vec<ShardResult> = Vec::new();
     let mut replay_secs = f64::INFINITY;
+    let mut queue_stats = None;
     for _attempt in 0..3 {
+        let (panel, zoo, fnn) = (&panel, &zoo, &fnn);
+        let jobs: Vec<JobSpec<'_, ShardResult>> = shards
+            .iter()
+            .zip(&labels)
+            .map(|(shard, label)| {
+                JobSpec::new(
+                    &shard.name,
+                    label,
+                    shots,
+                    ChunkPlan::single(),
+                    move |_chunk: &Chunk| eval_shard(shard, panel, recorded_idx, zoo, fnn),
+                )
+            })
+            .collect();
         let replay_start = Instant::now();
-        shard_results = runner::parallel::map_on(runner::parallel::threads(), &shards, |shard| {
-            eval_shard(shard, &panel, recorded_idx, &zoo, &fnn)
-        });
+        let run = runner::scheduler::run_queue_on(
+            &SchedulerOptions::with_threads(runner::parallel::threads()),
+            &jobs,
+        );
         replay_secs = replay_secs.min(replay_start.elapsed().as_secs_f64());
+        shard_results = run
+            .jobs
+            .into_iter()
+            .map(|job| {
+                let label = job.label.clone();
+                let mut chunks = job
+                    .outcome
+                    .unwrap_or_else(|e| panic!("replay of {label} failed: {e}"));
+                assert_eq!(chunks.len(), 1, "single-chunk replay of {label}");
+                chunks.pop().expect("one chunk result")
+            })
+            .collect();
+        queue_stats = Some((run.fairness, run.telemetry));
         if live_record_secs * panel.len() as f64 / replay_secs >= 10.0 {
             break;
         }
     }
+    let (fairness, telemetry) = queue_stats.expect("at least one replay attempt ran");
+    println!(
+        "\nscheduler queue: {} tenants, {} jobs, {} chunks, {} shots \
+         (fairness counters are a pure function of the submitted queue)",
+        fairness.queue.tenants, fairness.queue.jobs, fairness.queue.chunks, fairness.queue.shots
+    );
+    println!(
+        "steal telemetry (informational, never serialized): {} workers ran {} chunks, {} steals",
+        telemetry.workers, telemetry.chunks, telemetry.steals
+    );
 
     let mut merged: Vec<ShotStats> = vec![ShotStats::default(); panel.len()];
     let mut fnn_correct = 0u64;

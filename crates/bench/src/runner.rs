@@ -1,23 +1,26 @@
 //! Shot loops shared by the experiment harnesses.
 //!
-//! Every measured loop here is **shot-parallel**: the shot budget is split
-//! into the fixed deterministic shard partition of [`parallel`], each shard
-//! gets its own RNG stream (`rng_for("{label}/shard{i}")`), its own executor
-//! and — for ARTERY — its own warmed controller, and the per-shard
-//! [`Accumulator`]/[`ShotStats`] (and, for the metrics runners, the
-//! per-shard [`MetricsRegistry`]) are merged in shard order. Results are
-//! therefore bit-identical for any worker count; `ARTERY_THREADS` only
-//! changes how fast they arrive.
+//! Every measured loop here is **shot-parallel**: the shot budget becomes a
+//! job on the work-stealing shot [`scheduler`], split into the deterministic
+//! harness chunk partition ([`scheduler::ChunkPlan::Harness`] — the
+//! historical fixed shard split of [`parallel`]). Each chunk gets its own
+//! RNG stream (`rng_for("{label}/shard{i}")`), its own executor and — for
+//! ARTERY — its own warmed controller, and the per-chunk
+//! [`scheduler::ChunkResult`]s ([`Accumulator`]/[`ShotStats`] and, for the
+//! metrics runners, the [`MetricsRegistry`]) are merged in chunk order.
+//! Results are therefore bit-identical for any worker count and any steal
+//! interleaving; `ARTERY_THREADS` only changes how fast they arrive.
 
 pub mod parallel;
+pub mod scheduler;
 
-use artery_circuit::analysis::analyze_circuit;
+use artery_circuit::analysis::{analyze_circuit, SiteAnalysis};
 use artery_circuit::{Circuit, FusedProgram};
-use artery_core::{ArteryConfig, ArteryController, Calibration, ShotStats};
+use artery_core::{ArteryConfig, ArteryController, Calibration};
 use artery_metrics::{MetricsRegistry, MetricsSnapshot};
-use artery_num::stats::Accumulator;
 use artery_sim::{Executor, FeedbackHandler, NoiseModel, ShotBuffers};
 use artery_workloads::Benchmark;
+use scheduler::{Chunk, ChunkPlan, ChunkResult, JobSpec, SchedulerOptions};
 use serde::Serialize;
 
 /// Aggregated latency/prediction results of one (circuit, controller) run.
@@ -44,9 +47,153 @@ pub struct LatencySummary {
 /// much faster).
 pub const WARMUP_SHOTS: usize = 60;
 
-/// RNG label of one shard of a sharded loop.
-fn shard_label(label: &str, index: usize) -> String {
-    format!("{label}/shard{index}")
+/// A circuit prepared for scheduler execution: the fused program and the
+/// per-site analyses, computed **once** per configuration so every chunk
+/// (and every shot) reuses them instead of re-walking the circuit.
+pub struct PreparedCircuit {
+    program: FusedProgram,
+    analyses: Vec<SiteAnalysis>,
+    feedback_count: usize,
+}
+
+impl PreparedCircuit {
+    /// Fuses and analyzes `circuit`.
+    #[must_use]
+    pub fn new(circuit: &Circuit) -> Self {
+        Self {
+            program: FusedProgram::fuse(circuit),
+            analyses: analyze_circuit(circuit),
+            feedback_count: circuit.feedback_count(),
+        }
+    }
+}
+
+/// Builds the scheduler job of one ARTERY measurement: every chunk warms
+/// its own controller for [`WARMUP_SHOTS`] shots on its own RNG stream,
+/// resets statistics and measures `chunk.shots` — exactly the historical
+/// per-shard loop, expressed as a queue job. Uses
+/// [`ChunkPlan::Harness`], so all reported statistics stay bit-identical
+/// to the pre-scheduler runners.
+pub fn artery_job<'a>(
+    tenant: &str,
+    label: &str,
+    prepared: &'a PreparedCircuit,
+    config: &'a ArteryConfig,
+    calibration: &'a Calibration,
+    shots: usize,
+    collect_metrics: bool,
+) -> JobSpec<'a, ChunkResult> {
+    JobSpec::new(
+        tenant,
+        label,
+        shots,
+        ChunkPlan::Harness,
+        move |chunk: &Chunk| {
+            // The latency loops never look at the final state; skip the
+            // per-shot state-vector clone.
+            let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+            let mut rng = artery_num::rng::rng_for(&chunk.rng_label);
+            let mut controller =
+                ArteryController::with_analyses(prepared.analyses.clone(), config, calibration);
+            if collect_metrics {
+                controller = controller.with_metrics();
+            }
+            let mut buffers = ShotBuffers::for_program(&prepared.program);
+            for _ in 0..WARMUP_SHOTS {
+                let _ =
+                    exec.run_fused_with(&prepared.program, &mut controller, &mut rng, &mut buffers);
+            }
+            // Measure with fresh statistics but warmed history.
+            controller.reset_stats();
+            let mut out = ChunkResult::default();
+            for _ in 0..chunk.shots {
+                let summary =
+                    exec.run_fused_with(&prepared.program, &mut controller, &mut rng, &mut buffers);
+                out.total.push(buffers.total_feedback_us());
+                out.circuit_time.push(summary.total_ns / 1000.0);
+            }
+            out.stats = controller.stats().clone();
+            out.metrics = controller.take_metrics().unwrap_or_default();
+            out
+        },
+    )
+}
+
+/// The dynamically-sharded sibling of [`artery_job`]: warms **one**
+/// controller up front (RNG stream `"{label}/warm"`), then measures every
+/// chunk on its own [`warmed fork`](ArteryController::warmed_fork) with a
+/// per-chunk `"{label}/chunk{i}"` RNG stream. Chunks are therefore fully
+/// independent — the partition (a pure function of `shots` and
+/// `chunk_shots`) defines the statistics, and many small chunks share the
+/// worker pool fairly with other tenants without re-paying the warm-up.
+#[allow(clippy::too_many_arguments)]
+pub fn artery_dynamic_job<'a>(
+    tenant: &str,
+    label: &str,
+    prepared: &'a PreparedCircuit,
+    config: &'a ArteryConfig,
+    calibration: &'a Calibration,
+    shots: usize,
+    chunk_shots: usize,
+    collect_metrics: bool,
+) -> JobSpec<'a, ChunkResult> {
+    let mut warmed =
+        ArteryController::with_analyses(prepared.analyses.clone(), config, calibration);
+    if collect_metrics {
+        warmed = warmed.with_metrics();
+    }
+    {
+        let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+        let mut rng = artery_num::rng::rng_for(&format!("{label}/warm"));
+        let mut buffers = ShotBuffers::for_program(&prepared.program);
+        for _ in 0..WARMUP_SHOTS {
+            let _ = exec.run_fused_with(&prepared.program, &mut warmed, &mut rng, &mut buffers);
+        }
+    }
+    JobSpec::new(
+        tenant,
+        label,
+        shots,
+        ChunkPlan::Dynamic { chunk_shots },
+        move |chunk: &Chunk| {
+            let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+            let mut rng = artery_num::rng::rng_for(&chunk.rng_label);
+            let mut controller = warmed.warmed_fork();
+            let mut buffers = ShotBuffers::for_program(&prepared.program);
+            let mut out = ChunkResult::default();
+            for _ in 0..chunk.shots {
+                let summary =
+                    exec.run_fused_with(&prepared.program, &mut controller, &mut rng, &mut buffers);
+                out.total.push(buffers.total_feedback_us());
+                out.circuit_time.push(summary.total_ns / 1000.0);
+            }
+            out.stats = controller.stats().clone();
+            out.metrics = controller.take_metrics().unwrap_or_default();
+            out
+        },
+    )
+}
+
+/// Runs a single-job queue and folds its chunks in chunk order.
+fn run_single_job(threads: usize, job: JobSpec<'_, ChunkResult>) -> ChunkResult {
+    let run = scheduler::run_queue_on(
+        &SchedulerOptions::with_threads(threads),
+        std::slice::from_ref(&job),
+    );
+    let outcome = run.jobs.into_iter().next().expect("one job in").outcome;
+    ChunkResult::fold(&outcome.unwrap_or_else(|e| panic!("harness job failed: {e}")))
+}
+
+/// The [`LatencySummary`] of one folded harness result.
+fn summary_of(merged: &ChunkResult, feedback_count: usize, shots: usize) -> LatencySummary {
+    LatencySummary {
+        total_feedback_us: merged.total.mean(),
+        per_feedback_us: merged.total.mean() / feedback_count.max(1) as f64,
+        accuracy: merged.stats.accuracy(),
+        commit_rate: merged.stats.commit_rate(),
+        total_circuit_us: merged.circuit_time.mean(),
+        shots,
+    }
 }
 
 /// Runs ARTERY on `circuit` and summarizes latency and accuracy, sharded
@@ -126,8 +273,9 @@ pub fn run_artery_metrics_on(
 }
 
 /// The one sharded ARTERY shot loop behind [`run_artery_on`] and
-/// [`run_artery_metrics_on`]; `collect_metrics` keeps the plain path free
-/// of observability cost.
+/// [`run_artery_metrics_on`]: a single [`artery_job`] on the work-stealing
+/// scheduler, chunks folded in chunk order. `collect_metrics` keeps the
+/// plain path free of observability cost.
 fn run_artery_sharded(
     threads: usize,
     circuit: &Circuit,
@@ -137,56 +285,19 @@ fn run_artery_sharded(
     label: &str,
     collect_metrics: bool,
 ) -> (LatencySummary, MetricsRegistry) {
-    // Analyze and fuse once per configuration: every shard (and every shot)
-    // reuses the same `FusedProgram` and a clone of the same `SiteAnalysis`
-    // list instead of re-walking the circuit. Both paths are bit-identical
-    // to per-shot `exec.run`, so the summaries don't move.
-    let program = FusedProgram::fuse(circuit);
-    let analyses = analyze_circuit(circuit);
-    let shard_results = parallel::run_sharded_on(threads, shots, |shard| {
-        // The latency loops never look at the final state; skip the per-shot
-        // state-vector clone.
-        let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
-        let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
-        let mut controller = ArteryController::with_analyses(analyses.clone(), config, calibration);
-        if collect_metrics {
-            controller = controller.with_metrics();
-        }
-        let mut buffers = ShotBuffers::for_program(&program);
-        for _ in 0..WARMUP_SHOTS {
-            let _ = exec.run_fused_with(&program, &mut controller, &mut rng, &mut buffers);
-        }
-        // Measure with fresh statistics but warmed history.
-        controller.reset_stats();
-        let mut total = Accumulator::new();
-        let mut circuit_time = Accumulator::new();
-        for _ in 0..shard.shots {
-            let summary = exec.run_fused_with(&program, &mut controller, &mut rng, &mut buffers);
-            total.push(buffers.total_feedback_us());
-            circuit_time.push(summary.total_ns / 1000.0);
-        }
-        let metrics = controller.take_metrics().unwrap_or_default();
-        (total, circuit_time, controller.stats().clone(), metrics)
-    });
-    let mut total = Accumulator::new();
-    let mut circuit_time = Accumulator::new();
-    let mut stats = ShotStats::default();
-    let mut metrics = MetricsRegistry::new();
-    for (shard_total, shard_circuit, shard_stats, shard_metrics) in &shard_results {
-        total.merge(shard_total);
-        circuit_time.merge(shard_circuit);
-        stats.merge(shard_stats);
-        metrics.merge(shard_metrics);
-    }
-    let summary = LatencySummary {
-        total_feedback_us: total.mean(),
-        per_feedback_us: total.mean() / circuit.feedback_count().max(1) as f64,
-        accuracy: stats.accuracy(),
-        commit_rate: stats.commit_rate(),
-        total_circuit_us: circuit_time.mean(),
+    let prepared = PreparedCircuit::new(circuit);
+    let job = artery_job(
+        "harness",
+        label,
+        &prepared,
+        config,
+        calibration,
         shots,
-    };
-    (summary, metrics)
+        collect_metrics,
+    );
+    let merged = run_single_job(threads, job);
+    let summary = summary_of(&merged, prepared.feedback_count, shots);
+    (summary, merged.metrics)
 }
 
 /// Runs the Bell-measurement feed-forward corpus
@@ -202,14 +313,37 @@ fn run_artery_sharded(
 pub fn bell_feedback_metrics_on(threads: usize, shots: usize) -> MetricsSnapshot {
     let config = ArteryConfig::paper();
     let calibration = calibration_for(&config, "metrics-corpus");
+    // One multi-tenant queue: every workload is a job owned by its own
+    // tenant, all sharing the worker pool through the stealing scheduler.
+    // Chunk partitions and RNG labels are unchanged from the per-workload
+    // runs, so the group snapshots are bit-identical to calling
+    // [`run_artery_metrics_on`] per workload — the queue only adds the
+    // fairness counters.
+    let prepared: Vec<(String, String, PreparedCircuit)> = Benchmark::bell_feedback_corpus()
+        .into_iter()
+        .map(|bench| {
+            let circuit = bench.circuit();
+            (
+                bench.to_string(),
+                format!("metrics/{bench}"),
+                PreparedCircuit::new(&circuit),
+            )
+        })
+        .collect();
+    let jobs: Vec<JobSpec<'_, ChunkResult>> = prepared
+        .iter()
+        .map(|(name, label, p)| artery_job(name, label, p, &config, &calibration, shots, true))
+        .collect();
+    let run = scheduler::run_queue_on(&SchedulerOptions::with_threads(threads), &jobs);
     let mut snapshot = MetricsSnapshot::new();
-    for bench in Benchmark::bell_feedback_corpus() {
-        let circuit = bench.circuit();
-        let label = format!("metrics/{bench}");
-        let (_, registry) =
-            run_artery_metrics_on(threads, &circuit, &config, &calibration, shots, &label);
-        snapshot.push(registry.snapshot(&bench.to_string()));
+    for (job, (name, _, _)) in run.jobs.iter().zip(&prepared) {
+        let chunks = job
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("metrics job {name} failed: {e}"));
+        snapshot.push(ChunkResult::fold(chunks).metrics.snapshot(name));
     }
+    snapshot.scheduler = Some(run.fairness);
     snapshot
 }
 
@@ -235,35 +369,31 @@ pub fn run_handler_on<H: FeedbackHandler + Clone + Sync>(
     shots: usize,
     label: &str,
 ) -> LatencySummary {
-    let program = FusedProgram::fuse(circuit);
-    let shard_results = parallel::run_sharded_on(threads, shots, |shard| {
-        let mut handler = handler.clone();
-        let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
-        let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
-        let mut buffers = ShotBuffers::for_program(&program);
-        let mut total = Accumulator::new();
-        let mut circuit_time = Accumulator::new();
-        for _ in 0..shard.shots {
-            let summary = exec.run_fused_with(&program, &mut handler, &mut rng, &mut buffers);
-            total.push(buffers.total_feedback_us());
-            circuit_time.push(summary.total_ns / 1000.0);
-        }
-        (total, circuit_time)
-    });
-    let mut total = Accumulator::new();
-    let mut circuit_time = Accumulator::new();
-    for (shard_total, shard_circuit) in &shard_results {
-        total.merge(shard_total);
-        circuit_time.merge(shard_circuit);
-    }
-    LatencySummary {
-        total_feedback_us: total.mean(),
-        per_feedback_us: total.mean() / circuit.feedback_count().max(1) as f64,
-        accuracy: 1.0,
-        commit_rate: 0.0,
-        total_circuit_us: circuit_time.mean(),
+    let prepared = PreparedCircuit::new(circuit);
+    let job = JobSpec::new(
+        "harness",
+        label,
         shots,
-    }
+        ChunkPlan::Harness,
+        |chunk: &Chunk| {
+            let mut handler = handler.clone();
+            let mut exec = Executor::new(NoiseModel::noiseless()).without_final_state();
+            let mut rng = artery_num::rng::rng_for(&chunk.rng_label);
+            let mut buffers = ShotBuffers::for_program(&prepared.program);
+            let mut out = ChunkResult::default();
+            for _ in 0..chunk.shots {
+                let summary =
+                    exec.run_fused_with(&prepared.program, &mut handler, &mut rng, &mut buffers);
+                out.total.push(buffers.total_feedback_us());
+                out.circuit_time.push(summary.total_ns / 1000.0);
+            }
+            out
+        },
+    );
+    let merged = run_single_job(threads, job);
+    // Baselines make no predictions: a default `ShotStats` reports the
+    // historical accuracy 1.0 / commit rate 0.0 through `summary_of`.
+    summary_of(&merged, prepared.feedback_count, shots)
 }
 
 /// Mean conditional fidelity of `circuit` under a feedback handler: each
@@ -290,26 +420,28 @@ pub fn conditional_fidelity_on<H: FeedbackHandler + Clone + Sync>(
     shots: usize,
     label: &str,
 ) -> f64 {
-    let shard_accs = parallel::run_sharded_on(threads, shots, |shard| {
-        let mut handler = handler.clone();
-        let mut noisy_exec = Executor::new(NoiseModel::paper_device());
-        let mut ref_exec = Executor::new(NoiseModel::noiseless());
-        let mut rng = artery_num::rng::rng_for(&shard_label(label, shard.index));
-        let mut acc = Accumulator::new();
-        for _ in 0..shard.shots {
-            let rec = noisy_exec.run(circuit, &mut handler, &mut rng);
-            let script: Vec<bool> = rec.feedback_outcomes.iter().map(|&(_, o)| o).collect();
-            let mut reference = artery_sim::SequentialHandler::default();
-            let ideal = ref_exec.run_scripted(circuit, &mut reference, &script, &mut rng);
-            acc.push(ideal.state().fidelity(rec.state()));
-        }
-        acc
-    });
-    let mut acc = Accumulator::new();
-    for shard_acc in &shard_accs {
-        acc.merge(shard_acc);
-    }
-    acc.mean()
+    let job = JobSpec::new(
+        "harness",
+        label,
+        shots,
+        ChunkPlan::Harness,
+        |chunk: &Chunk| {
+            let mut handler = handler.clone();
+            let mut noisy_exec = Executor::new(NoiseModel::paper_device());
+            let mut ref_exec = Executor::new(NoiseModel::noiseless());
+            let mut rng = artery_num::rng::rng_for(&chunk.rng_label);
+            let mut out = ChunkResult::default();
+            for _ in 0..chunk.shots {
+                let rec = noisy_exec.run(circuit, &mut handler, &mut rng);
+                let script: Vec<bool> = rec.feedback_outcomes.iter().map(|&(_, o)| o).collect();
+                let mut reference = artery_sim::SequentialHandler::default();
+                let ideal = ref_exec.run_scripted(circuit, &mut reference, &script, &mut rng);
+                out.total.push(ideal.state().fidelity(rec.state()));
+            }
+            out
+        },
+    );
+    run_single_job(threads, job).total.mean()
 }
 
 /// Conditional fidelity for ARTERY (owns the controller life cycle and

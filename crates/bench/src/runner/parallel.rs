@@ -67,50 +67,22 @@ pub fn shards(shots: usize) -> Vec<Shard> {
 }
 
 /// Maps `work` over `items` on up to `threads` OS threads, returning results
-/// in item order. Item `i` is always processed by worker `i % workers`, and
-/// each item's computation is self-contained, so the output is independent
-/// of the worker count.
+/// in item order. Each item's computation is self-contained and results are
+/// written to per-item slots, so the output is independent of the worker
+/// count — and, since this now routes through the work-stealing scheduler
+/// ([`super::scheduler::steal_map_on`]), independent of which worker ran
+/// (or stole) which item. Heterogeneous item costs balance automatically.
 ///
 /// # Panics
 ///
-/// Panics when a worker thread panics.
+/// Panics when a work invocation panics.
 pub fn map_on<I, T, F>(threads: usize, items: &[I], work: F) -> Vec<T>
 where
     I: Sync,
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    let workers = threads.max(1).min(items.len());
-    if workers <= 1 {
-        return items.iter().map(work).collect();
-    }
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    std::thread::scope(|scope| {
-        let work = &work;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    items
-                        .iter()
-                        .enumerate()
-                        .skip(w)
-                        .step_by(workers)
-                        .map(|(i, item)| (i, work(item)))
-                        .collect::<Vec<(usize, T)>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, value) in handle.join().expect("shard worker panicked") {
-                slots[i] = Some(value);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|v| v.expect("every item produced a result"))
-        .collect()
+    super::scheduler::steal_map_on(threads, items, work)
 }
 
 /// Splits `shots` into the deterministic [`shards`] partition and runs

@@ -1,0 +1,756 @@
+//! Multi-tenant work-stealing shot scheduler with dynamic deterministic
+//! sharding.
+//!
+//! The scheduler accepts a queue of heterogeneous [`JobSpec`]s — mixed
+//! workloads, predictor configurations, tenants — splits every job into
+//! small deterministic [`Chunk`]s, and executes the chunks on a pool of
+//! workers that steal from each other when their own queues drain. The
+//! whole design is built around one contract:
+//!
+//! > **Threads and steals decide *when* a chunk runs, never *what* it
+//! > computes or where its result lands.**
+//!
+//! Concretely:
+//!
+//! - A job's chunk partition is a pure function of its shot count and its
+//!   [`ChunkPlan`] — never of the worker count.
+//! - Every chunk derives its own RNG stream from its deterministic label
+//!   (`"{label}/chunk{i}"` for [`ChunkPlan::Dynamic`], the historical
+//!   `"{label}/shard{i}"` for [`ChunkPlan::Harness`]) and owns all of its
+//!   mutable state, so chunk results are independent of execution order.
+//! - Results are written into per-chunk slots and merged **in chunk
+//!   order**, so the merged output is bit-identical for any
+//!   `ARTERY_THREADS` and any steal interleaving — the property
+//!   `tests/scheduler.rs` pins with byte comparisons under forced
+//!   steal-order jitter.
+//!
+//! A chunk that panics surfaces as a [`JobError`] on its own job; other
+//! tenants' jobs are unaffected (workers catch the unwind before touching
+//! any shared queue state, so nothing is poisoned).
+//!
+//! Fairness/backpressure counters split in two: the deterministic queue
+//! composition ([`SchedulerSnapshot`], serialized into
+//! `BENCH_metrics.json`) and the scheduling-dependent [`StealTelemetry`]
+//! (steals, chunks per worker), which harnesses print but never serialize
+//! into byte-compared artifacts.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use artery_core::ShotStats;
+use artery_metrics::{MetricsRegistry, SchedulerSnapshot};
+use artery_num::stats::Accumulator;
+
+use super::parallel;
+
+/// One schedulable unit of work: a contiguous slice of a job's shots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Index of the owning job in the submitted queue.
+    pub job: usize,
+    /// Chunk index within the job, `0..chunks_in_job`.
+    pub index: usize,
+    /// Number of chunks the owning job was split into.
+    pub chunks_in_job: usize,
+    /// Measured shots assigned to this chunk.
+    pub shots: usize,
+    /// Deterministic RNG label of the chunk; feed it to
+    /// [`artery_num::rng::rng_for`] for the chunk's own stream.
+    pub rng_label: String,
+}
+
+/// How a job's shots are partitioned into chunks.
+///
+/// Both plans are **deterministic**: the partition (and every chunk's RNG
+/// label) depends only on the job's shot count, never on the worker count
+/// or the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkPlan {
+    /// The historical harness partition: at most [`parallel::SHARDS`]
+    /// equal chunks (remainder to the lowest indices) with RNG labels
+    /// `"{label}/shard{i}"`. The migrated harnesses (`run_artery`,
+    /// `run_handler`, `conditional_fidelity`) use this plan so every
+    /// statistic they report stays bit-identical to the pre-scheduler
+    /// runners — the committed `BENCH_*.json` baselines remain valid.
+    Harness,
+    /// Dynamic sharding: chunks of `chunk_shots` shots (the last chunk
+    /// takes the remainder) with RNG labels `"{label}/chunk{i}"`. Small
+    /// chunks are what let heterogeneous tenants share the worker pool
+    /// fairly — no tenant waits longer than one chunk.
+    Dynamic {
+        /// Target shots per chunk; clamped to at least 1. A value larger
+        /// than the job's shot count yields a single chunk.
+        chunk_shots: usize,
+    },
+}
+
+impl ChunkPlan {
+    /// A plan producing exactly one chunk regardless of the shot count.
+    #[must_use]
+    pub fn single() -> Self {
+        Self::Dynamic {
+            chunk_shots: usize::MAX,
+        }
+    }
+
+    /// The number of chunks a `shots`-shot job splits into. Always at
+    /// least 1 — an empty job still materializes one (zero-shot) chunk so
+    /// its life cycle matches every other job's.
+    #[must_use]
+    pub fn chunk_count(&self, shots: usize) -> usize {
+        match *self {
+            Self::Harness => parallel::shard_count(shots),
+            Self::Dynamic { chunk_shots } => shots.div_ceil(chunk_shots.max(1)).max(1),
+        }
+    }
+
+    /// Materializes the deterministic chunk partition of one job.
+    #[must_use]
+    pub fn chunks(&self, job: usize, label: &str, shots: usize) -> Vec<Chunk> {
+        match *self {
+            Self::Harness => parallel::shards(shots)
+                .iter()
+                .map(|shard| Chunk {
+                    job,
+                    index: shard.index,
+                    chunks_in_job: parallel::shard_count(shots),
+                    shots: shard.shots,
+                    rng_label: format!("{label}/shard{}", shard.index),
+                })
+                .collect(),
+            Self::Dynamic { chunk_shots } => {
+                let size = chunk_shots.max(1);
+                let count = self.chunk_count(shots);
+                (0..count)
+                    .map(|index| Chunk {
+                        job,
+                        index,
+                        chunks_in_job: count,
+                        shots: (shots - index * size).min(size),
+                        rng_label: format!("{label}/chunk{index}"),
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One job in the queue: a tenant, a label, a shot budget, a chunk plan
+/// and the chunk body. The body must be a pure function of the chunk (all
+/// randomness drawn from `chunk.rng_label`); the scheduler guarantees the
+/// rest of the determinism contract.
+pub struct JobSpec<'a, R> {
+    tenant: String,
+    label: String,
+    shots: usize,
+    plan: ChunkPlan,
+    work: Box<dyn Fn(&Chunk) -> R + Sync + 'a>,
+}
+
+impl<'a, R: Send> JobSpec<'a, R> {
+    /// Creates a job owned by `tenant`.
+    pub fn new(
+        tenant: &str,
+        label: &str,
+        shots: usize,
+        plan: ChunkPlan,
+        work: impl Fn(&Chunk) -> R + Sync + 'a,
+    ) -> Self {
+        Self {
+            tenant: tenant.to_string(),
+            label: label.to_string(),
+            shots,
+            plan,
+            work: Box::new(work),
+        }
+    }
+
+    /// The owning tenant.
+    #[must_use]
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The job's RNG/label root.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The job's measured shot budget.
+    #[must_use]
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// The job's chunk partition.
+    #[must_use]
+    pub fn chunks(&self, job: usize) -> Vec<Chunk> {
+        self.plan.chunks(job, &self.label, self.shots)
+    }
+}
+
+/// Scheduler knobs. `threads` bounds the worker pool; `chunk_hook` is a
+/// test-only seam that runs **before** every chunk body on the executing
+/// worker — interleaving tests inject per-chunk sleeps through it to force
+/// adversarial steal orders and then assert the output did not move.
+#[derive(Default)]
+pub struct SchedulerOptions<'h> {
+    /// Worker threads to use (clamped to at least 1 and at most the
+    /// number of chunks).
+    pub threads: usize,
+    /// Test-only per-chunk hook; panics inside it surface as the chunk's
+    /// job error, exactly like a panicking chunk body.
+    pub chunk_hook: Option<&'h (dyn Fn(&Chunk) + Sync)>,
+}
+
+impl SchedulerOptions<'static> {
+    /// Options with an explicit worker count and no hook.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            chunk_hook: None,
+        }
+    }
+}
+
+/// Scheduling-dependent counters of one queue run. These describe *how*
+/// the run was executed — they are **not** deterministic across worker
+/// counts or steal interleavings, which is exactly why they live outside
+/// [`SchedulerSnapshot`] and must never be serialized into byte-compared
+/// artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StealTelemetry {
+    /// Workers the pool actually ran.
+    pub workers: usize,
+    /// Chunks executed (all of them, on every run).
+    pub chunks: u64,
+    /// Successful steals: chunks a worker took from another worker's
+    /// queue after its own drained.
+    pub steals: u64,
+    /// Chunks executed per worker, indexed by worker.
+    pub chunks_per_worker: Vec<u64>,
+}
+
+/// A chunk body (or the chunk hook) panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Chunk index within the job that panicked first (in chunk order).
+    pub chunk: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chunk {} panicked: {}", self.chunk, self.message)
+    }
+}
+
+/// One job's outcome: its per-chunk results in chunk order, or the first
+/// chunk error (in chunk order) when any chunk panicked.
+pub struct JobRun<R> {
+    /// The owning tenant.
+    pub tenant: String,
+    /// The job's label.
+    pub label: String,
+    /// The job's measured shot budget.
+    pub shots: usize,
+    /// Per-chunk results in chunk order, or the job's first error.
+    pub outcome: Result<Vec<R>, JobError>,
+}
+
+/// The result of running one job queue.
+pub struct QueueRun<R> {
+    /// Per-job outcomes in submission order.
+    pub jobs: Vec<JobRun<R>>,
+    /// Deterministic fairness/backpressure counters of the queue.
+    pub fairness: SchedulerSnapshot,
+    /// Scheduling-dependent execution counters.
+    pub telemetry: StealTelemetry,
+}
+
+/// The deterministic fairness snapshot of a queue, computable without
+/// running it.
+#[must_use]
+pub fn fairness_of<R: Send>(jobs: &[JobSpec<'_, R>]) -> SchedulerSnapshot {
+    SchedulerSnapshot::from_jobs(jobs.iter().map(|job| {
+        let chunks = job.chunks(0);
+        (
+            job.tenant.as_str(),
+            chunks.len() as u64,
+            job.shots as u64,
+            chunks.iter().map(|c| c.shots as u64).max().unwrap_or(0),
+        )
+    }))
+}
+
+/// Runs a job queue on up to `opts.threads` work-stealing workers.
+///
+/// Chunks are seeded round-robin across the workers' local deques (chunk
+/// `t` starts on worker `t % workers`); a worker pops its own queue from
+/// the front and, once empty, steals from the *back* of the next
+/// non-empty victim queue. Every chunk writes its result into its own
+/// slot, and slots are folded back into per-job outcomes in chunk order —
+/// so the returned results are independent of the worker count and of
+/// which worker ran (or stole) which chunk.
+pub fn run_queue_on<R: Send>(opts: &SchedulerOptions<'_>, jobs: &[JobSpec<'_, R>]) -> QueueRun<R> {
+    let chunks: Vec<Chunk> = jobs
+        .iter()
+        .enumerate()
+        .flat_map(|(j, job)| job.chunks(j))
+        .collect();
+    let fairness = fairness_of(jobs);
+
+    let (mut slots, telemetry) = execute(opts, jobs, &chunks);
+
+    // Fold the chunk slots back into per-job outcomes, in chunk order.
+    let mut per_job: Vec<Result<Vec<R>, JobError>> = jobs
+        .iter()
+        .map(|job| Ok(Vec::with_capacity(job.plan.chunk_count(job.shots))))
+        .collect();
+    for (chunk, slot) in chunks.iter().zip(slots.drain(..)) {
+        let entry = &mut per_job[chunk.job];
+        match slot {
+            Ok(result) => {
+                if let Ok(results) = entry {
+                    results.push(result);
+                }
+            }
+            Err(message) => {
+                if entry.is_ok() {
+                    *entry = Err(JobError {
+                        chunk: chunk.index,
+                        message,
+                    });
+                }
+            }
+        }
+    }
+    let jobs = jobs
+        .iter()
+        .zip(per_job)
+        .map(|(job, outcome)| JobRun {
+            tenant: job.tenant.clone(),
+            label: job.label.clone(),
+            shots: job.shots,
+            outcome,
+        })
+        .collect();
+    QueueRun {
+        jobs,
+        fairness,
+        telemetry,
+    }
+}
+
+/// [`run_queue_on`] with the default worker count
+/// ([`parallel::threads`], i.e. `ARTERY_THREADS`).
+pub fn run_queue<R: Send>(jobs: &[JobSpec<'_, R>]) -> QueueRun<R> {
+    run_queue_on(&SchedulerOptions::with_threads(parallel::threads()), jobs)
+}
+
+/// The work-stealing core: executes every chunk exactly once and returns
+/// the per-chunk results in chunk order.
+fn execute<R: Send>(
+    opts: &SchedulerOptions<'_>,
+    jobs: &[JobSpec<'_, R>],
+    chunks: &[Chunk],
+) -> (Vec<Result<R, String>>, StealTelemetry) {
+    let run_one = |chunk: &Chunk| -> Result<R, String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = opts.chunk_hook {
+                hook(chunk);
+            }
+            (jobs[chunk.job].work)(chunk)
+        }))
+        .map_err(|payload| panic_message(payload.as_ref()))
+    };
+
+    let workers = opts.threads.clamp(1, chunks.len().max(1));
+    if workers <= 1 || chunks.len() <= 1 {
+        // Degenerate pool: run in chunk order on this thread. Identical
+        // results by construction; the multi-worker path must reproduce
+        // them bit-for-bit.
+        let results: Vec<Result<R, String>> = chunks.iter().map(run_one).collect();
+        let telemetry = StealTelemetry {
+            workers: 1,
+            chunks: chunks.len() as u64,
+            steals: 0,
+            chunks_per_worker: vec![chunks.len() as u64],
+        };
+        return (results, telemetry);
+    }
+
+    // Round-robin seeding: chunk t starts on worker t % workers. The
+    // deques hold chunk indices; results go into per-chunk slots, so
+    // stealing can never reorder or duplicate output.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..chunks.len()).step_by(workers).collect()))
+        .collect();
+    let steals = AtomicU64::new(0);
+    let mut slots: Vec<Option<Result<R, String>>> = Vec::with_capacity(chunks.len());
+    slots.resize_with(chunks.len(), || None);
+    let mut chunks_per_worker = vec![0u64; workers];
+
+    std::thread::scope(|scope| {
+        let queues = &queues;
+        let steals = &steals;
+        let run_one = &run_one;
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, Result<R, String>)> = Vec::new();
+                    loop {
+                        // Own queue first (front), then steal from the
+                        // back of the next non-empty victim. All chunks
+                        // are enqueued up front, so empty-everywhere
+                        // means finished.
+                        let mut task = queues[me].lock().expect("queue lock").pop_front();
+                        if task.is_none() {
+                            for offset in 1..workers {
+                                let victim = (me + offset) % workers;
+                                if let Some(stolen) =
+                                    queues[victim].lock().expect("queue lock").pop_back()
+                                {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    task = Some(stolen);
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(task) = task else { break };
+                        done.push((task, run_one(&chunks[task])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for (worker, handle) in handles.into_iter().enumerate() {
+            // Workers never unwind: every chunk body runs under
+            // catch_unwind, so a join failure is a scheduler bug.
+            let done = handle.join().expect("scheduler worker never panics");
+            chunks_per_worker[worker] = done.len() as u64;
+            for (task, result) in done {
+                slots[task] = Some(result);
+            }
+        }
+    });
+
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("every chunk ran exactly once"))
+        .collect();
+    let telemetry = StealTelemetry {
+        workers,
+        chunks: chunks.len() as u64,
+        steals: steals.load(Ordering::Relaxed),
+        chunks_per_worker,
+    };
+    (results, telemetry)
+}
+
+/// Stringifies a panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "chunk panicked with a non-string payload".to_string()
+    }
+}
+
+/// Maps `work` over `items` through the work-stealing pool, returning
+/// results in item order — the scheduler-backed replacement for the old
+/// fixed-stride `map_on`. Each item becomes a single-chunk job, so
+/// heterogeneous item costs balance across workers via stealing.
+///
+/// # Panics
+///
+/// Re-raises the first (in item order) panic of a work invocation.
+pub fn steal_map_on<I, T, F>(threads: usize, items: &[I], work: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let work = &work;
+    let jobs: Vec<JobSpec<'_, T>> = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            JobSpec::new(
+                "map",
+                &format!("map/{i}"),
+                1,
+                ChunkPlan::single(),
+                move |_chunk: &Chunk| work(item),
+            )
+        })
+        .collect();
+    run_queue_on(&SchedulerOptions::with_threads(threads), &jobs)
+        .jobs
+        .into_iter()
+        .map(|job| {
+            let mut results = job
+                .outcome
+                .unwrap_or_else(|e| panic!("shard worker panicked: {e}"));
+            results.pop().expect("single-chunk job yields one result")
+        })
+        .collect()
+}
+
+/// The per-chunk measurement bundle every migrated harness produces:
+/// latency and circuit-time accumulators, controller statistics and the
+/// chunk's metrics registry. All four merge deterministically, so a
+/// chunk-order fold of `ChunkResult`s is bit-identical for any worker
+/// count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChunkResult {
+    /// Per-shot total feedback latency, µs (or the harness's primary
+    /// sample — conditional fidelity stores fidelities here).
+    pub total: Accumulator,
+    /// Per-shot end-to-end circuit time, µs.
+    pub circuit_time: Accumulator,
+    /// Controller statistics of the chunk's measured shots.
+    pub stats: ShotStats,
+    /// Per-site metrics of the chunk (empty unless collected).
+    pub metrics: MetricsRegistry,
+}
+
+impl ChunkResult {
+    /// Folds `other` into `self`. `metrics` merges exactly (integer
+    /// counters, merge-exact histograms); `stats` and the accumulators
+    /// use parallel Welford for their moments, which is deterministic for
+    /// a fixed merge order.
+    pub fn merge(&mut self, other: &ChunkResult) {
+        self.total.merge(&other.total);
+        self.circuit_time.merge(&other.circuit_time);
+        self.stats.merge(&other.stats);
+        self.metrics.merge(&other.metrics);
+    }
+
+    /// Left fold of `chunks` in chunk order — the harness reduction.
+    ///
+    /// A left fold rather than a balanced tree for one reason:
+    /// [`Accumulator::merge`] is floating-point, so only a *fixed* merge
+    /// shape is bit-stable, and the left fold is the shape the
+    /// pre-scheduler runners used — keeping every reported statistic
+    /// bit-identical across the migration. For the merge-exact member
+    /// (`metrics`) any shape gives the same bits; [`tree_merge_in_order`]
+    /// exists for such structures and is proven equal to this fold by
+    /// `tests/scheduler.rs`.
+    #[must_use]
+    pub fn fold(chunks: &[ChunkResult]) -> ChunkResult {
+        let mut merged = ChunkResult::default();
+        for chunk in chunks {
+            merged.merge(chunk);
+        }
+        merged
+    }
+}
+
+/// Balanced pairwise (tree) reduction of `items`, preserving order:
+/// neighbors merge first, then neighbors of the results, until one value
+/// remains. For merge-exact structures (`MetricsRegistry`, histograms,
+/// counters, and the integer counters of `ShotStats`) the result is
+/// bit-identical to a sequential in-order fold — the associativity
+/// property `tests/scheduler.rs` pins — while needing only `O(log n)`
+/// merge depth. Welford accumulators keep exact counts and min/max under
+/// any shape but their moments are only approximately shape-independent,
+/// which is why [`ChunkResult::fold`] uses the fixed left fold instead.
+pub fn tree_merge_in_order<T: Clone>(items: &[T], merge: impl Fn(&mut T, &T)) -> Option<T> {
+    if items.is_empty() {
+        return None;
+    }
+    let mut level: Vec<T> = items.to_vec();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                let mut merged = pair[0].clone();
+                if let Some(right) = pair.get(1) {
+                    merge(&mut merged, right);
+                }
+                merged
+            })
+            .collect();
+    }
+    level.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_job<'a>(tenant: &str, label: &str, shots: usize, plan: ChunkPlan) -> JobSpec<'a, u64> {
+        let label_owned = label.to_string();
+        JobSpec::new(tenant, label, shots, plan, move |chunk: &Chunk| {
+            assert!(chunk.rng_label.starts_with(&label_owned));
+            chunk.shots as u64
+        })
+    }
+
+    #[test]
+    fn dynamic_plan_partitions_exactly() {
+        for (shots, size) in [(0usize, 4usize), (1, 4), (7, 3), (12, 3), (100, 7), (5, 99)] {
+            let plan = ChunkPlan::Dynamic { chunk_shots: size };
+            let chunks = plan.chunks(0, "t", shots);
+            assert_eq!(chunks.len(), plan.chunk_count(shots));
+            assert_eq!(chunks.iter().map(|c| c.shots).sum::<usize>(), shots);
+            assert!(chunks.iter().all(|c| c.shots <= size));
+            for (i, c) in chunks.iter().enumerate() {
+                assert_eq!(c.index, i);
+                assert_eq!(c.rng_label, format!("t/chunk{i}"));
+                assert_eq!(c.chunks_in_job, chunks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn harness_plan_reproduces_the_historical_shard_partition() {
+        let chunks = ChunkPlan::Harness.chunks(3, "lbl", 20);
+        let shards = parallel::shards(20);
+        assert_eq!(chunks.len(), shards.len());
+        for (chunk, shard) in chunks.iter().zip(&shards) {
+            assert_eq!(chunk.shots, shard.shots);
+            assert_eq!(chunk.rng_label, format!("lbl/shard{}", shard.index));
+            assert_eq!(chunk.job, 3);
+        }
+    }
+
+    #[test]
+    fn queue_results_are_identical_for_any_worker_count() {
+        let jobs = vec![
+            sum_job("a", "q/one", 17, ChunkPlan::Dynamic { chunk_shots: 3 }),
+            sum_job("b", "q/two", 5, ChunkPlan::Harness),
+            sum_job("a", "q/three", 0, ChunkPlan::single()),
+        ];
+        let runs: Vec<Vec<Vec<u64>>> = [1usize, 2, 4, 16]
+            .iter()
+            .map(|&threads| {
+                run_queue_on(&SchedulerOptions::with_threads(threads), &jobs)
+                    .jobs
+                    .into_iter()
+                    .map(|j| j.outcome.expect("no panics"))
+                    .collect()
+            })
+            .collect();
+        for run in &runs[1..] {
+            assert_eq!(run, &runs[0]);
+        }
+        assert_eq!(runs[0][0].iter().sum::<u64>(), 17);
+        assert_eq!(runs[0][1].iter().sum::<u64>(), 5);
+        assert_eq!(runs[0][2], vec![0]);
+    }
+
+    #[test]
+    fn fairness_snapshot_counts_the_queue_not_the_execution() {
+        let jobs = vec![
+            sum_job("b", "f/one", 10, ChunkPlan::Dynamic { chunk_shots: 4 }),
+            sum_job("a", "f/two", 3, ChunkPlan::single()),
+        ];
+        let one = run_queue_on(&SchedulerOptions::with_threads(1), &jobs);
+        let four = run_queue_on(&SchedulerOptions::with_threads(4), &jobs);
+        assert_eq!(one.fairness, four.fairness);
+        assert_eq!(one.fairness.queue.jobs, 2);
+        assert_eq!(one.fairness.queue.chunks, 4);
+        assert_eq!(one.fairness.queue.shots, 13);
+        assert_eq!(one.fairness.tenants[0].tenant, "a");
+        assert_eq!(one.fairness.tenants[1].max_chunk_shots, 4);
+        // Telemetry accounts for every chunk regardless of who ran it.
+        assert_eq!(four.telemetry.chunks, 4);
+        assert_eq!(four.telemetry.chunks_per_worker.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn steal_map_on_preserves_item_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..23).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = steal_map_on(threads, &items, |&x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard worker panicked")]
+    fn steal_map_on_reraises_worker_panics() {
+        let items = vec![1, 2, 3];
+        let _ = steal_map_on(2, &items, |&x| {
+            assert!(x != 2, "boom on {x}");
+            x
+        });
+    }
+
+    #[test]
+    fn tree_merge_matches_fold_for_exact_structures() {
+        use artery_metrics::{ShotTimeline, Stage};
+
+        // MetricsRegistry state is pure integer counters/buckets plus exact
+        // min/max gauges, so its merge is exactly associative: a balanced
+        // tree merge must equal the sequential left fold bit-for-bit.
+        let registries: Vec<MetricsRegistry> = (0..9)
+            .map(|i| {
+                let mut r = MetricsRegistry::new();
+                for k in 0..=i {
+                    let mut t = ShotTimeline::new(k % 3, 150.0 + (k * 17) as f64);
+                    t.push(Stage::Predict, 60.0);
+                    t.push(Stage::TriggerFire, 61.0);
+                    if k % 2 == 0 {
+                        t.push(Stage::Commit, 150.0);
+                    } else {
+                        t.push(Stage::Rollback, 150.0);
+                        t.push(Stage::Recover, 180.0);
+                    }
+                    r.observe(&t);
+                }
+                r
+            })
+            .collect();
+        let tree = tree_merge_in_order(&registries, |a, b| a.merge(b)).unwrap();
+        let mut fold = MetricsRegistry::new();
+        for r in &registries {
+            fold.merge(r);
+        }
+        assert_eq!(tree, fold);
+
+        // ShotStats embeds Welford accumulators, whose merge is exact in
+        // the counters and min/max but only approximately associative in
+        // the moments — which is exactly why the scheduler folds chunk
+        // results in chunk order instead of tree-merging them.
+        let stats: Vec<ShotStats> = (0..9)
+            .map(|i| {
+                let mut s = ShotStats::default();
+                for k in 0..=i {
+                    s.record(&artery_core::SiteOutcome {
+                        site: artery_circuit::FeedbackSite(0),
+                        window: Some(k),
+                        predicted: Some(k % 2 == 0),
+                        reported: true,
+                        latency_ns: 100.0 + k as f64,
+                    });
+                }
+                s
+            })
+            .collect();
+        let tree = tree_merge_in_order(&stats, |a, b| a.merge(b)).unwrap();
+        let mut fold = ShotStats::default();
+        for s in &stats {
+            fold.merge(s);
+        }
+        assert_eq!(tree.resolved, fold.resolved);
+        assert_eq!(tree.committed, fold.committed);
+        assert_eq!(tree.correct, fold.correct);
+        assert_eq!(tree.latency_ns.len(), fold.latency_ns.len());
+        assert_eq!(tree.latency_ns.min(), fold.latency_ns.min());
+        assert_eq!(tree.latency_ns.max(), fold.latency_ns.max());
+        assert!((tree.latency_ns.mean() - fold.latency_ns.mean()).abs() < 1e-9);
+        assert!((tree.latency_ns.variance() - fold.latency_ns.variance()).abs() < 1e-6);
+        assert!(tree_merge_in_order::<ShotStats>(&[], |a, b| a.merge(b)).is_none());
+    }
+}

@@ -493,6 +493,22 @@ impl<'a> ArteryController<'a> {
         }
     }
 
+    /// Forks a warmed controller for one scheduler chunk: the fork keeps
+    /// the learned per-site history, thresholds and calibration borrow,
+    /// but starts with fresh statistics, an empty outcome log and an
+    /// empty (still-enabled) metrics registry.
+    ///
+    /// This is the controller-reuse primitive of the work-stealing shot
+    /// scheduler: a job warms **one** controller, then every chunk measures
+    /// on its own fork — so chunk results are independent of execution
+    /// order while still sharing the warm-up cost.
+    #[must_use]
+    pub fn warmed_fork(&self) -> Self {
+        let mut fork = self.clone();
+        fork.reset_stats();
+        fork
+    }
+
     /// Drains the per-feedback outcome log.
     pub fn take_outcomes(&mut self) -> Vec<SiteOutcome> {
         std::mem::take(&mut self.outcomes)
@@ -924,6 +940,41 @@ mod tests {
         assert_eq!(ctl.history.shots(FeedbackSite(0)), shots_before);
         let _ = exec.run(&circuit, &mut ctl, &mut rng);
         assert_eq!(ctl.stats().resolved, 1);
+    }
+
+    #[test]
+    fn warmed_fork_keeps_history_and_forks_run_identically() {
+        let cal = calibration();
+        let config = ArteryConfig::paper();
+        let circuit = artery_workloads::active_reset(1);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let mut rng = rng_for("ctrl/fork-warm");
+        let mut warm = ArteryController::new(&circuit, &config, &cal).with_metrics();
+        for _ in 0..30 {
+            let _ = exec.run(&circuit, &mut warm, &mut rng);
+        }
+        let shots_warm = warm.history.shots(FeedbackSite(0));
+
+        // A fork starts statistically empty but keeps the learned history
+        // and the enabled metrics registry.
+        let mut fork = warm.warmed_fork();
+        assert_eq!(fork.stats(), &ShotStats::default());
+        assert_eq!(fork.history.shots(FeedbackSite(0)), shots_warm);
+        assert!(fork.metrics().expect("metrics survive the fork").is_empty());
+
+        // Two forks fed the same RNG stream behave bit-identically — the
+        // chunk-independence property the scheduler leans on.
+        let mut fork2 = warm.warmed_fork();
+        let mut rng_a = rng_for("ctrl/fork-measure");
+        let mut rng_b = rng_for("ctrl/fork-measure");
+        for _ in 0..10 {
+            let _ = exec.run(&circuit, &mut fork, &mut rng_a);
+            let _ = exec.run(&circuit, &mut fork2, &mut rng_b);
+        }
+        assert_eq!(fork.stats(), fork2.stats());
+        assert_eq!(fork.metrics(), fork2.metrics());
+        // The original is untouched by its forks' measurements.
+        assert_eq!(warm.history.shots(FeedbackSite(0)), shots_warm);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod hist;
 pub mod registry;
+pub mod scheduler;
 pub mod sink;
 pub mod timeline;
 
@@ -31,5 +32,6 @@ pub use hist::{BucketSnapshot, Counter, Gauge, Histogram, HistogramSnapshot, NUM
 pub use registry::{
     GroupSnapshot, MetricsRegistry, MetricsSnapshot, SiteMetrics, SiteSnapshot, SNAPSHOT_VERSION,
 };
+pub use scheduler::{QueueCounters, SchedulerSnapshot, TenantCounters, SCHEDULER_SNAPSHOT_VERSION};
 pub use sink::{JsonSink, MetricsSink, NullSink};
 pub use timeline::{ShotTimeline, Stage, TimelineEvent, MAX_TIMELINE_EVENTS};

@@ -224,12 +224,50 @@ pub struct GroupSnapshot {
 /// timestamps, host names): the document is a pure function of the
 /// workload and configuration, so runs under different `ARTERY_THREADS`
 /// serialize byte-identically.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Schema version ([`SNAPSHOT_VERSION`]).
     pub version: u32,
     /// Labelled registry snapshots.
     pub groups: Vec<GroupSnapshot>,
+    /// Fairness/backpressure counters of the shot scheduler that produced
+    /// the groups, when the producer ran a multi-tenant job queue. The
+    /// counters are a pure function of the submitted queue (see
+    /// [`crate::scheduler`]), so including them keeps the document
+    /// byte-identical for any `ARTERY_THREADS`. A `None` field is skipped
+    /// entirely when serializing (see the hand-written [`Serialize`] impl
+    /// below), so pre-scheduler documents serialize unchanged — an
+    /// additive extension, hence no [`SNAPSHOT_VERSION`] bump.
+    pub scheduler: Option<crate::scheduler::SchedulerSnapshot>,
+}
+
+// Hand-written (rather than derived) so the optional `scheduler` field is
+// *omitted* when absent instead of serialized as `null`: documents written
+// before the scheduler existed must keep byte-identical JSON.
+impl Serialize for MetricsSnapshot {
+    fn to_json_value(&self) -> serde::Value {
+        let mut obj = serde::Map::new();
+        obj.insert("version", self.version.to_json_value());
+        obj.insert("groups", self.groups.to_json_value());
+        if let Some(scheduler) = &self.scheduler {
+            obj.insert("scheduler", scheduler.to_json_value());
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl Deserialize for MetricsSnapshot {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.expect_object("MetricsSnapshot")?;
+        Ok(Self {
+            version: Deserialize::from_json_value(obj.field("version", "MetricsSnapshot")?)?,
+            groups: Deserialize::from_json_value(obj.field("groups", "MetricsSnapshot")?)?,
+            scheduler: match obj.get("scheduler") {
+                Some(value) => Some(Deserialize::from_json_value(value)?),
+                None => None,
+            },
+        })
+    }
 }
 
 impl Default for MetricsSnapshot {
@@ -245,6 +283,7 @@ impl MetricsSnapshot {
         Self {
             version: SNAPSHOT_VERSION,
             groups: Vec::new(),
+            scheduler: None,
         }
     }
 

@@ -1,0 +1,170 @@
+//! Deterministic fairness/backpressure counters of the shot scheduler.
+//!
+//! The work-stealing scheduler in `artery-bench` serves a queue of
+//! heterogeneous jobs owned by different tenants. Two kinds of numbers fall
+//! out of a run:
+//!
+//! - **Fairness/backpressure counters** — how the queue was composed: jobs,
+//!   chunks and shots per tenant, and the queue's high-water depth. These
+//!   are a pure function of the submitted queue (never of the worker count
+//!   or the steal interleaving), so they may be serialized into
+//!   byte-compared artifacts like `BENCH_metrics.json`. They live here, as
+//!   [`SchedulerSnapshot`].
+//! - **Steal telemetry** — which worker ran what and how often workers
+//!   stole. Those numbers *are* scheduling-dependent, so the scheduler
+//!   keeps them out of this snapshot entirely; harnesses print them to
+//!   stdout instead.
+//!
+//! Keeping the two apart is what lets the snapshot ride inside
+//! [`MetricsSnapshot`](crate::MetricsSnapshot) without breaking the
+//! "byte-identical for any `ARTERY_THREADS`" contract.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduler snapshot schema version; bump on any structural change so
+/// downstream readers of `BENCH_metrics.json` can detect incompatibility.
+pub const SCHEDULER_SNAPSHOT_VERSION: u32 = 1;
+
+/// Fairness counters of one tenant's share of a job queue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantCounters {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs the tenant submitted.
+    pub jobs: u64,
+    /// Chunks the tenant's jobs were split into — the unit of scheduling,
+    /// and therefore the tenant's share of worker time.
+    pub chunks: u64,
+    /// Measured shots across the tenant's jobs.
+    pub shots: u64,
+    /// Largest single chunk of the tenant (scheduling granularity bound:
+    /// no other tenant can be starved for longer than one chunk).
+    pub max_chunk_shots: u64,
+}
+
+/// Queue-level backpressure counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueCounters {
+    /// Jobs accepted into the queue.
+    pub jobs: u64,
+    /// Total chunks enqueued.
+    pub chunks: u64,
+    /// Total measured shots across all jobs.
+    pub shots: u64,
+    /// Distinct tenants in the queue.
+    pub tenants: u64,
+    /// High-water queue depth in chunks. Jobs enqueue every chunk at
+    /// submission, so this equals `chunks` — recorded explicitly so the
+    /// schema survives a move to incremental admission.
+    pub max_queue_depth: u64,
+}
+
+/// Deterministic fairness/backpressure snapshot of one scheduler run.
+///
+/// Every field is a pure function of the submitted job queue; two runs of
+/// the same queue serialize byte-identically for any worker count and any
+/// steal order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerSnapshot {
+    /// Schema version ([`SCHEDULER_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Queue-level counters.
+    pub queue: QueueCounters,
+    /// Per-tenant counters in ascending tenant-name order.
+    pub tenants: Vec<TenantCounters>,
+}
+
+impl SchedulerSnapshot {
+    /// Builds a snapshot from `(tenant, chunks, shots, max_chunk_shots)`
+    /// job descriptions, aggregating per tenant in name order.
+    #[must_use]
+    pub fn from_jobs<'a, I>(jobs: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, u64, u64, u64)>,
+    {
+        let mut tenants: BTreeMap<&str, TenantCounters> = BTreeMap::new();
+        let mut queue = QueueCounters {
+            jobs: 0,
+            chunks: 0,
+            shots: 0,
+            tenants: 0,
+            max_queue_depth: 0,
+        };
+        for (tenant, chunks, shots, max_chunk_shots) in jobs {
+            queue.jobs += 1;
+            queue.chunks += chunks;
+            queue.shots += shots;
+            let entry = tenants.entry(tenant).or_insert_with(|| TenantCounters {
+                tenant: tenant.to_string(),
+                jobs: 0,
+                chunks: 0,
+                shots: 0,
+                max_chunk_shots: 0,
+            });
+            entry.jobs += 1;
+            entry.chunks += chunks;
+            entry.shots += shots;
+            entry.max_chunk_shots = entry.max_chunk_shots.max(max_chunk_shots);
+        }
+        queue.tenants = tenants.len() as u64;
+        queue.max_queue_depth = queue.chunks;
+        Self {
+            version: SCHEDULER_SNAPSHOT_VERSION,
+            queue,
+            tenants: tenants.into_values().collect(),
+        }
+    }
+
+    /// Deterministic pretty-printed JSON rendering; byte-identical for
+    /// equal snapshots.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scheduler snapshots always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_jobs_aggregates_per_tenant_in_name_order() {
+        let snap = SchedulerSnapshot::from_jobs([
+            ("zeta", 4, 100, 25),
+            ("alpha", 2, 10, 5),
+            ("zeta", 1, 7, 7),
+        ]);
+        assert_eq!(snap.version, SCHEDULER_SNAPSHOT_VERSION);
+        assert_eq!(snap.queue.jobs, 3);
+        assert_eq!(snap.queue.chunks, 7);
+        assert_eq!(snap.queue.shots, 117);
+        assert_eq!(snap.queue.tenants, 2);
+        assert_eq!(snap.queue.max_queue_depth, 7);
+        let names: Vec<&str> = snap.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(snap.tenants[1].jobs, 2);
+        assert_eq!(snap.tenants[1].chunks, 5);
+        assert_eq!(snap.tenants[1].shots, 107);
+        assert_eq!(snap.tenants[1].max_chunk_shots, 25);
+    }
+
+    #[test]
+    fn empty_queue_snapshot_is_all_zeros() {
+        let snap = SchedulerSnapshot::from_jobs([]);
+        assert_eq!(snap.queue.jobs, 0);
+        assert_eq!(snap.queue.chunks, 0);
+        assert_eq!(snap.queue.max_queue_depth, 0);
+        assert!(snap.tenants.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let snap = SchedulerSnapshot::from_jobs([("a", 3, 30, 10)]);
+        let json = snap.to_json_string();
+        assert_eq!(json, snap.clone().to_json_string());
+        let back: SchedulerSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

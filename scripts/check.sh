@@ -7,9 +7,12 @@
 # oracles, the streaming codec engine must stay byte-identical to its
 # oracles and allocation-free in steady state, the predictor zoo must
 # keep the paper adapter bit-identical and its leaderboard reproducible
-# for any thread count, and the gate-fusion engine must keep its classical
+# for any thread count, the gate-fusion engine must keep its classical
 # record bit-identical to per-gate execution (amplitudes within 1e-12) and
-# stay allocation-free across reused shot buffers.
+# stay allocation-free across reused shot buffers, and the multi-tenant
+# work-stealing shot scheduler must stay byte-identical for any worker
+# count and any (forced) steal interleaving while isolating chunk panics
+# to the owning job.
 # Run locally before pushing; CI runs the same commands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,10 +36,20 @@ cargo test -q --test predictors
 cargo test -q --test fusion
 cargo test -q --test fusion_zero_alloc
 
-# Leaderboard smoke: a small corpus, replayed with 1 and 8 workers. The
-# trace_eval binary itself asserts the oracle ranks first and the paper
-# adapter replays bit-identically; here we additionally require the
-# leaderboard JSON to be byte-identical across thread counts.
+# Scheduler gates: thread-count invariance of a mixed multi-tenant queue
+# (including the BENCH_metrics.json-style document), byte-identity under a
+# forced adversarial steal interleaving, tree-merge associativity of the
+# merge-exact aggregation structures, and panic isolation per tenant.
+cargo test -q -p artery-bench --lib scheduler
+cargo test -q --test scheduler
+cargo test -q --test failure_injection
+
+# Leaderboard smoke: a small corpus, replayed with 1 and 8 workers —
+# routed through the work-stealing scheduler (one job per recorded
+# workload). The trace_eval binary itself asserts the oracle ranks first
+# and the paper adapter replays bit-identically; here we additionally
+# require the leaderboard JSON to be byte-identical across thread counts,
+# i.e. across completely different steal schedules.
 cargo build --release -p artery-bench --bin trace_eval
 ARTERY_SHOTS=40 ARTERY_THREADS=1 ./target/release/trace_eval > /dev/null
 cp target/experiments/predictors.json target/experiments/predictors.t1.json

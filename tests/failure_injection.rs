@@ -138,3 +138,121 @@ fn empty_trajectory_table_defaults_to_uniform() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Shot-scheduler failure injection
+// ---------------------------------------------------------------------------
+
+use artery_bench::runner::scheduler::{run_queue_on, Chunk, ChunkPlan, JobSpec, SchedulerOptions};
+
+/// The three-tenant queue used by the scheduler injection tests; `poison`
+/// makes one of mallory's chunks panic mid-queue.
+fn injection_queue(poison: bool) -> Vec<JobSpec<'static, usize>> {
+    vec![
+        JobSpec::new(
+            "alice",
+            "inject/alice",
+            8,
+            ChunkPlan::Dynamic { chunk_shots: 2 },
+            |c: &Chunk| c.shots * 2,
+        ),
+        JobSpec::new(
+            "mallory",
+            "inject/mallory",
+            6,
+            ChunkPlan::Dynamic { chunk_shots: 2 },
+            move |c: &Chunk| {
+                assert!(
+                    !(poison && c.index == 1),
+                    "injected failure in mallory's chunk 1"
+                );
+                c.shots
+            },
+        ),
+        JobSpec::new("bob", "inject/bob", 5, ChunkPlan::Harness, |c: &Chunk| {
+            c.shots + 100
+        }),
+    ]
+}
+
+#[test]
+fn scheduler_worker_panic_poisons_only_the_owning_job() {
+    let clean = run_queue_on(&SchedulerOptions::with_threads(4), &injection_queue(false));
+    let poisoned = run_queue_on(&SchedulerOptions::with_threads(4), &injection_queue(true));
+
+    // The panic surfaces as the owning job's error — first failing chunk
+    // in chunk order, with the payload preserved.
+    let err = poisoned.jobs[1]
+        .outcome
+        .as_ref()
+        .expect_err("mallory fails");
+    assert_eq!(err.chunk, 1);
+    assert!(err.message.contains("injected failure"), "{}", err.message);
+    assert!(poisoned.jobs[1].outcome.is_err());
+
+    // The other tenants' results are bit-identical to a clean run: no
+    // cross-tenant poisoning, no lost chunks.
+    for i in [0, 2] {
+        assert_eq!(
+            poisoned.jobs[i].outcome.as_ref().unwrap(),
+            clean.jobs[i].outcome.as_ref().unwrap(),
+            "tenant {} must be unaffected",
+            clean.jobs[i].tenant
+        );
+    }
+    // Fairness counters describe the submitted queue, so even the failed
+    // run reports them identically.
+    assert_eq!(poisoned.fairness, clean.fairness);
+
+    // And nothing in the pool is poisoned: the same queue runs clean
+    // immediately afterwards.
+    let again = run_queue_on(&SchedulerOptions::with_threads(4), &injection_queue(false));
+    assert_eq!(
+        again.jobs[1].outcome.as_ref().unwrap(),
+        clean.jobs[1].outcome.as_ref().unwrap()
+    );
+}
+
+#[test]
+fn scheduler_handles_empty_queue_and_degenerate_jobs() {
+    // An empty queue: no jobs, zeroed fairness, zero chunks executed.
+    let run = run_queue_on::<usize>(&SchedulerOptions::with_threads(4), &[]);
+    assert!(run.jobs.is_empty());
+    assert_eq!(run.fairness.queue.jobs, 0);
+    assert_eq!(run.fairness.queue.max_queue_depth, 0);
+    assert_eq!(run.telemetry.chunks, 0);
+
+    // A single-shot job: exactly one one-shot chunk under either plan.
+    for plan in [ChunkPlan::Harness, ChunkPlan::Dynamic { chunk_shots: 4 }] {
+        let jobs = vec![JobSpec::new("solo", "inject/solo", 1, plan, |c: &Chunk| {
+            (c.index, c.chunks_in_job, c.shots)
+        })];
+        let run = run_queue_on(&SchedulerOptions::with_threads(4), &jobs);
+        assert_eq!(run.jobs[0].outcome.as_ref().unwrap(), &vec![(0, 1, 1)]);
+    }
+
+    // A chunk size larger than the shot count collapses to one chunk
+    // carrying every shot.
+    let jobs = vec![JobSpec::new(
+        "big",
+        "inject/big",
+        5,
+        ChunkPlan::Dynamic { chunk_shots: 100 },
+        |c: &Chunk| (c.chunks_in_job, c.shots),
+    )];
+    let run = run_queue_on(&SchedulerOptions::with_threads(4), &jobs);
+    assert_eq!(run.jobs[0].outcome.as_ref().unwrap(), &vec![(1, 5)]);
+
+    // A zero-shot job still materializes one (zero-shot) chunk, so its
+    // life cycle — and its fairness accounting — matches every other job.
+    let jobs = vec![JobSpec::new(
+        "empty",
+        "inject/empty",
+        0,
+        ChunkPlan::Harness,
+        |c: &Chunk| c.shots,
+    )];
+    let run = run_queue_on(&SchedulerOptions::with_threads(2), &jobs);
+    assert_eq!(run.jobs[0].outcome.as_ref().unwrap(), &vec![0]);
+    assert_eq!(run.fairness.queue.chunks, 1);
+}

@@ -1,0 +1,385 @@
+//! The determinism/merge battery of the multi-tenant work-stealing shot
+//! scheduler.
+//!
+//! The scheduler's contract is that threads and steals decide *when* a
+//! chunk runs, never *what* it computes or where its result lands. This
+//! suite pins the contract from four sides:
+//!
+//! * chunk-order tree merges of the merge-exact aggregation structures are
+//!   associative and equal the sequential fold (proptest),
+//! * a mixed multi-tenant queue — including `BENCH_metrics.json`-style
+//!   snapshot documents — is byte-identical for 1, 4 and 8 workers,
+//! * adversarially forced steal interleavings (a chunk hook that blocks
+//!   one worker until every other chunk has started) do not move a byte,
+//! * the fairness/backpressure counter JSON schema is pinned field by
+//!   field, the same way `tests/metrics.rs` pins the metrics schema.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use artery::circuit::{CircuitBuilder, Gate, Qubit};
+use artery::core::ArteryConfig;
+use artery::metrics::{
+    MetricsRegistry, MetricsSnapshot, SchedulerSnapshot, ShotTimeline, Stage,
+    SCHEDULER_SNAPSHOT_VERSION,
+};
+use artery::num::stats::Accumulator;
+use artery_bench::runner::scheduler::{
+    run_queue_on, tree_merge_in_order, Chunk, ChunkPlan, ChunkResult, JobSpec, SchedulerOptions,
+};
+use artery_bench::runner::{self, PreparedCircuit};
+use proptest::prelude::*;
+use rand::Rng;
+use serde_json::json;
+
+// ---------------------------------------------------------------------------
+// Tree-merge associativity (proptest)
+// ---------------------------------------------------------------------------
+
+/// Builds a registry from synthetic per-chunk timelines so merge inputs are
+/// structurally realistic (multiple sites, commits and rollbacks mixed).
+fn registry_of(samples: &[u64]) -> MetricsRegistry {
+    let mut registry = MetricsRegistry::new();
+    for &s in samples {
+        let latency = 80.0 + (s % 5000) as f64;
+        let mut t = ShotTimeline::new((s % 3) as usize, latency);
+        t.push(Stage::Predict, 40.0);
+        t.push(Stage::TriggerFire, 41.0);
+        if s % 2 == 0 {
+            t.push(Stage::Commit, latency);
+        } else {
+            t.push(Stage::Rollback, latency * 0.7);
+            t.push(Stage::Recover, latency);
+        }
+        registry.observe(&t);
+    }
+    registry
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `MetricsRegistry` merge state is pure integer counters/buckets plus
+    /// exact min/max gauges, so any merge shape must give the same bits:
+    /// the balanced chunk-order tree equals the sequential left fold
+    /// exactly, for random chunk counts and chunk sizes.
+    #[test]
+    fn registry_tree_merge_equals_sequential_fold(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000, 0..12), 1..9),
+    ) {
+        let registries: Vec<MetricsRegistry> =
+            chunks.iter().map(|c| registry_of(c)).collect();
+        let tree = tree_merge_in_order(&registries, |a, b| a.merge(b)).unwrap();
+        let mut fold = MetricsRegistry::new();
+        for r in &registries {
+            fold.merge(r);
+        }
+        prop_assert_eq!(tree, fold);
+    }
+
+    /// Welford accumulators merge exactly in count/min/max under any shape;
+    /// their moments are approximately shape-independent — which is why the
+    /// scheduler reduces `ChunkResult`s with a fixed left fold in chunk
+    /// order rather than a tree.
+    #[test]
+    fn accumulator_tree_merge_is_exact_in_counts_and_extrema(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(-1.0e3..1.0e3f64, 0..20), 1..9),
+    ) {
+        let accs: Vec<Accumulator> = chunks
+            .iter()
+            .map(|c| {
+                let mut a = Accumulator::new();
+                for &x in c {
+                    a.push(x);
+                }
+                a
+            })
+            .collect();
+        let tree = tree_merge_in_order(&accs, |a, b| a.merge(b)).unwrap();
+        let mut fold = Accumulator::new();
+        for a in &accs {
+            fold.merge(a);
+        }
+        prop_assert_eq!(tree.len(), fold.len());
+        prop_assert_eq!(tree.min(), fold.min());
+        prop_assert_eq!(tree.max(), fold.max());
+        if !tree.is_empty() {
+            prop_assert!((tree.mean() - fold.mean()).abs() <= 1e-9 * (1.0 + fold.mean().abs()));
+            prop_assert!(
+                (tree.variance() - fold.variance()).abs()
+                    <= 1e-6 * (1.0 + fold.variance().abs())
+            );
+        }
+    }
+
+    /// A job's chunk partition is a pure function of (shots, plan): chunks
+    /// conserve shots, indices are dense, and the RNG labels follow the
+    /// plan's naming scheme.
+    #[test]
+    fn dynamic_partition_conserves_shots_and_labels(
+        shots in 0usize..500,
+        chunk_shots in 1usize..64,
+    ) {
+        let plan = ChunkPlan::Dynamic { chunk_shots };
+        let chunks = plan.chunks(3, "prop/job", shots);
+        prop_assert_eq!(chunks.len(), plan.chunk_count(shots));
+        prop_assert!(!chunks.is_empty());
+        prop_assert_eq!(chunks.iter().map(|c| c.shots).sum::<usize>(), shots);
+        for (i, c) in chunks.iter().enumerate() {
+            prop_assert_eq!(c.job, 3);
+            prop_assert_eq!(c.index, i);
+            prop_assert_eq!(c.chunks_in_job, chunks.len());
+            prop_assert!(c.shots <= chunk_shots);
+            prop_assert_eq!(c.rng_label.clone(), format!("prop/job/chunk{i}"));
+        }
+    }
+
+    /// Queue results are bit-identical for any worker count, for random
+    /// queue shapes (random tenants, shot counts and chunk sizes). Each
+    /// chunk draws from its own deterministic RNG stream, so this also
+    /// pins the per-chunk `rng_for` labelling.
+    #[test]
+    fn random_queues_are_worker_count_invariant(
+        shape in proptest::collection::vec((0usize..40, 1usize..8), 1..6),
+        threads in 2usize..9,
+    ) {
+        let jobs: Vec<JobSpec<'_, (String, u64)>> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, &(shots, chunk_shots))| {
+                JobSpec::new(
+                    if i % 2 == 0 { "even" } else { "odd" },
+                    &format!("prop/q{i}"),
+                    shots,
+                    ChunkPlan::Dynamic { chunk_shots },
+                    |chunk: &Chunk| {
+                        let mut rng = artery::num::rng::rng_for(&chunk.rng_label);
+                        (chunk.rng_label.clone(), rng.gen::<u64>())
+                    },
+                )
+            })
+            .collect();
+        let base = run_queue_on(&SchedulerOptions::with_threads(1), &jobs);
+        let wide = run_queue_on(&SchedulerOptions::with_threads(threads), &jobs);
+        prop_assert_eq!(base.fairness, wide.fairness);
+        for (a, b) in base.jobs.iter().zip(&wide.jobs) {
+            prop_assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mixed multi-tenant queue: byte-identity across worker counts
+// ---------------------------------------------------------------------------
+
+fn feedback_circuit(qubits: usize) -> artery::circuit::Circuit {
+    let mut b = CircuitBuilder::new(qubits);
+    b.gate(Gate::H, &[Qubit(0)]);
+    b.gate(Gate::CNOT, &[Qubit(0), Qubit(1)]);
+    b.feedback(Qubit(0))
+        .on_one(Gate::X, &[Qubit(qubits - 1)])
+        .finish();
+    b.build()
+}
+
+/// Runs one mixed multi-tenant queue — a harness-plan job, a dynamically
+/// sharded job and a second job of the first tenant — and renders the
+/// `BENCH_metrics.json`-style document (groups + embedded fairness
+/// counters).
+fn mixed_queue_document(threads: usize) -> (Vec<ChunkResult>, String) {
+    let config = ArteryConfig::paper();
+    let calibration = runner::calibration_for(&config, "sched-mixed");
+    let bell = PreparedCircuit::new(&feedback_circuit(3));
+    let wide = PreparedCircuit::new(&feedback_circuit(4));
+    let jobs = vec![
+        runner::artery_job(
+            "alice",
+            "sched/alice-bell",
+            &bell,
+            &config,
+            &calibration,
+            10,
+            true,
+        ),
+        runner::artery_dynamic_job(
+            "bob",
+            "sched/bob-wide",
+            &wide,
+            &config,
+            &calibration,
+            11,
+            3,
+            true,
+        ),
+        runner::artery_job(
+            "alice",
+            "sched/alice-wide",
+            &wide,
+            &config,
+            &calibration,
+            5,
+            true,
+        ),
+    ];
+    let run = run_queue_on(&SchedulerOptions::with_threads(threads), &jobs);
+    let folded: Vec<ChunkResult> = run
+        .jobs
+        .iter()
+        .map(|job| ChunkResult::fold(job.outcome.as_ref().expect("queue runs clean")))
+        .collect();
+    let mut snapshot = MetricsSnapshot::new();
+    for (job, merged) in run.jobs.iter().zip(&folded) {
+        snapshot.push(merged.metrics.snapshot(&job.label));
+    }
+    snapshot.scheduler = Some(run.fairness);
+    let rendered = snapshot.to_json_string();
+    (folded, rendered)
+}
+
+#[test]
+fn mixed_multi_tenant_queue_is_byte_identical_across_worker_counts() {
+    let (one, doc_one) = mixed_queue_document(1);
+    let (four, doc_four) = mixed_queue_document(4);
+    let (eight, doc_eight) = mixed_queue_document(8);
+
+    // Merged measurement bundles match bit-for-bit (accumulator moments
+    // included: the fold order is fixed, so even floating-point state is
+    // reproduced exactly).
+    assert_eq!(one, four);
+    assert_eq!(one, eight);
+
+    // And the exported document — the transport for `BENCH_metrics.json` —
+    // does not move a byte.
+    assert_eq!(doc_one, doc_four);
+    assert_eq!(doc_one, doc_eight);
+
+    // The queue did real feedback work and the fairness section made it
+    // into the document.
+    assert!(one.iter().all(|r| r.stats.resolved > 0));
+    assert!(doc_one.contains("\"scheduler\""));
+    assert!(doc_one.contains("\"alice\""));
+    assert!(doc_one.contains("\"bob\""));
+}
+
+// ---------------------------------------------------------------------------
+// Forced steal interleavings
+// ---------------------------------------------------------------------------
+
+fn synthetic_jobs() -> Vec<JobSpec<'static, (String, u64)>> {
+    [
+        ("zoo", "jitter/zoo", 9usize, 2usize),
+        ("bell", "jitter/bell", 7, 3),
+        ("qec", "jitter/qec", 4, 1),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, (tenant, label, shots, chunk_shots))| {
+        let _ = i;
+        JobSpec::new(
+            tenant,
+            label,
+            shots,
+            ChunkPlan::Dynamic { chunk_shots },
+            |chunk: &Chunk| {
+                let mut rng = artery::num::rng::rng_for(&chunk.rng_label);
+                (chunk.rng_label.clone(), rng.gen::<u64>())
+            },
+        )
+    })
+    .collect()
+}
+
+#[test]
+fn forced_steal_interleaving_is_byte_identical_to_sequential_run() {
+    let jobs = synthetic_jobs();
+    let baseline = run_queue_on(&SchedulerOptions::with_threads(1), &jobs);
+    let total = baseline.telemetry.chunks as usize;
+    assert!(total >= 4, "the jitter queue needs several chunks");
+
+    // The jitter hook: whichever worker starts the first chunk of job 0
+    // blocks until every other chunk has *started* — which forces the
+    // other worker to drain both deques (stealing the blocked worker's
+    // backlog). This is the most adversarial steal order the pool can
+    // produce, scheduled deterministically rather than by sleeps.
+    let started = AtomicUsize::new(0);
+    let hook = |chunk: &Chunk| {
+        started.fetch_add(1, Ordering::SeqCst);
+        if chunk.job == 0 && chunk.index == 0 {
+            while started.load(Ordering::SeqCst) < total {
+                std::thread::yield_now();
+            }
+        }
+    };
+    let opts = SchedulerOptions {
+        threads: 2,
+        chunk_hook: Some(&hook),
+    };
+    let jittered = run_queue_on(&opts, &jobs);
+
+    // The forced interleaving really did steal …
+    assert!(
+        jittered.telemetry.steals > 0,
+        "blocking one worker must force steals"
+    );
+    assert_eq!(jittered.telemetry.chunks as usize, total);
+
+    // … and did not move a single byte of output.
+    assert_eq!(baseline.fairness, jittered.fairness);
+    assert_eq!(
+        baseline.fairness.to_json_string(),
+        jittered.fairness.to_json_string()
+    );
+    for (a, b) in baseline.jobs.iter().zip(&jittered.jobs) {
+        assert_eq!(a.tenant, b.tenant);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden fairness/backpressure counter schema
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fairness_counters_serialize_to_the_golden_schema() {
+    // Every field of the scheduler section of `BENCH_metrics.json`,
+    // pinned: a schema change that breaks downstream readers must break
+    // this test (and bump SCHEDULER_SNAPSHOT_VERSION).
+    let snap =
+        SchedulerSnapshot::from_jobs([("zoo", 3, 30, 12), ("bell", 1, 7, 7), ("zoo", 2, 14, 8)]);
+    assert_eq!(snap.version, SCHEDULER_SNAPSHOT_VERSION);
+    let expected = json!({
+        "version": 1,
+        "queue": {
+            "jobs": 3, "chunks": 6, "shots": 51,
+            "tenants": 2, "max_queue_depth": 6,
+        },
+        "tenants": [
+            {"tenant": "bell", "jobs": 1, "chunks": 1, "shots": 7, "max_chunk_shots": 7},
+            {"tenant": "zoo", "jobs": 2, "chunks": 5, "shots": 44, "max_chunk_shots": 12},
+        ],
+    });
+    let value = serde_json::to_value(&snap).expect("snapshot serializes");
+    assert_eq!(value, expected);
+
+    // The section is additive inside MetricsSnapshot: absent when None
+    // (pre-scheduler documents keep their exact bytes), present as the
+    // `scheduler` key when set.
+    let mut doc = MetricsSnapshot::new();
+    let plain = serde_json::to_value(&doc).expect("doc serializes");
+    assert_eq!(plain, json!({"version": 1, "groups": []}));
+    assert!(!doc.to_json_string().contains("\"scheduler\""));
+
+    doc.scheduler = Some(snap.clone());
+    let with_scheduler = serde_json::to_value(&doc).expect("doc serializes");
+    assert_eq!(
+        with_scheduler,
+        json!({"version": 1, "groups": [], "scheduler": expected})
+    );
+
+    // And the extended document round-trips.
+    let back: MetricsSnapshot = serde_json::from_str(&doc.to_json_string()).expect("round trip");
+    assert_eq!(back, doc);
+    assert_eq!(back.scheduler.as_ref(), Some(&snap));
+}
