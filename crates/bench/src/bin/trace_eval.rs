@@ -2,19 +2,37 @@
 //!
 //! Live evaluation pays for the state-vector simulator and the readout
 //! synthesizer on every shot of every configuration. This harness pays once:
-//! it records the six-workload corpus through a `TraceRecorder`, then fans a
-//! predictor panel — a θ grid, the Fig. 14 feature ablations, Fig. 16-style
-//! table geometries and the HERQULES-class FNN baseline — through the
-//! multi-tenant work-stealing shot scheduler, one job per recorded workload,
-//! and merges the per-workload statistics deterministically into an
+//! it records the six-workload corpus through a `TraceRecorder` into the
+//! blocked **trace format v2** (codec-compressed, per-block history seeds,
+//! seekable trailer index), decodes the blocks back in parallel on the
+//! multi-tenant work-stealing shot scheduler, then fans a predictor panel —
+//! a θ grid, the Fig. 14 feature ablations, Fig. 16-style table geometries
+//! and the HERQULES-class FNN baseline — plus the predictor zoo across the
+//! same scheduler and merges everything deterministically into an
 //! accuracy/commit-rate/latency leaderboard.
 //!
-//! Two invariants are checked in the output:
+//! The v2 history seeds are what make the fan-out exact: history evolution
+//! depends only on the recorded outcome stream, never the replayed
+//! configuration, so a block (or any boundary snapshot) seeds a replayer
+//! with precisely the state a sequential replay would carry there. Chunked
+//! replay is therefore bit-identical for any `ARTERY_THREADS`.
+//!
+//! With `--distill`, a SimPoint-style pass clusters fixed-size windows of
+//! each recording and replays only weighted representative windows. The
+//! distilled leaderboard must rank the panel and the zoo identically to the
+//! full-corpus replay, and the distilled replay must do ≥ 5× less replay
+//! work — both asserted in-binary. `distill.json` carries only corpus-pure
+//! numbers (byte-identical across thread counts; check.sh compares);
+//! `trace_bench.json` carries the wall-clock story.
+//!
+//! Invariants checked in the output:
 //!
 //! * replaying the *recorded* configuration reproduces the live run's
 //!   resolved/committed/correct counts and latency distribution bit-for-bit,
 //! * replaying the whole panel is ≥ 10× faster than live re-simulation of
-//!   the same panel would have been.
+//!   the same panel would have been,
+//! * (`--distill`) distilled and full leaderboards agree on every rank and
+//!   the distilled replay does ≥ 5× less work.
 
 use std::time::Instant;
 
@@ -23,19 +41,32 @@ use artery_bench::report::{banner, f2, f3, write_json, Table};
 use artery_bench::runner::scheduler::{Chunk, ChunkPlan, JobSpec, SchedulerOptions};
 use artery_bench::runner::{self, WARMUP_SHOTS};
 use artery_bench::shots_or;
-use artery_core::{
-    resolve_timeline, ArteryConfig, ArteryController, Calibration, ShotStats, SitePredictor,
-};
+use artery_core::{resolve_timeline, ArteryConfig, ArteryController, Calibration, ShotStats};
 use artery_hw::ControllerTiming;
-use artery_metrics::{GroupSnapshot, MetricsRegistry};
+use artery_metrics::{
+    BlockReplayCounters, DistillCounters, GroupSnapshot, MetricsRegistry, TraceReplaySnapshot,
+};
 use artery_predictors::{standard_zoo, PredictorScore, ZooReplayer};
 use artery_readout::{Dataset, IqPoint};
 use artery_sim::{Executor, NoiseModel};
-use artery_trace::{Replayer, TraceHeader, TraceReader, TraceRecorder, TraceWriter};
+use artery_trace::{
+    history_at_boundaries, simpoint, BlockScratch, HistoryCount, Replayer, TraceBlocks, TraceEvent,
+    TraceHeader, TraceRecorder, TraceWriterV2,
+};
 use artery_workloads::Benchmark;
 use serde::Serialize;
 
-/// One recorded workload: its trace bytes plus the live run's ground truth.
+/// Events per v2 block. Smaller than the format default so harness-scale
+/// corpora still split into enough blocks to exercise the fan-out.
+const EVENTS_PER_BLOCK: usize = 64;
+
+/// Target number of SimPoint windows per recording.
+const TARGET_WINDOWS: usize = 96;
+
+/// Windows per cluster: `k = max(2, windows / CLUSTER_DIVISOR)`.
+const CLUSTER_DIVISOR: usize = 7;
+
+/// One recorded workload: its v2 trace bytes plus the live ground truth.
 struct Shard {
     name: String,
     bytes: Vec<u8>,
@@ -46,6 +77,27 @@ struct Shard {
     live_secs: f64,
 }
 
+/// One independently replayable slice of a shard: a v2 block intersected
+/// with the measured region. `seed` is the history at `pre.0`; replaying
+/// `pre` (history only) and then `measure` reproduces the sequential
+/// replay of `measure` bit-for-bit.
+struct ReplayUnit {
+    seed: Vec<HistoryCount>,
+    pre: (usize, usize),
+    measure: (usize, usize),
+}
+
+/// A shard decoded back out of its v2 blocks.
+struct Corpus {
+    name: String,
+    events: Vec<TraceEvent>,
+    warm: usize,
+    units: Vec<ReplayUnit>,
+    blocks: u64,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+}
+
 /// One replayed predictor configuration.
 struct PanelEntry {
     name: String,
@@ -53,17 +105,70 @@ struct PanelEntry {
     calibration: Calibration,
 }
 
-/// Per-shard replay results, one `ShotStats` per panel entry plus the
-/// recorded configuration's metrics registry.
-struct ShardResult {
-    panel_stats: Vec<ShotStats>,
-    /// Observability of the recorded-configuration replay: the same
-    /// per-site timelines the live controller would aggregate.
-    recorded_metrics: MetricsRegistry,
-    /// One score per zoo contender (same order as the prototype zoo).
-    zoo_scores: Vec<PredictorScore>,
-    fnn_correct: u64,
-    fnn_total: u64,
+/// One full-replay chunk's result (`Vec<ReplayOut>` per job, chunk order).
+enum ReplayOut {
+    /// A block-chunked panel replay of one unit.
+    Panel {
+        stats: ShotStats,
+        events: u64,
+        secs: f64,
+    },
+    /// The recorded configuration's sequential replay: live bit-identity,
+    /// metrics timelines and the FNN trajectory scan.
+    Recorded {
+        stats: ShotStats,
+        metrics: Box<MetricsRegistry>,
+        fnn_correct: u64,
+        fnn_total: u64,
+        events: u64,
+        secs: f64,
+    },
+    /// One zoo contender's sequential replay from a warmed clone.
+    Zoo {
+        score: Box<PredictorScore>,
+        events: u64,
+        secs: f64,
+    },
+}
+
+/// One distilled-replay chunk's result.
+enum DistOut {
+    /// One panel configuration over all of a shard's representative
+    /// windows: per-window `(weight, stats)` in window order. Windows are
+    /// replayed sequentially inside one chunk — they are tiny (a few
+    /// events each), so chunk-per-window scheduling overhead would rival
+    /// the replay work itself and poison the speedup accounting.
+    Panel {
+        windows: Vec<(u64, ShotStats)>,
+        events: u64,
+        secs: f64,
+    },
+    /// One zoo contender over all representative windows (sequential:
+    /// predictor training state evolves across windows).
+    Zoo {
+        windows: Vec<(u64, ShotStats)>,
+        events: u64,
+        secs: f64,
+    },
+    /// The FNN trajectory scan over all representative windows:
+    /// weight-summed correct/total counts (in-window order, so the f64
+    /// sums are deterministic).
+    Fnn {
+        wcorrect: f64,
+        wtotal: f64,
+        events: u64,
+        secs: f64,
+    },
+}
+
+/// Per-shard distillation: representative windows, their weights and the
+/// history seeds at their starts.
+struct Reps {
+    dist: simpoint::Distillation,
+    /// Absolute event range of each representative window.
+    ranges: Vec<(usize, usize)>,
+    seeds: Vec<Vec<HistoryCount>>,
+    weights: Vec<u64>,
 }
 
 #[derive(Serialize)]
@@ -116,6 +221,8 @@ struct Results {
     /// The predictor-zoo leaderboard, fastest mean feedback first.
     zoo: Vec<ZooRow>,
     live_record_secs: f64,
+    decode_secs: f64,
+    decode_mb_per_s: f64,
     replay_secs: f64,
     panel_size: usize,
     speedup_vs_live_panel: f64,
@@ -124,14 +231,88 @@ struct Results {
     recorded_metrics: Vec<GroupSnapshot>,
 }
 
+/// A weighted (distilled) leaderboard line. `resolved` is the weighted
+/// estimate, hence fractional.
+#[derive(Serialize)]
+struct DistilledRow {
+    config: String,
+    accuracy: f64,
+    commit_rate: f64,
+    mean_latency_us: f64,
+    resolved: f64,
+}
+
+#[derive(Serialize)]
+struct DistilledZooRow {
+    predictor: String,
+    mispredicts_per_1k: f64,
+    commit_rate: f64,
+    mean_window: f64,
+    mean_latency_us: f64,
+    accuracy: f64,
+    resolved: f64,
+}
+
+#[derive(Serialize)]
+struct RepRow {
+    window: usize,
+    start: usize,
+    end: usize,
+    weight: u64,
+}
+
+#[derive(Serialize)]
+struct DistillShard {
+    workload: String,
+    measured_events: usize,
+    window_events: usize,
+    windows: usize,
+    k: usize,
+    iterations: usize,
+    replayed_fraction: f64,
+    representatives: Vec<RepRow>,
+}
+
+/// The `distill.json` artifact: corpus-pure, byte-identical for any
+/// `ARTERY_THREADS` (check.sh compares two runs with `cmp`).
+#[derive(Serialize)]
+struct DistillResults {
+    shards: Vec<DistillShard>,
+    leaderboard: Vec<DistilledRow>,
+    zoo: Vec<DistilledZooRow>,
+    rank_agreement: bool,
+    snapshot: TraceReplaySnapshot,
+}
+
+/// The `trace_bench.json` artifact (wall times; `run_all` copies it to the
+/// repo-root `BENCH_trace.json`).
+#[derive(Serialize)]
+struct TraceBench {
+    record_secs: f64,
+    decode_secs: f64,
+    decode_mb_per_s: f64,
+    compression_ratio: f64,
+    full_replay_secs: f64,
+    distilled_replay_secs: f64,
+    distill_speedup: f64,
+    full_events_replayed: u64,
+    distilled_events_replayed: u64,
+    event_ratio: f64,
+    rank_agreement: bool,
+    speedup_vs_live_panel: f64,
+    snapshot: TraceReplaySnapshot,
+}
+
 fn record_corpus(config: &ArteryConfig, calibration: &Calibration, shots: usize) -> Vec<Shard> {
     let mut shards = Vec::new();
     for bench in Benchmark::trace_corpus() {
         let name = bench.to_string();
         let circuit = bench.circuit();
         let controller = ArteryController::new(&circuit, config, calibration);
-        let header = TraceHeader::new(config, &name);
-        let writer = TraceWriter::new(Vec::new(), &header).expect("start trace");
+        let header = TraceHeader::new(config, &name).with_shots((WARMUP_SHOTS + shots) as u64);
+        let writer = TraceWriterV2::new(Vec::new(), &header)
+            .expect("start trace")
+            .with_events_per_block(EVENTS_PER_BLOCK);
         let mut recorder = TraceRecorder::new(controller, writer);
         let mut exec = Executor::new(NoiseModel::noiseless());
         let mut rng = artery_num::rng::rng_for(&format!("trace-eval/{name}"));
@@ -147,7 +328,7 @@ fn record_corpus(config: &ArteryConfig, calibration: &Calibration, shots: usize)
         let live_secs = start.elapsed().as_secs_f64();
         let (controller, bytes) = recorder.finish().expect("finish trace");
         println!(
-            "recorded {name}: {} events, {} KiB, {:.2} s live",
+            "recorded {name}: {} events, {} KiB (v2 blocks), {:.2} s live",
             warmup_events + controller.stats().resolved,
             bytes.len() / 1024,
             live_secs
@@ -161,6 +342,96 @@ fn record_corpus(config: &ArteryConfig, calibration: &Calibration, shots: usize)
         });
     }
     shards
+}
+
+/// Decodes every shard's blocks on the scheduler — one chunk per block —
+/// and stitches them (chunk order, hence byte-identical for any worker
+/// count) into replayable corpora. Returns the corpora and the decode wall.
+fn decode_corpora(shards: &[Shard]) -> (Vec<Corpus>, f64) {
+    let blocks: Vec<TraceBlocks<'_>> = shards
+        .iter()
+        .map(|s| TraceBlocks::open(&s.bytes).expect("open v2 trace"))
+        .collect();
+    let jobs: Vec<JobSpec<'_, artery_trace::DecodedBlock>> = shards
+        .iter()
+        .zip(&blocks)
+        .map(|(shard, tb)| {
+            JobSpec::new(
+                &shard.name,
+                &format!("trace-eval/decode/{}", shard.name),
+                tb.len(),
+                ChunkPlan::Dynamic { chunk_shots: 1 },
+                move |chunk: &Chunk| {
+                    let mut scratch = BlockScratch::new();
+                    tb.decode_block(chunk.index, &mut scratch)
+                        .expect("decode block")
+                },
+            )
+        })
+        .collect();
+    let start = Instant::now();
+    let run = runner::scheduler::run_queue_on(
+        &SchedulerOptions::with_threads(runner::parallel::threads()),
+        &jobs,
+    );
+    let decode_secs = start.elapsed().as_secs_f64();
+
+    let corpora = shards
+        .iter()
+        .zip(run.jobs)
+        .map(|(shard, job)| {
+            let decoded = job
+                .outcome
+                .unwrap_or_else(|e| panic!("decode of {} failed: {e}", shard.name));
+            let raw_bytes: u64 = decoded.iter().map(|b| b.raw_bytes as u64).sum();
+            let mut events = Vec::new();
+            let mut starts = Vec::with_capacity(decoded.len());
+            let mut seeds = Vec::with_capacity(decoded.len());
+            for block in decoded {
+                starts.push(events.len());
+                seeds.push(block.history);
+                events.extend(block.events);
+            }
+            let warm = usize::try_from(shard.warmup_events).expect("warm fits usize");
+            assert!(warm < events.len(), "measured region of {}", shard.name);
+            let units = replay_units(&starts, &seeds, events.len(), warm);
+            Corpus {
+                name: shard.name.clone(),
+                blocks: starts.len() as u64,
+                raw_bytes,
+                compressed_bytes: shard.bytes.len() as u64,
+                events,
+                warm,
+                units,
+            }
+        })
+        .collect();
+    (corpora, decode_secs)
+}
+
+/// Intersects block boundaries with the measured region `[warm, total)`.
+/// The block containing `warm` contributes a history-only `pre` range so
+/// its unit starts measuring exactly at `warm`.
+fn replay_units(
+    starts: &[usize],
+    seeds: &[Vec<HistoryCount>],
+    total: usize,
+    warm: usize,
+) -> Vec<ReplayUnit> {
+    let mut units = Vec::new();
+    for (b, (&start, seed)) in starts.iter().zip(seeds).enumerate() {
+        let end = starts.get(b + 1).copied().unwrap_or(total);
+        if end <= warm {
+            continue;
+        }
+        let measure_from = warm.max(start);
+        units.push(ReplayUnit {
+            seed: seed.clone(),
+            pre: (start, measure_from),
+            measure: (measure_from, end),
+        });
+    }
+    units
 }
 
 fn build_panel(config: &ArteryConfig, calibration: &Calibration) -> Vec<PanelEntry> {
@@ -213,68 +484,11 @@ fn build_panel(config: &ArteryConfig, calibration: &Calibration) -> Vec<PanelEnt
     panel
 }
 
-fn eval_shard(
-    shard: &Shard,
-    panel: &[PanelEntry],
-    recorded_idx: usize,
-    zoo: &[Box<dyn SitePredictor>],
-    fnn: &FnnClassifier,
-) -> ShardResult {
-    let events = TraceReader::new(shard.bytes.as_slice())
-        .expect("trace header")
-        .read_all()
-        .expect("trace events");
-    let warm = shard.warmup_events as usize;
-    let mut recorded_metrics = MetricsRegistry::new();
-    let panel_stats = panel
-        .iter()
-        .enumerate()
-        .map(|(idx, entry)| {
-            let mut replay = Replayer::new(&entry.calibration, &entry.config);
-            replay.replay_all(&events[..warm]);
-            replay.reset_stats();
-            if idx == recorded_idx {
-                // The recorded configuration replays event-by-event so each
-                // outcome can feed the same timeline builder the live
-                // controller uses; the stats stay bit-identical to
-                // `replay_all` because metrics consume no replay state.
-                let timing = ControllerTiming::new(entry.config.hardware(), entry.config.window_ns);
-                for ev in &events[warm..] {
-                    let outcome = replay.replay_event(ev);
-                    recorded_metrics.observe(&resolve_timeline(
-                        outcome.site.0,
-                        &timing,
-                        entry.config.route_ns,
-                        outcome.reported,
-                        outcome.window,
-                        outcome.predicted,
-                        outcome.latency_ns,
-                    ));
-                }
-            } else {
-                replay.replay_all(&events[warm..]);
-            }
-            replay.into_stats()
-        })
-        .collect();
-    // Zoo contenders: each shard worker takes a fresh untrained clone of
-    // every prototype, warms it on the warm-up events (training state only —
-    // exactly the live train/measure split) and scores the rest.
-    let zoo_config = &panel[recorded_idx].config;
-    let zoo_scores = zoo
-        .iter()
-        .map(|proto| {
-            let mut replay = ZooReplayer::new(proto.clone_box(), zoo_config);
-            replay.replay_all(&events[..warm]);
-            replay.reset_stats();
-            replay.replay_all(&events[warm..]);
-            replay.into_score()
-        })
-        .collect();
-    // FNN baseline: classify the recorded full-readout IQ trajectory.
-    let mut fnn_correct = 0u64;
-    let mut fnn_total = 0u64;
-    for ev in &events[warm..] {
+/// Scans recorded IQ trajectories through the FNN over `events`.
+fn fnn_scan(fnn: &FnnClassifier, events: &[TraceEvent]) -> (u64, u64) {
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for ev in events {
         if ev.iq.is_empty() {
             continue;
         }
@@ -286,30 +500,69 @@ fn eval_shard(
                 q: f64::from(q),
             })
             .collect();
-        fnn_total += 1;
-        fnn_correct += u64::from(fnn.classify_trajectory(&traj) == ev.reported);
+        total += 1;
+        correct += u64::from(fnn.classify_trajectory(&traj) == ev.reported);
     }
-    ShardResult {
-        panel_stats,
-        recorded_metrics,
-        zoo_scores,
-        fnn_correct,
-        fnn_total,
+    (correct, total)
+}
+
+/// Distills one corpus's measured region into weighted representative
+/// windows with history seeds at each window start.
+fn distill_corpus(corpus: &Corpus, shard_index: usize) -> Reps {
+    let measured = &corpus.events[corpus.warm..];
+    let window_events = (measured.len() / TARGET_WINDOWS).max(1);
+    let window_count = simpoint::windows(measured.len(), window_events).len();
+    let k = (window_count / CLUSTER_DIVISOR).max(2).min(window_count);
+    // A fixed per-shard seed: deterministic for any thread count.
+    let seed = 0x5EED_0000_u64 + shard_index as u64;
+    let dist = simpoint::distill(measured, window_events, k, seed);
+    let ranges: Vec<(usize, usize)> = dist
+        .representatives
+        .iter()
+        .map(|r| {
+            let w = dist.windows[r.window];
+            (corpus.warm + w.start, corpus.warm + w.end)
+        })
+        .collect();
+    let starts: Vec<usize> = ranges.iter().map(|&(a, _)| a).collect();
+    let seeds = history_at_boundaries(&corpus.events, &starts);
+    let weights = dist.representatives.iter().map(|r| r.weight).collect();
+    Reps {
+        dist,
+        ranges,
+        seeds,
+        weights,
     }
 }
 
+#[allow(clippy::too_many_lines)]
 fn main() {
     banner(
         "TRACE",
         "trace-driven predictor evaluation (record once, replay the panel)",
     );
+    let distill_mode = std::env::args().any(|a| a == "--distill");
     let shots = shots_or(150);
     let config = ArteryConfig::paper();
     let calibration = runner::calibration_for(&config, "trace-eval");
 
-    // Phase 1: record the corpus live, once.
+    // Phase 1: record the corpus live, once, straight into v2 blocks.
     let shards = record_corpus(&config, &calibration, shots);
     let live_record_secs: f64 = shards.iter().map(|s| s.live_secs).sum();
+
+    // Phase 2: decode the blocks back, one scheduler chunk per block.
+    let (corpora, decode_secs) = decode_corpora(&shards);
+    let raw_bytes: u64 = corpora.iter().map(|c| c.raw_bytes).sum();
+    let compressed_bytes: u64 = corpora.iter().map(|c| c.compressed_bytes).sum();
+    let total_blocks: u64 = corpora.iter().map(|c| c.blocks).sum();
+    let decode_mb_per_s = raw_bytes as f64 / 1e6 / decode_secs.max(f64::MIN_POSITIVE);
+    println!(
+        "\ndecoded {total_blocks} blocks ({} KiB compressed → {} KiB raw, ratio {:.2}) \
+         in {decode_secs:.4} s → {decode_mb_per_s:.0} MB/s",
+        compressed_bytes / 1024,
+        raw_bytes / 1024,
+        raw_bytes as f64 / compressed_bytes as f64,
+    );
 
     // The FNN baseline consumes recorded trajectories instead of pulses.
     let model = config.readout_model();
@@ -330,71 +583,252 @@ fn main() {
     );
 
     // The zoo: the paper predictor behind the trait, TAGE, the bimodal
-    // floor, the FNN baseline and the oracle bound. Workers clone each
-    // prototype per shard, so the list itself is immutable here.
+    // floor, the FNN baseline and the oracle bound.
     let zoo = standard_zoo(&calibration, &config, fnn.clone());
     assert!(zoo.len() >= 5, "the zoo fields at least five contenders");
 
-    // Phase 2: fan the panel across the multi-tenant shot scheduler — one
-    // job per recorded workload (tenant = the workload, one chunk per job
-    // since a replay consumes its whole trace) — and take per-job results
-    // in submission order, which is deterministic for any worker count and
-    // any steal interleaving.
     let panel = build_panel(&config, &calibration);
     let recorded_idx = panel
         .iter()
         .position(|e| e.name.ends_with("(recorded)"))
         .expect("panel contains the recorded configuration");
-    let labels: Vec<String> = shards
+    let zoo_config = &panel[recorded_idx].config;
+
+    // Warm each zoo contender once per workload (the SimPoint-style
+    // checkpoint: training state at the warm boundary), then clone the
+    // warmed replayer for every measured pass — full and distilled.
+    let warm_start = Instant::now();
+    let warmed: Vec<Vec<ZooReplayer>> = corpora
         .iter()
-        .map(|s| format!("trace-eval/replay/{}", s.name))
+        .map(|c| {
+            zoo.iter()
+                .map(|proto| {
+                    let mut zr = ZooReplayer::new(proto.clone_box(), zoo_config);
+                    zr.replay_all(&c.events[..c.warm]);
+                    zr.reset_stats();
+                    zr
+                })
+                .collect()
+        })
         .collect();
+    let warm_secs = warm_start.elapsed().as_secs_f64();
+    println!(
+        "warmed {} zoo checkpoints in {warm_secs:.3} s",
+        zoo.len() * corpora.len()
+    );
+
+    // Phase 3: the full replay. One sequential job per shard for the
+    // recorded configuration (live bit-identity + metrics + FNN), one
+    // block-chunked job per (shard, other panel entry) — `ChunkPlan`
+    // chunks are replay units, exact thanks to the v2 history seeds — and
+    // one sequential job per (shard, zoo contender) from a warmed clone.
+    // Submission and chunk order fix every merge, so all results are
+    // byte-identical for any `ARTERY_THREADS`.
+    let build_full_jobs = || {
+        let mut jobs: Vec<JobSpec<'_, ReplayOut>> = Vec::new();
+        for c in &corpora {
+            let entry = &panel[recorded_idx];
+            let fnn = &fnn;
+            jobs.push(JobSpec::new(
+                &c.name,
+                &format!("trace-eval/replay/{}/recorded", c.name),
+                1,
+                ChunkPlan::single(),
+                move |_chunk: &Chunk| {
+                    let t = Instant::now();
+                    let unit0 = &c.units[0];
+                    let mut replay = Replayer::new(&entry.calibration, &entry.config);
+                    replay.seed_history_counts(&unit0.seed);
+                    replay.replay_all(&c.events[unit0.pre.0..unit0.pre.1]);
+                    replay.reset_stats();
+                    // Event-by-event so each outcome can feed the same
+                    // timeline builder the live controller uses; the stats
+                    // stay bit-identical to `replay_all` because metrics
+                    // consume no replay state.
+                    let timing =
+                        ControllerTiming::new(entry.config.hardware(), entry.config.window_ns);
+                    let mut metrics = MetricsRegistry::new();
+                    for ev in &c.events[c.warm..] {
+                        let outcome = replay.replay_event(ev);
+                        metrics.observe(&resolve_timeline(
+                            outcome.site.0,
+                            &timing,
+                            entry.config.route_ns,
+                            outcome.reported,
+                            outcome.window,
+                            outcome.predicted,
+                            outcome.latency_ns,
+                        ));
+                    }
+                    let (fnn_correct, fnn_total) = fnn_scan(fnn, &c.events[c.warm..]);
+                    ReplayOut::Recorded {
+                        stats: replay.into_stats(),
+                        metrics: Box::new(metrics),
+                        fnn_correct,
+                        fnn_total,
+                        events: (c.events.len() - c.warm) as u64,
+                        secs: t.elapsed().as_secs_f64(),
+                    }
+                },
+            ));
+        }
+        for c in &corpora {
+            for (idx, entry) in panel.iter().enumerate() {
+                if idx == recorded_idx {
+                    continue;
+                }
+                jobs.push(JobSpec::new(
+                    &c.name,
+                    &format!("trace-eval/replay/{}/panel{idx}", c.name),
+                    c.units.len(),
+                    ChunkPlan::Dynamic { chunk_shots: 1 },
+                    move |chunk: &Chunk| {
+                        let t = Instant::now();
+                        let unit = &c.units[chunk.index];
+                        let mut replay = Replayer::new(&entry.calibration, &entry.config);
+                        replay.seed_history_counts(&unit.seed);
+                        replay.replay_all(&c.events[unit.pre.0..unit.pre.1]);
+                        replay.reset_stats();
+                        replay.replay_all(&c.events[unit.measure.0..unit.measure.1]);
+                        ReplayOut::Panel {
+                            stats: replay.into_stats(),
+                            events: (unit.measure.1 - unit.measure.0) as u64,
+                            secs: t.elapsed().as_secs_f64(),
+                        }
+                    },
+                ));
+            }
+        }
+        for (s, c) in corpora.iter().enumerate() {
+            for z in 0..zoo.len() {
+                let warmed = &warmed;
+                jobs.push(JobSpec::new(
+                    &c.name,
+                    &format!("trace-eval/replay/{}/zoo{z}", c.name),
+                    1,
+                    ChunkPlan::single(),
+                    move |_chunk: &Chunk| {
+                        let t = Instant::now();
+                        let mut zr = warmed[s][z].clone();
+                        zr.replay_all(&c.events[c.warm..]);
+                        ReplayOut::Zoo {
+                            score: Box::new(zr.into_score()),
+                            events: (c.events.len() - c.warm) as u64,
+                            secs: t.elapsed().as_secs_f64(),
+                        }
+                    },
+                ));
+            }
+        }
+        jobs
+    };
+
     // Replay is deterministic, so re-running it is free of result drift;
     // retry the wall-clock measurement a couple of times so a transient
-    // load spike (cold pages right after a build, a background compile)
-    // cannot fail the speedup invariant below.
-    let mut shard_results: Vec<ShardResult> = Vec::new();
-    let mut replay_secs = f64::INFINITY;
+    // load spike cannot fail the speedup invariant below.
+    let mut full_wall = f64::INFINITY;
+    let mut full_work = f64::INFINITY;
+    let mut full_events = 0u64;
+    let mut merged: Vec<ShotStats> = Vec::new();
+    let mut recorded_stats: Vec<ShotStats> = Vec::new();
+    let mut recorded_registries: Vec<MetricsRegistry> = Vec::new();
+    let mut zoo_scores: Vec<Vec<PredictorScore>> = Vec::new();
+    let mut fnn_correct = 0u64;
+    let mut fnn_total = 0u64;
     let mut queue_stats = None;
-    for _attempt in 0..3 {
-        let (panel, zoo, fnn) = (&panel, &zoo, &fnn);
-        let jobs: Vec<JobSpec<'_, ShardResult>> = shards
-            .iter()
-            .zip(&labels)
-            .map(|(shard, label)| {
-                JobSpec::new(
-                    &shard.name,
-                    label,
-                    shots,
-                    ChunkPlan::single(),
-                    move |_chunk: &Chunk| eval_shard(shard, panel, recorded_idx, zoo, fnn),
-                )
-            })
-            .collect();
-        let replay_start = Instant::now();
+    for _attempt in 0..5 {
+        let jobs = build_full_jobs();
+        let replay_jobs = jobs.len() as u64;
+        let start = Instant::now();
         let run = runner::scheduler::run_queue_on(
             &SchedulerOptions::with_threads(runner::parallel::threads()),
             &jobs,
         );
-        replay_secs = replay_secs.min(replay_start.elapsed().as_secs_f64());
-        shard_results = run
-            .jobs
-            .into_iter()
-            .map(|job| {
-                let label = job.label.clone();
-                let mut chunks = job
-                    .outcome
-                    .unwrap_or_else(|e| panic!("replay of {label} failed: {e}"));
-                assert_eq!(chunks.len(), 1, "single-chunk replay of {label}");
-                chunks.pop().expect("one chunk result")
-            })
-            .collect();
-        queue_stats = Some((run.fairness, run.telemetry));
-        if live_record_secs * panel.len() as f64 / replay_secs >= 10.0 {
+        full_wall = full_wall.min(start.elapsed().as_secs_f64());
+        let mut outs = run.jobs.into_iter().map(|job| {
+            let label = job.label.clone();
+            job.outcome
+                .unwrap_or_else(|e| panic!("replay of {label} failed: {e}"))
+        });
+        merged = vec![ShotStats::default(); panel.len()];
+        recorded_stats.clear();
+        recorded_registries.clear();
+        zoo_scores.clear();
+        fnn_correct = 0;
+        fnn_total = 0;
+        full_events = 0;
+        let mut work = 0.0f64;
+        for _ in &corpora {
+            for out in outs.next().expect("recorded job") {
+                match out {
+                    ReplayOut::Recorded {
+                        stats,
+                        metrics,
+                        fnn_correct: fc,
+                        fnn_total: ft,
+                        events,
+                        secs,
+                    } => {
+                        merged[recorded_idx].merge(&stats);
+                        recorded_stats.push(stats);
+                        recorded_registries.push(*metrics);
+                        fnn_correct += fc;
+                        fnn_total += ft;
+                        full_events += events;
+                        work += secs;
+                    }
+                    _ => unreachable!("recorded job yields Recorded outputs"),
+                }
+            }
+        }
+        for _ in &corpora {
+            for (idx, _) in panel.iter().enumerate() {
+                if idx == recorded_idx {
+                    continue;
+                }
+                for out in outs.next().expect("panel job") {
+                    match out {
+                        ReplayOut::Panel {
+                            stats,
+                            events,
+                            secs,
+                        } => {
+                            merged[idx].merge(&stats);
+                            full_events += events;
+                            work += secs;
+                        }
+                        _ => unreachable!("panel job yields Panel outputs"),
+                    }
+                }
+            }
+        }
+        for _ in &corpora {
+            let mut shard_scores = Vec::with_capacity(zoo.len());
+            for _ in 0..zoo.len() {
+                for out in outs.next().expect("zoo job") {
+                    match out {
+                        ReplayOut::Zoo {
+                            score,
+                            events,
+                            secs,
+                        } => {
+                            shard_scores.push(*score);
+                            full_events += events;
+                            work += secs;
+                        }
+                        _ => unreachable!("zoo job yields Zoo outputs"),
+                    }
+                }
+            }
+            zoo_scores.push(shard_scores);
+        }
+        full_work = full_work.min(work);
+        queue_stats = Some((run.fairness, run.telemetry, replay_jobs));
+        if live_record_secs * panel.len() as f64 / full_wall >= 10.0 {
             break;
         }
     }
-    let (fairness, telemetry) = queue_stats.expect("at least one replay attempt ran");
+    let (fairness, telemetry, replay_jobs) = queue_stats.expect("at least one replay attempt ran");
     println!(
         "\nscheduler queue: {} tenants, {} jobs, {} chunks, {} shots \
          (fairness counters are a pure function of the submitted queue)",
@@ -404,38 +838,27 @@ fn main() {
         "steal telemetry (informational, never serialized): {} workers ran {} chunks, {} steals",
         telemetry.workers, telemetry.chunks, telemetry.steals
     );
+    let replay_chunks = fairness.queue.chunks;
 
-    let mut merged: Vec<ShotStats> = vec![ShotStats::default(); panel.len()];
-    let mut fnn_correct = 0u64;
-    let mut fnn_total = 0u64;
-    for result in &shard_results {
-        for (into, stats) in merged.iter_mut().zip(&result.panel_stats) {
-            into.merge(stats);
-        }
-        fnn_correct += result.fnn_correct;
-        fnn_total += result.fnn_total;
-    }
     let mut live = ShotStats::default();
     for shard in &shards {
         live.merge(&shard.live_stats);
     }
 
     // Zoo scores merge in shard order (deterministic for any worker count).
-    let mut zoo_merged: Vec<PredictorScore> = shard_results
-        .first()
-        .map(|r| r.zoo_scores.clone())
-        .unwrap_or_default();
-    for result in &shard_results[1..] {
-        for (into, score) in zoo_merged.iter_mut().zip(&result.zoo_scores) {
+    let mut zoo_merged: Vec<PredictorScore> = zoo_scores.first().cloned().unwrap_or_default();
+    for shard_scores in &zoo_scores[1..] {
+        for (into, score) in zoo_merged.iter_mut().zip(shard_scores) {
             into.merge(score);
         }
     }
 
     // Invariant 1: the recorded configuration replays bit-for-bit, per
-    // shard and in aggregate.
-    for (shard, result) in shards.iter().zip(&shard_results) {
+    // shard and in aggregate — the history seed jump at the warm boundary
+    // included.
+    for (shard, stats) in shards.iter().zip(&recorded_stats) {
         assert_eq!(
-            result.panel_stats[recorded_idx], shard.live_stats,
+            *stats, shard.live_stats,
             "replay of {} diverged from the live run",
             shard.name
         );
@@ -464,9 +887,9 @@ fn main() {
         .iter()
         .position(|s| s.spec.name == "paper")
         .expect("zoo contains the paper adapter");
-    for (shard, result) in shards.iter().zip(&shard_results) {
+    for ((shard, shard_scores), stats) in shards.iter().zip(&zoo_scores).zip(&recorded_stats) {
         assert_eq!(
-            result.zoo_scores[paper_idx].stats, result.panel_stats[recorded_idx],
+            shard_scores[paper_idx].stats, *stats,
             "paper-via-trait diverged from the recorded replay on {}",
             shard.name
         );
@@ -481,15 +904,11 @@ fn main() {
     // registries across workloads would conflate unrelated sites.
     let recorded_metrics: Vec<GroupSnapshot> = shards
         .iter()
-        .zip(&shard_results)
-        .map(|(shard, result)| result.recorded_metrics.snapshot(&shard.name))
+        .zip(&recorded_registries)
+        .map(|(shard, registry)| registry.snapshot(&shard.name))
         .collect();
-    for (shard, result) in shards.iter().zip(&shard_results) {
-        let observed: u64 = result
-            .recorded_metrics
-            .sites()
-            .map(|(_, m)| m.resolved.get())
-            .sum();
+    for (shard, registry) in shards.iter().zip(&recorded_registries) {
+        let observed: u64 = registry.sites().map(|(_, m)| m.resolved.get()).sum();
         assert_eq!(
             observed, shard.live_stats.resolved,
             "metrics of {} observed a different number of feedbacks than the replay resolved",
@@ -655,8 +1074,8 @@ fn main() {
         "commit rate",
     ]);
     let mut per_site = Vec::new();
-    for (shard, result) in shards.iter().zip(&shard_results) {
-        for score in &result.zoo_scores {
+    for (shard, shard_scores) in shards.iter().zip(&zoo_scores) {
+        for score in shard_scores {
             for (site, stats) in &score.sites {
                 let mispredicts = stats.committed - stats.correct;
                 let per_1k = if stats.resolved == 0 {
@@ -696,10 +1115,10 @@ fn main() {
 
     // Invariant 2: the panel replays ≥ 10× faster than simulating it live.
     let live_panel_estimate = live_record_secs * panel.len() as f64;
-    let speedup = live_panel_estimate / replay_secs.max(f64::MIN_POSITIVE);
+    let speedup = live_panel_estimate / full_wall.max(f64::MIN_POSITIVE);
     println!(
         "\nlive recording: {live_record_secs:.2} s for 1 configuration → live panel of {} \
-         would cost ≈ {live_panel_estimate:.2} s\nparallel replay of the panel: {replay_secs:.3} s \
+         would cost ≈ {live_panel_estimate:.2} s\nparallel replay of the panel: {full_wall:.3} s \
          → {speedup:.0}× faster than live re-simulation",
         panel.len()
     );
@@ -711,13 +1130,448 @@ fn main() {
     write_json(
         "trace_eval",
         &Results {
-            rows,
-            zoo: zoo_rows,
+            rows: rows
+                .iter()
+                .map(|r| Row {
+                    config: r.config.clone(),
+                    ..*r
+                })
+                .collect(),
+            zoo: zoo_rows.clone(),
             live_record_secs,
-            replay_secs,
+            decode_secs,
+            decode_mb_per_s,
+            replay_secs: full_wall,
             panel_size: panel.len(),
             speedup_vs_live_panel: speedup,
             recorded_metrics,
+        },
+    );
+
+    if !distill_mode {
+        return;
+    }
+
+    // Phase 4: SimPoint distillation. Cluster fixed-size windows of each
+    // recording, pick weighted representatives and seed history at each
+    // representative's start (the distillation prep is checkpoint
+    // construction — paid once, outside the replay comparison).
+    banner(
+        "DISTILL",
+        "SimPoint corpus distillation (replay representatives only)",
+    );
+    let prep_start = Instant::now();
+    let reps: Vec<Reps> = corpora
+        .iter()
+        .enumerate()
+        .map(|(i, c)| distill_corpus(c, i))
+        .collect();
+    let prep_secs = prep_start.elapsed().as_secs_f64();
+    for (c, r) in corpora.iter().zip(&reps) {
+        println!(
+            "{}: {} windows × {} events → k={} ({} iterations), {} representatives, \
+             replaying {:.1}% of the corpus",
+            c.name,
+            r.dist.windows.len(),
+            r.dist.window_events,
+            r.dist.k,
+            r.dist.iterations,
+            r.dist.representatives.len(),
+            100.0 * r.dist.replayed_fraction(),
+        );
+    }
+    println!("distillation prep (clustering + history seeds): {prep_secs:.3} s");
+
+    // Distilled replay jobs: one sequential job per (shard, panel entry),
+    // per (shard, FNN scan) and per (shard, zoo contender). Parallelism
+    // comes from the job fan-out (shards × entries); the windows inside a
+    // job are far too small to be worth a chunk each.
+    let build_dist_jobs = || {
+        let mut jobs: Vec<JobSpec<'_, DistOut>> = Vec::new();
+        for (s, c) in corpora.iter().enumerate() {
+            for (idx, entry) in panel.iter().enumerate() {
+                let reps = &reps[s];
+                jobs.push(JobSpec::new(
+                    &c.name,
+                    &format!("trace-eval/distill/{}/panel{idx}", c.name),
+                    1,
+                    ChunkPlan::single(),
+                    move |_chunk: &Chunk| {
+                        let t = Instant::now();
+                        // One replayer reused across windows: each window's
+                        // seed overwrites the full history (every site has
+                        // been observed by the time the measured region
+                        // starts), so seed + reset is equivalent to a fresh
+                        // replayer — without paying the constructor per
+                        // window, which would rival replaying the window.
+                        let mut replay = Replayer::new(&entry.calibration, &entry.config);
+                        let mut windows = Vec::with_capacity(reps.ranges.len());
+                        let mut events = 0u64;
+                        for (i, &(a, b)) in reps.ranges.iter().enumerate() {
+                            replay.seed_history_counts(&reps.seeds[i]);
+                            replay.replay_all(&c.events[a..b]);
+                            windows.push((reps.weights[i], replay.stats().clone()));
+                            replay.reset_stats();
+                            events += (b - a) as u64;
+                        }
+                        DistOut::Panel {
+                            windows,
+                            events,
+                            secs: t.elapsed().as_secs_f64(),
+                        }
+                    },
+                ));
+            }
+        }
+        for (s, c) in corpora.iter().enumerate() {
+            let reps = &reps[s];
+            let fnn = &fnn;
+            jobs.push(JobSpec::new(
+                &c.name,
+                &format!("trace-eval/distill/{}/fnn", c.name),
+                1,
+                ChunkPlan::single(),
+                move |_chunk: &Chunk| {
+                    let t = Instant::now();
+                    let mut wcorrect = 0.0f64;
+                    let mut wtotal = 0.0f64;
+                    let mut events = 0u64;
+                    for (i, &(a, b)) in reps.ranges.iter().enumerate() {
+                        let (correct, total) = fnn_scan(fnn, &c.events[a..b]);
+                        wcorrect += reps.weights[i] as f64 * correct as f64;
+                        wtotal += reps.weights[i] as f64 * total as f64;
+                        events += (b - a) as u64;
+                    }
+                    DistOut::Fnn {
+                        wcorrect,
+                        wtotal,
+                        events,
+                        secs: t.elapsed().as_secs_f64(),
+                    }
+                },
+            ));
+        }
+        for (s, c) in corpora.iter().enumerate() {
+            for z in 0..zoo.len() {
+                let reps = &reps[s];
+                let warmed = &warmed;
+                jobs.push(JobSpec::new(
+                    &c.name,
+                    &format!("trace-eval/distill/{}/zoo{z}", c.name),
+                    1,
+                    ChunkPlan::single(),
+                    move |_chunk: &Chunk| {
+                        let t = Instant::now();
+                        let mut zr = warmed[s][z].clone();
+                        let mut windows = Vec::with_capacity(reps.ranges.len());
+                        let mut events = 0u64;
+                        for (i, &(a, b)) in reps.ranges.iter().enumerate() {
+                            zr.seed_history_counts(&reps.seeds[i]);
+                            zr.replay_all(&c.events[a..b]);
+                            windows.push((reps.weights[i], zr.stats().clone()));
+                            zr.reset_stats();
+                            events += (b - a) as u64;
+                        }
+                        DistOut::Zoo {
+                            windows,
+                            events,
+                            secs: t.elapsed().as_secs_f64(),
+                        }
+                    },
+                ));
+            }
+        }
+        jobs
+    };
+
+    let mut dist_wall = f64::INFINITY;
+    let mut dist_work = f64::INFINITY;
+    let mut dist_events = 0u64;
+    let mut wpanel: Vec<simpoint::WeightedStats> = Vec::new();
+    let mut wzoo: Vec<simpoint::WeightedStats> = Vec::new();
+    let mut wfnn_correct = 0.0f64;
+    let mut wfnn_total = 0.0f64;
+    for _attempt in 0..5 {
+        let jobs = build_dist_jobs();
+        let start = Instant::now();
+        let run = runner::scheduler::run_queue_on(
+            &SchedulerOptions::with_threads(runner::parallel::threads()),
+            &jobs,
+        );
+        dist_wall = dist_wall.min(start.elapsed().as_secs_f64());
+        let mut outs = run.jobs.into_iter().map(|job| {
+            let label = job.label.clone();
+            job.outcome
+                .unwrap_or_else(|e| panic!("distilled replay of {label} failed: {e}"))
+        });
+        wpanel = vec![simpoint::WeightedStats::new(); panel.len()];
+        wzoo = vec![simpoint::WeightedStats::new(); zoo.len()];
+        wfnn_correct = 0.0;
+        wfnn_total = 0.0;
+        dist_events = 0;
+        let mut work = 0.0f64;
+        for _ in &corpora {
+            for (idx, _) in panel.iter().enumerate() {
+                for out in outs.next().expect("distilled panel job") {
+                    match out {
+                        DistOut::Panel {
+                            windows,
+                            events,
+                            secs,
+                        } => {
+                            for (weight, stats) in &windows {
+                                wpanel[idx].add(*weight, stats);
+                            }
+                            dist_events += events;
+                            work += secs;
+                        }
+                        _ => unreachable!("panel job yields Panel outputs"),
+                    }
+                }
+            }
+        }
+        for _ in &corpora {
+            for out in outs.next().expect("distilled fnn job") {
+                match out {
+                    DistOut::Fnn {
+                        wcorrect,
+                        wtotal,
+                        events,
+                        secs,
+                    } => {
+                        wfnn_correct += wcorrect;
+                        wfnn_total += wtotal;
+                        dist_events += events;
+                        work += secs;
+                    }
+                    _ => unreachable!("fnn job yields Fnn outputs"),
+                }
+            }
+        }
+        for _ in &corpora {
+            for wz in wzoo.iter_mut() {
+                for out in outs.next().expect("distilled zoo job") {
+                    match out {
+                        DistOut::Zoo {
+                            windows,
+                            events,
+                            secs,
+                        } => {
+                            for (weight, stats) in &windows {
+                                wz.add(*weight, stats);
+                            }
+                            dist_events += events;
+                            work += secs;
+                        }
+                        _ => unreachable!("zoo job yields Zoo outputs"),
+                    }
+                }
+            }
+        }
+        dist_work = dist_work.min(work);
+        if full_work / dist_work >= 5.0 {
+            break;
+        }
+    }
+
+    // Distilled leaderboards, built and ranked exactly like the full ones.
+    let mut drows: Vec<DistilledRow> = wpanel
+        .iter()
+        .zip(&panel)
+        .map(|(w, entry)| DistilledRow {
+            config: entry.name.clone(),
+            accuracy: w.accuracy(),
+            commit_rate: w.commit_rate(),
+            mean_latency_us: w.mean_latency_ns() / 1000.0,
+            resolved: w.resolved(),
+        })
+        .collect();
+    drows.push(DistilledRow {
+        config: "FNN (full readout)".into(),
+        accuracy: if wfnn_total == 0.0 {
+            0.0
+        } else {
+            wfnn_correct / wfnn_total
+        },
+        commit_rate: 0.0,
+        mean_latency_us: wpanel[recorded_idx].mean_latency_ns() / 1000.0,
+        resolved: wfnn_total,
+    });
+    drows.sort_by(|a, b| a.mean_latency_us.total_cmp(&b.mean_latency_us));
+
+    let mut dzoo: Vec<DistilledZooRow> = wzoo
+        .iter()
+        .zip(&zoo_merged)
+        .map(|(w, score)| DistilledZooRow {
+            predictor: score.spec.name.clone(),
+            mispredicts_per_1k: w.mispredicts_per_1k(),
+            commit_rate: w.commit_rate(),
+            mean_window: w.mean_window(),
+            mean_latency_us: w.mean_latency_ns() / 1000.0,
+            accuracy: w.accuracy(),
+            resolved: w.resolved(),
+        })
+        .collect();
+    dzoo.sort_by(|a, b| a.mean_latency_us.total_cmp(&b.mean_latency_us));
+
+    println!("\n## distilled panel leaderboard (weighted representatives)\n");
+    let mut dtable = Table::new([
+        "config",
+        "accuracy",
+        "commit rate",
+        "mean latency/feedback (µs)",
+        "weighted feedbacks",
+    ]);
+    for row in &drows {
+        dtable.row([
+            row.config.clone(),
+            f3(row.accuracy),
+            f3(row.commit_rate),
+            f2(row.mean_latency_us),
+            format!("{:.0}", row.resolved),
+        ]);
+    }
+    dtable.print();
+
+    println!("\n## distilled predictor-zoo leaderboard\n");
+    let mut dztable = Table::new([
+        "predictor",
+        "mispredicts/1k",
+        "commit rate",
+        "mean latency/feedback (µs)",
+        "accuracy",
+    ]);
+    for row in &dzoo {
+        dztable.row([
+            row.predictor.clone(),
+            f2(row.mispredicts_per_1k),
+            f3(row.commit_rate),
+            f2(row.mean_latency_us),
+            f3(row.accuracy),
+        ]);
+    }
+    dztable.print();
+
+    // Invariant 4: the distilled leaderboards rank the panel and the zoo
+    // identically to the full-corpus replay.
+    let full_order: Vec<&str> = rows.iter().map(|r| r.config.as_str()).collect();
+    let dist_order: Vec<&str> = drows.iter().map(|r| r.config.as_str()).collect();
+    assert_eq!(
+        full_order, dist_order,
+        "distilled panel leaderboard re-ranked the configurations"
+    );
+    let full_zoo_order: Vec<&str> = zoo_rows.iter().map(|r| r.predictor.as_str()).collect();
+    let dist_zoo_order: Vec<&str> = dzoo.iter().map(|r| r.predictor.as_str()).collect();
+    assert_eq!(
+        full_zoo_order, dist_zoo_order,
+        "distilled zoo leaderboard re-ranked the contenders"
+    );
+    println!(
+        "\ndistilled leaderboards rank all {} panel configurations and {} zoo \
+         contenders identically to the full-corpus replay",
+        full_order.len(),
+        full_zoo_order.len()
+    );
+
+    // Invariant 5: distilled replay does ≥ 5× less replay work.
+    let distill_speedup = full_work / dist_work.max(f64::MIN_POSITIVE);
+    let event_ratio = full_events as f64 / dist_events.max(1) as f64;
+    println!(
+        "full replay: {full_events} events in {full_work:.4} s of replay work; \
+         distilled: {dist_events} events in {dist_work:.4} s → {distill_speedup:.1}× \
+         less work ({event_ratio:.1}× fewer events)"
+    );
+    assert!(
+        distill_speedup >= 5.0,
+        "distilled replay speedup {distill_speedup:.1}× fell below the 5× requirement"
+    );
+
+    let snapshot = TraceReplaySnapshot::new(
+        BlockReplayCounters {
+            blocks: total_blocks,
+            block_events: corpora.iter().map(|c| c.events.len() as u64).sum(),
+            compressed_bytes,
+            raw_bytes,
+            replay_jobs,
+            replay_chunks,
+            replayed_events: full_events,
+        },
+        Some(DistillCounters {
+            windows: reps.iter().map(|r| r.dist.windows.len() as u64).sum(),
+            window_events: reps
+                .iter()
+                .map(|r| r.dist.window_events as u64)
+                .max()
+                .unwrap_or(0),
+            clusters: reps.iter().map(|r| r.dist.k as u64).sum(),
+            representatives: reps
+                .iter()
+                .map(|r| r.dist.representatives.len() as u64)
+                .sum(),
+            kmeans_iterations: reps.iter().map(|r| r.dist.iterations as u64).sum(),
+            replayed_events: reps
+                .iter()
+                .flat_map(|r| r.ranges.iter().map(|&(a, b)| (b - a) as u64))
+                .sum(),
+            total_events: corpora
+                .iter()
+                .map(|c| (c.events.len() - c.warm) as u64)
+                .sum(),
+        }),
+    );
+
+    let shards_out: Vec<DistillShard> = corpora
+        .iter()
+        .zip(&reps)
+        .map(|(c, r)| DistillShard {
+            workload: c.name.clone(),
+            measured_events: c.events.len() - c.warm,
+            window_events: r.dist.window_events,
+            windows: r.dist.windows.len(),
+            k: r.dist.k,
+            iterations: r.dist.iterations,
+            replayed_fraction: r.dist.replayed_fraction(),
+            representatives: r
+                .dist
+                .representatives
+                .iter()
+                .map(|rep| RepRow {
+                    window: rep.window,
+                    start: r.dist.windows[rep.window].start,
+                    end: r.dist.windows[rep.window].end,
+                    weight: rep.weight,
+                })
+                .collect(),
+        })
+        .collect();
+
+    write_json(
+        "distill",
+        &DistillResults {
+            shards: shards_out,
+            leaderboard: drows,
+            zoo: dzoo,
+            rank_agreement: true,
+            snapshot: snapshot.clone(),
+        },
+    );
+
+    write_json(
+        "trace_bench",
+        &TraceBench {
+            record_secs: live_record_secs,
+            decode_secs,
+            decode_mb_per_s,
+            compression_ratio: raw_bytes as f64 / compressed_bytes as f64,
+            full_replay_secs: full_work,
+            distilled_replay_secs: dist_work,
+            distill_speedup,
+            full_events_replayed: full_events,
+            distilled_events_replayed: dist_events,
+            event_ratio,
+            rank_agreement: true,
+            speedup_vs_live_panel: speedup,
+            snapshot,
         },
     );
 }

@@ -5,15 +5,21 @@
 //! Laplace-smoothed frequency is a strong prior. Updating it is one counter
 //! increment after each shot — the paper's "no latency" claim.
 
-use std::collections::HashMap;
-
 use artery_circuit::FeedbackSite;
 use serde::{Deserialize, Serialize};
 
 /// Running `P_history_1` estimates for every feedback site of a program.
+///
+/// Site indices are small and dense (they number the feedback points of
+/// one circuit), so the counters live in a direct-indexed vector: the
+/// per-resolve prior lookup and the per-shot increment — the §4 "no
+/// latency" claim — are an array access, and restoring a trace-v2 block
+/// seed ([`Self::set_counts`] per site) costs no hashing. A site that has
+/// never been observed holds `(0, 0)`, which is indistinguishable from
+/// being absent (both give the uniform prior).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistoryTracker {
-    counts: HashMap<usize, (u64, u64)>, // site → (ones, total)
+    counts: Vec<(u64, u64)>, // indexed by site → (ones, total)
 }
 
 impl HistoryTracker {
@@ -40,13 +46,21 @@ impl HistoryTracker {
     /// ```
     #[must_use]
     pub fn p_history_1(&self, site: FeedbackSite) -> f64 {
-        let (ones, total) = self.counts.get(&site.0).copied().unwrap_or((0, 0));
+        let (ones, total) = self.counts.get(site.0).copied().unwrap_or((0, 0));
         (ones as f64 + 1.0) / (total as f64 + 2.0)
+    }
+
+    /// Grows the vector so `site` is indexable.
+    fn slot(&mut self, site: usize) -> &mut (u64, u64) {
+        if site >= self.counts.len() {
+            self.counts.resize(site + 1, (0, 0));
+        }
+        &mut self.counts[site]
     }
 
     /// Records one observed outcome at `site`.
     pub fn observe(&mut self, site: FeedbackSite, outcome: bool) {
-        let entry = self.counts.entry(site.0).or_insert((0, 0));
+        let entry = self.slot(site.0);
         entry.0 += u64::from(outcome);
         entry.1 += 1;
     }
@@ -54,7 +68,7 @@ impl HistoryTracker {
     /// Number of shots observed at `site`.
     #[must_use]
     pub fn shots(&self, site: FeedbackSite) -> u64 {
-        self.counts.get(&site.0).map_or(0, |(_, total)| *total)
+        self.counts.get(site.0).map_or(0, |(_, total)| *total)
     }
 
     /// Warm-starts a site from an external estimate, weighted as
@@ -62,7 +76,31 @@ impl HistoryTracker {
     /// from a previous run, as §4 describes for cross-program updates).
     pub fn seed(&mut self, site: FeedbackSite, p1: f64, weight: u64) {
         let ones = (p1.clamp(0.0, 1.0) * weight as f64).round() as u64;
-        self.counts.insert(site.0, (ones, weight));
+        *self.slot(site.0) = (ones, weight);
+    }
+
+    /// Installs a site's raw counters exactly, with none of [`Self::seed`]'s
+    /// rounding. Trace-v2 block headers snapshot these counters so a block
+    /// replay can resume mid-stream with bit-identical priors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ones > total`.
+    pub fn set_counts(&mut self, site: FeedbackSite, ones: u64, total: u64) {
+        assert!(ones <= total, "ones ({ones}) exceeds total ({total})");
+        *self.slot(site.0) = (ones, total);
+    }
+
+    /// Every observed site's `(site, ones, total)` counters, sorted by site
+    /// index — the exact state [`Self::set_counts`] restores.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(usize, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, total))| total > 0)
+            .map(|(site, &(ones, total))| (site, ones, total))
+            .collect()
     }
 
     /// Clears all statistics.
@@ -106,6 +144,33 @@ mod tests {
         h.seed(FeedbackSite(0), 0.02, 1000);
         let p = h.p_history_1(FeedbackSite(0));
         assert!((p - 0.02).abs() < 0.002, "p = {p}");
+    }
+
+    #[test]
+    fn set_counts_round_trips_through_snapshot() {
+        let mut h = HistoryTracker::new();
+        h.observe(FeedbackSite(3), true);
+        h.observe(FeedbackSite(3), false);
+        h.observe(FeedbackSite(0), true);
+        let snap = h.snapshot();
+        assert_eq!(snap, vec![(0, 1, 1), (3, 1, 2)]);
+
+        let mut restored = HistoryTracker::new();
+        for (site, ones, total) in snap {
+            restored.set_counts(FeedbackSite(site), ones, total);
+        }
+        assert_eq!(restored, h);
+        assert_eq!(
+            restored.p_history_1(FeedbackSite(3)),
+            h.p_history_1(FeedbackSite(3))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total")]
+    fn set_counts_rejects_impossible_counters() {
+        let mut h = HistoryTracker::new();
+        h.set_counts(FeedbackSite(0), 5, 3);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod hist;
 pub mod registry;
+pub mod replaymeter;
 pub mod scheduler;
 pub mod sink;
 pub mod timeline;
@@ -31,6 +32,9 @@ pub mod timeline;
 pub use hist::{BucketSnapshot, Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{
     GroupSnapshot, MetricsRegistry, MetricsSnapshot, SiteMetrics, SiteSnapshot, SNAPSHOT_VERSION,
+};
+pub use replaymeter::{
+    BlockReplayCounters, DistillCounters, TraceReplaySnapshot, REPLAY_SNAPSHOT_VERSION,
 };
 pub use scheduler::{QueueCounters, SchedulerSnapshot, TenantCounters, SCHEDULER_SNAPSHOT_VERSION};
 pub use sink::{JsonSink, MetricsSink, NullSink};

@@ -1,0 +1,165 @@
+//! Deterministic counters of trace-v2 block replay and SimPoint
+//! distillation.
+//!
+//! Like the scheduler's fairness counters ([`crate::SchedulerSnapshot`]),
+//! everything here is a pure function of the recorded corpus and the
+//! distillation parameters — never of worker counts, steal interleavings
+//! or wall time — so the snapshot may ride inside byte-compared artifacts
+//! (the `trace_eval --distill` reproducibility smoke compares it across
+//! `ARTERY_THREADS=1` and `=8`). Wall-clock numbers (replay seconds,
+//! decode MB/s) are reported separately in `BENCH_trace.json`, which is
+//! *not* byte-compared.
+
+use serde::{Deserialize, Serialize};
+
+/// Replay snapshot schema version; bump on any structural change so
+/// downstream readers can detect incompatibility.
+pub const REPLAY_SNAPSHOT_VERSION: u32 = 1;
+
+/// Counters of one trace-v2 block decode + replay pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockReplayCounters {
+    /// Blocks decoded across all traces.
+    pub blocks: u64,
+    /// Events decoded out of those blocks.
+    pub block_events: u64,
+    /// Compressed trace bytes (whole v2 files, framing included).
+    pub compressed_bytes: u64,
+    /// Uncompressed block payload bytes (decode-throughput denominator).
+    pub raw_bytes: u64,
+    /// Replay jobs submitted to the scheduler.
+    pub replay_jobs: u64,
+    /// Scheduler chunks those jobs fanned into.
+    pub replay_chunks: u64,
+    /// Events replayed, summed over every (configuration, event) pair.
+    pub replayed_events: u64,
+}
+
+impl BlockReplayCounters {
+    /// Compression ratio of the recorded corpus (raw / compressed; 0 when
+    /// nothing was recorded).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            0.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+/// Counters of one SimPoint distillation pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistillCounters {
+    /// Windows the corpus was sliced into (all traces).
+    pub windows: u64,
+    /// Fixed window size in events.
+    pub window_events: u64,
+    /// Clusters actually used (≤ the requested k).
+    pub clusters: u64,
+    /// Representative windows emitted.
+    pub representatives: u64,
+    /// Lloyd iterations until convergence, summed over traces.
+    pub kmeans_iterations: u64,
+    /// Events inside representative windows.
+    pub replayed_events: u64,
+    /// Events in the full measured corpus.
+    pub total_events: u64,
+}
+
+impl DistillCounters {
+    /// Fraction of corpus events a distilled replay touches.
+    #[must_use]
+    pub fn replayed_fraction(&self) -> f64 {
+        if self.total_events == 0 {
+            0.0
+        } else {
+            self.replayed_events as f64 / self.total_events as f64
+        }
+    }
+}
+
+/// Deterministic snapshot of a replay (+ optional distillation) run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceReplaySnapshot {
+    /// Schema version ([`REPLAY_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Block decode + replay counters.
+    pub replay: BlockReplayCounters,
+    /// Distillation counters; `None` for full-corpus-only runs.
+    pub distill: Option<DistillCounters>,
+}
+
+impl TraceReplaySnapshot {
+    /// Wraps the counters under the current schema version.
+    #[must_use]
+    pub fn new(replay: BlockReplayCounters, distill: Option<DistillCounters>) -> Self {
+        Self {
+            version: REPLAY_SNAPSHOT_VERSION,
+            replay,
+            distill,
+        }
+    }
+
+    /// Deterministic pretty-printed JSON rendering; byte-identical for
+    /// equal snapshots.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("replay snapshots always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let replay = BlockReplayCounters::default();
+        assert_eq!(replay.compression_ratio(), 0.0);
+        let distill = DistillCounters::default();
+        assert_eq!(distill.replayed_fraction(), 0.0);
+
+        let replay = BlockReplayCounters {
+            compressed_bytes: 50,
+            raw_bytes: 200,
+            ..BlockReplayCounters::default()
+        };
+        assert_eq!(replay.compression_ratio(), 4.0);
+        let distill = DistillCounters {
+            replayed_events: 25,
+            total_events: 100,
+            ..DistillCounters::default()
+        };
+        assert_eq!(distill.replayed_fraction(), 0.25);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let snap = TraceReplaySnapshot::new(
+            BlockReplayCounters {
+                blocks: 12,
+                block_events: 600,
+                compressed_bytes: 4_000,
+                raw_bytes: 20_000,
+                replay_jobs: 9,
+                replay_chunks: 40,
+                replayed_events: 5_400,
+            },
+            Some(DistillCounters {
+                windows: 24,
+                window_events: 25,
+                clusters: 3,
+                representatives: 3,
+                kmeans_iterations: 7,
+                replayed_events: 75,
+                total_events: 600,
+            }),
+        );
+        assert_eq!(snap.version, REPLAY_SNAPSHOT_VERSION);
+        let json = snap.to_json_string();
+        assert_eq!(json, snap.clone().to_json_string());
+        let back: TraceReplaySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

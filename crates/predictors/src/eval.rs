@@ -166,6 +166,21 @@ impl ZooReplayer {
         self.sites.clear();
     }
 
+    /// Overwrites the replayed history with recorded counters — a trace-v2
+    /// block seed or an [`artery_trace::history_at_boundaries`] snapshot —
+    /// so distilled replay can jump to a representative window with exactly
+    /// the history a sequential replay would have carried there.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a counter claims more 1-outcomes than observations.
+    pub fn seed_history_counts(&mut self, counts: &[artery_trace::HistoryCount]) {
+        for c in counts {
+            self.history
+                .set_counts(FeedbackSite(c.site), c.ones, c.total);
+        }
+    }
+
     /// Aggregate statistics so far.
     #[must_use]
     pub fn stats(&self) -> &ShotStats {

@@ -970,6 +970,33 @@ pub struct CodebookCache {
     combined: HashMap<u64, CachedCombined>,
 }
 
+/// Widens a byte stream into the engine's `i16` symbol alphabet (symbols
+/// `0..=255`), clearing `out` first. Byte-oriented consumers — the trace
+/// crate's block payloads — use this to route raw bytes through the Huffman
+/// engine and [`CodebookCache`] without a parallel byte-alphabet codepath.
+pub fn bytes_to_symbols(bytes: &[u8], out: &mut Vec<i16>) {
+    out.clear();
+    out.extend(bytes.iter().map(|&b| i16::from(b)));
+}
+
+/// Narrows decoded symbols back into bytes, clearing `out` first. The
+/// inverse of [`bytes_to_symbols`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when a symbol falls outside `0..=255` — a stream
+/// that was never a byte stream, or a corrupt payload.
+pub fn symbols_to_bytes(symbols: &[i16], out: &mut Vec<u8>) -> Result<(), DecodeError> {
+    out.clear();
+    out.reserve(symbols.len());
+    for &s in symbols {
+        let b = u8::try_from(s)
+            .map_err(|_| DecodeError::new(format!("symbol {s} is not a byte (0..=255)")))?;
+        out.push(b);
+    }
+    Ok(())
+}
+
 /// FNV-1a over the little-endian bytes of `samples` — a cheap content key
 /// for [`CodebookCache`].
 #[must_use]
@@ -1250,6 +1277,22 @@ mod tests {
         assert_eq!(out, Combined.naive_encode(&a));
         cache.combined_encode_into(1, &b, &mut scratch, &mut out);
         assert_eq!(out, Combined.naive_encode(&b));
+    }
+
+    #[test]
+    fn byte_symbol_bridge_round_trips_and_rejects_non_bytes() {
+        let bytes: Vec<u8> = (0u8..=255).chain([0, 255, 7]).collect();
+        let mut symbols = vec![-1i16; 4]; // stale content must be cleared
+        bytes_to_symbols(&bytes, &mut symbols);
+        assert_eq!(symbols.len(), bytes.len());
+        assert!(symbols.iter().all(|&s| (0..=255).contains(&s)));
+        let mut back = vec![9u8; 2];
+        symbols_to_bytes(&symbols, &mut back).unwrap();
+        assert_eq!(back, bytes);
+
+        let mut out = Vec::new();
+        assert!(symbols_to_bytes(&[0, 256], &mut out).is_err());
+        assert!(symbols_to_bytes(&[-1], &mut out).is_err());
     }
 
     #[test]

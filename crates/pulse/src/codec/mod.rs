@@ -29,7 +29,9 @@ use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
 
-pub use engine::{codebook_key, CodebookCache, CodecAnalysis, CodecScratch};
+pub use engine::{
+    bytes_to_symbols, codebook_key, symbols_to_bytes, CodebookCache, CodecAnalysis, CodecScratch,
+};
 pub use huffman::Huffman;
 pub use rle::{rle_expand, rle_tokens, ByteRunLength, RunLength};
 pub use varint::{read_varint, write_varint, MAX_VARINT_LEN};

@@ -83,16 +83,29 @@ pub struct TraceHeader {
     pub config: ArteryConfig,
     /// Free-form description of the recorded corpus.
     pub label: String,
+    /// Advisory shot count of the recording (0 = unknown). Readers use it
+    /// to pre-size event buffers; it is stored by trace format v2 and
+    /// silently dropped by v1, which predates the field.
+    pub shots: u64,
 }
 
 impl TraceHeader {
-    /// Builds a header for `config` with a descriptive label.
+    /// Builds a header for `config` with a descriptive label and an unknown
+    /// shot count.
     #[must_use]
     pub fn new(config: &ArteryConfig, label: impl Into<String>) -> Self {
         Self {
             config: *config,
             label: label.into(),
+            shots: 0,
         }
+    }
+
+    /// Sets the advisory shot count (see [`Self::shots`]).
+    #[must_use]
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
     }
 }
 

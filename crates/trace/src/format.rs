@@ -1,6 +1,6 @@
-//! The versioned binary trace format (v1).
+//! The versioned binary trace format (v1 layout + version negotiation).
 //!
-//! Layout:
+//! v1 layout:
 //!
 //! ```text
 //! MAGIC (8 bytes: "ARTERYTR")
@@ -17,6 +17,12 @@
 //! alternating varint run lengths, mirroring the pulse codecs' RLE idiom.
 //! Floating-point fields are stored as IEEE-754 bit patterns (little-endian),
 //! so every value round-trips exactly.
+//!
+//! Format v2 (see [`crate::v2`]) shares the magic, the version word, the
+//! header body and the per-event body encoding, but groups events into
+//! codec-compressed, independently replayable blocks with a trailing block
+//! index. [`TraceReader`] negotiates the version at open time and reads
+//! both formats; v1 bytes decode exactly as they always did.
 
 use std::io::{Read, Write};
 
@@ -29,8 +35,13 @@ use crate::event::{RecordedDecision, TraceEvent, TraceHeader};
 /// File magic: the first eight bytes of every trace.
 pub const MAGIC: [u8; 8] = *b"ARTERYTR";
 
-/// Format version this library writes and reads.
+/// Format version 1 — the flat frame-per-event layout [`TraceWriter`]
+/// writes. [`TraceReader`] reads it byte-for-byte alongside v2.
 pub const FORMAT_VERSION: u16 = 1;
+
+/// Format version 2 — the blocked, codec-compressed layout
+/// [`TraceWriterV2`](crate::TraceWriterV2) writes.
+pub const FORMAT_VERSION_V2: u16 = 2;
 
 /// Upper bound on a single frame, guarding `Vec` allocations against
 /// corrupt length fields (16 MiB — three orders of magnitude above any
@@ -163,14 +174,24 @@ fn read_frame_len<R: Read>(src: &mut R) -> Result<Option<u64>, TraceError> {
 }
 
 /// Reads one length-prefixed frame; `None` at clean EOF.
-fn read_frame<R: Read>(src: &mut R, what: &str) -> Result<Option<Vec<u8>>, TraceError> {
+pub(crate) fn read_frame<R: Read>(src: &mut R, what: &str) -> Result<Option<Vec<u8>>, TraceError> {
+    read_frame_capped(src, what, MAX_FRAME_BYTES)
+}
+
+/// [`read_frame`] with an explicit length cap (v2 block segments bundle
+/// hundreds of events, so they get a larger allowance than single frames).
+pub(crate) fn read_frame_capped<R: Read>(
+    src: &mut R,
+    what: &str,
+    cap: u64,
+) -> Result<Option<Vec<u8>>, TraceError> {
     let len = match read_frame_len(src)? {
         None => return Ok(None),
         Some(l) => l,
     };
-    if len > MAX_FRAME_BYTES {
+    if len > cap {
         return Err(TraceError::corrupt(format!(
-            "{what} frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            "{what} frame length {len} exceeds the {cap}-byte cap"
         )));
     }
     let mut frame = vec![0u8; len as usize];
@@ -181,7 +202,13 @@ fn read_frame<R: Read>(src: &mut R, what: &str) -> Result<Option<Vec<u8>>, Trace
     Ok(Some(frame))
 }
 
-fn write_frame<W: Write>(sink: &mut W, body: &[u8]) -> Result<(), TraceError> {
+/// Encoded length of a LEB128 varint, for offset bookkeeping.
+pub(crate) fn varint_len(value: u64) -> u64 {
+    let bits = 64 - u64::from(value.leading_zeros());
+    bits.max(1).div_ceil(7)
+}
+
+pub(crate) fn write_frame<W: Write>(sink: &mut W, body: &[u8]) -> Result<(), TraceError> {
     let mut len = Vec::with_capacity(artery_pulse::codec::MAX_VARINT_LEN);
     write_varint(&mut len, body.len() as u64);
     sink.write_all(&len)?;
@@ -218,29 +245,51 @@ pub(crate) fn encode_header_body(header: &TraceHeader) -> Vec<u8> {
     out
 }
 
+/// The v2 header body: the v1 fields followed by the advisory shot count.
+pub(crate) fn encode_header_body_v2(header: &TraceHeader) -> Vec<u8> {
+    let mut out = encode_header_body(header);
+    write_varint(&mut out, header.shots);
+    out
+}
+
 pub(crate) fn decode_header_body(bytes: &[u8]) -> Result<TraceHeader, TraceError> {
     let mut pos = 0;
-    let window_ns = read_f64(bytes, &mut pos, "header window_ns")?;
-    let theta = read_f64(bytes, &mut pos, "header theta")?;
-    let route_ns = read_f64(bytes, &mut pos, "header route_ns")?;
-    let readout_ns = read_f64(bytes, &mut pos, "header readout_ns")?;
-    let k = read_len(bytes, &mut pos, "header k")?;
-    let time_buckets = read_len(bytes, &mut pos, "header time_buckets")?;
-    let train_pulses = read_len(bytes, &mut pos, "header train_pulses")?;
-    let [flags] = take::<1>(bytes, &mut pos, "header flags")?;
-    if flags & !(HEADER_FLAG_HISTORY | HEADER_FLAG_TRAJECTORY) != 0 {
-        return Err(TraceError::corrupt("reserved header flag bit set"));
-    }
-    let label_len = read_len(bytes, &mut pos, "header label length")?;
-    let label_bytes = bytes
-        .get(pos..pos + label_len)
-        .ok_or_else(|| TraceError::corrupt("header label truncated"))?;
-    pos += label_len;
-    let label = String::from_utf8(label_bytes.to_vec())
-        .map_err(|_| TraceError::corrupt("header label is not UTF-8"))?;
+    let header = decode_header_fields(bytes, &mut pos)?;
     if pos != bytes.len() {
         return Err(TraceError::corrupt("trailing bytes in header frame"));
     }
+    Ok(header)
+}
+
+pub(crate) fn decode_header_body_v2(bytes: &[u8]) -> Result<TraceHeader, TraceError> {
+    let mut pos = 0;
+    let mut header = decode_header_fields(bytes, &mut pos)?;
+    header.shots = read_varint(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(TraceError::corrupt("trailing bytes in header frame"));
+    }
+    Ok(header)
+}
+
+fn decode_header_fields(bytes: &[u8], pos: &mut usize) -> Result<TraceHeader, TraceError> {
+    let window_ns = read_f64(bytes, pos, "header window_ns")?;
+    let theta = read_f64(bytes, pos, "header theta")?;
+    let route_ns = read_f64(bytes, pos, "header route_ns")?;
+    let readout_ns = read_f64(bytes, pos, "header readout_ns")?;
+    let k = read_len(bytes, pos, "header k")?;
+    let time_buckets = read_len(bytes, pos, "header time_buckets")?;
+    let train_pulses = read_len(bytes, pos, "header train_pulses")?;
+    let [flags] = take::<1>(bytes, pos, "header flags")?;
+    if flags & !(HEADER_FLAG_HISTORY | HEADER_FLAG_TRAJECTORY) != 0 {
+        return Err(TraceError::corrupt("reserved header flag bit set"));
+    }
+    let label_len = read_len(bytes, pos, "header label length")?;
+    let label_bytes = bytes
+        .get(*pos..*pos + label_len)
+        .ok_or_else(|| TraceError::corrupt("header label truncated"))?;
+    *pos += label_len;
+    let label = String::from_utf8(label_bytes.to_vec())
+        .map_err(|_| TraceError::corrupt("header label is not UTF-8"))?;
     Ok(TraceHeader {
         config: ArteryConfig {
             window_ns,
@@ -254,6 +303,7 @@ pub(crate) fn decode_header_body(bytes: &[u8]) -> Result<TraceHeader, TraceError
             readout_ns,
         },
         label,
+        shots: 0,
     })
 }
 
@@ -529,13 +579,19 @@ impl<W: Write> TraceWriter<W> {
     }
 }
 
-/// Streaming trace reader: validates magic and version, decodes the header,
-/// then yields events one frame at a time.
+/// Streaming trace reader: validates the magic, negotiates the format
+/// version ([`FORMAT_VERSION`] or [`FORMAT_VERSION_V2`]), decodes the
+/// header, then yields events one at a time. v1 streams decode through the
+/// original frame-per-event path byte-for-byte; v2 streams decompress one
+/// block at a time and validate the trailer index and tail on the way out.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     src: R,
     header: TraceHeader,
     events: u64,
+    version: u16,
+    /// Block-streaming state; `Some` exactly when `version` is v2.
+    v2: Option<crate::v2::V2Stream>,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -562,18 +618,30 @@ impl<R: Read> TraceReader<R> {
             _ => TraceError::Io(e),
         })?;
         let version = u16::from_le_bytes(version);
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V2 {
             return Err(TraceError::corrupt(format!(
-                "unsupported trace format version {version} (this library reads {FORMAT_VERSION})"
+                "unsupported trace format version {version} \
+                 (this library reads versions {FORMAT_VERSION} and {FORMAT_VERSION_V2})"
             )));
         }
         let header_frame = read_frame(&mut src, "header")?
             .ok_or_else(|| TraceError::corrupt("missing header frame"))?;
-        let header = decode_header_body(&header_frame)?;
+        let (header, v2) = if version == FORMAT_VERSION {
+            (decode_header_body(&header_frame)?, None)
+        } else {
+            let after_header =
+                10 + varint_len(header_frame.len() as u64) + header_frame.len() as u64;
+            (
+                decode_header_body_v2(&header_frame)?,
+                Some(crate::v2::V2Stream::new(after_header)),
+            )
+        };
         Ok(Self {
             src,
             header,
             events: 0,
+            version,
+            v2,
         })
     }
 
@@ -581,6 +649,12 @@ impl<R: Read> TraceReader<R> {
     #[must_use]
     pub fn header(&self) -> &TraceHeader {
         &self.header
+    }
+
+    /// The negotiated format version of the open trace.
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Number of events decoded so far.
@@ -596,23 +670,30 @@ impl<R: Read> TraceReader<R> {
     /// Returns [`TraceError::Corrupt`] on a malformed or truncated frame and
     /// [`TraceError::Io`] when the source fails.
     pub fn next_event(&mut self) -> Result<Option<TraceEvent>, TraceError> {
-        match read_frame(&mut self.src, "event")? {
-            None => Ok(None),
-            Some(frame) => {
-                let ev = decode_event(&frame)?;
-                self.events += 1;
-                Ok(Some(ev))
-            }
+        let next = match self.v2.as_mut() {
+            Some(stream) => stream.next_event(&mut self.src)?,
+            None => match read_frame(&mut self.src, "event")? {
+                None => None,
+                Some(frame) => Some(decode_event(&frame)?),
+            },
+        };
+        if next.is_some() {
+            self.events += 1;
         }
+        Ok(next)
     }
 
-    /// Drains the remaining events into a vector.
+    /// Drains the remaining events into a vector, pre-sized from the
+    /// header's advisory shot count when it is known.
     ///
     /// # Errors
     ///
     /// Propagates the first decode failure.
     pub fn read_all(mut self) -> Result<Vec<TraceEvent>, TraceError> {
-        let mut events = Vec::new();
+        // Each shot resolves at least one feedback; cap the hint so a
+        // corrupt header cannot force a huge allocation.
+        let hint = usize::try_from(self.header.shots.min(MAX_SEQUENCE_LEN)).unwrap_or(0);
+        let mut events = Vec::with_capacity(hint);
         while let Some(ev) = self.next_event()? {
             events.push(ev);
         }
@@ -709,12 +790,23 @@ mod tests {
     }
 
     #[test]
-    fn future_version_is_rejected() {
+    fn future_version_is_rejected_naming_both_supported_versions() {
         let w = TraceWriter::new(Vec::new(), &sample_header()).unwrap();
         let mut bytes = w.finish().unwrap();
-        bytes[8..10].copy_from_slice(&2u16.to_le_bytes());
+        bytes[8..10].copy_from_slice(&3u16.to_le_bytes());
         let err = TraceReader::new(bytes.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("version 2"), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("version 3"), "{msg}");
+        assert!(msg.contains("versions 1 and 2"), "{msg}");
+    }
+
+    #[test]
+    fn varint_len_matches_the_encoder() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len() as u64, "value {v}");
+        }
     }
 
     #[test]

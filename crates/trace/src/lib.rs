@@ -22,10 +22,27 @@
 //!    predictions, accuracy and latencies bit-for-bit, because record and
 //!    replay share the controller's decision, latency and bookkeeping code.
 //!
-//! Events are independent between shots, so traces shard trivially: the
-//! `trace_eval` harness in `artery-bench` fans a configuration panel across
-//! OS threads, one shard per worker, and merges
-//! [`ShotStats`](artery_core::ShotStats) deterministically.
+//! Two storage formats coexist behind one reader. v1 ([`TraceWriter`]) is
+//! the flat frame-per-event stream. v2 ([`TraceWriterV2`]) routes blocks of
+//! events through the `artery-pulse` codec engine (cached codebooks,
+//! zero-alloc scratch paths), stores a per-block history snapshot so every
+//! block is *independently replayable*, and closes with a trailer block
+//! index plus a seekable tail — [`TraceBlocks`] opens a multi-GB trace and
+//! decodes any block without touching the rest. [`TraceReader`] negotiates
+//! the version at open time, so v1 traces keep decoding byte-for-byte.
+//!
+//! Replay parallelism follows from the v2 seeds: history evolution depends
+//! only on the recorded outcome stream, never the replayed configuration,
+//! so seeding a [`Replayer`] from a block (or [`history_at_boundaries`])
+//! snapshot and replaying that block reproduces the sequential whole-trace
+//! outcomes bit for bit. The `trace_eval` harness fans blocks out as
+//! deterministic scheduler chunks on that basis.
+//!
+//! On top of v2 sits SimPoint-style corpus distillation ([`simpoint`]):
+//! slice the recording into fixed-size windows, cluster per-window feature
+//! vectors with a seeded deterministic k-means, and replay only weighted
+//! representative windows — the hour-scale panel sweep becomes seconds
+//! while preserving the leaderboard ordering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,8 +51,14 @@ mod event;
 mod format;
 mod recorder;
 mod replay;
+pub mod simpoint;
+mod v2;
 
 pub use event::{RecordedDecision, TraceEvent, TraceHeader};
-pub use format::{TraceError, TraceReader, TraceWriter, FORMAT_VERSION, MAGIC};
-pub use recorder::TraceRecorder;
-pub use replay::Replayer;
+pub use format::{TraceError, TraceReader, TraceWriter, FORMAT_VERSION, FORMAT_VERSION_V2, MAGIC};
+pub use recorder::{EventSink, TraceRecorder};
+pub use replay::{history_at_boundaries, Replayer};
+pub use v2::{
+    BlockScratch, DecodedBlock, HistoryCount, TraceBlocks, TraceWriterV2, DEFAULT_EVENTS_PER_BLOCK,
+    TRAILER_MAGIC,
+};

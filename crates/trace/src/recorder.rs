@@ -11,6 +11,66 @@ use rand::rngs::StdRng;
 
 use crate::event::TraceEvent;
 use crate::format::{TraceError, TraceWriter};
+use crate::v2::TraceWriterV2;
+
+/// Anything the recorder can stream events into: the v1 [`TraceWriter`],
+/// the blocked v2 [`TraceWriterV2`], or a test double. Both shipped writers
+/// buffer through reusable scratch, so recording stays zero-alloc in steady
+/// state regardless of the format chosen.
+pub trait EventSink {
+    /// What [`Self::finish`] dismantles into (the underlying byte sink for
+    /// the shipped writers).
+    type Output;
+
+    /// Appends one event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] when the underlying sink fails.
+    fn write_event(&mut self, event: &TraceEvent) -> Result<(), TraceError>;
+
+    /// Number of events written so far.
+    fn events_written(&self) -> u64;
+
+    /// Completes the stream and returns the underlying output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] when the final flush fails.
+    fn finish(self) -> Result<Self::Output, TraceError>;
+}
+
+impl<W: Write> EventSink for TraceWriter<W> {
+    type Output = W;
+
+    fn write_event(&mut self, event: &TraceEvent) -> Result<(), TraceError> {
+        TraceWriter::write_event(self, event)
+    }
+
+    fn events_written(&self) -> u64 {
+        TraceWriter::events_written(self)
+    }
+
+    fn finish(self) -> Result<W, TraceError> {
+        TraceWriter::finish(self)
+    }
+}
+
+impl<W: Write> EventSink for TraceWriterV2<W> {
+    type Output = W;
+
+    fn write_event(&mut self, event: &TraceEvent) -> Result<(), TraceError> {
+        TraceWriterV2::write_event(self, event)
+    }
+
+    fn events_written(&self) -> u64 {
+        TraceWriterV2::events_written(self)
+    }
+
+    fn finish(self) -> Result<W, TraceError> {
+        TraceWriterV2::finish(self)
+    }
+}
 
 /// A [`FeedbackHandler`] that records every resolution it forwards to the
 /// wrapped [`ArteryController`].
@@ -48,17 +108,18 @@ use crate::format::{TraceError, TraceWriter};
 /// assert_eq!(events.len(), 3);
 /// ```
 #[derive(Debug)]
-pub struct TraceRecorder<'a, W: Write> {
+pub struct TraceRecorder<'a, S: EventSink> {
     controller: ArteryController<'a>,
-    writer: TraceWriter<W>,
+    writer: S,
     keep_iq: bool,
 }
 
-impl<'a, W: Write> TraceRecorder<'a, W> {
-    /// Wraps `controller`, streaming events to `writer`. IQ trajectories are
+impl<'a, S: EventSink> TraceRecorder<'a, S> {
+    /// Wraps `controller`, streaming events to `writer` — any [`EventSink`]:
+    /// a v1 [`TraceWriter`] or a v2 [`TraceWriterV2`]. IQ trajectories are
     /// recorded by default (see [`Self::without_iq`]).
     #[must_use]
-    pub fn new(controller: ArteryController<'a>, writer: TraceWriter<W>) -> Self {
+    pub fn new(controller: ArteryController<'a>, writer: S) -> Self {
         Self {
             controller,
             writer,
@@ -95,18 +156,18 @@ impl<'a, W: Write> TraceRecorder<'a, W> {
     }
 
     /// Flushes the trace and dismantles the recorder into the controller and
-    /// the writer's sink.
+    /// the writer's output.
     ///
     /// # Errors
     ///
     /// Returns [`TraceError::Io`] when the final flush fails.
-    pub fn finish(self) -> Result<(ArteryController<'a>, W), TraceError> {
+    pub fn finish(self) -> Result<(ArteryController<'a>, S::Output), TraceError> {
         let sink = self.writer.finish()?;
         Ok((self.controller, sink))
     }
 }
 
-impl<W: Write> FeedbackHandler for TraceRecorder<'_, W> {
+impl<S: EventSink> FeedbackHandler for TraceRecorder<'_, S> {
     fn resolve(&mut self, fb: &Feedback, reported: bool, rng: &mut StdRng) -> Resolution {
         let (resolution, trace) = self.controller.resolve_traced(fb, reported, rng);
         let event = TraceEvent::from_resolve(trace, self.keep_iq);
@@ -171,6 +232,49 @@ mod tests {
             assert!(!ev.states.is_empty());
             assert_eq!(ev.states.len(), ev.iq.len());
         }
+    }
+
+    #[test]
+    fn v2_recording_decodes_identically_to_v1() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = calibration(&config);
+        let circuit = artery_workloads::qrw(2);
+        let mut exec = Executor::new(NoiseModel::noiseless());
+        let header = TraceHeader::new(&config, "unit/v2-rec").with_shots(15);
+
+        let mut v1 = TraceRecorder::new(
+            ArteryController::new(&circuit, &config, &cal),
+            TraceWriter::new(Vec::new(), &header).unwrap(),
+        );
+        let mut rng = rng_for("trace/rec-v2");
+        for _ in 0..15 {
+            let _ = exec.run(&circuit, &mut v1, &mut rng);
+        }
+        let (_, v1_bytes) = v1.finish().unwrap();
+
+        let mut v2 = TraceRecorder::new(
+            ArteryController::new(&circuit, &config, &cal),
+            crate::TraceWriterV2::new(Vec::new(), &header)
+                .unwrap()
+                .with_events_per_block(8),
+        );
+        let mut rng = rng_for("trace/rec-v2");
+        for _ in 0..15 {
+            let _ = exec.run(&circuit, &mut v2, &mut rng);
+        }
+        let (_, v2_bytes) = v2.finish().unwrap();
+
+        let v1_events = TraceReader::new(v1_bytes.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert!(!v1_events.is_empty());
+        let v2_reader = TraceReader::new(v2_bytes.as_slice()).unwrap();
+        assert_eq!(v2_reader.header().shots, 15);
+        assert_eq!(v2_reader.read_all().unwrap(), v1_events);
     }
 
     #[test]

@@ -26,6 +26,45 @@ use artery_core::{
 use artery_hw::ControllerTiming;
 
 use crate::event::TraceEvent;
+use crate::v2::HistoryCount;
+
+/// History counters at each of `starts` (ascending event indices), computed
+/// by scanning the recorded `(site, reported)` stream once.
+///
+/// History evolution is configuration-independent, so seeding a fresh
+/// [`Replayer`] (or any other replayer) with the snapshot for index `s` and
+/// replaying `events[s..]` reproduces a sequential whole-stream replay's
+/// outcomes from `s` onward, bit for bit. This is the in-memory analog of
+/// the per-block seeds trace v2 stores on disk, used to cut replay ranges
+/// at arbitrary boundaries (warm-up splits, SimPoint windows).
+///
+/// # Panics
+///
+/// Panics when `starts` is not ascending or indexes past `events.len()`.
+#[must_use]
+pub fn history_at_boundaries(events: &[TraceEvent], starts: &[usize]) -> Vec<Vec<HistoryCount>> {
+    let mut tracker: std::collections::BTreeMap<usize, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut snapshots = Vec::with_capacity(starts.len());
+    let mut next = 0usize;
+    for (b, &start) in starts.iter().enumerate() {
+        assert!(start >= next, "boundary {b} is not ascending");
+        assert!(start <= events.len(), "boundary {b} is out of range");
+        for ev in &events[next..start] {
+            let entry = tracker.entry(ev.site).or_insert((0, 0));
+            entry.0 += u64::from(ev.reported);
+            entry.1 += 1;
+        }
+        next = start;
+        snapshots.push(
+            tracker
+                .iter()
+                .map(|(&site, &(ones, total))| HistoryCount { site, ones, total })
+                .collect(),
+        );
+    }
+    snapshots
+}
 
 /// Re-drives one predictor configuration over recorded trace events.
 ///
@@ -109,6 +148,16 @@ impl<'a> Replayer<'a> {
     /// [`ArteryController::seed_history`](artery_core::ArteryController::seed_history).
     pub fn seed_history(&mut self, site: FeedbackSite, p1: f64, weight: u64) {
         self.history.seed(site, p1, weight);
+    }
+
+    /// Installs exact history counters — a trace-v2 block seed or a
+    /// [`history_at_boundaries`] snapshot — so a replay can resume at a
+    /// mid-stream boundary with bit-identical priors.
+    pub fn seed_history_counts(&mut self, counts: &[HistoryCount]) {
+        for c in counts {
+            self.history
+                .set_counts(FeedbackSite(c.site), c.ones, c.total);
+        }
     }
 
     /// Clears the aggregate statistics while keeping the learned history —
@@ -272,6 +321,47 @@ mod tests {
         // History survives the reset, as on the live controller.
         tuned.replay_all(&events);
         assert_eq!(tuned.stats().resolved, events.len() as u64);
+    }
+
+    #[test]
+    fn boundary_seeded_replay_matches_the_sequential_whole() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("trace/replay-cal"));
+        let events = record_qrw(&config, &cal, 30);
+
+        let mut whole = Replayer::new(&cal, &config);
+        let oracle: Vec<_> = events.iter().map(|ev| whole.replay_event(ev)).collect();
+
+        // Cut at arbitrary (non-shot-aligned) boundaries; each seeded
+        // resume must reproduce the sequential outcomes bit for bit, for a
+        // different replayed configuration too.
+        let starts = vec![0usize, 7, 13, events.len() - 3];
+        let seeds = history_at_boundaries(&events, &starts);
+        for (start, seed) in starts.iter().zip(&seeds) {
+            let mut resumed = Replayer::new(&cal, &config);
+            resumed.seed_history_counts(seed);
+            for (j, ev) in events[*start..].iter().enumerate() {
+                assert_eq!(resumed.replay_event(ev), oracle[start + j]);
+            }
+        }
+
+        let strict = ArteryConfig {
+            theta: 0.999,
+            ..config
+        };
+        let mut whole_strict = Replayer::new(&cal, &strict);
+        let oracle_strict: Vec<_> = events
+            .iter()
+            .map(|ev| whole_strict.replay_event(ev))
+            .collect();
+        let mut resumed = Replayer::new(&cal, &strict);
+        resumed.seed_history_counts(&seeds[2]);
+        for (j, ev) in events[13..].iter().enumerate() {
+            assert_eq!(resumed.replay_event(ev), oracle_strict[13 + j]);
+        }
     }
 
     #[test]

@@ -1,0 +1,580 @@
+//! SimPoint-style corpus distillation.
+//!
+//! Replaying a nine-config panel and a predictor zoo over millions of
+//! recorded shots repeats a lot of near-identical work: shot behavior at a
+//! feedback site is phase-like, so most windows of the corpus look like a
+//! few recurring patterns. Following the SimPoint methodology (pick
+//! representative simulation slices by clustering per-slice feature
+//! vectors, then weight each representative by its cluster's population),
+//! this module:
+//!
+//! 1. slices a recording into fixed-size event [`windows`],
+//! 2. extracts a per-window branch-outcome/decision/IQ/latency
+//!    [`features`] vector (configuration-independent: only recorded
+//!    quantities enter),
+//! 3. clusters the z-score-normalized vectors with a seeded, fully
+//!    deterministic [`kmeans`] (farthest-first init, lowest-index
+//!    tie-breaks, sequential Lloyd iterations — identical output for any
+//!    machine and any `ARTERY_THREADS`), and
+//! 4. emits one weighted [`Representative`] window per cluster.
+//!
+//! Replaying only the representatives and scaling each window's statistics
+//! by its weight ([`WeightedStats`]) estimates the full-corpus aggregates
+//! at a fraction of the replay cost; `trace_eval --distill` asserts the
+//! distilled leaderboards *rank identically* to the full-corpus run. The
+//! trace-v2 history seeds ([`history_at_boundaries`](crate::history_at_boundaries))
+//! make window replays exact: a representative's per-event outcomes are bit
+//! for bit those of the sequential whole-corpus replay.
+
+use artery_core::ShotStats;
+
+use crate::event::TraceEvent;
+
+/// Number of per-window features.
+pub const FEATURE_DIM: usize = 8;
+
+/// Hard floor on Lloyd iterations before giving up on convergence.
+const MAX_ITERS: usize = 128;
+
+/// One contiguous event window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First event index.
+    pub start: usize,
+    /// One past the last event index.
+    pub end: usize,
+}
+
+impl Window {
+    /// Events in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// One representative window and the population it stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Representative {
+    /// Index into the distillation's window list.
+    pub window: usize,
+    /// Windows in the cluster this representative stands for (its own
+    /// window included).
+    pub weight: u64,
+}
+
+/// The outcome of distilling a recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distillation {
+    /// The fixed window size used (the trailing window may be larger: it
+    /// absorbs the remainder).
+    pub window_events: usize,
+    /// All windows, in event order.
+    pub windows: Vec<Window>,
+    /// Cluster assignment per window.
+    pub assignments: Vec<usize>,
+    /// Representatives, sorted by window index.
+    pub representatives: Vec<Representative>,
+    /// Clusters actually used (≤ the requested k).
+    pub k: usize,
+    /// Lloyd iterations until convergence.
+    pub iterations: usize,
+}
+
+impl Distillation {
+    /// Fraction of corpus events a representative-only replay touches.
+    #[must_use]
+    pub fn replayed_fraction(&self) -> f64 {
+        let total: usize = self.windows.iter().map(Window::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let replayed: usize = self
+            .representatives
+            .iter()
+            .map(|r| self.windows[r.window].len())
+            .sum();
+        replayed as f64 / total as f64
+    }
+}
+
+/// Slices `total_events` into windows of `window_events`; the last window
+/// absorbs any remainder so no event is dropped.
+///
+/// # Panics
+///
+/// Panics when `window_events` is zero.
+#[must_use]
+pub fn windows(total_events: usize, window_events: usize) -> Vec<Window> {
+    assert!(window_events > 0, "windows must hold at least one event");
+    if total_events == 0 {
+        return Vec::new();
+    }
+    let count = (total_events / window_events).max(1);
+    let mut out = Vec::with_capacity(count);
+    for w in 0..count {
+        let start = w * window_events;
+        let end = if w + 1 == count {
+            total_events
+        } else {
+            start + window_events
+        };
+        out.push(Window { start, end });
+    }
+    out
+}
+
+/// Per-window feature vectors: reported-1 rate, live commit rate, live
+/// mispredict rate, mean live decision window, mean live latency, mean
+/// state-stream length, state-1 density, mean IQ magnitude. Every input is
+/// a *recorded* quantity, so the features — and everything clustered from
+/// them — are independent of whatever configuration later replays the
+/// trace.
+#[must_use]
+pub fn features(events: &[TraceEvent], windows: &[Window]) -> Vec<[f64; FEATURE_DIM]> {
+    windows
+        .iter()
+        .map(|w| {
+            let evs = &events[w.start..w.end];
+            let n = evs.len().max(1) as f64;
+            let mut reported = 0f64;
+            let mut committed = 0f64;
+            let mut mispredicted = 0f64;
+            let mut window_sum = 0f64;
+            let mut latency_sum = 0f64;
+            let mut state_len = 0f64;
+            let mut state_ones = 0f64;
+            let mut iq_mag = 0f64;
+            let mut iq_points = 0f64;
+            for ev in evs {
+                reported += f64::from(ev.reported);
+                if let Some(d) = ev.decision {
+                    committed += 1.0;
+                    mispredicted += f64::from(d.branch != ev.reported);
+                    window_sum += d.window as f64;
+                }
+                latency_sum += ev.latency_ns;
+                state_len += ev.states.len() as f64;
+                state_ones += ev.states.iter().filter(|&&s| s).count() as f64;
+                for &(i, q) in &ev.iq {
+                    iq_mag += f64::from(i).hypot(f64::from(q));
+                    iq_points += 1.0;
+                }
+            }
+            [
+                reported / n,
+                committed / n,
+                if committed > 0.0 {
+                    mispredicted / committed
+                } else {
+                    0.0
+                },
+                if committed > 0.0 {
+                    window_sum / committed
+                } else {
+                    0.0
+                },
+                latency_sum / n,
+                state_len / n,
+                if state_len > 0.0 {
+                    state_ones / state_len
+                } else {
+                    0.0
+                },
+                if iq_points > 0.0 {
+                    iq_mag / iq_points
+                } else {
+                    0.0
+                },
+            ]
+        })
+        .collect()
+}
+
+/// Z-score normalizes each feature dimension in place (constant dimensions
+/// collapse to zero), so no unit dominates the distance metric.
+fn normalize(features: &mut [[f64; FEATURE_DIM]]) {
+    let n = features.len() as f64;
+    if features.is_empty() {
+        return;
+    }
+    for d in 0..FEATURE_DIM {
+        let mean = features.iter().map(|f| f[d]).sum::<f64>() / n;
+        let var = features.iter().map(|f| (f[d] - mean).powi(2)).sum::<f64>() / n;
+        let sd = var.sqrt();
+        for f in features.iter_mut() {
+            f[d] = if sd > 0.0 { (f[d] - mean) / sd } else { 0.0 };
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn dist2(a: &[f64; FEATURE_DIM], b: &[f64; FEATURE_DIM]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+/// Seeded deterministic k-means: the first centroid is drawn from
+/// `seed` via SplitMix64, the rest by farthest-first traversal (maximum
+/// distance to the nearest chosen centroid, ties to the lowest index), then
+/// sequential Lloyd iterations with lowest-index tie-breaking. No
+/// parallelism, no ambient randomness: the same inputs produce the same
+/// clustering on every machine and thread count.
+///
+/// Returns `(assignments, iterations)`. `k` is clamped to the number of
+/// points.
+#[must_use]
+pub fn kmeans(features: &[[f64; FEATURE_DIM]], k: usize, seed: u64) -> (Vec<usize>, usize) {
+    let n = features.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let k = k.clamp(1, n);
+
+    // Farthest-first init from a seeded starting point.
+    let mut state = seed;
+    let first = (splitmix64(&mut state) % n as u64) as usize;
+    let mut centroids: Vec<[f64; FEATURE_DIM]> = vec![features[first]];
+    let mut nearest: Vec<f64> = features
+        .iter()
+        .map(|f| dist2(f, &features[first]))
+        .collect();
+    while centroids.len() < k {
+        let mut best = 0usize;
+        let mut best_d = -1.0f64;
+        for (i, &d) in nearest.iter().enumerate() {
+            if d > best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        centroids.push(features[best]);
+        for (i, f) in features.iter().enumerate() {
+            let d = dist2(f, centroids.last().expect("just pushed"));
+            if d < nearest[i] {
+                nearest[i] = d;
+            }
+        }
+    }
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0usize;
+    for _ in 0..MAX_ITERS {
+        iterations += 1;
+        // Assign: nearest centroid, ties to the lowest centroid index.
+        let mut changed = false;
+        for (i, f) in features.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = dist2(f, &centroids[0]);
+            for (c, centroid) in centroids.iter().enumerate().skip(1) {
+                let d = dist2(f, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+        // Update: per-cluster means; an emptied cluster keeps its centroid.
+        let mut sums = vec![[0f64; FEATURE_DIM]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, f) in features.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for d in 0..FEATURE_DIM {
+                sums[c][d] += f[d];
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for d in 0..FEATURE_DIM {
+                    centroid[d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+    }
+    (assignments, iterations)
+}
+
+/// Distills `events` into weighted representative windows: slice, extract
+/// features, cluster with [`kmeans`] under `seed`, then pick each cluster's
+/// member closest to its mean (ties to the lowest window index) weighted by
+/// the cluster population.
+///
+/// # Panics
+///
+/// Panics when `window_events` or `k` is zero.
+#[must_use]
+pub fn distill(events: &[TraceEvent], window_events: usize, k: usize, seed: u64) -> Distillation {
+    assert!(k > 0, "distillation needs at least one cluster");
+    let windows = windows(events.len(), window_events);
+    let mut feats = features(events, &windows);
+    normalize(&mut feats);
+    let (assignments, iterations) = kmeans(&feats, k, seed);
+    let clusters = assignments.iter().copied().max().map_or(0, |m| m + 1);
+
+    // Cluster means over the normalized features.
+    let mut sums = vec![[0f64; FEATURE_DIM]; clusters];
+    let mut counts = vec![0u64; clusters];
+    for (i, f) in feats.iter().enumerate() {
+        let c = assignments[i];
+        counts[c] += 1;
+        for d in 0..FEATURE_DIM {
+            sums[c][d] += f[d];
+        }
+    }
+    let mut representatives = Vec::new();
+    for c in 0..clusters {
+        if counts[c] == 0 {
+            continue;
+        }
+        let mut mean = [0f64; FEATURE_DIM];
+        for d in 0..FEATURE_DIM {
+            mean[d] = sums[c][d] / counts[c] as f64;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, f) in feats.iter().enumerate() {
+            if assignments[i] != c {
+                continue;
+            }
+            let d = dist2(f, &mean);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        let (window, _) = best.expect("non-empty cluster");
+        representatives.push(Representative {
+            window,
+            weight: counts[c],
+        });
+    }
+    representatives.sort_unstable_by_key(|r| r.window);
+    let k_used = representatives.len();
+    Distillation {
+        window_events,
+        windows,
+        assignments,
+        representatives,
+        k: k_used,
+        iterations,
+    }
+}
+
+/// Weighted aggregation of per-window replay statistics: each
+/// representative window's [`ShotStats`] enter scaled by the population the
+/// window stands for, estimating the full-corpus aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WeightedStats {
+    resolved: f64,
+    committed: f64,
+    correct: f64,
+    latency_sum: f64,
+    window_sum: f64,
+}
+
+impl WeightedStats {
+    /// An empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one window's statistics in at `weight` copies.
+    pub fn add(&mut self, weight: u64, stats: &ShotStats) {
+        let w = weight as f64;
+        self.resolved += w * stats.resolved as f64;
+        self.committed += w * stats.committed as f64;
+        self.correct += w * stats.correct as f64;
+        self.latency_sum += w * stats.latency_ns.mean() * stats.latency_ns.len() as f64;
+        self.window_sum += w * stats.decision_window.mean() * stats.decision_window.len() as f64;
+    }
+
+    /// Weighted resolved-feedback count.
+    #[must_use]
+    pub fn resolved(&self) -> f64 {
+        self.resolved
+    }
+
+    /// Weighted commit rate.
+    #[must_use]
+    pub fn commit_rate(&self) -> f64 {
+        if self.resolved > 0.0 {
+            self.committed / self.resolved
+        } else {
+            0.0
+        }
+    }
+
+    /// Weighted prediction accuracy over committed feedbacks.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.committed > 0.0 {
+            self.correct / self.committed
+        } else {
+            1.0
+        }
+    }
+
+    /// Weighted mean feedback latency, ns.
+    #[must_use]
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.resolved > 0.0 {
+            self.latency_sum / self.resolved
+        } else {
+            0.0
+        }
+    }
+
+    /// Weighted mean committed decision window.
+    #[must_use]
+    pub fn mean_window(&self) -> f64 {
+        if self.committed > 0.0 {
+            self.window_sum / self.committed
+        } else {
+            0.0
+        }
+    }
+
+    /// Weighted mispredictions per 1 000 resolved feedbacks.
+    #[must_use]
+    pub fn mispredicts_per_1k(&self) -> f64 {
+        if self.resolved > 0.0 {
+            1000.0 * (self.committed - self.correct) / self.resolved
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artery_circuit::analysis::PreExecCase;
+    use artery_circuit::FeedbackSite;
+    use artery_core::SiteOutcome;
+
+    fn synthetic_events(n: usize) -> Vec<TraceEvent> {
+        (0..n)
+            .map(|i| {
+                // Two alternating phases so clustering has real structure.
+                let phase = (i / 16) % 2;
+                TraceEvent {
+                    site: i % 2,
+                    case: PreExecCase::Independent,
+                    reported: (i + phase) % 3 == 0,
+                    states: vec![phase == 0; 4 + phase],
+                    iq: vec![(i as f32 % 7.0, phase as f32)],
+                    p_history: 0.5,
+                    decision: (phase == 0).then_some(crate::RecordedDecision {
+                        window: 2 + (i % 2),
+                        branch: i % 3 == 0,
+                    }),
+                    latency_ns: if phase == 0 { 400.0 } else { 900.0 },
+                    branch0_ns: 0.0,
+                    branch1_ns: 30.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn windows_cover_every_event_exactly_once() {
+        let w = windows(23, 5);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0], Window { start: 0, end: 5 });
+        assert_eq!(w[3], Window { start: 15, end: 23 }); // absorbs remainder
+        assert!(windows(0, 5).is_empty());
+        assert_eq!(windows(3, 5), vec![Window { start: 0, end: 3 }]);
+    }
+
+    #[test]
+    fn distillation_is_deterministic_and_weights_cover_all_windows() {
+        let events = synthetic_events(160);
+        let a = distill(&events, 8, 4, 42);
+        let b = distill(&events, 8, 4, 42);
+        assert_eq!(a, b, "same seed must reproduce the distillation exactly");
+        assert_eq!(a.windows.len(), 20);
+        assert!(a.k <= 4 && a.k >= 1);
+        assert_eq!(a.representatives.len(), a.k);
+        let total_weight: u64 = a.representatives.iter().map(|r| r.weight).sum();
+        assert_eq!(total_weight, a.windows.len() as u64);
+        assert!(a.replayed_fraction() < 1.0);
+        assert!(a.replayed_fraction() > 0.0);
+        // Representatives are sorted and belong to distinct clusters.
+        for pair in a.representatives.windows(2) {
+            assert!(pair[0].window < pair[1].window);
+        }
+    }
+
+    #[test]
+    fn two_phase_corpus_clusters_by_phase() {
+        let events = synthetic_events(160);
+        let d = distill(&events, 16, 2, 7);
+        // Windows alternate phase A / phase B; the two clusters must
+        // separate them perfectly.
+        let first = d.assignments[0];
+        for (w, &c) in d.assignments.iter().enumerate() {
+            if w % 2 == 0 {
+                assert_eq!(c, first, "window {w}");
+            } else {
+                assert_ne!(c, first, "window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_stats_with_unit_weights_match_plain_merging() {
+        let mut plain = ShotStats::default();
+        let mut weighted = WeightedStats::new();
+        let mut per_window = ShotStats::default();
+        for i in 0..40u64 {
+            let outcome = SiteOutcome {
+                site: FeedbackSite(0),
+                window: (i % 3 == 0).then_some(2),
+                predicted: (i % 3 == 0).then_some(i % 6 == 0),
+                reported: i % 2 == 0,
+                latency_ns: 300.0 + i as f64,
+            };
+            plain.record(&outcome);
+            per_window.record(&outcome);
+            if i % 10 == 9 {
+                weighted.add(1, &per_window);
+                per_window = ShotStats::default();
+            }
+        }
+        assert_eq!(weighted.resolved(), plain.resolved as f64);
+        assert!((weighted.commit_rate() - plain.commit_rate()).abs() < 1e-12);
+        assert!((weighted.accuracy() - plain.accuracy()).abs() < 1e-12);
+        assert!((weighted.mean_latency_ns() - plain.latency_ns.mean()).abs() < 1e-9);
+        assert!((weighted.mean_window() - plain.decision_window.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kmeans_clamps_k_and_handles_tiny_inputs() {
+        let feats = vec![[0.0; FEATURE_DIM], [1.0; FEATURE_DIM]];
+        let (assign, _) = kmeans(&feats, 10, 3);
+        assert_eq!(assign.len(), 2);
+        assert_ne!(assign[0], assign[1]);
+        let (empty, iters) = kmeans(&[], 3, 1);
+        assert!(empty.is_empty());
+        assert_eq!(iters, 0);
+    }
+}

@@ -1,0 +1,927 @@
+//! Trace format v2: codec-compressed, independently replayable blocks.
+//!
+//! Layout:
+//!
+//! ```text
+//! MAGIC (8 bytes: "ARTERYTR")
+//! format version (u16 LE, = 2)
+//! header segment:  varint byte length + v1 header body + varint shot count
+//! block segments:  varint byte length + block body, repeated
+//! trailer segment: varint byte length + trailer body (the block index)
+//! tail: trailer-segment file offset (u64 LE) + TRAILER MAGIC ("ARTERYIX")
+//! ```
+//!
+//! A block body is:
+//!
+//! ```text
+//! kind byte (0)
+//! varint event count
+//! varint uncompressed payload length
+//! FNV-1a checksum of the uncompressed payload (u64 LE)
+//! history seed: varint site count, then per site
+//!               varint site / varint ones / varint total
+//! payload: Huffman stream (artery-pulse codec engine) of the
+//!          concatenated v1 event frames, bytes widened to i16 symbols
+//! ```
+//!
+//! The trailer body is `kind byte (1)`, varint total event count, varint
+//! block count, then per block a varint offset delta (absolute file offset
+//! of the block segment, delta-coded) and a varint event count. The tail
+//! lets a reader with random access find the trailer by seeking 16 bytes
+//! from the end — that plus the index makes a multi-GB trace seekable.
+//!
+//! **Blocks are independently replayable, not merely decodable.** History
+//! evolution depends only on the recorded `(site, reported)` stream — never
+//! on the replayed configuration — so the seed stored in each block header
+//! is exactly the [`HistoryTracker`](artery_core::predictor::HistoryTracker)
+//! state any replay of any configuration reaches at the block boundary.
+//! Seeding a [`Replayer`](crate::Replayer) from it and replaying one block
+//! therefore reproduces, bit for bit, the per-event outcomes a sequential
+//! whole-trace replay computes — which is what lets `trace_eval` fan blocks
+//! out as scheduler chunks and still stay byte-identical for any
+//! `ARTERY_THREADS`.
+//!
+//! All compression goes through the PR 5 codec engine:
+//! [`CodebookCache::huffman_encode_into`] with content-keyed codebooks, and
+//! the zero-alloc `encode_into`/`decode_into` scratch paths.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+use artery_pulse::codec::{
+    bytes_to_symbols, codebook_key, read_varint, symbols_to_bytes, write_varint, CodebookCache,
+    CodecScratch, Huffman,
+};
+
+use crate::event::{TraceEvent, TraceHeader};
+use crate::format::{
+    decode_event, decode_header_body_v2, encode_event_into, encode_header_body_v2,
+    read_frame_capped, varint_len, TraceError, FORMAT_VERSION_V2, MAGIC,
+};
+
+/// Magic closing the tail: the last eight bytes of every v2 trace.
+pub const TRAILER_MAGIC: [u8; 8] = *b"ARTERYIX";
+
+/// Default number of events per block.
+pub const DEFAULT_EVENTS_PER_BLOCK: usize = 256;
+
+const SEGMENT_BLOCK: u8 = 0;
+const SEGMENT_TRAILER: u8 = 1;
+
+/// Segment cap: a block bundles hundreds of events, so it gets a larger
+/// allowance than v1's single-event frames (256 MiB).
+const MAX_SEGMENT_BYTES: u64 = 1 << 28;
+
+/// Cap on a block's uncompressed payload, guarding decode allocations.
+const MAX_BLOCK_RAW_BYTES: u64 = 1 << 28;
+
+/// Cap on index/seed entry counts, guarding against corrupt headers.
+const MAX_ENTRIES: u64 = 1 << 24;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// One site's exact history counters — a block-boundary snapshot entry.
+///
+/// Restoring every entry via
+/// [`Replayer::seed_history_counts`](crate::Replayer::seed_history_counts)
+/// reproduces the priors a sequential replay sees at that boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryCount {
+    /// Feedback site index.
+    pub site: usize,
+    /// Observed 1-outcomes at the site so far.
+    pub ones: u64,
+    /// Total observed outcomes at the site so far.
+    pub total: u64,
+}
+
+/// A decoded block: its events plus the history snapshot taken at its
+/// first event.
+#[derive(Debug, Clone)]
+pub struct DecodedBlock {
+    /// The block's events, in recording order.
+    pub events: Vec<TraceEvent>,
+    /// History counters at the block's first event, sorted by site.
+    pub history: Vec<HistoryCount>,
+    /// Uncompressed payload size in bytes (decode-throughput accounting).
+    pub raw_bytes: usize,
+}
+
+/// Reusable decode workspace threaded through block decodes, mirroring the
+/// codec engine's scratch idiom.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    codec: CodecScratch,
+    symbols: Vec<i16>,
+    raw: Vec<u8>,
+}
+
+impl BlockScratch {
+    /// An empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+#[derive(Debug)]
+struct IndexEntry {
+    /// Absolute file offset of the block segment.
+    offset: u64,
+    /// Events in the block.
+    events: u64,
+}
+
+/// Streaming v2 trace writer: buffers events into blocks, compresses each
+/// block through the codec engine, and closes the stream with the block
+/// index and tail.
+///
+/// Event bodies, block payloads, history seeds and segment frames are all
+/// built in reusable scratch buffers; once they reach their high-water
+/// sizes (and the [`CodebookCache`] has seen the block's codebook), the
+/// steady-state write path performs no per-event heap allocation — pinned
+/// by the `trace_zero_alloc` counting-allocator test.
+#[derive(Debug)]
+pub struct TraceWriterV2<W: Write> {
+    sink: W,
+    /// Bytes written so far (absolute file offset of the next segment).
+    offset: u64,
+    events: u64,
+    events_per_block: usize,
+    /// Events buffered in the currently open block.
+    block_events: u64,
+    /// Concatenated v1 event frames of the open block.
+    block_raw: Vec<u8>,
+    /// Serialized history snapshot taken when the open block started.
+    seed_buf: Vec<u8>,
+    /// Per-event body scratch.
+    body: Vec<u8>,
+    /// Per-event state-run scratch.
+    runs: Vec<u64>,
+    /// Frame-length varint scratch.
+    len_buf: Vec<u8>,
+    /// Assembled segment body scratch.
+    seg: Vec<u8>,
+    /// Compressed payload scratch.
+    enc: Vec<u8>,
+    /// Byte → i16 symbol scratch.
+    symbols: Vec<i16>,
+    scratch: CodecScratch,
+    cache: CodebookCache,
+    /// Running history counters (ascending site order for deterministic
+    /// seed serialization).
+    history: BTreeMap<usize, (u64, u64)>,
+    index: Vec<IndexEntry>,
+}
+
+impl<W: Write> TraceWriterV2<W> {
+    /// Starts a v2 trace on `sink`, writing magic, version and `header`
+    /// (including its advisory shot count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the sink fails.
+    pub fn new(mut sink: W, header: &TraceHeader) -> Result<Self, TraceError> {
+        sink.write_all(&MAGIC)?;
+        sink.write_all(&FORMAT_VERSION_V2.to_le_bytes())?;
+        let header_body = encode_header_body_v2(header);
+        let mut len_buf = Vec::with_capacity(artery_pulse::codec::MAX_VARINT_LEN);
+        write_varint(&mut len_buf, header_body.len() as u64);
+        sink.write_all(&len_buf)?;
+        sink.write_all(&header_body)?;
+        let offset = 10 + len_buf.len() as u64 + header_body.len() as u64;
+        Ok(Self {
+            sink,
+            offset,
+            events: 0,
+            events_per_block: DEFAULT_EVENTS_PER_BLOCK,
+            block_events: 0,
+            block_raw: Vec::new(),
+            seed_buf: Vec::new(),
+            body: Vec::new(),
+            runs: Vec::new(),
+            len_buf,
+            seg: Vec::new(),
+            enc: Vec::new(),
+            symbols: Vec::new(),
+            scratch: CodecScratch::new(),
+            cache: CodebookCache::new(),
+            history: BTreeMap::new(),
+            index: Vec::new(),
+        })
+    }
+
+    /// Sets the block size. Must be called before the first event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `events_per_block` is zero or events were written.
+    #[must_use]
+    pub fn with_events_per_block(mut self, events_per_block: usize) -> Self {
+        assert!(events_per_block > 0, "a block must hold at least one event");
+        assert_eq!(self.events, 0, "block size is fixed after the first event");
+        self.events_per_block = events_per_block;
+        self
+    }
+
+    /// Appends one event, flushing a block segment when it fills.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the sink fails.
+    pub fn write_event(&mut self, event: &TraceEvent) -> Result<(), TraceError> {
+        if self.block_events == 0 {
+            self.snapshot_seed();
+        }
+        encode_event_into(event, &mut self.body, &mut self.runs);
+        self.len_buf.clear();
+        write_varint(&mut self.len_buf, self.body.len() as u64);
+        self.block_raw.extend_from_slice(&self.len_buf);
+        self.block_raw.extend_from_slice(&self.body);
+        let entry = self.history.entry(event.site).or_insert((0, 0));
+        entry.0 += u64::from(event.reported);
+        entry.1 += 1;
+        self.block_events += 1;
+        self.events += 1;
+        if self.block_events as usize >= self.events_per_block {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Number of events written so far.
+    #[must_use]
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes the open block (if any), writes the trailer index and the
+    /// tail, then returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the sink fails.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        if self.block_events > 0 {
+            self.flush_block()?;
+        }
+        let trailer_offset = self.offset;
+        self.seg.clear();
+        self.seg.push(SEGMENT_TRAILER);
+        write_varint(&mut self.seg, self.events);
+        write_varint(&mut self.seg, self.index.len() as u64);
+        let mut prev = 0u64;
+        for entry in &self.index {
+            write_varint(&mut self.seg, entry.offset - prev);
+            prev = entry.offset;
+            write_varint(&mut self.seg, entry.events);
+        }
+        self.write_segment()?;
+        self.sink.write_all(&trailer_offset.to_le_bytes())?;
+        self.sink.write_all(&TRAILER_MAGIC)?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Serializes the running history counters into `seed_buf` — the state
+    /// every replay reaches at the block boundary about to open.
+    fn snapshot_seed(&mut self) {
+        self.seed_buf.clear();
+        write_varint(&mut self.seed_buf, self.history.len() as u64);
+        for (&site, &(ones, total)) in &self.history {
+            write_varint(&mut self.seed_buf, site as u64);
+            write_varint(&mut self.seed_buf, ones);
+            write_varint(&mut self.seed_buf, total);
+        }
+    }
+
+    fn flush_block(&mut self) -> Result<(), TraceError> {
+        bytes_to_symbols(&self.block_raw, &mut self.symbols);
+        let key = codebook_key(&self.symbols);
+        self.cache
+            .huffman_encode_into(key, &self.symbols, &mut self.scratch, &mut self.enc);
+        self.seg.clear();
+        self.seg.push(SEGMENT_BLOCK);
+        write_varint(&mut self.seg, self.block_events);
+        write_varint(&mut self.seg, self.block_raw.len() as u64);
+        self.seg
+            .extend_from_slice(&fnv1a64(&self.block_raw).to_le_bytes());
+        self.seg.extend_from_slice(&self.seed_buf);
+        self.seg.extend_from_slice(&self.enc);
+        self.index.push(IndexEntry {
+            offset: self.offset,
+            events: self.block_events,
+        });
+        self.write_segment()?;
+        self.block_raw.clear();
+        self.block_events = 0;
+        Ok(())
+    }
+
+    fn write_segment(&mut self) -> Result<(), TraceError> {
+        self.len_buf.clear();
+        write_varint(&mut self.len_buf, self.seg.len() as u64);
+        self.sink.write_all(&self.len_buf)?;
+        self.sink.write_all(&self.seg)?;
+        self.offset += self.len_buf.len() as u64 + self.seg.len() as u64;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block decoding (shared by the streaming reader and the seekable view).
+
+fn decode_block_body(body: &[u8], scratch: &mut BlockScratch) -> Result<DecodedBlock, TraceError> {
+    let mut pos = 0usize;
+    let kind = *body
+        .get(pos)
+        .ok_or_else(|| TraceError::corrupt("empty segment"))?;
+    pos += 1;
+    if kind != SEGMENT_BLOCK {
+        return Err(TraceError::corrupt(format!(
+            "expected a block segment, found kind {kind}"
+        )));
+    }
+    let event_count = read_varint(body, &mut pos)?;
+    if event_count > MAX_ENTRIES {
+        return Err(TraceError::corrupt("block event count exceeds the cap"));
+    }
+    let raw_len = read_varint(body, &mut pos)?;
+    if raw_len > MAX_BLOCK_RAW_BYTES {
+        return Err(TraceError::corrupt("block payload length exceeds the cap"));
+    }
+    let checksum_bytes = body
+        .get(pos..pos + 8)
+        .ok_or_else(|| TraceError::corrupt("block checksum truncated"))?;
+    let checksum = u64::from_le_bytes(checksum_bytes.try_into().expect("length checked"));
+    pos += 8;
+
+    let seed_count = read_varint(body, &mut pos)?;
+    if seed_count > MAX_ENTRIES {
+        return Err(TraceError::corrupt("block seed count exceeds the cap"));
+    }
+    let mut history = Vec::with_capacity(seed_count as usize);
+    let mut prev_site: Option<usize> = None;
+    for _ in 0..seed_count {
+        let site = usize::try_from(read_varint(body, &mut pos)?)
+            .map_err(|_| TraceError::corrupt("seed site exceeds usize"))?;
+        let ones = read_varint(body, &mut pos)?;
+        let total = read_varint(body, &mut pos)?;
+        if ones > total {
+            return Err(TraceError::corrupt("seed ones exceed total"));
+        }
+        if prev_site.is_some_and(|p| p >= site) {
+            return Err(TraceError::corrupt("seed sites are not strictly ascending"));
+        }
+        prev_site = Some(site);
+        history.push(HistoryCount { site, ones, total });
+    }
+
+    Huffman
+        .decode_into(&body[pos..], &mut scratch.codec, &mut scratch.symbols)
+        .map_err(|e| TraceError::corrupt(format!("block payload: {e}")))?;
+    symbols_to_bytes(&scratch.symbols, &mut scratch.raw)
+        .map_err(|e| TraceError::corrupt(format!("block payload: {e}")))?;
+    if scratch.raw.len() as u64 != raw_len {
+        return Err(TraceError::corrupt(format!(
+            "block payload decompressed to {} bytes, header declares {raw_len}",
+            scratch.raw.len()
+        )));
+    }
+    if fnv1a64(&scratch.raw) != checksum {
+        return Err(TraceError::corrupt("block checksum mismatch"));
+    }
+
+    let mut events = Vec::with_capacity(event_count as usize);
+    let mut raw_pos = 0usize;
+    for _ in 0..event_count {
+        let frame_len = read_varint(&scratch.raw, &mut raw_pos)?;
+        let frame = scratch
+            .raw
+            .get(raw_pos..raw_pos + frame_len as usize)
+            .ok_or_else(|| TraceError::corrupt("block event frame truncated"))?;
+        raw_pos += frame_len as usize;
+        events.push(decode_event(frame)?);
+    }
+    if raw_pos != scratch.raw.len() {
+        return Err(TraceError::corrupt("trailing bytes in block payload"));
+    }
+    Ok(DecodedBlock {
+        events,
+        history,
+        raw_bytes: scratch.raw.len(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader state (used by `TraceReader` for v2 sources).
+
+/// v2 streaming state: decodes one block at a time, then validates the
+/// trailer index (offsets and event counts must match the blocks actually
+/// read) and the 16-byte tail.
+#[derive(Debug)]
+pub(crate) struct V2Stream {
+    pending: std::vec::IntoIter<TraceEvent>,
+    scratch: BlockScratch,
+    finished: bool,
+    /// Absolute file offset of the next segment.
+    offset: u64,
+    /// Blocks read so far: (segment offset, event count).
+    blocks: Vec<(u64, u64)>,
+    events_decoded: u64,
+}
+
+impl V2Stream {
+    pub(crate) fn new(offset_after_header: u64) -> Self {
+        Self {
+            pending: Vec::new().into_iter(),
+            scratch: BlockScratch::new(),
+            finished: false,
+            offset: offset_after_header,
+            blocks: Vec::new(),
+            events_decoded: 0,
+        }
+    }
+
+    pub(crate) fn next_event<R: Read>(
+        &mut self,
+        src: &mut R,
+    ) -> Result<Option<TraceEvent>, TraceError> {
+        loop {
+            if let Some(ev) = self.pending.next() {
+                return Ok(Some(ev));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            let segment = read_frame_capped(src, "segment", MAX_SEGMENT_BYTES)?
+                .ok_or_else(|| TraceError::corrupt("trace ends without a trailer"))?;
+            let segment_offset = self.offset;
+            self.offset += varint_len(segment.len() as u64) + segment.len() as u64;
+            match segment.first() {
+                Some(&SEGMENT_BLOCK) => {
+                    let block = decode_block_body(&segment, &mut self.scratch)?;
+                    self.blocks
+                        .push((segment_offset, block.events.len() as u64));
+                    self.events_decoded += block.events.len() as u64;
+                    self.pending = block.events.into_iter();
+                }
+                Some(&SEGMENT_TRAILER) => {
+                    self.check_trailer(&segment, segment_offset)?;
+                    self.check_tail(src, segment_offset)?;
+                    self.finished = true;
+                }
+                Some(&kind) => {
+                    return Err(TraceError::corrupt(format!("unknown segment kind {kind}")));
+                }
+                None => return Err(TraceError::corrupt("empty segment")),
+            }
+        }
+    }
+
+    fn check_trailer(&self, body: &[u8], _offset: u64) -> Result<(), TraceError> {
+        let index = decode_trailer_body(body)?;
+        if index.total_events != self.events_decoded {
+            return Err(TraceError::corrupt(format!(
+                "trailer declares {} events, blocks held {}",
+                index.total_events, self.events_decoded
+            )));
+        }
+        if index.entries.len() != self.blocks.len() {
+            return Err(TraceError::corrupt(format!(
+                "trailer indexes {} blocks, stream held {}",
+                index.entries.len(),
+                self.blocks.len()
+            )));
+        }
+        for (entry, &(offset, events)) in index.entries.iter().zip(&self.blocks) {
+            if entry.offset != offset || entry.events != events {
+                return Err(TraceError::corrupt("trailer index disagrees with blocks"));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_tail<R: Read>(&self, src: &mut R, trailer_offset: u64) -> Result<(), TraceError> {
+        let mut tail = [0u8; 16];
+        src.read_exact(&mut tail).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => TraceError::corrupt("tail truncated"),
+            _ => TraceError::Io(e),
+        })?;
+        let declared = u64::from_le_bytes(tail[..8].try_into().expect("length checked"));
+        if declared != trailer_offset {
+            return Err(TraceError::corrupt(format!(
+                "tail points at offset {declared}, trailer is at {trailer_offset}"
+            )));
+        }
+        if tail[8..] != TRAILER_MAGIC {
+            return Err(TraceError::corrupt("bad trailer magic"));
+        }
+        let mut extra = [0u8; 1];
+        match src.read(&mut extra) {
+            Ok(0) => Ok(()),
+            Ok(_) => Err(TraceError::corrupt("trailing bytes after trace tail")),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(TraceError::Io(e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trailer decoding + the seekable block view.
+
+struct TrailerIndex {
+    total_events: u64,
+    entries: Vec<IndexEntry>,
+}
+
+fn decode_trailer_body(body: &[u8]) -> Result<TrailerIndex, TraceError> {
+    let mut pos = 0usize;
+    let kind = *body
+        .get(pos)
+        .ok_or_else(|| TraceError::corrupt("empty trailer segment"))?;
+    pos += 1;
+    if kind != SEGMENT_TRAILER {
+        return Err(TraceError::corrupt(format!(
+            "expected a trailer segment, found kind {kind}"
+        )));
+    }
+    let total_events = read_varint(body, &mut pos)?;
+    let block_count = read_varint(body, &mut pos)?;
+    if block_count > MAX_ENTRIES {
+        return Err(TraceError::corrupt("trailer block count exceeds the cap"));
+    }
+    let mut entries = Vec::with_capacity(block_count as usize);
+    let mut prev = 0u64;
+    let mut indexed_events = 0u64;
+    for _ in 0..block_count {
+        let delta = read_varint(body, &mut pos)?;
+        let offset = prev
+            .checked_add(delta)
+            .ok_or_else(|| TraceError::corrupt("trailer offset overflows"))?;
+        prev = offset;
+        let events = read_varint(body, &mut pos)?;
+        indexed_events += events;
+        entries.push(IndexEntry { offset, events });
+    }
+    if pos != body.len() {
+        return Err(TraceError::corrupt("trailing bytes in trailer segment"));
+    }
+    if indexed_events != total_events {
+        return Err(TraceError::corrupt(
+            "trailer event counts disagree with the total",
+        ));
+    }
+    Ok(TrailerIndex {
+        total_events,
+        entries,
+    })
+}
+
+/// Random-access view over an in-memory v2 trace: opens via the tail and
+/// the trailer index, then decodes any block independently — the fan-out
+/// surface the scheduler-backed replay jobs use.
+#[derive(Debug)]
+pub struct TraceBlocks<'a> {
+    bytes: &'a [u8],
+    header: TraceHeader,
+    total_events: u64,
+    index: Vec<IndexEntry>,
+    /// Prefix sums: global index of each block's first event.
+    event_offsets: Vec<u64>,
+}
+
+impl<'a> TraceBlocks<'a> {
+    /// Opens a v2 trace from its full byte image, validating magic,
+    /// version, header, tail and trailer index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Corrupt`] when the image is not a well-formed
+    /// v2 trace.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, TraceError> {
+        if bytes.len() < 10 || bytes[..8] != MAGIC {
+            return Err(TraceError::corrupt("bad magic — not an ARTERY trace"));
+        }
+        let version = u16::from_le_bytes(bytes[8..10].try_into().expect("length checked"));
+        if version != FORMAT_VERSION_V2 {
+            return Err(TraceError::corrupt(format!(
+                "block view requires trace format version {FORMAT_VERSION_V2}, found {version}"
+            )));
+        }
+        let mut pos = 10usize;
+        let header_len = read_varint(bytes, &mut pos)?;
+        let header_body = bytes
+            .get(pos..pos + header_len as usize)
+            .ok_or_else(|| TraceError::corrupt("header frame truncated"))?;
+        let header = decode_header_body_v2(header_body)?;
+
+        if bytes.len() < 16 {
+            return Err(TraceError::corrupt("tail truncated"));
+        }
+        let tail = &bytes[bytes.len() - 16..];
+        if tail[8..] != TRAILER_MAGIC {
+            return Err(TraceError::corrupt("bad trailer magic"));
+        }
+        let trailer_offset = u64::from_le_bytes(tail[..8].try_into().expect("length checked"));
+        let mut tpos = usize::try_from(trailer_offset)
+            .ok()
+            .filter(|&o| o < bytes.len() - 16)
+            .ok_or_else(|| TraceError::corrupt("tail trailer offset out of range"))?;
+        let trailer_len = read_varint(bytes, &mut tpos)?;
+        let trailer_body = bytes
+            .get(tpos..tpos + trailer_len as usize)
+            .ok_or_else(|| TraceError::corrupt("trailer segment truncated"))?;
+        if tpos + trailer_len as usize != bytes.len() - 16 {
+            return Err(TraceError::corrupt("bytes between trailer and tail"));
+        }
+        let index = decode_trailer_body(trailer_body)?;
+        let mut event_offsets = Vec::with_capacity(index.entries.len());
+        let mut running = 0u64;
+        for entry in &index.entries {
+            event_offsets.push(running);
+            running += entry.events;
+        }
+        Ok(Self {
+            bytes,
+            header,
+            total_events: index.total_events,
+            index: index.entries,
+            event_offsets,
+        })
+    }
+
+    /// The trace header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the trace holds no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total events across all blocks.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Events in block `i`.
+    #[must_use]
+    pub fn block_events(&self, i: usize) -> u64 {
+        self.index[i].events
+    }
+
+    /// Global index of block `i`'s first event.
+    #[must_use]
+    pub fn event_offset(&self, i: usize) -> u64 {
+        self.event_offsets[i]
+    }
+
+    /// Decodes block `i` independently of every other block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Corrupt`] when the block fails its checksum or
+    /// is otherwise malformed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn decode_block(
+        &self,
+        i: usize,
+        scratch: &mut BlockScratch,
+    ) -> Result<DecodedBlock, TraceError> {
+        let entry = &self.index[i];
+        let mut pos = usize::try_from(entry.offset)
+            .ok()
+            .filter(|&o| o < self.bytes.len())
+            .ok_or_else(|| TraceError::corrupt("block offset out of range"))?;
+        let seg_len = read_varint(self.bytes, &mut pos)?;
+        if seg_len > MAX_SEGMENT_BYTES {
+            return Err(TraceError::corrupt("block segment exceeds the cap"));
+        }
+        let body = self
+            .bytes
+            .get(pos..pos + seg_len as usize)
+            .ok_or_else(|| TraceError::corrupt("block segment truncated"))?;
+        let block = decode_block_body(body, scratch)?;
+        if block.events.len() as u64 != entry.events {
+            return Err(TraceError::corrupt(format!(
+                "block {i} holds {} events, index declares {}",
+                block.events.len(),
+                entry.events
+            )));
+        }
+        Ok(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceReader;
+    use crate::Replayer;
+    use artery_circuit::analysis::PreExecCase;
+    use artery_core::{ArteryConfig, Calibration};
+    use artery_num::rng::rng_for;
+
+    fn sample_header() -> TraceHeader {
+        TraceHeader::new(&ArteryConfig::paper(), "unit/v2").with_shots(7)
+    }
+
+    fn sample_events(n: usize) -> Vec<TraceEvent> {
+        (0..n)
+            .map(|i| TraceEvent {
+                site: i % 3,
+                case: if i % 5 == 4 {
+                    PreExecCase::NotPreExecutable
+                } else {
+                    PreExecCase::Independent
+                },
+                reported: i % 2 == 0,
+                states: (0..6).map(|w| (w + i) % 4 != 0).collect(),
+                iq: if i % 2 == 0 {
+                    vec![(i as f32, -(i as f32) / 2.0)]
+                } else {
+                    Vec::new()
+                },
+                p_history: 0.5 + (i as f64) / 64.0,
+                decision: (i % 3 == 0).then_some(crate::RecordedDecision {
+                    window: i % 6,
+                    branch: i % 4 == 0,
+                }),
+                latency_ns: 400.0 + i as f64,
+                branch0_ns: 0.0,
+                branch1_ns: 30.0,
+            })
+            .collect()
+    }
+
+    fn write_v2(events: &[TraceEvent], per_block: usize) -> Vec<u8> {
+        let mut w = TraceWriterV2::new(Vec::new(), &sample_header())
+            .unwrap()
+            .with_events_per_block(per_block);
+        for ev in events {
+            w.write_event(ev).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn v2_round_trips_through_the_streaming_reader() {
+        let events = sample_events(23);
+        let bytes = write_v2(&events, 5);
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.version(), FORMAT_VERSION_V2);
+        assert_eq!(reader.header(), &sample_header());
+        assert_eq!(reader.header().shots, 7);
+        let decoded = reader.read_all().unwrap();
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn empty_v2_trace_round_trips() {
+        let bytes = write_v2(&[], 4);
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(reader.read_all().unwrap().is_empty());
+        let blocks = TraceBlocks::open(&bytes).unwrap();
+        assert!(blocks.is_empty());
+        assert_eq!(blocks.total_events(), 0);
+    }
+
+    #[test]
+    fn block_view_decodes_blocks_independently() {
+        let events = sample_events(23);
+        let bytes = write_v2(&events, 5);
+        let blocks = TraceBlocks::open(&bytes).unwrap();
+        assert_eq!(blocks.len(), 5); // 4 full blocks + a 3-event remainder
+        assert_eq!(blocks.total_events(), 23);
+        assert_eq!(blocks.block_events(4), 3);
+        let mut scratch = BlockScratch::new();
+        // Decode out of order: blocks must not depend on one another.
+        let mut decoded = vec![Vec::new(); blocks.len()];
+        for i in [3usize, 0, 4, 2, 1] {
+            let block = blocks.decode_block(i, &mut scratch).unwrap();
+            assert!(block.raw_bytes > 0);
+            decoded[i] = block.events;
+        }
+        let flat: Vec<TraceEvent> = decoded.into_iter().flatten().collect();
+        assert_eq!(flat, events);
+        assert_eq!(blocks.event_offset(2), 10);
+    }
+
+    #[test]
+    fn block_history_seeds_match_a_sequential_replay() {
+        let config = ArteryConfig {
+            train_pulses: 400,
+            ..ArteryConfig::paper()
+        };
+        let cal = Calibration::train(&config, &mut rng_for("v2/seed-cal"));
+        let events = sample_events(23);
+        let bytes = write_v2(&events, 5);
+        let blocks = TraceBlocks::open(&bytes).unwrap();
+        let mut scratch = BlockScratch::new();
+
+        // Sequential whole-trace replay as the oracle.
+        let mut oracle = Replayer::new(&cal, &config);
+        let oracle_outcomes: Vec<_> = events.iter().map(|ev| oracle.replay_event(ev)).collect();
+
+        // Each block, replayed independently from its stored seed, must
+        // reproduce the oracle's per-event outcomes bit for bit.
+        for i in 0..blocks.len() {
+            let block = blocks.decode_block(i, &mut scratch).unwrap();
+            let mut replay = Replayer::new(&cal, &config);
+            replay.seed_history_counts(&block.history);
+            let start = blocks.event_offset(i) as usize;
+            for (j, ev) in block.events.iter().enumerate() {
+                let out = replay.replay_event(ev);
+                assert_eq!(out, oracle_outcomes[start + j], "block {i} event {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_block_payload_is_rejected() {
+        let events = sample_events(12);
+        let mut bytes = write_v2(&events, 4);
+        let blocks = TraceBlocks::open(&bytes).unwrap();
+        assert_eq!(blocks.len(), 3);
+        drop(blocks);
+        // Flip one byte in the middle of the stream (inside a block
+        // segment, past header and first block framing).
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let corrupt_streaming = TraceReader::new(bytes.as_slice())
+            .and_then(|r| r.read_all())
+            .is_err();
+        let corrupt_seek = match TraceBlocks::open(&bytes) {
+            Err(_) => true,
+            Ok(view) => {
+                let mut scratch = BlockScratch::new();
+                (0..view.len()).any(|i| view.decode_block(i, &mut scratch).is_err())
+            }
+        };
+        assert!(
+            corrupt_streaming && corrupt_seek,
+            "a flipped byte must fail both read paths"
+        );
+    }
+
+    #[test]
+    fn truncated_tail_is_rejected() {
+        let events = sample_events(6);
+        let bytes = write_v2(&events, 4);
+        let err = TraceReader::new(&bytes[..bytes.len() - 1])
+            .and_then(|r| r.read_all())
+            .unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err}");
+        assert!(TraceBlocks::open(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_after_tail_is_rejected() {
+        let events = sample_events(6);
+        let mut bytes = write_v2(&events, 4);
+        bytes.push(0);
+        let err = TraceReader::new(bytes.as_slice())
+            .and_then(|r| r.read_all())
+            .unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn v1_reader_path_is_untouched_by_negotiation() {
+        let events = sample_events(9);
+        let mut w = crate::TraceWriter::new(Vec::new(), &sample_header()).unwrap();
+        for ev in events.iter() {
+            w.write_event(ev).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.version(), crate::FORMAT_VERSION);
+        // v1 cannot carry the shot hint; it decodes as unknown.
+        assert_eq!(reader.header().shots, 0);
+        assert_eq!(reader.read_all().unwrap(), events);
+    }
+}

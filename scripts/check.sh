@@ -31,6 +31,7 @@ cargo test -q -p artery-trace
 cargo test -q --test codec_engine
 cargo test -q --test codec_zero_alloc
 cargo test -q --test trace
+cargo test -q --test trace_zero_alloc
 cargo test -q -p artery-predictors
 cargo test -q --test predictors
 cargo test -q --test fusion
@@ -44,16 +45,22 @@ cargo test -q -p artery-bench --lib scheduler
 cargo test -q --test scheduler
 cargo test -q --test failure_injection
 
-# Leaderboard smoke: a small corpus, replayed with 1 and 8 workers —
-# routed through the work-stealing scheduler (one job per recorded
-# workload). The trace_eval binary itself asserts the oracle ranks first
-# and the paper adapter replays bit-identically; here we additionally
-# require the leaderboard JSON to be byte-identical across thread counts,
-# i.e. across completely different steal schedules.
+# Leaderboard smoke: a small corpus recorded into trace-v2 blocks,
+# decoded and replayed with 1 and 8 workers — routed through the
+# work-stealing scheduler (block-chunked panel jobs, sequential zoo jobs).
+# The trace_eval binary itself asserts the oracle ranks first, the paper
+# adapter replays bit-identically, the distilled leaderboards rank the
+# panel and the zoo identically to the full-corpus replay and the
+# distilled replay does ≥5× less work; here we additionally require the
+# zoo leaderboard JSON *and* the distilled-replay JSON (weighted
+# leaderboards + replay counters) to be byte-identical across thread
+# counts, i.e. across completely different steal schedules.
 cargo build --release -p artery-bench --bin trace_eval
-ARTERY_SHOTS=40 ARTERY_THREADS=1 ./target/release/trace_eval > /dev/null
+ARTERY_SHOTS=40 ARTERY_THREADS=1 ./target/release/trace_eval --distill > /dev/null
 cp target/experiments/predictors.json target/experiments/predictors.t1.json
-ARTERY_SHOTS=40 ARTERY_THREADS=8 ./target/release/trace_eval > /dev/null
+cp target/experiments/distill.json target/experiments/distill.t1.json
+ARTERY_SHOTS=40 ARTERY_THREADS=8 ./target/release/trace_eval --distill > /dev/null
 cmp target/experiments/predictors.t1.json target/experiments/predictors.json
-rm target/experiments/predictors.t1.json
-echo "predictor leaderboard reproducible across thread counts"
+cmp target/experiments/distill.t1.json target/experiments/distill.json
+rm target/experiments/predictors.t1.json target/experiments/distill.t1.json
+echo "predictor + distilled leaderboards reproducible across thread counts"

@@ -7,8 +7,9 @@ use artery::core::{ArteryConfig, ArteryController, Calibration};
 use artery::num::rng::rng_for;
 use artery::sim::{Executor, NoiseModel};
 use artery::trace::{
-    RecordedDecision, Replayer, TraceEvent, TraceHeader, TraceReader, TraceRecorder, TraceWriter,
-    FORMAT_VERSION, MAGIC,
+    simpoint, BlockScratch, RecordedDecision, Replayer, TraceBlocks, TraceEvent, TraceHeader,
+    TraceReader, TraceRecorder, TraceWriter, TraceWriterV2, FORMAT_VERSION, FORMAT_VERSION_V2,
+    MAGIC, TRAILER_MAGIC,
 };
 use proptest::prelude::*;
 
@@ -96,6 +97,8 @@ fn golden_event_trace_bytes_are_pinned() {
 fn magic_and_version_are_pinned() {
     assert_eq!(&MAGIC, b"ARTERYTR");
     assert_eq!(FORMAT_VERSION, 1);
+    assert_eq!(FORMAT_VERSION_V2, 2);
+    assert_eq!(&TRAILER_MAGIC, b"ARTERYIX");
     assert_eq!(&GOLDEN_EMPTY_TRACE[..8], &MAGIC);
     assert_eq!(
         u16::from_le_bytes([GOLDEN_EMPTY_TRACE[8], GOLDEN_EMPTY_TRACE[9]]),
@@ -242,6 +245,86 @@ proptest! {
         prop_assert_eq!(h, header);
         prop_assert_eq!(decoded, events);
     }
+
+    /// The same events through the v1 flat writer and the v2 block writer
+    /// (forced multi-block) decode identically through the one reader, and
+    /// the v2 block index accounts for every event.
+    #[test]
+    fn v1_and_v2_traces_decode_identically(
+        config in arbitrary_config(),
+        label in "[ -~]{0,40}",
+        events in proptest::collection::vec(arbitrary_event(), 0..20),
+    ) {
+        let header = TraceHeader::new(&config, label).with_shots(events.len() as u64);
+        let (h1, v1) = round_trip(&header, &events);
+        prop_assert_eq!(&h1.label, &header.label);
+
+        let mut writer = TraceWriterV2::new(Vec::new(), &header)
+            .expect("v2 header")
+            .with_events_per_block(4);
+        for ev in &events {
+            writer.write_event(ev).expect("v2 event");
+        }
+        let bytes = writer.finish().expect("v2 finish");
+        let reader = TraceReader::new(bytes.as_slice()).expect("v2 reopen");
+        prop_assert_eq!(reader.version(), FORMAT_VERSION_V2);
+        prop_assert_eq!(reader.header(), &header);
+        let v2 = reader.read_all().expect("v2 events");
+        prop_assert_eq!(&v2, &v1);
+        prop_assert_eq!(&v2, &events);
+
+        let blocks = TraceBlocks::open(bytes.as_slice()).expect("block index");
+        prop_assert_eq!(blocks.total_events(), events.len() as u64);
+        prop_assert_eq!(blocks.len(), events.len().div_ceil(4).max(usize::from(!events.is_empty())));
+        let mut scratch = BlockScratch::new();
+        let mut stitched = Vec::new();
+        for i in 0..blocks.len() {
+            prop_assert_eq!(blocks.event_offset(i), stitched.len() as u64);
+            stitched.extend(blocks.decode_block(i, &mut scratch).expect("block").events);
+        }
+        prop_assert_eq!(stitched, events);
+    }
+}
+
+/// Seeded k-means is a pure sequential function of the events: repeated
+/// distillations — here raced on different threads, as the scheduler would
+/// — agree bit-for-bit, which is what keeps `distill.json` byte-identical
+/// for any `ARTERY_THREADS`.
+#[test]
+fn distillation_is_deterministic_across_threads() {
+    let events: Vec<TraceEvent> = (0..180)
+        .map(|i| TraceEvent {
+            site: i % 4,
+            case: PreExecCase::Independent,
+            reported: i % 3 == 0,
+            states: vec![i % 3 == 0; 2 + i % 5],
+            iq: vec![(i as f32, -(i as f32))],
+            p_history: f64::from(i as u32 % 10) / 10.0,
+            decision: (i % 7 != 6).then_some(RecordedDecision {
+                window: i % 5,
+                branch: i % 3 == 0,
+            }),
+            latency_ns: 300.0 + f64::from(i as u32 % 13) * 40.0,
+            branch0_ns: 0.0,
+            branch1_ns: 30.0,
+        })
+        .collect();
+    let baseline = simpoint::distill(&events, 6, 4, 42);
+    assert_eq!(baseline.windows.len(), 30);
+    assert!(!baseline.representatives.is_empty());
+    let racers: Vec<_> = (0..4)
+        .map(|_| {
+            let events = events.clone();
+            std::thread::spawn(move || simpoint::distill(&events, 6, 4, 42))
+        })
+        .collect();
+    for racer in racers {
+        assert_eq!(racer.join().expect("distill thread"), baseline);
+    }
+    // A different seed is allowed to pick different representatives, but
+    // stays internally deterministic too.
+    let other = simpoint::distill(&events, 6, 4, 7);
+    assert_eq!(other, simpoint::distill(&events, 6, 4, 7));
 }
 
 /// Satellite 4: a recorded trace, replayed through the same `ArteryConfig`,
@@ -336,4 +419,126 @@ fn replay_panel_distinguishes_configurations() {
         history_only.stats().commit_rate(),
         base.stats().commit_rate()
     );
+}
+
+/// The exact bytes of a one-event trace in **format v2** with the paper
+/// configuration, label "golden" and a 1-shot header hint: magic, version 2,
+/// the header segment (v1 header body + varint shot count), one block
+/// segment (event count, raw length, FNV-1a checksum, empty history seed,
+/// Huffman codebook + payload), the trailer block index and the 16-byte
+/// seekable tail (trailer offset + "ARTERYIX"). Any byte-level change to
+/// the v2 layout must update this constant deliberately.
+const GOLDEN_V2_TRACE: [u8; 147] = [
+    0x41, 0x52, 0x54, 0x45, 0x52, 0x59, 0x54, 0x52, // "ARTERYTR"
+    0x02, 0x00, // version 2 (u16 LE)
+    0x2d, // header frame length (45 = v1's 44 + varint shots)
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x3e, 0x40, // window_ns = 30.0
+    0x1f, 0x85, 0xeb, 0x51, 0xb8, 0x1e, 0xed, 0x3f, // theta = 0.91
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // route_ns = 0.0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x40, 0x9f, 0x40, // readout_ns = 2000.0
+    0x06, // k = 6
+    0x08, // time_buckets = 8
+    0xe8, 0x07, // train_pulses = 1000
+    0x03, // flags: use_history | use_trajectory
+    0x06, // label length
+    0x67, 0x6f, 0x6c, 0x64, 0x65, 0x6e, // "golden"
+    0x01, // shots hint = 1
+    // Block segment: kind 0, framed length 68, then the block body.
+    0x44, 0x00, 0x01, 0x27, 0x44, 0x48, 0xe5, 0x41, 0x51, 0xcb, 0xd2, 0x10, 0x00, 0x0b, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x01, 0x02, 0x00, 0x04, 0x03, 0x00, 0x04, 0x05, 0x00, 0x04, 0x07, 0x00, 0x04,
+    0x40, 0x00, 0x04, 0xe8, 0x00, 0x04, 0x26, 0x00, 0x05, 0x3e, 0x00, 0x05, 0x3f, 0x00, 0x05, 0x80,
+    0x00, 0x05, 0x27, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe5, 0xcc, 0x54, 0xc0, 0x1b, 0xe0,
+    0x3f, 0x80, 0x00,
+    // Trailer segment: kind 1, framed length, delta-coded block index.
+    0x77, 0x00, 0x05, 0x01, 0x01, 0x01, 0x38, 0x01,
+    // Seekable tail: trailer offset (u64 LE) + trailer magic.
+    0x7d, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // trailer at byte 125
+    0x41, 0x52, 0x54, 0x45, 0x52, 0x59, 0x49, 0x58, // "ARTERYIX"
+];
+
+/// The golden event shared by the v1 and v2 pinning tests.
+fn golden_event() -> TraceEvent {
+    TraceEvent {
+        site: 3,
+        case: PreExecCase::Independent,
+        reported: true,
+        states: vec![false, false, false, false, false, true, true, true],
+        iq: Vec::new(),
+        p_history: 0.75,
+        decision: Some(RecordedDecision {
+            window: 2,
+            branch: true,
+        }),
+        latency_ns: 512.0,
+        branch0_ns: 0.0,
+        branch1_ns: 30.0,
+    }
+}
+
+#[test]
+fn golden_v2_trace_bytes_are_pinned() {
+    let header = TraceHeader::new(&ArteryConfig::paper(), "golden").with_shots(1);
+    let event = golden_event();
+    let mut writer = TraceWriterV2::new(Vec::new(), &header).expect("header");
+    writer.write_event(&event).expect("event");
+    let bytes = writer.finish().expect("finish");
+    assert_eq!(bytes.as_slice(), GOLDEN_V2_TRACE);
+
+    // Structure: v1 magic, version 2, the v2 trailer magic closing the
+    // file, and the tail pointing at the trailer segment.
+    assert_eq!(&GOLDEN_V2_TRACE[..8], &MAGIC);
+    assert_eq!(
+        u16::from_le_bytes([GOLDEN_V2_TRACE[8], GOLDEN_V2_TRACE[9]]),
+        FORMAT_VERSION_V2
+    );
+    let tail = GOLDEN_V2_TRACE.len() - 16;
+    assert_eq!(&GOLDEN_V2_TRACE[tail + 8..], &TRAILER_MAGIC);
+    let trailer_offset = u64::from_le_bytes(GOLDEN_V2_TRACE[tail..tail + 8].try_into().unwrap());
+    assert!(
+        (trailer_offset as usize) < tail,
+        "trailer offset points inside the file"
+    );
+
+    // The pinned bytes decode through the streaming reader...
+    let reader = TraceReader::new(&GOLDEN_V2_TRACE[..]).expect("golden readable");
+    assert_eq!(reader.header(), &header);
+    assert_eq!(reader.read_all().expect("events"), vec![event.clone()]);
+
+    // ...and through the seekable block index: one block of one event,
+    // opening with an empty history seed (nothing preceded it).
+    let blocks = TraceBlocks::open(&GOLDEN_V2_TRACE[..]).expect("block index");
+    assert_eq!(blocks.header(), &header);
+    assert_eq!(blocks.len(), 1);
+    assert_eq!(blocks.total_events(), 1);
+    assert_eq!(blocks.block_events(0), 1);
+    assert_eq!(blocks.event_offset(0), 0);
+    let mut scratch = BlockScratch::new();
+    let block = blocks.decode_block(0, &mut scratch).expect("decode");
+    assert_eq!(block.events, vec![event]);
+    assert!(block.history.is_empty());
+}
+
+#[test]
+fn corrupted_v2_block_is_rejected_by_both_readers() {
+    // Flip one byte in the middle of the block payload: the checksum (or
+    // the Huffman decode) must catch it on the streaming path and on the
+    // seekable path alike.
+    let mut corrupted = GOLDEN_V2_TRACE;
+    corrupted[100] ^= 0xff;
+    let stream = TraceReader::new(&corrupted[..])
+        .and_then(|r| r.read_all())
+        .expect_err("streaming reader accepts a corrupted block");
+    assert!(
+        stream.to_string().contains("corrupt"),
+        "unexpected error: {stream}"
+    );
+    match TraceBlocks::open(&corrupted[..]) {
+        Err(_) => {}
+        Ok(blocks) => {
+            let mut scratch = BlockScratch::new();
+            blocks
+                .decode_block(0, &mut scratch)
+                .expect_err("block index accepts a corrupted block");
+        }
+    }
 }
