@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the streaming QEC decode engine: the
+//! chunked-DP oracle (`MatchingDecoder::decode`) against the zero-alloc
+//! cluster-then-match path (`decode_into`), the union-find clustering pass
+//! alone, and one sliding-window streaming step. Workloads use the
+//! phenomenological noise model at the fig12d operating points; the two
+//! decode arms are bit-identical on small event sets (pinned by
+//! `tests/qec_decode.rs`), only the speed differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use artery_num::rng::rng_for;
+use artery_qec::matching::{DetectionEvent, MatchingDecoder};
+use artery_qec::{
+    DecoderScratch, MatchingMemoryExperiment, MatchingShotScratch, RotatedSurfaceCode,
+    SlidingWindowDecoder,
+};
+use rand::Rng;
+
+/// One shot's detection events under phenomenological noise.
+fn event_set(
+    code: &RotatedSurfaceCode,
+    p: f64,
+    cycles: usize,
+    rng: &mut impl Rng,
+) -> Vec<DetectionEvent> {
+    let mut frame = vec![false; code.num_data_qubits()];
+    let mut rounds = Vec::with_capacity(cycles + 1);
+    for _ in 0..cycles {
+        for slot in frame.iter_mut() {
+            if rng.gen::<f64>() < p {
+                *slot = !*slot;
+            }
+        }
+        let mut syndrome = code.z_syndrome(&frame);
+        for bit in &mut syndrome {
+            if rng.gen::<f64>() < p {
+                *bit = !*bit;
+            }
+        }
+        rounds.push(syndrome);
+    }
+    rounds.push(code.z_syndrome(&frame));
+    MatchingDecoder::detection_events(&rounds)
+}
+
+fn bench_decode(c: &mut Criterion) {
+    // The fig12d speedup workload: dense enough that shots overflow one
+    // 16-event chunk, so the chunked baseline pays its full 2^16 DP.
+    let code = RotatedSurfaceCode::new(7);
+    let decoder = MatchingDecoder::build(&code);
+    let mut rng = rng_for("bench/qec/decode");
+    let sets: Vec<Vec<DetectionEvent>> = (0..16)
+        .map(|_| event_set(&code, 0.008, 20, &mut rng))
+        .collect();
+    c.bench_function("qec/decode/d7/chunked", |b| {
+        b.iter(|| {
+            for set in &sets {
+                black_box(decoder.decode(black_box(set)));
+            }
+        })
+    });
+    let mut scratch = DecoderScratch::new();
+    let mut out = Vec::new();
+    c.bench_function("qec/decode/d7/component_into", |b| {
+        b.iter(|| {
+            for set in &sets {
+                black_box(decoder.decode_into(black_box(set), &mut scratch, &mut out));
+            }
+        })
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // Clustering alone, via a decode whose components are all singletons
+    // or pairs (the realistic below-threshold shape at d = 5).
+    let code = RotatedSurfaceCode::new(5);
+    let decoder = MatchingDecoder::build(&code);
+    let mut rng = rng_for("bench/qec/cluster");
+    let sets: Vec<Vec<DetectionEvent>> = (0..64)
+        .map(|_| event_set(&code, 0.004, 10, &mut rng))
+        .collect();
+    let mut scratch = DecoderScratch::new();
+    let mut out = Vec::new();
+    c.bench_function("qec/cluster/d5/decode_into", |b| {
+        b.iter(|| {
+            for set in &sets {
+                black_box(decoder.decode_into(black_box(set), &mut scratch, &mut out));
+            }
+        })
+    });
+}
+
+fn bench_window(c: &mut Criterion) {
+    // One full streamed shot: rounds pushed one by one plus the flush —
+    // the per-round step cost is what a feedback controller would pay.
+    let exp = MatchingMemoryExperiment::new(RotatedSurfaceCode::new(5), 0.004, 0.004);
+    let mut window = SlidingWindowDecoder::new(exp.decoder().clone());
+    let mut scratch = MatchingShotScratch::new();
+    c.bench_function("qec/window/d5/streamed_shot", |b| {
+        let mut rng = rng_for("bench/qec/window");
+        b.iter(|| {
+            let shot = exp.run_shot_windowed(10, &mut rng, &mut scratch, &mut window);
+            black_box(shot.logical_error)
+        })
+    });
+}
+
+criterion_group!(benches, bench_decode, bench_clustering, bench_window);
+criterion_main!(benches);

@@ -748,6 +748,20 @@ fn main() {
         ),
     }
 
+    // The QEC decode benchmark `fig12d_distance_scaling` just wrote:
+    // chunked-vs-component decode ns/event (speedup asserted ≥10× in the
+    // harness), per-distance decode-latency histograms, and the
+    // deterministic decode-shape snapshot (events/component histograms,
+    // window commit/rollback counts). Like BENCH_trace.json it carries
+    // wall times, so it is not byte-compared; the deterministic snapshot
+    // inside it is byte-compared via fig12d_distance_scaling.json instead.
+    let qec_src = artery_bench::report::experiments_dir().join("qec_bench.json");
+    let qec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qec.json");
+    match std::fs::copy(&qec_src, qec_path) {
+        Ok(_) => println!("[qec decode benchmark written to {qec_path}]"),
+        Err(e) => eprintln!("could not copy {} to {qec_path}: {e}", qec_src.display()),
+    }
+
     println!("\n========== metrics snapshot ==========");
     // The bell-feedback corpus with full observability: per-site latency
     // distributions plus mispredict/recovery counters. The snapshot is a

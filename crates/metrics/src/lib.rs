@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod qec;
 pub mod registry;
 pub mod replaymeter;
 pub mod scheduler;
@@ -30,6 +31,7 @@ pub mod sink;
 pub mod timeline;
 
 pub use hist::{BucketSnapshot, Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use qec::{QecDistanceSnapshot, QecSnapshot, QecWindowCounters, QEC_SNAPSHOT_VERSION};
 pub use registry::{
     GroupSnapshot, MetricsRegistry, MetricsSnapshot, SiteMetrics, SiteSnapshot, SNAPSHOT_VERSION,
 };

@@ -1,0 +1,147 @@
+//! Deterministic QEC decode counters for `BENCH_qec.json`.
+//!
+//! The fig12d harness streams d = 3/5/7 memory shots through the
+//! sliding-window cluster-then-match decoder and aggregates what the
+//! decoder *did*: detection events, component shapes, window
+//! commit/rollback traffic, logical outcomes. Every field here is a pure
+//! function of the submitted shots (u64 counters and merge-exact
+//! [`HistogramSnapshot`]s folded in chunk order), so the snapshot
+//! serializes byte-identically for any `ARTERY_THREADS` — same contract as
+//! [`SchedulerSnapshot`](crate::SchedulerSnapshot). Wall-clock decode
+//! timings are deliberately *not* part of this type; they ride in the
+//! timing section of `BENCH_qec.json` that is exempt from byte-comparison.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::HistogramSnapshot;
+
+/// QEC snapshot schema version; bump on any structural change so
+/// downstream readers of `BENCH_qec.json` can detect incompatibility.
+pub const QEC_SNAPSHOT_VERSION: u32 = 1;
+
+/// Streaming sliding-window decoder counters (summed across shots).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QecWindowCounters {
+    /// Components whose corrections were committed (settled or flushed).
+    pub commits: u64,
+    /// Tentative components invalidated by a late syndrome bit.
+    pub rollbacks: u64,
+    /// Speculative decodes of not-yet-settled components.
+    pub tentative_decodes: u64,
+}
+
+/// Decode-shape counters of one code distance's memory run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QecDistanceSnapshot {
+    /// Code distance.
+    pub distance: u64,
+    /// Noisy extraction cycles per shot.
+    pub cycles: u64,
+    /// Monte-Carlo shots.
+    pub shots: u64,
+    /// Shots ending in a logical X flip.
+    pub logical_errors: u64,
+    /// `logical_errors / shots`.
+    pub logical_error_rate: f64,
+    /// Total detection events across shots.
+    pub detection_events: u64,
+    /// Total connected components across shots.
+    pub components: u64,
+    /// Components beyond the exact-DP limit (decoded by internal chunking).
+    pub oversized_components: u64,
+    /// Distribution of detection events per shot (unit: events, not ns).
+    pub events_per_shot: HistogramSnapshot,
+    /// Distribution of events per component (unit: events, not ns).
+    pub component_size: HistogramSnapshot,
+    /// Sliding-window commit/rollback traffic.
+    pub window: QecWindowCounters,
+}
+
+/// Deterministic decode-shape snapshot of one fig12d QEC run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QecSnapshot {
+    /// Schema version ([`QEC_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// X-error probability per data qubit per cycle.
+    pub p_data: f64,
+    /// Syndrome-bit misread probability per cycle.
+    pub p_meas: f64,
+    /// Per-distance counters in ascending-distance order.
+    pub distances: Vec<QecDistanceSnapshot>,
+}
+
+impl QecSnapshot {
+    /// An empty snapshot at the current schema version.
+    #[must_use]
+    pub fn new(p_data: f64, p_meas: f64) -> Self {
+        Self {
+            version: QEC_SNAPSHOT_VERSION,
+            p_data,
+            p_meas,
+            distances: Vec::new(),
+        }
+    }
+
+    /// Deterministic pretty-printed JSON rendering; byte-identical for
+    /// equal snapshots.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("qec snapshots always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample() -> QecSnapshot {
+        let mut events = Histogram::new();
+        events.record(4.0);
+        events.record(9.0);
+        let mut sizes = Histogram::new();
+        sizes.record(2.0);
+        let mut snap = QecSnapshot::new(0.004, 0.004);
+        snap.distances.push(QecDistanceSnapshot {
+            distance: 5,
+            cycles: 10,
+            shots: 2,
+            logical_errors: 1,
+            logical_error_rate: 0.5,
+            detection_events: 13,
+            components: 6,
+            oversized_components: 0,
+            events_per_shot: events.snapshot(),
+            component_size: sizes.snapshot(),
+            window: QecWindowCounters {
+                commits: 6,
+                rollbacks: 1,
+                tentative_decodes: 14,
+            },
+        });
+        snap
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let snap = sample();
+        let json = snap.to_json_string();
+        assert_eq!(json, snap.clone().to_json_string());
+        let back: QecSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn version_is_pinned() {
+        let snap = sample();
+        assert_eq!(snap.version, QEC_SNAPSHOT_VERSION);
+        assert!(snap.to_json_string().contains("\"version\""));
+    }
+
+    #[test]
+    fn histograms_carry_counts() {
+        let snap = sample();
+        assert_eq!(snap.distances[0].events_per_shot.count, 2);
+        assert_eq!(snap.distances[0].component_size.count, 1);
+    }
+}

@@ -1,0 +1,535 @@
+//! Cluster-then-match: the streaming production path of the matching
+//! decoder.
+//!
+//! [`MatchingDecoder::decode`] runs its exact bitmask DP over arbitrary
+//! consecutive-16 chunks of the event list. That has two problems the
+//! paper's d = 3 workload never exposed: the `2^16`-entry `dp`/`choice`
+//! tables are reallocated per chunk, and — silently worse — one error
+//! cluster whose events straddle a chunk boundary is decoded as two
+//! independent halves, which can turn a correctable cluster into a logical
+//! error (see the chunk-boundary regression test).
+//!
+//! This module fixes both with a union-find clustering pass. Two events can
+//! only ever be matched to each other when their space-time cost is
+//! *strictly* below the sum of their boundary costs — otherwise two
+//! boundary matches are at least as cheap and the DP keeps the boundary
+//! choice on ties. Grouping events by the transitive closure of that
+//! "could pair" relation therefore splits the DP *exactly*: the optimal
+//! matching never crosses a component, the DP value decomposes additively,
+//! and the per-component choice sequences are identical to the full DP's.
+//! At realistic physical error rates components have a handful of events,
+//! so d = 5/7 memories decode in many `2^≤8` DPs instead of one `2^16`.
+//!
+//! [`DecoderScratch`] owns every buffer the pass needs (union-find arrays,
+//! component index, DP tables, choice list), so steady-state decoding is
+//! allocation-free once the buffers reach their high-water marks — pinned
+//! by the `qec_zero_alloc` counting-allocator test. The chunked
+//! [`MatchingDecoder::decode`] is kept as the oracle: on ≤ 16 events it is
+//! the full exact DP and [`MatchingDecoder::decode_into`] reproduces its
+//! output bit-for-bit (asserted by proptest).
+
+use rand::Rng;
+
+use crate::matching::{DetectionEvent, MatchingDecoder, MatchingMemoryExperiment};
+
+const NO_COMPONENT: u32 = u32::MAX;
+
+/// What one [`MatchingDecoder::decode_into`] call did — the shape of the
+/// clustered workload, for metrics and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeBreakdown {
+    /// Detection events decoded.
+    pub events: usize,
+    /// Spatio-temporally connected components found.
+    pub components: usize,
+    /// Components larger than [`MatchingDecoder::EXACT_LIMIT`], decoded by
+    /// falling back to chunking *within* the component.
+    pub oversized_components: usize,
+    /// Event count of the largest component.
+    pub largest_component: usize,
+}
+
+/// Reusable buffers for cluster-then-match decoding.
+///
+/// All buffers grow monotonically to their high-water marks and are reused
+/// across calls; after warm-up, decoding allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct DecoderScratch {
+    /// Union-find parent pointers over event indices.
+    parent: Vec<u32>,
+    /// Union-find subtree sizes.
+    size: Vec<u32>,
+    /// Component id per union-find root (first-event order), or
+    /// `NO_COMPONENT`.
+    comp_of_root: Vec<u32>,
+    /// CSR-style offsets into `members`; `comp_start.len() - 1` components.
+    pub(crate) comp_start: Vec<u32>,
+    /// Event indices grouped by component, ascending within each.
+    pub(crate) members: Vec<u32>,
+    /// Per-component fill cursor while building `members`.
+    cursor: Vec<u32>,
+    /// Bitmask DP table, sized for the largest component seen.
+    dp: Vec<u32>,
+    /// DP back-pointers; `(i, j)` local indices, `j == i` = boundary match.
+    choice: Vec<(u8, u8)>,
+    /// Matching decisions as global event-index pairs, `gj == gi` =
+    /// boundary match; sorted by `gi` before emission.
+    pub(crate) choices: Vec<(u32, u32)>,
+}
+
+impl DecoderScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component count of the most recent clustering pass.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.comp_start.len().saturating_sub(1)
+    }
+
+    /// Event counts of the most recent clustering pass's components.
+    pub fn component_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.comp_start.windows(2).map(|w| (w[1] - w[0]) as usize)
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+
+    /// Groups `events` into connected components of the "could pair"
+    /// relation and rebuilds the `comp_start`/`members` index. Components
+    /// are numbered in order of their first (lowest-index) event; members
+    /// are ascending within each component.
+    pub(crate) fn cluster(&mut self, decoder: &MatchingDecoder, events: &[DetectionEvent]) {
+        let n = events.len();
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.size.clear();
+        self.size.resize(n, 1);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if decoder.events_linked(events[i], events[j]) {
+                    self.union(i as u32, j as u32);
+                }
+            }
+        }
+        self.comp_of_root.clear();
+        self.comp_of_root.resize(n, NO_COMPONENT);
+        let mut comps = 0u32;
+        for i in 0..n as u32 {
+            let root = self.find(i) as usize;
+            if self.comp_of_root[root] == NO_COMPONENT {
+                self.comp_of_root[root] = comps;
+                comps += 1;
+            }
+        }
+        self.comp_start.clear();
+        self.comp_start.resize(comps as usize + 1, 0);
+        for i in 0..n as u32 {
+            let root = self.find(i) as usize;
+            self.comp_start[self.comp_of_root[root] as usize + 1] += 1;
+        }
+        for c in 0..comps as usize {
+            self.comp_start[c + 1] += self.comp_start[c];
+        }
+        self.cursor.clear();
+        self.cursor
+            .extend_from_slice(&self.comp_start[..comps as usize]);
+        self.members.clear();
+        self.members.resize(n, 0);
+        for i in 0..n as u32 {
+            let root = self.find(i) as usize;
+            let c = self.comp_of_root[root] as usize;
+            self.members[self.cursor[c] as usize] = i;
+            self.cursor[c] += 1;
+        }
+    }
+
+    /// Runs the exact bitmask DP over the component `mem` (global event
+    /// indices into `events`, ≤ [`MatchingDecoder::EXACT_LIMIT`] of them)
+    /// and appends its matching decisions to `choices` as global pairs.
+    ///
+    /// Tie-breaking is byte-for-byte the DP of
+    /// [`MatchingDecoder::decode`]: boundary first, pairs only on strict
+    /// improvement, partners scanned in ascending index order.
+    pub(crate) fn dp_component(
+        &mut self,
+        decoder: &MatchingDecoder,
+        events: &[DetectionEvent],
+        mem: &[u32],
+    ) {
+        let n = mem.len();
+        debug_assert!(n > 0 && n <= MatchingDecoder::EXACT_LIMIT);
+        let full: usize = (1 << n) - 1;
+        if self.dp.len() <= full {
+            self.dp.resize(full + 1, 0);
+            self.choice.resize(full + 1, (0, 0));
+        }
+        self.dp[0] = 0;
+        for s in 1..=full {
+            let i = s.trailing_zeros() as usize;
+            let ei = events[mem[i] as usize];
+            let without_i = s & !(1 << i);
+            let mut best = self.dp[without_i].saturating_add(decoder.boundary_cost(ei.stab) as u32);
+            let mut ch = (i as u8, i as u8);
+            for j in (i + 1)..n {
+                if s & (1 << j) != 0 {
+                    let ej = events[mem[j] as usize];
+                    let prev = self.dp[without_i & !(1 << j)];
+                    let c = prev.saturating_add(decoder.cost(ei, ej) as u32);
+                    if c < best {
+                        best = c;
+                        ch = (i as u8, j as u8);
+                    }
+                }
+            }
+            self.dp[s] = best;
+            self.choice[s] = ch;
+        }
+        let mut s = full;
+        while s != 0 {
+            let (i, j) = self.choice[s];
+            let (i, j) = (i as usize, j as usize);
+            self.choices.push((mem[i], mem[j]));
+            s &= !(1 << i);
+            if j != i {
+                s &= !(1 << j);
+            }
+        }
+    }
+}
+
+impl MatchingDecoder {
+    /// Emits the data-qubit corrections implied by a list of matching
+    /// decisions (global event-index pairs; `gj == gi` = boundary match).
+    pub(crate) fn emit_choices(
+        &self,
+        events: &[DetectionEvent],
+        choices: &[(u32, u32)],
+        out: &mut Vec<usize>,
+    ) {
+        for &(gi, gj) in choices {
+            let a = events[gi as usize];
+            if gi == gj {
+                out.extend_from_slice(&self.boundary[a.stab].1);
+            } else {
+                out.extend_from_slice(&self.path[a.stab][events[gj as usize].stab]);
+            }
+        }
+    }
+
+    /// Cluster-then-match decode into a reused output buffer.
+    ///
+    /// Clusters `events` into spatio-temporally connected components (two
+    /// events share a component only when some chain of "could pair" links
+    /// connects them) and runs the exact DP per component, so the work is
+    /// `O(Σ 2^|c|·|c|)` over small components instead of `O(2^16)` chunks.
+    /// Unlike [`decode`](Self::decode), clusters are never split at
+    /// arbitrary chunk boundaries.
+    ///
+    /// On ≤ [`Self::EXACT_LIMIT`] events the correction list is
+    /// bit-identical to [`decode`](Self::decode) — same qubits, same
+    /// order — because the full DP consumes events in ascending-index order
+    /// and never pairs across components, so sorting the per-component
+    /// decisions by their lower event index reproduces its emission order
+    /// exactly. Components beyond `EXACT_LIMIT` events (vanishingly rare
+    /// below threshold) fall back to chunking within the component and are
+    /// counted in the returned [`DecodeBreakdown`].
+    ///
+    /// With a warmed-up `scratch` and capacity in `out`, allocates nothing.
+    pub fn decode_into(
+        &self,
+        events: &[DetectionEvent],
+        scratch: &mut DecoderScratch,
+        out: &mut Vec<usize>,
+    ) -> DecodeBreakdown {
+        out.clear();
+        scratch.choices.clear();
+        scratch.cluster(self, events);
+        let comp_start = std::mem::take(&mut scratch.comp_start);
+        let members = std::mem::take(&mut scratch.members);
+        let comps = comp_start.len() - 1;
+        let mut breakdown = DecodeBreakdown {
+            events: events.len(),
+            components: comps,
+            ..DecodeBreakdown::default()
+        };
+        for c in 0..comps {
+            let mem = &members[comp_start[c] as usize..comp_start[c + 1] as usize];
+            breakdown.largest_component = breakdown.largest_component.max(mem.len());
+            if mem.len() <= Self::EXACT_LIMIT {
+                scratch.dp_component(self, events, mem);
+            } else {
+                breakdown.oversized_components += 1;
+                for chunk in mem.chunks(Self::EXACT_LIMIT) {
+                    scratch.dp_component(self, events, chunk);
+                }
+            }
+        }
+        scratch.comp_start = comp_start;
+        scratch.members = members;
+        // Each event index appears in exactly one decision's lower slot or
+        // is consumed as a partner, so sorting by the lower index restores
+        // the full DP's global emission order. In-place, allocation-free.
+        scratch.choices.sort_unstable_by_key(|&(gi, _)| gi);
+        self.emit_choices(events, &scratch.choices, out);
+        breakdown
+    }
+}
+
+/// Reusable per-shot buffers for [`MatchingMemoryExperiment`] Monte-Carlo
+/// loops: error frame, syndrome, previous-round syndrome, streamed event
+/// list, corrections, and the decode scratch. One instance per thread;
+/// after the first shot at a given code size, shots allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MatchingShotScratch {
+    pub(crate) frame: Vec<bool>,
+    pub(crate) syndrome: Vec<bool>,
+    pub(crate) prev: Vec<bool>,
+    pub(crate) events: Vec<DetectionEvent>,
+    pub(crate) corrections: Vec<usize>,
+    pub(crate) sort_a: Vec<usize>,
+    pub(crate) sort_b: Vec<usize>,
+    pub(crate) decoder: DecoderScratch,
+    pub(crate) breakdown: DecodeBreakdown,
+}
+
+impl MatchingShotScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Breakdown of the most recent shot's decode.
+    #[must_use]
+    pub fn breakdown(&self) -> DecodeBreakdown {
+        self.breakdown
+    }
+
+    /// Component sizes of the most recent shot's decode.
+    pub fn component_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.decoder.component_sizes()
+    }
+
+    /// Corrections applied in the most recent shot.
+    #[must_use]
+    pub fn corrections(&self) -> &[usize] {
+        &self.corrections
+    }
+}
+
+impl MatchingMemoryExperiment {
+    /// Resets `scratch` for a fresh shot of this experiment's code.
+    pub(crate) fn begin_shot(&self, scratch: &mut MatchingShotScratch) {
+        let n = self.code.num_data_qubits();
+        let m = self.decoder.num_stabilizers();
+        scratch.frame.clear();
+        scratch.frame.resize(n, false);
+        scratch.prev.clear();
+        scratch.prev.resize(m, false);
+        scratch.syndrome.clear();
+        scratch.events.clear();
+        scratch.corrections.clear();
+    }
+
+    /// One noisy extraction round: accumulates data errors into
+    /// `scratch.frame` and leaves the noisy syndrome in `scratch.syndrome`.
+    /// RNG consumption order matches the original offline `run_shot`
+    /// exactly (data flips, then measurement flips).
+    pub(crate) fn noisy_round(&self, rng: &mut impl Rng, scratch: &mut MatchingShotScratch) {
+        for slot in scratch.frame.iter_mut() {
+            if rng.gen::<f64>() < self.p_data {
+                *slot = !*slot;
+            }
+        }
+        self.code
+            .z_syndrome_into(&scratch.frame, &mut scratch.syndrome);
+        for bit in scratch.syndrome.iter_mut() {
+            if rng.gen::<f64>() < self.p_meas {
+                *bit = !*bit;
+            }
+        }
+    }
+
+    /// [`run_shot`](Self::run_shot) with caller-owned buffers: detection
+    /// events are extracted incrementally from syndrome deltas (no
+    /// `Vec<Vec<bool>>` round buffers) and decoded with the
+    /// cluster-then-match engine. Zero allocations in steady state.
+    pub fn run_shot_with(
+        &self,
+        cycles: usize,
+        rng: &mut impl Rng,
+        scratch: &mut MatchingShotScratch,
+    ) -> bool {
+        self.begin_shot(scratch);
+        for t in 0..cycles {
+            self.noisy_round(rng, scratch);
+            MatchingDecoder::append_detection_events(
+                &scratch.prev,
+                &scratch.syndrome,
+                t,
+                &mut scratch.events,
+            );
+            scratch.prev.copy_from_slice(&scratch.syndrome);
+        }
+        // Final perfect round.
+        self.code
+            .z_syndrome_into(&scratch.frame, &mut scratch.syndrome);
+        MatchingDecoder::append_detection_events(
+            &scratch.prev,
+            &scratch.syndrome,
+            cycles,
+            &mut scratch.events,
+        );
+        scratch.breakdown = self.decoder.decode_into(
+            &scratch.events,
+            &mut scratch.decoder,
+            &mut scratch.corrections,
+        );
+        let (frame, corrections) = (&mut scratch.frame, &scratch.corrections);
+        for &q in corrections {
+            frame[q] = !frame[q];
+        }
+        self.code.is_logical_x_flip(&scratch.frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::RotatedSurfaceCode;
+    use artery_num::rng::rng_for;
+
+    fn decoder(d: usize) -> MatchingDecoder {
+        MatchingDecoder::build(&RotatedSurfaceCode::new(d))
+    }
+
+    #[test]
+    fn far_apart_events_form_separate_components() {
+        let dec = decoder(5);
+        let events = [
+            DetectionEvent { round: 0, stab: 0 },
+            DetectionEvent { round: 40, stab: 0 },
+        ];
+        let mut scratch = DecoderScratch::new();
+        let mut out = Vec::new();
+        let breakdown = dec.decode_into(&events, &mut scratch, &mut out);
+        assert_eq!(breakdown.components, 2);
+        assert_eq!(breakdown.largest_component, 1);
+    }
+
+    #[test]
+    fn time_like_pair_is_one_component_with_no_corrections() {
+        let dec = decoder(5);
+        let events = [
+            DetectionEvent { round: 3, stab: 6 },
+            DetectionEvent { round: 4, stab: 6 },
+        ];
+        let mut scratch = DecoderScratch::new();
+        let mut out = Vec::new();
+        let breakdown = dec.decode_into(&events, &mut scratch, &mut out);
+        assert_eq!(breakdown.components, 1);
+        assert!(out.is_empty(), "time-like pair needs no data correction");
+    }
+
+    #[test]
+    fn empty_events_decode_to_nothing() {
+        let dec = decoder(3);
+        let mut scratch = DecoderScratch::new();
+        let mut out = vec![99];
+        let breakdown = dec.decode_into(&[], &mut scratch, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(breakdown, DecodeBreakdown::default());
+        assert_eq!(scratch.component_count(), 0);
+    }
+
+    #[test]
+    fn long_time_chain_triggers_oversized_fallback() {
+        // 17 events on one stabilizer in consecutive rounds chain into a
+        // single component beyond EXACT_LIMIT.
+        let dec = decoder(5);
+        let events: Vec<DetectionEvent> = (0..17)
+            .map(|t| DetectionEvent { round: t, stab: 4 })
+            .collect();
+        let mut scratch = DecoderScratch::new();
+        let mut out = Vec::new();
+        let breakdown = dec.decode_into(&events, &mut scratch, &mut out);
+        assert_eq!(breakdown.components, 1);
+        assert_eq!(breakdown.largest_component, 17);
+        assert_eq!(breakdown.oversized_components, 1);
+    }
+
+    #[test]
+    fn component_decode_matches_chunked_oracle_on_small_sets() {
+        // On ≤16 events decode() is the full exact DP; decode_into must
+        // reproduce it bit-for-bit, including emission order.
+        let dec = decoder(5);
+        let num_stabs = dec.num_stabilizers();
+        let mut rng = rng_for("cluster/oracle");
+        let mut scratch = DecoderScratch::new();
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            let n = rng.gen_range(0..=16);
+            let mut events: Vec<DetectionEvent> = Vec::new();
+            let mut round = 0usize;
+            for _ in 0..n {
+                round += rng.gen_range(0..3);
+                events.push(DetectionEvent {
+                    round,
+                    stab: rng.gen_range(0..num_stabs),
+                });
+            }
+            events.sort_by_key(|e| (e.round, e.stab));
+            events.dedup();
+            let oracle = dec.decode(&events);
+            dec.decode_into(&events, &mut scratch, &mut out);
+            assert_eq!(out, oracle, "events {events:?}");
+        }
+    }
+
+    #[test]
+    fn run_shot_with_reuses_buffers_across_distances() {
+        // The same scratch must serve experiments of different sizes.
+        let mut scratch = MatchingShotScratch::new();
+        let mut rng = rng_for("cluster/sizes");
+        for d in [3usize, 5, 3, 7] {
+            let exp = MatchingMemoryExperiment::new(RotatedSurfaceCode::new(d), 0.01, 0.01);
+            let _ = exp.run_shot_with(5, &mut rng, &mut scratch);
+            assert_eq!(scratch.frame.len(), d * d);
+        }
+    }
+
+    #[test]
+    fn noiseless_shot_has_no_events_or_corrections() {
+        let exp = MatchingMemoryExperiment::new(RotatedSurfaceCode::new(5), 0.0, 0.0);
+        let mut scratch = MatchingShotScratch::new();
+        let mut rng = rng_for("cluster/clean");
+        assert!(!exp.run_shot_with(10, &mut rng, &mut scratch));
+        assert_eq!(scratch.breakdown(), DecodeBreakdown::default());
+        assert!(scratch.corrections().is_empty());
+    }
+}

@@ -160,8 +160,21 @@ impl RotatedSurfaceCode {
     /// Panics when `error` is not `d²` long.
     #[must_use]
     pub fn z_syndrome(&self, error: &[bool]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.z_stabilizers().count());
+        self.z_syndrome_into(error, &mut out);
+        out
+    }
+
+    /// Allocation-free [`z_syndrome`](Self::z_syndrome): clears and refills
+    /// `out` in `z_stabilizers` order, reusing its capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `error` is not `d²` long.
+    pub fn z_syndrome_into(&self, error: &[bool], out: &mut Vec<bool>) {
         assert_eq!(error.len(), self.num_data_qubits(), "error length");
-        self.z_stabilizers().map(|s| s.syndrome(error)).collect()
+        out.clear();
+        out.extend(self.z_stabilizers().map(|s| s.syndrome(error)));
     }
 
     /// Whether an X-error pattern flips the logical Z measurement (odd
@@ -169,7 +182,9 @@ impl RotatedSurfaceCode {
     /// with a clear syndrome.
     #[must_use]
     pub fn is_logical_x_flip(&self, error: &[bool]) -> bool {
-        self.logical_z().iter().filter(|&&q| error[q]).count() % 2 == 1
+        // Logical Z is the top row (indices 0..d); counting directly keeps
+        // this hot-path check allocation-free.
+        error[..self.distance].iter().filter(|&&q| q).count() % 2 == 1
     }
 }
 

@@ -12,6 +12,12 @@
 //!   sector of d = 3 (surface-17),
 //! * [`MemoryExperiment`] — repeated noisy syndrome-extraction cycles with
 //!   per-cycle feedback correction and measurement errors (Fig. 12 b/c),
+//! * [`cluster`] — the cluster-then-match production decode path:
+//!   union-find clustering of detection events plus per-component exact
+//!   matching with reused [`DecoderScratch`] buffers (zero-alloc steady
+//!   state, bit-identical to the chunked oracle on small event sets),
+//! * [`window`] — [`SlidingWindowDecoder`], streaming window decode with
+//!   commit/rollback as syndromes arrive round by round,
 //! * [`scaling`] — the latency/error estimation models behind Fig. 12 a/d:
 //!   how feedback latency couples into per-cycle physical error, and how the
 //!   pre-execution benefit dies out with code distance.
@@ -19,15 +25,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 mod decoder;
 mod layout;
 pub mod matching;
 mod memory;
 pub mod scaling;
 mod stabilizer;
+pub mod window;
 
+pub use cluster::{DecodeBreakdown, DecoderScratch, MatchingShotScratch};
 pub use decoder::LookupDecoder;
 pub use layout::{RotatedSurfaceCode, Stabilizer, StabilizerKind};
 pub use matching::{MatchingDecoder, MatchingMemoryExperiment};
-pub use memory::{MemoryExperiment, MemoryOutcome};
+pub use memory::{MemoryExperiment, MemoryOutcome, MemoryShotScratch};
 pub use stabilizer::Tableau;
+pub use window::{SlidingWindowDecoder, WindowStats, WindowedShot};

@@ -29,11 +29,11 @@ pub struct DetectionEvent {
 pub struct MatchingDecoder {
     num_stabs: usize,
     /// All-pairs spatial distance between Z-stabilizers (graph hops).
-    dist: Vec<Vec<usize>>,
+    pub(crate) dist: Vec<Vec<usize>>,
     /// Data-qubit path realizing `dist[a][b]`.
-    path: Vec<Vec<Vec<usize>>>,
+    pub(crate) path: Vec<Vec<Vec<usize>>>,
     /// Distance and data-qubit path from each stabilizer to the boundary.
-    boundary: Vec<(usize, Vec<usize>)>,
+    pub(crate) boundary: Vec<(usize, Vec<usize>)>,
 }
 
 impl MatchingDecoder {
@@ -139,12 +139,63 @@ impl MatchingDecoder {
         events
     }
 
-    fn cost(&self, a: DetectionEvent, b: DetectionEvent) -> usize {
+    /// Appends the detection events of round `round` — the positions where
+    /// `syndrome` differs from `prev` — to `events`, without any round
+    /// buffers. Streaming equivalent of [`Self::detection_events`] when
+    /// called once per round with the previous round's syndrome (all-false
+    /// for round 0).
+    pub fn append_detection_events(
+        prev: &[bool],
+        syndrome: &[bool],
+        round: usize,
+        events: &mut Vec<DetectionEvent>,
+    ) {
+        debug_assert_eq!(prev.len(), syndrome.len());
+        for (stab, (&before, &bit)) in prev.iter().zip(syndrome).enumerate() {
+            if bit != before {
+                events.push(DetectionEvent { round, stab });
+            }
+        }
+    }
+
+    pub(crate) fn cost(&self, a: DetectionEvent, b: DetectionEvent) -> usize {
         self.dist[a.stab][b.stab].saturating_add(a.round.abs_diff(b.round))
     }
 
-    /// Largest event chunk decoded exactly; the DP is `O(2^n · n)`.
-    const EXACT_LIMIT: usize = 16;
+    /// Cost of matching the event on stabilizer `stab` to the boundary.
+    pub(crate) fn boundary_cost(&self, stab: usize) -> usize {
+        self.boundary[stab].0
+    }
+
+    /// Largest boundary-match cost over all stabilizers. Bounds how far
+    /// apart (in space-time cost) two events can be and still prefer pairing
+    /// with each other over two boundary matches — the clustering radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics when some stabilizer cannot reach the boundary (never happens
+    /// for a [`RotatedSurfaceCode`]).
+    #[must_use]
+    pub fn max_boundary_cost(&self) -> usize {
+        let max = self.boundary.iter().map(|(d, _)| *d).max().unwrap_or(0);
+        assert!(
+            max < usize::MAX,
+            "matching graph has an isolated stabilizer"
+        );
+        max
+    }
+
+    /// Whether the exact DP could ever pair `a` with `b` instead of sending
+    /// both to the boundary. The DP stores a pair only when *strictly*
+    /// cheaper than boundary matches, so `cost < bnd(a) + bnd(b)` (strict)
+    /// is sound: events failing it decode independently.
+    pub(crate) fn events_linked(&self, a: DetectionEvent, b: DetectionEvent) -> bool {
+        let bound = self.boundary_cost(a.stab) as u64 + self.boundary_cost(b.stab) as u64;
+        (self.cost(a, b) as u64) < bound
+    }
+
+    /// Largest event set decoded exactly; the DP is `O(2^n · n)`.
+    pub const EXACT_LIMIT: usize = 16;
 
     /// Matches detection events (to each other or the boundary) and returns
     /// the data qubits whose X correction the matching implies.
@@ -157,6 +208,13 @@ impl MatchingDecoder {
     /// not good enough here — a pair-preferring greedy routinely stitches
     /// two independent boundary-adjacent errors into one cross-lattice
     /// chain, which is exactly a logical error.
+    ///
+    /// This chunked form is retained as the oracle for
+    /// [`decode_into`](Self::decode_into): on ≤ [`Self::EXACT_LIMIT`] events
+    /// it *is* the full exact DP and the cluster-then-match path must
+    /// reproduce it bit-for-bit. Beyond one chunk it silently splits error
+    /// clusters that straddle a chunk boundary (see the chunk-boundary
+    /// regression test); production decoding goes through `decode_into`.
     #[must_use]
     pub fn decode(&self, events: &[DetectionEvent]) -> Vec<usize> {
         let mut corrections = Vec::new();
@@ -214,8 +272,8 @@ impl MatchingDecoder {
 /// works for any odd distance.
 #[derive(Debug, Clone)]
 pub struct MatchingMemoryExperiment {
-    code: RotatedSurfaceCode,
-    decoder: MatchingDecoder,
+    pub(crate) code: RotatedSurfaceCode,
+    pub(crate) decoder: MatchingDecoder,
     /// X-error probability per data qubit per cycle.
     pub p_data: f64,
     /// Syndrome-bit misread probability per cycle.
@@ -247,41 +305,37 @@ impl MatchingMemoryExperiment {
         }
     }
 
+    /// The code under test.
+    #[must_use]
+    pub fn code(&self) -> &RotatedSurfaceCode {
+        &self.code
+    }
+
+    /// The matching decoder built for the code.
+    #[must_use]
+    pub fn decoder(&self) -> &MatchingDecoder {
+        &self.decoder
+    }
+
     /// Runs one shot: `cycles` noisy rounds, one final perfect round, then
     /// offline matching. Returns whether a logical X flip survived.
+    ///
+    /// Convenience wrapper over
+    /// [`run_shot_with`](Self::run_shot_with) that allocates a fresh
+    /// [`MatchingShotScratch`](crate::MatchingShotScratch); Monte-Carlo
+    /// loops should hold one scratch and call `run_shot_with` directly.
     pub fn run_shot(&self, cycles: usize, rng: &mut impl Rng) -> bool {
-        let n = self.code.num_data_qubits();
-        let mut frame = vec![false; n];
-        let mut rounds: Vec<Vec<bool>> = Vec::with_capacity(cycles + 1);
-        for _ in 0..cycles {
-            for slot in frame.iter_mut() {
-                if rng.gen::<f64>() < self.p_data {
-                    *slot = !*slot;
-                }
-            }
-            let mut syndrome = self.code.z_syndrome(&frame);
-            for bit in &mut syndrome {
-                if rng.gen::<f64>() < self.p_meas {
-                    *bit = !*bit;
-                }
-            }
-            rounds.push(syndrome);
-        }
-        // Final perfect round.
-        rounds.push(self.code.z_syndrome(&frame));
-        let events = MatchingDecoder::detection_events(&rounds);
-        for q in self.decoder.decode(&events) {
-            frame[q] = !frame[q];
-        }
-        self.code.is_logical_x_flip(&frame)
+        let mut scratch = crate::cluster::MatchingShotScratch::new();
+        self.run_shot_with(cycles, rng, &mut scratch)
     }
 
     /// Monte-Carlo logical error probability.
     #[must_use]
     pub fn logical_error_rate(&self, cycles: usize, shots: usize, rng: &mut impl Rng) -> f64 {
+        let mut scratch = crate::cluster::MatchingShotScratch::new();
         let mut errors = 0usize;
         for _ in 0..shots {
-            errors += usize::from(self.run_shot(cycles, rng));
+            errors += usize::from(self.run_shot_with(cycles, rng, &mut scratch));
         }
         errors as f64 / shots.max(1) as f64
     }

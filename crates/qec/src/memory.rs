@@ -66,35 +66,54 @@ impl MemoryExperiment {
     }
 
     /// Runs one shot of `cycles` rounds and a final noiseless readout.
+    ///
+    /// Convenience wrapper over [`run_shot_with`](Self::run_shot_with) that
+    /// allocates a fresh [`MemoryShotScratch`]; Monte-Carlo loops should
+    /// hold one scratch and call `run_shot_with` directly.
     pub fn run_shot(&self, cycles: usize, rng: &mut impl Rng) -> MemoryOutcome {
+        let mut scratch = MemoryShotScratch::new();
+        self.run_shot_with(cycles, rng, &mut scratch)
+    }
+
+    /// [`run_shot`](Self::run_shot) with caller-owned frame and syndrome
+    /// buffers: no per-shot or per-cycle allocations in steady state.
+    pub fn run_shot_with(
+        &self,
+        cycles: usize,
+        rng: &mut impl Rng,
+        scratch: &mut MemoryShotScratch,
+    ) -> MemoryOutcome {
         let n = self.code.num_data_qubits();
-        let mut frame = vec![false; n];
+        scratch.frame.clear();
+        scratch.frame.resize(n, false);
         let mut active = 0usize;
         for _ in 0..cycles {
             // Physical errors accumulate on the data qubits.
-            for slot in frame.iter_mut() {
+            for slot in scratch.frame.iter_mut() {
                 if rng.gen::<f64>() < self.p_data {
                     *slot = !*slot;
                 }
             }
             // Noisy syndrome measurement.
-            let mut syndrome = self.code.z_syndrome(&frame);
-            for bit in &mut syndrome {
+            self.code
+                .z_syndrome_into(&scratch.frame, &mut scratch.syndrome);
+            for bit in scratch.syndrome.iter_mut() {
                 if rng.gen::<f64>() < self.p_meas {
                     *bit = !*bit;
                 }
             }
-            if syndrome.iter().any(|&s| s) {
+            if scratch.syndrome.iter().any(|&s| s) {
                 active += 1;
             }
             // Feedback correction from the (possibly wrong) syndrome.
-            self.decoder.apply(&syndrome, &mut frame);
+            self.decoder.apply(&scratch.syndrome, &mut scratch.frame);
         }
         // Final round: perfect readout + correction, then logical parity.
-        let syndrome = self.code.z_syndrome(&frame);
-        self.decoder.apply(&syndrome, &mut frame);
+        self.code
+            .z_syndrome_into(&scratch.frame, &mut scratch.syndrome);
+        self.decoder.apply(&scratch.syndrome, &mut scratch.frame);
         MemoryOutcome {
-            logical_error: self.code.is_logical_x_flip(&frame),
+            logical_error: self.code.is_logical_x_flip(&scratch.frame),
             active_cycles: active,
         }
     }
@@ -102,11 +121,27 @@ impl MemoryExperiment {
     /// Monte-Carlo logical error probability after `cycles` rounds.
     #[must_use]
     pub fn logical_error_rate(&self, cycles: usize, shots: usize, rng: &mut impl Rng) -> f64 {
+        let mut scratch = MemoryShotScratch::new();
         let mut errors = 0usize;
         for _ in 0..shots {
-            errors += usize::from(self.run_shot(cycles, rng).logical_error);
+            errors += usize::from(self.run_shot_with(cycles, rng, &mut scratch).logical_error);
         }
         errors as f64 / shots.max(1) as f64
+    }
+}
+
+/// Reusable per-shot buffers for [`MemoryExperiment`] Monte-Carlo loops.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryShotScratch {
+    frame: Vec<bool>,
+    syndrome: Vec<bool>,
+}
+
+impl MemoryShotScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 

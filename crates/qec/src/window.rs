@@ -1,0 +1,452 @@
+//! Streaming sliding-window decoding: commit/rollback for syndromes.
+//!
+//! The offline matching path collects every round before decoding. Real
+//! feedback cannot wait: ARTERY's whole premise is pre-executing on a
+//! prediction and rolling back when the late truth disagrees. This module
+//! applies the same contract to QEC decoding. A [`SlidingWindowDecoder`]
+//! ingests one syndrome per round, maintains the clustered components of
+//! all *pending* detection events, and each round:
+//!
+//! * **commits** every component whose newest event is at least `W` rounds
+//!   old — no future event can ever link into it, so its corrections are
+//!   final and byte-identical to what the offline decode will produce;
+//! * **tentatively decodes** the rest (the speculative corrections a
+//!   feedback controller would pre-execute);
+//! * **rolls back** a tentative component whenever a late syndrome bit
+//!   joins it — the previous round's speculative corrections for that
+//!   component are discarded and recomputed.
+//!
+//! The window length `W = 2·max_boundary_cost` is not a tunable: it is the
+//! smallest horizon with an exactness proof. Two events can only pair when
+//! their space-time cost (≥ their round gap) is strictly below the sum of
+//! their boundary costs (≤ `2·max_boundary_cost`), so an event `W` rounds
+//! stale cannot link to any future event directly — and not transitively
+//! either, because every intermediate event would itself be pending and
+//! already clustered. Committed components are therefore *exactly* the
+//! offline components, and the committed corrections equal the offline
+//! corrections as a multiset — asserted per shot by the fig12d harness and
+//! the window equivalence proptest.
+
+use rand::Rng;
+
+use crate::cluster::{DecodeBreakdown, DecoderScratch, MatchingShotScratch};
+use crate::matching::{DetectionEvent, MatchingDecoder, MatchingMemoryExperiment};
+
+/// Streaming counters of a [`SlidingWindowDecoder`] (cumulative across
+/// shots until [`SlidingWindowDecoder::take_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Components whose corrections were committed (settled or flushed).
+    pub commits: u64,
+    /// Tentative components invalidated by a late syndrome bit: their
+    /// previous speculative decode was discarded and recomputed.
+    pub rollbacks: u64,
+    /// Speculative decodes of not-yet-settled components.
+    pub tentative_decodes: u64,
+}
+
+/// Decodes a moving window of rounds as syndromes stream in.
+///
+/// Feed one syndrome per round with [`push_round`](Self::push_round), close
+/// the shot with the perfect readout via [`finish`](Self::finish), and read
+/// the final corrections from the returned slice. All buffers are reused
+/// across rounds and shots; steady-state streaming allocates nothing.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowDecoder {
+    decoder: MatchingDecoder,
+    /// Settle horizon `W` in rounds; see the module docs.
+    horizon: usize,
+    rounds_seen: usize,
+    prev: Vec<bool>,
+    pending: Vec<DetectionEvent>,
+    keep: Vec<bool>,
+    committed: Vec<usize>,
+    tentative: Vec<usize>,
+    scratch: DecoderScratch,
+    stats: WindowStats,
+}
+
+impl SlidingWindowDecoder {
+    /// Wraps `decoder` in a streaming window of the smallest exact length.
+    #[must_use]
+    pub fn new(decoder: MatchingDecoder) -> Self {
+        let horizon = 2 * decoder.max_boundary_cost();
+        let num_stabs = decoder.num_stabilizers();
+        Self {
+            decoder,
+            horizon,
+            rounds_seen: 0,
+            prev: vec![false; num_stabs],
+            pending: Vec::new(),
+            keep: Vec::new(),
+            committed: Vec::new(),
+            tentative: Vec::new(),
+            scratch: DecoderScratch::new(),
+            stats: WindowStats::default(),
+        }
+    }
+
+    /// The window length `W` in rounds.
+    #[must_use]
+    pub fn window_rounds(&self) -> usize {
+        self.horizon
+    }
+
+    /// Number of Z-stabilizers each pushed syndrome must cover.
+    #[must_use]
+    pub fn num_stabilizers(&self) -> usize {
+        self.decoder.num_stabilizers()
+    }
+
+    /// Clears per-shot state for a new shot. Counters in
+    /// [`stats`](Self::stats) keep accumulating; buffers keep their
+    /// capacity.
+    pub fn reset(&mut self) {
+        self.rounds_seen = 0;
+        self.prev.clear();
+        self.prev.resize(self.decoder.num_stabilizers(), false);
+        self.pending.clear();
+        self.committed.clear();
+        self.tentative.clear();
+    }
+
+    /// Cumulative streaming counters.
+    #[must_use]
+    pub fn stats(&self) -> WindowStats {
+        self.stats
+    }
+
+    /// Returns and resets the cumulative counters.
+    pub fn take_stats(&mut self) -> WindowStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Corrections committed so far this shot (final; never rolled back).
+    #[must_use]
+    pub fn committed(&self) -> &[usize] {
+        &self.committed
+    }
+
+    /// Speculative corrections for the still-open components after the
+    /// latest round — what a feedback controller would pre-execute.
+    #[must_use]
+    pub fn tentative(&self) -> &[usize] {
+        &self.tentative
+    }
+
+    /// Ingests the (noisy) syndrome of the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `syndrome` does not have one bit per Z-stabilizer.
+    pub fn push_round(&mut self, syndrome: &[bool]) {
+        assert_eq!(
+            syndrome.len(),
+            self.decoder.num_stabilizers(),
+            "syndrome length"
+        );
+        MatchingDecoder::append_detection_events(
+            &self.prev,
+            syndrome,
+            self.rounds_seen,
+            &mut self.pending,
+        );
+        self.prev.copy_from_slice(syndrome);
+        self.rounds_seen += 1;
+        self.step(false);
+    }
+
+    /// Ingests the final perfect readout, flushes every open component and
+    /// returns the complete committed correction list for the shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `final_syndrome` does not have one bit per Z-stabilizer.
+    pub fn finish(&mut self, final_syndrome: &[bool]) -> &[usize] {
+        assert_eq!(
+            final_syndrome.len(),
+            self.decoder.num_stabilizers(),
+            "syndrome length"
+        );
+        MatchingDecoder::append_detection_events(
+            &self.prev,
+            final_syndrome,
+            self.rounds_seen,
+            &mut self.pending,
+        );
+        self.prev.copy_from_slice(final_syndrome);
+        self.rounds_seen += 1;
+        self.step(true);
+        debug_assert!(self.pending.is_empty(), "flush left pending events");
+        &self.committed
+    }
+
+    fn decode_component(
+        decoder: &MatchingDecoder,
+        scratch: &mut DecoderScratch,
+        events: &[DetectionEvent],
+        mem: &[u32],
+        out: &mut Vec<usize>,
+    ) {
+        scratch.choices.clear();
+        if mem.len() <= MatchingDecoder::EXACT_LIMIT {
+            scratch.dp_component(decoder, events, mem);
+        } else {
+            for chunk in mem.chunks(MatchingDecoder::EXACT_LIMIT) {
+                scratch.dp_component(decoder, events, chunk);
+            }
+        }
+        decoder.emit_choices(events, &scratch.choices, out);
+    }
+
+    fn step(&mut self, flush: bool) {
+        self.tentative.clear();
+        if self.pending.is_empty() {
+            return;
+        }
+        self.scratch.cluster(&self.decoder, &self.pending);
+        let comp_start = std::mem::take(&mut self.scratch.comp_start);
+        let members = std::mem::take(&mut self.scratch.members);
+        let comps = comp_start.len() - 1;
+        let latest = self.rounds_seen - 1;
+        self.keep.clear();
+        self.keep.resize(self.pending.len(), true);
+        for c in 0..comps {
+            let mem = &members[comp_start[c] as usize..comp_start[c + 1] as usize];
+            let newest = mem
+                .iter()
+                .map(|&e| self.pending[e as usize].round)
+                .max()
+                .expect("components are non-empty");
+            let has_latest = newest == latest;
+            let has_older = mem.iter().any(|&e| self.pending[e as usize].round < latest);
+            if has_latest && has_older {
+                // Every pending event was tentatively decoded last round,
+                // so a late bit joining the component invalidates that
+                // speculative correction.
+                self.stats.rollbacks += 1;
+            }
+            let settled = flush || self.rounds_seen - newest >= self.horizon;
+            if settled {
+                self.stats.commits += 1;
+                Self::decode_component(
+                    &self.decoder,
+                    &mut self.scratch,
+                    &self.pending,
+                    mem,
+                    &mut self.committed,
+                );
+                for &e in mem {
+                    self.keep[e as usize] = false;
+                }
+            } else {
+                self.stats.tentative_decodes += 1;
+                Self::decode_component(
+                    &self.decoder,
+                    &mut self.scratch,
+                    &self.pending,
+                    mem,
+                    &mut self.tentative,
+                );
+            }
+        }
+        self.scratch.comp_start = comp_start;
+        self.scratch.members = members;
+        // Compact pending in place, dropping committed events.
+        let mut w = 0usize;
+        for r in 0..self.pending.len() {
+            if self.keep[r] {
+                self.pending[w] = self.pending[r];
+                w += 1;
+            }
+        }
+        self.pending.truncate(w);
+    }
+}
+
+/// One windowed shot's outcome, with the offline decode of the same noise
+/// realization for the in-binary equivalence check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowedShot {
+    /// Logical X flip after applying the *committed* window corrections.
+    pub logical_error: bool,
+    /// Logical X flip after applying the offline cluster-then-match
+    /// corrections to the same noise realization.
+    pub offline_logical_error: bool,
+    /// Whether the committed corrections equal the offline corrections as
+    /// a multiset (always true; see the window exactness proof).
+    pub corrections_match: bool,
+    /// Breakdown of the offline decode (events, components, ...).
+    pub breakdown: DecodeBreakdown,
+}
+
+impl MatchingMemoryExperiment {
+    /// Runs one shot streaming every noisy syndrome through `window`
+    /// round-by-round, *and* decodes the same realization offline,
+    /// returning both outcomes plus whether their corrections agree.
+    ///
+    /// RNG consumption is identical to [`run_shot_with`](Self::run_shot_with),
+    /// so windowed and offline Monte-Carlo loops see the same noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` was built for a different code.
+    pub fn run_shot_windowed(
+        &self,
+        cycles: usize,
+        rng: &mut impl Rng,
+        scratch: &mut MatchingShotScratch,
+        window: &mut SlidingWindowDecoder,
+    ) -> WindowedShot {
+        assert_eq!(
+            window.num_stabilizers(),
+            self.decoder.num_stabilizers(),
+            "window decoder built for a different code"
+        );
+        self.begin_shot(scratch);
+        window.reset();
+        for t in 0..cycles {
+            self.noisy_round(rng, scratch);
+            window.push_round(&scratch.syndrome);
+            MatchingDecoder::append_detection_events(
+                &scratch.prev,
+                &scratch.syndrome,
+                t,
+                &mut scratch.events,
+            );
+            scratch.prev.copy_from_slice(&scratch.syndrome);
+        }
+        self.code
+            .z_syndrome_into(&scratch.frame, &mut scratch.syndrome);
+        MatchingDecoder::append_detection_events(
+            &scratch.prev,
+            &scratch.syndrome,
+            cycles,
+            &mut scratch.events,
+        );
+        let committed = window.finish(&scratch.syndrome);
+        scratch.breakdown = self.decoder.decode_into(
+            &scratch.events,
+            &mut scratch.decoder,
+            &mut scratch.corrections,
+        );
+        scratch.sort_a.clear();
+        scratch.sort_a.extend_from_slice(committed);
+        scratch.sort_a.sort_unstable();
+        scratch.sort_b.clear();
+        scratch.sort_b.extend_from_slice(&scratch.corrections);
+        scratch.sort_b.sort_unstable();
+        let corrections_match = scratch.sort_a == scratch.sort_b;
+        // Logical Z lives on the top row (qubits 0..d): the outcome is the
+        // raw frame parity XOR the correction parity on that support.
+        let d = self.code.distance();
+        let base = self.code.is_logical_x_flip(&scratch.frame);
+        let window_parity = committed.iter().filter(|&&q| q < d).count() % 2 == 1;
+        let offline_parity = scratch.corrections.iter().filter(|&&q| q < d).count() % 2 == 1;
+        WindowedShot {
+            logical_error: base ^ window_parity,
+            offline_logical_error: base ^ offline_parity,
+            corrections_match,
+            breakdown: scratch.breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::RotatedSurfaceCode;
+    use artery_num::rng::rng_for;
+
+    fn window(d: usize) -> SlidingWindowDecoder {
+        SlidingWindowDecoder::new(MatchingDecoder::build(&RotatedSurfaceCode::new(d)))
+    }
+
+    #[test]
+    fn clean_stream_commits_nothing() {
+        let mut w = window(3);
+        let clean = vec![false; w.num_stabilizers()];
+        w.reset();
+        for _ in 0..10 {
+            w.push_round(&clean);
+        }
+        assert!(w.finish(&clean).is_empty());
+        assert_eq!(w.stats(), WindowStats::default());
+    }
+
+    #[test]
+    fn measurement_blip_commits_before_finish_and_rolls_back_once() {
+        let mut w = window(5);
+        let clean = vec![false; w.num_stabilizers()];
+        let mut flipped = clean.clone();
+        flipped[6] = true;
+        w.reset();
+        // Round 0 flips, round 1 restores: a time-like event pair at rounds
+        // 0 and 1 on stabilizer 6.
+        w.push_round(&flipped);
+        w.push_round(&clean);
+        assert_eq!(w.stats().rollbacks, 1, "late bit joined the component");
+        // After the horizon passes the pair settles and commits (with no
+        // data corrections) before the shot ends.
+        for _ in 0..w.window_rounds() + 1 {
+            w.push_round(&clean);
+        }
+        assert_eq!(w.stats().commits, 1, "pair should settle mid-stream");
+        assert!(w.committed().is_empty());
+        assert!(w.tentative().is_empty());
+        assert!(w.finish(&clean).is_empty());
+    }
+
+    #[test]
+    fn tentative_corrections_appear_while_component_is_open() {
+        let code = RotatedSurfaceCode::new(5);
+        let mut w = window(5);
+        // A real data error on qubit 0 fires its single Z-stabilizer
+        // persistently from round 0 on.
+        let mut frame = vec![false; code.num_data_qubits()];
+        frame[0] = true;
+        let noisy = code.z_syndrome(&frame);
+        w.reset();
+        w.push_round(&noisy);
+        assert!(
+            !w.tentative().is_empty(),
+            "open component must decode speculatively"
+        );
+        assert!(w.committed().is_empty());
+        let committed = w.finish(&noisy);
+        assert_eq!(committed, [0], "boundary match flips the errored qubit");
+    }
+
+    #[test]
+    fn windowed_outcomes_equal_offline_on_random_shots() {
+        for d in [3usize, 5] {
+            let exp = MatchingMemoryExperiment::new(RotatedSurfaceCode::new(d), 0.01, 0.01);
+            let mut w = SlidingWindowDecoder::new(exp.decoder().clone());
+            let mut scratch = MatchingShotScratch::new();
+            let mut rng = rng_for("window/equiv");
+            for _ in 0..200 {
+                let shot = exp.run_shot_windowed(12, &mut rng, &mut scratch, &mut w);
+                assert!(shot.corrections_match, "d={d}: window diverged");
+                assert_eq!(shot.logical_error, shot.offline_logical_error);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_rng_matches_offline_run_shot() {
+        // Same seed, same noise: the windowed shot's offline outcome must
+        // equal run_shot_with's outcome bit-for-bit.
+        let exp = MatchingMemoryExperiment::new(RotatedSurfaceCode::new(5), 0.015, 0.015);
+        let mut w = SlidingWindowDecoder::new(exp.decoder().clone());
+        let mut scratch = MatchingShotScratch::new();
+        for i in 0..50 {
+            let label = format!("window/rng/{i}");
+            let mut rng_a = rng_for(&label);
+            let mut rng_b = rng_for(&label);
+            let offline = exp.run_shot_with(10, &mut rng_a, &mut scratch);
+            let shot = exp.run_shot_windowed(10, &mut rng_b, &mut scratch, &mut w);
+            assert_eq!(shot.offline_logical_error, offline);
+            assert_eq!(shot.logical_error, offline);
+        }
+    }
+}

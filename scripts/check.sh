@@ -12,7 +12,11 @@
 # stay allocation-free across reused shot buffers, and the multi-tenant
 # work-stealing shot scheduler must stay byte-identical for any worker
 # count and any (forced) steal interleaving while isolating chunk panics
-# to the owning job.
+# to the owning job, and the streaming QEC decode engine must keep its
+# cluster-then-match corrections bit-identical to the exact-DP oracle,
+# its sliding window equal to offline decode, its steady state
+# allocation-free, and its fig12d artifact byte-identical for any
+# ARTERY_THREADS.
 # Run locally before pushing; CI runs the same commands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,6 +40,9 @@ cargo test -q -p artery-predictors
 cargo test -q --test predictors
 cargo test -q --test fusion
 cargo test -q --test fusion_zero_alloc
+cargo test -q -p artery-qec
+cargo test -q --test qec_decode
+cargo test -q --test qec_zero_alloc
 
 # Scheduler gates: thread-count invariance of a mixed multi-tenant queue
 # (including the BENCH_metrics.json-style document), byte-identity under a
@@ -64,3 +71,19 @@ cmp target/experiments/predictors.t1.json target/experiments/predictors.json
 cmp target/experiments/distill.t1.json target/experiments/distill.json
 rm target/experiments/predictors.t1.json target/experiments/distill.t1.json
 echo "predictor + distilled leaderboards reproducible across thread counts"
+
+# QEC memory harness: d = 3/5/7 streamed through the sliding-window
+# decoder on the work-stealing scheduler with 1 and 8 workers. The binary
+# itself asserts window == offline and component == chunked-oracle
+# corrections per shot and a ≥10× d=7 decode speedup; here we additionally
+# require the deterministic artifact (rates, event/component histograms,
+# window commit/rollback counters) to be byte-identical across thread
+# counts. Timings live in the separate qec_bench.json artifact, which is
+# deliberately not byte-compared.
+cargo build --release -p artery-bench --bin fig12d_distance_scaling
+ARTERY_SHOTS=120 ARTERY_THREADS=1 ./target/release/fig12d_distance_scaling > /dev/null
+cp target/experiments/fig12d_distance_scaling.json target/experiments/fig12d.t1.json
+ARTERY_SHOTS=120 ARTERY_THREADS=8 ./target/release/fig12d_distance_scaling > /dev/null
+cmp target/experiments/fig12d.t1.json target/experiments/fig12d_distance_scaling.json
+rm target/experiments/fig12d.t1.json
+echo "qec distance-scaling artifact reproducible across thread counts"

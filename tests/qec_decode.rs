@@ -1,0 +1,165 @@
+//! Cluster-then-match decode engine against its oracles.
+//!
+//! * Bit-identity: on ≤16 events the chunked `decode` *is* the full exact
+//!   DP, and `decode_into` must reproduce its correction list exactly —
+//!   same qubits, same order (proptest over random event sets).
+//! * The chunk-boundary bug the clustering fixes: a crafted event list
+//!   where one error cluster straddles the 16-event chunk boundary makes
+//!   the chunked decode manufacture a logical error the component decode
+//!   avoids.
+//! * Streaming: sliding-window decode commits exactly the offline
+//!   corrections for random noise realizations (proptest), and logical
+//!   error rates stay monotone in distance below threshold.
+
+use artery::num::rng::rng_for;
+use artery::qec::matching::{DetectionEvent, MatchingDecoder};
+use artery::qec::{
+    DecoderScratch, MatchingMemoryExperiment, MatchingShotScratch, RotatedSurfaceCode,
+    SlidingWindowDecoder,
+};
+use proptest::prelude::*;
+
+/// The Z-stabilizer index (in `z_stabilizers` order) whose support
+/// contains both qubits `a` and `b`.
+fn z_stab_containing(code: &RotatedSurfaceCode, a: usize, b: usize) -> usize {
+    code.z_stabilizers()
+        .position(|s| s.support.contains(&a) && s.support.contains(&b))
+        .expect("no Z-stabilizer contains both qubits")
+}
+
+#[test]
+fn chunk_boundary_splits_cluster_into_logical_error() {
+    // d = 5. The true error is a single X on the central qubit 12, firing
+    // its two Z-faces {6,7,11,12} and {12,13,17,18} in the same round.
+    // Fifteen earlier filler events (seven harmless time-like measurement
+    // pairs plus one lone boundary-adjacent event) push those two events
+    // to indices 15 and 16 — either side of the 16-event chunk boundary.
+    let code = RotatedSurfaceCode::new(5);
+    let decoder = MatchingDecoder::build(&code);
+    let stab_a = z_stab_containing(&code, 6, 12); // upper-left face of qubit 12
+    let stab_b = z_stab_containing(&code, 12, 18); // lower-right face
+    let filler = z_stab_containing(&code, 5, 10); // left-boundary weight-2 stab
+    let lone = z_stab_containing(&code, 21, 17); // bottom-adjacent face
+    let mut events = Vec::new();
+    // Pairs are 10 rounds apart — far beyond any pairing radius — so each
+    // matches its twin time-like (no data correction) in both decoders.
+    for k in 0..7usize {
+        events.push(DetectionEvent {
+            round: 10 * k,
+            stab: filler,
+        });
+        events.push(DetectionEvent {
+            round: 10 * k + 1,
+            stab: filler,
+        });
+    }
+    events.push(DetectionEvent {
+        round: 75,
+        stab: lone,
+    });
+    events.push(DetectionEvent {
+        round: 85,
+        stab: stab_a,
+    });
+    events.push(DetectionEvent {
+        round: 85,
+        stab: stab_b,
+    });
+    assert_eq!(events.len(), 17, "the cluster must straddle index 16");
+
+    let chunked = decoder.decode(&events);
+    let mut scratch = DecoderScratch::new();
+    let mut component = Vec::new();
+    let breakdown = decoder.decode_into(&events, &mut scratch, &mut component);
+    assert_eq!(breakdown.components, 9, "7 pairs + lone + the real cluster");
+    assert_eq!(breakdown.oversized_components, 0);
+
+    // Component decode pairs the two faces through qubit 12 (cost 1),
+    // exactly undoing the true error.
+    let mut frame = vec![false; code.num_data_qubits()];
+    frame[12] = true;
+    for &q in &component {
+        frame[q] = !frame[q];
+    }
+    assert!(
+        !code.is_logical_x_flip(&frame),
+        "component decode must correct the central error"
+    );
+
+    // Chunked decode sees the faces in different chunks and sends each to
+    // its nearest (opposite) boundary: together with the true error that
+    // is a top-to-bottom chain — a logical X flip.
+    let mut frame = vec![false; code.num_data_qubits()];
+    frame[12] = true;
+    for &q in &chunked {
+        frame[q] = !frame[q];
+    }
+    assert!(
+        code.is_logical_x_flip(&frame),
+        "chunked decode should tear the straddling cluster apart \
+         (if this fails the regression scenario needs rebuilding)"
+    );
+}
+
+#[test]
+fn logical_error_rate_is_monotone_in_distance_below_threshold() {
+    let p = 0.006;
+    let cycles = 8;
+    let mut rng = rng_for("qec-decode/monotone");
+    let rate = |d: usize, shots: usize, rng: &mut _| {
+        MatchingMemoryExperiment::new(RotatedSurfaceCode::new(d), p, p)
+            .logical_error_rate(cycles, shots, rng)
+    };
+    let d3 = rate(3, 4000, &mut rng);
+    let d5 = rate(5, 4000, &mut rng);
+    let d7 = rate(7, 2000, &mut rng);
+    assert!(d5 < d3, "d=5 ({d5:.4}) must beat d=3 ({d3:.4})");
+    assert!(d7 <= d5, "d=7 ({d7:.4}) must not lose to d=5 ({d5:.4})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// On ≤16 events `decode` is the full exact DP; `decode_into` must be
+    /// bit-identical, including emission order.
+    #[test]
+    fn component_decode_is_bit_identical_to_full_dp(
+        raw in proptest::collection::vec((0usize..12, 0usize..12), 0..=16)
+    ) {
+        let code = RotatedSurfaceCode::new(5);
+        let decoder = MatchingDecoder::build(&code);
+        // Dedup + sort by (round, stab) — the order detection_events
+        // produces.
+        let raw: std::collections::BTreeSet<(usize, usize)> = raw.into_iter().collect();
+        let events: Vec<DetectionEvent> = raw
+            .into_iter()
+            .map(|(round, stab)| DetectionEvent { round, stab })
+            .collect();
+        let oracle = decoder.decode(&events);
+        let mut scratch = DecoderScratch::new();
+        let mut out = Vec::new();
+        let breakdown = decoder.decode_into(&events, &mut scratch, &mut out);
+        prop_assert_eq!(&out, &oracle);
+        prop_assert_eq!(breakdown.events, events.len());
+        prop_assert_eq!(breakdown.oversized_components, 0);
+    }
+
+    /// Sliding-window decode commits exactly the offline corrections and
+    /// the same logical outcome for arbitrary noise realizations.
+    #[test]
+    fn window_equals_offline_for_random_noise(
+        d_idx in 0usize..2,
+        p in 0.0f64..0.05,
+        cycles in 1usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let d = [3, 5][d_idx];
+        let exp = MatchingMemoryExperiment::new(RotatedSurfaceCode::new(d), p, p);
+        let mut window = SlidingWindowDecoder::new(exp.decoder().clone());
+        let mut scratch = MatchingShotScratch::new();
+        let mut rng = rng_for(&format!("qec-decode/window/{seed}"));
+        let shot = exp.run_shot_windowed(cycles, &mut rng, &mut scratch, &mut window);
+        prop_assert!(shot.corrections_match);
+        prop_assert_eq!(shot.logical_error, shot.offline_logical_error);
+    }
+}

@@ -1,0 +1,130 @@
+//! Steady-state allocation accounting for the streaming QEC decode engine:
+//! once `MatchingShotScratch`, `MemoryShotScratch`, and the sliding window
+//! have warmed up to their high-water sizes, full memory-experiment shots —
+//! offline cluster-then-match decode AND streamed window decode — must
+//! perform **zero** heap allocations. A counting `#[global_allocator]`
+//! makes the guarantee checkable; this file holds exactly one test so no
+//! concurrent test can perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use artery::num::rng::rng_for;
+use artery::qec::{
+    MatchingMemoryExperiment, MatchingShotScratch, MemoryExperiment, MemoryShotScratch,
+    RotatedSurfaceCode, SlidingWindowDecoder,
+};
+
+/// Counts every allocation (fresh, zeroed, or growing) and forwards to the
+/// system allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// One batch of seeded shots through every steady-state decode path. The
+/// RNG label is a compile-time literal so re-seeding allocates nothing
+/// beyond the `StdRng` itself (stack-constructed).
+fn run_batch(
+    matching: &MatchingMemoryExperiment,
+    lookup: &MemoryExperiment,
+    scratch: &mut MatchingShotScratch,
+    mem_scratch: &mut MemoryShotScratch,
+    window: &mut SlidingWindowDecoder,
+) -> usize {
+    let mut logicals = 0usize;
+    let mut rng = rng_for("qec-zero-alloc/shots");
+    for _ in 0..12 {
+        logicals += usize::from(matching.run_shot_with(8, &mut rng, scratch));
+        let shot = matching.run_shot_windowed(8, &mut rng, scratch, window);
+        assert!(shot.corrections_match);
+        logicals += usize::from(shot.logical_error);
+        logicals += usize::from(lookup.run_shot_with(8, &mut rng, mem_scratch).logical_error);
+    }
+    logicals
+}
+
+#[test]
+fn steady_state_decode_loop_performs_zero_allocations() {
+    // d = 5 at an error rate dense enough to exercise clustering, the
+    // component DP, window rollbacks, and correction emission.
+    let code = RotatedSurfaceCode::new(5);
+    let matching = MatchingMemoryExperiment::new(code, 0.012, 0.012);
+    let lookup = MemoryExperiment::new(RotatedSurfaceCode::new(5), 0.012, 0.012);
+    let mut scratch = MatchingShotScratch::new();
+    let mut mem_scratch = MemoryShotScratch::new();
+    let mut window = SlidingWindowDecoder::new(matching.decoder().clone());
+
+    // Warm-up: two batches grow every scratch buffer — shot frames,
+    // detection-event lists, union-find arrays, the 2^n DP tables, window
+    // pending/committed lists — to their high-water sizes. The shots are
+    // seeded, so the measured batches below replay exactly this workload.
+    let oracle = run_batch(
+        &matching,
+        &lookup,
+        &mut scratch,
+        &mut mem_scratch,
+        &mut window,
+    );
+    run_batch(
+        &matching,
+        &lookup,
+        &mut scratch,
+        &mut mem_scratch,
+        &mut window,
+    );
+
+    // Steady state: whole shots — noise sampling, syndrome extraction,
+    // streaming window steps, decode, logical readout — without touching
+    // the heap. The counter is process-global, so an unrelated allocation
+    // on libtest's main thread can land inside the window; retry a few
+    // times and require at least one clean pass. A loop that genuinely
+    // allocates fails every attempt.
+    let mut allocations = usize::MAX;
+    let mut logicals = 0;
+    for _attempt in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        logicals = run_batch(
+            &matching,
+            &lookup,
+            &mut scratch,
+            &mut mem_scratch,
+            &mut window,
+        );
+        allocations = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if allocations == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        allocations, 0,
+        "steady-state decode loop performed {allocations} heap allocations in every attempt"
+    );
+
+    // And the loop was still doing real work: the seeded replay reproduces
+    // the warm-up batch bit for bit.
+    assert_eq!(logicals, oracle);
+}
